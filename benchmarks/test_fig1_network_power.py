@@ -1,0 +1,79 @@
+"""E1 -- Fig. 1: total network power and traffic volume over time.
+
+The paper plots the Switch network's total power (~21.5-22 kW, with steps
+at hardware (de)commissioning) against total traffic (~1.3 Tbps average,
+~1.3 % of capacity), noting that the power-traffic correlation is
+invisible at network scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def fig1_series(campaign):
+    """The two Fig. 1 curves on a 3-hour averaged grid."""
+    power = campaign.result.total_power.resample(units.hours(3))
+    traffic = campaign.result.total_traffic_bps.resample(units.hours(3))
+    return power, traffic
+
+
+def test_fig1_total_power_and_traffic(benchmark, campaign):
+    power, traffic = benchmark(fig1_series, campaign)
+
+    capacity = campaign.network.total_capacity_bps()
+    mean_power = power.mean()
+    mean_traffic_tbps = units.bps_to_tbps(traffic.mean())
+    utilisation = traffic.mean() / capacity
+
+    print("\nFig. 1 -- network total power & traffic")
+    print(f"  mean power     : {mean_power:8.0f} W   (paper: ~21 700 W)")
+    print(f"  mean traffic   : {mean_traffic_tbps:8.2f} Tbps "
+          f"(paper: ~1.3 Tbps)")
+    print(f"  utilisation    : {100 * utilisation:8.2f} %  (paper: ~1.3 %)")
+    print(f"  power swing    : {np.nanmin(power.values):6.0f} - "
+          f"{np.nanmax(power.values):6.0f} W")
+    print(f"  events         : {', '.join(campaign.events_log)}")
+
+    # Shape assertions: the paper's aggregates.
+    assert 19_000 < mean_power < 25_000
+    assert 0.003 < utilisation < 0.05
+    # Power varies by far less than traffic does, relatively: the
+    # "traffic barely moves power" headline.
+    power_rel_swing = np.nanstd(power.values) / mean_power
+    traffic_rel_swing = np.nanstd(traffic.values) / traffic.mean()
+    assert traffic_rel_swing > 5 * power_rel_swing
+
+
+def test_fig1_commissioning_steps_visible(benchmark, campaign):
+    def step_size(result):
+        power = result.total_power
+        # Power before and after the day-8 decommissioning event.
+        before = power.slice(units.days(7), units.days(8)).mean()
+        during = power.slice(units.days(9), units.days(15)).mean()
+        after = power.slice(units.days(17), units.days(20)).mean()
+        return before - during, after - during
+
+    drop, recovery = benchmark(step_size, campaign.result)
+    print(f"\n  decommissioning step: -{drop:.0f} W, back: +{recovery:.0f} W")
+    # One ASR-920 (~73 W) went dark and came back.
+    assert 40 < drop < 120
+    assert 40 < recovery < 120
+
+
+def test_fig1_power_traffic_correlation_invisible(benchmark, campaign):
+    def correlation(result):
+        power = result.total_power.resample(units.hours(3))
+        traffic = result.total_traffic_bps.resample(units.hours(3))
+        n = min(len(power), len(traffic))
+        mask = ~(np.isnan(power.values[:n]) | np.isnan(traffic.values[:n]))
+        return float(np.corrcoef(power.values[:n][mask],
+                                 traffic.values[:n][mask])[0, 1])
+
+    corr = benchmark(correlation, campaign.result)
+    print(f"\n  power-traffic correlation at network scale: {corr:+.3f}")
+    # §1: "the correlation between power and traffic is invisible at the
+    # network scale" -- commissioning steps and noise dominate.  We allow
+    # weak positive correlation but nothing resembling proportionality.
+    assert corr < 0.6

@@ -1,0 +1,73 @@
+"""E2/E3 -- Fig. 2: efficiency trends, ASIC vs router datasheets.
+
+Fig. 2a (redrawn Broadcom data) shows a crisp decline in ASIC W/100G;
+Fig. 2b, computed from the datasheet corpus, shows no comparably clear
+router-level trend -- the paper's point that component-level progress
+does not translate into systems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasheets import (
+    asic_trend_fit,
+    asic_trend_points,
+    efficiency_trend,
+    trend_fit,
+    trend_spread_by_year,
+)
+
+
+@pytest.fixture(scope="module")
+def release_years(corpus):
+    return {model: doc.truth.release_year
+            for model, doc in corpus.documents.items()
+            if doc.truth.release_year is not None}
+
+
+def test_fig2a_asic_trend(benchmark):
+    points = benchmark(asic_trend_points)
+    fit = asic_trend_fit()
+    print("\nFig. 2a -- Broadcom ASIC efficiency (redrawn)")
+    for year, eff in points:
+        print(f"  {year}: {eff:5.1f} W/100G")
+    print(f"  linear fit: {fit.slope:+.2f} W/100G per year, "
+          f"r^2={fit.r_squared:.2f}")
+    assert fit.slope < -1.0
+    assert fit.r_squared > 0.8
+
+
+def test_fig2b_datasheet_trend(benchmark, parsed, release_years):
+    points = benchmark(efficiency_trend, parsed, release_years)
+    fit = trend_fit(points)
+    spread = trend_spread_by_year(points)
+
+    print("\nFig. 2b -- datasheet efficiency trend "
+          f"({len(points)} routers > 100 Gbps)")
+    for year, (mean, std) in sorted(spread.items()):
+        print(f"  {year}: {mean:6.1f} ± {std:5.1f} W/100G")
+    print(f"  linear fit: {fit.slope:+.2f} W/100G per year, "
+          f"r^2={fit.r_squared:.2f}")
+
+    assert len(points) > 50
+    # The router-level trend is *not as clear* as the ASIC one: much
+    # weaker fit, heavy within-year spread.
+    asic = asic_trend_fit()
+    assert fit.r_squared < asic.r_squared - 0.2
+    mean_within_year_std = np.mean([std for _m, std in spread.values()
+                                    if std > 0])
+    assert mean_within_year_std > 5.0  # W/100G of scatter per year
+
+
+def test_fig2b_outliers_excluded(benchmark, parsed, release_years):
+    def count_excluded(parsed, years):
+        kept = efficiency_trend(parsed, years)
+        unfiltered = efficiency_trend(parsed, years,
+                                      drop_outliers_above=None)
+        return len(unfiltered) - len(kept), len(kept)
+
+    excluded, kept = benchmark(count_excluded, parsed, release_years)
+    print(f"\n  outliers excluded from plot: {excluded} (kept {kept})")
+    # The paper dropped two ~300 W/100G outliers; the synthetic corpus
+    # produces the occasional ancient monster too.
+    assert excluded >= 0

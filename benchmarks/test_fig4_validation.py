@@ -1,0 +1,168 @@
+"""E7/E8 -- Fig. 4 and Fig. 9: PSU vs Autopower vs model predictions.
+
+For the three instrumented routers the bench reruns the §6.2 three-way
+comparison on the campaign data and checks the paper's findings: the
+model's shape matches with a constant offset (Fig. 9 is the
+offset-corrected zoom), the 8201's PSU telemetry is offset-but-precise,
+the NCS's is pseudo-constant, the N540X reports nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.validation import (
+    TelemetryVerdict,
+    compare_series,
+    validate_router,
+)
+
+from conftest import VALIDATION_MODELS
+
+
+@pytest.fixture(scope="module")
+def reports(campaign, validation_lab_models):
+    out = {}
+    for model_name, hostname in campaign.validation_hosts.items():
+        out[model_name] = validate_router(
+            hostname=hostname,
+            trace=campaign.result.snmp[hostname],
+            autopower=campaign.result.autopower[hostname],
+            model=validation_lab_models[model_name])
+    return out
+
+
+def test_fig4_three_way_comparison(benchmark, campaign,
+                                   validation_lab_models):
+    hostname = campaign.validation_hosts["8201-32FH"]
+
+    def run():
+        return validate_router(
+            hostname=hostname,
+            trace=campaign.result.snmp[hostname],
+            autopower=campaign.result.autopower[hostname],
+            model=validation_lab_models["8201-32FH"])
+
+    report = benchmark(run)
+
+    print("\nFig. 4 -- power data source comparison")
+    print(f"  {'router':22s} {'PSU verdict':28s} {'model offset':>13s} "
+          f"{'model verdict':28s}")
+    print(f"  {report.router_model:22s} {report.psu_verdict().value:28s} "
+          f"{report.model_stats.offset_w:+10.1f} W  "
+          f"{report.model_verdict().value:28s}")
+    assert report.model_stats.n_samples > 100
+
+
+class TestModelFindings:
+    """Q3: the model precisely predicts power, with an offset."""
+
+    @pytest.mark.parametrize("model_name", VALIDATION_MODELS)
+    def test_model_precise(self, benchmark, reports, model_name):
+        report = reports[model_name]
+        stats = benchmark(lambda: report.model_stats)
+        print(f"\n  {model_name}: model offset {stats.offset_w:+.1f} W, "
+              f"residual {stats.residual_std_w:.2f} W, "
+              f"corr {stats.correlation:+.2f}")
+        assert report.model_verdict() in (
+            TelemetryVerdict.TRUSTWORTHY,
+            TelemetryVerdict.PRECISE_NOT_ACCURATE)
+
+    @pytest.mark.parametrize("model_name", VALIDATION_MODELS)
+    def test_model_offset_same_order_as_paper(self, benchmark, reports,
+                                              model_name):
+        # Paper: ~9 W on 365 W, ~13 W on 400 W, ~3 W on 48 W -- a few
+        # percent of the device's level.
+        stats = benchmark(lambda: reports[model_name].model_stats)
+        level = reports[model_name].autopower.mean()
+        assert abs(stats.offset_w) < 0.15 * level
+
+    def test_fig9_offset_corrected_zoom(self, benchmark, reports):
+        report = reports["8201-32FH"]
+
+        def corrected_residual():
+            corrected = report.offset_corrected_model()
+            return compare_series(corrected, report.autopower)
+
+        stats = benchmark(corrected_residual)
+        print(f"\nFig. 9 -- offset-corrected model residual: "
+              f"{stats.residual_std_w:.2f} W on a "
+              f"{stats.reference_level_w:.0f} W signal")
+        assert abs(stats.offset_w) < 1.0
+        assert stats.residual_std_w < 0.01 * stats.reference_level_w
+
+
+class TestPsuFindings:
+    """Q2: PSU telemetry cannot be universally trusted."""
+
+    def test_8201_offset_but_precise(self, benchmark, reports):
+        stats = benchmark(lambda: reports["8201-32FH"].psu_stats)
+        print(f"\n  8201 PSU offset: {stats.offset_w:+.1f} W "
+              f"(paper: 15-20 W)")
+        assert 10 < stats.offset_w < 25
+        assert reports["8201-32FH"].psu_verdict() \
+            == TelemetryVerdict.PRECISE_NOT_ACCURATE
+
+    def test_ncs_pseudo_constant(self, benchmark, reports):
+        report = benchmark(lambda: reports["NCS-55A1-24H"])
+        print(f"\n  NCS PSU verdict: {report.psu_verdict().value}")
+        assert report.psu_verdict() == TelemetryVerdict.UNINFORMATIVE
+
+    def test_ncs_jump_on_power_cycle(self, benchmark, campaign):
+        # Fig. 4b: the Sep-25 Autopower installation (a power cycle)
+        # shifted the NCS's self-reported power.
+        hostname = campaign.validation_hosts["NCS-55A1-24H"]
+        psu = campaign.result.snmp[hostname].power.valid()
+        deploy = units.days(2)
+
+        def levels():
+            return (psu.slice(0, deploy).mean(),
+                    psu.slice(deploy + 3600, deploy + units.days(4)).mean())
+
+        before, after = benchmark(levels)
+        print(f"\n  NCS PSU reading before/after power cycle: "
+              f"{before:.1f} -> {after:.1f} W")
+        assert abs(after - before) > 0.5
+
+    def test_n540x_absent(self, benchmark, reports):
+        verdict = benchmark(reports["N540X-8Z16G-SYS-A"].psu_verdict)
+        assert verdict == TelemetryVerdict.ABSENT
+
+
+class TestEventSignatures:
+    """The Fig. 4a annotations: module removal and the flapping fix."""
+
+    def test_unplug_drop_visible_in_all_traces(self, benchmark, campaign,
+                                               reports):
+        report = reports["8201-32FH"]
+        t_event = units.days(17)
+        window = units.days(2)
+        external = report.autopower
+
+        def measure_drop():
+            before = external.slice(t_event - window, t_event).mean()
+            after = external.slice(t_event + 1800, t_event + window).mean()
+            return before - after
+
+        drop = benchmark(measure_drop)
+        print(f"\n  'Oct 9' module removal: -{drop:.1f} W externally "
+              f"(paper: ~13 W for a 400G FR4)")
+        assert 8 < drop < 25
+
+    def test_model_overreacts_to_flapping_fix(self, benchmark, campaign,
+                                              reports):
+        # When the interface went admin-down with its module seated, the
+        # model (assuming unplugged) predicts a deeper drop than reality.
+        report = reports["8201-32FH"]
+        t_down, t_up = units.days(20), units.days(23)
+
+        def drop(series):
+            before = series.slice(t_down - units.days(2), t_down).mean()
+            during = series.slice(t_down + 1800, t_up).mean()
+            return before - during
+
+        model_drop, true_drop = benchmark(
+            lambda: (drop(report.model_series), drop(report.autopower)))
+        print(f"\n  'Oct 22-25' flap fix: model -{model_drop:.1f} W vs "
+              f"measured -{true_drop:.1f} W")
+        assert model_drop > true_drop + 3.0

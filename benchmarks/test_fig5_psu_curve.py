@@ -1,0 +1,70 @@
+"""E9 -- Fig. 5: the PFE600 efficiency curve and the 80 Plus set points.
+
+The figure anchors §9: PSU efficiency peaks around 50-60 % load and
+collapses below 10-20 %, and the certification levels stack above one
+another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.psu import (
+    EIGHTY_PLUS_SET_POINTS,
+    EightyPlus,
+    PFE600_CURVE,
+    meets_standard,
+    standard_curve,
+)
+
+
+def curve_points():
+    loads = np.linspace(0.02, 1.0, 50)
+    return loads, np.array([PFE600_CURVE.efficiency(l) for l in loads])
+
+
+def test_fig5_pfe600_curve(benchmark):
+    loads, effs = benchmark(curve_points)
+
+    print("\nFig. 5 -- PFE600-12-054xA efficiency curve")
+    for pct in (5, 10, 20, 50, 100):
+        print(f"  {pct:3d} % load: {100 * PFE600_CURVE.efficiency(pct / 100):5.1f} %")
+
+    # Shape: Platinum set points hit exactly, deep collapse at low load,
+    # peak in the 45-70 % band, slight decline to full load.
+    assert PFE600_CURVE.efficiency(0.20) == pytest.approx(0.90)
+    assert PFE600_CURVE.efficiency(0.50) == pytest.approx(0.94)
+    assert PFE600_CURVE.efficiency(1.00) == pytest.approx(0.91)
+    assert PFE600_CURVE.efficiency(0.05) < 0.70
+    peak_load = loads[int(np.argmax(effs))]
+    assert 0.45 <= peak_load <= 0.70
+    assert effs[-1] < effs.max()
+
+
+def test_fig5_eighty_plus_set_points(benchmark):
+    def build():
+        return {std: EIGHTY_PLUS_SET_POINTS[std] for std in EightyPlus}
+
+    points = benchmark(build)
+    print("\n  80 Plus set points (230 V internal):")
+    for std, levels in points.items():
+        row = ", ".join(f"{int(100 * l)}%:{100 * e:.0f}%"
+                        for l, e in sorted(levels.items()))
+        print(f"    {std.value:9s} {row}")
+
+    # Levels are strictly ordered at every shared load point.
+    for load in (0.20, 0.50):
+        required = [EIGHTY_PLUS_SET_POINTS[s][load] for s in EightyPlus]
+        assert required == sorted(required)
+    # The PFE600 is certified Platinum but not Titanium.
+    assert meets_standard(PFE600_CURVE, EightyPlus.PLATINUM)
+    assert not meets_standard(PFE600_CURVE, EightyPlus.TITANIUM)
+
+
+def test_fig5_standard_curves_stack(benchmark):
+    def efficiencies_at(load):
+        return [standard_curve(std).efficiency(load) for std in EightyPlus]
+
+    effs = benchmark(efficiencies_at, 0.15)
+    print(f"\n  theoretical curves at 15 % load: "
+          f"{[f'{100 * e:.1f}%' for e in effs]}")
+    assert effs == sorted(effs)

@@ -1,0 +1,98 @@
+"""E16 -- Fig. 8: an OS update changes fan behaviour (+45 W, ≈ +12 %).
+
+§4.3's cautionary tale for un-modelled factors: on March 13 an OS
+upgrade on an 8201-32FH changed the temperature-management logic; fan
+speeds rose and power jumped by 45 W with no configuration change.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.hardware import VirtualRouter, router_spec
+from repro.network import (
+    FleetConfig,
+    FleetTrafficModel,
+    NetworkSimulation,
+    OsUpdate,
+    build_switch_like_network,
+)
+
+
+@pytest.fixture(scope="module")
+def os_update_trace():
+    """Four monitored weeks of one 8201 with the update mid-way."""
+    config = FleetConfig(
+        model_counts=(("8201-32FH", 1), ("NCS-55A1-24H", 2),
+                      ("ASR-920-24SZ-M", 3)),
+        n_regional_pops=2, core_core_links=1)
+    network = build_switch_like_network(config,
+                                        rng=np.random.default_rng(55))
+    host = next(h for h in sorted(network.routers)
+                if network.routers[h].model_name == "8201-32FH")
+    traffic = FleetTrafficModel(network, rng=np.random.default_rng(56),
+                                n_demands=60)
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(57))
+    result = sim.run(
+        duration_s=units.days(28), step_s=1800,
+        events=[OsUpdate(at_s=units.days(13), hostname=host,
+                         fan_bump_w=45.0)],
+        detailed_hosts=[host])
+    return host, result
+
+
+def test_fig8_power_bump(benchmark, os_update_trace):
+    host, result = os_update_trace
+
+    def measure():
+        power = result.snmp[host].power.valid()
+        before = power.slice(units.days(6), units.days(13)).mean()
+        after = power.slice(units.days(14), units.days(28)).mean()
+        return before, after
+
+    before, after = benchmark(measure)
+    bump = after - before
+    print(f"\nFig. 8 -- OS update on the 8201-32FH")
+    print(f"  before: {before:.0f} W, after: {after:.0f} W "
+          f"(bump {bump:+.0f} W, {100 * bump / before:+.0f} %)")
+    print(f"  paper : +45 W, ≈ +12 %")
+    assert bump == pytest.approx(45.0, abs=6.0)
+    assert 0.08 < bump / before < 0.18
+
+
+def test_fig8_nothing_else_changed(benchmark, os_update_trace):
+    """The step is attributable to the update alone: configuration and
+    traffic statistics are unchanged across it."""
+    host, result = os_update_trace
+    trace = result.snmp[host]
+
+    def traffic_levels():
+        total = trace.total_octet_rate()
+        before = total.slice(units.days(6), units.days(13)).mean()
+        after = total.slice(units.days(14), units.days(21)).mean()
+        return before, after
+
+    before, after = benchmark(traffic_levels)
+    print(f"\n  traffic before/after: {before / 1e6:.1f} / "
+          f"{after / 1e6:.1f} MB/s")
+    assert after == pytest.approx(before, rel=0.35)
+
+
+def test_fig8_unmodelled_factor_breaks_prediction(benchmark):
+    """§4.3: a model derived before the update inherits a +45 W error
+    after it -- exactly the 'software version' caveat."""
+    rng = np.random.default_rng(58)
+    router = VirtualRouter(router_spec("8201-32FH"), rng=rng,
+                           noise_std_w=0.0)
+
+    def offset_after_update():
+        before = router.wall_power_w()
+        router.apply_os_update(45.0)
+        after = router.wall_power_w()
+        router.fan_bump_w = 0.0  # undo for the next benchmark round
+        return after - before
+
+    delta = benchmark(offset_after_update)
+    print(f"\n  wall power step from the update: {delta:+.1f} W")
+    assert delta == pytest.approx(45.0 / 0.9, rel=0.2)  # through the PSU

@@ -1,0 +1,113 @@
+"""E15 -- §7: insights on router power.
+
+Four quantified claims:
+
+* "down" does not mean "off" -- P_trx,in dominates optical transceiver
+  power and survives admin-down;
+* the energy cost of traffic is tiny (forwarding all of Switch's traffic
+  costs ~0.02 % of network power);
+* transceivers collectively draw ~10 % of network power (≈2.2 kW);
+* transceiver power is traffic-independent (E_bit matches across media).
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.model import InterfaceClassKey
+from repro.hardware import TRANSCEIVER_CATALOG
+
+
+def test_down_does_not_mean_off(benchmark, all_device_models):
+    def plug_in_shares():
+        shares = []
+        for model in all_device_models.values():
+            for key, iface in model.interfaces.items():
+                if key.reach in ("LR4", "LR", "FR4", "SR"):
+                    total = iface.p_trx_total_w
+                    if total > 0.5:
+                        shares.append(iface.p_trx_in_w.value / total)
+        return shares
+
+    shares = benchmark(plug_in_shares)
+    print(f"\n§7 -- P_trx,in share of optical transceiver power: "
+          f"{100 * np.mean(shares):.0f} % on average "
+          f"({len(shares)} fitted optical classes)")
+    assert shares, "no optical classes were fitted"
+    assert np.mean(shares) > 0.7  # plug-in cost dominates
+
+
+def test_traffic_energy_cost_is_tiny(benchmark, campaign,
+                                     all_device_models):
+    """Forwarding the whole network's traffic costs ~0.02 % of power."""
+    def traffic_cost():
+        # The paper's §7 arithmetic: average 5 pJ/bit + 15 nJ/packet on
+        # high-speed ports, applied to the network's total traffic.
+        e_bit = units.pj_to_joules(5.0)
+        e_pkt = units.nj_to_joules(15.0)
+        total_bps = campaign.result.total_traffic_bps.mean() * 2
+        total_pps = units.packet_rate(total_bps, 700)
+        return e_bit * total_bps + e_pkt * total_pps
+
+    cost_w = benchmark(traffic_cost)
+    total_power = campaign.result.total_power.mean()
+    share = cost_w / total_power
+    print(f"\n  energy cost of all traffic: {cost_w:.1f} W "
+          f"= {100 * share:.3f} % of {total_power:.0f} W "
+          f"(paper: 5.9 W, 0.02 %)")
+    assert share < 0.005  # well under half a percent
+
+
+def test_paper_headline_arithmetic(benchmark):
+    """§7's worked example: 100 Gbps costs 0.6-3.4 W depending on size."""
+    def cost(packet_bytes):
+        # The paper's back-of-envelope uses p = r / (8 L) without wire
+        # overhead; match that convention here.
+        rate = units.gbps_to_bps(100)
+        return (units.pj_to_joules(5.0) * rate
+                + units.nj_to_joules(15.0) * units.packet_rate(
+                    rate, packet_bytes, header_bytes=0))
+
+    small = benchmark.pedantic(cost, args=(64,), rounds=10, iterations=10)
+    large = cost(1500)
+    print(f"\n  100 Gbps of 64 B packets : {small:.2f} W (paper: 3.4 W)")
+    print(f"  100 Gbps of 1500 B packets: {large:.2f} W (paper: 0.6 W)")
+    assert small == pytest.approx(3.4, abs=0.6)
+    assert large == pytest.approx(0.6, abs=0.2)
+
+
+def test_transceivers_draw_ten_percent(benchmark, campaign):
+    def transceiver_power():
+        total = 0.0
+        for router in campaign.network.routers.values():
+            for port in router.ports:
+                truth = port.class_truth()
+                if truth is not None:
+                    total += truth.p_trx_in_w
+                    if port.link_up:
+                        total += truth.p_trx_up_w
+        return total
+
+    trx_w = benchmark(transceiver_power)
+    network_w = campaign.result.total_power.mean()
+    share = trx_w / network_w
+    print(f"\n  total transceiver power: {trx_w:.0f} W "
+          f"= {100 * share:.1f} % of network power "
+          f"(paper: ≈2.2 kW, ≈10 %)")
+    assert 0.04 < share < 0.16
+
+
+def test_trx_power_independent_of_traffic(benchmark, all_device_models):
+    """Table 2 (b)'s evidence: E_bit matches across optical and passive
+    media on the same router, so transceiver power is load-independent."""
+    def nexus_e_bits():
+        model = all_device_models["Nexus9336-FX2"]
+        lr = model.interfaces[InterfaceClassKey("QSFP28", "LR", 100)]
+        dac = model.interfaces[
+            InterfaceClassKey("QSFP28", "Passive DAC", 100)]
+        return lr.e_bit_pj.value, dac.e_bit_pj.value
+
+    lr_ebit, dac_ebit = benchmark(nexus_e_bits)
+    print(f"\n  Nexus9336 E_bit: LR {lr_ebit:.1f} pJ vs DAC "
+          f"{dac_ebit:.1f} pJ (paper: 8 vs 8)")
+    assert lr_ebit == pytest.approx(dac_ebit, rel=0.35, abs=1.5)

@@ -1,0 +1,73 @@
+"""E4 -- Table 1: datasheet "typical" power vs measured median.
+
+For eight router models the paper compares the datasheet's typical power
+to the median of the SNMP power traces.  Most datasheets overestimate by
+20-40 %; the two Cisco 8000-series models *underestimate* (-24 %, -44 %).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasheets import datasheet_vs_measured
+from repro.hardware import TABLE1_DEVICES
+
+#: The paper's Table 1 overestimation column, for shape comparison.
+PAPER_TABLE1 = {
+    "NCS-55A1-24H": 0.40,
+    "ASR-920-24SZ-M": 0.33,
+    "NCS-55A1-24Q6H-SS": 0.28,
+    "NCS-55A1-48Q6H": 0.24,
+    "ASR-9001": 0.21,
+    "N540-24Z8Q2C-M": 0.20,
+    "8201-32FH": -0.24,
+    "8201-24H8FH": -0.44,
+}
+
+
+@pytest.fixture(scope="module")
+def measured_medians(campaign):
+    """Per-model median of the SNMP-reported power over the campaign."""
+    by_model = {}
+    for trace in campaign.result.snmp.values():
+        by_model.setdefault(trace.router_model, []).append(
+            trace.median_power_w())
+    return {model: float(np.nanmedian(medians))
+            for model, medians in by_model.items()
+            if model in TABLE1_DEVICES and np.isfinite(
+                np.nanmedian(medians))}
+
+
+def test_table1(benchmark, parsed, measured_medians):
+    rows = benchmark(datasheet_vs_measured, parsed, measured_medians)
+
+    print("\nTable 1 -- datasheet 'typical' vs measured median")
+    print(f"  {'model':22s} {'measured':>9s} {'typical':>9s} "
+          f"{'ours':>6s} {'paper':>6s}")
+    by_model = {}
+    for row in rows:
+        paper = PAPER_TABLE1.get(row.router_model, float('nan'))
+        print(f"  {row.router_model:22s} {row.measured_median_w:8.0f} W "
+              f"{row.datasheet_typical_w:8.0f} W "
+              f"{100 * row.relative_overestimate:+5.0f}% {100 * paper:+5.0f}%")
+        by_model[row.router_model] = row
+
+    # The N540X reports no power over SNMP, so at most 7 of the 8 models
+    # can appear (the paper's 8 all reported); everything measured must
+    # reproduce the sign and rough magnitude of the paper's column.
+    assert len(rows) >= 6
+    for model, row in by_model.items():
+        paper = PAPER_TABLE1[model]
+        assert np.sign(row.relative_overestimate) == np.sign(paper), model
+        assert row.relative_overestimate == pytest.approx(paper, abs=0.12), \
+            model
+
+
+def test_table1_cisco8000_surprise(benchmark, parsed, measured_medians):
+    rows = benchmark(datasheet_vs_measured, parsed, measured_medians)
+    under = [r for r in rows if not r.overestimates]
+    print(f"\n  underestimating datasheets: "
+          f"{[r.router_model for r in under]}")
+    # Exactly the Cisco 8000 series underestimates.
+    assert {r.router_model for r in under} \
+        <= {"8201-32FH", "8201-24H8FH"}
+    assert len(under) >= 1

@@ -1,0 +1,70 @@
+"""E11 -- Table 3: savings from better PSUs and PSU consolidation.
+
+Paper row 1 (more efficient PSUs): 2 % (Bronze) rising to 7 % (Titanium).
+Paper row 2 (only one PSU): 4 %.  Paper row 3 (both): 5 % to 9 %.
+The bench regenerates all three rows and asserts the regime and the
+orderings; absolute percentages land in the same bands.
+"""
+
+import pytest
+
+from repro.hardware import EightyPlus
+from repro.psu_opt import table3
+
+PAPER_UPGRADE = {"Bronze": 0.02, "Silver": 0.03, "Gold": 0.04,
+                 "Platinum": 0.05, "Titanium": 0.07}
+PAPER_COMBINED = {"Bronze": 0.05, "Silver": 0.06, "Gold": 0.07,
+                  "Platinum": 0.07, "Titanium": 0.09}
+
+
+def test_table3(benchmark, psu_points):
+    table = benchmark(table3, psu_points)
+
+    print("\nTable 3 -- PSU power-saving measures (ours vs paper)")
+    print(f"  {'measure':18s} " + " ".join(f"{s.value:>9s}"
+                                           for s in EightyPlus))
+    upgrade = table["upgrade"]
+    combined = table["combined"]
+    print("  upgrade           "
+          + " ".join(f"{100 * upgrade[s.value].fraction:8.1f}%"
+                     for s in EightyPlus))
+    print("  (paper)           "
+          + " ".join(f"{100 * PAPER_UPGRADE[s.value]:8.0f}%"
+                     for s in EightyPlus))
+    single = table["single_psu"]["Bronze"]
+    print(f"  single PSU        {100 * single.fraction:8.1f}%  "
+          f"(paper: 4 %)")
+    print("  combined          "
+          + " ".join(f"{100 * combined[s.value].fraction:8.1f}%"
+                     for s in EightyPlus))
+    print("  (paper)           "
+          + " ".join(f"{100 * PAPER_COMBINED[s.value]:8.0f}%"
+                     for s in EightyPlus))
+
+    # Row 1: monotone in the standard, single-digit percent regime,
+    # Titanium the largest.
+    fractions = [upgrade[s.value].fraction for s in EightyPlus]
+    assert fractions == sorted(fractions)
+    assert 0.0 <= fractions[0] < 0.05          # Bronze small
+    assert 0.01 < upgrade["Platinum"].fraction < 0.09
+    assert fractions[-1] < 0.13                # Titanium largest but sane
+
+    # Row 2: consolidation helps by mid single digits (paper: 4 %).
+    assert 0.02 < single.fraction < 0.15
+
+    # Row 3: combined beats each measure alone and stays monotone.
+    combined_fracs = [combined[s.value].fraction for s in EightyPlus]
+    assert combined_fracs == sorted(combined_fracs)
+    for std in EightyPlus:
+        assert combined[std.value].fraction >= \
+            upgrade[std.value].fraction - 1e-9
+        assert combined[std.value].fraction >= single.fraction - 1e-9
+
+
+def test_table3_watts_are_substantial(benchmark, psu_points):
+    table = benchmark(table3, psu_points)
+    titanium = table["combined"]["Titanium"]
+    print(f"\n  combined Titanium savings: {titanium.saved_w:.0f} W "
+          f"of {titanium.reference_w:.0f} W (paper: 1974 W of ~22 kW)")
+    # Hundreds to a couple thousand watts on a ~22 kW network.
+    assert 500 < titanium.saved_w < 6000

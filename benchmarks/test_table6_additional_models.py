@@ -1,0 +1,75 @@
+"""E6 -- Table 6: the four additional lab-modelled devices.
+
+Same round-trip as Table 2, for the Wedge 100BF-32X, the Nexus
+93108TC-FX3P, the Extreme VSP-4900, and the Catalyst 3560.
+"""
+
+import pytest
+
+from repro.core.model import InterfaceClassKey
+from repro.hardware import router_spec
+from repro.hardware.transceiver import TRANSCEIVER_CATALOG
+
+from conftest import DEVICE_SUITES
+from test_table2_power_models import assert_close, print_model_table, truth_for
+
+TABLE6_DEVICES = ("Wedge 100BF-32X", "Nexus 93108TC-FX3P", "VSP-4900",
+                  "Catalyst 3560")
+
+
+@pytest.mark.parametrize("device", TABLE6_DEVICES)
+def test_table6_device(benchmark, device, all_device_models):
+    model = benchmark(lambda: all_device_models[device])
+    print_model_table(device, model)
+
+    spec = router_spec(device)
+    assert model.p_base_w.value == pytest.approx(
+        spec.p_base_w, rel=0.08, abs=1.5)
+
+    for trx_name, speed in DEVICE_SUITES[device]:
+        truth, port_type = truth_for(device, trx_name, speed)
+        key = InterfaceClassKey(port_type.value,
+                                TRANSCEIVER_CATALOG[trx_name].reach.value,
+                                speed)
+        fitted = model.interfaces[key]
+        label = f"{device}/{key}"
+        assert_close(fitted.p_port_w.value, truth.p_port_w,
+                     0.35, 0.20, f"{label}.p_port")
+        assert_close(fitted.p_trx_in_w.value, truth.p_trx_in_w,
+                     0.35, 0.20, f"{label}.p_trx_in")
+        if speed >= 10:
+            assert_close(fitted.e_bit_pj.value, truth.e_bit_pj,
+                         0.3, 1.2, f"{label}.e_bit")
+            assert_close(fitted.e_pkt_nj.value, truth.e_pkt_nj,
+                         0.3, 4.0, f"{label}.e_pkt")
+
+
+def test_table6_catalyst_per_packet_cost(benchmark, all_device_models):
+    """The Catalyst 3560's enormous E_pkt (193 nJ) must survive the
+    round-trip: at 100 Mbps its power is packet-dominated."""
+    model = benchmark(lambda: all_device_models["Catalyst 3560"])
+    fitted = model.interfaces[InterfaceClassKey("RJ45", "T", 0.1)]
+    print(f"\n  Catalyst 3560 E_pkt: {fitted.e_pkt_nj.value:.0f} nJ "
+          f"(truth 193.1)")
+    assert fitted.e_pkt_nj.value == pytest.approx(193.1, rel=0.3)
+    # Per-packet energy dwarfs per-bit energy at 64 B packets.
+    per_packet_bits = 8 * (64 + 38)
+    assert fitted.e_pkt_nj.value * 1e-9 \
+        > 5 * fitted.e_bit_pj.value * 1e-12 * per_packet_bits
+
+
+def test_table6_wedge_energy_efficiency_ordering(benchmark,
+                                                 all_device_models):
+    """The Tofino-based Wedge forwards bits far more efficiently than
+    the older NCS platform (1.7 vs 22 pJ/bit at 100G)."""
+    def e_bits():
+        wedge = all_device_models["Wedge 100BF-32X"]
+        ncs = all_device_models["NCS-55A1-24H"]
+        key = InterfaceClassKey("QSFP28", "Passive DAC", 100)
+        return (wedge.interfaces[key].e_bit_pj.value,
+                ncs.interfaces[key].e_bit_pj.value)
+
+    wedge_ebit, ncs_ebit = benchmark(e_bits)
+    print(f"\n  E_bit at 100G DAC: Wedge {wedge_ebit:.1f} pJ "
+          f"vs NCS {ncs_ebit:.1f} pJ")
+    assert wedge_ebit < 0.3 * ncs_ebit

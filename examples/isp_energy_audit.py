@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Energy audit of a Tier-2 ISP: the paper's §7 + §9 pipeline.
+
+Builds the 107-router Switch-like network, runs a monitored week, and
+produces the audit an operator would want:
+
+* where the power goes (base systems vs transceivers vs traffic);
+* how (in)efficient the PSU population is (Fig. 6);
+* what the §9 measures would save (Table 3 / Table 4 style).
+
+Run:  python examples/isp_energy_audit.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.hardware import EightyPlus
+from repro.network import (
+    FleetTrafficModel,
+    NetworkSimulation,
+    build_switch_like_network,
+)
+from repro.psu_opt import (
+    clean_exports,
+    efficiency_scatter,
+    resize_savings,
+    single_psu_savings,
+    upgrade_savings,
+)
+
+
+def main():
+    rng = np.random.default_rng(7)
+
+    print("Building the Switch-like fleet (107 routers) ...")
+    network = build_switch_like_network(rng=rng)
+    traffic = FleetTrafficModel(network, rng=np.random.default_rng(8))
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(9))
+
+    print("Simulating one monitored week ...")
+    result = sim.run(duration_s=units.days(7), step_s=1800)
+
+    total_w = result.total_power.mean()
+    traffic_tbps = units.bps_to_tbps(result.total_traffic_bps.mean())
+    print(f"\n=== Network totals =====================================")
+    print(f"  total power    : {total_w:,.0f} W")
+    print(f"  total traffic  : {traffic_tbps:.2f} Tbps "
+          f"({100 * result.total_traffic_bps.mean() / network.total_capacity_bps():.1f} % of capacity)")
+
+    # --- where the power goes -------------------------------------------
+    base_w = sum(r.spec.p_base_w for r in network.routers.values()
+                 if r.powered)
+    trx_w = 0.0
+    for router in network.routers.values():
+        for port in router.ports:
+            truth = port.class_truth()
+            if truth is not None:
+                trx_w += truth.p_trx_in_w
+                if port.link_up:
+                    trx_w += truth.p_trx_up_w
+    print(f"\n=== Power breakdown ====================================")
+    print(f"  base systems   : {base_w:8,.0f} W "
+          f"({100 * base_w / total_w:.0f} %)")
+    print(f"  transceivers   : {trx_w:8,.0f} W "
+          f"({100 * trx_w / total_w:.0f} %)   <- the paper's ≈10 %")
+    print(f"  everything else: conversion losses, ports, traffic")
+
+    # --- PSU efficiency audit (§9) ----------------------------------------
+    points = clean_exports(result.sensor_exports)
+    loads, effs = efficiency_scatter(points)
+    print(f"\n=== PSU population ({len(points)} supplies) =============")
+    print(f"  loads        : {loads.min():.0f}-{loads.max():.0f} % "
+          f"(mean {loads.mean():.0f} %) -- everything runs oversupplied")
+    print(f"  efficiencies : {effs.min():.0%} to {effs.max():.0%} "
+          f"(mean {effs.mean():.0%})")
+
+    print(f"\n=== What would the §9 measures save? ====================")
+    for std in EightyPlus:
+        saving = upgrade_savings(points, std)
+        print(f"  all PSUs >= {std.value:9s}: "
+              f"{100 * saving.fraction:4.1f} %  ({saving.saved_w:6,.0f} W)")
+    single = single_psu_savings(points)
+    print(f"  one PSU per router  : {100 * single.fraction:4.1f} %  "
+          f"({single.saved_w:6,.0f} W)")
+    resize = resize_savings(points, k=2.0, min_capacity_w=250)
+    print(f"  right-size (k=2)    : {100 * resize.fraction:4.1f} %  "
+          f"({resize.saved_w:6,.0f} W)")
+    print("\nTakeaway: conversion losses, not traffic, are where the "
+          "recoverable joules hide.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: derive a router power model and predict deployed power.
+
+This walks the paper's core loop in ~60 lines of user code:
+
+1. put a router on the virtual lab bench (NetPowerBench, §5);
+2. run the Base / Idle / Port / Trx / Snake experiment protocol;
+3. fit the §4 power model from the measurements;
+4. use the model to predict the power of a deployment scenario.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ExperimentPlan,
+    InterfaceState,
+    Orchestrator,
+    VirtualRouter,
+    derive_power_model,
+    router_spec,
+)
+from repro.core.model import InterfaceClassKey
+
+
+def main():
+    rng = np.random.default_rng(42)
+
+    # --- 1. the device under test --------------------------------------
+    dut = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng)
+    print(f"DUT: {dut.model_name} with {len(dut.ports)} ports")
+    print(f"Wall power, unconfigured: {dut.wall_power_w():.1f} W\n")
+
+    # --- 2. the §5.2 experiment protocol --------------------------------
+    orchestrator = Orchestrator(dut, rng=rng)
+    plan = ExperimentPlan(
+        trx_name="QSFP28-100G-DAC",          # the interface class to model
+        n_pairs_values=(1, 2, 4, 6, 8, 10),  # port counts for regressions
+        rates_gbps=(2.5, 10, 25, 50, 100),   # snake-test bit rates
+        packet_sizes=(64, 256, 1024, 1500),  # snake-test payload sizes
+    )
+    print("Running Base / Idle / Port / Trx / Snake experiments ...")
+    suite = orchestrator.run_suite(plan)
+    print(f"  collected {len(suite.frames)} measurement frames\n")
+
+    # --- 3. fit the power model -----------------------------------------
+    model, reports = derive_power_model([suite])
+    iface = next(iter(model.interfaces.values()))
+    print("Fitted power model (paper's Table 2 (a) row for comparison):")
+    print(f"  P_base    = {model.p_base_w.value:7.1f} W   (paper: 320)")
+    print(f"  P_port    = {iface.p_port_w.value:7.2f} W   (paper: 0.32)")
+    print(f"  P_trx,in  = {iface.p_trx_in_w.value:7.2f} W   (paper: 0.02)")
+    print(f"  P_trx,up  = {iface.p_trx_up_w.value:7.2f} W   (paper: 0.19)")
+    print(f"  E_bit     = {iface.e_bit_pj.value:7.1f} pJ  (paper: 22)")
+    print(f"  E_pkt     = {iface.e_pkt_nj.value:7.1f} nJ  (paper: 58)")
+    print(f"  P_offset  = {iface.p_offset_w.value:7.2f} W   (paper: 0.37)\n")
+
+    # --- 4. predict a deployment scenario --------------------------------
+    key = InterfaceClassKey("QSFP28", "Passive DAC", 100)
+    scenario = [
+        # ten interfaces up, each carrying 8 Gbps of ~700 B packets
+        InterfaceState(key=key, bps=8e9, pps=8e9 / (8 * 738))
+        for _ in range(10)
+    ]
+    predicted = model.predict_power_w(scenario)
+    print(f"Predicted power with 10 loaded 100G interfaces: "
+          f"{predicted:.1f} W")
+    print(f"  static  : {model.static_power_w(scenario):.1f} W")
+    print(f"  dynamic : {model.dynamic_power_w(scenario):.1f} W "
+          f"(traffic is cheap -- the paper's §7 point)")
+
+
+if __name__ == "__main__":
+    main()

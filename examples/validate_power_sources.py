@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Validating power data sources (§6): PSU vs Autopower vs model.
+
+Deploys Autopower measurement units on three routers of different models
+in a small production network, runs a monitored week, then compares for
+each device (i) the router's own PSU telemetry and (ii) the lab-derived
+model prediction against the external ground truth -- the paper's Fig. 4
+experiment end to end.
+
+Run:  python examples/validate_power_sources.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.core import derive_power_model
+from repro.hardware import VirtualRouter, router_spec
+from repro.lab import ExperimentPlan, Orchestrator
+from repro.network import (
+    DeployAutopower,
+    FleetConfig,
+    FleetTrafficModel,
+    NetworkSimulation,
+    build_switch_like_network,
+)
+from repro.validation import validate_router
+
+
+def derive_lab_model(device, trx_names, seed):
+    """Characterise one router model in the lab for the given modules."""
+    rng = np.random.default_rng(seed)
+    dut = VirtualRouter(router_spec(device), rng=rng, noise_std_w=0.2)
+    orchestrator = Orchestrator(dut, rng=rng)
+    suites = [
+        orchestrator.run_suite(ExperimentPlan(
+            trx_name=trx, n_pairs_values=(1, 2, 4, 6),
+            rates_gbps=(2.5, 10, 25, 50), packet_sizes=(256, 1500),
+            snake_n_pairs=3, measure_duration_s=20, settle_time_s=2))
+        for trx in trx_names
+    ]
+    model, _ = derive_power_model(suites)
+    return model
+
+
+def main():
+    config = FleetConfig(
+        model_counts=(("8201-32FH", 2), ("NCS-55A1-24H", 3),
+                      ("NCS-55A1-24Q6H-SS", 3), ("ASR-920-24SZ-M", 6)),
+        n_regional_pops=3, core_core_links=2)
+    network = build_switch_like_network(config,
+                                        rng=np.random.default_rng(31))
+    targets = {
+        "8201-32FH": next(h for h in sorted(network.routers)
+                          if network.routers[h].model_name == "8201-32FH"),
+        "NCS-55A1-24H": next(h for h in sorted(network.routers)
+                             if network.routers[h].model_name
+                             == "NCS-55A1-24H"),
+    }
+
+    print("Simulating a monitored week (Autopower deployed on day 1) ...")
+    traffic = FleetTrafficModel(network, rng=np.random.default_rng(32),
+                                mean_external_utilisation=0.05,
+                                internal_utilisation_scale=6.0)
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(33))
+    result = sim.run(
+        duration_s=units.days(7), step_s=900,
+        events=[DeployAutopower(at_s=units.days(1), hostname=h)
+                for h in targets.values()],
+        detailed_hosts=sorted(targets.values()))
+
+    print("Deriving lab models for the two platforms ...\n")
+    models = {
+        "8201-32FH": derive_lab_model(
+            "8201-32FH",
+            ("QSFP-DD-400G-FR4", "QSFP-DD-400G-LR4", "QSFP-DD-400G-DAC",
+             "QSFP28-100G-LR4"), seed=501),
+        "NCS-55A1-24H": derive_lab_model(
+            "NCS-55A1-24H",
+            ("QSFP28-100G-DAC", "QSFP28-100G-LR4", "QSFP28-100G-SR4"),
+            seed=502),
+    }
+
+    print(f"{'router':14s} {'model':16s} {'PSU telemetry':30s} "
+          f"{'model prediction':30s}")
+    print("-" * 92)
+    for model_name, hostname in targets.items():
+        report = validate_router(
+            hostname=hostname, trace=result.snmp[hostname],
+            autopower=result.autopower[hostname],
+            model=models[model_name])
+        psu = report.psu_verdict().value
+        if report.psu_stats is not None:
+            psu += f" ({report.psu_stats.offset_w:+.0f} W)"
+        model_str = (f"{report.model_verdict().value} "
+                     f"({report.model_stats.offset_w:+.0f} W)")
+        print(f"{hostname:14s} {model_name:16s} {psu:30s} {model_str:30s}")
+
+    print("\nReading: the model's *shape* is right everywhere (precise); "
+          "the constant\noffset comes from PSU-instance differences and "
+          "spare modules the inventory\nhides -- exactly the paper's Q2/Q3 "
+          "answer.")
+
+
+if __name__ == "__main__":
+    main()

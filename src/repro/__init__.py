@@ -1,0 +1,132 @@
+"""repro -- a reproduction of "Fantastic Joules and Where to Find Them"
+(Jacob et al., IMC 2025): modeling and optimizing router energy demand.
+
+The library is organised by the paper's structure:
+
+================  ===========================================================
+``repro.core``    the router power model, its derivation, and prediction (§4-§5)
+``repro.lab``     NetPowerBench: meter, traffic generator, orchestrator (§5)
+``repro.hardware``  simulated routers, transceivers, and PSUs (ground truth)
+``repro.datasheets``  datasheet corpus, extraction, and analyses (§3)
+``repro.network``  the synthetic Switch-like Tier-2 ISP fleet
+``repro.telemetry``  SNMP collection and Autopower external measurement (§6)
+``repro.validation``  three-way source comparison (§6.2)
+``repro.sleep``   Hypnos link sleeping and its savings (§8)
+``repro.psu_opt``  PSU efficiency optimisation estimates (§9)
+``repro.zoo``     the Network Power Zoo aggregation database
+``repro.units``   units, conversions, and shared constants
+================  ===========================================================
+
+Quickstart: derive a power model for a router in the virtual lab::
+
+    import numpy as np
+    from repro import (VirtualRouter, router_spec, Orchestrator,
+                       ExperimentPlan, derive_power_model)
+
+    rng = np.random.default_rng(42)
+    dut = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng)
+    suite = Orchestrator(dut, rng=rng).run_suite(
+        ExperimentPlan(trx_name="QSFP28-100G-DAC"))
+    model, reports = derive_power_model([suite])
+    print(model.p_base_w.value)  # ~320 W
+"""
+
+from repro.core import (
+    DeployedInterface,
+    FittedValue,
+    InterfaceClassKey,
+    InterfaceModel,
+    InterfaceState,
+    LinearFit,
+    PowerModel,
+    derive_power_model,
+    linear_fit,
+    predict_trace,
+)
+from repro.hardware import (
+    EightyPlus,
+    PortType,
+    Reach,
+    ROUTER_CATALOG,
+    TRANSCEIVER_CATALOG,
+    VirtualRouter,
+    connect,
+    router_spec,
+    transceiver,
+)
+from repro.lab import (
+    ExperimentPlan,
+    ExperimentSuite,
+    Orchestrator,
+    PowerMeter,
+    TrafficGenerator,
+)
+from repro.network import (
+    FleetConfig,
+    FleetTrafficModel,
+    ISPNetwork,
+    NetworkSimulation,
+    build_switch_like_network,
+)
+from repro.sleep import Hypnos, HypnosConfig, plan_rate_adaptation, plan_savings
+from repro.psu_opt import clean_exports, table3, table4
+from repro.validation import ValidationSummary, validate_router
+from repro.zoo import NetworkPowerZoo
+from repro.hardware import ModularRouter, chassis_spec, linecard_spec
+from repro.telemetry import GreenCollector
+from repro.datasets import CampaignDataset, load_campaign, save_campaign
+from repro.reporting import energy_report, savings_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeployedInterface",
+    "FittedValue",
+    "InterfaceClassKey",
+    "InterfaceModel",
+    "InterfaceState",
+    "LinearFit",
+    "PowerModel",
+    "derive_power_model",
+    "linear_fit",
+    "predict_trace",
+    "EightyPlus",
+    "PortType",
+    "Reach",
+    "ROUTER_CATALOG",
+    "TRANSCEIVER_CATALOG",
+    "VirtualRouter",
+    "connect",
+    "router_spec",
+    "transceiver",
+    "ExperimentPlan",
+    "ExperimentSuite",
+    "Orchestrator",
+    "PowerMeter",
+    "TrafficGenerator",
+    "FleetConfig",
+    "FleetTrafficModel",
+    "ISPNetwork",
+    "NetworkSimulation",
+    "build_switch_like_network",
+    "Hypnos",
+    "HypnosConfig",
+    "plan_rate_adaptation",
+    "plan_savings",
+    "clean_exports",
+    "table3",
+    "table4",
+    "ValidationSummary",
+    "validate_router",
+    "NetworkPowerZoo",
+    "ModularRouter",
+    "chassis_spec",
+    "linecard_spec",
+    "GreenCollector",
+    "CampaignDataset",
+    "load_campaign",
+    "save_campaign",
+    "energy_report",
+    "savings_report",
+    "__version__",
+]

@@ -1,0 +1,372 @@
+"""``netpower`` -- the command-line face of the toolchain.
+
+Mirrors how the paper's released artifacts are used from a shell:
+
+* ``netpower derive``      -- NetPowerBench: characterise a device, emit
+  its power model as JSON (the Zoo record format);
+* ``netpower audit``       -- simulate the fleet briefly and print the
+  §7/§9 energy audit;
+* ``netpower sleep-study`` -- the §8 Hypnos savings analysis;
+* ``netpower datasheets``  -- run the §3 corpus/extraction pipeline and
+  print the trend and Table 1 statistics;
+* ``netpower zoo``         -- derive every catalog device and export a
+  Network Power Zoo JSON document.
+
+Every command takes ``--seed`` and is deterministic given it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="netpower",
+        description="Router power modeling and optimisation "
+                    "(IMC'25 reproduction)")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=7,
+                        help="root RNG seed (default: 7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    derive = sub.add_parser(
+        "derive", parents=[common],
+        help="derive a power model on the virtual lab bench")
+    derive.add_argument("device", help="router model, e.g. NCS-55A1-24H")
+    derive.add_argument("transceiver", nargs="+",
+                        help="module product(s), e.g. QSFP28-100G-DAC")
+    derive.add_argument("--output", "-o", default=None,
+                        help="write the model JSON here (default: stdout)")
+    derive.add_argument("--quick", action="store_true",
+                        help="short measurements (coarser fits)")
+
+    audit = sub.add_parser("audit", parents=[common],
+                           help="fleet energy audit (§7/§9)")
+    audit.add_argument("--days", type=float, default=2.0,
+                       help="simulated days (default: 2)")
+
+    sleep = sub.add_parser("sleep-study", parents=[common],
+                           help="Hypnos link-sleeping savings (§8)")
+    sleep.add_argument("--days", type=float, default=7.0,
+                       help="planned days (default: 7)")
+    sleep.add_argument("--max-utilisation", type=float, default=0.5,
+                       help="post-rerouting cap (default: 0.5)")
+
+    sheets = sub.add_parser("datasheets", parents=[common],
+                            help="datasheet corpus & extraction (§3)")
+    sheets.add_argument("--models", type=int, default=777,
+                        help="corpus size (default: 777)")
+
+    zoo = sub.add_parser("zoo", parents=[common],
+                         help="export a Network Power Zoo document")
+    zoo.add_argument("--output", "-o", default=None,
+                     help="write the Zoo JSON here (default: stdout)")
+    zoo.add_argument("--contributor", default="netpower-cli")
+
+    validate = sub.add_parser(
+        "validate", parents=[common],
+        help="the §6 three-way validation on a small deployment")
+    validate.add_argument("--days", type=float, default=3.0,
+                          help="monitored days (default: 3)")
+
+    rate = sub.add_parser(
+        "rate-study", parents=[common],
+        help="rate-adaptation savings (the sleeping alternative)")
+    rate.add_argument("--headroom", type=float, default=4.0,
+                      help="capacity headroom over peak load (default: 4)")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_derive(args) -> int:
+    from repro.core import derive_power_model
+    from repro.hardware import VirtualRouter, router_spec
+    from repro.lab import ExperimentPlan, Orchestrator
+
+    rng = np.random.default_rng(args.seed)
+    try:
+        spec = router_spec(args.device)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    dut = VirtualRouter(spec, rng=rng, noise_std_w=0.2)
+    orchestrator = Orchestrator(dut, rng=rng)
+    if args.quick:
+        extra = dict(n_pairs_values=(1, 2, 4), rates_gbps=(10, 50, 100),
+                     packet_sizes=(256, 1500), measure_duration_s=10,
+                     settle_time_s=1)
+    else:
+        extra = {}
+    suites = []
+    for trx in args.transceiver:
+        try:
+            plan = ExperimentPlan(trx_name=trx, **extra)
+            suites.append(orchestrator.run_suite(plan))
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    model, reports = derive_power_model(suites)
+    document = json.dumps(model.to_dict(), indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    for key, report in reports.items():
+        for warning in report.warnings:
+            print(f"warning [{key}]: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro import units
+    from repro.hardware import EightyPlus
+    from repro.network import (FleetTrafficModel, NetworkSimulation,
+                               build_switch_like_network)
+    from repro.psu_opt import (clean_exports, single_psu_savings,
+                               upgrade_savings)
+
+    rng = np.random.default_rng(args.seed)
+    network = build_switch_like_network(rng=rng)
+    traffic = FleetTrafficModel(
+        network, rng=np.random.default_rng(args.seed + 1))
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(args.seed + 2))
+    result = sim.run(duration_s=units.days(args.days), step_s=1800)
+    total = result.total_power.mean()
+    print(f"routers            : {len(network.routers)}")
+    print(f"mean total power   : {total:,.0f} W")
+    print(f"mean total traffic : "
+          f"{units.bps_to_tbps(result.total_traffic_bps.mean()):.2f} Tbps")
+    points = clean_exports(result.sensor_exports)
+    for std in (EightyPlus.BRONZE, EightyPlus.PLATINUM,
+                EightyPlus.TITANIUM):
+        saving = upgrade_savings(points, std)
+        print(f"upgrade >= {std.value:9s}: {100 * saving.fraction:5.1f} % "
+              f"({saving.saved_w:6,.0f} W)")
+    single = single_psu_savings(points)
+    print(f"single PSU          : {100 * single.fraction:5.1f} % "
+          f"({single.saved_w:6,.0f} W)")
+    return 0
+
+
+def _cmd_sleep_study(args) -> int:
+    from repro import units
+    from repro.network import FleetTrafficModel, build_switch_like_network
+    from repro.sleep import Hypnos, HypnosConfig, plan_savings
+
+    rng = np.random.default_rng(args.seed)
+    network = build_switch_like_network(rng=rng)
+    traffic = FleetTrafficModel(network,
+                                rng=np.random.default_rng(args.seed + 1),
+                                n_demands=800)
+    hypnos = Hypnos(network, traffic.matrix,
+                    HypnosConfig(max_utilisation=args.max_utilisation))
+    plan = hypnos.plan(0, units.days(args.days))
+    reference = network.total_wall_power_w()
+    estimate = plan_savings(network, plan, reference)
+    sleeping = plan.ever_sleeping()
+    print(f"internal links     : {len(network.internal_links())}")
+    print(f"ever asleep        : {len(sleeping)}")
+    print(f"estimated savings  : {estimate}")
+    return 0
+
+
+def _cmd_datasheets(args) -> int:
+    from repro.datasheets import (build_corpus, datasheet_vs_measured,
+                                  efficiency_trend, measure_accuracy,
+                                  parse_corpus, trend_fit)
+    from repro.hardware import TABLE1_MEASURED_MEDIAN_W
+
+    rng = np.random.default_rng(args.seed)
+    corpus = build_corpus(args.models, rng)
+    parsed = parse_corpus(corpus)
+    accuracy = measure_accuracy(corpus, parsed)
+    print(f"corpus             : {len(corpus)} datasheets")
+    print(f"extraction accuracy: typical {100 * accuracy.typical_rate:.0f} %, "
+          f"max {100 * accuracy.max_rate:.0f} %, "
+          f"bandwidth {100 * accuracy.bandwidth_rate:.0f} %")
+    years = {m: d.truth.release_year
+             for m, d in corpus.documents.items() if d.truth.release_year}
+    points = efficiency_trend(parsed, release_years=years)
+    if len(points) >= 2:
+        fit = trend_fit(points)
+        print(f"efficiency trend   : {fit.slope:+.2f} W/100G/yr "
+              f"over {len(points)} routers (r^2 = {fit.r_squared:.2f})")
+    rows = datasheet_vs_measured(parsed, TABLE1_MEASURED_MEDIAN_W)
+    for row in rows:
+        print(f"  {row.router_model:22s} typical "
+              f"{row.datasheet_typical_w:5.0f} W vs measured "
+              f"{row.measured_median_w:5.0f} W "
+              f"({100 * row.relative_overestimate:+.0f} %)")
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    from repro.core import derive_power_model
+    from repro.hardware import MODELLED_DEVICES, VirtualRouter, router_spec
+    from repro.lab import ExperimentPlan, Orchestrator
+    from repro.zoo import NetworkPowerZoo, PowerModelRecord, Provenance
+
+    zoo = NetworkPowerZoo()
+    provenance = Provenance(contributor=args.contributor,
+                            method="lab-measurement")
+    default_trx = {
+        "NCS-55A1-24H": "QSFP28-100G-DAC",
+        "Nexus9336-FX2": "QSFP28-100G-DAC",
+        "8201-32FH": "QSFP-100G-DAC",
+        "N540X-8Z16G-SYS-A": "SFP-1G-T",
+        "Wedge 100BF-32X": "QSFP28-100G-DAC",
+        "Nexus 93108TC-FX3P": "QSFP28-100G-DAC",
+        "VSP-4900": "SFP+-10G-T",
+        "Catalyst 3560": "RJ45-100M-T",
+    }
+    for i, device in enumerate(MODELLED_DEVICES):
+        rng = np.random.default_rng(args.seed + i)
+        dut = VirtualRouter(router_spec(device), rng=rng, noise_std_w=0.2)
+        orchestrator = Orchestrator(dut, rng=rng)
+        from repro.hardware import TRANSCEIVER_CATALOG
+        speed = TRANSCEIVER_CATALOG[default_trx[device]].speed_gbps
+        plan = ExperimentPlan(
+            trx_name=default_trx[device],
+            n_pairs_values=(1, 2, 4),
+            rates_gbps=tuple(round(f * min(speed, 100), 3)
+                             for f in (0.2, 0.5, 0.95)),
+            packet_sizes=(256, 1500),
+            measure_duration_s=10, settle_time_s=1)
+        model, _ = derive_power_model([orchestrator.run_suite(plan)])
+        zoo.add(PowerModelRecord(vendor=router_spec(device).vendor,
+                                 model=device, power_model=model,
+                                 provenance=provenance))
+        print(f"derived {device}", file=sys.stderr)
+    document = zoo.to_json()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro import units
+    from repro.core import derive_power_model
+    from repro.hardware import VirtualRouter, router_spec
+    from repro.lab import ExperimentPlan, Orchestrator
+    from repro.network import (DeployAutopower, FleetConfig,
+                               FleetTrafficModel, NetworkSimulation,
+                               build_switch_like_network)
+    from repro.validation import ValidationSummary, validate_router
+
+    config = FleetConfig(
+        model_counts=(("8201-32FH", 2), ("NCS-55A1-24H", 3),
+                      ("NCS-55A1-24Q6H-SS", 3), ("ASR-920-24SZ-M", 6)),
+        n_regional_pops=3, core_core_links=2)
+    network = build_switch_like_network(
+        config, rng=np.random.default_rng(args.seed))
+    targets = {}
+    for model_name in ("8201-32FH", "NCS-55A1-24H"):
+        targets[model_name] = next(
+            h for h in sorted(network.routers)
+            if network.routers[h].model_name == model_name)
+    traffic = FleetTrafficModel(
+        network, rng=np.random.default_rng(args.seed + 1),
+        mean_external_utilisation=0.05, internal_utilisation_scale=6.0)
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(args.seed + 2))
+    result = sim.run(
+        duration_s=units.days(args.days), step_s=900,
+        events=[DeployAutopower(at_s=units.hours(6), hostname=h)
+                for h in targets.values()],
+        detailed_hosts=sorted(targets.values()))
+
+    def lab_model(device, trx_names, seed):
+        rng = np.random.default_rng(seed)
+        dut = VirtualRouter(router_spec(device), rng=rng, noise_std_w=0.2)
+        orchestrator = Orchestrator(dut, rng=rng)
+        suites = [orchestrator.run_suite(ExperimentPlan(
+            trx_name=trx, n_pairs_values=(1, 2, 4),
+            rates_gbps=(10, 50, 100), packet_sizes=(256, 1500),
+            measure_duration_s=10, settle_time_s=1))
+            for trx in trx_names]
+        model, _ = derive_power_model(suites)
+        return model
+
+    models = {
+        "8201-32FH": lab_model(
+            "8201-32FH", ("QSFP-DD-400G-FR4", "QSFP-DD-400G-LR4",
+                          "QSFP-DD-400G-DAC", "QSFP28-100G-LR4"),
+            args.seed + 10),
+        "NCS-55A1-24H": lab_model(
+            "NCS-55A1-24H", ("QSFP28-100G-DAC", "QSFP28-100G-LR4",
+                             "QSFP28-100G-SR4"), args.seed + 11),
+    }
+    reports = {
+        hostname: validate_router(
+            hostname=hostname, trace=result.snmp[hostname],
+            autopower=result.autopower[hostname],
+            model=models[model_name])
+        for model_name, hostname in targets.items()
+    }
+    print(ValidationSummary.from_reports(reports).to_text())
+    return 0
+
+
+def _cmd_rate_study(args) -> int:
+    from repro.network import FleetTrafficModel, build_switch_like_network
+    from repro.sleep import plan_rate_adaptation
+
+    network = build_switch_like_network(
+        rng=np.random.default_rng(args.seed))
+    traffic = FleetTrafficModel(
+        network, rng=np.random.default_rng(args.seed + 1), n_demands=800)
+    plan = plan_rate_adaptation(network, traffic.matrix,
+                                headroom=args.headroom)
+    reference = network.total_wall_power_w()
+    downgraded = plan.downgraded()
+    print(f"internal links      : {len(network.internal_links())}")
+    print(f"links clocked down  : {len(downgraded)}")
+    print(f"estimated savings   : {plan.total_saving_w:.0f} W "
+          f"({100 * plan.total_saving_w / reference:.2f} % of "
+          f"{reference:,.0f} W)")
+    for decision in downgraded[:10]:
+        print(f"  link {decision.link_id:4d}: "
+              f"{decision.old_speed_gbps:g}G -> "
+              f"{decision.new_speed_gbps:g}G  "
+              f"(-{decision.saving_w:.2f} W)")
+    if len(downgraded) > 10:
+        print(f"  ... and {len(downgraded) - 10} more")
+    return 0
+
+
+_COMMANDS = {
+    "derive": _cmd_derive,
+    "audit": _cmd_audit,
+    "sleep-study": _cmd_sleep_study,
+    "datasheets": _cmd_datasheets,
+    "zoo": _cmd_zoo,
+    "validate": _cmd_validate,
+    "rate-study": _cmd_rate_study,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the router power model (§4-§5).
+
+* :mod:`repro.core.model` -- the model itself (Eqs. 1-6), serialisable;
+* :mod:`repro.core.regression` -- the OLS toolkit with diagnostics;
+* :mod:`repro.core.derivation` -- the §5.2 regression chain that fits a
+  model from NetPowerBench measurement suites;
+* :mod:`repro.core.prediction` -- deployment predictions from a model,
+  an inventory, and traffic counters (§6.2).
+"""
+
+from repro.core.model import (
+    FittedValue,
+    fitted,
+    InterfaceClassKey,
+    InterfaceModel,
+    InterfaceState,
+    PowerModel,
+)
+from repro.core.regression import LinearFit, linear_fit, fit_through_points
+from repro.core.derivation import (
+    ClassDerivationReport,
+    DerivationError,
+    derive_base,
+    derive_class,
+    derive_power_model,
+)
+from repro.core.prediction import (
+    DeployedInterface,
+    predict_trace,
+    predict_instant,
+    transceiver_power_w,
+)
+
+__all__ = [
+    "FittedValue",
+    "fitted",
+    "InterfaceClassKey",
+    "InterfaceModel",
+    "InterfaceState",
+    "PowerModel",
+    "LinearFit",
+    "linear_fit",
+    "fit_through_points",
+    "ClassDerivationReport",
+    "DerivationError",
+    "derive_base",
+    "derive_class",
+    "derive_power_model",
+    "DeployedInterface",
+    "predict_trace",
+    "predict_instant",
+    "transceiver_power_w",
+]

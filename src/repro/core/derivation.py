@@ -1,0 +1,257 @@
+"""Derivation of power-model parameters from lab measurements (§5.2).
+
+Given the measurement frames of a Base / Idle / Port / Trx / Snake suite,
+this module runs the paper's regression chain:
+
+1. ``P_base``    -- mean of the Base frames (Eq. 7);
+2. ``P_trx,in``  -- half the slope of ``P_Idle`` over the pair count ``N``
+   (Eq. 8: 2N modules are plugged);
+3. ``P_port``    -- slope of ``P_Port`` over ``N`` (Eq. 9: one port per
+   pair is admin-up, so N ports);
+4. ``P_trx,up``  -- from the slope of ``P_Trx`` over ``N``.  With both
+   ports of each pair up, the slope is ``2 (P_port + P_trx,up)``; the
+   paper's Eq. (10) writes the per-pair count, we make the factor of two
+   explicit;
+5. ``E_bit``/``E_pkt`` -- the two-stage regression of Eqs. (12)-(17): per
+   payload size ``L`` fit power over bit rate to get ``alpha_L``, then fit
+   ``alpha_L * 8 (L + L_header)`` over ``8 (L + L_header)``; the slope is
+   ``E_bit`` and the intercept ``E_pkt``;
+6. ``P_offset``  -- Eq. (18): the zero-rate intercept of the snake
+   regressions minus the static ``P_Trx`` level, per interface.
+
+The paper's stated reason for regressing over ``N`` instead of dividing a
+single measurement -- validating linearity and avoiding error accumulation
+-- is preserved: every step reports its fit diagnostics so callers can see
+*whether* the linear behaviour held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.core.model import (
+    FittedValue,
+    InterfaceClassKey,
+    InterfaceModel,
+    PowerModel,
+)
+from repro.core.regression import LinearFit, linear_fit
+from repro.lab.orchestrator import ExperimentSuite, MeasurementFrame
+
+
+@dataclass
+class ClassDerivationReport:
+    """Diagnostics of one interface class derivation."""
+
+    key: InterfaceClassKey
+    base_w: FittedValue
+    idle_fit: Optional[LinearFit] = None
+    port_fit: Optional[LinearFit] = None
+    trx_fit: Optional[LinearFit] = None
+    #: Per payload size: the power-over-rate fit of Eq. (15).
+    snake_fits: Dict[float, LinearFit] = field(default_factory=dict)
+    #: The (x, y) points of the Eq. (17) regression.
+    alpha_points: List[Tuple[float, float]] = field(default_factory=list)
+    energy_fit: Optional[LinearFit] = None
+    warnings: List[str] = field(default_factory=list)
+
+    def warn(self, message: str) -> None:
+        """Record a methodology warning (kept, never printed)."""
+        self.warnings.append(message)
+
+
+class DerivationError(ValueError):
+    """The suite lacks the frames required for a derivation step."""
+
+
+def _points(frames: Sequence[MeasurementFrame]) -> Tuple[np.ndarray, np.ndarray]:
+    x = np.array([f.n_pairs for f in frames], dtype=float)
+    y = np.array([f.summary.mean_w for f in frames], dtype=float)
+    return x, y
+
+
+def _class_key(suite: ExperimentSuite) -> InterfaceClassKey:
+    from repro.hardware.transceiver import TRANSCEIVER_CATALOG
+
+    reach = TRANSCEIVER_CATALOG[suite.trx_name].reach.value
+    return InterfaceClassKey(port_type=suite.port_type.value,
+                             reach=reach, speed_gbps=suite.speed_gbps)
+
+
+def derive_base(suite: ExperimentSuite) -> FittedValue:
+    """``P_base`` from the Base frames (Eq. 7)."""
+    frames = suite.of("base")
+    if not frames:
+        raise DerivationError("suite has no Base frames")
+    means = np.array([f.summary.mean_w for f in frames])
+    sems = np.array([f.summary.sem_w for f in frames])
+    stderr = float(np.sqrt(np.sum(sems ** 2)) / len(frames))
+    return FittedValue(value=float(means.mean()), stderr=stderr)
+
+
+def derive_class(suite: ExperimentSuite) -> Tuple[InterfaceModel,
+                                                  ClassDerivationReport]:
+    """Run the full §5.2 regression chain for one interface class."""
+    key = _class_key(suite)
+    base = derive_base(suite)
+    report = ClassDerivationReport(key=key, base_w=base)
+
+    # -- static terms -------------------------------------------------------
+    idle_frames = suite.of("idle")
+    if len(idle_frames) < 2:
+        raise DerivationError(
+            f"{key}: need Idle frames at >= 2 pair counts, got "
+            f"{len(idle_frames)}")
+    report.idle_fit = linear_fit(*_points(idle_frames))
+    p_trx_in = FittedValue(value=report.idle_fit.slope / 2.0,
+                           stderr=report.idle_fit.slope_stderr / 2.0)
+    if abs(report.idle_fit.intercept - base.value) > max(
+            5.0, 0.05 * base.value):
+        report.warn(
+            f"Idle regression intercept ({report.idle_fit.intercept:.1f} W) "
+            f"far from measured P_base ({base.value:.1f} W)")
+
+    port_frames = suite.of("port")
+    if len(port_frames) < 2:
+        raise DerivationError(
+            f"{key}: need Port frames at >= 2 pair counts, got "
+            f"{len(port_frames)}")
+    report.port_fit = linear_fit(*_points(port_frames))
+    # P_Port(N) = P_base + 2N P_trx,in + N P_port: the Idle component
+    # grows with N as well, so the Idle slope must come off first.
+    p_port = FittedValue(
+        value=report.port_fit.slope - report.idle_fit.slope,
+        stderr=float(np.hypot(report.port_fit.slope_stderr,
+                              report.idle_fit.slope_stderr)))
+
+    trx_frames = suite.of("trx")
+    if len(trx_frames) < 2:
+        raise DerivationError(
+            f"{key}: need Trx frames at >= 2 pair counts, got "
+            f"{len(trx_frames)}")
+    report.trx_fit = linear_fit(*_points(trx_frames))
+    # P_Trx(N) = P_base + 2N P_trx,in + 2N (P_port + P_trx,up): both
+    # ports of each pair are up, so after removing the Idle slope the
+    # per-interface increment is half the remainder.
+    per_iface = (report.trx_fit.slope - report.idle_fit.slope) / 2.0
+    p_trx_up = FittedValue(
+        value=per_iface - p_port.value,
+        stderr=float(np.hypot(report.trx_fit.slope_stderr / 2.0,
+                              p_port.stderr)))
+
+    # -- dynamic terms --------------------------------------------------------
+    e_bit, e_pkt, p_offset = _derive_dynamic(
+        suite, report, p_static_fit=report.trx_fit)
+
+    model = InterfaceModel(
+        key=key, p_port_w=p_port, p_trx_in_w=p_trx_in, p_trx_up_w=p_trx_up,
+        e_bit_pj=e_bit, e_pkt_nj=e_pkt, p_offset_w=p_offset)
+    return model, report
+
+
+def _derive_dynamic(suite: ExperimentSuite, report: ClassDerivationReport,
+                    p_static_fit: LinearFit) -> Tuple[FittedValue,
+                                                      FittedValue,
+                                                      FittedValue]:
+    """``E_bit``, ``E_pkt``, ``P_offset`` from the Snake sweeps."""
+    by_size = suite.snake_by_packet_size()
+    if not by_size:
+        report.warn("no Snake frames; dynamic terms default to zero")
+        zero = FittedValue(value=0.0, stderr=float("nan"))
+        return zero, zero, zero
+
+    alpha_points: List[Tuple[float, float]] = []
+    offsets: List[float] = []
+    for packet_bytes, frames in sorted(by_size.items()):
+        if len(frames) < 2:
+            report.warn(
+                f"only {len(frames)} Snake rate point(s) at L={packet_bytes:g} B; "
+                f"skipping this payload size")
+            continue
+        n_ifaces = 2 * frames[0].n_pairs
+        rates = np.array([f.flow.bit_rate_bps for f in frames])
+        powers = np.array([f.summary.mean_w for f in frames])
+        fit = linear_fit(rates, powers)
+        report.snake_fits[packet_bytes] = fit
+        # Eq. (16): alpha_L is the per-interface slope.
+        alpha = fit.slope / n_ifaces
+        wire_bits = units.BITS_PER_BYTE * (packet_bytes + units.L_HEADER_BYTES)
+        alpha_points.append((wire_bits, alpha * wire_bits))
+        # Eq. (18): the zero-rate intercept sits P_offset per interface
+        # above the static Trx level at the same port count.
+        p_trx_level = p_static_fit.predict(frames[0].n_pairs)
+        offsets.append((fit.intercept - p_trx_level) / n_ifaces)
+
+    if not alpha_points:
+        report.warn("no usable Snake sweeps; dynamic terms default to zero")
+        zero = FittedValue(value=0.0, stderr=float("nan"))
+        return zero, zero, zero
+
+    report.alpha_points = alpha_points
+    if len(alpha_points) >= 2:
+        xs = [p[0] for p in alpha_points]
+        ys = [p[1] for p in alpha_points]
+        energy_fit = linear_fit(xs, ys)
+        report.energy_fit = energy_fit
+        e_bit = FittedValue(value=units.joules_to_pj(energy_fit.slope),
+                            stderr=units.joules_to_pj(energy_fit.slope_stderr))
+        e_pkt = FittedValue(
+            value=units.joules_to_nj(energy_fit.intercept),
+            stderr=units.joules_to_nj(energy_fit.intercept_stderr))
+    else:
+        # A single payload size cannot separate per-bit from per-packet
+        # energy (Eq. 17 degenerates); attribute everything to E_bit.
+        report.warn(
+            "only one payload size measured; E_pkt is not identifiable "
+            "and was set to zero")
+        wire_bits, alpha_times_bits = alpha_points[0]
+        e_bit = FittedValue(
+            value=units.joules_to_pj(alpha_times_bits / wire_bits),
+            stderr=float("nan"))
+        e_pkt = FittedValue(value=0.0, stderr=float("nan"))
+
+    offsets_arr = np.array(offsets)
+    p_offset = FittedValue(
+        value=float(offsets_arr.mean()),
+        stderr=(float(offsets_arr.std(ddof=1) / np.sqrt(len(offsets_arr)))
+                if len(offsets_arr) > 1 else float("nan")))
+    return e_bit, e_pkt, p_offset
+
+
+def derive_power_model(suites: Sequence[ExperimentSuite],
+                       router_model: Optional[str] = None,
+                       ) -> Tuple[PowerModel, Dict[InterfaceClassKey,
+                                                   ClassDerivationReport]]:
+    """Build a complete :class:`PowerModel` from one suite per class.
+
+    All suites must come from the same DUT; ``P_base`` is pooled across
+    them (the Base experiment does not depend on the interface class).
+    """
+    if not suites:
+        raise DerivationError("no experiment suites provided")
+    models = set(s.dut_model for s in suites)
+    if router_model is None:
+        if len(models) != 1:
+            raise DerivationError(
+                f"suites come from different DUTs: {sorted(models)}")
+        router_model = suites[0].dut_model
+    elif models != {router_model}:
+        raise DerivationError(
+            f"suites are for {sorted(models)}, not {router_model}")
+
+    bases = [derive_base(s) for s in suites]
+    p_base = FittedValue(
+        value=float(np.mean([b.value for b in bases])),
+        stderr=float(np.sqrt(np.mean([b.stderr ** 2 for b in bases]))))
+
+    power_model = PowerModel(router_model=router_model, p_base_w=p_base)
+    reports: Dict[InterfaceClassKey, ClassDerivationReport] = {}
+    for suite in suites:
+        iface_model, report = derive_class(suite)
+        power_model.add_interface_model(iface_model)
+        reports[iface_model.key] = report
+    return power_model, reports

@@ -1,0 +1,300 @@
+"""The router power model of §4.
+
+The model decomposes router power as
+
+.. math::
+
+    P = P_{sta}(C) + P_{dyn}(C, L)
+
+with one constant term (``P_base``) and six terms per *interface class* --
+a (port type, transceiver media, speed) combination:
+
+* ``P_port``   -- router-side cost of an administratively-up port;
+* ``P_trx,in`` -- transceiver cost paid from the moment the module is
+  plugged in (§7: "down" does not mean "off");
+* ``P_trx,up`` -- additional transceiver cost once the interface is up;
+* ``E_bit``    -- energy per forwarded bit (pJ);
+* ``E_pkt``    -- energy per processed packet (nJ);
+* ``P_offset`` -- the power step between "no traffic at all" and "almost
+  no traffic" (opportunistic component sleep, e.g. SerDes).
+
+Models are vendor-agnostic plain data: every value is a
+:class:`FittedValue` carrying its standard error from the derivation
+regressions, and the whole model serialises to a JSON-able dict for the
+Network Power Zoo.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class InterfaceClassKey:
+    """Identifies one interface class: port cage, media, line rate."""
+
+    port_type: str
+    reach: str
+    speed_gbps: float
+
+    def __str__(self) -> str:
+        return f"{self.port_type}/{self.reach}/{self.speed_gbps:g}G"
+
+    @classmethod
+    def parse(cls, text: str) -> "InterfaceClassKey":
+        """Inverse of ``str()``: parse ``"QSFP28/Passive DAC/100G"``."""
+        parts = text.rsplit("/", 2)
+        if len(parts) != 3 or not parts[2].endswith("G"):
+            raise ValueError(f"malformed interface class key: {text!r}")
+        return cls(port_type=parts[0], reach=parts[1],
+                   speed_gbps=float(parts[2][:-1]))
+
+
+@dataclass(frozen=True)
+class FittedValue:
+    """A model parameter with its estimation uncertainty."""
+
+    value: float
+    stderr: float = float("nan")
+
+    def __float__(self) -> float:
+        return self.value
+
+    @property
+    def has_uncertainty(self) -> bool:
+        """Whether a standard error was estimated."""
+        return not math.isnan(self.stderr)
+
+
+def fitted(value: float, stderr: float = float("nan")) -> FittedValue:
+    """Shorthand constructor for :class:`FittedValue`."""
+    return FittedValue(value=value, stderr=stderr)
+
+
+@dataclass(frozen=True)
+class InterfaceModel:
+    """The six fitted per-interface terms for one interface class.
+
+    Energy terms are stored in the paper's units (pJ/bit, nJ/packet);
+    the ``e_bit_j``/``e_pkt_j`` properties convert to SI.
+    """
+
+    key: InterfaceClassKey
+    p_port_w: FittedValue
+    p_trx_in_w: FittedValue
+    p_trx_up_w: FittedValue
+    e_bit_pj: FittedValue
+    e_pkt_nj: FittedValue
+    p_offset_w: FittedValue
+
+    @property
+    def e_bit_j(self) -> float:
+        """Energy per bit in joules."""
+        return units.pj_to_joules(self.e_bit_pj.value)
+
+    @property
+    def e_pkt_j(self) -> float:
+        """Energy per packet in joules."""
+        return units.nj_to_joules(self.e_pkt_nj.value)
+
+    @property
+    def p_trx_total_w(self) -> float:
+        """Total transceiver power ``P_trx,in + P_trx,up``."""
+        return self.p_trx_in_w.value + self.p_trx_up_w.value
+
+    def interface_power_w(self, *, plugged: bool, admin_up: bool,
+                          link_up: bool, bps: float = 0.0,
+                          pps: float = 0.0) -> float:
+        """Power of one interface of this class in a given state.
+
+        ``bps``/``pps`` are two-direction totals (the model's ``r_i`` and
+        ``p_i``); the dynamic terms and ``P_offset`` only apply on an
+        interface that is up and carrying traffic.
+        """
+        power = 0.0
+        if plugged:
+            power += self.p_trx_in_w.value
+        if admin_up:
+            power += self.p_port_w.value
+        if link_up:
+            power += self.p_trx_up_w.value
+            if bps > 0 or pps > 0:
+                power += self.p_offset_w.value
+                power += self.e_bit_j * bps
+                power += self.e_pkt_j * pps
+        return power
+
+
+@dataclass
+class InterfaceState:
+    """The state of one deployed interface at one instant, for prediction."""
+
+    key: InterfaceClassKey
+    plugged: bool = True
+    admin_up: bool = True
+    link_up: bool = True
+    bps: float = 0.0
+    pps: float = 0.0
+
+
+@dataclass
+class PowerModel:
+    """A complete fitted power model for one router product.
+
+    ``linecards`` holds the §4.3 extension's per-card ``P_linecard``
+    terms for modular platforms; it stays empty on fixed-chassis models.
+    """
+
+    router_model: str
+    p_base_w: FittedValue
+    interfaces: Dict[InterfaceClassKey, InterfaceModel] = field(
+        default_factory=dict)
+    linecards: Dict[str, FittedValue] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_interface_model(self, model: InterfaceModel) -> None:
+        """Register (or replace) the model of one interface class."""
+        self.interfaces[model.key] = model
+
+    def add_linecard_model(self, card_name: str,
+                           p_card: FittedValue) -> None:
+        """Register the fitted ``P_linecard`` of one card product."""
+        self.linecards[card_name] = p_card
+
+    def linecard_power_w(self, cards: Iterable[str]) -> float:
+        """Total ``P_linecard`` of an inserted card population."""
+        total = 0.0
+        for name in cards:
+            try:
+                total += self.linecards[name].value
+            except KeyError:
+                known = ", ".join(sorted(self.linecards)) or "none"
+                raise KeyError(
+                    f"no fitted P_linecard for {name!r} on "
+                    f"{self.router_model}; known cards: {known}")
+        return total
+
+    def predict_modular_power_w(self, cards: Iterable[str],
+                                states: Iterable["InterfaceState"]) -> float:
+        """Eq. (1) extended with the per-linecard term (§4.3)."""
+        return self.linecard_power_w(cards) + self.predict_power_w(states)
+
+    def interface_model(self, key: InterfaceClassKey) -> InterfaceModel:
+        """Look up the model for a class, with graceful fallbacks.
+
+        Deployment inventories contain module types the lab never swept.
+        The fallback chain mirrors what the paper's analysis has to do:
+        exact class, then same port/speed with different media, then the
+        same port type at the nearest characterised speed.
+        """
+        exact = self.interfaces.get(key)
+        if exact is not None:
+            return exact
+        same_speed = [m for k, m in self.interfaces.items()
+                      if k.port_type == key.port_type
+                      and k.speed_gbps == key.speed_gbps]
+        if same_speed:
+            return replace(same_speed[0], key=key)
+        same_port = [m for k, m in self.interfaces.items()
+                     if k.port_type == key.port_type]
+        if same_port:
+            nearest = min(
+                same_port,
+                key=lambda m: abs(m.key.speed_gbps - key.speed_gbps))
+            return replace(nearest, key=key)
+        if self.interfaces:
+            any_model = min(
+                self.interfaces.values(),
+                key=lambda m: abs(m.key.speed_gbps - key.speed_gbps))
+            return replace(any_model, key=key)
+        raise KeyError(
+            f"power model for {self.router_model} has no interface classes; "
+            f"cannot resolve {key}")
+
+    # -- evaluation (Eqs. 1-6) -------------------------------------------------
+
+    def static_power_w(self, states: Iterable[InterfaceState]) -> float:
+        """``P_sta(C)``: base power plus per-interface static terms."""
+        power = self.p_base_w.value
+        for state in states:
+            model = self.interface_model(state.key)
+            power += model.interface_power_w(
+                plugged=state.plugged, admin_up=state.admin_up,
+                link_up=state.link_up, bps=0.0, pps=0.0)
+        return power
+
+    def dynamic_power_w(self, states: Iterable[InterfaceState]) -> float:
+        """``P_dyn(C, L)``: the traffic-dependent part only."""
+        power = 0.0
+        for state in states:
+            model = self.interface_model(state.key)
+            full = model.interface_power_w(
+                plugged=state.plugged, admin_up=state.admin_up,
+                link_up=state.link_up, bps=state.bps, pps=state.pps)
+            static = model.interface_power_w(
+                plugged=state.plugged, admin_up=state.admin_up,
+                link_up=state.link_up, bps=0.0, pps=0.0)
+            power += full - static
+        return power
+
+    def predict_power_w(self, states: Iterable[InterfaceState]) -> float:
+        """Total predicted power, Eq. (1)."""
+        states = list(states)
+        return self.static_power_w(states) + self.dynamic_power_w(states)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (the Network Power Zoo record format)."""
+        def fv(v: FittedValue) -> dict:
+            return {"value": v.value, "stderr": v.stderr}
+
+        return {
+            "router_model": self.router_model,
+            "p_base_w": fv(self.p_base_w),
+            "notes": self.notes,
+            "linecards": {name: fv(value)
+                          for name, value in sorted(self.linecards.items())},
+            "interfaces": [
+                {
+                    "key": str(key),
+                    "p_port_w": fv(m.p_port_w),
+                    "p_trx_in_w": fv(m.p_trx_in_w),
+                    "p_trx_up_w": fv(m.p_trx_up_w),
+                    "e_bit_pj": fv(m.e_bit_pj),
+                    "e_pkt_nj": fv(m.e_pkt_nj),
+                    "p_offset_w": fv(m.p_offset_w),
+                }
+                for key, m in sorted(self.interfaces.items(),
+                                     key=lambda kv: str(kv[0]))
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PowerModel":
+        """Inverse of :meth:`to_dict`."""
+        def fv(d: Mapping) -> FittedValue:
+            return FittedValue(value=float(d["value"]),
+                               stderr=float(d["stderr"]))
+
+        model = cls(router_model=str(data["router_model"]),
+                    p_base_w=fv(data["p_base_w"]),
+                    notes=str(data.get("notes", "")))
+        for name, entry in data.get("linecards", {}).items():
+            model.add_linecard_model(name, fv(entry))
+        for entry in data.get("interfaces", []):
+            key = InterfaceClassKey.parse(entry["key"])
+            model.add_interface_model(InterfaceModel(
+                key=key,
+                p_port_w=fv(entry["p_port_w"]),
+                p_trx_in_w=fv(entry["p_trx_in_w"]),
+                p_trx_up_w=fv(entry["p_trx_up_w"]),
+                e_bit_pj=fv(entry["e_bit_pj"]),
+                e_pkt_nj=fv(entry["e_pkt_nj"]),
+                p_offset_w=fv(entry["p_offset_w"]),
+            ))
+        return model

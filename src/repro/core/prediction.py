@@ -1,0 +1,160 @@
+"""Turning a fitted power model into deployed power predictions (§6.2).
+
+The paper predicts the power of production routers by combining three
+things: the lab-derived :class:`~repro.core.model.PowerModel`, the module
+inventory file (which transceiver sits in which interface), and the SNMP
+traffic counters.  This module implements that pipeline.
+
+A faithful detail: the paper's analysis treats an interface with no
+traffic counters as *unplugged* -- which is exactly why the model
+over-reacted when an operator took a flapping interface down but left the
+transceiver seated (Fig. 4a, Oct 22-25).  ``assume_unplugged_when_idle``
+reproduces that behaviour by default; set it to ``False`` to keep
+inventory-listed modules drawing ``P_trx,in`` when idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.core.model import InterfaceClassKey, PowerModel
+from repro.hardware.transceiver import TRANSCEIVER_CATALOG
+
+
+@dataclass
+class DeployedInterface:
+    """One production interface: its module and its observed traffic rates.
+
+    Rate arrays are aligned to a shared timestamp grid (one entry per SNMP
+    poll).  Octet rates are layer-2 bytes per second (counter deltas over
+    the poll interval); packet rates are packets per second.
+    """
+
+    name: str
+    trx_name: Optional[str]
+    octet_rate_rx: np.ndarray
+    octet_rate_tx: np.ndarray
+    packet_rate_rx: np.ndarray
+    packet_rate_tx: np.ndarray
+    speed_gbps: Optional[float] = None
+
+    def __post_init__(self):
+        lengths = {len(self.octet_rate_rx), len(self.octet_rate_tx),
+                   len(self.packet_rate_rx), len(self.packet_rate_tx)}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"interface {self.name}: rate arrays have differing lengths "
+                f"{sorted(lengths)}")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time points."""
+        return len(self.octet_rate_rx)
+
+    @property
+    def class_key(self) -> Optional[InterfaceClassKey]:
+        """The interface class implied by the inventory entry."""
+        if self.trx_name is None:
+            return None
+        model = TRANSCEIVER_CATALOG.get(self.trx_name)
+        if model is None:
+            return None
+        speed = self.speed_gbps if self.speed_gbps else model.speed_gbps
+        return InterfaceClassKey(port_type=model.form_factor.value,
+                                 reach=model.reach.value, speed_gbps=speed)
+
+    def physical_bit_rate(self) -> np.ndarray:
+        """Two-direction physical-layer bit rate from the counters.
+
+        SNMP octet counters exclude preamble and inter-packet gap; the
+        model's ``r_i`` is the physical rate, so we add the fixed 20 B of
+        layer-1 overhead per counted packet.
+        """
+        octets = self.octet_rate_rx + self.octet_rate_tx
+        packets = self.packet_rate_rx + self.packet_rate_tx
+        return units.BITS_PER_BYTE * (
+            octets + units.ETHERNET_OVERHEAD_BYTES * packets)
+
+    def packet_rate(self) -> np.ndarray:
+        """Two-direction packet rate (the model's ``p_i``)."""
+        return self.packet_rate_rx + self.packet_rate_tx
+
+
+def predict_trace(model: PowerModel,
+                  interfaces: Sequence[DeployedInterface],
+                  assume_unplugged_when_idle: bool = True,
+                  active_pps_threshold: float = 1e-3) -> np.ndarray:
+    """Predicted power time series for one deployed router.
+
+    Parameters
+    ----------
+    model:
+        The lab-derived power model for this router product.
+    interfaces:
+        Per-interface inventory and traffic rates on a shared time grid.
+    assume_unplugged_when_idle:
+        The paper's §6.2 behaviour: an interface with no traffic is
+        treated as absent (its module assumed unplugged).  When ``False``,
+        idle inventory-listed modules still contribute ``P_trx,in``.
+    active_pps_threshold:
+        Packet rate below which an interface counts as idle.
+    """
+    if not interfaces:
+        return np.array([])
+    n = interfaces[0].n_samples
+    for iface in interfaces:
+        if iface.n_samples != n:
+            raise ValueError(
+                f"interface {iface.name} has {iface.n_samples} samples, "
+                f"expected {n}")
+
+    total = np.full(n, model.p_base_w.value, dtype=float)
+    for iface in interfaces:
+        key = iface.class_key
+        if key is None:
+            continue
+        iface_model = model.interface_model(key)
+        bps = iface.physical_bit_rate()
+        pps = iface.packet_rate()
+        active = pps > active_pps_threshold
+
+        active_power = (
+            iface_model.p_trx_in_w.value + iface_model.p_port_w.value
+            + iface_model.p_trx_up_w.value + iface_model.p_offset_w.value
+            + iface_model.e_bit_j * bps + iface_model.e_pkt_j * pps)
+        if assume_unplugged_when_idle:
+            idle_power = 0.0
+        else:
+            idle_power = iface_model.p_trx_in_w.value
+        total += np.where(active, active_power, idle_power)
+    return total
+
+
+def predict_instant(model: PowerModel,
+                    interfaces: Sequence[DeployedInterface],
+                    index: int,
+                    assume_unplugged_when_idle: bool = True) -> float:
+    """Predicted power at one time index (convenience wrapper)."""
+    trace = predict_trace(model, interfaces,
+                          assume_unplugged_when_idle=assume_unplugged_when_idle)
+    return float(trace[index])
+
+
+def transceiver_power_w(model: PowerModel,
+                        interfaces: Sequence[DeployedInterface]) -> float:
+    """Total transceiver power of the plugged inventory (§7's ≈10 % figure).
+
+    Sums ``P_trx,in + P_trx,up`` over every interface with a module listed
+    in the inventory, regardless of traffic.
+    """
+    total = 0.0
+    for iface in interfaces:
+        key = iface.class_key
+        if key is None:
+            continue
+        total += model.interface_model(key).p_trx_total_w
+    return total

@@ -1,0 +1,93 @@
+"""Ordinary least squares with the diagnostics the derivation needs.
+
+Every parameter of the §5 methodology comes out of a straight-line fit:
+``P_Port`` over the pair count, ``P_Snake`` over the bit rate, the
+``alpha_L`` values over the wire packet size.  This module provides one
+well-tested implementation with slope/intercept standard errors and R², so
+the derivation code can propagate uncertainty instead of reporting bare
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares line fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    slope_stderr: float
+    intercept_stderr: float
+    r_squared: float
+    residual_std: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * x + self.intercept
+
+    def predict_many(self, x: Sequence[float]) -> np.ndarray:
+        """Evaluate the fitted line at many points."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Fit ``y = slope * x + intercept`` by ordinary least squares.
+
+    Requires at least two distinct x values.  With exactly two points the
+    fit is exact and the standard errors are reported as 0.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(
+            f"x and y must be 1-D arrays of equal length, got shapes "
+            f"{x.shape} and {y.shape}")
+    n = len(x)
+    if n < 2:
+        raise ValueError(f"need at least 2 points for a line fit, got {n}")
+    if np.ptp(x) == 0:
+        raise ValueError("all x values are identical; slope is undefined")
+
+    x_mean = x.mean()
+    y_mean = y.mean()
+    sxx = float(np.sum((x - x_mean) ** 2))
+    sxy = float(np.sum((x - x_mean) * (y - y_mean)))
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+
+    residuals = y - (slope * x + intercept)
+    ss_res = float(np.sum(residuals ** 2))
+    ss_tot = float(np.sum((y - y_mean) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+    if n > 2:
+        residual_var = ss_res / (n - 2)
+        residual_std = float(np.sqrt(residual_var))
+        slope_stderr = float(np.sqrt(residual_var / sxx))
+        intercept_stderr = float(
+            np.sqrt(residual_var * (1.0 / n + x_mean ** 2 / sxx)))
+    else:
+        residual_std = 0.0
+        slope_stderr = 0.0
+        intercept_stderr = 0.0
+
+    return LinearFit(slope=slope, intercept=intercept,
+                     slope_stderr=slope_stderr,
+                     intercept_stderr=intercept_stderr,
+                     r_squared=r_squared, residual_std=residual_std, n=n)
+
+
+def fit_through_points(points: Sequence[Sequence[float]]) -> LinearFit:
+    """Convenience wrapper fitting a list of (x, y) pairs."""
+    if not points:
+        raise ValueError("no points to fit")
+    x = [p[0] for p in points]
+    y = [p[1] for p in points]
+    return linear_fit(x, y)

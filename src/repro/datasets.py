@@ -1,0 +1,156 @@
+"""Saving and loading measurement campaigns (the released-data artifact).
+
+The paper publishes its SNMP traces, Autopower measurements, and PSU
+sensor export so others can replicate the analyses.  This module is that
+release format: one compressed ``.npz`` container holding every trace,
+plus a JSON metadata block (router models, inventories, PSU snapshots).
+A loaded :class:`CampaignDataset` feeds the §6-§9 analyses exactly like
+a live :class:`~repro.network.simulation.SimulationResult` does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.telemetry.snmp import PsuSensorExport, RouterTrace
+from repro.telemetry.traces import CounterSeries, InterfaceTrace, TimeSeries
+
+#: Container format version (bump on incompatible changes).
+FORMAT_VERSION = 1
+
+_COUNTER_FIELDS = ("rx_octets", "tx_octets", "rx_packets", "tx_packets")
+
+
+@dataclass
+class CampaignDataset:
+    """Everything a released campaign contains."""
+
+    snmp: Dict[str, RouterTrace]
+    autopower: Dict[str, TimeSeries]
+    sensor_exports: List[PsuSensorExport]
+    total_power: Optional[TimeSeries] = None
+    total_traffic_bps: Optional[TimeSeries] = None
+
+    def routers(self) -> List[str]:
+        """Hostnames in the release."""
+        return sorted(self.snmp)
+
+
+def _sanitise(name: str) -> str:
+    return name.replace("/", "_")
+
+
+def save_campaign(result, path) -> None:
+    """Write a campaign (a ``SimulationResult`` or ``CampaignDataset``).
+
+    ``path`` may be a filesystem path or a binary file object.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    meta = {"version": FORMAT_VERSION, "routers": {}, "autopower": [],
+            "sensor_exports": []}
+
+    for hostname, trace in result.snmp.items():
+        host_key = _sanitise(hostname)
+        arrays[f"snmp__{host_key}__t"] = trace.power.timestamps
+        arrays[f"snmp__{host_key}__power"] = trace.power.values
+        iface_names = []
+        for iface_name, iface in trace.interfaces.items():
+            iface_key = _sanitise(iface_name)
+            iface_names.append(iface_name)
+            arrays[f"cnt__{host_key}__{iface_key}__t"] = \
+                iface.rx_octets.timestamps
+            for fld in _COUNTER_FIELDS:
+                series: CounterSeries = getattr(iface, fld)
+                arrays[f"cnt__{host_key}__{iface_key}__{fld}"] = \
+                    series.counts
+        meta["routers"][hostname] = {
+            "router_model": trace.router_model,
+            "inventory": trace.inventory,
+            "interfaces": iface_names,
+        }
+
+    for hostname, series in result.autopower.items():
+        host_key = _sanitise(hostname)
+        arrays[f"ap__{host_key}__t"] = series.timestamps
+        arrays[f"ap__{host_key}__power"] = series.values
+        meta["autopower"].append(hostname)
+
+    for export in result.sensor_exports:
+        meta["sensor_exports"].append({
+            "router": export.router,
+            "router_model": export.router_model,
+            "psu_index": export.psu_index,
+            "capacity_w": export.capacity_w,
+            "input_w": export.input_w,
+            "output_w": export.output_w,
+        })
+
+    for attr in ("total_power", "total_traffic_bps"):
+        series = getattr(result, attr, None)
+        if series is not None and len(series):
+            arrays[f"total__{attr}__t"] = series.timestamps
+            arrays[f"total__{attr}__v"] = series.values
+
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_campaign(path) -> CampaignDataset:
+    """Read a campaign written by :func:`save_campaign`."""
+    with np.load(path, allow_pickle=False) as container:
+        meta = json.loads(bytes(container["__meta__"]).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported campaign format version "
+                f"{meta.get('version')!r}; this library reads "
+                f"{FORMAT_VERSION}")
+
+        snmp: Dict[str, RouterTrace] = {}
+        for hostname, info in meta["routers"].items():
+            host_key = _sanitise(hostname)
+            power = TimeSeries(container[f"snmp__{host_key}__t"],
+                               container[f"snmp__{host_key}__power"])
+            interfaces: Dict[str, InterfaceTrace] = {}
+            for iface_name in info["interfaces"]:
+                iface_key = _sanitise(iface_name)
+                ts = container[f"cnt__{host_key}__{iface_key}__t"]
+                counters = {
+                    fld: CounterSeries(
+                        ts,
+                        container[f"cnt__{host_key}__{iface_key}__{fld}"])
+                    for fld in _COUNTER_FIELDS
+                }
+                interfaces[iface_name] = InterfaceTrace(
+                    name=iface_name, **counters)
+            snmp[hostname] = RouterTrace(
+                hostname=hostname,
+                router_model=info["router_model"],
+                power=power,
+                interfaces=interfaces,
+                inventory=info["inventory"])
+
+        autopower = {
+            hostname: TimeSeries(
+                container[f"ap__{_sanitise(hostname)}__t"],
+                container[f"ap__{_sanitise(hostname)}__power"])
+            for hostname in meta["autopower"]
+        }
+
+        exports = [PsuSensorExport(**entry)
+                   for entry in meta["sensor_exports"]]
+
+        totals = {}
+        for attr in ("total_power", "total_traffic_bps"):
+            key_t = f"total__{attr}__t"
+            if key_t in container:
+                totals[attr] = TimeSeries(container[key_t],
+                                          container[f"total__{attr}__v"])
+    return CampaignDataset(snmp=snmp, autopower=autopower,
+                           sensor_exports=exports,
+                           total_power=totals.get("total_power"),
+                           total_traffic_bps=totals.get("total_traffic_bps"))

@@ -1,0 +1,69 @@
+"""Datasheet pipeline (§3): corpus, extraction, and analyses."""
+
+from repro.datasheets.corpus import (
+    DatasheetCorpus,
+    DatasheetDocument,
+    DatasheetTruth,
+    VENDORS,
+    build_corpus,
+    render_datasheet,
+)
+from repro.datasheets.parser import (
+    ExtractionAccuracy,
+    ParsedDatasheet,
+    measure_accuracy,
+    parse_corpus,
+    parse_datasheet,
+)
+from repro.datasheets.netbox import (
+    DeviceTypeLibrary,
+    DeviceTypeRecord,
+    library_from_corpus,
+)
+from repro.datasheets.analysis import (
+    DatasheetComparison,
+    TrendPoint,
+    TREND_MIN_BANDWIDTH_GBPS,
+    TREND_OUTLIER_W_PER_100G,
+    datasheet_vs_measured,
+    efficiency_trend,
+    trend_fit,
+    trend_spread_by_year,
+)
+from repro.datasheets.asic import (
+    AsicGeneration,
+    BROADCOM_ASIC_TREND,
+    asic_trend_fit,
+    asic_trend_points,
+    halving_time_years,
+)
+
+__all__ = [
+    "DatasheetCorpus",
+    "DatasheetDocument",
+    "DatasheetTruth",
+    "VENDORS",
+    "build_corpus",
+    "render_datasheet",
+    "ExtractionAccuracy",
+    "ParsedDatasheet",
+    "measure_accuracy",
+    "parse_corpus",
+    "parse_datasheet",
+    "DeviceTypeLibrary",
+    "DeviceTypeRecord",
+    "library_from_corpus",
+    "DatasheetComparison",
+    "TrendPoint",
+    "TREND_MIN_BANDWIDTH_GBPS",
+    "TREND_OUTLIER_W_PER_100G",
+    "datasheet_vs_measured",
+    "efficiency_trend",
+    "trend_fit",
+    "trend_spread_by_year",
+    "AsicGeneration",
+    "BROADCOM_ASIC_TREND",
+    "asic_trend_fit",
+    "asic_trend_points",
+    "halving_time_years",
+]

@@ -1,0 +1,140 @@
+"""Datasheet analyses of §3.3: the efficiency trend and Table 1.
+
+Two questions:
+
+* **3.3.1** do datasheets show power-efficiency improvements over time?
+  (Fig. 2b: W/100G by release year for >100G routers; compare the fitted
+  trend to the crisp ASIC decline of Fig. 2a.)
+* **3.3.2** are datasheet power numbers accurate?  (Table 1: the
+  datasheet "typical" against the median of the measured SNMP power,
+  with the relative overestimation ``(typical - measured) / typical``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.regression import LinearFit, linear_fit
+from repro.datasheets.parser import ParsedDatasheet
+
+#: Routers below this capacity are excluded from the efficiency trend --
+#: "the metric is intended for high-end routers" (§3.3.1).
+TREND_MIN_BANDWIDTH_GBPS = 100.0
+
+#: Efficiency values above this are dropped from the *plot* (the paper
+#: removed two outliers around 300 W/100G for readability).
+TREND_OUTLIER_W_PER_100G = 250.0
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One router's efficiency point for Fig. 2b."""
+
+    model: str
+    year: int
+    efficiency_w_per_100g: float
+
+
+def efficiency_trend(parsed: Mapping[str, ParsedDatasheet],
+                     release_years: Optional[Mapping[str, int]] = None,
+                     min_bandwidth_gbps: float = TREND_MIN_BANDWIDTH_GBPS,
+                     drop_outliers_above: Optional[float]
+                     = TREND_OUTLIER_W_PER_100G) -> List[TrendPoint]:
+    """The Fig. 2b point cloud.
+
+    ``release_years`` supplies manually collected dates for models whose
+    parsed record has none (the paper collected all release dates by hand;
+    only Cisco devices have them in the dataset).
+    """
+    points: List[TrendPoint] = []
+    for model, record in parsed.items():
+        year = record.release_year
+        if year is None and release_years is not None:
+            year = release_years.get(model)
+        if year is None:
+            continue
+        if (record.max_bandwidth_gbps is None
+                or record.max_bandwidth_gbps <= min_bandwidth_gbps):
+            continue
+        efficiency = record.efficiency_w_per_100g
+        if efficiency is None:
+            continue
+        if (drop_outliers_above is not None
+                and efficiency > drop_outliers_above):
+            continue
+        points.append(TrendPoint(model=model, year=year,
+                                 efficiency_w_per_100g=efficiency))
+    return points
+
+
+def trend_fit(points: Sequence[TrendPoint]) -> LinearFit:
+    """Linear fit of datasheet efficiency over release year."""
+    if len(points) < 2:
+        raise ValueError(f"need >= 2 trend points, got {len(points)}")
+    return linear_fit([p.year for p in points],
+                      [p.efficiency_w_per_100g for p in points])
+
+
+def trend_spread_by_year(points: Sequence[TrendPoint]) -> Dict[int, Tuple[float, float]]:
+    """Per-year (mean, std) of the efficiency metric."""
+    by_year: Dict[int, List[float]] = {}
+    for point in points:
+        by_year.setdefault(point.year, []).append(point.efficiency_w_per_100g)
+    return {
+        year: (float(np.mean(vals)),
+               float(np.std(vals)) if len(vals) > 1 else 0.0)
+        for year, vals in sorted(by_year.items())
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DatasheetComparison:
+    """One Table 1 row."""
+
+    router_model: str
+    measured_median_w: float
+    datasheet_typical_w: float
+    #: ``(typical - measured) / typical`` -- positive means the datasheet
+    #: overestimates (the expected case), negative that it *under*states
+    #: real draw (the Cisco 8000 surprise).
+    relative_overestimate: float
+
+    @property
+    def overestimates(self) -> bool:
+        """Whether the datasheet value is above the measured median."""
+        return self.relative_overestimate > 0
+
+
+def datasheet_vs_measured(parsed: Mapping[str, ParsedDatasheet],
+                          measured_medians_w: Mapping[str, float],
+                          ) -> List[DatasheetComparison]:
+    """Build Table 1: datasheet "typical" vs measured median power.
+
+    Models missing either side are skipped; rows are ordered by
+    decreasing overestimation like the paper's table.
+    """
+    rows: List[DatasheetComparison] = []
+    for model, median in measured_medians_w.items():
+        record = parsed.get(model)
+        if record is None:
+            continue
+        typical = record.typical_w
+        if typical is None:
+            typical = record.max_w
+        if typical is None or typical <= 0 or not np.isfinite(median):
+            continue
+        rows.append(DatasheetComparison(
+            router_model=model,
+            measured_median_w=float(median),
+            datasheet_typical_w=float(typical),
+            relative_overestimate=(typical - median) / typical))
+    rows.sort(key=lambda r: r.relative_overestimate, reverse=True)
+    return rows

@@ -1,0 +1,60 @@
+"""Broadcom switching-ASIC efficiency trend (Fig. 2a).
+
+The paper redraws this trend from a public Broadcom presentation
+(Kiselevsky, "Evolution of Switches Power Consumption", 2023): ASIC power
+per 100 Gbps of switching capacity dropped steeply across the Trident /
+Tomahawk generations.  The figure's point of existence in the paper is as
+a *contrast*: the router-level datasheet numbers of Fig. 2b show no such
+clean decline.  Values below are read off the redrawn figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.regression import LinearFit, linear_fit
+
+
+@dataclass(frozen=True)
+class AsicGeneration:
+    """One switching-ASIC generation's efficiency point."""
+
+    name: str
+    year: int
+    capacity_gbps: float
+    efficiency_w_per_100g: float
+
+
+#: The Fig. 2a series (redrawn values).
+BROADCOM_ASIC_TREND: Tuple[AsicGeneration, ...] = (
+    AsicGeneration("Trident+", 2010, 640, 26.0),
+    AsicGeneration("Trident2", 2012, 1280, 17.5),
+    AsicGeneration("Tomahawk", 2014, 3200, 9.5),
+    AsicGeneration("Tomahawk2", 2016, 6400, 6.5),
+    AsicGeneration("Tomahawk3", 2018, 12800, 4.3),
+    AsicGeneration("Tomahawk4", 2020, 25600, 2.8),
+    AsicGeneration("Tomahawk5", 2022, 51200, 2.0),
+)
+
+
+def asic_trend_points() -> List[Tuple[int, float]]:
+    """(year, W/100G) pairs for plotting Fig. 2a."""
+    return [(g.year, g.efficiency_w_per_100g) for g in BROADCOM_ASIC_TREND]
+
+
+def asic_trend_fit() -> LinearFit:
+    """Linear fit of the ASIC efficiency over time (clearly negative)."""
+    years = [g.year for g in BROADCOM_ASIC_TREND]
+    effs = [g.efficiency_w_per_100g for g in BROADCOM_ASIC_TREND]
+    return linear_fit(years, effs)
+
+
+def halving_time_years() -> float:
+    """Doubling-rate view: years for ASIC W/100G to halve (log-space fit)."""
+    import numpy as np
+
+    years = np.array([g.year for g in BROADCOM_ASIC_TREND], dtype=float)
+    logs = np.log2([g.efficiency_w_per_100g for g in BROADCOM_ASIC_TREND])
+    fit = linear_fit(years, logs)
+    return -1.0 / fit.slope

@@ -1,0 +1,299 @@
+"""Synthetic vendor-datasheet corpus (§3).
+
+The paper assembles power data from 777 router datasheets.  Since the
+originals are unstructured web pages, its pipeline is: NetBox device list
+-> fetch datasheet -> LLM extraction -> normalised record.  We reproduce
+the *pipeline* with a corpus generator: ground-truth specs are rendered
+into deliberately messy datasheet text (several layouts, inconsistent
+field names, units in W/kW and Gbps/Tbps, per-port bandwidth that must be
+summed, missing values, the occasional literal "TBD" -- all failure modes
+§3.1 catalogues), and the parser must extract the fields back.
+
+The corpus embeds the real catalog devices with their true datasheet
+values (so Table 1 and Fig. 2b can be regenerated) among synthetic models
+whose efficiency statistics follow the paper's observed spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.catalog import ROUTER_CATALOG
+
+VENDORS = ("Cisco", "Arista", "Juniper")
+
+#: Series name stems per vendor, roughly era-ordered.
+_SERIES_STEMS = {
+    "Cisco": ["Catalyst 4500", "Catalyst 6500", "ASR 900", "ASR 9000",
+              "ISR 4000", "NCS 540", "NCS 5500", "NCS 5700", "Nexus 3000",
+              "Nexus 7000", "Nexus 9300", "Cisco 8000", "Cisco 8100"],
+    "Arista": ["7050X", "7060X", "7280R", "7280R3", "7300X", "7500R",
+               "7800R3", "720XP"],
+    "Juniper": ["EX4300", "EX4600", "MX204", "MX480", "QFX5100",
+                "QFX5200", "ACX7100", "PTX10000"],
+}
+
+
+@dataclass(frozen=True)
+class DatasheetTruth:
+    """Ground truth behind one rendered datasheet."""
+
+    model: str
+    vendor: str
+    series: str
+    release_year: Optional[int]
+    typical_w: Optional[float]
+    max_w: Optional[float]
+    max_bandwidth_gbps: float
+    psu_options_w: Tuple[int, ...] = ()
+
+    @property
+    def efficiency_w_per_100g(self) -> Optional[float]:
+        """The Fig. 2 metric, from typical power (max as fallback)."""
+        power = self.typical_w if self.typical_w is not None else self.max_w
+        if power is None or self.max_bandwidth_gbps <= 0:
+            return None
+        return power / (self.max_bandwidth_gbps / 100.0)
+
+
+@dataclass
+class DatasheetDocument:
+    """One datasheet as published: truth plus the rendered text."""
+
+    truth: DatasheetTruth
+    text: str
+    url: str
+
+
+@dataclass
+class DatasheetCorpus:
+    """The full corpus, keyed by model name."""
+
+    documents: Dict[str, DatasheetDocument] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def truths(self) -> List[DatasheetTruth]:
+        """All ground-truth records."""
+        return [doc.truth for doc in self.documents.values()]
+
+    def document(self, model: str) -> DatasheetDocument:
+        """Datasheet for one model."""
+        try:
+            return self.documents[model]
+        except KeyError:
+            raise KeyError(f"no datasheet for model {model!r}")
+
+
+# ---------------------------------------------------------------------------
+# Truth generation
+# ---------------------------------------------------------------------------
+
+
+def _efficiency_for_year(year: int, rng: np.random.Generator) -> float:
+    """Typical W/100G for a router released in ``year``.
+
+    Calibrated to Fig. 2b: a slow, noisy decline -- mostly 10-120 W/100G
+    throughout the 2010s with heavy spread and the occasional ancient
+    outlier near 300 -- rather than the crisp ASIC-level exponential of
+    Fig. 2a.
+    """
+    central = 22.0 + 300.0 * np.exp(-(year - 2002) / 6.5)
+    value = central * float(rng.lognormal(0.0, 0.75))
+    return float(np.clip(value, 4.0, 400.0))
+
+
+_BANDWIDTH_LADDER = (24, 48, 64, 96, 128, 160, 240, 480, 640, 960, 1200,
+                     1800, 2400, 3200, 3600, 4800, 6400, 9600, 12800, 14400)
+
+
+def _synthetic_truths(n_models: int,
+                      rng: np.random.Generator) -> List[DatasheetTruth]:
+    truths = []
+    used_names = set(ROUTER_CATALOG)
+    shares = [n_models // len(VENDORS)] * len(VENDORS)
+    shares[0] += n_models - sum(shares)  # exact total, remainder to Cisco
+    for vendor, share in zip(VENDORS, shares):
+        stems = _SERIES_STEMS[vendor]
+        made = 0
+        while made < share:
+            series = str(rng.choice(stems))
+            year = int(rng.integers(2005, 2024))
+            n_in_series = int(rng.integers(2, 7))
+            for _ in range(n_in_series):
+                if made >= share:
+                    break
+                bandwidth = float(rng.choice(_BANDWIDTH_LADDER))
+                efficiency = _efficiency_for_year(year, rng)
+                typical = efficiency * bandwidth / 100.0
+                maximum = typical * float(rng.uniform(1.3, 2.2))
+                suffix = int(rng.integers(1, 99))
+                model = f"{series.replace(' ', '-')}-{int(bandwidth)}G-{suffix:02d}"
+                if model in used_names:
+                    continue
+                used_names.add(model)
+                # §3.1's irregularities: some sheets omit typical power,
+                # some omit the release year entirely.
+                has_typical = rng.random() > 0.25
+                psu = tuple(sorted(set(
+                    int(rng.choice([250, 400, 650, 750, 1100, 2000, 3000]))
+                    for _ in range(int(rng.integers(1, 3))))))
+                truths.append(DatasheetTruth(
+                    model=model, vendor=vendor, series=series,
+                    release_year=year if vendor == "Cisco" else None,
+                    typical_w=round(typical) if has_typical else None,
+                    max_w=round(maximum),
+                    max_bandwidth_gbps=bandwidth,
+                    psu_options_w=psu))
+                made += 1
+    return truths
+
+
+def _catalog_truths() -> List[DatasheetTruth]:
+    truths = []
+    for spec in ROUTER_CATALOG.values():
+        ds = spec.datasheet
+        truths.append(DatasheetTruth(
+            model=spec.name, vendor=spec.vendor, series=spec.series,
+            release_year=ds.release_year,
+            typical_w=ds.typical_w, max_w=ds.max_w,
+            max_bandwidth_gbps=ds.max_bandwidth_gbps,
+            psu_options_w=ds.psu_options_w))
+    return truths
+
+
+# ---------------------------------------------------------------------------
+# Rendering: structured truth -> messy text
+# ---------------------------------------------------------------------------
+
+
+def _fmt_power(value_w: float, rng: np.random.Generator) -> str:
+    if value_w >= 1000 and rng.random() < 0.4:
+        return f"{value_w / 1000:.2f} kW"
+    if rng.random() < 0.3:
+        return f"{value_w:.1f}W"
+    return f"{value_w:.0f} W"
+
+
+def _fmt_bandwidth(gbps: float, rng: np.random.Generator) -> str:
+    if gbps >= 1000 and rng.random() < 0.6:
+        return f"{gbps / 1000:g} Tbps"
+    if rng.random() < 0.3:
+        return f"{gbps:g}-Gbps"
+    return f"{gbps:g} Gbps"
+
+
+_TYPICAL_LABELS = ("Typical power", "Power draw (typical)",
+                   "Typical operating power", "Power consumption, typical",
+                   "Typical power consumption at 25°C")
+_MAX_LABELS = ("Maximum power", "Max power draw", "Power (max)",
+               "Maximum power consumption", "Worst-case power")
+_BW_LABELS = ("Switching capacity", "Maximum bandwidth", "Throughput",
+              "Aggregate bandwidth", "Forwarding capacity")
+
+
+def _render_table_style(truth: DatasheetTruth,
+                        rng: np.random.Generator) -> str:
+    rows = [f"{truth.vendor} {truth.model} Data Sheet", "",
+            "Specifications", "=" * 40]
+    rows.append(f"| Product ID | {truth.model} |")
+    rows.append(f"| Series | {truth.vendor} {truth.series} Series |")
+    bw_label = str(rng.choice(_BW_LABELS))
+    rows.append(f"| {bw_label} | {_fmt_bandwidth(truth.max_bandwidth_gbps, rng)} |")
+    if truth.typical_w is not None:
+        rows.append(f"| {rng.choice(_TYPICAL_LABELS)} | "
+                    f"{_fmt_power(truth.typical_w, rng)} |")
+    elif rng.random() < 0.5:
+        rows.append(f"| {rng.choice(_TYPICAL_LABELS)} | TBD |")
+    if truth.max_w is not None:
+        rows.append(f"| {rng.choice(_MAX_LABELS)} | "
+                    f"{_fmt_power(truth.max_w, rng)} |")
+    for capacity in truth.psu_options_w:
+        rows.append(f"| Power supply option | {capacity} W AC |")
+    return "\n".join(rows)
+
+
+def _render_prose_style(truth: DatasheetTruth,
+                        rng: np.random.Generator) -> str:
+    parts = [
+        f"{truth.vendor} {truth.model}",
+        "",
+        f"The {truth.model}, part of the {truth.series} series, delivers "
+        f"{_fmt_bandwidth(truth.max_bandwidth_gbps, rng)} of forwarding "
+        f"capacity in a compact form factor.",
+    ]
+    if truth.typical_w is not None:
+        parts.append(
+            f"In typical deployments the system draws "
+            f"{_fmt_power(truth.typical_w, rng)}"
+            + (" at 25°C ambient." if rng.random() < 0.4 else "."))
+    if truth.max_w is not None:
+        parts.append(
+            f"Provision facilities for a maximum power of "
+            f"{_fmt_power(truth.max_w, rng)}.")
+    if truth.psu_options_w:
+        options = " or ".join(f"{c} W" for c in truth.psu_options_w)
+        parts.append(f"The chassis accepts redundant {options} AC supplies.")
+    return "\n".join(parts)
+
+
+def _render_portsum_style(truth: DatasheetTruth,
+                          rng: np.random.Generator) -> str:
+    """Bandwidth only derivable by summing port groups (§3.1 item 3)."""
+    total = truth.max_bandwidth_gbps
+    port_speed = float(rng.choice([10, 25, 100, 400]))
+    while port_speed > total:
+        port_speed /= 4
+    n_ports = max(1, int(round(total / port_speed)))
+    remainder = total - n_ports * port_speed
+    lines = [f"{truth.vendor} {truth.model} -- Product Overview", "",
+             "Port configuration:",
+             f"  - {n_ports} x {port_speed:g}GE ports"]
+    if remainder > 0:
+        lines.append(f"  - 1 x {remainder:g}GE uplink")
+    lines.append("")
+    if truth.typical_w is not None:
+        lines.append(f"{rng.choice(_TYPICAL_LABELS)}: "
+                     f"{_fmt_power(truth.typical_w, rng)}")
+    if truth.max_w is not None:
+        lines.append(f"{rng.choice(_MAX_LABELS)}: "
+                     f"{_fmt_power(truth.max_w, rng)}")
+    return "\n".join(lines)
+
+
+_RENDERERS = (_render_table_style, _render_prose_style, _render_portsum_style)
+
+
+def render_datasheet(truth: DatasheetTruth,
+                     rng: np.random.Generator) -> str:
+    """Render a truth record into one of the messy datasheet layouts."""
+    renderer = _RENDERERS[int(rng.integers(0, len(_RENDERERS)))]
+    return renderer(truth, rng)
+
+
+def build_corpus(n_models: int = 777,
+                 rng: Optional[np.random.Generator] = None,
+                 ) -> DatasheetCorpus:
+    """Build the full corpus: real catalog devices + synthetic fill.
+
+    ``n_models`` is the total corpus size (the paper's collection spans
+    777 models from Cisco, Arista, and Juniper).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    catalog = _catalog_truths()
+    n_synthetic = max(0, n_models - len(catalog))
+    truths = catalog + _synthetic_truths(n_synthetic, rng)
+    corpus = DatasheetCorpus()
+    for truth in truths:
+        slug = truth.model.lower().replace(" ", "-")
+        corpus.documents[truth.model] = DatasheetDocument(
+            truth=truth,
+            text=render_datasheet(truth, rng),
+            url=f"https://www.{truth.vendor.lower()}.com/datasheets/{slug}.html",
+        )
+    return corpus

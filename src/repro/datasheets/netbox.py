@@ -1,0 +1,80 @@
+"""NetBox device-type library stand-in (§3.2's model list source).
+
+The paper bootstraps its datasheet collection from the community NetBox
+device-type library: a structured YAML collection of device models per
+manufacturer, including datasheet URLs and PSU definitions.  This module
+provides the equivalent structured records, generated from the corpus, so
+the pipeline "device list -> fetch sheet -> extract" runs end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.datasheets.corpus import DatasheetCorpus
+
+
+@dataclass(frozen=True)
+class DeviceTypeRecord:
+    """One NetBox-style device-type entry."""
+
+    manufacturer: str
+    model: str
+    slug: str
+    datasheet_url: str
+    psu_count: int = 0
+    psu_capacity_w: Optional[float] = None
+
+    def to_yamlish(self) -> str:
+        """Render in the library's YAML shape (for round-trip tests)."""
+        lines = [
+            f"manufacturer: {self.manufacturer}",
+            f"model: {self.model}",
+            f"slug: {self.slug}",
+            f"comments: '[Datasheet]({self.datasheet_url})'",
+        ]
+        if self.psu_count and self.psu_capacity_w:
+            lines.append("module-bays:")
+            for i in range(self.psu_count):
+                lines.append(f"  - name: PSU{i}")
+                lines.append(f"    power: {self.psu_capacity_w:.0f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DeviceTypeLibrary:
+    """The library: records grouped by manufacturer."""
+
+    records: Dict[str, DeviceTypeRecord] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_manufacturer(self, manufacturer: str) -> List[DeviceTypeRecord]:
+        """All models of one vendor, sorted by model name."""
+        return sorted(
+            (r for r in self.records.values()
+             if r.manufacturer == manufacturer),
+            key=lambda r: r.model)
+
+    def datasheet_urls(self) -> List[str]:
+        """Every datasheet URL in the library (the crawl worklist)."""
+        return [r.datasheet_url for r in self.records.values()]
+
+
+def library_from_corpus(corpus: DatasheetCorpus) -> DeviceTypeLibrary:
+    """Build the device-type library the collection pipeline starts from."""
+    library = DeviceTypeLibrary()
+    for model, document in corpus.documents.items():
+        truth = document.truth
+        psu_options = truth.psu_options_w
+        library.records[model] = DeviceTypeRecord(
+            manufacturer=truth.vendor,
+            model=model,
+            slug=model.lower().replace(" ", "-"),
+            datasheet_url=document.url,
+            psu_count=2 if psu_options else 0,
+            psu_capacity_w=float(psu_options[0]) if psu_options else None,
+        )
+    return library

@@ -1,0 +1,193 @@
+"""Figure-data generators: every paper figure as plain, plottable data.
+
+The benchmarks *verify* each figure's shape; this module *exports* the
+underlying series so downstream users can plot them with whatever they
+like (the environment here has no plotting stack on purpose).  Each
+generator returns a :class:`FigureData`: named columns of equal length,
+writable as CSV.
+
+Heavy inputs (a simulated campaign, fitted models, the datasheet corpus)
+are passed in -- see ``benchmarks/conftest.py`` for how they are built.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.datasheets import asic_trend_points, efficiency_trend
+from repro.hardware.psu import EIGHTY_PLUS_SET_POINTS, PFE600_CURVE
+from repro.psu_opt import efficiency_scatter
+from repro.telemetry.traces import TimeSeries
+
+
+@dataclass
+class FigureData:
+    """Columnar data behind one figure."""
+
+    name: str
+    columns: Dict[str, Sequence] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self):
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"{self.name}: columns have unequal lengths {sorted(lengths)}")
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in the figure's table."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def to_csv(self) -> str:
+        """Render as CSV (header + rows)."""
+        headers = list(self.columns)
+        out = io.StringIO()
+        out.write(",".join(headers) + "\n")
+        for i in range(self.n_rows):
+            row = []
+            for header in headers:
+                value = self.columns[header][i]
+                if isinstance(value, float):
+                    row.append(f"{value:.6g}")
+                else:
+                    row.append(str(value))
+            out.write(",".join(row) + "\n")
+        return out.getvalue()
+
+
+def _series_columns(series: TimeSeries, value_name: str) -> Dict[str, list]:
+    return {"t_s": series.timestamps.tolist(),
+            value_name: series.values.tolist()}
+
+
+def fig1_data(total_power: TimeSeries, total_traffic_bps: TimeSeries,
+              window_s: float = units.hours(3)) -> FigureData:
+    """Fig. 1: network total power and traffic, window-averaged."""
+    power = total_power.resample(window_s)
+    traffic = total_traffic_bps.resample(window_s)
+    n = min(len(power), len(traffic))
+    return FigureData(
+        name="fig1_network_power_traffic",
+        columns={
+            "t_s": power.timestamps[:n].tolist(),
+            "power_w": power.values[:n].tolist(),
+            "traffic_tbps": (traffic.values[:n] / 1e12).tolist(),
+        },
+        notes="paper: ~21.7 kW total, ~1.3 Tbps, correlation invisible")
+
+
+def fig2a_data() -> FigureData:
+    """Fig. 2a: the Broadcom ASIC efficiency trend (redrawn)."""
+    points = asic_trend_points()
+    return FigureData(
+        name="fig2a_asic_efficiency",
+        columns={"year": [p[0] for p in points],
+                 "w_per_100g": [p[1] for p in points]})
+
+
+def fig2b_data(parsed: Mapping, release_years: Mapping[str, int],
+               ) -> FigureData:
+    """Fig. 2b: datasheet efficiency by release year (>100G routers)."""
+    points = efficiency_trend(parsed, release_years=release_years)
+    return FigureData(
+        name="fig2b_datasheet_efficiency",
+        columns={
+            "model": [p.model for p in points],
+            "year": [p.year for p in points],
+            "w_per_100g": [p.efficiency_w_per_100g for p in points],
+        },
+        notes="outliers above 250 W/100G excluded, like the paper's plot")
+
+
+def fig4_data(autopower: TimeSeries, psu: Optional[TimeSeries],
+              model: TimeSeries,
+              window_s: float = 30 * units.SECONDS_PER_MINUTE,
+              ) -> FigureData:
+    """Fig. 4: the three traces for one router, 30-min averaged."""
+    external = autopower.resample(window_s)
+    grid = external.timestamps
+    columns: Dict[str, list] = {
+        "t_s": grid.tolist(),
+        "autopower_w": external.values.tolist(),
+        "model_w": model.valid().align_to(grid).values.tolist(),
+    }
+    if psu is not None and len(psu.valid()):
+        columns["psu_w"] = psu.valid().align_to(grid).values.tolist()
+    return FigureData(name="fig4_source_comparison", columns=columns)
+
+
+def fig5_data(n_points: int = 50) -> FigureData:
+    """Fig. 5: the PFE600 curve plus the 80 Plus set points."""
+    loads = np.linspace(0.02, 1.0, n_points)
+    columns: Dict[str, list] = {
+        "load_pct": (100 * loads).tolist(),
+        "pfe600_eff_pct": [100 * PFE600_CURVE.efficiency(l) for l in loads],
+    }
+    for standard, set_points in EIGHTY_PLUS_SET_POINTS.items():
+        column = []
+        for load in loads:
+            exact = set_points.get(round(float(load), 2))
+            column.append(100 * exact if exact is not None else "")
+        columns[f"setpoint_{standard.value.lower()}"] = column
+    return FigureData(name="fig5_psu_curve", columns=columns)
+
+
+def fig6_data(psu_points, router_model: Optional[str] = None) -> FigureData:
+    """Fig. 6: the PSU efficiency scatter (optionally one router model)."""
+    loads, effs = efficiency_scatter(psu_points, router_model)
+    suffix = (router_model or "all").replace(" ", "_")
+    return FigureData(
+        name=f"fig6_psu_scatter_{suffix}",
+        columns={"load_pct": loads.tolist(),
+                 "efficiency": effs.tolist()})
+
+
+def fig8_data(power: TimeSeries,
+              window_s: float = units.hours(6)) -> FigureData:
+    """Fig. 8: one router's power across an OS update."""
+    averaged = power.valid().resample(window_s)
+    return FigureData(name="fig8_os_update",
+                      columns=_series_columns(averaged, "power_w"))
+
+
+def fig9_data(autopower: TimeSeries, model: TimeSeries,
+              offset_w: float,
+              window_s: float = 30 * units.SECONDS_PER_MINUTE,
+              ) -> FigureData:
+    """Fig. 9: the offset-corrected zoom of Fig. 4."""
+    external = autopower.resample(window_s)
+    grid = external.timestamps
+    corrected = model.shifted(-offset_w).valid().align_to(grid)
+    return FigureData(
+        name="fig9_offset_corrected",
+        columns={
+            "t_s": grid.tolist(),
+            "autopower_w": external.values.tolist(),
+            "model_minus_offset_w": corrected.values.tolist(),
+        },
+        notes=f"model shifted by {-offset_w:+.2f} W to show precision")
+
+
+def write_figures(figures: Sequence[FigureData], directory) -> List[str]:
+    """Write each figure's CSV into a directory; returns the paths."""
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for figure in figures:
+        path = directory / f"{figure.name}.csv"
+        content = figure.to_csv()
+        if figure.notes:
+            content = f"# {figure.notes}\n" + content
+        path.write_text(content)
+        paths.append(str(path))
+    return paths

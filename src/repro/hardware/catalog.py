@@ -1,0 +1,604 @@
+"""Ground-truth router model catalog.
+
+Each :class:`RouterModelSpec` defines the *true* power behaviour of one
+router product: base power, per-interface-class power terms, PSU
+configuration, PSU sensor quirks, and the vendor-datasheet numbers an
+operator would see.  The truth values for the eight modelled devices come
+straight from the paper (Tables 2 and 6); datasheet values and measured
+medians for Table 1 come from Table 1.  Everything downstream -- the lab
+derivation, the SNMP fleet, the validation -- treats these specs as hidden
+ground truth and must recover or approximate them through measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import units
+from repro.hardware.psu import EightyPlus
+from repro.hardware.transceiver import PortType, Reach, TRANSCEIVER_CATALOG
+
+
+class PsuSensorQuirk(enum.Enum):
+    """How a router model's PSU power telemetry misbehaves (§6.2).
+
+    The paper found three behaviours among its three externally-measured
+    routers: a constant offset to the true value (precise but inaccurate),
+    a pseudo-constant reading with sharp jumps (useless), and no reporting
+    at all.
+    """
+
+    ACCURATE = "accurate"             # tracks truth within sensor noise
+    OFFSET = "offset"                 # truth + constant offset (8201-32FH)
+    PSEUDO_CONSTANT = "pseudo-constant"  # quantised plateau, jumps on power cycle
+    ABSENT = "absent"                 # no power reporting (N540X-...)
+
+
+@dataclass(frozen=True)
+class InterfaceClassTruth:
+    """True power parameters of one (port type, media, speed) class.
+
+    These are the seven per-interface terms of the paper's model (§4.2),
+    in the paper's units: watts, picojoules per bit, nanojoules per packet.
+    ``p_trx_in``/``p_trx_up`` are attached to the class rather than the
+    transceiver product because the measured split differs across router
+    platforms for the same module (Table 2 b).
+    """
+
+    port_type: PortType
+    reach: Reach
+    speed_gbps: float
+    p_port_w: float
+    p_trx_in_w: float
+    p_trx_up_w: float
+    e_bit_pj: float
+    e_pkt_nj: float
+    p_offset_w: float
+
+    @property
+    def key(self) -> Tuple[PortType, Reach, float]:
+        """Lookup key within a router spec."""
+        return (self.port_type, self.reach, self.speed_gbps)
+
+    @property
+    def e_bit_j(self) -> float:
+        """Energy per bit in joules."""
+        return units.pj_to_joules(self.e_bit_pj)
+
+    @property
+    def e_pkt_j(self) -> float:
+        """Energy per packet in joules."""
+        return units.nj_to_joules(self.e_pkt_nj)
+
+    @property
+    def p_trx_total_w(self) -> float:
+        """Full transceiver power ``P_trx,in + P_trx,up``."""
+        return self.p_trx_in_w + self.p_trx_up_w
+
+
+@dataclass(frozen=True)
+class PortGroup:
+    """A bank of identical ports on a fixed-chassis router."""
+
+    count: int
+    port_type: PortType
+
+    def __post_init__(self):
+        if self.count <= 0:
+            raise ValueError(f"port count must be positive, got {self.count}")
+
+
+@dataclass(frozen=True)
+class DatasheetInfo:
+    """What the vendor datasheet says about a router model (§3).
+
+    ``typical_w`` may be absent ("TBD" happens, §3.1); the Fig. 2b analysis
+    then falls back to ``max_w``.
+    """
+
+    typical_w: Optional[float]
+    max_w: Optional[float]
+    max_bandwidth_gbps: float
+    release_year: Optional[int] = None
+    psu_options_w: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class PsuConfig:
+    """PSU provisioning of a router model as shipped."""
+
+    count: int
+    capacity_w: float
+    rating: EightyPlus = EightyPlus.PLATINUM
+    #: Mean and spread of the per-instance efficiency offset for this
+    #: model's PSU population (drives the Fig. 6 scatter).
+    offset_mean: float = 0.0
+    offset_std: float = 0.02
+
+
+@dataclass(frozen=True)
+class RouterModelSpec:
+    """Complete ground-truth description of one router product."""
+
+    name: str
+    vendor: str
+    series: str
+    p_base_w: float
+    port_groups: Tuple[PortGroup, ...]
+    interface_classes: Tuple[InterfaceClassTruth, ...]
+    psu: PsuConfig
+    psu_quirk: PsuSensorQuirk
+    datasheet: DatasheetInfo
+    #: Constant offset applied by OFFSET-quirk PSU telemetry (W).
+    psu_report_offset_w: float = 0.0
+    #: Quantisation step of PSEUDO_CONSTANT telemetry (W).
+    psu_report_quantum_w: float = 0.0
+
+    def __post_init__(self):
+        seen = set()
+        for cls in self.interface_classes:
+            if cls.key in seen:
+                raise ValueError(
+                    f"{self.name}: duplicate interface class {cls.key}")
+            seen.add(cls.key)
+
+    @property
+    def total_ports(self) -> int:
+        """Number of physical ports across all groups."""
+        return sum(group.count for group in self.port_groups)
+
+    @property
+    def class_map(self) -> Dict[Tuple[PortType, Reach, float], InterfaceClassTruth]:
+        """Interface classes keyed for lookup."""
+        return {cls.key: cls for cls in self.interface_classes}
+
+    def find_class(self, port_type: PortType, reach: Reach,
+                   speed_gbps: float) -> InterfaceClassTruth:
+        """Truth for a class, falling back to generic defaults.
+
+        Fleet routers carry modules the lab never characterised; their
+        truth comes from :func:`default_class_truth`, which mirrors the
+        per-port-type averages of Table 5.
+        """
+        exact = self.class_map.get((port_type, reach, speed_gbps))
+        if exact is not None:
+            return exact
+        # Same port type and speed, different media: reuse the router-side
+        # terms, swap the transceiver split from the module catalog.
+        for cls in self.interface_classes:
+            if cls.port_type == port_type and cls.speed_gbps == speed_gbps:
+                trx = _catalog_module(port_type, reach, speed_gbps)
+                if trx is not None:
+                    return InterfaceClassTruth(
+                        port_type=port_type, reach=reach,
+                        speed_gbps=speed_gbps, p_port_w=cls.p_port_w,
+                        p_trx_in_w=trx.power_in_w, p_trx_up_w=trx.power_up_w,
+                        e_bit_pj=cls.e_bit_pj, e_pkt_nj=cls.e_pkt_nj,
+                        p_offset_w=cls.p_offset_w)
+        return default_class_truth(port_type, reach, speed_gbps)
+
+
+def _catalog_module(port_type: PortType, reach: Reach, speed_gbps: float):
+    """Find a catalog transceiver matching a class, if any."""
+    for model in TRANSCEIVER_CATALOG.values():
+        if (model.form_factor == port_type and model.reach == reach
+                and model.speed_gbps == speed_gbps):
+            return model
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Generic class defaults (aligned with Table 5 per-port-type averages)
+# ---------------------------------------------------------------------------
+
+#: Per-port-type router-side power (``P_port``), Table 5.
+DEFAULT_P_PORT_W: Dict[PortType, float] = {
+    PortType.SFP: 0.05,
+    PortType.SFP_PLUS: 0.55,
+    PortType.SFP28: 0.30,
+    PortType.QSFP: 0.94,
+    PortType.QSFP28: 0.53,
+    PortType.QSFP_DD: 1.82,
+    PortType.RJ45: 1.00,
+}
+
+#: Per-port-type interface-up transceiver increment (``P_trx,up``), Table 5.
+DEFAULT_P_TRX_UP_W: Dict[PortType, float] = {
+    PortType.SFP: 0.005,
+    PortType.SFP_PLUS: -0.016,
+    PortType.SFP28: 0.05,
+    PortType.QSFP: 0.21,
+    PortType.QSFP28: 0.126,
+    PortType.QSFP_DD: -0.069,
+    PortType.RJ45: 0.0,
+}
+
+
+def default_class_truth(port_type: PortType, reach: Reach,
+                        speed_gbps: float) -> InterfaceClassTruth:
+    """Generic truth for classes no lab experiment characterised.
+
+    ``P_port``/``P_trx,up`` follow the Table 5 per-port-type averages;
+    ``P_trx,in`` comes from the transceiver catalog; the traffic terms use
+    the paper's §7 observation that high-speed ports cost a few pJ/bit and
+    nJ/packet while low-speed ports are an order of magnitude less
+    efficient per bit.
+    """
+    module = _catalog_module(port_type, reach, speed_gbps)
+    p_trx_in = module.power_in_w if module is not None else 0.5
+    if speed_gbps >= 100:
+        e_bit, e_pkt = 5.0, 15.0
+    elif speed_gbps >= 25:
+        e_bit, e_pkt = 8.0, 18.0
+    elif speed_gbps >= 10:
+        e_bit, e_pkt = 25.0, 25.0
+    else:
+        e_bit, e_pkt = 35.0, 20.0
+    return InterfaceClassTruth(
+        port_type=port_type, reach=reach, speed_gbps=speed_gbps,
+        p_port_w=DEFAULT_P_PORT_W[port_type],
+        p_trx_in_w=p_trx_in,
+        p_trx_up_w=DEFAULT_P_TRX_UP_W[port_type],
+        e_bit_pj=e_bit, e_pkt_nj=e_pkt, p_offset_w=0.05,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+
+
+def _cls(port: PortType, reach: Reach, speed: float, p_port: float,
+         p_in: float, p_up: float, e_bit: float, e_pkt: float,
+         p_off: float) -> InterfaceClassTruth:
+    return InterfaceClassTruth(
+        port_type=port, reach=reach, speed_gbps=speed, p_port_w=p_port,
+        p_trx_in_w=p_in, p_trx_up_w=p_up, e_bit_pj=e_bit, e_pkt_nj=e_pkt,
+        p_offset_w=p_off)
+
+
+ROUTER_CATALOG: Dict[str, RouterModelSpec] = {}
+
+
+def _register(spec: RouterModelSpec) -> RouterModelSpec:
+    if spec.name in ROUTER_CATALOG:
+        raise ValueError(f"duplicate router model {spec.name}")
+    ROUTER_CATALOG[spec.name] = spec
+    return spec
+
+
+# --- Table 2 devices (fully modelled in the paper) -------------------------
+
+NCS_55A1_24H = _register(RouterModelSpec(
+    name="NCS-55A1-24H",
+    vendor="Cisco", series="NCS 5500",
+    p_base_w=320.0,
+    port_groups=(PortGroup(24, PortType.QSFP28),),
+    interface_classes=(
+        _cls(PortType.QSFP28, Reach.DAC, 100, 0.32, 0.02, 0.19, 22, 58, 0.37),
+        _cls(PortType.QSFP28, Reach.DAC, 50, 0.18, 0.02, 0.16, 21, 57, 0.34),
+        _cls(PortType.QSFP28, Reach.DAC, 25, 0.10, 0.02, 0.08, 21, 55, 0.21),
+        _cls(PortType.QSFP28, Reach.LR4, 100, 0.32, 2.79, 0.40, 22, 58, 0.37),
+        _cls(PortType.QSFP28, Reach.SR, 100, 0.32, 1.70, 0.30, 22, 58, 0.37),
+    ),
+    psu=PsuConfig(count=2, capacity_w=1100, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.03, offset_std=0.025),
+    psu_quirk=PsuSensorQuirk.PSEUDO_CONSTANT,
+    psu_report_quantum_w=7.0,
+    datasheet=DatasheetInfo(typical_w=600, max_w=715,
+                            max_bandwidth_gbps=2400, release_year=2017,
+                            psu_options_w=(1100,)),
+))
+
+NEXUS_9336C_FX2 = _register(RouterModelSpec(
+    name="Nexus9336-FX2",
+    vendor="Cisco", series="Nexus 9300",
+    p_base_w=285.0,
+    port_groups=(PortGroup(36, PortType.QSFP28),),
+    interface_classes=(
+        _cls(PortType.QSFP28, Reach.LR, 100, 1.90, 2.79, -0.06, 8, 24, -0.43),
+        _cls(PortType.QSFP28, Reach.DAC, 100, 1.13, 0.09, -0.02, 8, 26, 0.07),
+    ),
+    psu=PsuConfig(count=2, capacity_w=1100, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.01, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=380, max_w=480,
+                            max_bandwidth_gbps=3600, release_year=2018,
+                            psu_options_w=(1100,)),
+))
+
+CISCO_8201_32FH = _register(RouterModelSpec(
+    name="8201-32FH",
+    vendor="Cisco", series="Cisco 8000",
+    p_base_w=253.0,
+    port_groups=(PortGroup(32, PortType.QSFP_DD),),
+    interface_classes=(
+        _cls(PortType.QSFP, Reach.DAC, 100, 0.94, 0.35, 0.21, 3, 13, -0.04),
+        _cls(PortType.QSFP_DD, Reach.FR4, 400, 1.82, 10.0, 2.0, 3, 13, -0.04),
+        _cls(PortType.QSFP_DD, Reach.DAC, 400, 1.82, 0.20, 0.30, 3, 13, -0.04),
+        _cls(PortType.QSFP_DD, Reach.LR4, 400, 1.82, 10.5, 2.5, 3, 13, -0.04),
+    ),
+    psu=PsuConfig(count=2, capacity_w=2000, rating=EightyPlus.PLATINUM,
+                  offset_mean=-0.035, offset_std=0.015),
+    psu_quirk=PsuSensorQuirk.OFFSET,
+    psu_report_offset_w=17.5,
+    datasheet=DatasheetInfo(typical_w=288, max_w=1100,
+                            max_bandwidth_gbps=12800, release_year=2021,
+                            psu_options_w=(2000,)),
+))
+
+N540X_8Z16G = _register(RouterModelSpec(
+    name="N540X-8Z16G-SYS-A",
+    vendor="Cisco", series="NCS 540",
+    p_base_w=33.0,
+    port_groups=(PortGroup(16, PortType.SFP), PortGroup(8, PortType.SFP_PLUS)),
+    interface_classes=(
+        # E_pkt is reported as -48 nJ in the paper with a dagger: the 1G
+        # port's traffic power is too small to resolve, and the fitted
+        # value is noise.  The truth engine uses the fitted value verbatim
+        # so the re-derivation faces the same ill-conditioning.
+        _cls(PortType.SFP, Reach.T, 1, -0.0, 3.41, 0.0, 37, -48, 0.01),
+        _cls(PortType.SFP, Reach.LR, 1, 0.05, 0.55, 0.10, 37, 20, 0.01),
+        _cls(PortType.SFP_PLUS, Reach.LR, 10, 0.55, 0.80, 0.15, 25, 25, 0.02),
+        _cls(PortType.SFP_PLUS, Reach.DAC, 10, 0.55, 0.04, 0.04, 25, 25, 0.02),
+    ),
+    psu=PsuConfig(count=2, capacity_w=250, rating=EightyPlus.GOLD,
+                  offset_mean=-0.02, offset_std=0.03),
+    psu_quirk=PsuSensorQuirk.ABSENT,
+    datasheet=DatasheetInfo(typical_w=75, max_w=120,
+                            max_bandwidth_gbps=96, release_year=2019,
+                            psu_options_w=(400,)),
+))
+
+# --- Table 6 devices (additional models) -----------------------------------
+
+WEDGE_100BF_32X = _register(RouterModelSpec(
+    name="Wedge 100BF-32X",
+    vendor="EdgeCore", series="Wedge 100",
+    p_base_w=108.0,
+    port_groups=(PortGroup(32, PortType.QSFP28),),
+    interface_classes=(
+        _cls(PortType.QSFP28, Reach.DAC, 100, 0.88, 0.0, 0.69, 1.7, 7.2, 0.0),
+        _cls(PortType.QSFP28, Reach.DAC, 50, 0.21, 0.0, 0.31, 2.5, 5.6, 0.05),
+        _cls(PortType.QSFP28, Reach.DAC, 25, 0.21, 0.0, 0.10, 2.7, 4.7, 0.06),
+    ),
+    psu=PsuConfig(count=2, capacity_w=600, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.0, offset_std=0.01),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=127, max_w=300,
+                            max_bandwidth_gbps=3200, release_year=2017,
+                            psu_options_w=(600,)),
+))
+
+NEXUS_93108TC_FX3P = _register(RouterModelSpec(
+    name="Nexus 93108TC-FX3P",
+    vendor="Cisco", series="Nexus 9300",
+    p_base_w=147.0,
+    port_groups=(PortGroup(48, PortType.RJ45), PortGroup(6, PortType.QSFP28)),
+    interface_classes=(
+        _cls(PortType.QSFP28, Reach.DAC, 100, 0.17, 0.11, 0.23, 5.4, 21.2, 0.0),
+        _cls(PortType.QSFP28, Reach.DAC, 40, 0.07, 0.11, 0.16, 6.5, 17.4, 0.03),
+        _cls(PortType.RJ45, Reach.T, 10, 2.06, 0.11, 0.0, 6.7, 16.9, -0.03),
+        _cls(PortType.RJ45, Reach.T, 1, 0.93, 0.11, 0.0, 33.8, 18.2, -0.03),
+    ),
+    psu=PsuConfig(count=2, capacity_w=1100, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.0, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=250, max_w=429,
+                            max_bandwidth_gbps=1080, release_year=2020,
+                            psu_options_w=(1100,)),
+))
+
+VSP_4900 = _register(RouterModelSpec(
+    name="VSP-4900",
+    vendor="Extreme", series="VSP 4900",
+    p_base_w=8.2,
+    port_groups=(PortGroup(48, PortType.SFP_PLUS),),
+    interface_classes=(
+        _cls(PortType.SFP_PLUS, Reach.T, 10, 0.08, 0.06, 0.0, 25.6, 26.5, 0.04),
+        _cls(PortType.SFP_PLUS, Reach.LR, 10, 0.08, 0.80, 0.15, 25.6, 26.5, 0.04),
+    ),
+    psu=PsuConfig(count=1, capacity_w=150, rating=EightyPlus.GOLD,
+                  offset_mean=0.0, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=75, max_w=150,
+                            max_bandwidth_gbps=480, release_year=2019,
+                            psu_options_w=(150,)),
+))
+
+CATALYST_3560 = _register(RouterModelSpec(
+    name="Catalyst 3560",
+    vendor="Cisco", series="Catalyst 3560",
+    p_base_w=40.0,
+    port_groups=(PortGroup(24, PortType.RJ45),),
+    interface_classes=(
+        _cls(PortType.RJ45, Reach.T, 0.1, 0.21, 0.0, 0.0, 15.7, 193.1, -0.01),
+    ),
+    psu=PsuConfig(count=1, capacity_w=250, rating=EightyPlus.BRONZE,
+                  offset_mean=-0.01, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.ABSENT,
+    datasheet=DatasheetInfo(typical_w=65, max_w=100,
+                            max_bandwidth_gbps=2.4, release_year=2005,
+                            psu_options_w=(250,)),
+))
+
+# --- Table 1 devices without lab models (fleet + datasheet comparison) -----
+
+ASR_920_24SZ_M = _register(RouterModelSpec(
+    name="ASR-920-24SZ-M",
+    vendor="Cisco", series="ASR 920",
+    p_base_w=62.0,
+    port_groups=(PortGroup(24, PortType.SFP), PortGroup(4, PortType.SFP_PLUS)),
+    interface_classes=(),
+    psu=PsuConfig(count=2, capacity_w=250, rating=EightyPlus.SILVER,
+                  offset_mean=0.0, offset_std=0.12),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=110, max_w=250,
+                            max_bandwidth_gbps=64, release_year=2015,
+                            psu_options_w=(250,)),
+))
+
+NCS_55A1_24Q6H_SS = _register(RouterModelSpec(
+    name="NCS-55A1-24Q6H-SS",
+    vendor="Cisco", series="NCS 5500",
+    p_base_w=269.0,
+    port_groups=(PortGroup(24, PortType.SFP28), PortGroup(6, PortType.QSFP28)),
+    interface_classes=(),
+    psu=PsuConfig(count=2, capacity_w=1100, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.02, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.PSEUDO_CONSTANT,
+    psu_report_quantum_w=6.0,
+    datasheet=DatasheetInfo(typical_w=400, max_w=530,
+                            max_bandwidth_gbps=1200, release_year=2018,
+                            psu_options_w=(1100,)),
+))
+
+NCS_55A1_48Q6H = _register(RouterModelSpec(
+    name="NCS-55A1-48Q6H",
+    vendor="Cisco", series="NCS 5500",
+    p_base_w=332.0,
+    port_groups=(PortGroup(48, PortType.SFP28), PortGroup(6, PortType.QSFP28)),
+    interface_classes=(),
+    psu=PsuConfig(count=2, capacity_w=1100, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.02, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.PSEUDO_CONSTANT,
+    psu_report_quantum_w=6.0,
+    datasheet=DatasheetInfo(typical_w=460, max_w=610,
+                            max_bandwidth_gbps=1800, release_year=2018,
+                            psu_options_w=(1100,)),
+))
+
+ASR_9001 = _register(RouterModelSpec(
+    name="ASR-9001",
+    vendor="Cisco", series="ASR 9000",
+    p_base_w=334.0,
+    port_groups=(PortGroup(4, PortType.SFP_PLUS), PortGroup(20, PortType.SFP)),
+    interface_classes=(),
+    psu=PsuConfig(count=2, capacity_w=1100, rating=EightyPlus.GOLD,
+                  offset_mean=0.0, offset_std=0.04),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=425, max_w=750,
+                            max_bandwidth_gbps=120, release_year=2012,
+                            psu_options_w=(750, 2000)),
+))
+
+N540_24Z8Q2C_M = _register(RouterModelSpec(
+    name="N540-24Z8Q2C-M",
+    vendor="Cisco", series="NCS 540",
+    p_base_w=146.0,
+    port_groups=(PortGroup(24, PortType.SFP_PLUS), PortGroup(8, PortType.SFP28),
+                 PortGroup(2, PortType.QSFP28)),
+    interface_classes=(),
+    psu=PsuConfig(count=2, capacity_w=400, rating=EightyPlus.GOLD,
+                  offset_mean=0.0, offset_std=0.03),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=200, max_w=350,
+                            max_bandwidth_gbps=640, release_year=2019,
+                            psu_options_w=(750,)),
+))
+
+CISCO_8201_24H8FH = _register(RouterModelSpec(
+    name="8201-24H8FH",
+    vendor="Cisco", series="Cisco 8000",
+    p_base_w=207.0,
+    port_groups=(PortGroup(24, PortType.QSFP28), PortGroup(8, PortType.QSFP_DD)),
+    interface_classes=(
+        _cls(PortType.QSFP28, Reach.DAC, 100, 0.94, 0.02, 0.19, 3, 13, -0.04),
+        _cls(PortType.QSFP_DD, Reach.FR4, 400, 1.82, 10.0, 2.0, 3, 13, -0.04),
+    ),
+    psu=PsuConfig(count=2, capacity_w=2000, rating=EightyPlus.PLATINUM,
+                  offset_mean=-0.03, offset_std=0.015),
+    psu_quirk=PsuSensorQuirk.OFFSET,
+    psu_report_offset_w=15.0,
+    datasheet=DatasheetInfo(typical_w=205, max_w=900,
+                            max_bandwidth_gbps=5600, release_year=2021,
+                            psu_options_w=(2000,)),
+))
+
+# --- Additional fleet models (no Table 1/2/6 role; diversify the network) --
+
+NCS_5501_SE = _register(RouterModelSpec(
+    name="NCS-5501-SE",
+    vendor="Cisco", series="NCS 5500",
+    p_base_w=210.0,
+    port_groups=(PortGroup(40, PortType.SFP_PLUS), PortGroup(4, PortType.QSFP28)),
+    interface_classes=(),
+    psu=PsuConfig(count=2, capacity_w=750, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.01, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=350, max_w=445,
+                            max_bandwidth_gbps=800, release_year=2017,
+                            psu_options_w=(750,)),
+))
+
+CISCO_8101_32H = _register(RouterModelSpec(
+    name="8101-32H",
+    vendor="Cisco", series="Cisco 8000",
+    p_base_w=225.0,
+    port_groups=(PortGroup(32, PortType.QSFP28),),
+    interface_classes=(
+        _cls(PortType.QSFP28, Reach.DAC, 100, 0.94, 0.02, 0.19, 3, 13, -0.04),
+    ),
+    psu=PsuConfig(count=2, capacity_w=2000, rating=EightyPlus.PLATINUM,
+                  offset_mean=-0.03, offset_std=0.02),
+    psu_quirk=PsuSensorQuirk.OFFSET,
+    psu_report_offset_w=12.0,
+    datasheet=DatasheetInfo(typical_w=320, max_w=650,
+                            max_bandwidth_gbps=3200, release_year=2020,
+                            psu_options_w=(2000,)),
+))
+
+ASR_9902 = _register(RouterModelSpec(
+    name="ASR-9902",
+    vendor="Cisco", series="ASR 9000",
+    p_base_w=620.0,
+    port_groups=(PortGroup(40, PortType.SFP_PLUS), PortGroup(8, PortType.QSFP28)),
+    interface_classes=(),
+    psu=PsuConfig(count=2, capacity_w=2700, rating=EightyPlus.PLATINUM,
+                  offset_mean=0.0, offset_std=0.03),
+    psu_quirk=PsuSensorQuirk.ACCURATE,
+    datasheet=DatasheetInfo(typical_w=1100, max_w=1600,
+                            max_bandwidth_gbps=1600, release_year=2020,
+                            psu_options_w=(2700,)),
+))
+
+
+def router_spec(name: str) -> RouterModelSpec:
+    """Look up a router model by product name.
+
+    Raises ``KeyError`` listing known models if ``name`` is unknown.
+    """
+    try:
+        return ROUTER_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTER_CATALOG))
+        raise KeyError(f"unknown router model {name!r}; known models: {known}")
+
+
+#: The eight devices the paper derives full power models for (Tables 2 & 6).
+MODELLED_DEVICES: Tuple[str, ...] = (
+    "NCS-55A1-24H", "Nexus9336-FX2", "8201-32FH", "N540X-8Z16G-SYS-A",
+    "Wedge 100BF-32X", "Nexus 93108TC-FX3P", "VSP-4900", "Catalyst 3560",
+)
+
+#: The eight devices of Table 1 (datasheet vs measured comparison).
+TABLE1_DEVICES: Tuple[str, ...] = (
+    "NCS-55A1-24H", "ASR-920-24SZ-M", "NCS-55A1-24Q6H-SS", "NCS-55A1-48Q6H",
+    "ASR-9001", "N540-24Z8Q2C-M", "8201-32FH", "8201-24H8FH",
+)
+
+#: Measured median power per Table 1 device, from the paper's SNMP traces.
+#: Used only to calibrate the synthetic fleet and as the reference column
+#: in the Table 1 bench -- never as an input to the models.
+TABLE1_MEASURED_MEDIAN_W: Dict[str, float] = {
+    "NCS-55A1-24H": 358.0,
+    "ASR-920-24SZ-M": 73.0,
+    "NCS-55A1-24Q6H-SS": 285.0,
+    "NCS-55A1-48Q6H": 346.0,
+    "ASR-9001": 335.0,
+    "N540-24Z8Q2C-M": 159.0,
+    "8201-32FH": 359.0,
+    "8201-24H8FH": 296.0,
+}

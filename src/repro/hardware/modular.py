@@ -1,0 +1,266 @@
+"""Modular (chassis + linecard) routers: the paper's §4.3 extension.
+
+The published model covers fixed-chassis routers only; the paper sketches
+the extension -- "it should be possible to extend the model by introducing
+a ``P_linecard`` term that could be measured similarly as ``P_trx``" --
+and leaves it as future work.  This module implements it: a chassis with
+slots, hot-insertable linecards that each contribute a per-card power
+term plus their own ports, and the same ground-truth discipline as the
+fixed-chassis :class:`~repro.hardware.router.VirtualRouter` so the
+extended methodology can be validated end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.catalog import (
+    DatasheetInfo,
+    InterfaceClassTruth,
+    PortGroup,
+    PsuConfig,
+    PsuSensorQuirk,
+    RouterModelSpec,
+)
+from repro.hardware.psu import EightyPlus
+from repro.hardware.router import Port, VirtualRouter
+from repro.hardware.transceiver import PortType, Reach
+
+
+@dataclass(frozen=True)
+class LinecardSpec:
+    """Ground truth of one linecard product.
+
+    ``p_card_w`` is the wall-referred power the card draws once seated
+    and powered, before any port is configured -- the ``P_linecard`` term
+    of the extended model.  Interface classes ride on the card, not the
+    chassis (different cards forward with different ASICs).
+    """
+
+    name: str
+    p_card_w: float
+    port_groups: Tuple[PortGroup, ...]
+    interface_classes: Tuple[InterfaceClassTruth, ...] = ()
+
+    @property
+    def total_ports(self) -> int:
+        """Physical ports on the card."""
+        return sum(group.count for group in self.port_groups)
+
+
+@dataclass(frozen=True)
+class ChassisSpec:
+    """Ground truth of a modular chassis.
+
+    ``p_base_w`` covers the chassis itself: route processors, fabric
+    cards, fans -- everything that runs with zero linecards inserted.
+    """
+
+    name: str
+    vendor: str
+    series: str
+    p_base_w: float
+    n_slots: int
+    psu: PsuConfig
+    datasheet: DatasheetInfo
+    psu_quirk: PsuSensorQuirk = PsuSensorQuirk.ACCURATE
+
+    def __post_init__(self):
+        if self.n_slots <= 0:
+            raise ValueError(f"a chassis needs slots, got {self.n_slots}")
+
+
+def _cls(port: PortType, reach: Reach, speed: float, p_port: float,
+         p_in: float, p_up: float, e_bit: float, e_pkt: float,
+         p_off: float) -> InterfaceClassTruth:
+    return InterfaceClassTruth(
+        port_type=port, reach=reach, speed_gbps=speed, p_port_w=p_port,
+        p_trx_in_w=p_in, p_trx_up_w=p_up, e_bit_pj=e_bit, e_pkt_nj=e_pkt,
+        p_offset_w=p_off)
+
+
+#: Linecard products for the modular extension (plausible ASR-9000-class
+#: cards; the paper has no published card models to calibrate against).
+LINECARD_CATALOG: Dict[str, LinecardSpec] = {
+    card.name: card
+    for card in [
+        LinecardSpec(
+            name="LC-24X10GE",
+            p_card_w=180.0,
+            port_groups=(PortGroup(24, PortType.SFP_PLUS),),
+            interface_classes=(
+                _cls(PortType.SFP_PLUS, Reach.LR, 10,
+                     0.55, 0.80, 0.15, 18, 22, 0.05),
+                _cls(PortType.SFP_PLUS, Reach.DAC, 10,
+                     0.55, 0.04, 0.04, 18, 22, 0.05),
+            )),
+        LinecardSpec(
+            name="LC-8X100GE",
+            p_card_w=310.0,
+            port_groups=(PortGroup(8, PortType.QSFP28),),
+            interface_classes=(
+                _cls(PortType.QSFP28, Reach.LR4, 100,
+                     0.70, 2.79, 0.40, 9, 20, 0.15),
+                _cls(PortType.QSFP28, Reach.DAC, 100,
+                     0.70, 0.02, 0.19, 9, 20, 0.15),
+            )),
+        LinecardSpec(
+            name="LC-4X400GE",
+            p_card_w=405.0,
+            port_groups=(PortGroup(4, PortType.QSFP_DD),),
+            interface_classes=(
+                _cls(PortType.QSFP_DD, Reach.FR4, 400,
+                     1.60, 10.0, 2.0, 4, 14, 0.10),
+                _cls(PortType.QSFP_DD, Reach.DAC, 400,
+                     1.60, 0.20, 0.30, 4, 14, 0.10),
+            )),
+    ]
+}
+
+
+#: A modular chassis to exercise the extension (ASR-9006-like).
+CHASSIS_CATALOG: Dict[str, ChassisSpec] = {
+    "MOD-CHASSIS-6": ChassisSpec(
+        name="MOD-CHASSIS-6", vendor="Cisco", series="Modular 9000",
+        p_base_w=540.0, n_slots=6,
+        psu=PsuConfig(count=2, capacity_w=2700,
+                      rating=EightyPlus.PLATINUM,
+                      offset_mean=0.0, offset_std=0.02),
+        datasheet=DatasheetInfo(typical_w=1800, max_w=4400,
+                                max_bandwidth_gbps=9600,
+                                release_year=2019,
+                                psu_options_w=(2700,))),
+}
+
+
+def linecard_spec(name: str) -> LinecardSpec:
+    """Look up a linecard product."""
+    try:
+        return LINECARD_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(LINECARD_CATALOG))
+        raise KeyError(f"unknown linecard {name!r}; known cards: {known}")
+
+
+def chassis_spec(name: str) -> ChassisSpec:
+    """Look up a chassis product."""
+    try:
+        return CHASSIS_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CHASSIS_CATALOG))
+        raise KeyError(f"unknown chassis {name!r}; known chassis: {known}")
+
+
+class ModularRouter(VirtualRouter):
+    """A chassis router whose ports come and go with its linecards.
+
+    Reuses the fixed-chassis engine wholesale: PSUs, telemetry quirks,
+    counters, the wall-power inversion.  The ground-truth power adds one
+    ``p_card_w`` per inserted card, and each port's interface-class truth
+    resolves against its *card's* classes.
+    """
+
+    def __init__(self, chassis: ChassisSpec,
+                 hostname: Optional[str] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 noise_std_w: float = 0.25):
+        self.chassis = chassis
+        # Build a port-less fixed-chassis spec for the base engine.
+        base_spec = RouterModelSpec(
+            name=chassis.name, vendor=chassis.vendor, series=chassis.series,
+            p_base_w=chassis.p_base_w,
+            port_groups=(),
+            interface_classes=(),
+            psu=chassis.psu, psu_quirk=chassis.psu_quirk,
+            datasheet=chassis.datasheet)
+        super().__init__(base_spec, hostname=hostname, rng=rng,
+                         noise_std_w=noise_std_w)
+        self._slots: List[Optional[LinecardSpec]] = [None] * chassis.n_slots
+        self._slot_ports: List[List[Port]] = [[] for _ in range(chassis.n_slots)]
+
+    # -- linecard management -----------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Number of linecard slots."""
+        return self.chassis.n_slots
+
+    def linecards(self) -> Dict[int, str]:
+        """Inserted cards by slot."""
+        return {slot: card.name
+                for slot, card in enumerate(self._slots) if card is not None}
+
+    def insert_linecard(self, slot: int, card) -> List[Port]:
+        """Seat a linecard; returns its freshly created ports."""
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(
+                f"{self.chassis.name} has slots 0..{self.n_slots - 1}, "
+                f"not {slot}")
+        if self._slots[slot] is not None:
+            raise ValueError(f"slot {slot} already holds "
+                             f"{self._slots[slot].name}")
+        if isinstance(card, str):
+            card = linecard_spec(card)
+        self._slots[slot] = card
+        ports = []
+        for group in card.port_groups:
+            for _ in range(group.count):
+                index = len(self.ports)
+                port = _CardPort(self, index, group.port_type,
+                                 f"Slot{slot}/{len(ports)}", card=card)
+                self.ports.append(port)
+                self._slot_ports[slot].append(port)
+                ports.append(port)
+        self._static_dirty = True
+        return ports
+
+    def remove_linecard(self, slot: int) -> Optional[LinecardSpec]:
+        """Pull a linecard; its ports (and their modules) go with it."""
+        card = self._slots[slot]
+        if card is None:
+            return None
+        from repro.hardware.router import disconnect
+        for port in self._slot_ports[slot]:
+            disconnect(port)
+            self.ports.remove(port)
+        self._slot_ports[slot] = []
+        self._slots[slot] = None
+        self._static_dirty = True
+        return card
+
+    # -- truth ----------------------------------------------------------------------
+
+    def wall_referred_power_w(self) -> float:
+        power = super().wall_referred_power_w()
+        for card in self._slots:
+            if card is not None:
+                power += card.p_card_w
+        return power
+
+
+class _CardPort(Port):
+    """A port living on a linecard: class truth resolves on the card."""
+
+    def __init__(self, router, index, port_type, name, card: LinecardSpec):
+        super().__init__(router, index, port_type, name)
+        self.card = card
+
+    def class_truth(self):
+        if not self._truth_cache_valid:
+            if self.transceiver is None:
+                self._truth_cache = None
+            else:
+                reach = self.transceiver.model.reach
+                speed = self.speed_gbps
+                exact = next(
+                    (cls for cls in self.card.interface_classes
+                     if cls.key == (self.port_type, reach, speed)), None)
+                if exact is None:
+                    from repro.hardware.catalog import default_class_truth
+                    exact = default_class_truth(self.port_type, reach, speed)
+                self._truth_cache = exact
+            self._truth_cache_valid = True
+        return self._truth_cache

@@ -1,0 +1,239 @@
+"""Port types and pluggable transceiver modules.
+
+The paper's central transceiver finding (§7) is that *"down" does not mean
+"off"*: a large share of a transceiver's power -- ``P_trx,in`` -- is drawn
+as soon as the module is plugged into a port, even if that port is
+administratively down.  Only the remainder -- ``P_trx,up`` -- depends on the
+interface coming up.  The catalog below encodes that split per module, plus
+the datasheet power value operators would read off the module's spec sheet
+(used by the link-sleeping analysis of §8, which only knows
+``P_trx = P_trx,in + P_trx,up`` from datasheets).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class PortType(enum.Enum):
+    """Physical port cages found on the routers the paper studies."""
+
+    SFP = "SFP"
+    SFP_PLUS = "SFP+"
+    SFP28 = "SFP28"
+    QSFP = "QSFP"
+    QSFP28 = "QSFP28"
+    QSFP_DD = "QSFP-DD"
+    RJ45 = "RJ45"
+
+    @property
+    def max_speed_gbps(self) -> float:
+        """Nominal maximum line rate supported by the cage."""
+        return _PORT_MAX_SPEED[self]
+
+
+_PORT_MAX_SPEED: Dict[PortType, float] = {
+    PortType.SFP: 1.0,
+    PortType.SFP_PLUS: 10.0,
+    PortType.SFP28: 25.0,
+    PortType.QSFP: 40.0,
+    PortType.QSFP28: 100.0,
+    PortType.QSFP_DD: 400.0,
+    PortType.RJ45: 10.0,
+}
+
+
+class Reach(enum.Enum):
+    """Optical reach / media class of a transceiver."""
+
+    DAC = "Passive DAC"      # passive copper, near-zero module power
+    AOC = "AOC"              # active optical cable
+    SR = "SR"                # short reach multimode
+    LR = "LR"                # long reach single mode (10 km)
+    LR4 = "LR4"              # 4-lane long reach
+    FR4 = "FR4"              # 4-lane 2km reach (400G)
+    CWDM4 = "CWDM4"
+    ER = "ER"                # extended reach (40 km)
+    ZR = "ZR"                # coherent 80 km+
+    T = "T"                  # electrical copper (BASE-T)
+
+
+@dataclass(frozen=True)
+class TransceiverModel:
+    """A pluggable transceiver product.
+
+    Attributes
+    ----------
+    name:
+        Catalog identifier, e.g. ``"QSFP28-100G-LR4"``.
+    form_factor:
+        The :class:`PortType` cage the module plugs into.
+    reach:
+        Media class; passive DACs draw almost nothing, coherent optics a lot.
+    speed_gbps:
+        Nominal line rate of the module.
+    power_in_w:
+        True power drawn as soon as the module is seated in a powered
+        router, regardless of the port's admin state (``P_trx,in``).
+    power_up_w:
+        True additional power once the interface is up (``P_trx,up``).
+        Small -- sometimes slightly negative in fitted models -- because
+        the laser of an optical module is typically on from plug-in.
+    datasheet_power_w:
+        The "max power" number printed on the module's datasheet.  This is
+        what §8 has to use when no fitted model exists; it approximates
+        ``P_trx,in + P_trx,up`` with generous margin.
+    powers_off_when_down:
+        Whether taking the port admin-down cuts the module's ``P_trx,in``
+        draw.  ``False`` for every module the paper measured ("down" does
+        not mean "off"); exposed so the ablation benches can explore the
+        software fix the paper postulates.
+    """
+
+    name: str
+    form_factor: PortType
+    reach: Reach
+    speed_gbps: float
+    power_in_w: float
+    power_up_w: float
+    datasheet_power_w: float
+    powers_off_when_down: bool = False
+
+    @property
+    def total_power_w(self) -> float:
+        """True steady-state power of a plugged, up module."""
+        return self.power_in_w + self.power_up_w
+
+    def power_draw(self, plugged: bool, link_up: bool, *,
+                   port_admin_up: bool = True) -> float:
+        """True module power for a given port state.
+
+        Models the §7 observation: ``power_in_w`` is paid from plug-in
+        unless the platform actually powers modules off on admin-down
+        (``powers_off_when_down``).
+        """
+        if not plugged:
+            return 0.0
+        if self.powers_off_when_down and not port_admin_up:
+            return 0.0
+        power = self.power_in_w
+        if link_up:
+            power += self.power_up_w
+        return power
+
+
+_serial_counter = itertools.count(1)
+
+
+@dataclass
+class TransceiverInstance:
+    """A physical module: a :class:`TransceiverModel` plus a serial number.
+
+    Operators track instances, not products; inventory files (§6.2) list the
+    module type per interface, and spare modules left plugged into inactive
+    ports are individual instances the model does not know about.
+    """
+
+    model: TransceiverModel
+    serial: str = field(default_factory=lambda: f"TRX{next(_serial_counter):08d}")
+
+    @property
+    def name(self) -> str:
+        """Product name of the underlying model."""
+        return self.model.name
+
+
+def _trx(name: str, form: PortType, reach: Reach, speed: float,
+         p_in: float, p_up: float, datasheet: float) -> TransceiverModel:
+    return TransceiverModel(
+        name=name, form_factor=form, reach=reach, speed_gbps=speed,
+        power_in_w=p_in, power_up_w=p_up, datasheet_power_w=datasheet,
+    )
+
+
+#: Catalog of transceiver products used across the simulated Switch network
+#: and the lab experiments.  The ``power_in``/``power_up`` splits for the
+#: modules appearing in Tables 2 and 6 come straight from the paper; the
+#: rest are datasheet-typical values with the paper's qualitative split
+#: (plug-in cost dominates for optics, is negligible for passive copper).
+TRANSCEIVER_CATALOG: Dict[str, TransceiverModel] = {
+    m.name: m
+    for m in [
+        # --- Passive copper -------------------------------------------------
+        _trx("QSFP28-100G-DAC", PortType.QSFP28, Reach.DAC, 100, 0.02, 0.19, 0.5),
+        _trx("QSFP28-50G-DAC", PortType.QSFP28, Reach.DAC, 50, 0.02, 0.16, 0.5),
+        _trx("QSFP28-25G-DAC", PortType.QSFP28, Reach.DAC, 25, 0.02, 0.08, 0.5),
+        _trx("QSFP28-40G-DAC", PortType.QSFP28, Reach.DAC, 40, 0.11, 0.16, 0.5),
+        _trx("QSFP-100G-DAC", PortType.QSFP, Reach.DAC, 100, 0.35, 0.21, 0.5),
+        _trx("SFP28-25G-DAC", PortType.SFP28, Reach.DAC, 25, 0.05, 0.05, 0.4),
+        _trx("SFP+-10G-DAC", PortType.SFP_PLUS, Reach.DAC, 10, 0.04, 0.04, 0.4),
+        # --- Short-reach optics ---------------------------------------------
+        _trx("QSFP28-100G-SR4", PortType.QSFP28, Reach.SR, 100, 1.7, 0.3, 2.5),
+        _trx("QSFP28-100G-CWDM4", PortType.QSFP28, Reach.CWDM4, 100, 2.4, 0.4, 3.5),
+        _trx("SFP+-10G-SR", PortType.SFP_PLUS, Reach.SR, 10, 0.55, 0.1, 1.0),
+        _trx("SFP28-25G-SR", PortType.SFP28, Reach.SR, 25, 0.7, 0.15, 1.2),
+        # --- Long-reach optics ----------------------------------------------
+        _trx("QSFP28-100G-LR4", PortType.QSFP28, Reach.LR4, 100, 2.79, 0.4, 4.5),
+        _trx("QSFP28-100G-LR", PortType.QSFP28, Reach.LR, 100, 2.79, -0.06, 4.5),
+        _trx("SFP+-10G-LR", PortType.SFP_PLUS, Reach.LR, 10, 0.8, 0.15, 1.5),
+        _trx("SFP+-10G-ER", PortType.SFP_PLUS, Reach.ER, 10, 1.2, 0.3, 2.0),
+        _trx("SFP-1G-LX", PortType.SFP, Reach.LR, 1, 0.55, 0.1, 1.0),
+        _trx("SFP-1G-SX", PortType.SFP, Reach.SR, 1, 0.45, 0.08, 0.8),
+        # --- 400G optics -----------------------------------------------------
+        _trx("QSFP-DD-400G-FR4", PortType.QSFP_DD, Reach.FR4, 400, 10.0, 2.0, 12.0),
+        _trx("QSFP-DD-400G-LR4", PortType.QSFP_DD, Reach.LR4, 400, 10.5, 2.5, 14.0),
+        _trx("QSFP-DD-400G-DAC", PortType.QSFP_DD, Reach.DAC, 400, 0.2, 0.3, 1.0),
+        _trx("QSFP-DD-400G-ZR", PortType.QSFP_DD, Reach.ZR, 400, 17.0, 4.0, 23.0),
+        # --- Electrical BASE-T ------------------------------------------------
+        _trx("SFP-1G-T", PortType.SFP, Reach.T, 1, 1.05, 0.0, 1.5),
+        _trx("SFP+-10G-T", PortType.SFP_PLUS, Reach.T, 10, 0.06, 0.0, 2.5),
+        _trx("RJ45-10G-T", PortType.RJ45, Reach.T, 10, 0.11, 0.0, 0.0),
+        _trx("RJ45-1G-T", PortType.RJ45, Reach.T, 1, 0.11, 0.0, 0.0),
+        _trx("RJ45-100M-T", PortType.RJ45, Reach.T, 0.1, 0.0, 0.0, 0.0),
+    ]
+}
+
+
+def transceiver(name: str) -> TransceiverInstance:
+    """Instantiate a fresh physical module of catalog product ``name``.
+
+    Raises ``KeyError`` with the known product list if ``name`` is unknown.
+    """
+    try:
+        model = TRANSCEIVER_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(TRANSCEIVER_CATALOG))
+        raise KeyError(f"unknown transceiver {name!r}; known products: {known}")
+    return TransceiverInstance(model=model)
+
+
+def compatible(port: PortType, model: TransceiverModel) -> bool:
+    """Whether a module physically fits and runs in a port cage.
+
+    QSFP28 cages accept QSFP modules (backwards compatible); everything
+    else requires an exact form-factor match.
+    """
+    if port == model.form_factor:
+        return True
+    if port == PortType.QSFP28 and model.form_factor == PortType.QSFP:
+        return True
+    if port == PortType.QSFP_DD and model.form_factor in (
+            PortType.QSFP, PortType.QSFP28):
+        return True
+    if port == PortType.SFP_PLUS and model.form_factor == PortType.SFP:
+        return True
+    if port == PortType.SFP28 and model.form_factor in (
+            PortType.SFP, PortType.SFP_PLUS):
+        return True
+    return False
+
+
+def catalog_by_form_factor() -> Dict[PortType, Tuple[TransceiverModel, ...]]:
+    """Group the catalog by form factor, for inventory generators."""
+    grouped: Dict[PortType, list] = {}
+    for model in TRANSCEIVER_CATALOG.values():
+        grouped.setdefault(model.form_factor, []).append(model)
+    return {k: tuple(sorted(v, key=lambda m: m.name)) for k, v in grouped.items()}

@@ -1,0 +1,129 @@
+"""Deriving the §4.3 ``P_linecard`` term in the lab.
+
+The paper: "it should be possible to extend the model by introducing a
+``P_linecard`` term that could be measured similarly as ``P_trx``" -- i.e.
+by varying how many cards are inserted and regressing power over the
+count, exactly like the Idle experiment varies plugged transceivers.
+
+The protocol implemented here:
+
+1. **Chassis** -- the empty chassis is measured (gives ``P_base``);
+2. **Card(k)** -- ``k`` identical cards are inserted (no transceivers,
+   no configuration) and power is measured for several ``k``;
+3. ``P_linecard`` is the slope of the regression over ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import FittedValue, PowerModel
+from repro.core.regression import LinearFit, linear_fit
+from repro.hardware.modular import ModularRouter, linecard_spec
+from repro.lab.power_meter import PowerMeter, summarize
+
+
+@dataclass
+class LinecardDerivationReport:
+    """Diagnostics of one ``P_linecard`` derivation."""
+
+    card_name: str
+    counts: Tuple[int, ...]
+    fit: LinearFit
+    chassis_power_w: FittedValue
+
+    @property
+    def p_card(self) -> FittedValue:
+        """The fitted per-card power term."""
+        return FittedValue(value=self.fit.slope,
+                           stderr=self.fit.slope_stderr)
+
+
+class ModularOrchestrator:
+    """Runs the linecard experiments against a modular DUT."""
+
+    def __init__(self, dut: ModularRouter,
+                 meter: Optional[PowerMeter] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.dut = dut
+        self.meter = meter if meter is not None else PowerMeter(rng=self.rng)
+        self.meter.attach(dut.wall_power_w, channel=0)
+        self._clock_s = 0.0
+
+    def _measure_mean(self, duration_s: float, period_s: float,
+                      settle_s: float) -> FittedValue:
+        if settle_s > 0:
+            self.dut.advance(settle_s)
+            self._clock_s += settle_s
+        samples = []
+        for _ in range(max(2, int(round(duration_s / period_s)))):
+            self.dut.advance(period_s)
+            self._clock_s += period_s
+            samples.append(self.meter.read(self._clock_s))
+        summary = summarize(samples)
+        return FittedValue(value=summary.mean_w, stderr=summary.sem_w)
+
+    def _empty_chassis(self) -> None:
+        for slot in range(self.dut.n_slots):
+            self.dut.remove_linecard(slot)
+
+    def measure_chassis(self, duration_s: float = 30.0,
+                        period_s: float = 1.0,
+                        settle_s: float = 5.0) -> FittedValue:
+        """The Chassis experiment: no cards inserted."""
+        self._empty_chassis()
+        return self._measure_mean(duration_s, period_s, settle_s)
+
+    def derive_linecard(self, card_name: str,
+                        counts: Sequence[int] = (1, 2, 3, 4),
+                        duration_s: float = 30.0, period_s: float = 1.0,
+                        settle_s: float = 5.0) -> LinecardDerivationReport:
+        """Fit ``P_linecard`` for one card product by varying the count."""
+        card = linecard_spec(card_name)
+        counts = tuple(sorted(set(counts)))
+        if len(counts) < 2:
+            raise ValueError(
+                f"need at least two distinct card counts, got {counts}")
+        if counts[-1] > self.dut.n_slots:
+            raise ValueError(
+                f"{self.dut.chassis.name} has {self.dut.n_slots} slots; "
+                f"cannot insert {counts[-1]} x {card_name}")
+        chassis_power = self.measure_chassis(duration_s, period_s, settle_s)
+        points: List[Tuple[int, float]] = []
+        for k in counts:
+            self._empty_chassis()
+            for slot in range(k):
+                self.dut.insert_linecard(slot, card)
+            measured = self._measure_mean(duration_s, period_s, settle_s)
+            points.append((k, measured.value))
+        self._empty_chassis()
+        fit = linear_fit([p[0] for p in points], [p[1] for p in points])
+        return LinecardDerivationReport(
+            card_name=card_name, counts=counts, fit=fit,
+            chassis_power_w=chassis_power)
+
+    def derive_model(self, card_names: Sequence[str],
+                     counts: Sequence[int] = (1, 2, 3, 4),
+                     **measure_kwargs) -> Tuple[PowerModel,
+                                                Dict[str,
+                                                     LinecardDerivationReport]]:
+        """A modular power model: chassis base + one P_linecard per card.
+
+        Interface classes are *not* derived here -- run the standard
+        fixed-chassis suites against a populated chassis for those; this
+        keeps the two derivations orthogonal, as the paper suggests.
+        """
+        reports = {name: self.derive_linecard(name, counts, **measure_kwargs)
+                   for name in card_names}
+        chassis = self.measure_chassis(
+            **{k: v for k, v in measure_kwargs.items()
+               if k in ("duration_s", "period_s", "settle_s")})
+        model = PowerModel(router_model=self.dut.chassis.name,
+                           p_base_w=chassis)
+        for name, report in reports.items():
+            model.add_linecard_model(name, report.p_card)
+        return model, reports

@@ -1,0 +1,281 @@
+"""NetPowerBench: orchestration of the §5 model-derivation experiments.
+
+The orchestrator owns the lab: the DUT (a :class:`VirtualRouter`), the
+power meter on the DUT's feed, and the traffic generator.  It executes the
+five experiment classes of §5.2 --
+
+======  ====================================================================
+Base    DUT on, no transceivers, no configuration
+Idle    transceivers plugged (pairs cabled), all ports admin-down
+Port    one port per pair admin-up; links stay down
+Trx     both ports of each pair admin-up; links come up
+Snake   traffic forwarded through every interface at swept (rate, size)
+======  ====================================================================
+
+-- and returns an :class:`ExperimentSuite` of measurement frames that
+:mod:`repro.core.derivation` turns into a fitted power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.router import Port, VirtualRouter
+from repro.hardware.transceiver import PortType, TRANSCEIVER_CATALOG
+from repro.lab.power_meter import PowerMeter, PowerSample, PowerSummary, summarize
+from repro.lab.snake import (
+    apply_snake_traffic,
+    cable_pairs,
+    cable_snake,
+    clear_traffic,
+    teardown,
+)
+from repro.lab.traffic_gen import Flow, TrafficGenerator
+
+#: Experiment class names, matching §5.2.
+EXPERIMENTS = ("base", "idle", "port", "trx", "snake")
+
+
+@dataclass(frozen=True)
+class MeasurementFrame:
+    """One experiment run: a configuration and its measured power summary."""
+
+    experiment: str
+    n_pairs: int
+    trx_name: Optional[str]
+    speed_gbps: Optional[float]
+    summary: PowerSummary
+    flow: Optional[Flow] = None
+
+    def __post_init__(self):
+        if self.experiment not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {self.experiment!r}; expected one of "
+                f"{EXPERIMENTS}")
+
+
+@dataclass
+class ExperimentSuite:
+    """All frames collected for one (DUT, transceiver, speed) combination."""
+
+    dut_model: str
+    port_type: PortType
+    trx_name: str
+    speed_gbps: float
+    frames: List[MeasurementFrame] = field(default_factory=list)
+
+    def of(self, experiment: str) -> List[MeasurementFrame]:
+        """Frames of one experiment class, in collection order."""
+        return [f for f in self.frames if f.experiment == experiment]
+
+    @property
+    def base_power_w(self) -> float:
+        """Mean measured power across all Base frames."""
+        frames = self.of("base")
+        if not frames:
+            raise ValueError("suite contains no Base experiment")
+        return float(np.mean([f.summary.mean_w for f in frames]))
+
+    def snake_by_packet_size(self) -> Dict[float, List[MeasurementFrame]]:
+        """Snake frames grouped by payload size (for the Eq. 17 regression)."""
+        grouped: Dict[float, List[MeasurementFrame]] = {}
+        for frame in self.of("snake"):
+            grouped.setdefault(frame.flow.packet_bytes, []).append(frame)
+        return grouped
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """Sweep parameters for a full §5.2 suite.
+
+    Defaults follow the paper's setup: pair counts swept for the static
+    regressions, ib_send_bw rates from 2.5 to the line rate, and payload
+    sizes spanning 64-1500 B.
+    """
+
+    trx_name: str
+    speed_gbps: Optional[float] = None
+    n_pairs_values: Tuple[int, ...] = (1, 2, 3, 4, 6, 8)
+    rates_gbps: Tuple[float, ...] = (2.5, 5, 10, 25, 50, 75, 100)
+    packet_sizes: Tuple[float, ...] = (64, 256, 512, 1024, 1500)
+    snake_n_pairs: int = 4
+    sample_period_s: float = 1.0
+    measure_duration_s: float = 60.0
+    settle_time_s: float = 10.0
+
+
+class Orchestrator:
+    """Drives a DUT through the §5 experiments and collects measurements."""
+
+    def __init__(self, dut: VirtualRouter,
+                 meter: Optional[PowerMeter] = None,
+                 generator: Optional[TrafficGenerator] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.dut = dut
+        self.meter = meter if meter is not None else PowerMeter(rng=self.rng)
+        self.generator = (generator if generator is not None
+                          else TrafficGenerator(rng=self.rng))
+        self.meter.attach(dut.wall_power_w, channel=0)
+        self._clock_s = 0.0
+
+    # -- low-level measurement -------------------------------------------------
+
+    def measure(self, duration_s: float, period_s: float = 1.0,
+                settle_s: float = 0.0) -> List[PowerSample]:
+        """Advance simulated time and sample the meter at a fixed period."""
+        if duration_s <= 0 or period_s <= 0:
+            raise ValueError("duration and period must be positive")
+        if settle_s > 0:
+            self.dut.advance(settle_s)
+            self._clock_s += settle_s
+        samples = []
+        for _ in range(max(2, int(round(duration_s / period_s)))):
+            self.dut.advance(period_s)
+            self._clock_s += period_s
+            samples.append(self.meter.read(self._clock_s, channel=0))
+        return samples
+
+    def _frame(self, experiment: str, n_pairs: int, plan: ExperimentPlan,
+               speed: Optional[float], flow: Optional[Flow] = None,
+               ) -> MeasurementFrame:
+        samples = self.measure(plan.measure_duration_s,
+                               plan.sample_period_s,
+                               settle_s=plan.settle_time_s)
+        return MeasurementFrame(
+            experiment=experiment, n_pairs=n_pairs,
+            trx_name=plan.trx_name if experiment != "base" else None,
+            speed_gbps=speed if experiment != "base" else None,
+            summary=summarize(samples), flow=flow)
+
+    # -- experiment setup -------------------------------------------------------
+
+    def _eligible_ports(self, trx_name: str) -> List[Port]:
+        model = TRANSCEIVER_CATALOG[trx_name]
+        ports = [p for p in self.dut.ports
+                 if p.port_type == model.form_factor]
+        if not ports:
+            # Fall back to compatibility (QSFP modules in QSFP28 cages etc.).
+            from repro.hardware.transceiver import compatible
+            ports = [p for p in self.dut.ports
+                     if compatible(p.port_type, model)]
+        if not ports:
+            raise ValueError(
+                f"{self.dut.model_name} has no port accepting {trx_name}")
+        return ports
+
+    def _reset(self) -> None:
+        teardown(self.dut.ports)
+
+    def _setup_pairs(self, trx_name: str, n_pairs: int,
+                     speed: Optional[float]) -> List[Port]:
+        self._reset()
+        ports = self._eligible_ports(trx_name)[: 2 * n_pairs]
+        if len(ports) < 2 * n_pairs:
+            raise ValueError(
+                f"{self.dut.model_name} has only {len(ports)} eligible ports; "
+                f"cannot form {n_pairs} pairs of {trx_name}")
+        for port in ports:
+            port.plug(trx_name)
+            if speed is not None:
+                port.set_speed(speed)
+        cable_pairs(ports)
+        return ports
+
+    # -- the five experiments ----------------------------------------------------
+
+    def run_base(self, plan: ExperimentPlan) -> MeasurementFrame:
+        """Base: no transceivers, no configuration (Eq. 7)."""
+        self._reset()
+        return self._frame("base", 0, plan, None)
+
+    def run_idle(self, plan: ExperimentPlan, n_pairs: int) -> MeasurementFrame:
+        """Idle: transceivers plugged, everything admin-down (Eq. 8)."""
+        self._setup_pairs(plan.trx_name, n_pairs, plan.speed_gbps)
+        return self._frame("idle", n_pairs, plan, plan.speed_gbps)
+
+    def run_port(self, plan: ExperimentPlan, n_pairs: int) -> MeasurementFrame:
+        """Port: one port per pair admin-up; links stay down (Eq. 9)."""
+        ports = self._setup_pairs(plan.trx_name, n_pairs, plan.speed_gbps)
+        for port in ports[::2]:
+            port.set_admin(True)
+        return self._frame("port", n_pairs, plan, plan.speed_gbps)
+
+    def run_trx(self, plan: ExperimentPlan, n_pairs: int) -> MeasurementFrame:
+        """Trx: both ports of each pair up; interfaces come up (Eq. 10)."""
+        ports = self._setup_pairs(plan.trx_name, n_pairs, plan.speed_gbps)
+        for port in ports:
+            port.set_admin(True)
+        return self._frame("trx", n_pairs, plan, plan.speed_gbps)
+
+    def run_snake(self, plan: ExperimentPlan, n_pairs: int,
+                  rate_gbps: float, packet_bytes: float) -> MeasurementFrame:
+        """Snake: traffic through every interface at one (rate, size) point."""
+        self._reset()
+        ports = self._eligible_ports(plan.trx_name)[: 2 * n_pairs]
+        for port in ports:
+            port.plug(plan.trx_name)
+            if plan.speed_gbps is not None:
+                port.set_speed(plan.speed_gbps)
+            port.set_admin(True)
+        layout = cable_snake(ports)
+        flow = self.generator.start_flow(rate_gbps, packet_bytes)
+        apply_snake_traffic(layout, flow)
+        frame = self._frame("snake", n_pairs, plan, plan.speed_gbps, flow=flow)
+        clear_traffic(ports)
+        return frame
+
+    # -- full suite ----------------------------------------------------------------
+
+    def run_suite(self, plan: ExperimentPlan) -> ExperimentSuite:
+        """Execute the complete §5.2 protocol for one interface class."""
+        trx_model = TRANSCEIVER_CATALOG.get(plan.trx_name)
+        if trx_model is None:
+            known = ", ".join(sorted(TRANSCEIVER_CATALOG))
+            raise KeyError(f"unknown transceiver {plan.trx_name!r}; "
+                           f"known products: {known}")
+        speed = (plan.speed_gbps if plan.speed_gbps is not None
+                 else trx_model.speed_gbps)
+        plan = ExperimentPlan(
+            trx_name=plan.trx_name, speed_gbps=speed,
+            n_pairs_values=plan.n_pairs_values,
+            rates_gbps=plan.rates_gbps, packet_sizes=plan.packet_sizes,
+            snake_n_pairs=plan.snake_n_pairs,
+            sample_period_s=plan.sample_period_s,
+            measure_duration_s=plan.measure_duration_s,
+            settle_time_s=plan.settle_time_s)
+        eligible = self._eligible_ports(plan.trx_name)
+        max_pairs = len(eligible) // 2
+        n_values = [n for n in plan.n_pairs_values if n <= max_pairs]
+        if len(n_values) < 2:
+            raise ValueError(
+                f"need at least two feasible pair counts on "
+                f"{self.dut.model_name} for the static regressions; "
+                f"got {n_values} from {plan.n_pairs_values} "
+                f"(max {max_pairs} pairs)")
+        snake_pairs = min(plan.snake_n_pairs, max_pairs)
+        rates = [r for r in plan.rates_gbps if r <= speed]
+        if not rates:
+            raise ValueError(
+                f"no requested rate fits a {speed} Gbps interface")
+
+        suite = ExperimentSuite(
+            dut_model=self.dut.model_name,
+            port_type=eligible[0].port_type,
+            trx_name=plan.trx_name, speed_gbps=speed)
+        suite.frames.append(self.run_base(plan))
+        for n in n_values:
+            suite.frames.append(self.run_idle(plan, n))
+        for n in n_values:
+            suite.frames.append(self.run_port(plan, n))
+        for n in n_values:
+            suite.frames.append(self.run_trx(plan, n))
+        for packet_bytes in plan.packet_sizes:
+            for rate in rates:
+                suite.frames.append(
+                    self.run_snake(plan, snake_pairs, rate, packet_bytes))
+        self._reset()
+        return suite

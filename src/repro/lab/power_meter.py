@@ -1,0 +1,140 @@
+"""Simulated external power meter (Microchip MCP39F511N).
+
+The paper's lab and Autopower deployments both use this two-channel meter:
+±0.5 % specified accuracy, C13 plugs, streaming over USB.  The simulation
+reproduces the error model that matters for the downstream regressions:
+
+* a per-device *gain* error (calibration), constant over a session, drawn
+  within the accuracy spec -- this is what makes two meters disagree by a
+  constant factor;
+* additive white noise per sample (ADC + line noise);
+* quantisation of the reported value.
+
+Channel 0 is conventionally the DUT/router; channel 1 powers the
+measurement unit itself in Autopower deployments (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+#: Datasheet accuracy of the MCP39F511N: ±0.5 % of reading.
+MCP39F511N_ACCURACY = 0.005
+
+#: Resolution of the reported active power in watts.
+MCP39F511N_QUANTUM_W = 0.01
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One timestamped active-power reading from a meter channel."""
+
+    timestamp_s: float
+    power_w: float
+    channel: int = 0
+
+
+class MeterChannel:
+    """One measurement channel: a source of true watts plus the error model.
+
+    ``source`` is any zero-argument callable returning the true wall power
+    at the moment of sampling -- typically ``router.wall_power_w``.
+    """
+
+    def __init__(self, channel: int, rng: np.random.Generator,
+                 gain_error_limit: float = MCP39F511N_ACCURACY,
+                 noise_std_w: float = 0.05,
+                 quantum_w: float = MCP39F511N_QUANTUM_W):
+        self.channel = channel
+        self._rng = rng
+        # Per-device calibration error, fixed for the channel's lifetime.
+        # Uniform within ±limit: the spec is a bound, not a distribution.
+        self.gain = 1.0 + float(rng.uniform(-gain_error_limit,
+                                            gain_error_limit))
+        self.noise_std_w = noise_std_w
+        self.quantum_w = quantum_w
+        self.source: Optional[Callable[[], float]] = None
+
+    def attach(self, source: Callable[[], float]) -> None:
+        """Plug a device into this channel."""
+        self.source = source
+
+    def detach(self) -> None:
+        """Unplug whatever is connected."""
+        self.source = None
+
+    def read(self, timestamp_s: float) -> PowerSample:
+        """Take one sample; an unplugged channel reads 0 W."""
+        if self.source is None:
+            true = 0.0
+        else:
+            true = self.source()
+        measured = true * self.gain + float(self._rng.normal(0.0, self.noise_std_w))
+        if self.quantum_w > 0:
+            measured = round(measured / self.quantum_w) * self.quantum_w
+        return PowerSample(timestamp_s=timestamp_s,
+                           power_w=max(0.0, measured),
+                           channel=self.channel)
+
+
+class PowerMeter:
+    """A two-channel MCP39F511N-style meter."""
+
+    N_CHANNELS = 2
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 gain_error_limit: float = MCP39F511N_ACCURACY,
+                 noise_std_w: float = 0.05):
+        rng = rng if rng is not None else np.random.default_rng()
+        self.channels = [
+            MeterChannel(i, rng, gain_error_limit=gain_error_limit,
+                         noise_std_w=noise_std_w)
+            for i in range(self.N_CHANNELS)
+        ]
+
+    def attach(self, source: Callable[[], float], channel: int = 0) -> None:
+        """Connect a power source (e.g. ``router.wall_power_w``) to a channel."""
+        self.channels[channel].attach(source)
+
+    def detach(self, channel: int = 0) -> None:
+        """Disconnect a channel."""
+        self.channels[channel].detach()
+
+    def read(self, timestamp_s: float, channel: int = 0) -> PowerSample:
+        """One sample from a channel."""
+        return self.channels[channel].read(timestamp_s)
+
+
+def summarize(samples: Sequence[PowerSample]) -> "PowerSummary":
+    """Aggregate a sample series into the statistics the derivation uses."""
+    if not samples:
+        raise ValueError("cannot summarise an empty sample series")
+    values = np.array([s.power_w for s in samples], dtype=float)
+    return PowerSummary(
+        mean_w=float(values.mean()),
+        std_w=float(values.std(ddof=1)) if len(values) > 1 else 0.0,
+        median_w=float(np.median(values)),
+        n_samples=len(values),
+        duration_s=samples[-1].timestamp_s - samples[0].timestamp_s,
+    )
+
+
+@dataclass(frozen=True)
+class PowerSummary:
+    """Summary statistics of one measurement window."""
+
+    mean_w: float
+    std_w: float
+    median_w: float
+    n_samples: int
+    duration_s: float
+
+    @property
+    def sem_w(self) -> float:
+        """Standard error of the mean."""
+        if self.n_samples <= 1:
+            return 0.0
+        return self.std_w / float(np.sqrt(self.n_samples))

@@ -1,0 +1,99 @@
+"""Simulated lab traffic generation.
+
+The paper's orchestrator is an Intel NUC with a Mellanox ConnectX-6,
+generating up to 100 Gbps unidirectional with ``ib_send_bw`` (2.5-100 Gbps)
+and ``iperf3 -u`` for smaller rates.  We reproduce the *interface* of those
+tools -- request a rate and a packet size, get back what was actually
+achieved -- because the derivation regressions must use achieved rates, not
+requested ones (real generators undershoot slightly and have granular rate
+control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import units
+
+#: ib_send_bw operating range on the paper's setup (Gbps).
+IB_SEND_BW_MIN_GBPS = 2.5
+IB_SEND_BW_MAX_GBPS = 100.0
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional test flow as actually achieved by the generator.
+
+    ``bit_rate_bps`` is the physical-layer rate (what the DUT's interface
+    carries, and what the power model's ``r`` means); ``packet_bytes`` is
+    the payload size ``L``.
+    """
+
+    bit_rate_bps: float
+    packet_bytes: float
+    tool: str
+
+    @property
+    def packet_rate_pps(self) -> float:
+        """Packets per second of the flow."""
+        return units.packet_rate(self.bit_rate_bps, self.packet_bytes)
+
+    @property
+    def bit_rate_gbps(self) -> float:
+        """Convenience accessor in Gbps."""
+        return units.bps_to_gbps(self.bit_rate_bps)
+
+
+class TrafficGenerator:
+    """The orchestrator's traffic-generation capability.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source for the per-run rate jitter.
+    max_rate_gbps:
+        NIC line rate (100 G for the ConnectX-6 used in the paper).
+    rate_jitter:
+        Relative shortfall scale of achieved vs requested rate.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 max_rate_gbps: float = 100.0,
+                 rate_jitter: float = 0.002):
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.max_rate_gbps = max_rate_gbps
+        self.rate_jitter = rate_jitter
+
+    def _achieved(self, requested_bps: float) -> float:
+        # Generators undershoot: achieved = requested * (1 - |jitter|).
+        shortfall = abs(float(self.rng.normal(0.0, self.rate_jitter)))
+        return requested_bps * (1.0 - shortfall)
+
+    def start_flow(self, rate_gbps: float,
+                   packet_bytes: float = units.MAX_PACKET_BYTES) -> Flow:
+        """Start a test flow, choosing the tool like the paper's scripts.
+
+        ``ib_send_bw`` covers 2.5-100 Gbps; anything smaller falls back to
+        ``iperf3`` in UDP mode.
+        """
+        if rate_gbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_gbps}")
+        if rate_gbps > self.max_rate_gbps:
+            raise ValueError(
+                f"requested {rate_gbps} Gbps exceeds the generator NIC's "
+                f"{self.max_rate_gbps} Gbps line rate")
+        if not (units.MIN_PACKET_BYTES <= packet_bytes
+                <= units.MAX_PACKET_BYTES * 6):
+            raise ValueError(
+                f"packet size {packet_bytes} B outside the generator's "
+                f"{units.MIN_PACKET_BYTES}-{units.MAX_PACKET_BYTES * 6} B range")
+        tool = ("ib_send_bw" if rate_gbps >= IB_SEND_BW_MIN_GBPS else "iperf3-udp")
+        achieved = self._achieved(units.gbps_to_bps(rate_gbps))
+        return Flow(bit_rate_bps=achieved, packet_bytes=packet_bytes, tool=tool)
+
+    def sweep_rates(self, rates_gbps, packet_bytes: float):
+        """Start one flow per requested rate (a §5.2 rate sweep)."""
+        return [self.start_flow(r, packet_bytes) for r in rates_gbps]

@@ -1,0 +1,169 @@
+"""Operational events injected into fleet simulations.
+
+The paper's traces are full of operator actions that the analyses must
+cope with: transceivers removed and added (Fig. 4a, Oct 9 / Oct 31), a
+flapping interface taken down with its module left seated (Oct 22-25), an
+OS update that changed fan behaviour (+45 W, Fig. 8), hardware
+(de)commissioning visible as steps in the network total (Fig. 1), and the
+power cycles caused by installing Autopower meters (Fig. 4b, Sep 25).
+Each event type here reproduces one of those actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.topology import ExternalPeerPort, ISPNetwork, Link, LinkEnd, LinkKind
+from repro.hardware.router import connect, disconnect
+
+
+@dataclass
+class FleetEvent:
+    """Base class: something that happens at an absolute simulation time."""
+
+    at_s: float
+
+    def apply(self, simulation) -> None:
+        """Mutate the network; called once when the sim clock passes at_s."""
+        raise NotImplementedError
+
+
+@dataclass
+class UnplugModule(FleetEvent):
+    """An operator removes a transceiver (Fig. 4a's Oct 9 event)."""
+
+    hostname: str = ""
+    port_index: int = 0
+
+    def apply(self, simulation) -> None:
+        port = simulation.network.router(self.hostname).port(self.port_index)
+        port.set_admin(False)
+        disconnect(port)
+        port.unplug()
+
+
+@dataclass
+class AddExternalInterface(FleetEvent):
+    """An operator provisions a new customer/peer interface (Oct 31)."""
+
+    hostname: str = ""
+    port_index: int = 0
+    trx_name: str = ""
+
+    def apply(self, simulation) -> None:
+        network: ISPNetwork = simulation.network
+        port = network.router(self.hostname).port(self.port_index)
+        port.plug(self.trx_name)
+        port.set_admin(True)
+        peer = ExternalPeerPort(name=f"peer-event-{self.port_index}")
+        connect(port, peer)
+        link = Link(
+            link_id=max((l.link_id for l in network.links), default=0) + 1,
+            kind=LinkKind.EXTERNAL,
+            speed_gbps=port.speed_gbps,
+            a=LinkEnd(self.hostname, self.port_index),
+            peer_name=peer.name, distance="metro")
+        network.links.append(link)
+        simulation.on_topology_change(new_external=link)
+
+
+@dataclass
+class SetAdminState(FleetEvent):
+    """An interface is shut (or unshut) but the module stays seated.
+
+    This is the Oct 22-25 flapping-fix event: the model -- which treats a
+    counter-silent interface as unplugged -- over-predicts the power drop,
+    because ``P_trx,in`` keeps flowing.
+    """
+
+    hostname: str = ""
+    port_index: int = 0
+    up: bool = False
+
+    def apply(self, simulation) -> None:
+        port = simulation.network.router(self.hostname).port(self.port_index)
+        port.set_admin(self.up)
+
+
+@dataclass
+class OsUpdate(FleetEvent):
+    """An OS upgrade changes thermal management (Fig. 8: +45 W of fans)."""
+
+    hostname: str = ""
+    fan_bump_w: float = 45.0
+
+    def apply(self, simulation) -> None:
+        simulation.network.router(self.hostname).apply_os_update(
+            self.fan_bump_w)
+
+
+@dataclass
+class PowerCycle(FleetEvent):
+    """A power cycle (e.g. moving the feed onto a metering unit)."""
+
+    hostname: str = ""
+
+    def apply(self, simulation) -> None:
+        simulation.network.router(self.hostname).power_cycle()
+
+
+@dataclass
+class Decommission(FleetEvent):
+    """A router is powered down and removed from service (Fig. 1 steps)."""
+
+    hostname: str = ""
+
+    def apply(self, simulation) -> None:
+        simulation.network.router(self.hostname).powered = False
+
+
+@dataclass
+class Commission(FleetEvent):
+    """A previously dark router is brought (back) into service."""
+
+    hostname: str = ""
+
+    def apply(self, simulation) -> None:
+        simulation.network.router(self.hostname).powered = True
+
+
+@dataclass
+class AmbientChange(FleetEvent):
+    """Ambient temperature shifts at one router (a cooling problem).
+
+    §4.3 omits temperature from the model because server rooms keep it
+    pseudo-constant; when that assumption breaks, the model's offset
+    drifts with no configuration change -- exactly what this injects.
+    """
+
+    hostname: str = ""
+    ambient_c: float = 22.0
+
+    def apply(self, simulation) -> None:
+        simulation.network.router(self.hostname).set_ambient(self.ambient_c)
+
+
+@dataclass
+class HeatWave(FleetEvent):
+    """Ambient temperature shifts across the whole fleet."""
+
+    ambient_c: float = 30.0
+
+    def apply(self, simulation) -> None:
+        for router in simulation.network.routers.values():
+            router.set_ambient(self.ambient_c)
+
+
+@dataclass
+class DeployAutopower(FleetEvent):
+    """Install an Autopower unit on a router's feed (Fig. 4b, Sep 25).
+
+    Installation requires briefly unplugging each PSU, so the router gets
+    power-cycled -- the event that shifted one PSU's self-reported power
+    by 7 W in the paper.
+    """
+
+    hostname: str = ""
+
+    def apply(self, simulation) -> None:
+        simulation.deploy_autopower(self.hostname)

@@ -1,0 +1,172 @@
+"""Module inventory files: the §6.2 input the model predictions consume.
+
+The paper combines its power models "with the deployed routers' module
+inventory files (giving the transceiver module types) and the traffic
+counters" to predict deployed power.  This module implements inventory
+files as first-class artefacts: per-router records of which module sits
+in which interface at what speed, exportable to JSON, diffable across
+snapshots (the Fig. 4a events are inventory diffs), and directly
+convertible into the prediction pipeline's inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.router import VirtualRouter
+from repro.network.topology import ISPNetwork
+
+
+@dataclass(frozen=True)
+class InterfaceEntry:
+    """One interface's inventory line."""
+
+    name: str
+    module: Optional[str]          # transceiver product, None if empty
+    speed_gbps: float
+    admin_up: bool
+
+    @property
+    def populated(self) -> bool:
+        """Whether a module is seated."""
+        return self.module is not None
+
+
+@dataclass
+class RouterInventory:
+    """The inventory file of one router."""
+
+    hostname: str
+    router_model: str
+    interfaces: List[InterfaceEntry] = field(default_factory=list)
+
+    def modules(self) -> Dict[str, str]:
+        """interface name -> module product, populated entries only."""
+        return {e.name: e.module for e in self.interfaces if e.populated}
+
+    def spare_modules(self) -> List[InterfaceEntry]:
+        """Modules seated in admin-down ports (§6.2's spares)."""
+        return [e for e in self.interfaces
+                if e.populated and not e.admin_up]
+
+    @classmethod
+    def capture(cls, router: VirtualRouter) -> "RouterInventory":
+        """Snapshot a live router's inventory."""
+        entries = [
+            InterfaceEntry(
+                name=port.name,
+                module=port.transceiver.name if port.transceiver else None,
+                speed_gbps=port.speed_gbps,
+                admin_up=port.admin_up)
+            for port in router.ports
+        ]
+        return cls(hostname=router.hostname,
+                   router_model=router.model_name, interfaces=entries)
+
+
+@dataclass
+class FleetInventory:
+    """Inventory files for a whole network, with JSON round-trip."""
+
+    routers: Dict[str, RouterInventory] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, network: ISPNetwork) -> "FleetInventory":
+        """Snapshot every router in the fleet."""
+        return cls(routers={
+            hostname: RouterInventory.capture(router)
+            for hostname, router in network.routers.items()
+        })
+
+    def __len__(self) -> int:
+        return len(self.routers)
+
+    def total_modules(self) -> int:
+        """Seated modules across the fleet."""
+        return sum(len(inv.modules()) for inv in self.routers.values())
+
+    def module_census(self) -> Dict[str, int]:
+        """Module product -> count, fleet-wide."""
+        census: Dict[str, int] = {}
+        for inventory in self.routers.values():
+            for module in inventory.modules().values():
+                census[module] = census.get(module, 0) + 1
+        return dict(sorted(census.items()))
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """One JSON document for the whole fleet."""
+        payload = {
+            hostname: {
+                "router_model": inv.router_model,
+                "interfaces": [asdict(e) for e in inv.interfaces],
+            }
+            for hostname, inv in sorted(self.routers.items())
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetInventory":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        fleet = cls()
+        for hostname, data in payload.items():
+            entries = [InterfaceEntry(**entry)
+                       for entry in data["interfaces"]]
+            fleet.routers[hostname] = RouterInventory(
+                hostname=hostname,
+                router_model=data["router_model"],
+                interfaces=entries)
+        return fleet
+
+
+@dataclass(frozen=True)
+class InventoryChange:
+    """One line of an inventory diff."""
+
+    hostname: str
+    interface: str
+    kind: str                      # "added" | "removed" | "changed"
+    before: Optional[str] = None
+    after: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.kind == "added":
+            return f"{self.hostname}/{self.interface}: + {self.after}"
+        if self.kind == "removed":
+            return f"{self.hostname}/{self.interface}: - {self.before}"
+        return (f"{self.hostname}/{self.interface}: "
+                f"{self.before} -> {self.after}")
+
+
+def diff_inventories(before: FleetInventory,
+                     after: FleetInventory) -> List[InventoryChange]:
+    """Inventory changes between two snapshots.
+
+    The Fig. 4a annotations ("Oct 9: interface removed", "Oct 31:
+    interfaces added") are exactly this diff over the Switch inventory.
+    """
+    changes: List[InventoryChange] = []
+    hostnames = sorted(set(before.routers) | set(after.routers))
+    for hostname in hostnames:
+        old = (before.routers[hostname].modules()
+               if hostname in before.routers else {})
+        new = (after.routers[hostname].modules()
+               if hostname in after.routers else {})
+        for iface in sorted(set(old) | set(new)):
+            if iface in old and iface not in new:
+                changes.append(InventoryChange(
+                    hostname=hostname, interface=iface, kind="removed",
+                    before=old[iface]))
+            elif iface in new and iface not in old:
+                changes.append(InventoryChange(
+                    hostname=hostname, interface=iface, kind="added",
+                    after=new[iface]))
+            elif old[iface] != new[iface]:
+                changes.append(InventoryChange(
+                    hostname=hostname, interface=iface, kind="changed",
+                    before=old[iface], after=new[iface]))
+    return changes

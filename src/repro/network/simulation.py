@@ -1,0 +1,187 @@
+"""Time-stepped simulation of the ISP fleet under monitoring.
+
+This is the stand-in for "running the Switch network for weeks while the
+collectors watch": at every step the traffic model assigns loads to every
+interface, routers advance (counters accumulate, ambient noise drifts),
+due operational events fire, and the SNMP collector and any deployed
+Autopower units take their samples.
+
+The result object carries everything the §6-§9 analyses need: per-router
+SNMP power traces, interface counter traces for the detailed routers,
+Autopower ground truth, the one-time PSU sensor export, and the
+network-wide power/traffic series of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.network.events import FleetEvent
+from repro.network.topology import ISPNetwork, Link
+from repro.network.traffic import FleetTrafficModel
+from repro.telemetry.autopower import AutopowerClient, AutopowerServer, deploy_unit
+from repro.telemetry.snmp import PsuSensorExport, RouterTrace, SnmpCollector
+from repro.telemetry.traces import TimeSeries
+
+#: Average payload size assigned to fleet traffic (IMIX-flavoured).
+FLEET_PACKET_BYTES = 700.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything recorded during one fleet simulation run."""
+
+    #: Network-wide totals on the simulation step grid (Fig. 1).
+    total_power: TimeSeries
+    total_traffic_bps: TimeSeries
+    #: Finalised SNMP traces per router.
+    snmp: Dict[str, RouterTrace]
+    #: External (Autopower) power series per instrumented router.
+    autopower: Dict[str, TimeSeries]
+    #: One-time PSU sensor export taken at the end of the run (§9.2).
+    sensor_exports: List[PsuSensorExport]
+
+    def network_median_power_w(self) -> float:
+        """Median of the total network power over the run."""
+        return self.total_power.median()
+
+
+class NetworkSimulation:
+    """Drives an :class:`ISPNetwork` through simulated wall-clock time."""
+
+    def __init__(self, network: ISPNetwork, traffic: FleetTrafficModel,
+                 rng: Optional[np.random.Generator] = None,
+                 start_s: float = 0.0):
+        self.network = network
+        self.traffic = traffic
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.clock_s = start_s
+        self.autopower_server = AutopowerServer()
+        self.autopower_clients: Dict[str, AutopowerClient] = {}
+        self._new_external_links: List[Link] = []
+
+    # -- hooks used by events ------------------------------------------------------
+
+    def deploy_autopower(self, hostname: str) -> AutopowerClient:
+        """Install an Autopower unit on a router (power-cycles it)."""
+        router = self.network.router(hostname)
+        client = deploy_unit(router, self.autopower_server,
+                             rng=np.random.default_rng(
+                                 self.rng.integers(2 ** 63)))
+        self.autopower_clients[hostname] = client
+        return client
+
+    def on_topology_change(self, new_external: Optional[Link] = None) -> None:
+        """Notify the traffic model that links were added or removed."""
+        if new_external is not None:
+            self._new_external_links.append(new_external)
+
+    # -- traffic application ----------------------------------------------------------
+
+    def _apply_traffic(self, t_s: float) -> float:
+        """Set offered traffic on every port; returns total ingress bps."""
+        external_rates = self.traffic.external_rates_at(t_s)
+        internal_rates = self.traffic.internal_rates_at(t_s)
+        total_ingress = 0.0
+        for link in self.network.links:
+            port_a = self.network.port_of(link.a)
+            if link.is_internal:
+                rate = internal_rates.get(link.link_id, 0.0)
+                rate = min(rate, 0.95 * units.gbps_to_bps(link.speed_gbps))
+                port_b = self.network.port_of(link.b)
+                port_a.offer_traffic(rx_bps=rate, tx_bps=rate,
+                                     packet_bytes=FLEET_PACKET_BYTES)
+                port_b.offer_traffic(rx_bps=rate, tx_bps=rate,
+                                     packet_bytes=FLEET_PACKET_BYTES)
+            else:
+                rate = external_rates.get(link.link_id, 0.0)
+                if rate == 0.0 and link in self._new_external_links:
+                    # Links added mid-run get a modest default demand.
+                    rate = 0.02 * units.gbps_to_bps(link.speed_gbps)
+                if not port_a.link_up:
+                    rate = 0.0
+                port_a.offer_traffic(rx_bps=rate, tx_bps=rate,
+                                     packet_bytes=FLEET_PACKET_BYTES)
+                total_ingress += rate
+        return total_ingress
+
+    # -- the main loop -------------------------------------------------------------------
+
+    def run(self, duration_s: float, step_s: float = 300.0,
+            events: Sequence[FleetEvent] = (),
+            snmp_period_s: float = units.SNMP_POLL_PERIOD_S,
+            detailed_hosts: Optional[Sequence[str]] = None,
+            ) -> SimulationResult:
+        """Simulate ``duration_s`` seconds of fleet operation.
+
+        Parameters
+        ----------
+        duration_s, step_s:
+            Total simulated time and the stepping resolution.  Traffic,
+            counters, and Autopower samples are updated once per step;
+            SNMP polls happen every ``snmp_period_s`` (at least once per
+            step).
+        events:
+            Operational events; each fires once when the clock passes its
+            ``at_s``.
+        detailed_hosts:
+            Routers whose interface counters are recorded (all routers'
+            power is always recorded).  Defaults to the Autopower'd hosts
+            plus any event targets; pass explicitly for full control.
+        """
+        if step_s <= 0 or duration_s <= 0:
+            raise ValueError("duration and step must be positive")
+        pending = sorted(events, key=lambda e: e.at_s)
+        if detailed_hosts is None:
+            detailed = {getattr(e, "hostname", "") for e in pending}
+            detailed.discard("")
+            detailed |= set(self.autopower_clients)
+            detailed_hosts = sorted(h for h in detailed
+                                    if h in self.network.routers)
+        collector = SnmpCollector(
+            list(self.network.routers.values()),
+            detailed_hosts=detailed_hosts)
+
+        n_steps = int(round(duration_s / step_s))
+        grid = np.empty(n_steps)
+        total_power = np.empty(n_steps)
+        total_traffic = np.empty(n_steps)
+        next_poll_s = self.clock_s
+        event_idx = 0
+
+        for step in range(n_steps):
+            t = self.clock_s
+            while event_idx < len(pending) and pending[event_idx].at_s <= t:
+                pending[event_idx].apply(self)
+                event_idx += 1
+            ingress = self._apply_traffic(t)
+            for router in self.network.routers.values():
+                router.advance(step_s)
+            self.clock_s += step_s
+            t_sample = self.clock_s
+            grid[step] = t_sample
+            total_power[step] = self.network.total_wall_power_w()
+            total_traffic[step] = ingress
+            if t_sample >= next_poll_s:
+                collector.record(t_sample)
+                next_poll_s += max(snmp_period_s, step_s)
+            for client in self.autopower_clients.values():
+                client.tick(t_sample)
+
+        for client in self.autopower_clients.values():
+            client.try_upload(self.clock_s)
+        autopower = {
+            host: self.autopower_server.download(client.unit_id)
+            for host, client in self.autopower_clients.items()
+        }
+        return SimulationResult(
+            total_power=TimeSeries(grid, total_power),
+            total_traffic_bps=TimeSeries(grid, total_traffic),
+            snmp=collector.finalize(),
+            autopower=autopower,
+            sensor_exports=collector.sensor_exports(),
+        )

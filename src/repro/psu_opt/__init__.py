@@ -1,0 +1,31 @@
+"""PSU efficiency optimisation (§9): upgrades, right-sizing, consolidation."""
+
+from repro.psu_opt.analysis import (
+    PsuPoint,
+    PsuSavings,
+    clean_exports,
+    combined_savings,
+    efficiency_scatter,
+    hot_standby_savings,
+    resize_savings,
+    single_psu_savings,
+    table3,
+    table4,
+    total_input_power_w,
+    upgrade_savings,
+)
+
+__all__ = [
+    "PsuPoint",
+    "PsuSavings",
+    "clean_exports",
+    "combined_savings",
+    "efficiency_scatter",
+    "hot_standby_savings",
+    "resize_savings",
+    "single_psu_savings",
+    "table3",
+    "table4",
+    "total_input_power_w",
+    "upgrade_savings",
+]

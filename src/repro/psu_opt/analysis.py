@@ -1,0 +1,288 @@
+"""PSU efficiency analysis and optimisation estimates (§9).
+
+All four of the paper's what-if estimates operate on the same input: the
+one-time PSU sensor export (§9.2) giving, per PSU, one (load, efficiency)
+point -- after capping physically impossible readings at 100 %.  The
+modelling device is §9.3's assumption that *every PSU's efficiency curve
+is the PFE600 curve plus a constant offset* fixed by its observed point.
+
+Estimates implemented:
+
+* :func:`upgrade_savings` -- raise every PSU to at least an 80 Plus level
+  (§9.3.2, Table 3 row 1);
+* :func:`resize_savings` -- re-provision PSU capacities near the actual
+  demand (§9.3.3, Table 4);
+* :func:`single_psu_savings` -- stop load-balancing, put the full load on
+  one supply (§9.3.4, Table 3 row 2);
+* :func:`combined_savings` -- both at once (§9.3.5, Table 3 row 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.psu import (
+    EightyPlus,
+    EfficiencyCurve,
+    OffsetCurve,
+    PFE600_CURVE,
+    PSU_CAPACITIES_W,
+    standard_curve,
+)
+from repro.telemetry.snmp import PsuSensorExport
+
+
+@dataclass(frozen=True)
+class PsuPoint:
+    """One PSU's cleaned observation: load fraction and capped efficiency."""
+
+    router: str
+    router_model: str
+    psu_index: int
+    capacity_w: float
+    output_w: float
+    input_w: float
+    efficiency: float          # capped at 1.0
+    load_fraction: float
+
+    def offset_curve(self, base: Optional[EfficiencyCurve] = None,
+                     ) -> OffsetCurve:
+        """This PSU's assumed curve: base (PFE600) through its point."""
+        if base is None:
+            base = PFE600_CURVE
+        return OffsetCurve.through_point(base, self.load_fraction,
+                                         self.efficiency)
+
+
+def clean_exports(exports: Iterable[PsuSensorExport],
+                  min_output_w: float = 1.0) -> List[PsuPoint]:
+    """§9.2's data cleaning: cap efficiency at 100 %, drop dead readings."""
+    points = []
+    for export in exports:
+        if export.output_w < min_output_w or export.input_w <= 0:
+            continue
+        efficiency = min(1.0, export.output_w / export.input_w)
+        # Keep input consistent with the capped efficiency so the savings
+        # arithmetic never credits physically impossible losses.
+        input_w = max(export.input_w, export.output_w)
+        points.append(PsuPoint(
+            router=export.router, router_model=export.router_model,
+            psu_index=export.psu_index, capacity_w=export.capacity_w,
+            output_w=export.output_w, input_w=input_w,
+            efficiency=efficiency,
+            load_fraction=export.output_w / export.capacity_w))
+    return points
+
+
+def total_input_power_w(points: Sequence[PsuPoint]) -> float:
+    """Total wall power of the observed PSU population."""
+    return sum(p.input_w for p in points)
+
+
+@dataclass(frozen=True)
+class PsuSavings:
+    """Result of one what-if estimate."""
+
+    scenario: str
+    saved_w: float
+    reference_w: float
+
+    @property
+    def fraction(self) -> float:
+        """Savings as a fraction of the reference wall power."""
+        return self.saved_w / self.reference_w if self.reference_w else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.scenario}: {100 * self.fraction:.0f} % "
+                f"({self.saved_w:.0f} W)")
+
+
+# ---------------------------------------------------------------------------
+# §9.3.2 -- more efficient PSUs
+# ---------------------------------------------------------------------------
+
+
+def upgrade_savings(points: Sequence[PsuPoint],
+                    standard: EightyPlus) -> PsuSavings:
+    """Raise every PSU to at least the given 80 Plus level's curve.
+
+    Each PSU keeps its load; its efficiency becomes the maximum of its own
+    observed efficiency and the standard's theoretical curve at that load.
+    """
+    reference = total_input_power_w(points)
+    target_curve = standard_curve(standard)
+    saved = 0.0
+    for point in points:
+        target_eff = max(point.efficiency,
+                         target_curve.efficiency(point.load_fraction))
+        new_input = point.output_w / target_eff
+        saved += max(0.0, point.input_w - new_input)
+    return PsuSavings(scenario=f"upgrade-{standard.value}",
+                      saved_w=saved, reference_w=reference)
+
+
+# ---------------------------------------------------------------------------
+# §9.3.3 -- better-sized PSUs
+# ---------------------------------------------------------------------------
+
+
+def _required_capacity(l_max_w: float, k: float,
+                       options: Sequence[float]) -> float:
+    """Smallest capacity option covering ``k * l_max`` (§9.3.3's C)."""
+    feasible = [c for c in options if c >= k * l_max_w]
+    if feasible:
+        return min(feasible)
+    return max(options)
+
+
+def resize_savings(points: Sequence[PsuPoint], k: float,
+                   min_capacity_w: float,
+                   options: Sequence[float] = PSU_CAPACITIES_W) -> PsuSavings:
+    """Re-provision every router's PSUs to capacity ``max(C, floor)``.
+
+    ``C`` is the smallest option at least ``k`` times the router's maximum
+    per-PSU load; ``k = 2`` keeps single-PSU-failure resilience.  Each PSU
+    keeps its own offset curve (fixed by its observed point) and its load
+    in watts; only the capacity -- hence the load *fraction* -- changes.
+    Negative savings mean the floor over-provisions.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    reference = total_input_power_w(points)
+    by_router: Dict[str, List[PsuPoint]] = {}
+    for point in points:
+        by_router.setdefault(point.router, []).append(point)
+    saved = 0.0
+    for router_points in by_router.values():
+        l_max = max(p.output_w for p in router_points)
+        capacity = max(_required_capacity(l_max, k, options), min_capacity_w)
+        for point in router_points:
+            curve = point.offset_curve()
+            new_load = point.output_w / capacity
+            new_eff = curve.efficiency(new_load)
+            new_input = point.output_w / max(new_eff, 1e-6)
+            saved += point.input_w - new_input
+    return PsuSavings(scenario=f"resize-k{k:g}-min{min_capacity_w:.0f}W",
+                      saved_w=saved, reference_w=reference)
+
+
+# ---------------------------------------------------------------------------
+# §9.3.4 -- only one PSU
+# ---------------------------------------------------------------------------
+
+
+def single_psu_savings(points: Sequence[PsuPoint],
+                       standard: Optional[EightyPlus] = None) -> PsuSavings:
+    """Put each router's whole load on its first PSU (§9.3.4).
+
+    The carrying PSU operates at (roughly) the sum of the previous loads;
+    its efficiency comes from its offset curve at the new load -- raised
+    to an 80 Plus standard's curve when ``standard`` is given (§9.3.5).
+    The idle PSU is assumed lossless, as in the paper.
+    """
+    reference = total_input_power_w(points)
+    target_curve = standard_curve(standard) if standard is not None else None
+    by_router: Dict[str, List[PsuPoint]] = {}
+    for point in points:
+        by_router.setdefault(point.router, []).append(point)
+    saved = 0.0
+    for router_points in by_router.values():
+        total_out = sum(p.output_w for p in router_points)
+        total_in = sum(p.input_w for p in router_points)
+        carrier = router_points[0]
+        new_load = min(total_out / carrier.capacity_w, 1.0)
+        new_eff = carrier.offset_curve().efficiency(new_load)
+        if target_curve is not None:
+            new_eff = max(new_eff, target_curve.efficiency(new_load))
+        new_input = total_out / max(new_eff, 1e-6)
+        saved += total_in - new_input
+    scenario = ("single-psu" if standard is None
+                else f"single-psu+{standard.value}")
+    return PsuSavings(scenario=scenario, saved_w=saved, reference_w=reference)
+
+
+def combined_savings(points: Sequence[PsuPoint],
+                     standard: EightyPlus) -> PsuSavings:
+    """§9.3.5: one PSU *and* at least the given efficiency standard."""
+    result = single_psu_savings(points, standard=standard)
+    return PsuSavings(scenario=f"combined-{standard.value}",
+                      saved_w=result.saved_w, reference_w=result.reference_w)
+
+
+def hot_standby_savings(points: Sequence[PsuPoint],
+                        standby_power_w: float = 5.0,
+                        base: Optional[EfficiencyCurve] = None) -> PsuSavings:
+    """§9.4's refinement of the single-PSU estimate: keep redundancy.
+
+    The paper notes there is "no technical limitation to implementing
+    hot stand-by" -- the second PSU stays powered (so a failover is
+    instant) but delivers nothing.  Unlike §9.3.4's idealisation (a
+    lossless spare), the standby supply's housekeeping draw is charged:
+    a hot-standby converter keeps only its control circuitry and output
+    stage alive, a few watts rather than its full idle conversion loss.
+    """
+    if base is None:
+        base = PFE600_CURVE
+    if standby_power_w < 0:
+        raise ValueError(
+            f"standby power must be >= 0, got {standby_power_w}")
+    reference = total_input_power_w(points)
+    by_router: Dict[str, List[PsuPoint]] = {}
+    for point in points:
+        by_router.setdefault(point.router, []).append(point)
+    saved = 0.0
+    for router_points in by_router.values():
+        total_out = sum(p.output_w for p in router_points)
+        total_in = sum(p.input_w for p in router_points)
+        carrier = router_points[0]
+        new_load = min(total_out / carrier.capacity_w, 1.0)
+        new_eff = carrier.offset_curve(base).efficiency(new_load)
+        new_input = total_out / max(new_eff, 1e-6)
+        standby = standby_power_w * (len(router_points) - 1)
+        saved += total_in - new_input - standby
+    return PsuSavings(scenario="hot-standby", saved_w=saved,
+                      reference_w=reference)
+
+
+# ---------------------------------------------------------------------------
+# Table builders
+# ---------------------------------------------------------------------------
+
+
+def table3(points: Sequence[PsuPoint]) -> Dict[str, Dict[str, PsuSavings]]:
+    """The three rows of Table 3 across the five 80 Plus standards."""
+    upgrade_row = {std.value: upgrade_savings(points, std)
+                   for std in EightyPlus}
+    single = single_psu_savings(points)
+    combined_row = {std.value: combined_savings(points, std)
+                    for std in EightyPlus}
+    return {
+        "upgrade": upgrade_row,
+        "single_psu": {"Bronze": single},
+        "combined": combined_row,
+    }
+
+
+def table4(points: Sequence[PsuPoint],
+           options: Sequence[float] = PSU_CAPACITIES_W,
+           ) -> Dict[float, Dict[float, PsuSavings]]:
+    """Table 4: resize savings for k in {1, 2} x minimum capacity."""
+    return {
+        k: {float(cap): resize_savings(points, k, cap, options)
+            for cap in options}
+        for k in (1.0, 2.0)
+    }
+
+
+def efficiency_scatter(points: Sequence[PsuPoint],
+                       router_model: Optional[str] = None,
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """(load %, efficiency) arrays for the Fig. 6 scatter plots."""
+    selected = [p for p in points
+                if router_model is None or p.router_model == router_model]
+    loads = np.array([100 * p.load_fraction for p in selected])
+    effs = np.array([p.efficiency for p in selected])
+    return loads, effs

@@ -1,0 +1,110 @@
+"""Energy, cost, and emissions reporting on top of power traces.
+
+The paper measures watts; an operator budgets kilowatt-hours, francs,
+and CO2e.  This module converts power time series into the downstream
+report: trapezoidal energy integration over irregular samples, cost at a
+tariff, emissions at a grid intensity, and the ranking of routers by
+annualised consumption that makes the §9 savings tangible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+import numpy as np
+
+from repro import units
+from repro.telemetry.traces import TimeSeries
+
+#: Swiss grid carbon intensity, gCO2e per kWh (consumption mix, ~2023).
+SWISS_GRID_GCO2_PER_KWH = 112.0
+
+#: A typical Swiss commercial electricity tariff, CHF per kWh.
+SWISS_TARIFF_PER_KWH = 0.21
+
+
+def integrate_energy_kwh(series: TimeSeries) -> float:
+    """Trapezoidal energy under a power trace, NaN samples skipped."""
+    valid = series.valid()
+    if len(valid) < 2:
+        return 0.0
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    joules = float(trapezoid(valid.values, valid.timestamps))
+    return joules / units.SECONDS_PER_HOUR / units.KILO
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy/cost/emissions summary of one power trace."""
+
+    label: str
+    duration_s: float
+    mean_power_w: float
+    energy_kwh: float
+    annualised_kwh: float
+    cost_per_year: float
+    co2e_kg_per_year: float
+
+    def __str__(self) -> str:
+        return (f"{self.label}: {self.mean_power_w:.0f} W mean, "
+                f"{self.annualised_kwh:,.0f} kWh/yr, "
+                f"{self.cost_per_year:,.0f} /yr, "
+                f"{self.co2e_kg_per_year:,.0f} kgCO2e/yr")
+
+
+def energy_report(series: TimeSeries, label: str = "",
+                  tariff_per_kwh: float = SWISS_TARIFF_PER_KWH,
+                  gco2_per_kwh: float = SWISS_GRID_GCO2_PER_KWH,
+                  ) -> EnergyReport:
+    """Build the full report for one power trace."""
+    valid = series.valid()
+    duration = valid.duration_s
+    energy = integrate_energy_kwh(series)
+    if duration > 0:
+        annualised = energy * (365 * units.SECONDS_PER_DAY) / duration
+        mean_power = energy * units.KILO * units.SECONDS_PER_HOUR / duration
+    else:
+        annualised = 0.0
+        mean_power = valid.mean() if len(valid) else 0.0
+    return EnergyReport(
+        label=label,
+        duration_s=duration,
+        mean_power_w=mean_power,
+        energy_kwh=energy,
+        annualised_kwh=annualised,
+        cost_per_year=annualised * tariff_per_kwh,
+        co2e_kg_per_year=annualised * gco2_per_kwh / 1000.0)
+
+
+def savings_report(saved_w: float, label: str = "savings",
+                   tariff_per_kwh: float = SWISS_TARIFF_PER_KWH,
+                   gco2_per_kwh: float = SWISS_GRID_GCO2_PER_KWH,
+                   ) -> EnergyReport:
+    """The yearly value of a constant power saving (Table 3/4 rows)."""
+    if saved_w < 0:
+        raise ValueError(f"savings must be >= 0, got {saved_w}")
+    annualised = saved_w * 365 * 24 / units.KILO
+    return EnergyReport(
+        label=label, duration_s=365 * units.SECONDS_PER_DAY,
+        mean_power_w=saved_w, energy_kwh=annualised,
+        annualised_kwh=annualised,
+        cost_per_year=annualised * tariff_per_kwh,
+        co2e_kg_per_year=annualised * gco2_per_kwh / 1000.0)
+
+
+def rank_routers(traces: Mapping[str, TimeSeries],
+                 top: Optional[int] = None) -> List[EnergyReport]:
+    """Routers by annualised energy, heaviest first.
+
+    Routers whose telemetry is absent (all-NaN power) are skipped -- the
+    ranking reflects what the monitoring actually shows, the paper's
+    recurring caveat.
+    """
+    reports = []
+    for hostname, series in traces.items():
+        if len(series.valid()) < 2:
+            continue
+        reports.append(energy_report(series, label=hostname))
+    reports.sort(key=lambda r: r.annualised_kwh, reverse=True)
+    return reports[:top] if top is not None else reports

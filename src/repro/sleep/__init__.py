@@ -1,0 +1,39 @@
+"""Link sleeping (§8): the Hypnos planner and its savings accounting."""
+
+from repro.sleep.hypnos import (
+    Hypnos,
+    HypnosConfig,
+    SleepPlan,
+    WindowPlan,
+)
+from repro.sleep.rate_adaptation import (
+    RateDecision,
+    RatePlan,
+    SPEED_LADDER,
+    apply_rate_plan,
+    plan_rate_adaptation,
+)
+from repro.sleep.savings import (
+    SavingsEstimate,
+    external_power_share,
+    naive_saving_w,
+    plan_savings,
+    port_saving_range_w,
+)
+
+__all__ = [
+    "RateDecision",
+    "RatePlan",
+    "SPEED_LADDER",
+    "apply_rate_plan",
+    "plan_rate_adaptation",
+    "Hypnos",
+    "HypnosConfig",
+    "SleepPlan",
+    "WindowPlan",
+    "SavingsEstimate",
+    "external_power_share",
+    "naive_saving_w",
+    "plan_savings",
+    "port_saving_range_w",
+]

@@ -1,0 +1,199 @@
+"""Hypnos: utilisation-aware link sleeping (§8).
+
+The algorithm evaluated by the paper turns off internal links that are not
+needed to carry the current traffic, subject to two safety constraints:
+
+* the internal topology must stay **connected** (no router isolated);
+* after rerouting the displaced demands, **no remaining link may exceed a
+  maximum utilisation** threshold.
+
+Only *internal* links are candidates: an ISP cannot unilaterally shut a
+customer or peering interface -- the paper's point that 51 % of Switch's
+interfaces (and 52 % of transceiver power) are out of reach for sleeping.
+
+The planner is greedy from the least-utilised candidate up, recomputing
+routes incrementally after each commitment, and can be run per time window
+so the sleeping set follows the diurnal traffic curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro import units
+from repro.network.topology import ISPNetwork
+from repro.network.traffic import DiurnalProfile, TrafficMatrix
+
+
+@dataclass(frozen=True)
+class HypnosConfig:
+    """Planner parameters.
+
+    ``max_utilisation`` is the post-rerouting cap on any internal link;
+    ``protected_links`` are never turned off (e.g. the core-core bundle's
+    last member is protected implicitly by connectivity, but operators may
+    pin more).
+    """
+
+    max_utilisation: float = 0.5
+    protected_links: frozenset = frozenset()
+    #: Upper bound on how many links one window may sleep; None = no cap.
+    max_sleeping: Optional[int] = None
+    #: Keep the surviving topology 2-edge-connected, not merely connected,
+    #: so a single link failure never partitions the network.  This is the
+    #: operationally realistic setting and yields the paper's ~1/3
+    #: sleepable share; ``False`` sleeps more aggressively.
+    require_redundancy: bool = True
+
+
+@dataclass
+class WindowPlan:
+    """The sleeping decision for one time window."""
+
+    t_start_s: float
+    t_end_s: float
+    demand_multiplier: float
+    sleeping: Set[int]
+
+    @property
+    def duration_s(self) -> float:
+        """Window length."""
+        return self.t_end_s - self.t_start_s
+
+
+@dataclass
+class SleepPlan:
+    """A full multi-window sleeping schedule."""
+
+    windows: List[WindowPlan] = field(default_factory=list)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Total planned time."""
+        return sum(w.duration_s for w in self.windows)
+
+    def sleep_fraction(self, link_id: int) -> float:
+        """Fraction of planned time a link spends asleep."""
+        total = self.total_duration_s
+        if total == 0:
+            return 0.0
+        asleep = sum(w.duration_s for w in self.windows
+                     if link_id in w.sleeping)
+        return asleep / total
+
+    def ever_sleeping(self) -> Set[int]:
+        """Links asleep in at least one window."""
+        out: Set[int] = set()
+        for window in self.windows:
+            out |= window.sleeping
+        return out
+
+
+class Hypnos:
+    """The greedy link-sleeping planner."""
+
+    def __init__(self, network: ISPNetwork, matrix: TrafficMatrix,
+                 config: Optional[HypnosConfig] = None):
+        self.network = network
+        self.matrix = matrix
+        self.config = config if config is not None else HypnosConfig()
+        self._links = {l.link_id: l for l in network.internal_links()}
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _stays_connected(self, removed: Set[int]) -> bool:
+        multigraph = self.network.internal_graph(exclude=removed)
+        if not nx.is_connected(nx.Graph(multigraph)):
+            return False
+        if self.config.require_redundancy:
+            # 2-edge-connectivity on the multigraph: parallel links count
+            # as redundancy, so bridges are edges whose node pair has
+            # exactly one surviving link.
+            collapsed = nx.Graph()
+            collapsed.add_nodes_from(multigraph.nodes)
+            for a, b in multigraph.edges():
+                if collapsed.has_edge(a, b):
+                    collapsed[a][b]["multi"] = True
+                else:
+                    collapsed.add_edge(a, b, multi=False)
+            for a, b in nx.bridges(collapsed):
+                if not collapsed[a][b]["multi"]:
+                    return False
+        return True
+
+    def _max_utilisation(self, matrix: TrafficMatrix,
+                         removed: Set[int],
+                         demand_multiplier: float) -> float:
+        loads = matrix.base_link_loads()
+        worst = 0.0
+        for link_id, load in loads.items():
+            if link_id in removed:
+                continue
+            capacity = units.gbps_to_bps(self._links[link_id].speed_gbps)
+            worst = max(worst, load * demand_multiplier / capacity)
+        return worst
+
+    # -- planning ---------------------------------------------------------------------
+
+    def plan_window(self, demand_multiplier: float = 1.0) -> Set[int]:
+        """Choose the sleeping set for one window's demand level.
+
+        Greedy: candidates in ascending-utilisation order; a candidate is
+        committed iff the network stays connected, every displaced demand
+        reroutes, and no surviving link exceeds the utilisation cap.
+        """
+        if demand_multiplier < 0:
+            raise ValueError(
+                f"demand multiplier must be >= 0, got {demand_multiplier}")
+        current = self.matrix
+        removed: Set[int] = set()
+        utils = current.utilisations()
+        candidates = sorted(
+            (lid for lid in self._links
+             if lid not in self.config.protected_links),
+            key=lambda lid: utils.get(lid, 0.0))
+        for link_id in candidates:
+            if (self.config.max_sleeping is not None
+                    and len(removed) >= self.config.max_sleeping):
+                break
+            trial = removed | {link_id}
+            if not self._stays_connected(trial):
+                continue
+            try:
+                rerouted = current.reroute_without(trial)
+            except ValueError:
+                continue  # some demand would be stranded
+            worst = self._max_utilisation(rerouted, trial, demand_multiplier)
+            if worst > self.config.max_utilisation:
+                continue
+            removed = trial
+            current = rerouted
+        return removed
+
+    def plan(self, start_s: float, duration_s: float,
+             window_s: float = units.SECONDS_PER_HOUR,
+             profile: Optional[DiurnalProfile] = None) -> SleepPlan:
+        """Plan a schedule over consecutive windows of a diurnal period.
+
+        Windows with the same (quantised) demand level share a sleeping
+        decision, so a month-long plan costs only as many greedy runs as
+        there are distinct demand levels.
+        """
+        if profile is None:
+            profile = DiurnalProfile()
+        plan = SleepPlan()
+        cache: Dict[float, Set[int]] = {}
+        n_windows = int(round(duration_s / window_s))
+        for i in range(n_windows):
+            t0 = start_s + i * window_s
+            mult = profile.multiplier(t0 + window_s / 2.0)
+            level = round(mult, 1)  # quantise to reuse decisions
+            if level not in cache:
+                cache[level] = self.plan_window(level)
+            plan.windows.append(WindowPlan(
+                t_start_s=t0, t_end_s=t0 + window_s,
+                demand_multiplier=level, sleeping=set(cache[level])))
+        return plan

@@ -1,0 +1,143 @@
+"""Rate adaptation: the other half of the classic savings proposal.
+
+Nedevschi et al. (the paper's [27]) proposed *sleeping and
+rate-adaptation*; the paper evaluates sleeping (§8).  This module adds
+the rate half on top of the same fitted-model data: instead of turning a
+link off, clock it down to the slowest speed that still carries its peak
+load with headroom.  The per-speed interface classes of Table 2 (a) --
+100G/50G/25G rows for the same port and module -- supply exactly the
+power deltas this needs, and unlike sleeping, rate adaptation keeps the
+topology intact (no rerouting, no lost redundancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro import units
+from repro.hardware.transceiver import PortType
+from repro.network.topology import ISPNetwork, Link
+from repro.network.traffic import TrafficMatrix
+
+#: Speed ladders per port type (Gbps), descending.
+SPEED_LADDER: Dict[PortType, Tuple[float, ...]] = {
+    PortType.QSFP_DD: (400, 100),
+    PortType.QSFP28: (100, 50, 25, 10),
+    PortType.QSFP: (100, 40),
+    PortType.SFP28: (25, 10, 1),
+    PortType.SFP_PLUS: (10, 1),
+    PortType.SFP: (1,),
+    PortType.RJ45: (10, 1, 0.1),
+}
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """One link's adaptation decision."""
+
+    link_id: int
+    old_speed_gbps: float
+    new_speed_gbps: float
+    saving_w: float
+
+    @property
+    def downgraded(self) -> bool:
+        """Whether the link actually changes speed."""
+        return self.new_speed_gbps < self.old_speed_gbps
+
+
+@dataclass
+class RatePlan:
+    """A full adaptation plan plus its totals."""
+
+    decisions: List[RateDecision] = field(default_factory=list)
+
+    @property
+    def total_saving_w(self) -> float:
+        """Sum of per-link savings."""
+        return sum(d.saving_w for d in self.decisions)
+
+    def downgraded(self) -> List[RateDecision]:
+        """Only the links that change speed."""
+        return [d for d in self.decisions if d.downgraded]
+
+
+def _port_power_at(network: ISPNetwork, link: Link,
+                   speed: float) -> float:
+    """Per-link (both ends) static power at a target speed.
+
+    Uses each end's interface-class table at that speed -- the operator
+    would use their fitted per-speed models (Table 2 a's 100/50/25G
+    rows); the class truth plays that role here, and the benches verify
+    fitted == truth.  All three static terms are evaluated: on
+    lab-characterised classes ``P_trx,in`` is speed-invariant (same
+    module) and cancels in the delta; on fallback classes small module
+    differences surface, matching what the hardware reports.
+    """
+    total = 0.0
+    for end in (link.a, link.b):
+        if end is None:
+            continue
+        port = network.port_of(end)
+        if port.transceiver is None:
+            continue
+        truth = network.router(end.hostname).spec.find_class(
+            port.port_type, port.transceiver.model.reach, speed)
+        total += truth.p_port_w + truth.p_trx_up_w + truth.p_trx_in_w
+    return total
+
+
+def plan_rate_adaptation(network: ISPNetwork, matrix: TrafficMatrix,
+                         headroom: float = 4.0,
+                         internal_only: bool = True) -> RatePlan:
+    """Pick the slowest viable speed per link and tally the savings.
+
+    A link's peak demand is its routed base load; the chosen speed is the
+    smallest ladder entry with ``speed >= headroom * load``.  Savings are
+    the drop in speed-dependent power (``P_port + P_trx,up``) on both
+    ends; ``P_trx,in`` is untouched, exactly like sleeping (§7).
+    """
+    if headroom < 1.0:
+        raise ValueError(f"headroom must be >= 1, got {headroom}")
+    loads = matrix.base_link_loads()
+    plan = RatePlan()
+    links = (network.internal_links() if internal_only else network.links)
+    for link in links:
+        port = network.port_of(link.a)
+        ladder = SPEED_LADDER.get(port.port_type, (link.speed_gbps,))
+        load_gbps = units.bps_to_gbps(loads.get(link.link_id, 0.0))
+        viable = [s for s in ladder
+                  if s <= link.speed_gbps and s >= headroom * load_gbps]
+        new_speed = min(viable) if viable else link.speed_gbps
+        if new_speed >= link.speed_gbps:
+            plan.decisions.append(RateDecision(
+                link_id=link.link_id, old_speed_gbps=link.speed_gbps,
+                new_speed_gbps=link.speed_gbps, saving_w=0.0))
+            continue
+        saving = (_port_power_at(network, link, link.speed_gbps)
+                  - _port_power_at(network, link, new_speed))
+        plan.decisions.append(RateDecision(
+            link_id=link.link_id, old_speed_gbps=link.speed_gbps,
+            new_speed_gbps=new_speed, saving_w=max(0.0, saving)))
+    return plan
+
+
+def apply_rate_plan(network: ISPNetwork, plan: RatePlan) -> int:
+    """Actually clock the links down on the virtual hardware.
+
+    Returns the number of links changed.  The truth engine then reflects
+    the savings (its per-speed classes), which lets tests verify the
+    plan's arithmetic against measured wall power.
+    """
+    changed = 0
+    links = {l.link_id: l for l in network.links}
+    for decision in plan.downgraded():
+        link = links[decision.link_id]
+        for end in (link.a, link.b):
+            if end is None:
+                continue
+            network.port_of(end).set_speed(decision.new_speed_gbps)
+        link.speed_gbps = decision.new_speed_gbps
+        changed += 1
+    return changed

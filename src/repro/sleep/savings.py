@@ -1,0 +1,148 @@
+"""Power savings of a sleeping schedule (§8's headline numbers).
+
+Turning an interface off saves ``P_port + P_trx,up`` on each side of the
+link -- **not** ``P_port + P_trx``: the plug-in share ``P_trx,in`` keeps
+flowing as long as the module stays seated ("down" does not mean "off",
+§7).  Because the Switch analysis lacks per-transceiver power models, the
+paper can only bound the up-share by the module's datasheet power:
+``P_trx,up ∈ [0, P_trx]``, which makes the savings a *range*.  ``P_port``
+comes from per-port-type averages of the fitted models (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.hardware.catalog import DEFAULT_P_PORT_W
+from repro.hardware.transceiver import PortType
+from repro.network.topology import ISPNetwork
+from repro.sleep.hypnos import SleepPlan
+
+
+@dataclass(frozen=True)
+class SavingsEstimate:
+    """A power-savings range with its reference total."""
+
+    lower_w: float
+    upper_w: float
+    reference_power_w: float
+
+    @property
+    def lower_fraction(self) -> float:
+        """Lower bound as a fraction of the reference total."""
+        return self.lower_w / self.reference_power_w
+
+    @property
+    def upper_fraction(self) -> float:
+        """Upper bound as a fraction of the reference total."""
+        return self.upper_w / self.reference_power_w
+
+    def __str__(self) -> str:
+        return (f"{self.lower_w:.0f}-{self.upper_w:.0f} W "
+                f"({100 * self.lower_fraction:.1f}-"
+                f"{100 * self.upper_fraction:.1f} % of "
+                f"{self.reference_power_w:.0f} W)")
+
+
+def table5_from_models(models) -> Dict[PortType, float]:
+    """Per-port-type ``P_port`` averages from fitted models (Table 5).
+
+    ``models`` is an iterable of fitted :class:`~repro.core.model.PowerModel`
+    objects; the paper builds exactly this table ("we get those values by
+    averaging all the power models we have per port type") to feed the
+    sleeping evaluation when no per-device model exists.
+    """
+    per_type: Dict[PortType, list] = {}
+    for model in models:
+        for key, iface in model.interfaces.items():
+            try:
+                port_type = PortType(key.port_type)
+            except ValueError:
+                continue  # a port type the hardware layer doesn't know
+            per_type.setdefault(port_type, []).append(iface.p_port_w.value)
+    return {port_type: sum(values) / len(values)
+            for port_type, values in per_type.items()}
+
+
+def port_saving_range_w(network: ISPNetwork, link_id: int,
+                        p_port_by_type: Optional[Mapping[PortType, float]]
+                        = None) -> tuple:
+    """(lower, upper) watts saved by sleeping one link (both ends).
+
+    Lower assumes ``P_trx,up = 0`` (all transceiver power is plug-in
+    cost); upper assumes the full datasheet transceiver power disappears.
+    """
+    if p_port_by_type is None:
+        p_port_by_type = DEFAULT_P_PORT_W
+    link = next(l for l in network.internal_links() if l.link_id == link_id)
+    lower = 0.0
+    upper = 0.0
+    for end in (link.a, link.b):
+        port = network.port_of(end)
+        p_port = p_port_by_type.get(port.port_type, 0.5)
+        lower += p_port
+        upper += p_port
+        if port.transceiver is not None:
+            upper += port.transceiver.model.datasheet_power_w
+    return lower, upper
+
+
+def naive_saving_w(network: ISPNetwork, link_id: int,
+                   p_port_by_type: Optional[Mapping[PortType, float]]
+                   = None) -> float:
+    """What prior work expected to save: ``P_port + P_trx`` per side.
+
+    This is the literature's assumption the paper corrects; comparing it
+    to :func:`port_saving_range_w` quantifies the over-estimate.
+    """
+    _, upper = port_saving_range_w(network, link_id, p_port_by_type)
+    return upper
+
+
+def plan_savings(network: ISPNetwork, plan: SleepPlan,
+                 reference_power_w: float,
+                 p_port_by_type: Optional[Mapping[PortType, float]] = None,
+                 ) -> SavingsEstimate:
+    """Time-weighted savings range of a full sleeping schedule."""
+    if reference_power_w <= 0:
+        raise ValueError(
+            f"reference power must be positive, got {reference_power_w}")
+    lower = 0.0
+    upper = 0.0
+    for link_id in plan.ever_sleeping():
+        fraction = plan.sleep_fraction(link_id)
+        link_lower, link_upper = port_saving_range_w(
+            network, link_id, p_port_by_type)
+        lower += fraction * link_lower
+        upper += fraction * link_upper
+    return SavingsEstimate(lower_w=lower, upper_w=upper,
+                           reference_power_w=reference_power_w)
+
+
+def external_power_share(network: ISPNetwork) -> Dict[str, float]:
+    """Transceiver power split between internal and external interfaces.
+
+    Quantifies §8's discussion point: in the Switch data, 51 % of
+    interfaces are external and carry 52 % of the transceiver power --
+    all of it out of reach for intra-domain sleeping.
+    """
+    internal = 0.0
+    external = 0.0
+    for link in network.links:
+        ends = [link.a] + ([link.b] if link.b is not None else [])
+        for end in ends:
+            port = network.port_of(end)
+            truth = port.class_truth()
+            if truth is None:
+                continue
+            if link.is_internal:
+                internal += truth.p_trx_total_w
+            else:
+                external += truth.p_trx_total_w
+    total = internal + external
+    return {
+        "internal_trx_w": internal,
+        "external_trx_w": external,
+        "external_share": external / total if total else 0.0,
+    }

@@ -1,0 +1,84 @@
+"""Telemetry: the paper's two in-network measurement channels.
+
+* :mod:`repro.telemetry.snmp` -- 5-minute PSU power polls and 64-bit
+  interface counters, plus the one-time PSU sensor export of §9.2;
+* :mod:`repro.telemetry.autopower` -- the external measurement units
+  (Raspberry Pi + MCP39F511N) with store-and-forward resilience;
+* :mod:`repro.telemetry.traces` -- the time-series containers both use.
+"""
+
+from repro.telemetry.traces import (
+    CounterSeries,
+    InterfaceTrace,
+    TimeSeries,
+)
+from repro.telemetry.snmp import (
+    IF_HC_IN_OCTETS,
+    IF_HC_OUT_OCTETS,
+    IF_HC_IN_PKTS,
+    IF_HC_OUT_PKTS,
+    PsuInventoryEntry,
+    PsuSensorExport,
+    RouterTrace,
+    SnmpAgent,
+    SnmpCollector,
+)
+from repro.telemetry.green import (
+    EfficiencyDrift,
+    GreenCollector,
+    PsuEfficiencyTrace,
+    PsuKey,
+)
+from repro.telemetry.protocol import (
+    ChunkAck,
+    ControlPoll,
+    ControlReply,
+    FrameDecoder,
+    MeasurementChunk,
+    ProtocolServer,
+    RegisterReply,
+    RegisterRequest,
+    encode,
+)
+from repro.telemetry.autopower import (
+    RASPBERRY_PI_POWER_W,
+    AutopowerClient,
+    AutopowerServer,
+    OutageWindow,
+    Transport,
+    deploy_unit,
+)
+
+__all__ = [
+    "ChunkAck",
+    "ControlPoll",
+    "ControlReply",
+    "FrameDecoder",
+    "MeasurementChunk",
+    "ProtocolServer",
+    "RegisterReply",
+    "RegisterRequest",
+    "encode",
+    "EfficiencyDrift",
+    "GreenCollector",
+    "PsuEfficiencyTrace",
+    "PsuKey",
+    "CounterSeries",
+    "InterfaceTrace",
+    "TimeSeries",
+    "IF_HC_IN_OCTETS",
+    "IF_HC_OUT_OCTETS",
+    "IF_HC_IN_PKTS",
+    "IF_HC_OUT_PKTS",
+    "PsuInventoryEntry",
+    "PsuSensorExport",
+    "RouterTrace",
+    "SnmpAgent",
+    "SnmpCollector",
+    "AutopowerClient",
+    "AutopowerServer",
+    "OutageWindow",
+    "Transport",
+    "RASPBERRY_PI_POWER_W",
+    "deploy_unit",
+]

@@ -1,0 +1,256 @@
+"""Autopower: external power measurement units for production routers (§6.1).
+
+An Autopower unit is a Raspberry Pi plus a two-channel MCP39F511N power
+meter: channel 0 monitors a router PSU feed, channel 1 powers the Pi
+itself (no extra power plug needed in the PoP).  The original system's
+operational properties are reproduced faithfully, because §6's comparisons
+depend on them:
+
+* **client-initiated** connections only (works behind NAT) -- the client
+  pushes to the server, the server never contacts the client;
+* **store and forward** -- samples buffer locally and upload in chunks
+  when the network allows, so connectivity outages lose nothing;
+* **boot resilience** -- measurement restarts automatically after a power
+  failure; only the outage window itself is missing from the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.hardware.router import VirtualRouter
+from repro.lab.power_meter import PowerMeter, PowerSample
+from repro.telemetry.traces import TimeSeries
+
+#: Idle power draw of the Raspberry Pi 4 measurement computer itself.
+RASPBERRY_PI_POWER_W = 4.5
+
+
+@dataclass
+class OutageWindow:
+    """A half-open interval during which something is unavailable."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"outage must end after it starts "
+                f"({self.start_s} .. {self.end_s})")
+
+    def contains(self, t: float) -> bool:
+        """Whether ``t`` falls inside the window."""
+        return self.start_s <= t < self.end_s
+
+
+class Transport:
+    """The unit's uplink to the server, with injectable outages."""
+
+    def __init__(self, outages: Optional[Sequence[OutageWindow]] = None):
+        self.outages = list(outages or [])
+
+    def add_outage(self, start_s: float, end_s: float) -> None:
+        """Schedule a connectivity outage."""
+        self.outages.append(OutageWindow(start_s, end_s))
+
+    def available(self, t: float) -> bool:
+        """Whether the uplink works at time ``t``."""
+        return not any(w.contains(t) for w in self.outages)
+
+
+class AutopowerServer:
+    """The collection server: receives chunks, serves downloads.
+
+    Mirrors the original's gRPC service surface: clients push measurement
+    chunks; operators list units, start/stop measurements, and download
+    data (the web interface of the paper's Fig. 7).
+    """
+
+    def __init__(self):
+        self._samples: Dict[str, List[PowerSample]] = {}
+        self._measuring: Dict[str, bool] = {}
+
+    def register(self, unit_id: str) -> None:
+        """A unit announcing itself (client-initiated)."""
+        self._samples.setdefault(unit_id, [])
+        self._measuring.setdefault(unit_id, True)
+
+    def receive_chunk(self, unit_id: str,
+                      samples: Sequence[PowerSample]) -> int:
+        """Accept a chunk of samples from a unit; returns count accepted."""
+        if unit_id not in self._samples:
+            self.register(unit_id)
+        self._samples[unit_id].extend(samples)
+        return len(samples)
+
+    def units(self) -> List[str]:
+        """Known measurement units."""
+        return sorted(self._samples)
+
+    def should_measure(self, unit_id: str) -> bool:
+        """Server-side measurement toggle polled by clients."""
+        return self._measuring.get(unit_id, True)
+
+    def start_measurement(self, unit_id: str) -> None:
+        """Operator action: start measuring on a unit."""
+        self._measuring[unit_id] = True
+
+    def stop_measurement(self, unit_id: str) -> None:
+        """Operator action: stop measuring on a unit."""
+        self._measuring[unit_id] = False
+
+    def download(self, unit_id: str) -> TimeSeries:
+        """The unit's uploaded power data, ordered by time."""
+        samples = sorted(self._samples.get(unit_id, []),
+                         key=lambda s: s.timestamp_s)
+        if not samples:
+            return TimeSeries(np.array([]), np.array([]))
+        ts = np.array([s.timestamp_s for s in samples])
+        vs = np.array([s.power_w for s in samples])
+        keep = np.concatenate([[True], np.diff(ts) > 0])
+        return TimeSeries(ts[keep], vs[keep])
+
+    def status_page(self) -> str:
+        """The Fig. 7 web interface, as text: units, state, last reading.
+
+        The original offers a browser UI to "conveniently start/stop
+        measurements or download the power data"; this renders the same
+        overview for terminals and logs.
+        """
+        lines = [f"{'unit':28s} {'state':10s} {'samples':>8s} "
+                 f"{'last reading':>14s}"]
+        for unit_id in self.units():
+            samples = self._samples[unit_id]
+            state = ("measuring" if self.should_measure(unit_id)
+                     else "stopped")
+            if samples:
+                last = max(samples, key=lambda s: s.timestamp_s)
+                reading = f"{last.power_w:8.1f} W"
+            else:
+                reading = "-"
+            lines.append(f"{unit_id:28s} {state:10s} {len(samples):>8d} "
+                         f"{reading:>14s}")
+        return "\n".join(lines)
+
+
+class AutopowerClient:
+    """One deployed measurement unit.
+
+    Parameters
+    ----------
+    unit_id:
+        Identifier of the unit (hostname of the Pi).
+    router:
+        The router whose feed is plugged through meter channel 0.
+    server:
+        The collection server (reached through ``transport``).
+    transport:
+        Uplink with optional outage windows.
+    sample_period_s:
+        Meter sampling period; the paper's deployment used 0.5 s.
+    upload_period_s:
+        How often the client tries to flush its local buffer.
+    rng:
+        Randomness for the meter error model.
+    """
+
+    #: Maximum samples per upload chunk (bounded gRPC message size).
+    CHUNK_SIZE = 4096
+
+    def __init__(self, unit_id: str, router: VirtualRouter,
+                 server: AutopowerServer,
+                 transport: Optional[Transport] = None,
+                 sample_period_s: float = units.AUTOPOWER_SAMPLE_PERIOD_S,
+                 upload_period_s: float = 60.0,
+                 rng: Optional[np.random.Generator] = None):
+        self.unit_id = unit_id
+        self.router = router
+        self.server = server
+        self.transport = transport if transport is not None else Transport()
+        self.sample_period_s = sample_period_s
+        self.upload_period_s = upload_period_s
+        self.meter = PowerMeter(rng=rng)
+        self.meter.attach(router.wall_power_w, channel=0)
+        self.meter.attach(lambda: RASPBERRY_PI_POWER_W, channel=1)
+        #: Locally stored, not-yet-uploaded samples (survives outages).
+        self.local_buffer: List[PowerSample] = []
+        self.power_outages: List[OutageWindow] = []
+        self._registered = False
+        self._last_upload_s = -np.inf
+        self.boots = 1
+
+    # -- failure injection ------------------------------------------------------
+
+    def add_power_outage(self, start_s: float, end_s: float) -> None:
+        """Schedule a PoP power failure affecting the unit itself."""
+        self.power_outages.append(OutageWindow(start_s, end_s))
+
+    def _powered(self, t: float) -> bool:
+        return not any(w.contains(t) for w in self.power_outages)
+
+    # -- the measurement loop ------------------------------------------------------
+
+    def tick(self, timestamp_s: float) -> None:
+        """One scheduler tick: sample if due and possible, then maybe upload.
+
+        The caller (the network simulation) invokes this at the sampling
+        cadence; a unit without power silently skips the tick and resumes
+        on the next one -- the paper's "start on boot" behaviour.
+        """
+        if not self._powered(timestamp_s):
+            return
+        was_down = any(w.end_s <= timestamp_s for w in self.power_outages
+                       if w.end_s > timestamp_s - self.sample_period_s)
+        if was_down:
+            self.boots += 1
+        if self._measuring():
+            self.local_buffer.append(
+                self.meter.read(timestamp_s, channel=0))
+        if timestamp_s - self._last_upload_s >= self.upload_period_s:
+            self.try_upload(timestamp_s)
+
+    def _measuring(self) -> bool:
+        # The client polls the server's toggle when reachable; when not,
+        # it keeps its last known state (default: measuring).
+        return self.server.should_measure(self.unit_id)
+
+    def try_upload(self, timestamp_s: float) -> int:
+        """Flush buffered samples to the server if the uplink is up.
+
+        Returns the number of samples uploaded (0 when offline).
+        """
+        self._last_upload_s = timestamp_s
+        if not self.transport.available(timestamp_s):
+            return 0
+        if not self._registered:
+            self.server.register(self.unit_id)
+            self._registered = True
+        uploaded = 0
+        while self.local_buffer:
+            chunk = self.local_buffer[: self.CHUNK_SIZE]
+            accepted = self.server.receive_chunk(self.unit_id, chunk)
+            del self.local_buffer[: accepted]
+            uploaded += accepted
+        return uploaded
+
+
+def deploy_unit(router: VirtualRouter, server: AutopowerServer,
+                rng: Optional[np.random.Generator] = None,
+                sample_period_s: float = units.AUTOPOWER_SAMPLE_PERIOD_S,
+                ) -> AutopowerClient:
+    """Install an Autopower unit on a router's power feed.
+
+    Installing the meter requires briefly unplugging each PSU (§6.2 notes
+    this power cycle alone changed one router's self-reported power), so
+    the router is power-cycled here.
+    """
+    router.power_cycle()
+    return AutopowerClient(
+        unit_id=f"autopower-{router.hostname}",
+        router=router, server=server, rng=rng,
+        sample_period_s=sample_period_s)

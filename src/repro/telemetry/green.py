@@ -1,0 +1,142 @@
+"""GREEN-style PSU monitoring: continuous P_in *and* P_out collection.
+
+§9.4 and §10 of the paper call out a gap in today's practice: standard
+monitoring exports only the PSU's input power, so conversion efficiency
+cannot be tracked over time -- the paper had to fall back to a one-time
+sensor snapshot, and hopes the IETF GREEN working group fixes this.
+
+This module is that fix, implemented: a collector that polls both power
+values of every PSU on a schedule, builds per-supply efficiency series,
+and flags supplies whose efficiency drifts (aging) or sits below a
+floor -- the longitudinal analysis §9.4 says the community needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.core.regression import LinearFit, linear_fit
+from repro.hardware.router import VirtualRouter
+from repro.telemetry.traces import TimeSeries
+
+
+@dataclass(frozen=True)
+class PsuKey:
+    """Identifies one supply: router hostname + PSU index."""
+
+    hostname: str
+    psu_index: int
+
+    def __str__(self) -> str:
+        return f"{self.hostname}/psu{self.psu_index}"
+
+
+@dataclass
+class PsuEfficiencyTrace:
+    """The longitudinal record of one PSU."""
+
+    key: PsuKey
+    capacity_w: float
+    timestamps: List[float] = field(default_factory=list)
+    input_w: List[float] = field(default_factory=list)
+    output_w: List[float] = field(default_factory=list)
+
+    def efficiency_series(self) -> TimeSeries:
+        """Capped efficiency over time (the §9.2 cleaning, continuously)."""
+        ts = np.array(self.timestamps)
+        inp = np.array(self.input_w)
+        out = np.array(self.output_w)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            eff = np.where(inp > 0, np.minimum(1.0, out / inp), np.nan)
+        return TimeSeries(ts, eff)
+
+    def load_series(self) -> TimeSeries:
+        """Load fraction over time."""
+        ts = np.array(self.timestamps)
+        return TimeSeries(ts, np.array(self.output_w) / self.capacity_w)
+
+
+@dataclass(frozen=True)
+class EfficiencyDrift:
+    """The fitted efficiency trend of one PSU."""
+
+    key: PsuKey
+    per_month: float       # efficiency change per 30 days
+    mean_efficiency: float
+    fit: LinearFit
+
+    @property
+    def degrading(self) -> bool:
+        """Whether the supply is measurably losing efficiency."""
+        return (self.per_month < -0.002
+                and abs(self.fit.slope) > 2 * self.fit.slope_stderr)
+
+
+class GreenCollector:
+    """Polls P_in/P_out of every PSU in a fleet on a fixed period."""
+
+    def __init__(self, routers: Sequence[VirtualRouter]):
+        self.routers = {r.hostname: r for r in routers}
+        self.traces: Dict[PsuKey, PsuEfficiencyTrace] = {}
+        for router in routers:
+            for index, psu in enumerate(router.psu_group.instances):
+                key = PsuKey(router.hostname, index)
+                self.traces[key] = PsuEfficiencyTrace(
+                    key=key, capacity_w=psu.capacity_w)
+
+    def record(self, timestamp_s: float) -> None:
+        """One collection round across the fleet."""
+        for hostname, router in self.routers.items():
+            if not router.powered:
+                continue
+            readings = router.psu_sensor_snapshots()
+            for index, reading in enumerate(readings):
+                trace = self.traces[PsuKey(hostname, index)]
+                trace.timestamps.append(timestamp_s)
+                trace.input_w.append(reading.input_w)
+                trace.output_w.append(reading.output_w)
+
+    # -- analyses -----------------------------------------------------------------
+
+    def drift(self, key: PsuKey) -> Optional[EfficiencyDrift]:
+        """Efficiency trend of one PSU (None with <3 samples)."""
+        trace = self.traces[key]
+        series = trace.efficiency_series().valid()
+        if len(series) < 3 or np.ptp(series.timestamps) == 0:
+            return None
+        fit = linear_fit(series.timestamps, series.values)
+        return EfficiencyDrift(
+            key=key,
+            per_month=fit.slope * 30 * units.SECONDS_PER_DAY,
+            mean_efficiency=series.mean(),
+            fit=fit)
+
+    def degrading_psus(self) -> List[EfficiencyDrift]:
+        """Supplies with a statistically visible downward trend."""
+        out = []
+        for key in self.traces:
+            drift = self.drift(key)
+            if drift is not None and drift.degrading:
+                out.append(drift)
+        return sorted(out, key=lambda d: d.per_month)
+
+    def below_floor(self, floor: float = 0.75) -> List[PsuKey]:
+        """Supplies whose mean efficiency sits below a floor."""
+        flagged = []
+        for key, trace in self.traces.items():
+            series = trace.efficiency_series().valid()
+            if len(series) and series.mean() < floor:
+                flagged.append(key)
+        return sorted(flagged, key=str)
+
+    def fleet_mean_efficiency(self) -> float:
+        """Mean capped efficiency across every sample of every PSU."""
+        values = []
+        for trace in self.traces.values():
+            series = trace.efficiency_series().valid()
+            values.extend(series.values.tolist())
+        return float(np.mean(values)) if values else float("nan")

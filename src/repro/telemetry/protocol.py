@@ -1,0 +1,227 @@
+"""The Autopower wire protocol: framed, sequenced, idempotent.
+
+The real Autopower talks gRPC over a client-initiated connection.  This
+module reproduces the properties that matter when the transport is
+unreliable, without the dependency:
+
+* **length-prefixed framing** over a byte stream (frames survive
+  arbitrary segmentation -- a decoder accumulates partial reads);
+* **typed messages** with a JSON payload (register, measurement chunk,
+  chunk acknowledgement, control poll);
+* **sequence numbers with server-side deduplication**, so a client that
+  never saw an ack can retransmit blindly: uploads are at-least-once on
+  the wire but exactly-once in the database.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lab.power_meter import PowerSample
+from repro.telemetry.autopower import AutopowerServer
+
+#: Frame header: 4-byte big-endian payload length.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on a frame's payload (matches gRPC's default 4 MiB).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegisterRequest:
+    """A unit announcing itself after boot."""
+
+    unit_id: str
+    TYPE = "register"
+
+
+@dataclass(frozen=True)
+class RegisterReply:
+    """Server response to a registration."""
+
+    unit_id: str
+    accepted: bool
+    TYPE = "register-reply"
+
+
+@dataclass(frozen=True)
+class MeasurementChunk:
+    """A sequenced batch of samples."""
+
+    unit_id: str
+    seq: int
+    timestamps: Tuple[float, ...]
+    power_w: Tuple[float, ...]
+    TYPE = "chunk"
+
+    def __post_init__(self):
+        if len(self.timestamps) != len(self.power_w):
+            raise ValueError(
+                f"chunk arrays differ in length: {len(self.timestamps)} "
+                f"vs {len(self.power_w)}")
+
+    @classmethod
+    def from_samples(cls, unit_id: str, seq: int,
+                     samples: List[PowerSample]) -> "MeasurementChunk":
+        return cls(unit_id=unit_id, seq=seq,
+                   timestamps=tuple(s.timestamp_s for s in samples),
+                   power_w=tuple(s.power_w for s in samples))
+
+    def samples(self) -> List[PowerSample]:
+        """Back to sample objects."""
+        return [PowerSample(timestamp_s=t, power_w=p)
+                for t, p in zip(self.timestamps, self.power_w)]
+
+
+@dataclass(frozen=True)
+class ChunkAck:
+    """Acknowledgement of one chunk (or of its deduplicated duplicate)."""
+
+    unit_id: str
+    seq: int
+    accepted: int
+    duplicate: bool = False
+    TYPE = "chunk-ack"
+
+
+@dataclass(frozen=True)
+class ControlPoll:
+    """Client polling the server's measure/pause toggle."""
+
+    unit_id: str
+    TYPE = "control-poll"
+
+
+@dataclass(frozen=True)
+class ControlReply:
+    """The server's toggle state."""
+
+    unit_id: str
+    measure: bool
+    TYPE = "control-reply"
+
+
+Message = Union[RegisterRequest, RegisterReply, MeasurementChunk,
+                ChunkAck, ControlPoll, ControlReply]
+
+_TYPES = {cls.TYPE: cls for cls in (
+    RegisterRequest, RegisterReply, MeasurementChunk, ChunkAck,
+    ControlPoll, ControlReply)}
+
+
+# ---------------------------------------------------------------------------
+# Encoding & framing
+# ---------------------------------------------------------------------------
+
+
+def encode(message: Message) -> bytes:
+    """Message -> framed bytes."""
+    payload = dict(message.__dict__)
+    payload["_type"] = message.TYPE
+    body = json.dumps(payload).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame too large: {len(body)} bytes")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Message:
+    """One frame's payload -> message."""
+    data = json.loads(body.decode("utf-8"))
+    type_tag = data.pop("_type", None)
+    cls = _TYPES.get(type_tag)
+    if cls is None:
+        raise ValueError(f"unknown message type {type_tag!r}")
+    for key in ("timestamps", "power_w"):
+        if key in data:
+            data[key] = tuple(data[key])
+    return cls(**data)
+
+
+class FrameDecoder:
+    """Accumulates arbitrary byte segments and yields complete messages.
+
+    TCP gives no message boundaries; ``feed`` any received bytes and
+    collect whatever complete frames they finish.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Message]:
+        """Add received bytes; return all now-complete messages."""
+        self._buffer.extend(data)
+        messages: List[Message] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ValueError(f"oversized frame announced: {length}")
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            body = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+            del self._buffer[:_HEADER.size + length]
+            messages.append(decode_payload(body))
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# Server-side dispatch with deduplication
+# ---------------------------------------------------------------------------
+
+
+class ProtocolServer:
+    """Wraps an :class:`AutopowerServer` behind the wire protocol.
+
+    Tracks the highest contiguous sequence number per unit; a
+    retransmitted chunk is acknowledged but not stored twice.
+    """
+
+    def __init__(self, server: Optional[AutopowerServer] = None):
+        self.server = server if server is not None else AutopowerServer()
+        self._last_seq: Dict[str, int] = {}
+
+    def handle(self, message: Message) -> Message:
+        """Dispatch one decoded message; returns the reply message."""
+        if isinstance(message, RegisterRequest):
+            self.server.register(message.unit_id)
+            self._last_seq.setdefault(message.unit_id, -1)
+            return RegisterReply(unit_id=message.unit_id, accepted=True)
+        if isinstance(message, ControlPoll):
+            return ControlReply(
+                unit_id=message.unit_id,
+                measure=self.server.should_measure(message.unit_id))
+        if isinstance(message, MeasurementChunk):
+            last = self._last_seq.get(message.unit_id, -1)
+            if message.seq <= last:
+                return ChunkAck(unit_id=message.unit_id, seq=message.seq,
+                                accepted=0, duplicate=True)
+            accepted = self.server.receive_chunk(message.unit_id,
+                                                 message.samples())
+            self._last_seq[message.unit_id] = message.seq
+            return ChunkAck(unit_id=message.unit_id, seq=message.seq,
+                            accepted=accepted)
+        raise TypeError(
+            f"server cannot handle {type(message).__name__} messages")
+
+    def handle_bytes(self, data: bytes,
+                     decoder: Optional[FrameDecoder] = None) -> bytes:
+        """Byte-level entry point: frames in, framed replies out."""
+        decoder = decoder if decoder is not None else FrameDecoder()
+        replies = bytearray()
+        for message in decoder.feed(data):
+            replies.extend(encode(self.handle(message)))
+        return bytes(replies)

@@ -1,0 +1,226 @@
+"""SNMP-style telemetry collection from deployed routers.
+
+Reproduces the shape of the paper's 10-month Switch dataset: every poll
+period (5 minutes), each router exports its PSU-reported input power (if
+the platform reports one at all, §6.2) and its 64-bit interface counters.
+A one-time *sensor export* additionally captures each PSU's input and
+output power -- the snapshot §9.2 relies on, since the periodic traces
+only contain ``P_in``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.psu import PsuSensorReading
+from repro.hardware.router import Counters, VirtualRouter
+from repro.telemetry.traces import CounterSeries, InterfaceTrace, TimeSeries
+
+#: MIB object names used in record dictionaries, for readability.
+IF_HC_IN_OCTETS = "ifHCInOctets"
+IF_HC_OUT_OCTETS = "ifHCOutOctets"
+IF_HC_IN_PKTS = "ifHCInUcastPkts"
+IF_HC_OUT_PKTS = "ifHCOutUcastPkts"
+
+
+@dataclass(frozen=True)
+class PsuInventoryEntry:
+    """One PSU as it appears in the router's hardware inventory (§9.2)."""
+
+    router: str
+    psu_index: int
+    model: str
+    capacity_w: float
+
+
+@dataclass(frozen=True)
+class PsuSensorExport:
+    """One-time environment-sensor snapshot of a PSU (§9.2).
+
+    ``input_w``/``output_w`` are raw sensor values; they are noisy and can
+    imply an efficiency above 100 %, which analyses must cap.
+    """
+
+    router: str
+    router_model: str
+    psu_index: int
+    capacity_w: float
+    input_w: float
+    output_w: float
+
+    @property
+    def load_fraction(self) -> float:
+        """Reported output power over capacity."""
+        return self.output_w / self.capacity_w
+
+    @property
+    def efficiency(self) -> float:
+        """Implied efficiency, capped at 100 % like the paper does."""
+        if self.input_w <= 0:
+            return 0.0
+        return min(1.0, self.output_w / self.input_w)
+
+
+class SnmpAgent:
+    """The SNMP view of one router: what a poller can read."""
+
+    def __init__(self, router: VirtualRouter):
+        self.router = router
+
+    @property
+    def hostname(self) -> str:
+        """sysName of the device."""
+        return self.router.hostname
+
+    def poll_power(self) -> Optional[float]:
+        """PSU-reported total input power, or None if unsupported."""
+        return self.router.psu_reported_power_w()
+
+    def poll_counters(self) -> Dict[str, Counters]:
+        """Current 64-bit counters per interface."""
+        return self.router.interface_counters()
+
+    def psu_inventory(self) -> List[PsuInventoryEntry]:
+        """PSU models and capacities from the hardware inventory."""
+        return [
+            PsuInventoryEntry(router=self.hostname, psu_index=i,
+                              model=psu.model.name,
+                              capacity_w=psu.capacity_w)
+            for i, psu in enumerate(self.router.psu_group.instances)
+        ]
+
+    def sensor_export(self) -> List[PsuSensorExport]:
+        """One-time P_in/P_out snapshot of every PSU (§9.2)."""
+        readings = self.router.psu_sensor_snapshots()
+        return [
+            PsuSensorExport(
+                router=self.hostname,
+                router_model=self.router.model_name,
+                psu_index=i,
+                capacity_w=self.router.psu_group.instances[i].capacity_w,
+                input_w=reading.input_w,
+                output_w=reading.output_w,
+            )
+            for i, reading in enumerate(readings)
+        ]
+
+
+@dataclass
+class RouterTrace:
+    """Everything collected for one router over a monitoring campaign."""
+
+    hostname: str
+    router_model: str
+    power: TimeSeries
+    interfaces: Dict[str, InterfaceTrace] = field(default_factory=dict)
+    inventory: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def median_power_w(self) -> float:
+        """Median of the PSU-reported power (the Table 1 statistic)."""
+        return self.power.median()
+
+    def total_octet_rate(self) -> TimeSeries:
+        """Sum of rx+tx octet rates over all recorded interfaces."""
+        if not self.interfaces:
+            return TimeSeries(np.array([]), np.array([]))
+        acc: Optional[np.ndarray] = None
+        ts: Optional[np.ndarray] = None
+        for iface in self.interfaces.values():
+            rx, tx = iface.octet_rates()
+            if len(rx) == 0:
+                continue
+            total = np.nan_to_num(rx.values) + np.nan_to_num(tx.values)
+            if acc is None:
+                acc, ts = total, rx.timestamps
+            else:
+                n = min(len(acc), len(total))
+                acc = acc[:n] + total[:n]
+                ts = ts[:n]
+        if acc is None:
+            return TimeSeries(np.array([]), np.array([]))
+        return TimeSeries(ts, acc)
+
+
+class SnmpCollector:
+    """Polls a set of routers on a fixed period and accumulates traces.
+
+    Counter collection is restricted to interfaces that have a module
+    plugged (empty cages never count traffic), and can be further limited
+    to a subset of routers via ``detailed_hosts`` to keep month-scale
+    campaigns at fleet size tractable -- power is always recorded for
+    every router.
+    """
+
+    def __init__(self, routers: Sequence[VirtualRouter],
+                 detailed_hosts: Optional[Iterable[str]] = None):
+        self.agents = {r.hostname: SnmpAgent(r) for r in routers}
+        if detailed_hosts is None:
+            self.detailed_hosts = set(self.agents)
+        else:
+            self.detailed_hosts = set(detailed_hosts)
+            unknown = self.detailed_hosts - set(self.agents)
+            if unknown:
+                raise ValueError(
+                    f"detailed hosts not in the fleet: {sorted(unknown)}")
+        self._timestamps: List[float] = []
+        self._power: Dict[str, List[float]] = {h: [] for h in self.agents}
+        # host -> iface -> (ts, rx_oct, tx_oct, rx_pkt, tx_pkt) lists
+        self._counters: Dict[str, Dict[str, List[List]]] = {
+            h: {} for h in self.detailed_hosts}
+
+    def record(self, timestamp_s: float) -> None:
+        """Take one poll of the whole fleet."""
+        self._timestamps.append(timestamp_s)
+        for hostname, agent in self.agents.items():
+            power = agent.poll_power()
+            self._power[hostname].append(
+                power if power is not None else np.nan)
+            if hostname not in self.detailed_hosts:
+                continue
+            store = self._counters[hostname]
+            ports_by_name = {p.name: p for p in agent.router.ports}
+            for iface_name, counters in agent.poll_counters().items():
+                port = ports_by_name[iface_name]
+                if not port.plugged:
+                    continue
+                slot = store.setdefault(iface_name, [[], [], [], [], []])
+                slot[0].append(timestamp_s)
+                slot[1].append(counters.rx_octets)
+                slot[2].append(counters.tx_octets)
+                slot[3].append(counters.rx_packets)
+                slot[4].append(counters.tx_packets)
+
+    def finalize(self) -> Dict[str, RouterTrace]:
+        """Build immutable traces from everything recorded so far."""
+        ts = np.array(self._timestamps, dtype=float)
+        traces: Dict[str, RouterTrace] = {}
+        for hostname, agent in self.agents.items():
+            power = TimeSeries(ts, np.array(self._power[hostname]))
+            interfaces: Dict[str, InterfaceTrace] = {}
+            for iface_name, slot in self._counters.get(hostname, {}).items():
+                iface_ts = np.array(slot[0], dtype=float)
+                interfaces[iface_name] = InterfaceTrace(
+                    name=iface_name,
+                    rx_octets=CounterSeries(iface_ts, np.array(slot[1])),
+                    tx_octets=CounterSeries(iface_ts, np.array(slot[2])),
+                    rx_packets=CounterSeries(iface_ts, np.array(slot[3])),
+                    tx_packets=CounterSeries(iface_ts, np.array(slot[4])),
+                )
+            traces[hostname] = RouterTrace(
+                hostname=hostname,
+                router_model=agent.router.model_name,
+                power=power,
+                interfaces=interfaces,
+                inventory=agent.router.inventory(),
+            )
+        return traces
+
+    def sensor_exports(self) -> List[PsuSensorExport]:
+        """One-time P_in/P_out snapshot across the fleet (§9.2)."""
+        exports: List[PsuSensorExport] = []
+        for agent in self.agents.values():
+            exports.extend(agent.sensor_export())
+        return exports

@@ -1,0 +1,221 @@
+"""Time-series containers for power and counter traces.
+
+Everything §6-§9 consumes is a time series: 5-minute SNMP power polls,
+0.5-second Autopower samples, 64-bit interface counters.  This module
+provides the two containers used throughout -- :class:`TimeSeries` for
+sampled values (with gaps as NaN) and :class:`CounterSeries` for
+monotonically increasing counters (with wrap and reset handling) -- plus
+the alignment/averaging operations the paper's plots rely on (e.g. the
+30-minute averaging of Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.router import COUNTER_64_WRAP
+
+
+@dataclass
+class TimeSeries:
+    """A sampled scalar signal: timestamps (s) and values, gaps as NaN."""
+
+    timestamps: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        self.timestamps = np.asarray(self.timestamps, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.timestamps.shape != self.values.shape:
+            raise ValueError(
+                f"timestamps and values differ in shape: "
+                f"{self.timestamps.shape} vs {self.values.shape}")
+        if self.timestamps.ndim != 1:
+            raise ValueError("series must be one-dimensional")
+        if len(self.timestamps) > 1 and np.any(np.diff(self.timestamps) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def duration_s(self) -> float:
+        """Span between first and last sample."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    def valid(self) -> "TimeSeries":
+        """The series restricted to non-NaN samples."""
+        mask = ~np.isnan(self.values)
+        return TimeSeries(self.timestamps[mask], self.values[mask])
+
+    def mean(self) -> float:
+        """NaN-ignoring mean (NaN for empty/all-NaN series, no warning)."""
+        finite = self.values[~np.isnan(self.values)]
+        if len(finite) == 0:
+            return float("nan")
+        return float(np.mean(finite))
+
+    def median(self) -> float:
+        """NaN-ignoring median (the paper's Table 1 statistic).
+
+        NaN for an empty or all-NaN series (platforms that report no
+        power), without numpy's all-NaN warning.
+        """
+        finite = self.values[~np.isnan(self.values)]
+        if len(finite) == 0:
+            return float("nan")
+        return float(np.median(finite))
+
+    def std(self) -> float:
+        """NaN-ignoring standard deviation (NaN when nothing is finite)."""
+        finite = self.values[~np.isnan(self.values)]
+        if len(finite) == 0:
+            return float("nan")
+        return float(np.std(finite))
+
+    def slice(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with ``t0 <= t < t1``."""
+        mask = (self.timestamps >= t0) & (self.timestamps < t1)
+        return TimeSeries(self.timestamps[mask], self.values[mask])
+
+    def resample(self, period_s: float,
+                 t0: Optional[float] = None) -> "TimeSeries":
+        """Bin-average onto a regular grid (e.g. Fig. 4's 30-min averages).
+
+        Bins with no valid samples yield NaN; bin timestamps are bin
+        centres.
+        """
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        if len(self) == 0:
+            return TimeSeries(np.array([]), np.array([]))
+        start = self.timestamps[0] if t0 is None else t0
+        idx = np.floor((self.timestamps - start) / period_s).astype(int)
+        keep = idx >= 0
+        idx = idx[keep]
+        vals = self.values[keep]
+        n_bins = int(idx.max()) + 1 if len(idx) else 0
+        sums = np.zeros(n_bins)
+        counts = np.zeros(n_bins)
+        finite = ~np.isnan(vals)
+        np.add.at(sums, idx[finite], vals[finite])
+        np.add.at(counts, idx[finite], 1.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / counts, np.nan)
+        centres = start + (np.arange(n_bins) + 0.5) * period_s
+        return TimeSeries(centres, means)
+
+    def align_to(self, grid: np.ndarray,
+                 max_gap_s: Optional[float] = None) -> "TimeSeries":
+        """Linear interpolation onto an arbitrary time grid.
+
+        Points farther than ``max_gap_s`` from any source sample become
+        NaN (so measurement outages stay visible after alignment).
+        """
+        grid = np.asarray(grid, dtype=float)
+        src = self.valid()
+        if len(src) == 0:
+            return TimeSeries(grid, np.full(len(grid), np.nan))
+        interp = np.interp(grid, src.timestamps, src.values,
+                           left=np.nan, right=np.nan)
+        if max_gap_s is not None and len(src) > 0:
+            nearest_idx = np.searchsorted(src.timestamps, grid)
+            nearest_idx = np.clip(nearest_idx, 1, len(src) - 1)
+            gap = np.minimum(
+                np.abs(grid - src.timestamps[nearest_idx - 1]),
+                np.abs(src.timestamps[nearest_idx] - grid))
+            interp = np.where(gap <= max_gap_s, interp, np.nan)
+        return TimeSeries(grid, interp)
+
+    def shifted(self, offset: float) -> "TimeSeries":
+        """The same series with a constant added to every value."""
+        return TimeSeries(self.timestamps.copy(), self.values + offset)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[float, float]]) -> "TimeSeries":
+        """Build from an iterable of (timestamp, value) pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return cls(np.array([]), np.array([]))
+        ts = np.array([p[0] for p in pairs], dtype=float)
+        vs = np.array([p[1] for p in pairs], dtype=float)
+        return cls(ts, vs)
+
+
+@dataclass
+class CounterSeries:
+    """A sampled 64-bit monotone counter (e.g. ``ifHCInOctets``)."""
+
+    timestamps: np.ndarray
+    counts: np.ndarray
+    wrap: int = COUNTER_64_WRAP
+
+    def __post_init__(self):
+        self.timestamps = np.asarray(self.timestamps, dtype=float)
+        self.counts = np.asarray(self.counts, dtype=np.uint64)
+        if self.timestamps.shape != self.counts.shape:
+            raise ValueError("timestamps and counts differ in shape")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def rates(self, reset_threshold: float = 0.5) -> TimeSeries:
+        """Per-interval rates (units/s) from counter deltas.
+
+        A decreasing counter is either a 64-bit wrap (delta recovered
+        modulo ``wrap``) or a device reboot.  Deltas larger than
+        ``reset_threshold * wrap`` after wrap-correction are treated as
+        resets and yield NaN -- the standard SNMP poller heuristic.
+
+        The rate for interval ``(t_i, t_{i+1}]`` is stamped at ``t_{i+1}``;
+        the first timestamp has no rate and is dropped.
+        """
+        if len(self) < 2:
+            return TimeSeries(np.array([]), np.array([]))
+        if self.wrap == COUNTER_64_WRAP and int(self.counts.max()) < 2 ** 63:
+            # Fast path: values fit in int64, diff vectorises; the rare
+            # negative delta (wrap or reset) is fixed up exactly below.
+            deltas = np.diff(self.counts.astype(np.int64)).astype(float)
+        else:
+            ints = [int(c) for c in self.counts]
+            deltas = np.array([b - a for a, b in zip(ints, ints[1:])],
+                              dtype=float)
+        negative = deltas < 0
+        if np.any(negative):
+            for i in np.flatnonzero(negative):
+                exact = (int(self.counts[i + 1]) - int(self.counts[i])
+                         + self.wrap)
+                deltas[i] = float(exact)
+        deltas[deltas > reset_threshold * self.wrap] = np.nan
+        dt = np.diff(self.timestamps)
+        return TimeSeries(self.timestamps[1:], deltas / dt)
+
+
+@dataclass
+class InterfaceTrace:
+    """The counter traces of one interface over a collection run."""
+
+    name: str
+    rx_octets: CounterSeries
+    tx_octets: CounterSeries
+    rx_packets: CounterSeries
+    tx_packets: CounterSeries
+
+    def octet_rates(self) -> Tuple[TimeSeries, TimeSeries]:
+        """(rx, tx) octet rates in bytes/s."""
+        return self.rx_octets.rates(), self.tx_octets.rates()
+
+    def packet_rates(self) -> Tuple[TimeSeries, TimeSeries]:
+        """(rx, tx) packet rates in packets/s."""
+        return self.rx_packets.rates(), self.tx_packets.rates()
+
+    def is_active(self) -> bool:
+        """Whether the interface ever carried traffic during the trace."""
+        rx, tx = self.packet_rates()
+        total = np.nansum(rx.values) + np.nansum(tx.values)
+        return bool(total > 0)

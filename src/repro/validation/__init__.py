@@ -1,0 +1,29 @@
+"""Validation of power data sources against external measurements (§6)."""
+
+from repro.validation.summary import (
+    SummaryRow,
+    ValidationSummary,
+)
+from repro.validation.compare import (
+    AVERAGING_WINDOW_S,
+    ComparisonStats,
+    TelemetryVerdict,
+    ValidationReport,
+    compare_series,
+    predict_from_trace,
+    trace_to_interfaces,
+    validate_router,
+)
+
+__all__ = [
+    "SummaryRow",
+    "ValidationSummary",
+    "AVERAGING_WINDOW_S",
+    "ComparisonStats",
+    "TelemetryVerdict",
+    "ValidationReport",
+    "compare_series",
+    "predict_from_trace",
+    "trace_to_interfaces",
+    "validate_router",
+]

@@ -1,0 +1,242 @@
+"""Comparing the three power-data sources on the same device (§6.2).
+
+For each externally-measured router the paper lines up, on a 30-minute
+averaged time axis: (i) the PSU's self-reported power, (ii) the Autopower
+external measurement (ground truth), and (iii) the power-model prediction
+driven by the module inventory and the SNMP traffic counters.  The
+questions are *precision* (does the shape track?) and *accuracy* (is
+there an offset?) -- the paper's finding being that models are precise
+with a constant offset, while PSU telemetry ranges from offset-but-precise
+to useless.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.core.model import PowerModel
+from repro.core.prediction import DeployedInterface, predict_trace
+from repro.telemetry.snmp import RouterTrace
+from repro.telemetry.traces import TimeSeries
+
+#: Fig. 4's smoothing window.
+AVERAGING_WINDOW_S = 30 * units.SECONDS_PER_MINUTE
+
+
+def trace_to_interfaces(trace: RouterTrace,
+                        ) -> Tuple[np.ndarray, List[DeployedInterface]]:
+    """Counter traces + inventory -> the prediction pipeline's inputs.
+
+    Returns the shared rate-timestamp grid and one
+    :class:`DeployedInterface` per inventory-listed interface.
+    """
+    raw: List[Tuple[str, str, List[np.ndarray]]] = []
+    grid: Optional[np.ndarray] = None
+    for name, iface in sorted(trace.interfaces.items()):
+        trx_name = trace.inventory.get(name)
+        if trx_name is None:
+            continue
+        rx_oct, tx_oct = iface.octet_rates()
+        rx_pkt, tx_pkt = iface.packet_rates()
+        if grid is None:
+            grid = rx_oct.timestamps
+        n = len(grid)
+
+        def fit_grid(series: TimeSeries) -> np.ndarray:
+            if len(series) == n:
+                return series.values
+            # Interfaces plugged mid-campaign have shorter traces; align
+            # by padding the head with zeros (no traffic before plug-in).
+            values = np.zeros(n)
+            if len(series) > 0:
+                values[n - len(series):] = series.values
+            return values
+
+        raw.append((name, trx_name, [fit_grid(rx_oct), fit_grid(tx_oct),
+                                     fit_grid(rx_pkt), fit_grid(tx_pkt)]))
+    if grid is None:
+        return np.array([]), []
+
+    # Poll intervals spanning a reboot yield NaN rates (counter reset);
+    # a careful analyst excludes those samples rather than mistaking
+    # them for idle interfaces, so we drop the affected time points.
+    valid = np.ones(len(grid), dtype=bool)
+    for _name, _trx, arrays in raw:
+        for array in arrays:
+            valid &= ~np.isnan(array)
+    interfaces = [
+        DeployedInterface(
+            name=name, trx_name=trx_name,
+            octet_rate_rx=arrays[0][valid], octet_rate_tx=arrays[1][valid],
+            packet_rate_rx=arrays[2][valid], packet_rate_tx=arrays[3][valid])
+        for name, trx_name, arrays in raw
+    ]
+    return grid[valid], interfaces
+
+
+def predict_from_trace(model: PowerModel, trace: RouterTrace,
+                       assume_unplugged_when_idle: bool = True) -> TimeSeries:
+    """Model-predicted power series for one monitored router (§6.2)."""
+    grid, interfaces = trace_to_interfaces(trace)
+    if len(grid) == 0:
+        return TimeSeries(np.array([]), np.array([]))
+    values = predict_trace(
+        model, interfaces,
+        assume_unplugged_when_idle=assume_unplugged_when_idle)
+    return TimeSeries(grid, values)
+
+
+class TelemetryVerdict(enum.Enum):
+    """The paper's qualitative classification of a power data source."""
+
+    TRUSTWORTHY = "precise and accurate"
+    PRECISE_NOT_ACCURATE = "precise but offset"
+    UNINFORMATIVE = "pseudo-constant / shape mismatch"
+    ABSENT = "no data"
+
+
+@dataclass(frozen=True)
+class ComparisonStats:
+    """How one candidate series relates to a reference (ground truth)."""
+
+    offset_w: float          # median(candidate - reference)
+    residual_std_w: float    # robust spread of the offset-corrected diff
+    correlation: float       # Pearson r on the averaged, aligned series
+    reference_std_w: float   # variability of the reference itself
+    reference_level_w: float  # median level of the reference
+    n_samples: int
+    #: Variability of the candidate itself (flat-liner detection).
+    candidate_std_w: float = float("nan")
+
+    @property
+    def precise(self) -> bool:
+        """Shape tracks the reference.
+
+        Either the correlation is strong, or the offset-corrected residual
+        is small -- relative both to the reference's own variability and
+        to its absolute level (two near-flat series that agree to a few
+        tenths of a percent are precise even though correlation is
+        meaningless on pure noise).
+        """
+        if self.n_samples < 4:
+            return False
+        if self.correlation > 0.8:
+            return True
+        # A flat-lining candidate against a visibly varying reference is
+        # the pseudo-constant failure mode (Fig. 4b), whatever the
+        # residual numbers say.
+        if (np.isfinite(self.candidate_std_w)
+                and self.reference_std_w > 0.3
+                and self.candidate_std_w < 0.25 * self.reference_std_w):
+            return False
+        # The absolute floor reflects what no model can track: ambient
+        # control-plane noise and the meter's own noise sit at a couple
+        # of tenths of a watt, so agreement at that scale is precise.
+        floor = max(0.5 * self.reference_std_w,
+                    0.003 * abs(self.reference_level_w), 0.25)
+        return self.residual_std_w < floor
+
+    def accurate_within(self, threshold_w: float = 5.0) -> bool:
+        """No constant offset to the reference beyond ``threshold_w``."""
+        return abs(self.offset_w) < threshold_w
+
+    def verdict(self) -> TelemetryVerdict:
+        """The paper's qualitative label for this data source."""
+        if self.n_samples == 0:
+            return TelemetryVerdict.ABSENT
+        if self.precise:
+            if abs(self.offset_w) < 5.0:
+                return TelemetryVerdict.TRUSTWORTHY
+            return TelemetryVerdict.PRECISE_NOT_ACCURATE
+        return TelemetryVerdict.UNINFORMATIVE
+
+
+def compare_series(candidate: TimeSeries, reference: TimeSeries,
+                   window_s: float = AVERAGING_WINDOW_S) -> ComparisonStats:
+    """Align two series on a shared averaged grid and compare (Fig. 4)."""
+    empty = ComparisonStats(offset_w=float("nan"),
+                            residual_std_w=float("nan"),
+                            correlation=float("nan"),
+                            reference_std_w=float("nan"),
+                            reference_level_w=float("nan"), n_samples=0)
+    if len(candidate) == 0 or len(reference) == 0:
+        return empty
+    t0 = max(candidate.timestamps[0], reference.timestamps[0])
+    t1 = min(candidate.timestamps[-1], reference.timestamps[-1])
+    if t1 <= t0:
+        return empty
+    cand = candidate.slice(t0, t1 + 1).resample(window_s, t0=t0)
+    ref = reference.slice(t0, t1 + 1).resample(window_s, t0=t0)
+    n = min(len(cand), len(ref))
+    c = cand.values[:n]
+    r = ref.values[:n]
+    mask = ~(np.isnan(c) | np.isnan(r))
+    c, r = c[mask], r[mask]
+    if len(c) == 0:
+        return empty
+    diff = c - r
+    offset = float(np.median(diff))
+    # Robust spread: isolated artifacts (a reboot-spanning poll window,
+    # a meter glitch) must not drown the precision assessment.
+    residual_std = float(1.4826 * np.median(np.abs(diff - offset)))
+    if len(c) > 2 and np.std(c) > 1e-9 and np.std(r) > 1e-9:
+        correlation = float(np.corrcoef(c, r)[0, 1])
+    else:
+        correlation = 0.0
+    return ComparisonStats(offset_w=offset, residual_std_w=residual_std,
+                           correlation=correlation,
+                           reference_std_w=float(np.std(r)),
+                           reference_level_w=float(np.median(r)),
+                           n_samples=len(c),
+                           candidate_std_w=float(np.std(c)))
+
+
+@dataclass
+class ValidationReport:
+    """The full §6.2 comparison for one router."""
+
+    hostname: str
+    router_model: str
+    psu_stats: Optional[ComparisonStats]
+    model_stats: ComparisonStats
+    autopower: TimeSeries
+    psu_series: Optional[TimeSeries]
+    model_series: TimeSeries
+
+    def psu_verdict(self) -> TelemetryVerdict:
+        """Verdict on the PSU telemetry (Q2)."""
+        if self.psu_stats is None:
+            return TelemetryVerdict.ABSENT
+        return self.psu_stats.verdict()
+
+    def model_verdict(self) -> TelemetryVerdict:
+        """Verdict on the power-model prediction (Q3)."""
+        return self.model_stats.verdict()
+
+    def offset_corrected_model(self) -> TimeSeries:
+        """The Fig. 9 view: the prediction shifted onto the measurement."""
+        return self.model_series.shifted(-self.model_stats.offset_w)
+
+
+def validate_router(hostname: str, trace: RouterTrace,
+                    autopower: TimeSeries, model: PowerModel,
+                    assume_unplugged_when_idle: bool = True,
+                    ) -> ValidationReport:
+    """Run the full three-way §6.2 comparison for one router."""
+    psu_series = trace.power.valid()
+    psu_stats = (compare_series(psu_series, autopower)
+                 if len(psu_series) else None)
+    model_series = predict_from_trace(
+        model, trace, assume_unplugged_when_idle=assume_unplugged_when_idle)
+    model_stats = compare_series(model_series, autopower)
+    return ValidationReport(
+        hostname=hostname, router_model=trace.router_model,
+        psu_stats=psu_stats, model_stats=model_stats,
+        autopower=autopower,
+        psu_series=psu_series if len(psu_series) else None,
+        model_series=model_series)

@@ -1,0 +1,108 @@
+"""Fleet-level validation summaries (the §6 'Summary' box as data).
+
+Turns a set of per-router :class:`ValidationReport` objects into the
+aggregate statements the paper makes -- how many platforms have usable
+PSU telemetry, how precise the models are overall, what the offsets look
+like -- in a form the CLI and benches can print and tests can assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.validation.compare import TelemetryVerdict, ValidationReport
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One router's line in the summary table."""
+
+    hostname: str
+    router_model: str
+    psu_verdict: TelemetryVerdict
+    psu_offset_w: float
+    model_verdict: TelemetryVerdict
+    model_offset_w: float
+    model_residual_w: float
+
+
+@dataclass
+class ValidationSummary:
+    """The cross-router aggregation of a §6.2 study."""
+
+    rows: List[SummaryRow] = field(default_factory=list)
+
+    @classmethod
+    def from_reports(cls, reports: Mapping[str, ValidationReport],
+                     ) -> "ValidationSummary":
+        """Summarise a hostname -> report mapping."""
+        rows = []
+        for report in reports.values():
+            psu_offset = (report.psu_stats.offset_w
+                          if report.psu_stats is not None else float("nan"))
+            rows.append(SummaryRow(
+                hostname=report.hostname,
+                router_model=report.router_model,
+                psu_verdict=report.psu_verdict(),
+                psu_offset_w=psu_offset,
+                model_verdict=report.model_verdict(),
+                model_offset_w=report.model_stats.offset_w,
+                model_residual_w=report.model_stats.residual_std_w))
+        rows.sort(key=lambda r: r.hostname)
+        return cls(rows=rows)
+
+    # -- the paper's aggregate claims -----------------------------------------
+
+    def psu_verdict_census(self) -> Dict[TelemetryVerdict, int]:
+        """How many platforms fall into each PSU-telemetry class."""
+        census: Dict[TelemetryVerdict, int] = {}
+        for row in self.rows:
+            census[row.psu_verdict] = census.get(row.psu_verdict, 0) + 1
+        return census
+
+    def models_all_precise(self) -> bool:
+        """Q3's headline: every model prediction tracks the shape."""
+        return all(row.model_verdict in (
+            TelemetryVerdict.TRUSTWORTHY,
+            TelemetryVerdict.PRECISE_NOT_ACCURATE)
+            for row in self.rows)
+
+    def psu_universally_trustworthy(self) -> bool:
+        """Q2's headline (expected False): PSU telemetry can't be trusted
+        across the board."""
+        return all(row.psu_verdict == TelemetryVerdict.TRUSTWORTHY
+                   for row in self.rows)
+
+    def median_model_offset_w(self) -> float:
+        """Central tendency of the model offsets (the constant error)."""
+        offsets = [abs(row.model_offset_w) for row in self.rows
+                   if np.isfinite(row.model_offset_w)]
+        return float(np.median(offsets)) if offsets else float("nan")
+
+    # -- rendering -------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """A printable summary table."""
+        lines = [
+            f"{'router':14s} {'model':20s} {'PSU telemetry':26s} "
+            f"{'model prediction':26s} {'offset':>8s}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.hostname:14s} {row.router_model:20s} "
+                f"{row.psu_verdict.value:26s} "
+                f"{row.model_verdict.value:26s} "
+                f"{row.model_offset_w:+7.1f} W")
+        census = self.psu_verdict_census()
+        census_text = ", ".join(
+            f"{verdict.value}: {count}"
+            for verdict, count in sorted(census.items(),
+                                         key=lambda kv: kv[0].value))
+        lines.append(f"PSU telemetry census -- {census_text}")
+        lines.append(
+            f"models precise on all routers: {self.models_all_precise()}; "
+            f"median |offset| {self.median_model_offset_w():.1f} W")
+        return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""The Network Power Zoo: aggregation database for router power data."""
+
+from repro.zoo.ingest import (
+    contribute_datasheets,
+    contribute_measurements,
+    contribute_power_models,
+    contribute_psu_points,
+    vendor_lookup,
+)
+from repro.zoo.database import (
+    DatasheetRecord,
+    MeasurementRecord,
+    NetworkPowerZoo,
+    PowerModelRecord,
+    Provenance,
+    PsuRecord,
+)
+
+__all__ = [
+    "contribute_datasheets",
+    "contribute_measurements",
+    "contribute_power_models",
+    "contribute_psu_points",
+    "vendor_lookup",
+    "DatasheetRecord",
+    "MeasurementRecord",
+    "NetworkPowerZoo",
+    "PowerModelRecord",
+    "Provenance",
+    "PsuRecord",
+]

@@ -1,0 +1,198 @@
+"""The Network Power Zoo: a community database of router power data.
+
+The paper launches the Zoo as a public aggregation point for every kind
+of network power record: datasheet extractions, fitted power models,
+measurement summaries, and PSU observations -- open for contribution.
+This module is that database: typed records with provenance, queryable by
+vendor and model, serialisable to a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.model import PowerModel
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Who contributed a record and from what kind of source."""
+
+    contributor: str
+    #: "datasheet-extraction", "netbox", "manual", "lab-measurement",
+    #: "snmp", "external-measurement" ... (the dataset distinguishes LLM
+    #: output from curated values, §3.2).
+    method: str
+    date: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class DatasheetRecord:
+    """Datasheet power values for one router model."""
+
+    vendor: str
+    model: str
+    typical_w: Optional[float]
+    max_w: Optional[float]
+    max_bandwidth_gbps: Optional[float]
+    release_year: Optional[int]
+    provenance: Provenance
+
+    KIND = "datasheet"
+
+
+@dataclass
+class MeasurementRecord:
+    """A summarised power measurement of one deployed router."""
+
+    vendor: str
+    model: str
+    hostname: str
+    median_w: float
+    mean_w: float
+    duration_s: float
+    provenance: Provenance
+
+    KIND = "measurement"
+
+
+@dataclass
+class PowerModelRecord:
+    """A fitted power model (the §5 output)."""
+
+    vendor: str
+    model: str
+    power_model: PowerModel
+    provenance: Provenance
+
+    KIND = "power-model"
+
+
+@dataclass
+class PsuRecord:
+    """One PSU efficiency observation (§9.2)."""
+
+    vendor: str
+    model: str
+    hostname: str
+    capacity_w: float
+    load_fraction: float
+    efficiency: float
+    provenance: Provenance
+
+    KIND = "psu"
+
+
+_RECORD_KINDS = {
+    DatasheetRecord.KIND: DatasheetRecord,
+    MeasurementRecord.KIND: MeasurementRecord,
+    PowerModelRecord.KIND: PowerModelRecord,
+    PsuRecord.KIND: PsuRecord,
+}
+
+
+class NetworkPowerZoo:
+    """The aggregation database."""
+
+    def __init__(self):
+        self._records: Dict[str, List] = {kind: [] for kind in _RECORD_KINDS}
+
+    # -- contribution -------------------------------------------------------------
+
+    def add(self, record) -> None:
+        """Contribute one record (typed; unknown kinds are rejected)."""
+        kind = getattr(type(record), "KIND", None)
+        if kind not in self._records:
+            raise TypeError(
+                f"unsupported record type {type(record).__name__}; "
+                f"known kinds: {sorted(self._records)}")
+        self._records[kind].append(record)
+
+    def add_all(self, records: Iterable) -> int:
+        """Contribute many records; returns how many were added."""
+        count = 0
+        for record in records:
+            self.add(record)
+            count += 1
+        return count
+
+    # -- queries -------------------------------------------------------------------
+
+    def records(self, kind: str) -> List:
+        """All records of one kind."""
+        if kind not in self._records:
+            raise KeyError(f"unknown record kind {kind!r}")
+        return list(self._records[kind])
+
+    def for_model(self, model: str, kind: Optional[str] = None) -> List:
+        """Every record about one router model (optionally one kind)."""
+        kinds = [kind] if kind else list(self._records)
+        out = []
+        for k in kinds:
+            out.extend(r for r in self._records[k] if r.model == model)
+        return out
+
+    def vendors(self) -> List[str]:
+        """Vendors with at least one record."""
+        seen = set()
+        for records in self._records.values():
+            seen.update(r.vendor for r in records)
+        return sorted(seen)
+
+    def models(self, vendor: Optional[str] = None) -> List[str]:
+        """Router models with at least one record."""
+        seen = set()
+        for records in self._records.values():
+            for record in records:
+                if vendor is None or record.vendor == vendor:
+                    seen.add(record.model)
+        return sorted(seen)
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per kind."""
+        return {kind: len(records)
+                for kind, records in self._records.items()}
+
+    # -- serialisation ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """One JSON document holding the whole Zoo."""
+        payload = {}
+        for kind, records in self._records.items():
+            entries = []
+            for record in records:
+                if kind == PowerModelRecord.KIND:
+                    entries.append({
+                        "vendor": record.vendor,
+                        "model": record.model,
+                        "power_model": record.power_model.to_dict(),
+                        "provenance": record.provenance.to_dict(),
+                    })
+                else:
+                    entries.append(asdict(record))
+            payload[kind] = entries
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetworkPowerZoo":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        zoo = cls()
+        for kind, entries in payload.items():
+            record_cls = _RECORD_KINDS.get(kind)
+            if record_cls is None:
+                raise ValueError(f"unknown record kind in document: {kind!r}")
+            for entry in entries:
+                prov = Provenance(**entry.pop("provenance"))
+                if kind == PowerModelRecord.KIND:
+                    model = PowerModel.from_dict(entry.pop("power_model"))
+                    zoo.add(PowerModelRecord(provenance=prov,
+                                             power_model=model, **entry))
+                else:
+                    zoo.add(record_cls(provenance=prov, **entry))
+        return zoo

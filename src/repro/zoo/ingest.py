@@ -1,0 +1,118 @@
+"""Bulk ingestion into the Network Power Zoo.
+
+The Zoo is "open for the community to use and contribute to"; these
+helpers turn the library's artefacts -- a parsed datasheet corpus, a
+fleet monitoring campaign, a PSU sensor export, a batch of fitted power
+models -- into Zoo records in one call each, with provenance attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.model import PowerModel
+from repro.datasheets.parser import ParsedDatasheet
+from repro.psu_opt.analysis import PsuPoint
+from repro.telemetry.snmp import RouterTrace
+from repro.zoo.database import (
+    DatasheetRecord,
+    MeasurementRecord,
+    NetworkPowerZoo,
+    PowerModelRecord,
+    Provenance,
+    PsuRecord,
+)
+
+
+def contribute_datasheets(zoo: NetworkPowerZoo,
+                          parsed: Mapping[str, ParsedDatasheet],
+                          provenance: Provenance) -> int:
+    """Add every parsed datasheet with at least one power value."""
+    count = 0
+    for model, record in parsed.items():
+        if record.typical_w is None and record.max_w is None:
+            continue
+        zoo.add(DatasheetRecord(
+            vendor=record.vendor or "unknown",
+            model=model,
+            typical_w=record.typical_w,
+            max_w=record.max_w,
+            max_bandwidth_gbps=record.max_bandwidth_gbps,
+            release_year=record.release_year,
+            provenance=provenance))
+        count += 1
+    return count
+
+
+def contribute_measurements(zoo: NetworkPowerZoo,
+                            traces: Mapping[str, RouterTrace],
+                            provenance: Provenance,
+                            vendor_by_model: Optional[Mapping[str, str]]
+                            = None) -> int:
+    """Add a measurement summary per router with usable power telemetry."""
+    count = 0
+    for hostname, trace in traces.items():
+        valid = trace.power.valid()
+        if len(valid) < 2:
+            continue  # ABSENT-quirk platforms have nothing to contribute
+        vendor = "unknown"
+        if vendor_by_model is not None:
+            vendor = vendor_by_model.get(trace.router_model, "unknown")
+        zoo.add(MeasurementRecord(
+            vendor=vendor,
+            model=trace.router_model,
+            hostname=hostname,
+            median_w=valid.median(),
+            mean_w=valid.mean(),
+            duration_s=valid.duration_s,
+            provenance=provenance))
+        count += 1
+    return count
+
+
+def contribute_psu_points(zoo: NetworkPowerZoo,
+                          points: Iterable[PsuPoint],
+                          provenance: Provenance,
+                          vendor_by_model: Optional[Mapping[str, str]]
+                          = None) -> int:
+    """Add every cleaned §9.2 PSU observation."""
+    count = 0
+    for point in points:
+        vendor = "unknown"
+        if vendor_by_model is not None:
+            vendor = vendor_by_model.get(point.router_model, "unknown")
+        zoo.add(PsuRecord(
+            vendor=vendor,
+            model=point.router_model,
+            hostname=point.router,
+            capacity_w=point.capacity_w,
+            load_fraction=point.load_fraction,
+            efficiency=point.efficiency,
+            provenance=provenance))
+        count += 1
+    return count
+
+
+def contribute_power_models(zoo: NetworkPowerZoo,
+                            models: Mapping[str, PowerModel],
+                            provenance: Provenance,
+                            vendor_by_model: Optional[Mapping[str, str]]
+                            = None) -> int:
+    """Add a batch of fitted power models."""
+    count = 0
+    for name, model in models.items():
+        vendor = "unknown"
+        if vendor_by_model is not None:
+            vendor = vendor_by_model.get(name, "unknown")
+        zoo.add(PowerModelRecord(vendor=vendor, model=name,
+                                 power_model=model,
+                                 provenance=provenance))
+        count += 1
+    return count
+
+
+def vendor_lookup() -> Dict[str, str]:
+    """Vendor per catalog router model (convenience for the helpers)."""
+    from repro.hardware.catalog import ROUTER_CATALOG
+
+    return {name: spec.vendor for name, spec in ROUTER_CATALOG.items()}

@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the synthetic fleet, a derived power model) are
+session-scoped: they are deterministic given their seeds, and many test
+modules only read them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import derive_power_model
+from repro.hardware import VirtualRouter, router_spec
+from repro.lab import ExperimentPlan, Orchestrator
+from repro.network import FleetConfig, FleetTrafficModel, build_switch_like_network
+
+
+@pytest.fixture
+def rng():
+    """A fresh, seeded generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def quiet_router(rng):
+    """An NCS-55A1-24H with ambient noise disabled (exact assertions)."""
+    return VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                         noise_std_w=0.0)
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    """The full 107-router synthetic Switch-like network.
+
+    Session-scoped and treated as read-only by tests; tests that mutate
+    topology build their own smaller network.
+    """
+    return build_switch_like_network(rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def fleet_traffic(fleet):
+    """A traffic model over the session fleet."""
+    return FleetTrafficModel(fleet, rng=np.random.default_rng(8))
+
+
+@pytest.fixture(scope="session")
+def small_fleet_config():
+    """A reduced fleet for tests that need to mutate or simulate quickly."""
+    return FleetConfig(
+        model_counts=(
+            ("8201-32FH", 2),
+            ("NCS-55A1-24H", 3),
+            ("NCS-55A1-24Q6H-SS", 3),
+            ("ASR-920-24SZ-M", 6),
+            ("N540-24Z8Q2C-M", 4),
+        ),
+        n_regional_pops=3,
+        core_core_links=2,
+    )
+
+
+@pytest.fixture
+def small_fleet(small_fleet_config):
+    """A fresh small network per test (safe to mutate)."""
+    return build_switch_like_network(small_fleet_config,
+                                     rng=np.random.default_rng(21))
+
+
+@pytest.fixture(scope="session")
+def ncs_suite():
+    """A full NetPowerBench suite for the NCS-55A1-24H at 100G DAC."""
+    rng = np.random.default_rng(42)
+    dut = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                        noise_std_w=0.25)
+    orchestrator = Orchestrator(dut, rng=rng)
+    plan = ExperimentPlan(
+        trx_name="QSFP28-100G-DAC",
+        n_pairs_values=(1, 2, 4, 6, 8, 10, 12),
+        rates_gbps=(2.5, 5, 10, 25, 50, 75, 100),
+        packet_sizes=(64, 256, 512, 1024, 1500),
+        snake_n_pairs=6, measure_duration_s=30, settle_time_s=5)
+    return orchestrator.run_suite(plan)
+
+
+@pytest.fixture(scope="session")
+def ncs_model(ncs_suite):
+    """The power model derived from :data:`ncs_suite`."""
+    model, _reports = derive_power_model([ncs_suite])
+    return model

@@ -1,0 +1,100 @@
+"""The ``netpower`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.model import PowerModel
+
+
+class TestDerive:
+    def test_derive_to_stdout(self, capsys):
+        code = main(["derive", "NCS-55A1-24H", "QSFP28-100G-DAC",
+                     "--quick", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        model = PowerModel.from_dict(json.loads(out))
+        assert model.router_model == "NCS-55A1-24H"
+        assert model.p_base_w.value == pytest.approx(320.0, rel=0.08)
+
+    def test_derive_to_file(self, tmp_path, capsys):
+        target = tmp_path / "model.json"
+        code = main(["derive", "Wedge 100BF-32X", "QSFP28-100G-DAC",
+                     "--quick", "-o", str(target)])
+        assert code == 0
+        model = PowerModel.from_dict(json.loads(target.read_text()))
+        assert model.p_base_w.value == pytest.approx(108.0, rel=0.1)
+
+    def test_unknown_device_fails_cleanly(self, capsys):
+        assert main(["derive", "CRS-1", "QSFP28-100G-DAC"]) == 2
+        assert "known models" in capsys.readouterr().err
+
+    def test_unknown_transceiver_fails_cleanly(self, capsys):
+        assert main(["derive", "NCS-55A1-24H", "NO-SUCH-MODULE",
+                     "--quick"]) == 2
+        assert "known products" in capsys.readouterr().err
+
+    def test_multiple_transceivers(self, capsys):
+        code = main(["derive", "Nexus9336-FX2", "QSFP28-100G-DAC",
+                     "QSFP28-100G-LR", "--quick"])
+        assert code == 0
+        model = PowerModel.from_dict(json.loads(capsys.readouterr().out))
+        assert len(model.interfaces) == 2
+
+
+class TestAudit:
+    def test_audit_runs(self, capsys):
+        code = main(["audit", "--days", "0.25", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routers            : 107" in out
+        assert "single PSU" in out
+
+
+class TestSleepStudy:
+    def test_sleep_study_runs(self, capsys):
+        code = main(["sleep-study", "--days", "1", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ever asleep" in out
+        assert "% of" in out
+
+
+class TestDatasheets:
+    def test_datasheets_pipeline(self, capsys):
+        code = main(["datasheets", "--models", "120", "--seed", "11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "extraction accuracy" in out
+        assert "8201-32FH" in out  # Table 1 rows printed
+
+
+class TestValidate:
+    def test_validate_prints_summary(self, capsys):
+        code = main(["validate", "--days", "1", "--seed", "31"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PSU telemetry" in out
+        assert "census" in out
+        assert "8201-32FH" in out
+
+
+class TestRateStudy:
+    def test_rate_study_runs(self, capsys):
+        code = main(["rate-study", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "links clocked down" in out
+        assert "estimated savings" in out
+
+
+class TestZoo:
+    def test_zoo_export(self, tmp_path, capsys):
+        target = tmp_path / "zoo.json"
+        code = main(["zoo", "-o", str(target), "--seed", "2"])
+        assert code == 0
+        from repro.zoo import NetworkPowerZoo
+        zoo = NetworkPowerZoo.from_json(target.read_text())
+        assert zoo.summary()["power-model"] == 8
+        assert "NCS-55A1-24H" in zoo.models()

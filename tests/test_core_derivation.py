@@ -1,0 +1,159 @@
+"""The §5.2 derivation chain: does it recover the ground truth?
+
+These are the library's most important tests: the orchestrator measures a
+VirtualRouter through the same noisy channels the paper's lab had (meter
+gain error, PSU instance deviations, traffic generator undershoot), and
+the derivation must recover the catalog's Table 2 parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DerivationError, derive_base, derive_class, derive_power_model
+from repro.core.model import InterfaceClassKey
+from repro.hardware import VirtualRouter, router_spec
+from repro.lab import ExperimentPlan, ExperimentSuite, Orchestrator
+
+
+class TestNcsRoundTrip:
+    """Table 2 (a): NCS-55A1-24H, QSFP28 passive DAC at 100G."""
+
+    def test_p_base(self, ncs_model):
+        assert ncs_model.p_base_w.value == pytest.approx(320.0, rel=0.05)
+
+    @pytest.fixture
+    def iface(self, ncs_model):
+        return ncs_model.interfaces[
+            InterfaceClassKey("QSFP28", "Passive DAC", 100)]
+
+    def test_p_port(self, iface):
+        assert iface.p_port_w.value == pytest.approx(0.32, rel=0.25)
+
+    def test_p_trx_in(self, iface):
+        # Tiny truth value (0.02 W): assert absolute closeness.
+        assert iface.p_trx_in_w.value == pytest.approx(0.02, abs=0.02)
+
+    def test_p_trx_up(self, iface):
+        assert iface.p_trx_up_w.value == pytest.approx(0.19, rel=0.35)
+
+    def test_e_bit(self, iface):
+        assert iface.e_bit_pj.value == pytest.approx(22.0, rel=0.15)
+
+    def test_e_pkt(self, iface):
+        assert iface.e_pkt_nj.value == pytest.approx(58.0, rel=0.15)
+
+    def test_p_offset(self, iface):
+        assert iface.p_offset_w.value == pytest.approx(0.37, rel=0.35)
+
+    def test_uncertainties_reported(self, iface):
+        assert iface.e_bit_pj.has_uncertainty
+        assert iface.e_bit_pj.stderr < 0.3 * iface.e_bit_pj.value
+
+
+class TestDerivationDiagnostics:
+    def test_fits_are_linear(self, ncs_suite):
+        _model, report = derive_class(ncs_suite)
+        assert report.port_fit.r_squared > 0.98
+        assert report.trx_fit.r_squared > 0.98
+        assert report.energy_fit.r_squared > 0.99
+        assert not report.warnings
+
+    def test_snake_fits_per_packet_size(self, ncs_suite):
+        _model, report = derive_class(ncs_suite)
+        assert set(report.snake_fits) == {64, 256, 512, 1024, 1500}
+        # Power rises with rate at every payload size.
+        assert all(fit.slope > 0 for fit in report.snake_fits.values())
+
+    def test_alpha_decreases_with_packet_size(self, ncs_suite):
+        # alpha_L = E_bit + E_pkt / (8 (L + Lh)) is larger for small L.
+        _model, report = derive_class(ncs_suite)
+        alphas = {L: fit.slope for L, fit in report.snake_fits.items()}
+        assert alphas[64] > alphas[1500]
+
+
+class TestSuiteValidation:
+    def _suite_missing(self, ncs_suite, drop):
+        pruned = ExperimentSuite(
+            dut_model=ncs_suite.dut_model, port_type=ncs_suite.port_type,
+            trx_name=ncs_suite.trx_name, speed_gbps=ncs_suite.speed_gbps,
+            frames=[f for f in ncs_suite.frames if f.experiment != drop])
+        return pruned
+
+    def test_missing_base(self, ncs_suite):
+        with pytest.raises(DerivationError, match="Base"):
+            derive_base(self._suite_missing(ncs_suite, "base"))
+
+    @pytest.mark.parametrize("experiment", ["idle", "port", "trx"])
+    def test_missing_static_experiments(self, ncs_suite, experiment):
+        with pytest.raises(DerivationError):
+            derive_class(self._suite_missing(ncs_suite, experiment))
+
+    def test_no_snake_yields_zero_dynamic_with_warning(self, ncs_suite):
+        model, report = derive_class(self._suite_missing(ncs_suite, "snake"))
+        assert model.e_bit_pj.value == 0.0
+        assert any("Snake" in w or "snake" in w for w in report.warnings)
+
+    def test_empty_suites_rejected(self):
+        with pytest.raises(DerivationError):
+            derive_power_model([])
+
+    def test_mixed_duts_rejected(self, ncs_suite):
+        other = ExperimentSuite(dut_model="Wedge 100BF-32X",
+                                port_type=ncs_suite.port_type,
+                                trx_name=ncs_suite.trx_name,
+                                speed_gbps=100,
+                                frames=list(ncs_suite.frames))
+        with pytest.raises(DerivationError, match="different DUTs"):
+            derive_power_model([ncs_suite, other])
+
+
+class TestSecondDevice:
+    """Table 6 (a): the Wedge 100BF-32X round-trips too."""
+
+    @pytest.fixture(scope="class")
+    def wedge_model(self):
+        rng = np.random.default_rng(77)
+        dut = VirtualRouter(router_spec("Wedge 100BF-32X"), rng=rng,
+                            noise_std_w=0.15)
+        orchestrator = Orchestrator(dut, rng=rng)
+        plan = ExperimentPlan(
+            trx_name="QSFP28-100G-DAC",
+            n_pairs_values=(1, 2, 4, 8, 12, 16),
+            rates_gbps=(2.5, 10, 25, 50, 75, 100),
+            packet_sizes=(64, 512, 1500), snake_n_pairs=8,
+            measure_duration_s=30, settle_time_s=5)
+        model, _ = derive_power_model([orchestrator.run_suite(plan)])
+        return model
+
+    def test_p_base(self, wedge_model):
+        assert wedge_model.p_base_w.value == pytest.approx(108.0, rel=0.05)
+
+    def test_energy_terms(self, wedge_model):
+        iface = wedge_model.interfaces[
+            InterfaceClassKey("QSFP28", "Passive DAC", 100)]
+        assert iface.e_bit_pj.value == pytest.approx(1.7, abs=0.6)
+        assert iface.e_pkt_nj.value == pytest.approx(7.2, rel=0.3)
+        assert iface.p_port_w.value == pytest.approx(0.88, rel=0.3)
+
+
+class TestMultiClassModel:
+    def test_lower_speed_class_in_same_model(self, rng):
+        # Table 2 (a)'s 25G row: same module clocked down.
+        dut = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                            noise_std_w=0.2)
+        orchestrator = Orchestrator(dut, rng=rng)
+        plans = [
+            ExperimentPlan(trx_name="QSFP28-100G-DAC", speed_gbps=speed,
+                           n_pairs_values=(1, 4, 8, 12),
+                           rates_gbps=(2.5, 10, 25),
+                           packet_sizes=(256, 1500), snake_n_pairs=4,
+                           measure_duration_s=20, settle_time_s=2)
+            for speed in (100, 25)
+        ]
+        suites = [orchestrator.run_suite(plan) for plan in plans]
+        model, _ = derive_power_model(suites)
+        assert len(model.interfaces) == 2
+        p100 = model.interfaces[InterfaceClassKey("QSFP28", "Passive DAC", 100)]
+        p25 = model.interfaces[InterfaceClassKey("QSFP28", "Passive DAC", 25)]
+        # 25G ports cost less to run than 100G ports (0.10 vs 0.32 truth).
+        assert p25.p_port_w.value < p100.p_port_w.value

@@ -1,0 +1,152 @@
+"""The power model object: evaluation semantics and serialisation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.model import (
+    FittedValue,
+    InterfaceClassKey,
+    InterfaceModel,
+    InterfaceState,
+    PowerModel,
+    fitted,
+)
+
+
+def make_interface_model(key=None, p_port=0.32, p_in=0.02, p_up=0.19,
+                         e_bit=22.0, e_pkt=58.0, p_off=0.37):
+    if key is None:
+        key = InterfaceClassKey("QSFP28", "Passive DAC", 100)
+    return InterfaceModel(
+        key=key,
+        p_port_w=fitted(p_port, 0.01), p_trx_in_w=fitted(p_in, 0.01),
+        p_trx_up_w=fitted(p_up, 0.01), e_bit_pj=fitted(e_bit, 1),
+        e_pkt_nj=fitted(e_pkt, 2), p_offset_w=fitted(p_off, 0.05))
+
+
+@pytest.fixture
+def model():
+    pm = PowerModel(router_model="NCS-55A1-24H",
+                    p_base_w=fitted(320.0, 1.0))
+    pm.add_interface_model(make_interface_model())
+    pm.add_interface_model(make_interface_model(
+        key=InterfaceClassKey("QSFP28", "Passive DAC", 25),
+        p_port=0.10, p_up=0.08, e_bit=21, e_pkt=55, p_off=0.21))
+    return pm
+
+
+class TestInterfaceClassKey:
+    def test_str_parse_round_trip(self):
+        key = InterfaceClassKey("QSFP28", "Passive DAC", 100)
+        assert InterfaceClassKey.parse(str(key)) == key
+
+    @given(st.sampled_from(["SFP", "SFP+", "QSFP28", "QSFP-DD"]),
+           st.sampled_from(["LR4", "Passive DAC", "T"]),
+           st.sampled_from([0.1, 1.0, 10.0, 25.0, 100.0, 400.0]))
+    def test_round_trip_any(self, port, reach, speed):
+        key = InterfaceClassKey(port, reach, speed)
+        assert InterfaceClassKey.parse(str(key)) == key
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            InterfaceClassKey.parse("nonsense")
+
+
+class TestFittedValue:
+    def test_float_coercion(self):
+        assert float(fitted(3.5)) == 3.5
+
+    def test_uncertainty_flag(self):
+        assert fitted(1.0, 0.1).has_uncertainty
+        assert not fitted(1.0).has_uncertainty
+
+
+class TestInterfaceModelEvaluation:
+    def test_state_ladder(self):
+        m = make_interface_model()
+        unplugged = m.interface_power_w(plugged=False, admin_up=False,
+                                        link_up=False)
+        plugged = m.interface_power_w(plugged=True, admin_up=False,
+                                      link_up=False)
+        admin = m.interface_power_w(plugged=True, admin_up=True,
+                                    link_up=False)
+        up = m.interface_power_w(plugged=True, admin_up=True, link_up=True)
+        assert unplugged == 0.0
+        assert plugged == pytest.approx(0.02)
+        assert admin == pytest.approx(0.02 + 0.32)
+        assert up == pytest.approx(0.02 + 0.32 + 0.19)
+
+    def test_traffic_terms(self):
+        m = make_interface_model()
+        idle_up = m.interface_power_w(plugged=True, admin_up=True,
+                                      link_up=True)
+        loaded = m.interface_power_w(plugged=True, admin_up=True,
+                                     link_up=True, bps=100e9, pps=8.13e6)
+        expected = 0.37 + 22e-12 * 100e9 + 58e-9 * 8.13e6
+        assert loaded - idle_up == pytest.approx(expected)
+
+    def test_no_dynamic_power_when_link_down(self):
+        m = make_interface_model()
+        assert m.interface_power_w(plugged=True, admin_up=True,
+                                   link_up=False, bps=1e9, pps=1e5) \
+            == pytest.approx(0.02 + 0.32)
+
+    def test_trx_total(self):
+        assert make_interface_model().p_trx_total_w == pytest.approx(0.21)
+
+
+class TestPowerModelEvaluation:
+    def test_base_only(self, model):
+        assert model.predict_power_w([]) == pytest.approx(320.0)
+
+    def test_static_plus_dynamic_decomposition(self, model):
+        key = InterfaceClassKey("QSFP28", "Passive DAC", 100)
+        states = [InterfaceState(key=key, bps=50e9, pps=4e6)]
+        total = model.predict_power_w(states)
+        static = model.static_power_w(states)
+        dynamic = model.dynamic_power_w(states)
+        assert total == pytest.approx(static + dynamic)
+        assert dynamic > 0
+
+    def test_fallback_same_port_nearest_speed(self, model):
+        key = InterfaceClassKey("QSFP28", "Passive DAC", 50)
+        resolved = model.interface_model(key)
+        # Nearest characterised speed wins (25 is nearer 50 than 100).
+        assert resolved.p_port_w.value == pytest.approx(0.10)
+        assert resolved.key == key
+
+    def test_fallback_same_speed_other_media(self, model):
+        key = InterfaceClassKey("QSFP28", "LR4", 100)
+        resolved = model.interface_model(key)
+        assert resolved.p_port_w.value == pytest.approx(0.32)
+
+    def test_empty_model_raises(self):
+        empty = PowerModel(router_model="x", p_base_w=fitted(1.0))
+        with pytest.raises(KeyError):
+            empty.interface_model(InterfaceClassKey("SFP", "T", 1))
+
+
+class TestSerialisation:
+    def test_round_trip(self, model):
+        restored = PowerModel.from_dict(model.to_dict())
+        assert restored.router_model == model.router_model
+        assert restored.p_base_w.value == model.p_base_w.value
+        assert set(restored.interfaces) == set(model.interfaces)
+        key = InterfaceClassKey("QSFP28", "Passive DAC", 100)
+        assert restored.interfaces[key].e_bit_pj.value == pytest.approx(22.0)
+        assert restored.interfaces[key].e_bit_pj.stderr == pytest.approx(1.0)
+
+    def test_json_compatible(self, model):
+        import json
+        text = json.dumps(model.to_dict())
+        restored = PowerModel.from_dict(json.loads(text))
+        assert restored.p_base_w.value == pytest.approx(320.0)
+
+    def test_nan_stderr_survives(self):
+        pm = PowerModel(router_model="x", p_base_w=fitted(10.0))
+        pm.add_interface_model(make_interface_model())
+        restored = PowerModel.from_dict(pm.to_dict())
+        assert restored.p_base_w.value == 10.0
+        assert math.isnan(restored.p_base_w.stderr)

@@ -1,0 +1,84 @@
+"""The OLS toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regression import LinearFit, fit_through_points, linear_fit
+
+
+class TestExactFits:
+    def test_perfect_line(self):
+        x = np.array([0, 1, 2, 3, 4.0])
+        fit = linear_fit(x, 3.0 * x + 7.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(7.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.residual_std == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_points(self):
+        fit = linear_fit([1, 3], [2, 8])
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(-1.0)
+        assert fit.slope_stderr == 0.0
+
+    @given(st.floats(min_value=-1e3, max_value=1e3),
+           st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=50)
+    def test_recovers_any_line(self, slope, intercept):
+        x = np.linspace(0, 10, 12)
+        fit = linear_fit(x, slope * x + intercept)
+        assert fit.slope == pytest.approx(slope, abs=1e-6 + 1e-9 * abs(slope))
+        assert fit.intercept == pytest.approx(
+            intercept, abs=1e-5 + 1e-9 * abs(intercept))
+
+
+class TestNoisyFits:
+    def test_stderr_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        def fit_n(n):
+            x = np.linspace(0, 10, n)
+            y = 2 * x + 1 + rng.normal(0, 1, n)
+            return linear_fit(x, y)
+        assert fit_n(400).slope_stderr < fit_n(10).slope_stderr
+
+    def test_slope_within_uncertainty(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 10, 200)
+        fit = linear_fit(x, 2 * x + 1 + rng.normal(0, 0.5, 200))
+        assert abs(fit.slope - 2.0) < 4 * fit.slope_stderr
+
+    def test_r_squared_degrades_with_noise(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 10, 100)
+        clean = linear_fit(x, x + rng.normal(0, 0.1, 100))
+        noisy = linear_fit(x, x + rng.normal(0, 5.0, 100))
+        assert clean.r_squared > noisy.r_squared
+
+
+class TestPredict:
+    def test_predict_scalar_and_vector(self):
+        fit = LinearFit(slope=2.0, intercept=1.0, slope_stderr=0,
+                        intercept_stderr=0, r_squared=1, residual_std=0, n=2)
+        assert fit.predict(3) == 7.0
+        np.testing.assert_allclose(fit.predict_many([0, 1, 2]), [1, 3, 5])
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            linear_fit([1], [1])
+
+    def test_constant_x(self):
+        with pytest.raises(ValueError, match="identical"):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2, 3], [1, 2])
+
+    def test_fit_through_points(self):
+        fit = fit_through_points([(0, 1), (1, 3), (2, 5)])
+        assert fit.slope == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            fit_through_points([])

@@ -1,0 +1,117 @@
+"""Per-template datasheet rendering and the parser against each layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasheets.corpus import (
+    DatasheetDocument,
+    DatasheetTruth,
+    _render_portsum_style,
+    _render_prose_style,
+    _render_table_style,
+)
+from repro.datasheets.parser import parse_datasheet
+
+
+def make_truth(typical=350.0, maximum=500.0, bandwidth=1200.0,
+               psu=(1100,)):
+    return DatasheetTruth(
+        model="RENDER-TEST-1", vendor="Cisco", series="Render 9000",
+        release_year=2019, typical_w=typical, max_w=maximum,
+        max_bandwidth_gbps=bandwidth, psu_options_w=psu)
+
+
+RENDERERS = {
+    "table": _render_table_style,
+    "prose": _render_prose_style,
+    "portsum": _render_portsum_style,
+}
+
+
+class TestEachLayoutParses:
+    @pytest.mark.parametrize("name,renderer", RENDERERS.items())
+    def test_power_values_recovered(self, name, renderer):
+        truth = make_truth()
+        # Each template has randomised phrasing; try several draws.
+        hits = 0
+        for seed in range(12):
+            text = renderer(truth, np.random.default_rng(seed))
+            record = parse_datasheet(DatasheetDocument(truth, text, "u"))
+            if (record.typical_w == pytest.approx(truth.typical_w, rel=0.01)
+                    and record.max_w
+                    == pytest.approx(truth.max_w, rel=0.01)):
+                hits += 1
+        assert hits >= 10, f"{name}: only {hits}/12 drew parseable power"
+
+    @pytest.mark.parametrize("name,renderer", RENDERERS.items())
+    def test_bandwidth_recovered(self, name, renderer):
+        truth = make_truth()
+        hits = 0
+        for seed in range(12):
+            text = renderer(truth, np.random.default_rng(seed))
+            record = parse_datasheet(DatasheetDocument(truth, text, "u"))
+            if record.max_bandwidth_gbps is not None and \
+                    record.max_bandwidth_gbps \
+                    == pytest.approx(truth.max_bandwidth_gbps, rel=0.05):
+                hits += 1
+        assert hits >= 8, f"{name}: only {hits}/12 bandwidths recovered"
+
+    def test_vendor_always_found(self):
+        truth = make_truth()
+        for name, renderer in RENDERERS.items():
+            text = renderer(truth, np.random.default_rng(0))
+            record = parse_datasheet(DatasheetDocument(truth, text, "u"))
+            assert record.vendor == "Cisco", name
+
+
+class TestAwkwardSheets:
+    def test_missing_typical_never_invented(self):
+        truth = make_truth(typical=None)
+        for seed in range(10):
+            text = _render_table_style(truth, np.random.default_rng(seed))
+            record = parse_datasheet(DatasheetDocument(truth, text, "u"))
+            # Either absent or a TBD line -- but never a number.
+            assert record.typical_w is None
+
+    def test_kilowatt_sheets(self):
+        truth = make_truth(typical=1500.0, maximum=2500.0, bandwidth=9600)
+        found = 0
+        for seed in range(20):
+            text = _render_table_style(truth, np.random.default_rng(seed))
+            if "kW" in text:
+                record = parse_datasheet(
+                    DatasheetDocument(truth, text, "u"))
+                assert record.typical_w == pytest.approx(1500, rel=0.01)
+                found += 1
+        assert found > 0, "no kW rendering drawn in 20 tries"
+
+    def test_tbps_sheets(self):
+        truth = make_truth(bandwidth=3200)
+        found = 0
+        for seed in range(20):
+            text = _render_prose_style(truth, np.random.default_rng(seed))
+            if "Tbps" in text:
+                record = parse_datasheet(
+                    DatasheetDocument(truth, text, "u"))
+                assert record.max_bandwidth_gbps \
+                    == pytest.approx(3200, rel=0.01)
+                found += 1
+        assert found > 0
+
+    def test_psu_options_from_table(self):
+        truth = make_truth(psu=(750, 1100))
+        text = _render_table_style(truth, np.random.default_rng(1))
+        record = parse_datasheet(DatasheetDocument(truth, text, "u"))
+        assert set(record.psu_options_w) <= {750, 1100}
+
+    @given(st.floats(min_value=20, max_value=900),
+           st.sampled_from([24, 128, 480, 1200, 3200]))
+    @settings(max_examples=25)
+    def test_prose_robust_to_any_truth(self, typical, bandwidth):
+        truth = make_truth(typical=round(typical),
+                           maximum=round(typical * 1.5),
+                           bandwidth=float(bandwidth))
+        text = _render_prose_style(truth, np.random.default_rng(7))
+        record = parse_datasheet(DatasheetDocument(truth, text, "u"))
+        assert record.typical_w == pytest.approx(round(typical), rel=0.02)

@@ -1,0 +1,234 @@
+"""Datasheet corpus, extraction, NetBox library, and §3 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.datasheets import (
+    BROADCOM_ASIC_TREND,
+    TREND_MIN_BANDWIDTH_GBPS,
+    asic_trend_fit,
+    build_corpus,
+    datasheet_vs_measured,
+    efficiency_trend,
+    halving_time_years,
+    library_from_corpus,
+    measure_accuracy,
+    parse_corpus,
+    parse_datasheet,
+    render_datasheet,
+    trend_fit,
+    trend_spread_by_year,
+)
+from repro.datasheets.corpus import DatasheetTruth
+from repro.hardware import TABLE1_MEASURED_MEDIAN_W
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(777, np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def parsed(corpus):
+    return parse_corpus(corpus)
+
+
+class TestCorpus:
+    def test_size_and_vendors(self, corpus):
+        assert len(corpus) == 777
+        vendors = {doc.truth.vendor for doc in corpus.documents.values()}
+        assert {"Cisco", "Arista", "Juniper"} <= vendors
+
+    def test_catalog_devices_embedded(self, corpus):
+        doc = corpus.document("NCS-55A1-24H")
+        assert doc.truth.typical_w == 600
+        doc = corpus.document("8201-32FH")
+        assert doc.truth.typical_w == 288
+
+    def test_some_sheets_lack_typical_power(self, corpus):
+        missing = [d for d in corpus.documents.values()
+                   if d.truth.typical_w is None]
+        assert len(missing) > 50  # §3.1: power info sometimes absent
+
+    def test_release_years_cisco_only(self, corpus):
+        # The paper only managed to collect release dates for Cisco.
+        for doc in corpus.documents.values():
+            if doc.truth.vendor in ("Arista", "Juniper") \
+                    and doc.truth.model not in ("Wedge 100BF-32X",):
+                assert doc.truth.release_year is None
+
+    def test_rendering_varies(self, corpus):
+        texts = [doc.text for doc in list(corpus.documents.values())[:100]]
+        # At least two distinct layouts should appear.
+        assert len({t.splitlines()[0].split()[-2:][0] if t else ""
+                    for t in texts}) >= 1
+        assert any("|" in t for t in texts)          # table style
+        assert any("part of the" in t for t in texts)  # prose style
+
+    def test_deterministic_given_seed(self):
+        a = build_corpus(100, np.random.default_rng(5))
+        b = build_corpus(100, np.random.default_rng(5))
+        assert sorted(a.documents) == sorted(b.documents)
+        model = sorted(a.documents)[0]
+        assert a.documents[model].text == b.documents[model].text
+
+    def test_unknown_model_lookup(self, corpus):
+        with pytest.raises(KeyError):
+            corpus.document("NOPE-1")
+
+
+class TestParser:
+    def test_extraction_accuracy(self, corpus, parsed):
+        acc = measure_accuracy(corpus, parsed)
+        # "Reasonably accurate but far from perfect" (§3.2).
+        assert acc.typical_rate > 0.9
+        assert acc.max_rate > 0.9
+        assert acc.bandwidth_rate > 0.8
+
+    def test_kw_normalisation(self, corpus):
+        truth = DatasheetTruth(
+            model="KW-TEST", vendor="Cisco", series="Test", release_year=2020,
+            typical_w=1500, max_w=2500, max_bandwidth_gbps=3200)
+        from repro.datasheets.corpus import DatasheetDocument
+        text = ("Cisco KW-TEST Data Sheet\n"
+                "| Typical power | 1.50 kW |\n"
+                "| Maximum power | 2.50 kW |\n"
+                "| Switching capacity | 3.2 Tbps |")
+        record = parse_datasheet(DatasheetDocument(truth, text, "url"))
+        assert record.typical_w == pytest.approx(1500)
+        assert record.max_w == pytest.approx(2500)
+        assert record.max_bandwidth_gbps == pytest.approx(3200)
+
+    def test_port_sum_derivation(self, corpus):
+        from repro.datasheets.corpus import DatasheetDocument
+        truth = DatasheetTruth(
+            model="SUM-TEST", vendor="Cisco", series="Test",
+            release_year=2020, typical_w=300, max_w=400,
+            max_bandwidth_gbps=2440)
+        text = ("Cisco SUM-TEST -- Product Overview\n\n"
+                "Port configuration:\n"
+                "  - 24 x 100GE ports\n"
+                "  - 1 x 40GE uplink\n\n"
+                "Typical power: 300 W")
+        record = parse_datasheet(DatasheetDocument(truth, text, "url"))
+        assert record.max_bandwidth_gbps == pytest.approx(2440)
+
+    def test_tbd_yields_none(self, corpus):
+        from repro.datasheets.corpus import DatasheetDocument
+        truth = DatasheetTruth(model="TBD-TEST", vendor="Cisco",
+                               series="Test", release_year=None,
+                               typical_w=None, max_w=500,
+                               max_bandwidth_gbps=100)
+        text = ("Cisco TBD-TEST Data Sheet\n"
+                "| Typical power | TBD |\n"
+                "| Maximum power | 500 W |")
+        record = parse_datasheet(DatasheetDocument(truth, text, "url"))
+        assert record.typical_w is None
+        assert record.max_w == pytest.approx(500)
+
+    def test_provenance_flag(self, parsed):
+        assert all(r.source in ("extracted", "failed")
+                   for r in parsed.values())
+
+
+class TestNetboxLibrary:
+    def test_one_record_per_model(self, corpus):
+        library = library_from_corpus(corpus)
+        assert len(library) == len(corpus)
+
+    def test_by_manufacturer(self, corpus):
+        library = library_from_corpus(corpus)
+        cisco = library.by_manufacturer("Cisco")
+        assert all(r.manufacturer == "Cisco" for r in cisco)
+        assert len(cisco) > 200
+
+    def test_yamlish_contains_psus(self, corpus):
+        library = library_from_corpus(corpus)
+        record = library.records["NCS-55A1-24H"]
+        assert "PSU0" in record.to_yamlish()
+
+    def test_urls_are_the_crawl_worklist(self, corpus):
+        library = library_from_corpus(corpus)
+        assert len(library.datasheet_urls()) == len(corpus)
+
+
+class TestEfficiencyTrend:
+    def test_fig2b_points_exist(self, corpus, parsed):
+        years = {m: d.truth.release_year
+                 for m, d in corpus.documents.items()
+                 if d.truth.release_year}
+        points = efficiency_trend(parsed, release_years=years)
+        assert len(points) > 50
+        assert all(p.efficiency_w_per_100g <= 250 for p in points)
+
+    def test_small_routers_excluded(self, corpus, parsed):
+        years = {m: d.truth.release_year
+                 for m, d in corpus.documents.items()
+                 if d.truth.release_year}
+        points = efficiency_trend(parsed, release_years=years)
+        for point in points:
+            record = parsed[point.model]
+            assert record.max_bandwidth_gbps > TREND_MIN_BANDWIDTH_GBPS
+
+    def test_datasheet_trend_less_clear_than_asic(self, corpus, parsed):
+        # The paper's Fig. 2 contrast, quantified: the ASIC decline is a
+        # much cleaner fit than the router-datasheet cloud.
+        years = {m: d.truth.release_year
+                 for m, d in corpus.documents.items()
+                 if d.truth.release_year}
+        points = efficiency_trend(parsed, release_years=years)
+        datasheet_fit = trend_fit(points)
+        asic_fit = asic_trend_fit()
+        assert asic_fit.r_squared > datasheet_fit.r_squared + 0.2
+
+    def test_spread_by_year(self, corpus, parsed):
+        years = {m: d.truth.release_year
+                 for m, d in corpus.documents.items()
+                 if d.truth.release_year}
+        points = efficiency_trend(parsed, release_years=years)
+        spread = trend_spread_by_year(points)
+        assert all(mean > 0 for mean, _std in spread.values())
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            trend_fit([])
+
+
+class TestAsicTrend:
+    def test_monotone_decline(self):
+        effs = [g.efficiency_w_per_100g for g in BROADCOM_ASIC_TREND]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_fit_clearly_negative(self):
+        fit = asic_trend_fit()
+        assert fit.slope < -1.0
+        assert fit.r_squared > 0.8
+
+    def test_halving_time_a_few_years(self):
+        assert 2.0 < halving_time_years() < 5.0
+
+
+class TestTable1:
+    def test_rows_and_signs(self, parsed):
+        rows = datasheet_vs_measured(parsed, TABLE1_MEASURED_MEDIAN_W)
+        assert len(rows) == 8
+        by_model = {r.router_model: r for r in rows}
+        # Most datasheets overestimate (20-40 %)...
+        assert by_model["NCS-55A1-24H"].relative_overestimate \
+            == pytest.approx(0.40, abs=0.03)
+        assert by_model["ASR-920-24SZ-M"].relative_overestimate \
+            == pytest.approx(0.33, abs=0.03)
+        # ...but the Cisco 8000 series datasheets *underestimate*.
+        assert by_model["8201-32FH"].relative_overestimate \
+            == pytest.approx(-0.24, abs=0.03)
+        assert by_model["8201-24H8FH"].relative_overestimate \
+            == pytest.approx(-0.44, abs=0.03)
+
+    def test_sorted_descending(self, parsed):
+        rows = datasheet_vs_measured(parsed, TABLE1_MEASURED_MEDIAN_W)
+        over = [r.relative_overestimate for r in rows]
+        assert over == sorted(over, reverse=True)
+
+    def test_missing_models_skipped(self, parsed):
+        rows = datasheet_vs_measured(parsed, {"GHOST-9000": 100.0})
+        assert rows == []

@@ -1,0 +1,111 @@
+"""Property-based validation of the §5.2 regression chain.
+
+Hand-built measurement suites with *known arbitrary* parameters and no
+noise must round-trip exactly through ``derive_class`` -- for any
+parameter combination hypothesis can dream up, not just the catalog's.
+This pins the algebra (idle-slope subtraction, the factor of two, the
+Eq. 17 two-stage regression) independently of the virtual lab.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.core import derive_class
+from repro.hardware.transceiver import PortType
+from repro.lab import ExperimentSuite, MeasurementFrame
+from repro.lab.power_meter import PowerSummary
+from repro.lab.traffic_gen import Flow
+
+N_VALUES = (1, 2, 4, 8)
+SNAKE_N = 4
+RATES_GBPS = (5.0, 25.0, 50.0, 100.0)
+SIZES = (64.0, 256.0, 1500.0)
+
+
+def exact_suite(p_base, p_trx_in, p_port, p_trx_up, e_bit_pj, e_pkt_nj,
+                p_offset):
+    """Frames computed straight from the model equations, zero noise."""
+    def frame(experiment, n_pairs, watts, flow=None):
+        summary = PowerSummary(mean_w=watts, std_w=0.0, median_w=watts,
+                               n_samples=10, duration_s=10)
+        return MeasurementFrame(
+            experiment=experiment, n_pairs=n_pairs,
+            trx_name=None if experiment == "base" else "QSFP28-100G-DAC",
+            speed_gbps=None if experiment == "base" else 100.0,
+            summary=summary, flow=flow)
+
+    suite = ExperimentSuite(dut_model="SYNTH", port_type=PortType.QSFP28,
+                            trx_name="QSFP28-100G-DAC", speed_gbps=100.0)
+    suite.frames.append(frame("base", 0, p_base))
+    for n in N_VALUES:
+        suite.frames.append(frame("idle", n, p_base + 2 * n * p_trx_in))
+        suite.frames.append(frame(
+            "port", n, p_base + 2 * n * p_trx_in + n * p_port))
+        suite.frames.append(frame(
+            "trx", n,
+            p_base + 2 * n * p_trx_in + 2 * n * (p_port + p_trx_up)))
+    static_at_snake = (p_base + 2 * SNAKE_N * p_trx_in
+                       + 2 * SNAKE_N * (p_port + p_trx_up))
+    e_bit = units.pj_to_joules(e_bit_pj)
+    e_pkt = units.nj_to_joules(e_pkt_nj)
+    for size in SIZES:
+        for rate_gbps in RATES_GBPS:
+            r = units.gbps_to_bps(rate_gbps)
+            p = units.packet_rate(r, size)
+            dynamic = 2 * SNAKE_N * (e_bit * r + e_pkt * p + p_offset)
+            suite.frames.append(frame(
+                "snake", SNAKE_N, static_at_snake + dynamic,
+                flow=Flow(bit_rate_bps=r, packet_bytes=size,
+                          tool="ib_send_bw")))
+    return suite
+
+
+class TestExactRecovery:
+    @given(
+        p_base=st.floats(min_value=5, max_value=2000),
+        p_trx_in=st.floats(min_value=0, max_value=20),
+        p_port=st.floats(min_value=-0.5, max_value=25),
+        p_trx_up=st.floats(min_value=-2, max_value=5),
+        e_bit_pj=st.floats(min_value=0.5, max_value=60),
+        e_pkt_nj=st.floats(min_value=-60, max_value=250),
+        p_offset=st.floats(min_value=-1, max_value=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_parameters(self, p_base, p_trx_in, p_port,
+                                       p_trx_up, e_bit_pj, e_pkt_nj,
+                                       p_offset):
+        suite = exact_suite(p_base, p_trx_in, p_port, p_trx_up,
+                            e_bit_pj, e_pkt_nj, p_offset)
+        model, report = derive_class(suite)
+        scale = max(1.0, abs(p_base))
+        assert model.p_trx_in_w.value == pytest.approx(p_trx_in,
+                                                       abs=1e-6 * scale)
+        assert model.p_port_w.value == pytest.approx(p_port,
+                                                     abs=1e-6 * scale)
+        assert model.p_trx_up_w.value == pytest.approx(p_trx_up,
+                                                       abs=1e-6 * scale)
+        assert model.e_bit_pj.value == pytest.approx(e_bit_pj, rel=1e-5,
+                                                     abs=1e-4)
+        assert model.e_pkt_nj.value == pytest.approx(e_pkt_nj, rel=1e-5,
+                                                     abs=1e-3)
+        assert model.p_offset_w.value == pytest.approx(p_offset,
+                                                       abs=1e-6 * scale)
+        # All the linearity diagnostics must confirm a perfect fit.
+        assert report.idle_fit.r_squared == pytest.approx(1.0)
+        assert report.energy_fit.r_squared == pytest.approx(1.0)
+
+    def test_prediction_consistency_after_round_trip(self):
+        """The recovered model must predict the suite's own frames."""
+        suite = exact_suite(300.0, 2.5, 0.7, 0.3, 9.0, 21.0, 0.15)
+        model, _ = derive_class(suite)
+        from repro.core.model import InterfaceState
+        # Rebuild the Trx(4) configuration as interface states.
+        states = [InterfaceState(key=model.key) for _ in range(2 * 4)]
+        static = sum(model.interface_power_w(
+            plugged=True, admin_up=True, link_up=True)
+            for _ in range(2 * 4))
+        trx_frame = [f for f in suite.of("trx") if f.n_pairs == 4][0]
+        assert 300.0 + static == pytest.approx(trx_frame.summary.mean_w,
+                                               abs=1e-6)

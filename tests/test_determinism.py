@@ -1,0 +1,119 @@
+"""Determinism: every pipeline is exactly reproducible from its seeds.
+
+The paper's artifact-evaluation promise ("all the data and software
+required to replicate the analyses") only holds if reruns agree; these
+tests pin that down for each major pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import derive_power_model
+from repro.hardware import VirtualRouter, router_spec
+from repro.lab import ExperimentPlan, Orchestrator
+from repro.network import (
+    FleetConfig,
+    FleetTrafficModel,
+    NetworkSimulation,
+    build_switch_like_network,
+)
+
+
+def quick_plan():
+    return ExperimentPlan(trx_name="QSFP28-100G-DAC",
+                          n_pairs_values=(1, 2, 4),
+                          rates_gbps=(10, 50, 100), packet_sizes=(256, 1500),
+                          measure_duration_s=10, settle_time_s=1)
+
+
+def derive_once(seed):
+    rng = np.random.default_rng(seed)
+    dut = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                        noise_std_w=0.2)
+    orchestrator = Orchestrator(dut, rng=rng)
+    model, _ = derive_power_model([orchestrator.run_suite(quick_plan())])
+    return model
+
+
+class TestDerivationDeterminism:
+    def test_same_seed_same_model(self):
+        a = derive_once(9)
+        b = derive_once(9)
+        assert a.p_base_w.value == b.p_base_w.value
+        iface_a = next(iter(a.interfaces.values()))
+        iface_b = next(iter(b.interfaces.values()))
+        assert iface_a.e_bit_pj.value == iface_b.e_bit_pj.value
+        assert iface_a.p_offset_w.value == iface_b.p_offset_w.value
+
+    def test_different_seed_different_noise(self):
+        a = derive_once(9)
+        b = derive_once(10)
+        # Same truth underneath, different measurement noise on top.
+        assert a.p_base_w.value != b.p_base_w.value
+        assert a.p_base_w.value == pytest.approx(b.p_base_w.value,
+                                                 rel=0.10)
+
+
+class TestFleetDeterminism:
+    def _run(self, seed):
+        config = FleetConfig(
+            model_counts=(("NCS-55A1-24H", 2), ("ASR-920-24SZ-M", 4)),
+            n_regional_pops=2, core_core_links=1)
+        network = build_switch_like_network(
+            config, rng=np.random.default_rng(seed))
+        traffic = FleetTrafficModel(network,
+                                    rng=np.random.default_rng(seed + 1),
+                                    n_demands=40)
+        sim = NetworkSimulation(network, traffic,
+                                rng=np.random.default_rng(seed + 2))
+        return sim.run(duration_s=units.hours(3), step_s=900)
+
+    def test_identical_simulations(self):
+        a = self._run(33)
+        b = self._run(33)
+        np.testing.assert_array_equal(a.total_power.values,
+                                      b.total_power.values)
+        np.testing.assert_array_equal(a.total_traffic_bps.values,
+                                      b.total_traffic_bps.values)
+        host = sorted(a.snmp)[0]
+        np.testing.assert_array_equal(a.snmp[host].power.values,
+                                      b.snmp[host].power.values)
+
+    def test_topology_identical(self):
+        config = FleetConfig(
+            model_counts=(("NCS-55A1-24H", 2), ("ASR-920-24SZ-M", 4)),
+            n_regional_pops=2, core_core_links=1)
+        a = build_switch_like_network(config, np.random.default_rng(5))
+        b = build_switch_like_network(config, np.random.default_rng(5))
+        assert [(l.kind, l.speed_gbps, l.a.hostname, l.a.port_index)
+                for l in a.links] \
+            == [(l.kind, l.speed_gbps, l.a.hostname, l.a.port_index)
+                for l in b.links]
+        for host in a.routers:
+            assert a.routers[host].inventory() == b.routers[host].inventory()
+
+
+class TestCorpusDeterminism:
+    def test_corpus_and_parse_stable(self):
+        from repro.datasheets import build_corpus, parse_corpus
+        a = parse_corpus(build_corpus(50, np.random.default_rng(2)))
+        b = parse_corpus(build_corpus(50, np.random.default_rng(2)))
+        assert set(a) == set(b)
+        for model in a:
+            assert a[model].typical_w == b[model].typical_w
+            assert a[model].max_bandwidth_gbps == b[model].max_bandwidth_gbps
+
+
+class TestHypnosDeterminism:
+    def test_plans_agree(self, small_fleet_config):
+        def plan_once():
+            network = build_switch_like_network(
+                small_fleet_config, rng=np.random.default_rng(21))
+            traffic = FleetTrafficModel(network,
+                                        rng=np.random.default_rng(22),
+                                        n_demands=100)
+            from repro.sleep import Hypnos
+            return Hypnos(network, traffic.matrix).plan_window(1.0)
+
+        assert plan_once() == plan_once()

@@ -1,0 +1,107 @@
+"""Edge paths not covered elsewhere: warnings, empty inputs, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.core import derive_class
+from repro.lab import ExperimentSuite, MeasurementFrame
+from repro.lab.power_meter import PowerSummary
+from repro.telemetry.snmp import RouterTrace
+from repro.telemetry.traces import TimeSeries
+
+
+def frame(experiment, n_pairs, mean_w, trx="QSFP28-100G-DAC", speed=100.0,
+          flow=None):
+    summary = PowerSummary(mean_w=mean_w, std_w=0.1, median_w=mean_w,
+                           n_samples=30, duration_s=30)
+    return MeasurementFrame(
+        experiment=experiment, n_pairs=n_pairs,
+        trx_name=trx if experiment != "base" else None,
+        speed_gbps=speed if experiment != "base" else None,
+        summary=summary, flow=flow)
+
+
+def synthetic_suite(base=320.0, idle_slope=0.04, port_slope=0.36,
+                    trx_slope=1.06, base_frame_value=None):
+    """A hand-built suite following the §5 ladder exactly."""
+    from repro.hardware.transceiver import PortType
+    suite = ExperimentSuite(dut_model="NCS-55A1-24H",
+                            port_type=PortType.QSFP28,
+                            trx_name="QSFP28-100G-DAC", speed_gbps=100.0)
+    suite.frames.append(frame("base", 0,
+                              base if base_frame_value is None
+                              else base_frame_value))
+    for n in (1, 2, 4, 8):
+        suite.frames.append(frame("idle", n, base + idle_slope * n))
+        suite.frames.append(frame("port", n, base + port_slope * n))
+        suite.frames.append(frame("trx", n, base + trx_slope * n))
+    return suite
+
+
+class TestDerivationWarnings:
+    def test_clean_synthetic_suite_is_exact(self):
+        model, report = derive_class(synthetic_suite())
+        # idle slope 0.04 = 2*P_trx,in; port slope - idle slope = P_port;
+        # (trx - idle)/2 - P_port = P_trx,up.
+        assert model.p_trx_in_w.value == pytest.approx(0.02)
+        assert model.p_port_w.value == pytest.approx(0.32)
+        assert model.p_trx_up_w.value == pytest.approx(0.19)
+        # Only the (expected) no-snake warning: the statics are clean.
+        assert all("Snake" in w or "snake" in w for w in report.warnings)
+
+    def test_bogus_base_triggers_intercept_warning(self):
+        # Base measured 60 W below where the Idle ladder extrapolates:
+        # the §5.2 cross-check must flag it.
+        suite = synthetic_suite(base_frame_value=260.0)
+        _model, report = derive_class(suite)
+        assert any("intercept" in w for w in report.warnings)
+
+
+class TestSuiteAccessors:
+    def test_base_power_requires_base_frames(self):
+        from repro.hardware.transceiver import PortType
+        suite = ExperimentSuite(dut_model="X", port_type=PortType.QSFP28,
+                                trx_name="QSFP28-100G-DAC",
+                                speed_gbps=100.0)
+        with pytest.raises(ValueError, match="no Base"):
+            suite.base_power_w
+
+    def test_snake_by_packet_size_empty(self):
+        suite = synthetic_suite()
+        assert suite.snake_by_packet_size() == {}
+
+
+class TestTraceAccessors:
+    def test_total_octet_rate_without_interfaces(self):
+        trace = RouterTrace(
+            hostname="h", router_model="m",
+            power=TimeSeries(np.arange(3.0), np.ones(3)))
+        assert len(trace.total_octet_rate()) == 0
+
+    def test_median_power_all_nan(self):
+        trace = RouterTrace(
+            hostname="h", router_model="m",
+            power=TimeSeries(np.arange(3.0), np.full(3, np.nan)))
+        assert np.isnan(trace.median_power_w())
+
+
+class TestModelFallbackChain:
+    def test_any_model_fallback_used_as_last_resort(self, ncs_model):
+        from repro.core.model import InterfaceClassKey
+        # A port type the model never saw: nearest-speed any-class.
+        resolved = ncs_model.interface_model(
+            InterfaceClassKey("CFP2", "LR4", 100))
+        assert resolved.key.port_type == "CFP2"
+        assert np.isfinite(resolved.p_port_w.value)
+
+
+class TestOrchestratorEligibility:
+    def test_incompatible_module_rejected(self, rng):
+        from repro.hardware import VirtualRouter, router_spec
+        from repro.lab import ExperimentPlan, Orchestrator
+        dut = VirtualRouter(router_spec("Catalyst 3560"), rng=rng)
+        orchestrator = Orchestrator(dut, rng=rng)
+        plan = ExperimentPlan(trx_name="QSFP-DD-400G-FR4",
+                              measure_duration_s=5)
+        with pytest.raises(ValueError, match="no port accepting"):
+            orchestrator.run_suite(plan)

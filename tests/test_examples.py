@@ -1,0 +1,48 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The examples double as documentation; a stale example is worse than no
+example.  Each runs in-process via runpy (fast ones only -- the heavier
+fleet walkthroughs are exercised by the benchmarks instead).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    sys.argv = [name]
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Fitted power model" in out
+        assert "P_base" in out
+        assert "dynamic" in out
+
+    def test_datasheet_pipeline(self, capsys):
+        out = run_example("datasheet_pipeline.py", capsys)
+        assert "% recovered" in out
+        assert "UNDERESTIMATES" in out
+
+    def test_modular_chassis(self, capsys):
+        out = run_example("modular_chassis.py", capsys)
+        assert "P_chassis" in out
+        assert "LC-8X100GE" in out
+        assert "Prediction error" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            text = script.read_text()
+            assert text.startswith("#!/usr/bin/env python"), script.name
+            assert '"""' in text, script.name
+            assert 'if __name__ == "__main__":' in text, script.name

@@ -1,0 +1,183 @@
+"""Failure injection: the pipeline must degrade gracefully, not garble.
+
+Measurement campaigns fail in boring ways -- meters glitch, counters
+reset mid-campaign, uplinks flap, demands become unroutable, devices
+brown out.  These tests inject each failure and assert the analyses
+either survive with correct results or refuse loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import derive_power_model
+from repro.core.derivation import DerivationError
+from repro.hardware import VirtualRouter, connect, router_spec
+from repro.lab import ExperimentPlan, Orchestrator, PowerMeter
+from repro.network.traffic import Demand, TrafficMatrix
+from repro.telemetry.autopower import (
+    AutopowerClient,
+    AutopowerServer,
+    OutageWindow,
+    Transport,
+)
+from repro.telemetry.snmp import SnmpCollector
+from repro.telemetry.traces import CounterSeries, TimeSeries
+from repro.validation import compare_series
+
+
+class TestMeterFailures:
+    def test_bad_meter_biases_but_does_not_break_derivation(self, rng):
+        """A meter at 3x the spec'd gain error shifts every parameter by
+        a common factor -- the derivation still converges and stays
+        self-consistent (slopes scale together)."""
+        dut = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                            noise_std_w=0.2)
+        bad_meter = PowerMeter(rng=rng, gain_error_limit=0.015)
+        orchestrator = Orchestrator(dut, meter=bad_meter, rng=rng)
+        plan = ExperimentPlan(trx_name="QSFP28-100G-DAC",
+                              n_pairs_values=(1, 2, 4, 8),
+                              rates_gbps=(10, 50, 100),
+                              packet_sizes=(256, 1500),
+                              measure_duration_s=15, settle_time_s=2)
+        model, _ = derive_power_model([orchestrator.run_suite(plan)])
+        gain = bad_meter.channels[0].gain
+        assert model.p_base_w.value == pytest.approx(320.0 * gain,
+                                                     rel=0.05)
+
+    def test_noisy_meter_widens_uncertainty(self, rng):
+        dut = VirtualRouter(router_spec("NCS-55A1-24H"),
+                            rng=np.random.default_rng(5), noise_std_w=0.2)
+        plan = ExperimentPlan(trx_name="QSFP28-100G-DAC",
+                              n_pairs_values=(1, 2, 4, 8),
+                              rates_gbps=(10, 50, 100),
+                              packet_sizes=(256, 1500),
+                              measure_duration_s=15, settle_time_s=2)
+
+        def stderr_with(noise):
+            meter = PowerMeter(rng=np.random.default_rng(6),
+                               noise_std_w=noise)
+            orch = Orchestrator(
+                dut, meter=meter, rng=np.random.default_rng(7))
+            model, _ = derive_power_model([orch.run_suite(plan)])
+            iface = next(iter(model.interfaces.values()))
+            return iface.p_port_w.stderr
+
+        assert stderr_with(2.0) > stderr_with(0.05)
+
+
+class TestCounterFailures:
+    def test_mid_campaign_reboot_isolated(self, rng):
+        """A reboot mid-campaign must poison only the spanning interval."""
+        router = VirtualRouter(router_spec("NCS-55A1-24H"),
+                               hostname="reboot-test", rng=rng,
+                               noise_std_w=0)
+        for i in (0, 1):
+            router.port(i).plug("QSFP28-100G-DAC")
+            router.port(i).set_admin(True)
+        connect(router.port(0), router.port(1))
+        router.port(0).offer_traffic(rx_bps=1e9, tx_bps=1e9)
+        collector = SnmpCollector([router])
+        for step in range(8):
+            collector.record(step * 300.0)
+            router.advance(300)
+            if step == 3:
+                router.power_cycle()
+        trace = collector.finalize()["reboot-test"]
+        rates = trace.interfaces["Eth0/0"].rx_octets.rates()
+        bad = np.isnan(rates.values)
+        assert bad.sum() == 1          # exactly the reboot interval
+        good = rates.values[~bad]
+        assert np.all(good >= 0)
+
+    def test_garbage_counter_series_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSeries(np.array([0.0, 1.0]),
+                          np.array([1, 2, 3], dtype=np.uint64))
+
+
+class TestAutopowerFailures:
+    def test_overlapping_outages(self, rng):
+        router = VirtualRouter(router_spec("8201-32FH"), rng=rng,
+                               noise_std_w=0.1)
+        server = AutopowerServer()
+        transport = Transport([OutageWindow(5, 20), OutageWindow(15, 40)])
+        client = AutopowerClient("u", router, server, transport=transport,
+                                 rng=rng, upload_period_s=5)
+        t = 0.0
+        while t < 60:
+            router.advance(0.5)
+            client.tick(t)
+            t += 0.5
+        client.try_upload(60)
+        assert len(server.download("u")) == 120  # nothing lost
+
+    def test_simultaneous_power_and_network_outage(self, rng):
+        router = VirtualRouter(router_spec("8201-32FH"), rng=rng,
+                               noise_std_w=0.1)
+        server = AutopowerServer()
+        transport = Transport([OutageWindow(0, 45)])
+        client = AutopowerClient("u", router, server, transport=transport,
+                                 rng=rng, upload_period_s=5)
+        client.add_power_outage(10, 30)
+        t = 0.0
+        while t < 60:
+            router.advance(0.5)
+            client.tick(t)
+            t += 0.5
+        client.try_upload(60)
+        series = server.download("u")
+        # 120 ticks minus 40 samples lost to the power outage.
+        assert len(series) == 80
+        assert len(series.slice(10, 30)) == 0
+
+
+class TestRoutingFailures:
+    def test_unroutable_demand_refused_loudly(self, small_fleet):
+        hosts = sorted(small_fleet.routers)
+        matrix = TrafficMatrix(
+            small_fleet, [Demand(src=hosts[0], dst=hosts[-1],
+                                 base_bps=1e9)])
+        all_internal = {l.link_id for l in small_fleet.internal_links()}
+        with pytest.raises(ValueError, match="unroutable"):
+            matrix.reroute_without(all_internal)
+
+    def test_unknown_endpoint_is_unroutable_not_crash(self, small_fleet):
+        matrix = TrafficMatrix(
+            small_fleet, [Demand(src="ghost-router", dst="other-ghost",
+                                 base_bps=1e9)])
+        assert matrix.paths == [None]
+        # Loads simply exclude the unroutable demand.
+        assert sum(matrix.base_link_loads().values()) == 0.0
+
+
+class TestComparisonEdgeCases:
+    def test_nan_riddled_series(self):
+        t = np.arange(0, 86400, 300.0)
+        values = np.where(np.arange(len(t)) % 3 == 0, np.nan, 100.0)
+        holey = TimeSeries(t, values)
+        stats = compare_series(holey, TimeSeries(t, np.full(len(t), 98.0)))
+        assert stats.n_samples > 0
+        assert stats.offset_w == pytest.approx(2.0, abs=0.5)
+
+    def test_single_sample_overlap(self):
+        a = TimeSeries(np.array([0.0, 10000.0]), np.array([1.0, 2.0]))
+        b = TimeSeries(np.array([9999.0, 20000.0]), np.array([5.0, 6.0]))
+        stats = compare_series(a, b)
+        # One overlapping window: defined but never "precise".
+        assert not stats.precise
+
+
+class TestDerivationRefusals:
+    def test_garbage_suite_cannot_silently_fit(self, ncs_suite):
+        from repro.lab import ExperimentSuite
+        empty = ExperimentSuite(dut_model="X", port_type=ncs_suite.port_type,
+                                trx_name="QSFP28-100G-DAC", speed_gbps=100)
+        with pytest.raises(DerivationError):
+            derive_power_model([empty])
+
+    def test_overloaded_psu_raises(self, rng):
+        from repro.hardware.psu import PFE600_MODEL, PSUInstance
+        psu = PSUInstance(model=PFE600_MODEL)
+        with pytest.raises(ValueError, match="overloaded"):
+            psu.input_power(5000)

@@ -1,0 +1,118 @@
+"""Figure-data generators."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.figures import (
+    FigureData,
+    fig1_data,
+    fig2a_data,
+    fig2b_data,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig8_data,
+    fig9_data,
+    write_figures,
+)
+from repro.telemetry.traces import TimeSeries
+
+
+def series(values, period=1800.0):
+    return TimeSeries(period * np.arange(len(values)),
+                      np.asarray(values, dtype=float))
+
+
+class TestFigureData:
+    def test_csv_rendering(self):
+        figure = FigureData(name="x", columns={"a": [1, 2], "b": [0.5, 1.5]})
+        csv = figure.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert csv.splitlines()[1] == "1,0.5"
+        assert figure.n_rows == 2
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            FigureData(name="x", columns={"a": [1], "b": [1, 2]})
+
+    def test_empty(self):
+        assert FigureData(name="x").n_rows == 0
+
+
+class TestGenerators:
+    def test_fig1(self):
+        power = series(np.full(48, 22000.0))
+        traffic = series(np.full(48, 1.3e12))
+        figure = fig1_data(power, traffic)
+        assert figure.n_rows > 0
+        assert figure.columns["traffic_tbps"][0] == pytest.approx(1.3)
+
+    def test_fig2a(self):
+        figure = fig2a_data()
+        assert figure.n_rows == 7
+        assert figure.columns["w_per_100g"][0] > figure.columns[
+            "w_per_100g"][-1]
+
+    def test_fig2b(self):
+        from repro.datasheets import build_corpus, parse_corpus
+        corpus = build_corpus(80, np.random.default_rng(3))
+        parsed = parse_corpus(corpus)
+        years = {m: d.truth.release_year
+                 for m, d in corpus.documents.items()
+                 if d.truth.release_year}
+        figure = fig2b_data(parsed, years)
+        assert figure.n_rows > 0
+        assert max(figure.columns["w_per_100g"]) <= 250
+
+    def test_fig4_with_and_without_psu(self):
+        external = series(350 + np.sin(np.arange(96) / 5))
+        model = series(340 + np.sin(np.arange(96) / 5))
+        with_psu = fig4_data(external, external.shifted(17), model)
+        assert "psu_w" in with_psu.columns
+        without = fig4_data(external, None, model)
+        assert "psu_w" not in without.columns
+        assert without.n_rows == with_psu.n_rows
+
+    def test_fig5(self):
+        figure = fig5_data()
+        effs = figure.columns["pfe600_eff_pct"]
+        assert max(effs) == pytest.approx(94.0, abs=0.3)
+        assert "setpoint_titanium" in figure.columns
+
+    def test_fig6(self, fleet):
+        from repro.psu_opt import clean_exports
+        from repro.telemetry.snmp import SnmpCollector
+        points = clean_exports(
+            SnmpCollector(list(fleet.routers.values()),
+                          detailed_hosts=[]).sensor_exports())
+        figure = fig6_data(points)
+        assert figure.n_rows == len(points)
+        one_model = fig6_data(points, "8201-32FH")
+        assert 0 < one_model.n_rows < figure.n_rows
+
+    def test_fig8(self):
+        power = series(np.concatenate([np.full(48, 362.0),
+                                       np.full(48, 407.0)]))
+        figure = fig8_data(power)
+        values = figure.columns["power_w"]
+        assert values[-1] - values[0] == pytest.approx(45.0, abs=2)
+
+    def test_fig9(self):
+        external = series(365 + 0.5 * np.sin(np.arange(96) / 4))
+        model = external.shifted(-9.0)
+        figure = fig9_data(external, model, offset_w=-9.0)
+        diffs = (np.array(figure.columns["model_minus_offset_w"])
+                 - np.array(figure.columns["autopower_w"]))
+        finite = diffs[~np.isnan(diffs)]
+        assert np.max(np.abs(finite)) < 0.2
+
+
+class TestWriter:
+    def test_write_figures(self, tmp_path):
+        figures = [fig2a_data(), fig5_data()]
+        paths = write_figures(figures, tmp_path / "figures")
+        assert len(paths) == 2
+        content = (tmp_path / "figures" / "fig2a_asic_efficiency.csv"
+                   ).read_text()
+        assert content.startswith("year,")

@@ -1,0 +1,125 @@
+"""GREEN-style continuous PSU monitoring (§9.4 / §10's missing piece)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.hardware import VirtualRouter, router_spec
+from repro.telemetry.green import EfficiencyDrift, GreenCollector, PsuKey
+
+
+@pytest.fixture
+def routers(rng):
+    return [
+        VirtualRouter(router_spec("NCS-55A1-24H"), hostname="green-ncs",
+                      rng=rng, noise_std_w=0.1),
+        VirtualRouter(router_spec("8201-32FH"), hostname="green-8201",
+                      rng=rng, noise_std_w=0.1),
+    ]
+
+
+def run_collection(collector, routers, days, period_s=units.hours(6)):
+    t = 0.0
+    while t < units.days(days):
+        for router in routers:
+            router.advance(period_s)
+        t += period_s
+        collector.record(t)
+
+
+class TestCollection:
+    def test_one_trace_per_psu(self, routers):
+        collector = GreenCollector(routers)
+        assert len(collector.traces) == 4
+        run_collection(collector, routers, days=2)
+        for trace in collector.traces.values():
+            assert len(trace.timestamps) == 8
+
+    def test_efficiency_series_capped(self, routers):
+        collector = GreenCollector(routers)
+        run_collection(collector, routers, days=4)
+        for trace in collector.traces.values():
+            series = trace.efficiency_series().valid()
+            assert np.all(series.values <= 1.0)
+            assert np.all(series.values > 0.2)
+
+    def test_load_series(self, routers):
+        collector = GreenCollector(routers)
+        run_collection(collector, routers, days=1)
+        trace = collector.traces[PsuKey("green-ncs", 0)]
+        loads = trace.load_series()
+        assert np.all(loads.values < 0.3)  # oversupplied, like the fleet
+
+    def test_powered_off_routers_skipped(self, routers):
+        collector = GreenCollector(routers)
+        routers[0].powered = False
+        collector.record(100.0)
+        assert not collector.traces[PsuKey("green-ncs", 0)].timestamps
+        assert collector.traces[PsuKey("green-8201", 0)].timestamps
+
+
+class TestDriftDetection:
+    def test_healthy_psu_not_flagged(self, routers):
+        collector = GreenCollector(routers)
+        run_collection(collector, routers, days=10)
+        assert collector.degrading_psus() == []
+
+    def test_aging_psu_detected(self, routers):
+        collector = GreenCollector(routers)
+        victim = routers[0].psu_group.instances[0]
+        # One month of observation with progressive degradation.
+        t = 0.0
+        while t < units.days(30):
+            for router in routers:
+                router.advance(units.hours(6))
+            t += units.hours(6)
+            victim.apply_aging(-0.0005)  # -6 %-points over the month
+            collector.record(t)
+        degrading = collector.degrading_psus()
+        assert [d.key for d in degrading] == [PsuKey("green-ncs", 0)]
+        assert degrading[0].per_month < -0.02
+
+    def test_drift_needs_enough_samples(self, routers):
+        collector = GreenCollector(routers)
+        collector.record(0.0)
+        assert collector.drift(PsuKey("green-ncs", 0)) is None
+
+    def test_this_is_what_snmp_cannot_do(self, routers):
+        """The §10 point: P_in-only monitoring cannot separate aging
+        from load changes; dual-power collection can."""
+        collector = GreenCollector(routers)
+        victim_router = routers[0]
+        victim = victim_router.psu_group.instances[0]
+        t = 0.0
+        while t < units.days(20):
+            victim_router.advance(units.hours(6))
+            t += units.hours(6)
+            victim.apply_aging(-0.001)
+            collector.record(t)
+        # P_in rises -- but so would it with more traffic.  The GREEN
+        # series shows efficiency falling at constant load: unambiguous.
+        drift = collector.drift(PsuKey("green-ncs", 0))
+        trace = collector.traces[PsuKey("green-ncs", 0)]
+        load_change = np.ptp(trace.load_series().values)
+        assert drift.per_month < -0.02
+        assert load_change < 0.05
+
+
+class TestFloorsAndSummary:
+    def test_below_floor(self, routers):
+        collector = GreenCollector(routers)
+        run_collection(collector, routers, days=3)
+        # The 8201's PSUs run at low load with a negative offset: poor.
+        flagged = collector.below_floor(0.75)
+        assert all(key.hostname == "green-8201" for key in flagged)
+        assert flagged  # it does get flagged
+
+    def test_fleet_mean(self, routers):
+        collector = GreenCollector(routers)
+        run_collection(collector, routers, days=2)
+        mean = collector.fleet_mean_efficiency()
+        assert 0.5 < mean < 1.0
+
+    def test_fleet_mean_empty(self, routers):
+        collector = GreenCollector(routers)
+        assert np.isnan(collector.fleet_mean_efficiency())

@@ -1,0 +1,156 @@
+"""The ground-truth router catalog (Tables 1, 2, 6 encodings)."""
+
+import pytest
+
+from repro.hardware.catalog import (
+    MODELLED_DEVICES,
+    ROUTER_CATALOG,
+    TABLE1_DEVICES,
+    TABLE1_MEASURED_MEDIAN_W,
+    default_class_truth,
+    router_spec,
+)
+from repro.hardware.transceiver import PortType, Reach
+
+
+class TestTable2Encoding:
+    """Spot-check the paper's Table 2 values are encoded verbatim."""
+
+    def test_ncs_55a1_24h(self):
+        spec = router_spec("NCS-55A1-24H")
+        assert spec.p_base_w == 320.0
+        truth = spec.class_map[(PortType.QSFP28, Reach.DAC, 100)]
+        assert truth.p_port_w == pytest.approx(0.32)
+        assert truth.p_trx_in_w == pytest.approx(0.02)
+        assert truth.p_trx_up_w == pytest.approx(0.19)
+        assert truth.e_bit_pj == pytest.approx(22)
+        assert truth.e_pkt_nj == pytest.approx(58)
+        assert truth.p_offset_w == pytest.approx(0.37)
+
+    def test_nexus_9336_lr_vs_dac(self):
+        spec = router_spec("Nexus9336-FX2")
+        lr = spec.class_map[(PortType.QSFP28, Reach.LR, 100)]
+        dac = spec.class_map[(PortType.QSFP28, Reach.DAC, 100)]
+        # §7: E_bit approximately equal across media on the same router.
+        assert lr.e_bit_pj == pytest.approx(dac.e_bit_pj)
+        # Optics pay their cost at plug-in; DACs barely.
+        assert lr.p_trx_in_w > 25 * dac.p_trx_in_w
+
+    def test_8201_32fh(self):
+        spec = router_spec("8201-32FH")
+        assert spec.p_base_w == 253.0
+        truth = spec.class_map[(PortType.QSFP, Reach.DAC, 100)]
+        assert truth.p_port_w == pytest.approx(0.94)
+        assert truth.e_bit_pj == pytest.approx(3)
+
+    def test_n540x_imprecise_epkt_kept(self):
+        # The daggered -48 nJ is deliberately preserved.
+        spec = router_spec("N540X-8Z16G-SYS-A")
+        truth = spec.class_map[(PortType.SFP, Reach.T, 1)]
+        assert truth.e_pkt_nj == pytest.approx(-48)
+
+
+class TestTable6Encoding:
+    def test_wedge(self):
+        spec = router_spec("Wedge 100BF-32X")
+        assert spec.p_base_w == pytest.approx(108)
+        truth = spec.class_map[(PortType.QSFP28, Reach.DAC, 100)]
+        assert truth.e_bit_pj == pytest.approx(1.7)
+        assert truth.e_pkt_nj == pytest.approx(7.2)
+
+    def test_catalyst_3560_epkt_dominates(self):
+        # 100M access switch: enormous per-packet cost (193 nJ).
+        spec = router_spec("Catalyst 3560")
+        truth = spec.class_map[(PortType.RJ45, Reach.T, 0.1)]
+        assert truth.e_pkt_nj == pytest.approx(193.1)
+
+    def test_vsp_tiny_base(self):
+        assert router_spec("VSP-4900").p_base_w == pytest.approx(8.2)
+
+
+class TestDeviceLists:
+    def test_eight_modelled_devices(self):
+        assert len(MODELLED_DEVICES) == 8
+        for name in MODELLED_DEVICES:
+            assert name in ROUTER_CATALOG
+
+    def test_eight_table1_devices(self):
+        assert len(TABLE1_DEVICES) == 8
+        assert set(TABLE1_MEASURED_MEDIAN_W) == set(TABLE1_DEVICES)
+
+    def test_table1_cisco8000_underestimates(self):
+        # The surprise rows: datasheet below measured.
+        for name in ("8201-32FH", "8201-24H8FH"):
+            spec = router_spec(name)
+            assert (spec.datasheet.typical_w
+                    < TABLE1_MEASURED_MEDIAN_W[name])
+
+    def test_table1_others_overestimate(self):
+        for name in TABLE1_DEVICES:
+            if name.startswith("8201"):
+                continue
+            spec = router_spec(name)
+            assert (spec.datasheet.typical_w
+                    > TABLE1_MEASURED_MEDIAN_W[name])
+
+
+class TestSpecBehaviour:
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="known models"):
+            router_spec("CRS-1")
+
+    def test_total_ports(self):
+        assert router_spec("NCS-55A1-24H").total_ports == 24
+        assert router_spec("Nexus 93108TC-FX3P").total_ports == 54
+
+    def test_find_class_exact(self):
+        spec = router_spec("NCS-55A1-24H")
+        truth = spec.find_class(PortType.QSFP28, Reach.DAC, 50)
+        assert truth.p_port_w == pytest.approx(0.18)
+
+    def test_find_class_media_fallback_reuses_router_terms(self):
+        # Same port/speed, uncharacterised media: router-side terms stay,
+        # transceiver split comes from the module catalog.
+        spec = router_spec("NCS-55A1-24H")
+        truth = spec.find_class(PortType.QSFP28, Reach.CWDM4, 100)
+        assert truth.p_port_w == pytest.approx(0.32)
+        assert truth.p_trx_in_w == pytest.approx(2.4)
+
+    def test_find_class_generic_fallback(self):
+        spec = router_spec("ASR-920-24SZ-M")  # no lab classes at all
+        truth = spec.find_class(PortType.SFP, Reach.LR, 1)
+        assert truth.p_port_w == pytest.approx(0.05)  # Table 5 SFP value
+
+    def test_duplicate_class_rejected(self):
+        from repro.hardware.catalog import (InterfaceClassTruth, PortGroup,
+                                            PsuConfig, DatasheetInfo,
+                                            PsuSensorQuirk, RouterModelSpec)
+        cls = InterfaceClassTruth(PortType.SFP, Reach.LR, 1,
+                                  0.1, 0.1, 0.1, 1, 1, 0)
+        with pytest.raises(ValueError, match="duplicate"):
+            RouterModelSpec(
+                name="dup", vendor="x", series="x", p_base_w=10,
+                port_groups=(PortGroup(2, PortType.SFP),),
+                interface_classes=(cls, cls),
+                psu=PsuConfig(count=1, capacity_w=250),
+                psu_quirk=PsuSensorQuirk.ACCURATE,
+                datasheet=DatasheetInfo(typical_w=10, max_w=20,
+                                        max_bandwidth_gbps=2))
+
+
+class TestDefaultClassTruth:
+    def test_table5_p_port_values(self):
+        assert default_class_truth(PortType.SFP, Reach.LR, 1).p_port_w \
+            == pytest.approx(0.05)
+        assert default_class_truth(
+            PortType.QSFP_DD, Reach.FR4, 400).p_port_w == pytest.approx(1.82)
+
+    def test_energy_scales_with_speed_class(self):
+        fast = default_class_truth(PortType.QSFP28, Reach.DAC, 100)
+        slow = default_class_truth(PortType.SFP, Reach.T, 1)
+        # §7: low-speed ports are far less energy-efficient per bit.
+        assert slow.e_bit_pj > 3 * fast.e_bit_pj
+
+    def test_uses_catalog_module_power(self):
+        truth = default_class_truth(PortType.QSFP_DD, Reach.FR4, 400)
+        assert truth.p_trx_in_w == pytest.approx(10.0)

@@ -1,0 +1,230 @@
+"""PSU efficiency curves, 80 Plus standards, sharing policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.psu import (
+    EIGHTY_PLUS_SET_POINTS,
+    EightyPlus,
+    OffsetCurve,
+    PFE600_CURVE,
+    PFE600_MODEL,
+    PSU_CAPACITIES_W,
+    PSUGroup,
+    PSUInstance,
+    PSUModel,
+    QuadraticLossCurve,
+    ScaledLossCurve,
+    SharingPolicy,
+    make_psu_model,
+    meets_standard,
+    rating_curve,
+    standard_curve,
+)
+
+
+class TestPFE600Curve:
+    """The Fig. 5 reference curve."""
+
+    def test_fits_its_defining_points_exactly(self):
+        assert PFE600_CURVE.efficiency(0.20) == pytest.approx(0.90)
+        assert PFE600_CURVE.efficiency(0.50) == pytest.approx(0.94)
+        assert PFE600_CURVE.efficiency(1.00) == pytest.approx(0.91)
+
+    def test_poor_below_20_percent(self):
+        # "notoriously bad at loads below 10-20 %" (§9.1).
+        assert PFE600_CURVE.efficiency(0.10) < 0.85
+        assert PFE600_CURVE.efficiency(0.05) < 0.70
+
+    def test_peaks_in_the_50_60_band(self):
+        loads = np.linspace(0.05, 1.0, 96)
+        effs = [PFE600_CURVE.efficiency(l) for l in loads]
+        peak_load = loads[int(np.argmax(effs))]
+        assert 0.45 <= peak_load <= 0.70
+
+    def test_monotone_wall_power(self):
+        outs = np.linspace(0, 570, 300)
+        walls = [PFE600_CURVE.input_power(o, 600) for o in outs]
+        assert np.all(np.diff(walls) > 0)
+
+    def test_idle_loss_positive(self):
+        assert PFE600_CURVE.idle_loss_w(600) > 0
+
+    def test_three_point_fit_validation(self):
+        with pytest.raises(ValueError):
+            QuadraticLossCurve.from_efficiency_points([(0.2, 0.9)])
+        with pytest.raises(ValueError):
+            QuadraticLossCurve.from_efficiency_points(
+                [(0.2, 1.2), (0.5, 0.9), (1.0, 0.9)])
+
+
+class TestEightyPlus:
+    def test_rank_ordering(self):
+        assert (EightyPlus.BRONZE.rank < EightyPlus.SILVER.rank
+                < EightyPlus.GOLD.rank < EightyPlus.PLATINUM.rank
+                < EightyPlus.TITANIUM.rank)
+
+    def test_pfe600_is_platinum(self):
+        assert meets_standard(PFE600_CURVE, EightyPlus.PLATINUM)
+
+    def test_pfe600_not_titanium(self):
+        assert not meets_standard(PFE600_CURVE, EightyPlus.TITANIUM)
+
+    @pytest.mark.parametrize("standard", list(EightyPlus))
+    def test_standard_curve_meets_its_level(self, standard):
+        assert meets_standard(standard_curve(standard), standard)
+
+    @pytest.mark.parametrize("standard", list(EightyPlus))
+    def test_rating_curve_meets_its_level(self, standard):
+        assert meets_standard(rating_curve(standard), standard)
+
+    def test_standard_curves_are_ordered_at_typical_loads(self):
+        for load in (0.1, 0.2, 0.5):
+            effs = [standard_curve(s).efficiency(load) for s in EightyPlus]
+            assert effs == sorted(effs)
+
+    def test_platinum_offset_is_essentially_zero(self):
+        # The PFE600 *is* Platinum-rated; its curve defines that level.
+        assert abs(standard_curve(EightyPlus.PLATINUM).offset) < 0.01
+
+
+class TestScaledLossCurve:
+    def test_scale_one_is_identity(self):
+        curve = ScaledLossCurve(base=PFE600_CURVE, scale=1.0)
+        for load in (0.05, 0.2, 0.5, 0.9):
+            assert curve.efficiency(load) == pytest.approx(
+                PFE600_CURVE.efficiency(load))
+
+    def test_larger_scale_is_worse_everywhere(self):
+        worse = ScaledLossCurve(base=PFE600_CURVE, scale=2.0)
+        for load in (0.05, 0.2, 0.5, 0.9):
+            assert worse.efficiency(load) < PFE600_CURVE.efficiency(load)
+
+    def test_through_point(self):
+        curve = ScaledLossCurve.through_point(PFE600_CURVE, 0.2, 0.80)
+        assert curve.efficiency(0.2) == pytest.approx(0.80)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ScaledLossCurve(base=PFE600_CURVE, scale=0)
+        with pytest.raises(ValueError):
+            ScaledLossCurve.through_point(PFE600_CURVE, 0.2, 1.5)
+
+    @given(st.floats(min_value=0.3, max_value=3.0))
+    def test_wall_power_monotone_for_any_scale(self, scale):
+        curve = ScaledLossCurve(base=PFE600_CURVE, scale=scale)
+        outs = np.linspace(0, 950, 100)
+        walls = [curve.input_power(o, 1000) for o in outs]
+        assert np.all(np.diff(walls) > 0)
+
+
+class TestOffsetCurve:
+    def test_positive_offset_improves(self):
+        better = OffsetCurve(base=PFE600_CURVE, offset=0.03)
+        assert better.efficiency(0.2) == pytest.approx(0.93)
+
+    def test_clamping(self):
+        crazy = OffsetCurve(base=PFE600_CURVE, offset=0.5)
+        assert crazy.efficiency(0.5) <= OffsetCurve.MAX_EFF
+
+    def test_through_point_reproduces_observation(self):
+        # §9.3.4: the constant comes from the observed efficiency point.
+        curve = OffsetCurve.through_point(PFE600_CURVE, 0.12, 0.75)
+        assert curve.efficiency(0.12) == pytest.approx(0.75)
+
+    def test_through_point_rejects_zero_load(self):
+        with pytest.raises(ValueError):
+            OffsetCurve.through_point(PFE600_CURVE, 0.0, 0.8)
+
+
+class TestPSUInstance:
+    def test_offset_defined_at_reference_load(self):
+        psu = PSUInstance(model=PFE600_MODEL, efficiency_offset=-0.10)
+        nominal = PFE600_MODEL.curve.efficiency(psu.reference_load)
+        assert psu.efficiency_at(
+            psu.reference_load * 600) == pytest.approx(nominal - 0.10,
+                                                       abs=1e-6)
+
+    def test_zero_offset_matches_model_curve(self):
+        psu = PSUInstance(model=PFE600_MODEL, efficiency_offset=0.0)
+        assert psu.efficiency_at(300) == pytest.approx(
+            PFE600_MODEL.curve.efficiency(0.5), abs=1e-9)
+
+    def test_input_power_exceeds_output(self):
+        psu = PSUInstance(model=PFE600_MODEL)
+        for out in (10, 60, 300, 550):
+            assert psu.input_power(out) > out
+
+    def test_overload_rejected(self):
+        psu = PSUInstance(model=PFE600_MODEL)
+        with pytest.raises(ValueError):
+            psu.input_power(700)
+
+    def test_sensor_snapshot_noisy_but_close(self, rng):
+        psu = PSUInstance(model=PFE600_MODEL, sensor_noise=0.01)
+        reading = psu.sensor_snapshot(300, rng)
+        assert reading.output_w == pytest.approx(300, rel=0.05)
+        assert reading.input_w == pytest.approx(psu.input_power(300),
+                                                rel=0.05)
+
+    def test_sensor_can_report_impossible_efficiency(self, rng):
+        # §9.2: some PSUs report P_out > P_in; the reading caps it at 1.
+        psu = PSUInstance(model=PFE600_MODEL, efficiency_offset=0.04,
+                          sensor_noise=0.03)
+        efficiencies = [psu.sensor_snapshot(330, rng).efficiency
+                        for _ in range(300)]
+        assert max(efficiencies) <= 1.0
+        assert any(e == 1.0 for e in efficiencies)
+
+
+class TestPSUGroup:
+    def _group(self, policy):
+        psus = [PSUInstance(model=PFE600_MODEL) for _ in range(2)]
+        return PSUGroup(instances=psus, policy=policy)
+
+    def test_balanced_shares(self):
+        group = self._group(SharingPolicy.BALANCED)
+        assert group.output_shares(300) == [150, 150]
+
+    def test_single_shares(self):
+        group = self._group(SharingPolicy.SINGLE)
+        assert group.output_shares(300) == [300, 0]
+
+    def test_single_beats_balanced_at_low_load(self):
+        # The §9.3.4 effect: consolidating load onto one PSU improves
+        # its operating point when loads are low.
+        balanced = self._group(SharingPolicy.BALANCED)
+        single = self._group(SharingPolicy.SINGLE)
+        assert single.wall_power(120) < balanced.wall_power(120)
+
+    def test_hot_standby_pays_idle_loss(self):
+        single = self._group(SharingPolicy.SINGLE)
+        standby = self._group(SharingPolicy.HOT_STANDBY)
+        assert standby.wall_power(120) > single.wall_power(120)
+
+    def test_loads(self):
+        group = self._group(SharingPolicy.BALANCED)
+        assert group.loads(600) == [pytest.approx(0.5)] * 2
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            PSUGroup(instances=[])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            self._group(SharingPolicy.BALANCED).output_shares(-1)
+
+
+class TestMakePsuModel:
+    def test_capacity_options_match_table4(self):
+        assert PSU_CAPACITIES_W == (250, 400, 750, 1100, 2000, 2700)
+
+    def test_generic_model(self):
+        model = make_psu_model(1100, EightyPlus.GOLD)
+        assert model.capacity_w == 1100
+        assert meets_standard(model.curve, EightyPlus.GOLD)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PSUModel(name="bad", capacity_w=0, curve=PFE600_CURVE)

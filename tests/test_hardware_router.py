@@ -1,0 +1,236 @@
+"""The VirtualRouter ground-truth engine: the §5.2 equations as physics."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.hardware import (
+    PsuSensorQuirk,
+    SharingPolicy,
+    VirtualRouter,
+    connect,
+    disconnect,
+    router_spec,
+)
+
+
+@pytest.fixture
+def cabled_router(quiet_router):
+    """Four DAC-plugged ports cabled in two pairs, all down."""
+    r = quiet_router
+    for i in range(4):
+        r.port(i).plug("QSFP28-100G-DAC")
+    connect(r.port(0), r.port(1))
+    connect(r.port(2), r.port(3))
+    return r
+
+
+class TestExperimentEquations:
+    """The Base/Idle/Port/Trx ladder of Eqs. (7)-(10), noise-free."""
+
+    def test_base(self, quiet_router):
+        assert quiet_router.wall_referred_power_w() == pytest.approx(320.0)
+
+    def test_idle_adds_2n_trx_in(self, cabled_router):
+        # 4 plugged modules at P_trx,in = 0.02 W.
+        assert cabled_router.wall_referred_power_w() == pytest.approx(
+            320.0 + 4 * 0.02)
+
+    def test_port_adds_n_p_port(self, cabled_router):
+        cabled_router.port(0).set_admin(True)
+        cabled_router.port(2).set_admin(True)
+        assert cabled_router.wall_referred_power_w() == pytest.approx(
+            320.0 + 4 * 0.02 + 2 * 0.32)
+
+    def test_trx_adds_both_sides(self, cabled_router):
+        for i in range(4):
+            cabled_router.port(i).set_admin(True)
+        assert cabled_router.wall_referred_power_w() == pytest.approx(
+            320.0 + 4 * (0.02 + 0.32 + 0.19))
+
+    def test_half_up_pair_keeps_link_down(self, cabled_router):
+        cabled_router.port(0).set_admin(True)
+        assert not cabled_router.port(0).link_up
+        cabled_router.port(1).set_admin(True)
+        assert cabled_router.port(0).link_up
+
+
+class TestDynamicPower:
+    def test_traffic_terms(self, cabled_router):
+        r = cabled_router
+        for i in range(4):
+            r.port(i).set_admin(True)
+        static = r.wall_referred_power_w()
+        r.port(0).offer_traffic(rx_bps=0, tx_bps=100e9, packet_bytes=1500)
+        with_traffic = r.wall_referred_power_w()
+        expected = (0.37                                    # P_offset
+                    + 22e-12 * 100e9                        # E_bit * r
+                    + 58e-9 * units.packet_rate(100e9, 1500))
+        assert with_traffic - static == pytest.approx(expected, rel=1e-6)
+
+    def test_no_traffic_when_link_down(self, cabled_router):
+        port = cabled_router.port(0)
+        port.set_admin(True)  # peer still down -> link down
+        port.offer_traffic(rx_bps=1e9, tx_bps=0)
+        assert port.dynamic_power_w() == 0.0
+
+    def test_over_line_rate_rejected(self, cabled_router):
+        with pytest.raises(ValueError, match="exceeds line rate"):
+            cabled_router.port(0).offer_traffic(rx_bps=150e9)
+
+    def test_negative_rate_rejected(self, cabled_router):
+        with pytest.raises(ValueError):
+            cabled_router.port(0).offer_traffic(rx_bps=-1)
+
+
+class TestDownNotOff:
+    """The §7 finding, at the router level."""
+
+    def test_admin_down_keeps_trx_in(self, quiet_router):
+        base = quiet_router.wall_referred_power_w()
+        quiet_router.port(0).plug("QSFP28-100G-LR4")  # stays admin-down
+        assert quiet_router.wall_referred_power_w() - base \
+            == pytest.approx(2.79)
+
+    def test_unplug_removes_it(self, quiet_router):
+        quiet_router.port(0).plug("QSFP28-100G-LR4")
+        quiet_router.port(0).unplug()
+        assert quiet_router.wall_referred_power_w() == pytest.approx(320.0)
+
+
+class TestPsuAndWall:
+    def test_wall_exceeds_dc(self, quiet_router):
+        assert quiet_router.wall_power_w() > quiet_router.device_power_w()
+
+    def test_nominal_instances_reproduce_catalog_wall(self):
+        # A router whose PSUs are exactly nominal draws the wall-referred
+        # catalog power at the wall -- the calibration contract.
+        spec = router_spec("NCS-55A1-24H")
+        r = VirtualRouter(spec, rng=np.random.default_rng(0), noise_std_w=0)
+        dc = r._dc_from_wall_referred(spec.p_base_w)
+        wall = r._nominal_group.wall_power(dc)
+        assert wall == pytest.approx(spec.p_base_w, abs=0.5)
+
+    def test_sharing_policy_changes_wall(self, quiet_router):
+        balanced = quiet_router.wall_power_w()
+        quiet_router.set_sharing_policy(SharingPolicy.SINGLE)
+        single = quiet_router.wall_power_w()
+        assert single != pytest.approx(balanced, abs=0.1)
+
+    def test_powered_off_draws_nothing(self, quiet_router):
+        quiet_router.powered = False
+        assert quiet_router.wall_power_w() == 0.0
+        assert quiet_router.psu_reported_power_w() is None
+        quiet_router.powered = True
+        assert quiet_router.wall_power_w() > 0
+
+
+class TestCountersAndTime:
+    def test_counters_accumulate(self, cabled_router):
+        r = cabled_router
+        for i in range(4):
+            r.port(i).set_admin(True)
+        r.port(0).offer_traffic(rx_bps=0, tx_bps=10e9, packet_bytes=1500)
+        r.advance(300)
+        counters = r.interface_counters()["Eth0/0"]
+        expected_pkts = units.packet_rate(10e9, 1500) * 300
+        assert counters.tx_packets == pytest.approx(expected_pkts, rel=1e-3)
+        assert counters.tx_octets == pytest.approx(
+            expected_pkts * (1500 + units.ETHERNET_HEADER_BYTES), rel=1e-3)
+        assert counters.rx_octets == 0
+
+    def test_no_counters_when_link_down(self, quiet_router):
+        quiet_router.port(0).plug("QSFP28-100G-DAC")
+        quiet_router.advance(300)
+        counters = quiet_router.interface_counters()["Eth0/0"]
+        assert counters.tx_octets == 0
+
+    def test_power_cycle_resets_counters(self, cabled_router):
+        r = cabled_router
+        for i in range(4):
+            r.port(i).set_admin(True)
+        r.port(0).offer_traffic(rx_bps=1e9, tx_bps=1e9)
+        r.advance(60)
+        r.power_cycle()
+        assert r.interface_counters()["Eth0/0"].rx_octets == 0
+
+    def test_negative_dt_rejected(self, quiet_router):
+        with pytest.raises(ValueError):
+            quiet_router.port(0).advance(-1)
+
+    def test_ambient_noise_bounded(self, rng):
+        r = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                          noise_std_w=0.25)
+        values = []
+        for _ in range(500):
+            r.advance(300)
+            values.append(r.wall_referred_power_w())
+        # wall_referred excludes noise entirely; device power carries it.
+        assert np.std(values) == 0.0
+        dc = [r.device_power_w() for _ in range(1)]
+        assert dc[0] > 0
+
+
+class TestTelemetryQuirks:
+    def test_accurate_quirk_tracks_truth(self, rng):
+        r = VirtualRouter(router_spec("Nexus9336-FX2"), rng=rng,
+                          noise_std_w=0)
+        reported = r.psu_reported_power_w()
+        assert reported == pytest.approx(r.wall_power_w(), rel=0.03)
+
+    def test_offset_quirk(self, rng):
+        r = VirtualRouter(router_spec("8201-32FH"), rng=rng, noise_std_w=0)
+        diffs = [r.psu_reported_power_w() - r.wall_power_w()
+                 for _ in range(50)]
+        assert np.mean(diffs) == pytest.approx(
+            r.spec.psu_report_offset_w, abs=1.0)
+
+    def test_pseudo_constant_quirk_is_flat(self, rng):
+        r = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                          noise_std_w=0.25)
+        readings = []
+        for _ in range(100):
+            r.advance(300)
+            readings.append(r.psu_reported_power_w())
+        # Far less variance than honest sensor noise would produce.
+        assert np.std(readings) < 1.0
+
+    def test_pseudo_constant_jumps_on_power_cycle(self):
+        r = VirtualRouter(router_spec("NCS-55A1-24H"),
+                          rng=np.random.default_rng(3), noise_std_w=0)
+        before = r.psu_reported_power_w()
+        r.power_cycle()
+        after = r.psu_reported_power_w()
+        assert abs(after - before) > 0.5  # the Fig. 4b Sep-25 step
+
+    def test_absent_quirk(self, rng):
+        r = VirtualRouter(router_spec("N540X-8Z16G-SYS-A"), rng=rng)
+        assert r.psu_reported_power_w() is None
+        assert r.spec.psu_quirk == PsuSensorQuirk.ABSENT
+
+
+class TestEvents:
+    def test_os_update_fan_bump(self, quiet_router):
+        before = quiet_router.wall_referred_power_w()
+        quiet_router.apply_os_update(45.0)
+        assert quiet_router.wall_referred_power_w() - before \
+            == pytest.approx(45.0)
+
+    def test_inventory_reflects_modules(self, quiet_router):
+        quiet_router.port(3).plug("QSFP28-100G-LR4")
+        inventory = quiet_router.inventory()
+        assert inventory["Eth0/3"] == "QSFP28-100G-LR4"
+        assert inventory["Eth0/0"] is None
+
+    def test_disconnect_breaks_link(self, cabled_router):
+        r = cabled_router
+        for i in range(4):
+            r.port(i).set_admin(True)
+        assert r.port(0).link_up
+        disconnect(r.port(0))
+        assert not r.port(0).link_up
+        assert not r.port(1).link_up
+
+    def test_port_index_error(self, quiet_router):
+        with pytest.raises(IndexError, match="24 ports"):
+            quiet_router.port(24)

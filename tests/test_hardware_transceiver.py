@@ -1,0 +1,119 @@
+"""Transceiver catalog and the "down does not mean off" behaviour."""
+
+import pytest
+
+from repro.hardware.transceiver import (
+    PortType,
+    Reach,
+    TRANSCEIVER_CATALOG,
+    catalog_by_form_factor,
+    compatible,
+    transceiver,
+)
+
+
+class TestCatalog:
+    def test_table2_modules_present(self):
+        # The module/power combinations of Tables 2 and 6 exist.
+        dac = TRANSCEIVER_CATALOG["QSFP28-100G-DAC"]
+        assert dac.power_in_w == pytest.approx(0.02)
+        assert dac.power_up_w == pytest.approx(0.19)
+        lr = TRANSCEIVER_CATALOG["QSFP28-100G-LR"]
+        assert lr.power_in_w == pytest.approx(2.79)
+
+    def test_400g_fr4_matches_fig4_discussion(self):
+        # §6.2: removing a 400G FR4 dropped ~13 W; 12 W is the module.
+        fr4 = TRANSCEIVER_CATALOG["QSFP-DD-400G-FR4"]
+        assert fr4.datasheet_power_w == pytest.approx(12.0)
+        assert fr4.total_power_w == pytest.approx(12.0, rel=0.2)
+
+    def test_plug_in_cost_dominates_for_optics(self):
+        # §7: P_trx,in dominates total transceiver power for optics.
+        for name in ("QSFP28-100G-LR4", "QSFP-DD-400G-FR4", "SFP+-10G-LR"):
+            module = TRANSCEIVER_CATALOG[name]
+            assert module.power_in_w > abs(module.power_up_w)
+
+    def test_passive_dacs_draw_little(self):
+        for module in TRANSCEIVER_CATALOG.values():
+            if module.reach == Reach.DAC:
+                assert module.total_power_w < 1.0
+
+    def test_unique_names(self):
+        names = [m.name for m in TRANSCEIVER_CATALOG.values()]
+        assert len(names) == len(set(names))
+
+
+class TestPowerDraw:
+    def test_unplugged_draws_nothing(self):
+        module = TRANSCEIVER_CATALOG["QSFP28-100G-LR4"]
+        assert module.power_draw(plugged=False, link_up=False) == 0.0
+
+    def test_down_does_not_mean_off(self):
+        # The paper's central §7 observation.
+        module = TRANSCEIVER_CATALOG["QSFP28-100G-LR4"]
+        plugged_down = module.power_draw(plugged=True, link_up=False,
+                                         port_admin_up=False)
+        assert plugged_down == pytest.approx(module.power_in_w)
+        assert plugged_down > 0.5 * module.total_power_w
+
+    def test_software_fix_would_power_off(self):
+        # The paper postulates powering modules off on admin-down is a
+        # software fix; the flag models that fixed world.
+        from dataclasses import replace
+        module = replace(TRANSCEIVER_CATALOG["QSFP28-100G-LR4"],
+                         powers_off_when_down=True)
+        assert module.power_draw(plugged=True, link_up=False,
+                                 port_admin_up=False) == 0.0
+        assert module.power_draw(plugged=True, link_up=True,
+                                 port_admin_up=True) > 0
+
+    def test_link_up_adds_up_share(self):
+        module = TRANSCEIVER_CATALOG["QSFP28-100G-DAC"]
+        down = module.power_draw(plugged=True, link_up=False)
+        up = module.power_draw(plugged=True, link_up=True)
+        assert up - down == pytest.approx(module.power_up_w)
+
+
+class TestCompatibility:
+    def test_exact_match(self):
+        lr4 = TRANSCEIVER_CATALOG["QSFP28-100G-LR4"]
+        assert compatible(PortType.QSFP28, lr4)
+
+    def test_qsfp_in_qsfp28(self):
+        qsfp = TRANSCEIVER_CATALOG["QSFP-100G-DAC"]
+        assert compatible(PortType.QSFP28, qsfp)
+        assert compatible(PortType.QSFP_DD, qsfp)
+
+    def test_sfp_in_sfp_plus(self):
+        sfp = TRANSCEIVER_CATALOG["SFP-1G-LX"]
+        assert compatible(PortType.SFP_PLUS, sfp)
+        assert compatible(PortType.SFP28, sfp)
+
+    def test_no_downward_compat(self):
+        qsfp_dd = TRANSCEIVER_CATALOG["QSFP-DD-400G-FR4"]
+        assert not compatible(PortType.QSFP28, qsfp_dd)
+        sfp_plus = TRANSCEIVER_CATALOG["SFP+-10G-LR"]
+        assert not compatible(PortType.SFP, sfp_plus)
+
+    def test_plug_rejects_misfit(self, quiet_router):
+        with pytest.raises(ValueError):
+            quiet_router.port(0).plug("SFP-1G-LX")  # SFP into QSFP28
+
+
+class TestInstances:
+    def test_unique_serials(self):
+        a = transceiver("QSFP28-100G-DAC")
+        b = transceiver("QSFP28-100G-DAC")
+        assert a.serial != b.serial
+        assert a.name == b.name
+
+    def test_unknown_product(self):
+        with pytest.raises(KeyError, match="known products"):
+            transceiver("QSFP28-100G-NOPE")
+
+    def test_catalog_by_form_factor_partitions(self):
+        grouped = catalog_by_form_factor()
+        total = sum(len(models) for models in grouped.values())
+        assert total == len(TRANSCEIVER_CATALOG)
+        for form, models in grouped.items():
+            assert all(m.form_factor == form for m in models)

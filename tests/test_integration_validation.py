@@ -1,0 +1,185 @@
+"""End-to-end §6 pipeline: lab models vs deployed ground truth.
+
+This is the reproduction's core integration test.  A small fleet runs for
+several simulated days with Autopower units on three router models (the
+Fig. 4 trio's quirk spectrum); lab-derived power models then predict the
+deployed power from inventory + counters, and the three-way comparison
+must reproduce the paper's qualitative findings:
+
+* model predictions are *precise* (shape tracks) but carry an offset;
+* PSU telemetry is offset-but-precise on the 8201, pseudo-constant on
+  the NCS, absent on the N540X.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import derive_power_model
+from repro.hardware import VirtualRouter, router_spec
+from repro.lab import ExperimentPlan, Orchestrator
+from repro.network import (
+    DeployAutopower,
+    FleetConfig,
+    FleetTrafficModel,
+    NetworkSimulation,
+    build_switch_like_network,
+)
+from repro.validation import TelemetryVerdict, validate_router
+
+VALIDATION_MODELS = ("8201-32FH", "NCS-55A1-24H", "N540X-8Z16G-SYS-A")
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """A 4-day monitored run of a small fleet with Autopower on 3 hosts."""
+    config = FleetConfig(
+        model_counts=(
+            ("8201-32FH", 2),
+            ("NCS-55A1-24H", 3),
+            ("NCS-55A1-24Q6H-SS", 3),
+            ("N540X-8Z16G-SYS-A", 2),
+            ("ASR-920-24SZ-M", 5),
+        ),
+        n_regional_pops=3, core_core_links=2)
+    network = build_switch_like_network(config,
+                                        rng=np.random.default_rng(31))
+    hosts = {}
+    for model in VALIDATION_MODELS:
+        hosts[model] = next(h for h in sorted(network.routers)
+                            if network.routers[h].model_name == model)
+    # Heavier-than-default traffic so the diurnal power signal is
+    # clearly visible on the validation routers (as it is in Fig. 4).
+    traffic = FleetTrafficModel(network, rng=np.random.default_rng(32),
+                                n_demands=120,
+                                mean_external_utilisation=0.05,
+                                internal_utilisation_scale=6.0)
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(33))
+    events = [DeployAutopower(at_s=units.hours(3), hostname=h)
+              for h in hosts.values()]
+    result = sim.run(duration_s=units.days(4), step_s=900, events=events,
+                     detailed_hosts=sorted(hosts.values()))
+    return network, hosts, result
+
+
+def derive_for(model_name: str, plans, seed: int):
+    rng = np.random.default_rng(seed)
+    dut = VirtualRouter(router_spec(model_name), rng=rng, noise_std_w=0.2)
+    orchestrator = Orchestrator(dut, rng=rng)
+    suites = [orchestrator.run_suite(plan) for plan in plans]
+    model, _ = derive_power_model(suites)
+    return model
+
+
+@pytest.fixture(scope="module")
+def lab_models():
+    quick = dict(n_pairs_values=(1, 2, 4, 6), rates_gbps=(2.5, 10, 25, 50),
+                 packet_sizes=(256, 1500), snake_n_pairs=3,
+                 measure_duration_s=20, settle_time_s=2)
+    return {
+        "8201-32FH": derive_for("8201-32FH", [
+            ExperimentPlan(trx_name="QSFP-DD-400G-FR4", **quick),
+            ExperimentPlan(trx_name="QSFP-DD-400G-LR4", **quick),
+            ExperimentPlan(trx_name="QSFP-DD-400G-DAC", **quick),
+            ExperimentPlan(trx_name="QSFP28-100G-LR4", **quick),
+        ], seed=101),
+        "NCS-55A1-24H": derive_for("NCS-55A1-24H", [
+            ExperimentPlan(trx_name="QSFP28-100G-DAC", **quick),
+            ExperimentPlan(trx_name="QSFP28-100G-LR4", **quick),
+        ], seed=102),
+        "N540X-8Z16G-SYS-A": derive_for("N540X-8Z16G-SYS-A", [
+            ExperimentPlan(trx_name="SFP+-10G-SR",
+                           n_pairs_values=(1, 2, 3, 4),
+                           rates_gbps=(1, 2.5, 5, 10),
+                           packet_sizes=(256, 1500), snake_n_pairs=2,
+                           measure_duration_s=20, settle_time_s=2),
+            ExperimentPlan(trx_name="SFP-1G-T",
+                           n_pairs_values=(1, 2, 4, 6),
+                           rates_gbps=(0.1, 0.3, 0.6, 0.9),
+                           packet_sizes=(256, 1500), snake_n_pairs=2,
+                           measure_duration_s=20, settle_time_s=2),
+            ExperimentPlan(trx_name="SFP-1G-LX",
+                           n_pairs_values=(1, 2, 4, 6),
+                           rates_gbps=(0.1, 0.3, 0.6, 0.9),
+                           packet_sizes=(256, 1500), snake_n_pairs=2,
+                           measure_duration_s=20, settle_time_s=2),
+        ], seed=103),
+    }
+
+
+@pytest.fixture(scope="module")
+def reports(deployment, lab_models):
+    network, hosts, result = deployment
+    out = {}
+    for model_name, hostname in hosts.items():
+        out[model_name] = validate_router(
+            hostname=hostname,
+            trace=result.snmp[hostname],
+            autopower=result.autopower[hostname],
+            model=lab_models[model_name])
+    return out
+
+
+class TestModelPrecision:
+    """Q3: models precisely predict power, with an offset (Fig. 4)."""
+
+    @pytest.mark.parametrize("model_name", VALIDATION_MODELS)
+    def test_model_offset_bounded(self, reports, model_name):
+        stats = reports[model_name].model_stats
+        assert stats.n_samples > 50
+        # The paper saw 3-13 W offsets; ours must stay the same order
+        # relative to the device's power.
+        autopower_level = reports[model_name].autopower.mean()
+        assert abs(stats.offset_w) < 0.15 * autopower_level
+
+    @pytest.mark.parametrize("model_name", VALIDATION_MODELS)
+    def test_model_is_precise(self, reports, model_name):
+        stats = reports[model_name].model_stats
+        assert stats.verdict() in (TelemetryVerdict.TRUSTWORTHY,
+                                   TelemetryVerdict.PRECISE_NOT_ACCURATE)
+
+    def test_traffic_fluctuations_tracked(self, reports):
+        # The diurnal shape must show up in the prediction (correlation
+        # on the 30-min averaged series).
+        stats = reports["8201-32FH"].model_stats
+        assert stats.correlation > 0.5
+
+    def test_offset_corrected_model_hugs_measurement(self, reports):
+        # The Fig. 9 view: after removing the constant offset, residuals
+        # are small compared to the signal.
+        report = reports["8201-32FH"]
+        corrected = report.offset_corrected_model()
+        from repro.validation import compare_series
+        stats = compare_series(corrected, report.autopower)
+        assert abs(stats.offset_w) < 2.0
+
+
+class TestPsuVerdicts:
+    """Q2: PSU telemetry trustworthiness varies by platform (Fig. 4)."""
+
+    def test_8201_precise_but_offset(self, reports):
+        stats = reports["8201-32FH"].psu_stats
+        assert stats is not None
+        # The 8201's PSU telemetry carries a 15-20 W constant offset.
+        assert 10 < stats.offset_w < 25
+        assert reports["8201-32FH"].psu_verdict() \
+            == TelemetryVerdict.PRECISE_NOT_ACCURATE
+
+    def test_ncs_pseudo_constant(self, reports):
+        report = reports["NCS-55A1-24H"]
+        assert report.psu_verdict() == TelemetryVerdict.UNINFORMATIVE
+
+    def test_n540x_reports_nothing(self, reports):
+        report = reports["N540X-8Z16G-SYS-A"]
+        assert report.psu_verdict() == TelemetryVerdict.ABSENT
+        assert report.psu_series is None
+
+
+class TestAutopowerGroundTruth:
+    def test_external_series_continuous(self, deployment):
+        _network, hosts, result = deployment
+        for hostname in hosts.values():
+            series = result.autopower[hostname]
+            assert series.duration_s > units.days(3.5)
+            assert not np.isnan(series.values).any()

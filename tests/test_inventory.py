@@ -1,0 +1,105 @@
+"""Inventory files: capture, round-trip, diff (§6.2 inputs)."""
+
+import pytest
+
+from repro.hardware import VirtualRouter, router_spec
+from repro.network.inventory import (
+    FleetInventory,
+    InventoryChange,
+    RouterInventory,
+    diff_inventories,
+)
+
+
+@pytest.fixture
+def router(rng):
+    r = VirtualRouter(router_spec("NCS-55A1-24H"), hostname="inv-test",
+                      rng=rng, noise_std_w=0)
+    r.port(0).plug("QSFP28-100G-LR4")
+    r.port(0).set_admin(True)
+    r.port(5).plug("QSFP28-100G-DAC")  # spare: seated, admin-down
+    return r
+
+
+class TestCapture:
+    def test_router_inventory(self, router):
+        inventory = RouterInventory.capture(router)
+        assert inventory.hostname == "inv-test"
+        assert len(inventory.interfaces) == 24
+        assert inventory.modules() == {"Eth0/0": "QSFP28-100G-LR4",
+                                       "Eth0/5": "QSFP28-100G-DAC"}
+
+    def test_spares_identified(self, router):
+        inventory = RouterInventory.capture(router)
+        spares = inventory.spare_modules()
+        assert [s.name for s in spares] == ["Eth0/5"]
+
+    def test_fleet_capture(self, small_fleet):
+        fleet = FleetInventory.capture(small_fleet)
+        assert len(fleet) == len(small_fleet.routers)
+        assert fleet.total_modules() > 50
+
+    def test_module_census(self, small_fleet):
+        census = FleetInventory.capture(small_fleet).module_census()
+        assert sum(census.values()) > 0
+        assert all(count > 0 for count in census.values())
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, small_fleet):
+        fleet = FleetInventory.capture(small_fleet)
+        restored = FleetInventory.from_json(fleet.to_json())
+        assert set(restored.routers) == set(fleet.routers)
+        host = sorted(fleet.routers)[0]
+        assert restored.routers[host].modules() \
+            == fleet.routers[host].modules()
+        assert restored.module_census() == fleet.module_census()
+
+
+class TestDiff:
+    def test_no_change(self, router):
+        a = FleetInventory(routers={"inv-test":
+                                    RouterInventory.capture(router)})
+        b = FleetInventory(routers={"inv-test":
+                                    RouterInventory.capture(router)})
+        assert diff_inventories(a, b) == []
+
+    def test_removal_and_addition(self, router):
+        before = FleetInventory(routers={"inv-test":
+                                         RouterInventory.capture(router)})
+        router.port(0).unplug()                  # the "Oct 9" removal
+        router.port(7).plug("QSFP28-100G-SR4")   # the "Oct 31" addition
+        after = FleetInventory(routers={"inv-test":
+                                        RouterInventory.capture(router)})
+        changes = diff_inventories(before, after)
+        kinds = {(c.interface, c.kind) for c in changes}
+        assert ("Eth0/0", "removed") in kinds
+        assert ("Eth0/7", "added") in kinds
+
+    def test_module_swap_is_changed(self, router):
+        before = FleetInventory(routers={"inv-test":
+                                         RouterInventory.capture(router)})
+        router.port(0).unplug()
+        router.port(0).plug("QSFP28-100G-SR4")
+        after = FleetInventory(routers={"inv-test":
+                                        RouterInventory.capture(router)})
+        changes = diff_inventories(before, after)
+        assert len(changes) == 1
+        assert changes[0].kind == "changed"
+        assert "->" in str(changes[0])
+
+    def test_admin_state_change_is_not_inventory_change(self, router):
+        # §7: taking a port down does not unplug the module -- the
+        # inventory (and its power cost) is unchanged.
+        before = FleetInventory(routers={"inv-test":
+                                         RouterInventory.capture(router)})
+        router.port(0).set_admin(False)
+        after = FleetInventory(routers={"inv-test":
+                                        RouterInventory.capture(router)})
+        assert diff_inventories(before, after) == []
+
+    def test_str_rendering(self):
+        added = InventoryChange("h", "Eth0/1", "added", after="X")
+        removed = InventoryChange("h", "Eth0/1", "removed", before="Y")
+        assert "+ X" in str(added)
+        assert "- Y" in str(removed)

@@ -1,0 +1,123 @@
+"""The NetPowerBench orchestrator: the §5.2 experiment protocol."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import VirtualRouter, router_spec
+from repro.lab import ExperimentPlan, Orchestrator
+
+
+@pytest.fixture
+def orchestrator(quiet_router, rng):
+    return Orchestrator(quiet_router, rng=rng)
+
+
+@pytest.fixture
+def quick_plan():
+    return ExperimentPlan(
+        trx_name="QSFP28-100G-DAC", n_pairs_values=(1, 2, 4),
+        rates_gbps=(10, 50, 100), packet_sizes=(256, 1500),
+        snake_n_pairs=2, measure_duration_s=10, settle_time_s=1)
+
+
+class TestIndividualExperiments:
+    def test_base(self, orchestrator, quick_plan):
+        frame = orchestrator.run_base(quick_plan)
+        assert frame.experiment == "base"
+        assert frame.summary.mean_w == pytest.approx(
+            orchestrator.dut.wall_power_w(include_noise=False), rel=0.02)
+
+    def test_idle_increases_with_pairs(self, orchestrator, quick_plan):
+        # Plugging more LR4 optics must raise idle power measurably.
+        plan = ExperimentPlan(trx_name="QSFP28-100G-LR4",
+                              measure_duration_s=10, settle_time_s=1)
+        one = orchestrator.run_idle(plan, 1)
+        four = orchestrator.run_idle(plan, 4)
+        # 6 extra modules at 2.79 W each.
+        assert four.summary.mean_w - one.summary.mean_w \
+            == pytest.approx(6 * 2.79, abs=1.5)
+
+    def test_port_vs_trx_ladder(self, orchestrator, quick_plan):
+        idle = orchestrator.run_idle(quick_plan, 4)
+        port = orchestrator.run_port(quick_plan, 4)
+        trx = orchestrator.run_trx(quick_plan, 4)
+        assert idle.summary.mean_w < port.summary.mean_w < trx.summary.mean_w
+
+    def test_snake_carries_traffic(self, orchestrator, quick_plan):
+        trx = orchestrator.run_trx(quick_plan, 2)
+        snake = orchestrator.run_snake(quick_plan, 2, 100, 256)
+        assert snake.flow is not None
+        assert snake.flow.packet_bytes == 256
+        assert snake.summary.mean_w > trx.summary.mean_w
+
+    def test_snake_at_lower_configured_speed(self, orchestrator):
+        plan = ExperimentPlan(trx_name="QSFP28-100G-DAC", speed_gbps=25,
+                              measure_duration_s=10, settle_time_s=1)
+        frame = orchestrator.run_snake(plan, 2, 25, 1500)
+        assert frame.speed_gbps == 25
+
+
+class TestFullSuite:
+    def test_suite_structure(self, orchestrator, quick_plan):
+        suite = orchestrator.run_suite(quick_plan)
+        assert suite.dut_model == "NCS-55A1-24H"
+        assert len(suite.of("base")) == 1
+        assert len(suite.of("idle")) == 3
+        assert len(suite.of("port")) == 3
+        assert len(suite.of("trx")) == 3
+        assert len(suite.of("snake")) == 6  # 3 rates x 2 sizes
+        by_size = suite.snake_by_packet_size()
+        assert set(by_size) == {256, 1500}
+
+    def test_suite_resets_dut(self, orchestrator, quick_plan):
+        orchestrator.run_suite(quick_plan)
+        assert all(not p.plugged for p in orchestrator.dut.ports)
+
+    def test_rates_clipped_to_speed(self, orchestrator):
+        plan = ExperimentPlan(trx_name="QSFP28-100G-DAC", speed_gbps=25,
+                              rates_gbps=(10, 25, 50, 100),
+                              n_pairs_values=(1, 2), packet_sizes=(1500,),
+                              measure_duration_s=5, settle_time_s=1)
+        suite = orchestrator.run_suite(plan)
+        assert all(f.flow.bit_rate_gbps <= 25.1 for f in suite.of("snake"))
+
+    def test_too_many_pairs_rejected(self, orchestrator):
+        plan = ExperimentPlan(trx_name="QSFP28-100G-DAC",
+                              n_pairs_values=(50, 60),
+                              measure_duration_s=5)
+        with pytest.raises(ValueError, match="pair"):
+            orchestrator.run_suite(plan)
+
+    def test_base_power_property(self, orchestrator, quick_plan):
+        suite = orchestrator.run_suite(quick_plan)
+        assert suite.base_power_w == pytest.approx(
+            orchestrator.dut.wall_power_w(include_noise=False), rel=0.02)
+
+    def test_rj45_device_suite(self, rng):
+        # Fixed-copper platforms run the same protocol via pseudo-modules.
+        dut = VirtualRouter(router_spec("Catalyst 3560"), rng=rng,
+                            noise_std_w=0.0)
+        orchestrator = Orchestrator(dut, rng=rng)
+        plan = ExperimentPlan(trx_name="RJ45-100M-T",
+                              n_pairs_values=(2, 4, 8),
+                              rates_gbps=(0.02, 0.05, 0.1),
+                              packet_sizes=(64, 1500), snake_n_pairs=4,
+                              measure_duration_s=5, settle_time_s=1)
+        suite = orchestrator.run_suite(plan)
+        assert suite.base_power_w == pytest.approx(40.0, rel=0.1)
+
+
+class TestMeasurementFrames:
+    def test_unknown_experiment_rejected(self):
+        from repro.lab.orchestrator import MeasurementFrame
+        from repro.lab.power_meter import PowerSummary
+        summary = PowerSummary(1, 0, 1, 2, 1)
+        with pytest.raises(ValueError, match="unknown experiment"):
+            MeasurementFrame(experiment="warp", n_pairs=1, trx_name=None,
+                             speed_gbps=None, summary=summary)
+
+    def test_measure_validates_arguments(self, orchestrator):
+        with pytest.raises(ValueError):
+            orchestrator.measure(0, 1)
+        with pytest.raises(ValueError):
+            orchestrator.measure(10, 0)

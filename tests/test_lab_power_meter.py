@@ -1,0 +1,81 @@
+"""The simulated MCP39F511N power meter."""
+
+import numpy as np
+import pytest
+
+from repro.lab.power_meter import (
+    MCP39F511N_ACCURACY,
+    PowerMeter,
+    PowerSample,
+    summarize,
+)
+
+
+class TestMeterErrorModel:
+    def test_gain_within_spec(self, rng):
+        gains = [PowerMeter(rng=np.random.default_rng(i)).channels[0].gain
+                 for i in range(200)]
+        assert all(abs(g - 1.0) <= MCP39F511N_ACCURACY for g in gains)
+        assert np.std(gains) > 0  # different meters differ
+
+    def test_gain_constant_per_session(self, rng):
+        meter = PowerMeter(rng=rng)
+        meter.attach(lambda: 100.0)
+        readings = [meter.read(i).power_w for i in range(100)]
+        # Same gain throughout: spread is additive noise only.
+        assert np.std(readings) < 0.3
+
+    def test_mean_close_to_truth(self, rng):
+        meter = PowerMeter(rng=rng)
+        meter.attach(lambda: 350.0)
+        readings = [meter.read(i).power_w for i in range(500)]
+        assert np.mean(readings) == pytest.approx(350.0, rel=0.006)
+
+    def test_quantisation(self, rng):
+        meter = PowerMeter(rng=rng)
+        meter.attach(lambda: 123.456789)
+        value = meter.read(0).power_w
+        assert round(value * 100) == pytest.approx(value * 100)
+
+    def test_unplugged_channel_reads_zero(self, rng):
+        meter = PowerMeter(rng=rng, noise_std_w=0.0)
+        assert meter.read(0, channel=1).power_w == 0.0
+
+    def test_two_channels_independent(self, rng):
+        meter = PowerMeter(rng=rng, noise_std_w=0.0)
+        meter.attach(lambda: 100.0, channel=0)
+        meter.attach(lambda: 5.0, channel=1)
+        assert meter.read(0, channel=0).power_w == pytest.approx(100, rel=0.01)
+        assert meter.read(0, channel=1).power_w == pytest.approx(5, rel=0.01)
+
+    def test_detach(self, rng):
+        meter = PowerMeter(rng=rng, noise_std_w=0.0)
+        meter.attach(lambda: 42.0)
+        meter.detach()
+        assert meter.read(0).power_w == 0.0
+
+    def test_never_negative(self):
+        meter = PowerMeter(rng=np.random.default_rng(0), noise_std_w=5.0)
+        meter.attach(lambda: 0.5)
+        assert all(meter.read(i).power_w >= 0 for i in range(200))
+
+
+class TestSummarize:
+    def test_statistics(self):
+        samples = [PowerSample(timestamp_s=float(i), power_w=w)
+                   for i, w in enumerate([10, 12, 11, 13, 14])]
+        summary = summarize(samples)
+        assert summary.mean_w == pytest.approx(12.0)
+        assert summary.median_w == pytest.approx(12.0)
+        assert summary.n_samples == 5
+        assert summary.duration_s == pytest.approx(4.0)
+        assert summary.sem_w == pytest.approx(summary.std_w / np.sqrt(5))
+
+    def test_single_sample(self):
+        summary = summarize([PowerSample(0.0, 7.0)])
+        assert summary.std_w == 0.0
+        assert summary.sem_w == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,110 @@
+"""Cabling layouts: pair cabling and the RFC 8239 snake."""
+
+import pytest
+
+from repro.lab.snake import (
+    apply_snake_traffic,
+    cable_pairs,
+    cable_snake,
+    clear_traffic,
+    teardown,
+)
+from repro.lab.traffic_gen import Flow
+
+
+@pytest.fixture
+def plugged_router(quiet_router):
+    for i in range(8):
+        quiet_router.port(i).plug("QSFP28-100G-DAC")
+    return quiet_router
+
+
+class TestPairCabling:
+    def test_pairs_link_up_together(self, plugged_router):
+        ports = plugged_router.ports[:8]
+        cable_pairs(ports)
+        for port in ports:
+            port.set_admin(True)
+        assert all(p.link_up for p in ports)
+        assert ports[0].peer is ports[1]
+        assert ports[6].peer is ports[7]
+
+    def test_odd_count_rejected(self, plugged_router):
+        with pytest.raises(ValueError, match="even"):
+            cable_pairs(plugged_router.ports[:3])
+
+
+class TestSnakeCabling:
+    def test_chain_topology(self, plugged_router):
+        ports = plugged_router.ports[:6]
+        layout = cable_snake(ports)
+        assert layout.n_pairs == 3
+        # First and last port face the orchestrator.
+        assert ports[0].peer is layout.host_tx
+        assert ports[5].peer is layout.host_rx
+        # Interior ports chain pairwise.
+        assert ports[1].peer is ports[2]
+        assert ports[3].peer is ports[4]
+
+    def test_links_come_up(self, plugged_router):
+        ports = plugged_router.ports[:6]
+        cable_snake(ports)
+        for port in ports:
+            port.set_admin(True)
+        assert all(p.link_up for p in ports)
+
+    def test_odd_count_rejected(self, plugged_router):
+        with pytest.raises(ValueError, match="even"):
+            cable_snake(plugged_router.ports[:5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cable_snake([])
+
+
+class TestSnakeTraffic:
+    def test_every_interface_carries_the_flow_once(self, plugged_router):
+        ports = plugged_router.ports[:6]
+        layout = cable_snake(ports)
+        for port in ports:
+            port.set_admin(True)
+        flow = Flow(bit_rate_bps=10e9, packet_bytes=1500, tool="ib_send_bw")
+        apply_snake_traffic(layout, flow)
+        for port in ports:
+            assert port.traffic.total_bps == pytest.approx(10e9)
+
+    def test_total_dynamic_power_scales_with_port_count(self, plugged_router):
+        ports = plugged_router.ports[:6]
+        layout = cable_snake(ports)
+        for port in ports:
+            port.set_admin(True)
+        flow = Flow(bit_rate_bps=10e9, packet_bytes=1500, tool="ib_send_bw")
+        apply_snake_traffic(layout, flow)
+        single = ports[0].dynamic_power_w()
+        total = sum(p.dynamic_power_w() for p in ports)
+        assert total == pytest.approx(6 * single)
+
+    def test_clear_traffic(self, plugged_router):
+        ports = plugged_router.ports[:6]
+        layout = cable_snake(ports)
+        for port in ports:
+            port.set_admin(True)
+        apply_snake_traffic(layout, Flow(5e9, 512, "ib_send_bw"))
+        clear_traffic(ports)
+        assert all(p.traffic.total_bps == 0 for p in ports)
+
+
+class TestTeardown:
+    def test_returns_to_pristine(self, plugged_router):
+        ports = plugged_router.ports[:6]
+        cable_snake(ports)
+        for port in ports:
+            port.set_admin(True)
+            port.set_speed(50)
+        teardown(plugged_router.ports)
+        for port in plugged_router.ports:
+            assert not port.plugged
+            assert not port.admin_up
+            assert port.cable is None
+            assert port.configured_speed_gbps is None
+        assert plugged_router.wall_referred_power_w() == pytest.approx(320.0)

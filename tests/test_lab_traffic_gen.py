@@ -1,0 +1,61 @@
+"""The lab traffic generator (ib_send_bw / iperf3 behaviours)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.lab.traffic_gen import (
+    IB_SEND_BW_MIN_GBPS,
+    Flow,
+    TrafficGenerator,
+)
+
+
+class TestToolSelection:
+    def test_high_rates_use_ib_send_bw(self, rng):
+        gen = TrafficGenerator(rng=rng)
+        assert gen.start_flow(100, 1500).tool == "ib_send_bw"
+        assert gen.start_flow(IB_SEND_BW_MIN_GBPS, 1500).tool == "ib_send_bw"
+
+    def test_low_rates_use_iperf(self, rng):
+        gen = TrafficGenerator(rng=rng)
+        assert gen.start_flow(1.0, 1500).tool == "iperf3-udp"
+        assert gen.start_flow(0.1, 64).tool == "iperf3-udp"
+
+
+class TestAchievedRates:
+    def test_undershoots_slightly(self, rng):
+        gen = TrafficGenerator(rng=rng)
+        flows = [gen.start_flow(50, 1500) for _ in range(300)]
+        achieved = np.array([f.bit_rate_gbps for f in flows])
+        assert np.all(achieved <= 50.0)
+        assert np.all(achieved > 49.0)
+
+    def test_flow_packet_rate(self, rng):
+        gen = TrafficGenerator(rng=rng, rate_jitter=0.0)
+        flow = gen.start_flow(10, 1500)
+        assert flow.packet_rate_pps == pytest.approx(
+            units.packet_rate(flow.bit_rate_bps, 1500))
+
+    def test_sweep(self, rng):
+        gen = TrafficGenerator(rng=rng)
+        flows = gen.sweep_rates([2.5, 5, 10], 512)
+        assert [round(f.bit_rate_gbps) for f in flows] == [2, 5, 10]
+        assert all(f.packet_bytes == 512 for f in flows)
+
+
+class TestValidation:
+    def test_rate_above_nic_rejected(self, rng):
+        gen = TrafficGenerator(rng=rng, max_rate_gbps=100)
+        with pytest.raises(ValueError, match="line rate"):
+            gen.start_flow(400, 1500)
+
+    def test_nonpositive_rate_rejected(self, rng):
+        gen = TrafficGenerator(rng=rng)
+        with pytest.raises(ValueError):
+            gen.start_flow(0, 1500)
+
+    def test_silly_packet_size_rejected(self, rng):
+        gen = TrafficGenerator(rng=rng)
+        with pytest.raises(ValueError, match="packet size"):
+            gen.start_flow(10, 32)

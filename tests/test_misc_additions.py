@@ -1,0 +1,120 @@
+"""Smaller additions: Table-5 helper, the Autopower status page,
+traffic-matrix conservation properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import PortType, VirtualRouter, router_spec
+from repro.lab.power_meter import PowerSample
+from repro.network.traffic import Demand, TrafficMatrix
+from repro.sleep.savings import table5_from_models
+from repro.telemetry.autopower import AutopowerServer
+
+
+class TestTable5Helper:
+    def test_averages_across_models(self, ncs_model):
+        table = table5_from_models([ncs_model])
+        assert PortType.QSFP28 in table
+        assert table[PortType.QSFP28] == pytest.approx(0.32, rel=0.35)
+
+    def test_feeds_plan_savings(self, small_fleet, ncs_model):
+        from repro.network import FleetTrafficModel
+        from repro.sleep import Hypnos, plan_savings
+        traffic = FleetTrafficModel(small_fleet,
+                                    rng=np.random.default_rng(13),
+                                    n_demands=100)
+        plan = Hypnos(small_fleet, traffic.matrix).plan(0, 3600.0)
+        table = table5_from_models([ncs_model])
+        estimate = plan_savings(small_fleet, plan,
+                                small_fleet.total_wall_power_w(),
+                                p_port_by_type=table)
+        assert estimate.lower_w >= 0
+
+    def test_empty_models(self):
+        assert table5_from_models([]) == {}
+
+
+class TestStatusPage:
+    def test_renders_units_and_state(self):
+        server = AutopowerServer()
+        server.register("autopower-sw001")
+        server.receive_chunk("autopower-sw001",
+                             [PowerSample(0.0, 365.2),
+                              PowerSample(0.5, 365.4)])
+        server.register("autopower-sw002")
+        server.stop_measurement("autopower-sw002")
+        page = server.status_page()
+        assert "autopower-sw001" in page
+        assert "measuring" in page
+        assert "stopped" in page
+        assert "365.4 W" in page
+
+    def test_empty_server(self):
+        page = AutopowerServer().status_page()
+        assert "unit" in page  # header only
+
+
+class TestTrafficConservation:
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_volume_conserved_under_reroute(self, n_demands, n_removals,
+                                            ):
+        from repro.network import FleetConfig, build_switch_like_network
+        config = FleetConfig(
+            model_counts=(("NCS-55A1-24H", 3), ("ASR-920-24SZ-M", 4)),
+            n_regional_pops=2, core_core_links=1)
+        network = build_switch_like_network(config,
+                                            rng=np.random.default_rng(5))
+        hosts = sorted(network.routers)
+        demands = [Demand(src=hosts[i % len(hosts)],
+                          dst=hosts[(i * 3 + 1) % len(hosts)],
+                          base_bps=1e9)
+                   for i in range(n_demands)
+                   if hosts[i % len(hosts)]
+                   != hosts[(i * 3 + 1) % len(hosts)]]
+        if not demands:
+            return
+        matrix = TrafficMatrix(network, demands)
+        routed = sum(1 for p in matrix.paths if p)
+        loads = matrix.base_link_loads()
+
+        # Remove up to n_removals currently-unused links: routed volume
+        # (hop-weighted) must not change at all.
+        unused = [lid for lid, load in loads.items() if load == 0]
+        removed = set(unused[:n_removals])
+        if removed:
+            rerouted = matrix.reroute_without(removed)
+            assert sum(1 for p in rerouted.paths if p) == routed
+            assert rerouted.base_link_loads().keys() \
+                == (loads.keys() - removed)
+
+    def test_loads_nonnegative_and_bounded(self, small_fleet, rng):
+        from repro.network import FleetTrafficModel
+        model = FleetTrafficModel(small_fleet, rng=rng, n_demands=100)
+        for t in (0.0, 3600.0, 86400.0):
+            for rate in model.internal_rates_at(t).values():
+                assert rate >= 0
+            for rate in model.external_rates_at(t).values():
+                assert rate >= 0
+
+
+class TestPortSpeedConfiguration:
+    """Clocking ports down (Table 2 a's 50/25G rows) end to end."""
+
+    def test_speed_change_changes_class(self, rng):
+        router = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                               noise_std_w=0)
+        port = router.port(0)
+        port.plug("QSFP28-100G-DAC")
+        assert port.class_truth().p_port_w == pytest.approx(0.32)
+        port.set_speed(25)
+        assert port.class_truth().p_port_w == pytest.approx(0.10)
+        port.set_speed(None)
+        assert port.class_truth().p_port_w == pytest.approx(0.32)
+
+    def test_invalid_speed_rejected(self, rng):
+        router = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng)
+        with pytest.raises(ValueError):
+            router.port(0).set_speed(0)

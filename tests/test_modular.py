@@ -1,0 +1,164 @@
+"""The §4.3 modular-router extension: chassis, linecards, P_linecard."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PowerModel
+from repro.hardware import connect
+from repro.hardware.modular import (
+    CHASSIS_CATALOG,
+    LINECARD_CATALOG,
+    ModularRouter,
+    chassis_spec,
+    linecard_spec,
+)
+from repro.lab.modular import ModularOrchestrator
+
+
+@pytest.fixture
+def chassis(rng):
+    return ModularRouter(chassis_spec("MOD-CHASSIS-6"), rng=rng,
+                         noise_std_w=0.0)
+
+
+class TestChassisBasics:
+    def test_empty_chassis_power(self, chassis):
+        assert chassis.wall_referred_power_w() == pytest.approx(540.0)
+        assert chassis.ports == []
+        assert chassis.n_slots == 6
+
+    def test_unknown_lookups(self):
+        with pytest.raises(KeyError, match="known cards"):
+            linecard_spec("LC-NOPE")
+        with pytest.raises(KeyError, match="known chassis"):
+            chassis_spec("CHASSIS-NOPE")
+
+    def test_catalog_sane(self):
+        for card in LINECARD_CATALOG.values():
+            assert card.p_card_w > 0
+            assert card.total_ports > 0
+        for spec in CHASSIS_CATALOG.values():
+            assert spec.n_slots > 0
+
+
+class TestLinecardLifecycle:
+    def test_insert_adds_power_and_ports(self, chassis):
+        base = chassis.wall_referred_power_w()
+        ports = chassis.insert_linecard(0, "LC-8X100GE")
+        assert len(ports) == 8
+        assert chassis.wall_referred_power_w() - base == pytest.approx(310.0)
+        assert chassis.linecards() == {0: "LC-8X100GE"}
+
+    def test_mixed_cards(self, chassis):
+        chassis.insert_linecard(0, "LC-24X10GE")
+        chassis.insert_linecard(3, "LC-4X400GE")
+        assert chassis.wall_referred_power_w() == pytest.approx(
+            540.0 + 180.0 + 405.0)
+        assert len(chassis.ports) == 28
+
+    def test_remove_restores(self, chassis):
+        chassis.insert_linecard(2, "LC-8X100GE")
+        removed = chassis.remove_linecard(2)
+        assert removed.name == "LC-8X100GE"
+        assert chassis.wall_referred_power_w() == pytest.approx(540.0)
+        assert chassis.ports == []
+        assert chassis.remove_linecard(2) is None  # idempotent
+
+    def test_slot_conflicts(self, chassis):
+        chassis.insert_linecard(0, "LC-8X100GE")
+        with pytest.raises(ValueError, match="already holds"):
+            chassis.insert_linecard(0, "LC-24X10GE")
+        with pytest.raises(IndexError, match="slots 0..5"):
+            chassis.insert_linecard(6, "LC-24X10GE")
+
+    def test_port_names_by_slot(self, chassis):
+        ports = chassis.insert_linecard(1, "LC-4X400GE")
+        assert [p.name for p in ports] == [
+            "Slot1/0", "Slot1/1", "Slot1/2", "Slot1/3"]
+
+
+class TestCardInterfaces:
+    def test_card_class_truth_applies(self, chassis):
+        ports = chassis.insert_linecard(0, "LC-8X100GE")
+        base = chassis.wall_referred_power_w()
+        ports[0].plug("QSFP28-100G-LR4")
+        # The card's class says P_trx,in = 2.79 for LR4.
+        assert chassis.wall_referred_power_w() - base == pytest.approx(2.79)
+
+    def test_card_traffic_power(self, chassis):
+        ports = chassis.insert_linecard(0, "LC-8X100GE")
+        for p in ports[:2]:
+            p.plug("QSFP28-100G-DAC")
+            p.set_admin(True)
+        connect(ports[0], ports[1])
+        before = chassis.wall_referred_power_w()
+        ports[0].offer_traffic(rx_bps=0, tx_bps=50e9, packet_bytes=1500)
+        delta = chassis.wall_referred_power_w() - before
+        # e_bit 9 pJ x 50 Gbps dominates.
+        assert delta == pytest.approx(0.15 + 9e-12 * 50e9
+                                      + 20e-9 * 50e9 / (8 * 1538),
+                                      rel=0.01)
+
+    def test_unknown_class_falls_back_to_defaults(self, chassis):
+        ports = chassis.insert_linecard(0, "LC-24X10GE")
+        ports[0].plug("SFP+-10G-SR")  # no SR class on the card
+        truth = ports[0].class_truth()
+        assert truth.p_port_w == pytest.approx(0.55)  # Table 5 default
+
+
+class TestLinecardDerivation:
+    def test_p_linecard_round_trip(self, rng):
+        dut = ModularRouter(chassis_spec("MOD-CHASSIS-6"), rng=rng,
+                            noise_std_w=0.2)
+        orchestrator = ModularOrchestrator(dut, rng=rng)
+        report = orchestrator.derive_linecard(
+            "LC-8X100GE", counts=(1, 2, 3, 4, 5), duration_s=20,
+            settle_s=2)
+        assert report.p_card.value == pytest.approx(310.0, rel=0.05)
+        assert report.fit.r_squared > 0.99
+        assert report.chassis_power_w.value == pytest.approx(540.0,
+                                                             rel=0.05)
+
+    def test_full_modular_model(self, rng):
+        dut = ModularRouter(chassis_spec("MOD-CHASSIS-6"), rng=rng,
+                            noise_std_w=0.2)
+        orchestrator = ModularOrchestrator(dut, rng=rng)
+        model, reports = orchestrator.derive_model(
+            ["LC-24X10GE", "LC-4X400GE"], counts=(1, 2, 4),
+            duration_s=15, settle_s=2)
+        assert model.linecards["LC-24X10GE"].value == pytest.approx(
+            180.0, rel=0.08)
+        assert model.linecards["LC-4X400GE"].value == pytest.approx(
+            405.0, rel=0.08)
+        # Prediction for a populated chassis.
+        predicted = model.predict_modular_power_w(
+            ["LC-24X10GE", "LC-4X400GE", "LC-4X400GE"], [])
+        assert predicted == pytest.approx(540 + 180 + 2 * 405, rel=0.05)
+
+    def test_unknown_card_in_prediction(self):
+        model = PowerModel.__new__(PowerModel)
+        model.__init__(router_model="x",
+                       p_base_w=__import__(
+                           "repro.core.model",
+                           fromlist=["fitted"]).fitted(100.0))
+        with pytest.raises(KeyError, match="known cards"):
+            model.linecard_power_w(["LC-MYSTERY"])
+
+    def test_count_validation(self, rng):
+        dut = ModularRouter(chassis_spec("MOD-CHASSIS-6"), rng=rng)
+        orchestrator = ModularOrchestrator(dut, rng=rng)
+        with pytest.raises(ValueError, match="two distinct"):
+            orchestrator.derive_linecard("LC-8X100GE", counts=(2,))
+        with pytest.raises(ValueError, match="slots"):
+            orchestrator.derive_linecard("LC-8X100GE", counts=(1, 9))
+
+
+class TestModularSerialisation:
+    def test_linecards_survive_round_trip(self, rng):
+        from repro.core.model import fitted
+        model = PowerModel(router_model="MOD-CHASSIS-6",
+                           p_base_w=fitted(540.0, 1.0))
+        model.add_linecard_model("LC-8X100GE", fitted(310.0, 2.0))
+        restored = PowerModel.from_dict(model.to_dict())
+        assert restored.linecards["LC-8X100GE"].value == 310.0
+        assert restored.linecards["LC-8X100GE"].stderr == 2.0

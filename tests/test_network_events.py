@@ -1,0 +1,153 @@
+"""Direct unit tests of the operational event types."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.network import (
+    AddExternalInterface,
+    Commission,
+    Decommission,
+    DeployAutopower,
+    FleetEvent,
+    FleetTrafficModel,
+    NetworkSimulation,
+    OsUpdate,
+    PowerCycle,
+    SetAdminState,
+    UnplugModule,
+)
+
+
+class _FakeSim:
+    """Just enough of a simulation for apply() to act on."""
+
+    def __init__(self, network):
+        self.network = network
+        self.deployed = []
+        self.topology_changes = []
+
+    def deploy_autopower(self, hostname):
+        self.deployed.append(hostname)
+
+    def on_topology_change(self, new_external=None):
+        self.topology_changes.append(new_external)
+
+
+@pytest.fixture
+def sim(small_fleet):
+    return _FakeSim(small_fleet)
+
+
+def active_port(network):
+    for hostname in sorted(network.routers):
+        for port in network.routers[hostname].ports:
+            if port.plugged and port.link_up:
+                return hostname, port.index
+    raise AssertionError("no active port")
+
+
+class TestEventSemantics:
+    def test_base_class_is_abstract(self, sim):
+        with pytest.raises(NotImplementedError):
+            FleetEvent(at_s=0.0).apply(sim)
+
+    def test_unplug_module(self, sim, small_fleet):
+        hostname, index = active_port(small_fleet)
+        port = small_fleet.routers[hostname].port(index)
+        UnplugModule(at_s=0, hostname=hostname, port_index=index).apply(sim)
+        assert not port.plugged
+        assert not port.admin_up
+        assert port.cable is None
+
+    def test_set_admin_state_preserves_module(self, sim, small_fleet):
+        hostname, index = active_port(small_fleet)
+        port = small_fleet.routers[hostname].port(index)
+        module = port.transceiver
+        SetAdminState(at_s=0, hostname=hostname, port_index=index,
+                      up=False).apply(sim)
+        assert port.transceiver is module  # §7: down != unplugged
+        SetAdminState(at_s=0, hostname=hostname, port_index=index,
+                      up=True).apply(sim)
+        assert port.link_up
+
+    def test_add_external_interface_registers_link(self, sim, small_fleet):
+        hostname = sorted(small_fleet.routers)[0]
+        router = small_fleet.routers[hostname]
+        free = next(p for p in router.ports if not p.plugged)
+        n_before = len(small_fleet.links)
+        trx = ("QSFP-DD-400G-FR4"
+               if free.port_type.value == "QSFP-DD" else "SFP+-10G-LR"
+               if free.port_type.value in ("SFP+", "SFP28") else
+               "QSFP28-100G-LR4" if free.port_type.value == "QSFP28"
+               else "SFP-1G-LX")
+        AddExternalInterface(at_s=0, hostname=hostname,
+                             port_index=free.index,
+                             trx_name=trx).apply(sim)
+        assert len(small_fleet.links) == n_before + 1
+        new_link = small_fleet.links[-1]
+        assert not new_link.is_internal
+        assert sim.topology_changes == [new_link]
+        # Link ids stay unique.
+        ids = [l.link_id for l in small_fleet.links]
+        assert len(ids) == len(set(ids))
+
+    def test_os_update_accumulates(self, sim, small_fleet):
+        hostname = sorted(small_fleet.routers)[0]
+        router = small_fleet.routers[hostname]
+        OsUpdate(at_s=0, hostname=hostname, fan_bump_w=45).apply(sim)
+        OsUpdate(at_s=0, hostname=hostname, fan_bump_w=10).apply(sim)
+        assert router.fan_bump_w == 55
+
+    def test_decommission_and_commission(self, sim, small_fleet):
+        hostname = sorted(small_fleet.routers)[0]
+        router = small_fleet.routers[hostname]
+        Decommission(at_s=0, hostname=hostname).apply(sim)
+        assert not router.powered
+        Commission(at_s=0, hostname=hostname).apply(sim)
+        assert router.powered
+
+    def test_power_cycle(self, sim, small_fleet):
+        hostname = sorted(small_fleet.routers)[0]
+        boots = small_fleet.routers[hostname]._boots
+        PowerCycle(at_s=0, hostname=hostname).apply(sim)
+        assert small_fleet.routers[hostname]._boots == boots + 1
+
+    def test_deploy_autopower_delegates(self, sim, small_fleet):
+        hostname = sorted(small_fleet.routers)[0]
+        DeployAutopower(at_s=0, hostname=hostname).apply(sim)
+        assert sim.deployed == [hostname]
+
+    def test_unknown_hostname_fails_loudly(self, sim):
+        with pytest.raises(KeyError, match="unknown router"):
+            OsUpdate(at_s=0, hostname="ghost").apply(sim)
+
+
+class TestEventOrdering:
+    def test_events_fire_in_time_order(self, small_fleet, rng):
+        traffic = FleetTrafficModel(small_fleet, rng=rng, n_demands=40)
+        sim = NetworkSimulation(small_fleet, traffic,
+                                rng=np.random.default_rng(4))
+        hostname = sorted(small_fleet.routers)[0]
+        router = small_fleet.routers[hostname]
+        # Deliberately out of order in the list.
+        events = [
+            OsUpdate(at_s=units.hours(2), hostname=hostname,
+                     fan_bump_w=20),
+            OsUpdate(at_s=units.hours(1), hostname=hostname,
+                     fan_bump_w=10),
+        ]
+        sim.run(duration_s=units.hours(1.5), step_s=900, events=events)
+        # Only the earlier event has fired so far.
+        assert router.fan_bump_w == 10
+
+    def test_same_timestamp_events_all_fire(self, small_fleet, rng):
+        traffic = FleetTrafficModel(small_fleet, rng=rng, n_demands=40)
+        sim = NetworkSimulation(small_fleet, traffic,
+                                rng=np.random.default_rng(4))
+        hostname = sorted(small_fleet.routers)[0]
+        router = small_fleet.routers[hostname]
+        events = [OsUpdate(at_s=900, hostname=hostname, fan_bump_w=5)
+                  for _ in range(3)]
+        sim.run(duration_s=units.hours(1), step_s=900, events=events)
+        assert router.fan_bump_w == 15

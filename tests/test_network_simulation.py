@@ -1,0 +1,146 @@
+"""Fleet simulation: events, collection, and the Fig. 1 aggregates."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.network import (
+    AddExternalInterface,
+    Commission,
+    Decommission,
+    DeployAutopower,
+    FleetTrafficModel,
+    NetworkSimulation,
+    OsUpdate,
+    PowerCycle,
+    SetAdminState,
+    UnplugModule,
+)
+
+
+@pytest.fixture
+def sim(small_fleet, rng):
+    traffic = FleetTrafficModel(small_fleet, rng=rng, n_demands=100)
+    return NetworkSimulation(small_fleet, traffic,
+                             rng=np.random.default_rng(3))
+
+
+class TestBasicRun:
+    def test_result_shapes(self, sim):
+        result = sim.run(duration_s=units.hours(6), step_s=600)
+        assert len(result.total_power) == 36
+        assert len(result.total_traffic_bps) == 36
+        assert len(result.snmp) == 18
+        assert result.sensor_exports  # §9.2 export comes along
+
+    def test_power_plausible_and_traffic_flowing(self, sim, small_fleet):
+        result = sim.run(duration_s=units.hours(3), step_s=600)
+        instant = small_fleet.total_wall_power_w()
+        assert result.total_power.mean() == pytest.approx(instant, rel=0.05)
+        assert result.total_traffic_bps.mean() > 0
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.run(duration_s=0, step_s=300)
+        with pytest.raises(ValueError):
+            sim.run(duration_s=300, step_s=0)
+
+
+class TestEvents:
+    def _host_with_module(self, fleet):
+        for hostname in sorted(fleet.routers):
+            router = fleet.routers[hostname]
+            for port in router.ports:
+                if port.plugged and port.link_up:
+                    return hostname, port.index
+        raise AssertionError("no active port found")
+
+    def test_os_update_bumps_power(self, sim, small_fleet):
+        host = sorted(small_fleet.routers)[0]
+        result = sim.run(
+            duration_s=units.hours(8), step_s=600,
+            events=[OsUpdate(at_s=units.hours(4), hostname=host,
+                             fan_bump_w=45.0)])
+        power = result.snmp[host].power.valid()
+        before = power.slice(0, units.hours(4)).mean()
+        after = power.slice(units.hours(4) + 600, units.hours(8)).mean()
+        assert after - before == pytest.approx(45.0, abs=8.0)
+
+    def test_unplug_module_drops_power(self, sim, small_fleet):
+        host, port_idx = self._host_with_module(small_fleet)
+        port = small_fleet.routers[host].port(port_idx)
+        truth = port.class_truth()
+        drop = truth.p_trx_in_w + truth.p_trx_up_w + truth.p_port_w
+        result = sim.run(
+            duration_s=units.hours(8), step_s=600,
+            events=[UnplugModule(at_s=units.hours(4), hostname=host,
+                                 port_index=port_idx)])
+        assert not port.plugged
+        power = result.snmp[host].power.valid()
+        if len(power) > 0 and drop > 1.0:
+            before = power.slice(0, units.hours(4)).mean()
+            after = power.slice(units.hours(4) + 600, units.hours(8)).mean()
+            assert before - after > 0.2 * drop
+
+    def test_admin_down_keeps_module_drawing(self, sim, small_fleet):
+        host, port_idx = self._host_with_module(small_fleet)
+        port = small_fleet.routers[host].port(port_idx)
+        sim.run(duration_s=units.hours(2), step_s=600,
+                events=[SetAdminState(at_s=600, hostname=host,
+                                      port_index=port_idx, up=False)])
+        assert port.plugged and not port.admin_up
+        truth = port.class_truth()
+        assert port.static_power_w() == pytest.approx(truth.p_trx_in_w)
+
+    def test_decommission_and_commission(self, sim, small_fleet):
+        host = sorted(small_fleet.routers)[-1]
+        result = sim.run(
+            duration_s=units.hours(9), step_s=600,
+            events=[Decommission(at_s=units.hours(3), hostname=host),
+                    Commission(at_s=units.hours(6), hostname=host)])
+        total = result.total_power
+        mid = total.slice(units.hours(3) + 600, units.hours(6)).mean()
+        tail = total.slice(units.hours(6) + 600, units.hours(9)).mean()
+        assert tail - mid > 20  # the Fig. 1 commissioning step
+
+    def test_add_external_interface(self, sim, small_fleet):
+        host = sorted(small_fleet.routers)[0]
+        router = small_fleet.routers[host]
+        free = next(p.index for p in router.ports if not p.plugged)
+        n_links = len(small_fleet.links)
+        sim.run(duration_s=units.hours(2), step_s=600,
+                events=[AddExternalInterface(
+                    at_s=600, hostname=host, port_index=free,
+                    trx_name="QSFP-DD-400G-FR4"
+                    if router.port(free).port_type.value == "QSFP-DD"
+                    else "SFP+-10G-LR")])
+        assert len(small_fleet.links) == n_links + 1
+        assert router.port(free).link_up
+
+    def test_power_cycle_event(self, sim, small_fleet):
+        host = sorted(small_fleet.routers)[0]
+        boots = small_fleet.routers[host]._boots
+        sim.run(duration_s=units.hours(1), step_s=600,
+                events=[PowerCycle(at_s=600, hostname=host)])
+        assert small_fleet.routers[host]._boots == boots + 1
+
+
+class TestAutopowerIntegration:
+    def test_deploy_event_produces_external_trace(self, sim, small_fleet):
+        host = sorted(small_fleet.routers)[0]
+        result = sim.run(
+            duration_s=units.hours(6), step_s=600,
+            events=[DeployAutopower(at_s=units.hours(2), hostname=host)])
+        series = result.autopower[host]
+        assert len(series) > 0
+        # No samples before deployment.
+        assert series.timestamps[0] >= units.hours(2)
+        router = small_fleet.routers[host]
+        assert series.mean() == pytest.approx(router.wall_power_w(),
+                                              rel=0.10)
+
+    def test_detailed_hosts_inferred_from_events(self, sim, small_fleet):
+        host = sorted(small_fleet.routers)[2]
+        result = sim.run(duration_s=units.hours(1), step_s=600,
+                         events=[OsUpdate(at_s=600, hostname=host)])
+        assert result.snmp[host].interfaces  # counters recorded for target

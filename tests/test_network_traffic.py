@@ -1,0 +1,119 @@
+"""Diurnal demand processes and the routed traffic matrix."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.network.traffic import (
+    Demand,
+    DiurnalProfile,
+    FleetTrafficModel,
+    TrafficMatrix,
+)
+
+
+class TestDiurnalProfile:
+    def test_peak_at_peak_hour(self):
+        profile = DiurnalProfile(peak_hour=15.0)
+        peak = profile.multiplier(units.hours(15))
+        night = profile.multiplier(units.hours(3))
+        assert peak > 1.5 * night
+
+    def test_weekend_reduced(self):
+        profile = DiurnalProfile()
+        weekday_noon = profile.multiplier(units.days(1) + units.hours(15))
+        saturday_noon = profile.multiplier(units.days(5) + units.hours(15))
+        assert saturday_noon == pytest.approx(
+            weekday_noon * profile.weekend_factor)
+
+    def test_vectorised_matches_scalar(self):
+        profile = DiurnalProfile()
+        times = np.linspace(0, units.days(7), 200)
+        vector = profile.multipliers(times)
+        scalars = [profile.multiplier(t) for t in times]
+        np.testing.assert_allclose(vector, scalars, rtol=1e-12)
+
+    def test_positive_everywhere(self):
+        profile = DiurnalProfile()
+        times = np.linspace(0, units.days(14), 500)
+        assert np.all(profile.multipliers(times) > 0)
+
+
+class TestTrafficMatrix:
+    @pytest.fixture
+    def matrix(self, small_fleet, rng):
+        hosts = sorted(small_fleet.routers)
+        demands = [Demand(src=hosts[i], dst=hosts[-(i + 1)], base_bps=1e9)
+                   for i in range(5)]
+        return TrafficMatrix(small_fleet, demands)
+
+    def test_all_demands_routed(self, matrix):
+        assert all(path is not None for path in matrix.paths)
+
+    def test_loads_conserve_demand(self, matrix):
+        loads = matrix.base_link_loads()
+        total_hops = sum(len(p) for p in matrix.paths)
+        assert sum(loads.values()) == pytest.approx(total_hops * 1e9)
+
+    def test_utilisations_low(self, matrix):
+        utils = matrix.utilisations()
+        assert max(utils.values()) < 0.5
+
+    def test_reroute_without_moves_affected_demands(self, matrix):
+        loads = matrix.base_link_loads()
+        used = [lid for lid, load in loads.items() if load > 0]
+        removed = {used[0]}
+        rerouted = matrix.reroute_without(removed)
+        new_loads = rerouted.base_link_loads()
+        assert used[0] not in new_loads
+        # Demand volume is conserved (paths may lengthen).
+        assert sum(1 for p in rerouted.paths if p) == len(matrix.demands)
+
+    def test_reroute_keeps_unaffected_paths(self, matrix):
+        loads = matrix.base_link_loads()
+        unused = [lid for lid, load in loads.items() if load == 0]
+        if not unused:
+            pytest.skip("all links carry traffic in this layout")
+        rerouted = matrix.reroute_without({unused[0]})
+        assert rerouted.paths == matrix.paths
+
+    def test_demand_validation(self):
+        with pytest.raises(ValueError):
+            Demand(src="a", dst="b", base_bps=-1)
+
+
+class TestFleetTrafficModel:
+    @pytest.fixture
+    def model(self, small_fleet, rng):
+        return FleetTrafficModel(small_fleet, rng=rng, n_demands=100)
+
+    def test_every_external_link_has_a_demand(self, model, small_fleet):
+        rates = model.external_rates_at(units.hours(15))
+        assert set(rates) == {l.link_id for l in small_fleet.external_links()}
+
+    def test_rates_respect_capacity(self, model, small_fleet):
+        links = {l.link_id: l for l in small_fleet.links}
+        for t in (0.0, units.hours(12), units.days(3)):
+            for link_id, rate in model.external_rates_at(t).items():
+                cap = units.gbps_to_bps(links[link_id].speed_gbps)
+                assert rate <= 0.96 * cap
+
+    def test_diurnal_swing_visible(self, model):
+        model.rng = np.random.default_rng(5)  # fix noise
+        day = sum(model.external_rates_at(units.hours(15)).values())
+        night = sum(model.external_rates_at(units.hours(3)).values())
+        assert day > 1.3 * night
+
+    def test_internal_loads_cover_used_links(self, model, small_fleet):
+        rates = model.internal_rates_at(units.hours(12))
+        assert set(rates) == {l.link_id
+                              for l in small_fleet.internal_links()}
+        assert sum(rates.values()) > 0
+
+    def test_mean_utilisation_low(self, model, small_fleet):
+        # Fig. 1: the network runs at a few percent utilisation at most.
+        links = {l.link_id: l for l in small_fleet.external_links()}
+        rates = model.external_rates_at(units.hours(15))
+        utils = [rate / units.gbps_to_bps(links[lid].speed_gbps)
+                 for lid, rate in rates.items()]
+        assert np.mean(utils) < 0.15

@@ -1,0 +1,225 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* input, not just the scenarios the
+other test modules pick: monotonicity of the power physics, exactness of
+serialisation round-trips, robustness of the counter arithmetic, and
+conservation laws of the fleet plumbing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import units
+from repro.core.model import (
+    FittedValue,
+    InterfaceClassKey,
+    InterfaceModel,
+    PowerModel,
+    fitted,
+)
+from repro.hardware.psu import (
+    PFE600_CURVE,
+    PSUGroup,
+    PSUInstance,
+    PSUModel,
+    ScaledLossCurve,
+    SharingPolicy,
+)
+from repro.hardware.router import COUNTER_64_WRAP, Counters
+from repro.telemetry.traces import CounterSeries, TimeSeries
+
+
+# ---------------------------------------------------------------------------
+# PSU physics
+# ---------------------------------------------------------------------------
+
+
+class TestPsuInvariants:
+    @given(st.floats(min_value=0.4, max_value=2.5),
+           st.floats(min_value=1.0, max_value=550.0))
+    @settings(max_examples=60)
+    def test_wall_power_exceeds_output(self, scale, output):
+        curve = ScaledLossCurve(base=PFE600_CURVE, scale=scale)
+        assert curve.input_power(output, 600) > output
+
+    @given(st.floats(min_value=0.4, max_value=2.5),
+           st.floats(min_value=1.0, max_value=500.0),
+           st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=60)
+    def test_wall_power_monotone(self, scale, output, delta):
+        curve = ScaledLossCurve(base=PFE600_CURVE, scale=scale)
+        assume(output + delta <= 570)
+        assert curve.input_power(output + delta, 600) \
+            > curve.input_power(output, 600)
+
+    @given(st.floats(min_value=-0.2, max_value=0.2),
+           st.floats(min_value=10.0, max_value=500.0))
+    @settings(max_examples=60)
+    def test_instance_offset_realised_at_reference(self, offset, output):
+        model = PSUModel(name="p", capacity_w=600, curve=PFE600_CURVE)
+        psu = PSUInstance(model=model, efficiency_offset=offset)
+        nominal = PFE600_CURVE.efficiency(psu.reference_load)
+        target = float(np.clip(nominal + offset, 0.25, 0.98))
+        assert psu.efficiency_at(psu.reference_load * 600) \
+            == pytest.approx(target, abs=1e-9)
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=40)
+    def test_balanced_shares_sum_to_demand(self, n, demand):
+        model = PSUModel(name="p", capacity_w=600, curve=PFE600_CURVE)
+        group = PSUGroup(instances=[PSUInstance(model=model)
+                                    for _ in range(n)],
+                         policy=SharingPolicy.BALANCED)
+        assert sum(group.output_shares(demand)) == pytest.approx(demand)
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+
+
+class TestCounterInvariants:
+    @given(st.lists(st.floats(min_value=0, max_value=1e12),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_counters_never_exceed_wrap(self, increments):
+        counters = Counters()
+        for inc in increments:
+            counters.add(inc, inc, inc / 100, inc / 100)
+        assert 0 <= counters.rx_octets < COUNTER_64_WRAP
+        assert 0 <= counters.tx_packets < COUNTER_64_WRAP
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**14),
+                    min_size=2, max_size=25),
+           st.floats(min_value=1.0, max_value=3600.0))
+    @settings(max_examples=50)
+    def test_rates_recover_increments(self, increments, period):
+        counts = np.cumsum(np.array(increments, dtype=np.uint64))
+        ts = np.arange(len(counts), dtype=float) * period
+        rates = CounterSeries(ts, counts).rates()
+        expected = np.array(increments[1:], dtype=float) / period
+        np.testing.assert_allclose(rates.values, expected, rtol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=30)
+    def test_wrap_transparent(self, delta):
+        start = COUNTER_64_WRAP - delta // 2 - 1
+        cs = CounterSeries(np.array([0.0, 10.0]),
+                           np.array([start, (start + delta)
+                                     % COUNTER_64_WRAP], dtype=np.uint64))
+        assert cs.rates().values[0] == pytest.approx(delta / 10.0)
+
+
+# ---------------------------------------------------------------------------
+# Time series
+# ---------------------------------------------------------------------------
+
+
+class TestTimeSeriesInvariants:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=2, max_size=200),
+           st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=50)
+    def test_resample_preserves_mean_on_uniform_grid(self, values, period):
+        ts = TimeSeries(np.arange(len(values), dtype=float), values)
+        out = ts.resample(period)
+        if len(out.valid()):
+            # Bin means of a partition can only average the same numbers.
+            assert (np.nanmin(out.values) >= np.min(values) - 1e-6)
+            assert (np.nanmax(out.values) <= np.max(values) + 1e-6)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3),
+                    min_size=1, max_size=50),
+           st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=50)
+    def test_shift_is_exact(self, values, offset):
+        ts = TimeSeries(np.arange(len(values), dtype=float), values)
+        np.testing.assert_allclose(ts.shifted(offset).values,
+                                   np.array(values) + offset)
+
+
+# ---------------------------------------------------------------------------
+# Model serialisation & evaluation
+# ---------------------------------------------------------------------------
+
+
+def _model_strategy():
+    key_st = st.builds(
+        InterfaceClassKey,
+        port_type=st.sampled_from(["SFP", "SFP+", "QSFP28", "QSFP-DD"]),
+        reach=st.sampled_from(["LR4", "Passive DAC", "T", "SR"]),
+        speed_gbps=st.sampled_from([1.0, 10.0, 25.0, 100.0, 400.0]))
+    value_st = st.floats(min_value=-10, max_value=500,
+                         allow_nan=False)
+    iface_st = st.builds(
+        InterfaceModel, key=key_st,
+        p_port_w=st.builds(fitted, value_st),
+        p_trx_in_w=st.builds(fitted, value_st),
+        p_trx_up_w=st.builds(fitted, value_st),
+        e_bit_pj=st.builds(fitted, value_st),
+        e_pkt_nj=st.builds(fitted, value_st),
+        p_offset_w=st.builds(fitted, value_st))
+
+    def build(base, ifaces):
+        model = PowerModel(router_model="prop", p_base_w=fitted(base))
+        for iface in ifaces:
+            model.add_interface_model(iface)
+        return model
+
+    return st.builds(build, st.floats(min_value=0, max_value=2000),
+                     st.lists(iface_st, min_size=0, max_size=5))
+
+
+class TestModelInvariants:
+    @given(_model_strategy())
+    @settings(max_examples=40)
+    def test_serialisation_round_trip_exact(self, model):
+        restored = PowerModel.from_dict(model.to_dict())
+        assert restored.p_base_w.value == model.p_base_w.value
+        assert set(restored.interfaces) == set(model.interfaces)
+        for key, iface in model.interfaces.items():
+            other = restored.interfaces[key]
+            assert other.p_port_w.value == iface.p_port_w.value
+            assert other.e_pkt_nj.value == iface.e_pkt_nj.value
+
+    @given(_model_strategy(),
+           st.floats(min_value=0, max_value=1e11),
+           st.floats(min_value=0, max_value=1e8))
+    @settings(max_examples=40)
+    def test_prediction_decomposes(self, model, bps, pps):
+        from repro.core.model import InterfaceState
+        if not model.interfaces:
+            return
+        key = next(iter(model.interfaces))
+        states = [InterfaceState(key=key, bps=bps, pps=pps)]
+        total = model.predict_power_w(states)
+        assert total == pytest.approx(
+            model.static_power_w(states) + model.dynamic_power_w(states),
+            rel=1e-9, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Packet arithmetic
+# ---------------------------------------------------------------------------
+
+
+class TestPacketInvariants:
+    @given(st.floats(min_value=1e3, max_value=4e11),
+           st.floats(min_value=64, max_value=9000),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=60)
+    def test_packet_rate_monotone_in_rate(self, rate, size, extra):
+        assert units.packet_rate(rate + extra * 1e6, size) \
+            >= units.packet_rate(rate, size)
+
+    @given(st.floats(min_value=1e6, max_value=4e11),
+           st.floats(min_value=64, max_value=4000),
+           st.floats(min_value=64, max_value=4000))
+    @settings(max_examples=60)
+    def test_bigger_packets_fewer_of_them(self, rate, a, b):
+        small, large = min(a, b), max(a, b)
+        assume(small < large)
+        assert units.packet_rate(rate, large) < units.packet_rate(rate,
+                                                                  small)

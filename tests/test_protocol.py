@@ -1,0 +1,147 @@
+"""The Autopower wire protocol: framing, sequencing, deduplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lab.power_meter import PowerSample
+from repro.telemetry.autopower import AutopowerServer
+from repro.telemetry.protocol import (
+    ChunkAck,
+    ControlPoll,
+    ControlReply,
+    FrameDecoder,
+    MeasurementChunk,
+    ProtocolServer,
+    RegisterReply,
+    RegisterRequest,
+    decode_payload,
+    encode,
+)
+
+
+def chunk(unit="u1", seq=0, n=5, t0=0.0):
+    samples = [PowerSample(timestamp_s=t0 + 0.5 * i, power_w=100.0 + i)
+               for i in range(n)]
+    return MeasurementChunk.from_samples(unit, seq, samples)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("message", [
+        RegisterRequest(unit_id="u1"),
+        RegisterReply(unit_id="u1", accepted=True),
+        chunk(),
+        ChunkAck(unit_id="u1", seq=3, accepted=5),
+        ControlPoll(unit_id="u1"),
+        ControlReply(unit_id="u1", measure=False),
+    ])
+    def test_round_trip(self, message):
+        frames = FrameDecoder().feed(encode(message))
+        assert frames == [message]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown message type"):
+            decode_payload(b'{"_type": "warp-drive"}')
+
+    def test_chunk_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            MeasurementChunk(unit_id="u", seq=0,
+                             timestamps=(1.0,), power_w=(1.0, 2.0))
+
+    def test_chunk_samples_round_trip(self):
+        original = chunk(n=3)
+        samples = original.samples()
+        rebuilt = MeasurementChunk.from_samples("u1", 0, samples)
+        assert rebuilt.timestamps == original.timestamps
+        assert rebuilt.power_w == original.power_w
+
+
+class TestFraming:
+    def test_segmented_stream(self):
+        # Frames must survive arbitrary segmentation (TCP reality).
+        wire = b"".join(encode(chunk(seq=i)) for i in range(3))
+        decoder = FrameDecoder()
+        received = []
+        for i in range(0, len(wire), 7):  # 7-byte dribbles
+            received.extend(decoder.feed(wire[i:i + 7]))
+        assert [m.seq for m in received] == [0, 1, 2]
+        assert decoder.pending_bytes == 0
+
+    def test_concatenated_burst(self):
+        wire = encode(RegisterRequest("u1")) + encode(ControlPoll("u1"))
+        messages = FrameDecoder().feed(wire)
+        assert len(messages) == 2
+
+    def test_partial_frame_waits(self):
+        wire = encode(chunk())
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:10]) == []
+        assert decoder.pending_bytes == 10
+        assert len(decoder.feed(wire[10:])) == 1
+
+    def test_oversized_frame_rejected(self):
+        import struct
+        evil = struct.pack(">I", 2 ** 31)
+        with pytest.raises(ValueError, match="oversized"):
+            FrameDecoder().feed(evil)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50),
+                    min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30)
+    def test_any_segmentation_preserves_order(self, seqs, step):
+        wire = b"".join(encode(chunk(seq=s, n=2)) for s in seqs)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(wire), step):
+            out.extend(decoder.feed(wire[i:i + step]))
+        assert [m.seq for m in out] == seqs
+
+
+class TestDispatchAndDedup:
+    def test_register_and_control(self):
+        server = ProtocolServer()
+        reply = server.handle(RegisterRequest("unit-9"))
+        assert isinstance(reply, RegisterReply) and reply.accepted
+        control = server.handle(ControlPoll("unit-9"))
+        assert isinstance(control, ControlReply) and control.measure
+        server.server.stop_measurement("unit-9")
+        assert not server.handle(ControlPoll("unit-9")).measure
+
+    def test_exactly_once_despite_retransmission(self):
+        server = ProtocolServer()
+        server.handle(RegisterRequest("u"))
+        first = server.handle(chunk(unit="u", seq=0, n=10))
+        assert first.accepted == 10 and not first.duplicate
+        # The ack is lost; the client retransmits the same chunk.
+        second = server.handle(chunk(unit="u", seq=0, n=10))
+        assert second.duplicate and second.accepted == 0
+        assert len(server.server.download("u")) == 10
+
+    def test_sequence_progresses(self):
+        server = ProtocolServer()
+        for seq in range(4):
+            ack = server.handle(chunk(unit="u", seq=seq, n=3,
+                                      t0=seq * 10.0))
+            assert not ack.duplicate
+        assert len(server.server.download("u")) == 12
+
+    def test_unhandleable_message(self):
+        server = ProtocolServer()
+        with pytest.raises(TypeError):
+            server.handle(RegisterReply(unit_id="u", accepted=True))
+
+    def test_byte_level_round_trip(self):
+        server = ProtocolServer()
+        wire = encode(RegisterRequest("u")) + encode(chunk(unit="u", n=4))
+        reply_bytes = server.handle_bytes(wire)
+        replies = FrameDecoder().feed(reply_bytes)
+        assert isinstance(replies[0], RegisterReply)
+        assert isinstance(replies[1], ChunkAck)
+        assert replies[1].accepted == 4
+
+    def test_wraps_existing_server(self):
+        backing = AutopowerServer()
+        server = ProtocolServer(backing)
+        server.handle(chunk(unit="u", seq=0, n=2))
+        assert len(backing.download("u")) == 2

@@ -1,0 +1,163 @@
+"""The §9 PSU optimisation estimates."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import EightyPlus
+from repro.telemetry.snmp import PsuSensorExport, SnmpCollector
+from repro.psu_opt import (
+    PsuPoint,
+    clean_exports,
+    combined_savings,
+    efficiency_scatter,
+    resize_savings,
+    single_psu_savings,
+    table3,
+    table4,
+    total_input_power_w,
+    upgrade_savings,
+)
+
+
+def export(router="r1", model="M", idx=0, capacity=1100.0,
+           input_w=100.0, output_w=80.0):
+    return PsuSensorExport(router=router, router_model=model, psu_index=idx,
+                           capacity_w=capacity, input_w=input_w,
+                           output_w=output_w)
+
+
+@pytest.fixture(scope="module")
+def fleet_points(fleet):
+    collector = SnmpCollector(list(fleet.routers.values()),
+                              detailed_hosts=[])
+    return clean_exports(collector.sensor_exports())
+
+
+class TestCleaning:
+    def test_caps_impossible_efficiency(self):
+        points = clean_exports([export(input_w=80, output_w=100)])
+        assert points[0].efficiency == 1.0
+        assert points[0].input_w == 100.0  # made consistent
+
+    def test_drops_dead_psus(self):
+        points = clean_exports([export(output_w=0.0),
+                                export(input_w=0.0, output_w=10)])
+        assert points == []
+
+    def test_load_fraction(self):
+        points = clean_exports([export(capacity=1000, output_w=150)])
+        assert points[0].load_fraction == pytest.approx(0.15)
+
+
+class TestUpgradeSavings:
+    def test_monotone_in_standard(self, fleet_points):
+        fractions = [upgrade_savings(fleet_points, std).fraction
+                     for std in EightyPlus]
+        assert fractions == sorted(fractions)
+
+    def test_papers_band(self, fleet_points):
+        # Table 3: Bronze 2 %, Platinum 5 %, Titanium 7 % -- we assert
+        # the same regime (low single digits rising to high single digits).
+        bronze = upgrade_savings(fleet_points, EightyPlus.BRONZE).fraction
+        platinum = upgrade_savings(fleet_points, EightyPlus.PLATINUM).fraction
+        titanium = upgrade_savings(fleet_points, EightyPlus.TITANIUM).fraction
+        assert 0.0 <= bronze < 0.05
+        assert 0.01 < platinum < 0.09
+        assert platinum < titanium < 0.13
+
+    def test_never_penalises(self):
+        # Already-excellent PSUs are left alone.
+        points = clean_exports([export(input_w=82, output_w=80,
+                                       capacity=160)])
+        result = upgrade_savings(points, EightyPlus.BRONZE)
+        assert result.saved_w == 0.0
+
+
+class TestSinglePsu:
+    def test_positive_at_low_loads(self, fleet_points):
+        result = single_psu_savings(fleet_points)
+        # §9.3.4: consolidation helps (paper: 4 %; same regime here).
+        assert 0.02 < result.fraction < 0.15
+
+    def test_combined_beats_both_parts(self, fleet_points):
+        single = single_psu_savings(fleet_points).fraction
+        for std in (EightyPlus.BRONZE, EightyPlus.TITANIUM):
+            upgrade = upgrade_savings(fleet_points, std).fraction
+            combined = combined_savings(fleet_points, std).fraction
+            assert combined >= single - 1e-9
+            assert combined >= upgrade - 1e-9
+
+    def test_combined_monotone_in_standard(self, fleet_points):
+        fractions = [combined_savings(fleet_points, std).fraction
+                     for std in EightyPlus]
+        assert fractions == sorted(fractions)
+
+    def test_two_identical_psus_halve_input(self):
+        # Hand-computable case: consolidation moves one PSU to 2x load.
+        points = clean_exports([
+            export(idx=0, capacity=1000, input_w=125, output_w=100),
+            export(idx=1, capacity=1000, input_w=125, output_w=100)])
+        result = single_psu_savings(points)
+        carrier = points[0]
+        new_eff = carrier.offset_curve().efficiency(0.2)
+        expected = 250 - 200 / new_eff
+        assert result.saved_w == pytest.approx(expected, rel=1e-6)
+
+
+class TestResize:
+    def test_table4_shape(self, fleet_points):
+        table = table4(fleet_points)
+        for k in (1.0, 2.0):
+            fractions = [table[k][float(c)].fraction
+                         for c in (250, 400, 750, 1100, 2000, 2700)]
+            # Savings fall monotonically with the capacity floor...
+            assert fractions == sorted(fractions, reverse=True)
+            # ...positive for small floors, negative for huge ones.
+            assert fractions[0] > 0
+            assert fractions[-1] < 0
+
+    def test_k1_at_least_k2(self, fleet_points):
+        table = table4(fleet_points)
+        assert table[1.0][250.0].fraction >= table[2.0][250.0].fraction - 1e-9
+
+    def test_k_validation(self, fleet_points):
+        with pytest.raises(ValueError):
+            resize_savings(fleet_points, 0, 250)
+
+
+class TestTable3Builder:
+    def test_structure(self, fleet_points):
+        table = table3(fleet_points)
+        assert set(table) == {"upgrade", "single_psu", "combined"}
+        assert set(table["upgrade"]) == {s.value for s in EightyPlus}
+        assert set(table["combined"]) == {s.value for s in EightyPlus}
+
+
+class TestScatter:
+    def test_fleet_scatter_matches_fig6(self, fleet_points):
+        loads, effs = efficiency_scatter(fleet_points)
+        # Fig. 6: loads low (5-20 %), efficiencies very good to very poor.
+        assert 2 < np.mean(loads) < 20
+        assert effs.min() < 0.7
+        assert effs.max() > 0.9
+
+    def test_per_model_filter(self, fleet_points):
+        loads_all, _ = efficiency_scatter(fleet_points)
+        loads_one, effs_one = efficiency_scatter(fleet_points,
+                                                 "NCS-55A1-24H")
+        assert 0 < len(loads_one) < len(loads_all)
+        # Fig. 6b: the NCS-55A1-24H fares well.
+        assert np.median(effs_one) > 0.8
+
+    def test_8201_fares_poorly(self, fleet_points):
+        _, effs = efficiency_scatter(fleet_points, "8201-32FH")
+        # Fig. 6c: 76 % or worse.
+        assert np.median(effs) < 0.8
+
+    def test_asr920_spans_wide_range(self, fleet_points):
+        _, effs = efficiency_scatter(fleet_points, "ASR-920-24SZ-M")
+        # Fig. 6d: the full spectrum within one model.
+        assert effs.max() - effs.min() > 0.2
+
+    def test_total_input_power(self, fleet_points):
+        assert total_input_power_w(fleet_points) > 10_000

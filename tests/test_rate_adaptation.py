@@ -1,0 +1,113 @@
+"""Rate adaptation on top of the per-speed interface classes."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.network import FleetTrafficModel
+from repro.sleep import (
+    RatePlan,
+    apply_rate_plan,
+    plan_rate_adaptation,
+)
+
+
+@pytest.fixture
+def matrix(small_fleet):
+    return FleetTrafficModel(small_fleet, rng=np.random.default_rng(13),
+                             n_demands=150).matrix
+
+
+class TestPlanning:
+    def test_low_load_links_downgrade(self, small_fleet, matrix):
+        plan = plan_rate_adaptation(small_fleet, matrix, headroom=4.0)
+        downgraded = plan.downgraded()
+        assert downgraded, "nothing downgraded on a ~1 % utilised network"
+        for decision in downgraded:
+            assert decision.new_speed_gbps < decision.old_speed_gbps
+
+    def test_headroom_respected(self, small_fleet, matrix):
+        headroom = 4.0
+        plan = plan_rate_adaptation(small_fleet, matrix, headroom=headroom)
+        loads = matrix.base_link_loads()
+        for decision in plan.downgraded():
+            load_gbps = units.bps_to_gbps(loads.get(decision.link_id, 0.0))
+            assert decision.new_speed_gbps >= headroom * load_gbps
+
+    def test_tighter_headroom_downgrades_less_deep(self, small_fleet,
+                                                   matrix):
+        relaxed = plan_rate_adaptation(small_fleet, matrix, headroom=2.0)
+        strict = plan_rate_adaptation(small_fleet, matrix, headroom=50.0)
+        assert strict.total_saving_w <= relaxed.total_saving_w
+
+    def test_savings_are_positive_and_modest(self, small_fleet, matrix):
+        plan = plan_rate_adaptation(small_fleet, matrix)
+        total = small_fleet.total_wall_power_w()
+        assert 0 < plan.total_saving_w < 0.05 * total
+
+    def test_internal_only_by_default(self, small_fleet, matrix):
+        plan = plan_rate_adaptation(small_fleet, matrix)
+        internal_ids = {l.link_id for l in small_fleet.internal_links()}
+        assert all(d.link_id in internal_ids for d in plan.decisions)
+
+    def test_headroom_validation(self, small_fleet, matrix):
+        with pytest.raises(ValueError):
+            plan_rate_adaptation(small_fleet, matrix, headroom=0.5)
+
+
+class TestApplication:
+    def test_applying_changes_hardware_and_power(self, small_fleet,
+                                                 matrix):
+        before = small_fleet.total_wall_power_w()
+        plan = plan_rate_adaptation(small_fleet, matrix, headroom=4.0)
+        changed = apply_rate_plan(small_fleet, plan)
+        after = small_fleet.total_wall_power_w()
+        assert changed == len(plan.downgraded())
+        measured_saving = before - after
+        # The plan's arithmetic must match the truth engine's response
+        # (both use the per-speed interface classes).
+        assert measured_saving == pytest.approx(plan.total_saving_w,
+                                                rel=0.25, abs=1.0)
+
+    def test_applied_speeds_visible_on_ports(self, small_fleet, matrix):
+        plan = plan_rate_adaptation(small_fleet, matrix, headroom=4.0)
+        apply_rate_plan(small_fleet, plan)
+        links = {l.link_id: l for l in small_fleet.links}
+        for decision in plan.downgraded():
+            link = links[decision.link_id]
+            assert link.speed_gbps == decision.new_speed_gbps
+            port = small_fleet.port_of(link.a)
+            assert port.speed_gbps == decision.new_speed_gbps
+
+    def test_topology_untouched(self, small_fleet, matrix):
+        """Unlike sleeping, adaptation keeps every link up."""
+        import networkx as nx
+        plan = plan_rate_adaptation(small_fleet, matrix)
+        apply_rate_plan(small_fleet, plan)
+        graph = nx.Graph(small_fleet.internal_graph())
+        assert nx.is_connected(graph)
+        for link in small_fleet.internal_links():
+            assert small_fleet.port_of(link.a).link_up
+
+    def test_empty_plan_is_noop(self, small_fleet):
+        before = small_fleet.total_wall_power_w()
+        assert apply_rate_plan(small_fleet, RatePlan()) == 0
+        assert small_fleet.total_wall_power_w() == pytest.approx(before)
+
+
+class TestHotStandby:
+    """The §9.4 hot-standby estimate sits between naive and realistic."""
+
+    def test_between_single_and_nothing(self, fleet):
+        from repro.psu_opt import (clean_exports, hot_standby_savings,
+                                   single_psu_savings)
+        from repro.telemetry.snmp import SnmpCollector
+        points = clean_exports(
+            SnmpCollector(list(fleet.routers.values()),
+                          detailed_hosts=[]).sensor_exports())
+        single = single_psu_savings(points)
+        standby = hot_standby_savings(points)
+        # Keeping the standby powered costs its idle losses, so the
+        # hot-standby savings are strictly smaller -- but still positive.
+        assert 0 < standby.saved_w < single.saved_w
+        assert standby.fraction > 0.01

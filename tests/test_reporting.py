@@ -1,0 +1,111 @@
+"""Energy / cost / emissions reporting."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.reporting import (
+    SWISS_GRID_GCO2_PER_KWH,
+    SWISS_TARIFF_PER_KWH,
+    energy_report,
+    integrate_energy_kwh,
+    rank_routers,
+    savings_report,
+)
+from repro.telemetry.traces import TimeSeries
+
+
+def constant_trace(watts, hours, period_s=300.0):
+    t = np.arange(0, hours * 3600 + period_s, period_s)
+    return TimeSeries(t, np.full(len(t), float(watts)))
+
+
+class TestIntegration:
+    def test_constant_power(self):
+        # 1 kW for 10 hours = 10 kWh.
+        assert integrate_energy_kwh(constant_trace(1000, 10)) \
+            == pytest.approx(10.0, rel=1e-6)
+
+    def test_nan_gaps_skipped(self):
+        trace = constant_trace(1000, 10)
+        values = trace.values.copy()
+        values[5:10] = np.nan
+        holey = TimeSeries(trace.timestamps, values)
+        assert integrate_energy_kwh(holey) == pytest.approx(10.0, rel=0.01)
+
+    def test_triangle(self):
+        # Linear ramp 0..100 W over one hour = 0.05 kWh.
+        t = np.linspace(0, 3600, 61)
+        ramp = TimeSeries(t, np.linspace(0, 100, 61))
+        assert integrate_energy_kwh(ramp) == pytest.approx(0.05, rel=1e-6)
+
+    def test_too_short(self):
+        assert integrate_energy_kwh(
+            TimeSeries(np.array([0.0]), np.array([5.0]))) == 0.0
+
+
+class TestEnergyReport:
+    def test_annualisation(self):
+        report = energy_report(constant_trace(365, 24), label="x")
+        # 365 W around the clock is ~3198 kWh/yr.
+        assert report.annualised_kwh == pytest.approx(365 * 8.760, rel=0.01)
+        assert report.mean_power_w == pytest.approx(365, rel=0.01)
+
+    def test_cost_and_emissions_scale_with_tariff(self):
+        trace = constant_trace(1000, 24)
+        cheap = energy_report(trace, tariff_per_kwh=0.10)
+        pricey = energy_report(trace, tariff_per_kwh=0.30)
+        assert pricey.cost_per_year == pytest.approx(
+            3 * cheap.cost_per_year)
+        assert cheap.co2e_kg_per_year == pytest.approx(
+            cheap.annualised_kwh * SWISS_GRID_GCO2_PER_KWH / 1000)
+
+    def test_str_contains_label(self):
+        report = energy_report(constant_trace(100, 24), label="sw042")
+        assert "sw042" in str(report)
+
+
+class TestSavingsReport:
+    def test_table3_scale(self):
+        # The paper's Titanium row: ~2 kW saved -> ~17.5 MWh/yr.
+        report = savings_report(1974, label="titanium")
+        assert report.annualised_kwh == pytest.approx(1974 * 8.760,
+                                                      rel=0.01)
+        assert report.cost_per_year > 3000  # real money
+        assert report.co2e_kg_per_year > 1500
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            savings_report(-1)
+
+
+class TestRanking:
+    def test_heaviest_first_and_absent_skipped(self):
+        traces = {
+            "big": constant_trace(700, 24),
+            "small": constant_trace(50, 24),
+            "silent": TimeSeries(np.arange(3.0) * 300,
+                                 np.full(3, np.nan)),
+        }
+        ranked = rank_routers(traces)
+        assert [r.label for r in ranked] == ["big", "small"]
+
+    def test_top_n(self):
+        traces = {f"r{i}": constant_trace(100 + i, 24) for i in range(10)}
+        top3 = rank_routers(traces, top=3)
+        assert len(top3) == 3
+        assert top3[0].label == "r9"
+
+    def test_on_simulated_fleet(self, small_fleet, rng):
+        from repro.network import FleetTrafficModel, NetworkSimulation
+        traffic = FleetTrafficModel(small_fleet, rng=rng, n_demands=50)
+        sim = NetworkSimulation(small_fleet, traffic,
+                                rng=np.random.default_rng(4))
+        result = sim.run(duration_s=units.hours(6), step_s=1800)
+        ranked = rank_routers(
+            {h: t.power for h, t in result.snmp.items()})
+        assert ranked  # N540X-style silent routers may be missing
+        # Core routers outrank access routers.
+        heaviest_model = small_fleet.routers[ranked[0].label].model_name
+        assert heaviest_model in ("8201-32FH", "NCS-55A1-24H",
+                                  "NCS-55A1-24Q6H-SS")

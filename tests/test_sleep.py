@@ -1,0 +1,145 @@
+"""Hypnos link sleeping and the §8 savings accounting."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import units
+from repro.network import FleetTrafficModel
+from repro.sleep import (
+    Hypnos,
+    HypnosConfig,
+    SleepPlan,
+    WindowPlan,
+    external_power_share,
+    naive_saving_w,
+    plan_savings,
+    port_saving_range_w,
+)
+
+
+@pytest.fixture
+def traffic(small_fleet):
+    return FleetTrafficModel(small_fleet, rng=np.random.default_rng(13),
+                             n_demands=150)
+
+
+@pytest.fixture
+def hypnos(small_fleet, traffic):
+    return Hypnos(small_fleet, traffic.matrix)
+
+
+class TestPlanWindow:
+    def test_sleeps_some_links(self, hypnos, small_fleet):
+        asleep = hypnos.plan_window(1.0)
+        assert 0 < len(asleep) < len(small_fleet.internal_links())
+
+    def test_network_stays_connected(self, hypnos, small_fleet):
+        asleep = hypnos.plan_window(1.0)
+        graph = nx.Graph(small_fleet.internal_graph(exclude=asleep))
+        assert nx.is_connected(graph)
+
+    def test_redundancy_preserved(self, hypnos, small_fleet):
+        asleep = hypnos.plan_window(1.0)
+        graph = small_fleet.internal_graph(exclude=asleep)
+        collapsed = nx.Graph()
+        collapsed.add_nodes_from(graph.nodes)
+        multi = set()
+        for a, b in graph.edges():
+            if collapsed.has_edge(a, b):
+                multi.add(frozenset((a, b)))
+            collapsed.add_edge(a, b)
+        for a, b in nx.bridges(collapsed):
+            assert frozenset((a, b)) in multi, \
+                "sleeping created a single point of failure"
+
+    def test_no_redundancy_sleeps_more(self, small_fleet, traffic):
+        strict = Hypnos(small_fleet, traffic.matrix,
+                        HypnosConfig(require_redundancy=True))
+        loose = Hypnos(small_fleet, traffic.matrix,
+                       HypnosConfig(require_redundancy=False))
+        assert len(loose.plan_window(1.0)) >= len(strict.plan_window(1.0))
+
+    def test_utilisation_cap_respected(self, small_fleet, traffic):
+        hypnos = Hypnos(small_fleet, traffic.matrix,
+                        HypnosConfig(max_utilisation=0.5))
+        asleep = hypnos.plan_window(2.0)
+        survivor = traffic.matrix.reroute_without(asleep)
+        utils = survivor.utilisations()
+        live = {lid: u for lid, u in utils.items() if lid not in asleep}
+        assert max(live.values()) <= 0.5 + 1e-9
+
+    def test_tight_cap_sleeps_less(self, small_fleet, traffic):
+        loose = Hypnos(small_fleet, traffic.matrix,
+                       HypnosConfig(max_utilisation=0.9))
+        tight = Hypnos(small_fleet, traffic.matrix,
+                       HypnosConfig(max_utilisation=0.002))
+        assert len(tight.plan_window(1.0)) <= len(loose.plan_window(1.0))
+
+    def test_protected_links_never_sleep(self, small_fleet, traffic):
+        some = frozenset(l.link_id
+                         for l in small_fleet.internal_links()[:30])
+        hypnos = Hypnos(small_fleet, traffic.matrix,
+                        HypnosConfig(protected_links=some))
+        assert not (hypnos.plan_window(1.0) & some)
+
+    def test_max_sleeping_cap(self, small_fleet, traffic):
+        hypnos = Hypnos(small_fleet, traffic.matrix,
+                        HypnosConfig(max_sleeping=3))
+        assert len(hypnos.plan_window(1.0)) <= 3
+
+    def test_negative_multiplier_rejected(self, hypnos):
+        with pytest.raises(ValueError):
+            hypnos.plan_window(-1.0)
+
+
+class TestSchedule:
+    def test_weekly_plan(self, hypnos):
+        plan = hypnos.plan(0, units.days(2),
+                           window_s=units.SECONDS_PER_HOUR)
+        assert len(plan.windows) == 48
+        assert plan.total_duration_s == pytest.approx(units.days(2))
+        assert plan.ever_sleeping()
+
+    def test_sleep_fraction_bounds(self, hypnos):
+        plan = hypnos.plan(0, units.days(1))
+        for link_id in plan.ever_sleeping():
+            assert 0 < plan.sleep_fraction(link_id) <= 1.0
+
+    def test_empty_plan_fraction(self):
+        assert SleepPlan().sleep_fraction(1) == 0.0
+
+
+class TestSavings:
+    def test_range_ordering(self, small_fleet):
+        link = small_fleet.internal_links()[0]
+        lower, upper = port_saving_range_w(small_fleet, link.link_id)
+        assert 0 < lower < upper
+
+    def test_naive_estimate_is_the_upper_bound(self, small_fleet):
+        # Prior work assumed P_port + P_trx per side -- our upper bound.
+        link = small_fleet.internal_links()[0]
+        _, upper = port_saving_range_w(small_fleet, link.link_id)
+        assert naive_saving_w(small_fleet, link.link_id) == upper
+
+    def test_plan_savings_in_papers_regime(self, small_fleet, hypnos):
+        plan = hypnos.plan(0, units.days(1))
+        reference = small_fleet.total_wall_power_w()
+        estimate = plan_savings(small_fleet, plan, reference)
+        # §8: savings are fractions of a percent to ~2 %.
+        assert 0.0 < estimate.lower_fraction < 0.05
+        assert estimate.lower_fraction < estimate.upper_fraction < 0.10
+
+    def test_reference_validation(self, small_fleet):
+        with pytest.raises(ValueError):
+            plan_savings(small_fleet, SleepPlan(), reference_power_w=0)
+
+
+class TestExternalShare:
+    def test_externals_hold_large_transceiver_share(self, fleet):
+        share = external_power_share(fleet)
+        # §8: externals are out of reach and carry about half (or more)
+        # of the transceiver power.
+        assert share["external_share"] > 0.4
+        assert share["internal_trx_w"] > 0
+        assert share["external_trx_w"] > 0

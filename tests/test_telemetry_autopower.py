@@ -1,0 +1,127 @@
+"""Autopower: store-and-forward external measurement units."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import VirtualRouter, router_spec
+from repro.telemetry.autopower import (
+    AutopowerClient,
+    AutopowerServer,
+    OutageWindow,
+    Transport,
+    deploy_unit,
+)
+
+
+@pytest.fixture
+def router(rng):
+    return VirtualRouter(router_spec("8201-32FH"), hostname="pop-8201",
+                         rng=rng, noise_std_w=0.1)
+
+
+@pytest.fixture
+def server():
+    return AutopowerServer()
+
+
+def run_unit(client, router, start_s, end_s, step_s=0.5):
+    t = start_s
+    while t < end_s:
+        router.advance(step_s)
+        client.tick(t)
+        t += step_s
+    client.try_upload(end_s)
+
+
+class TestHappyPath:
+    def test_samples_reach_server(self, router, server, rng):
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 upload_period_s=10)
+        run_unit(client, router, 0, 60)
+        series = server.download("unit-1")
+        assert len(series) == 120
+        assert series.mean() == pytest.approx(router.wall_power_w(),
+                                              rel=0.05)
+
+    def test_measures_true_wall_power_not_psu_report(self, router, server,
+                                                     rng):
+        # The 8201 lies by a constant offset over SNMP; Autopower doesn't.
+        client = AutopowerClient("unit-1", router, server, rng=rng)
+        run_unit(client, router, 0, 30)
+        external = server.download("unit-1").mean()
+        reported = router.psu_reported_power_w()
+        assert reported - external > 10  # the quirk offset stays visible
+
+
+class TestResilience:
+    def test_network_outage_loses_nothing(self, router, server, rng):
+        transport = Transport([OutageWindow(10, 50)])
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 transport=transport, upload_period_s=5)
+        run_unit(client, router, 0, 60)
+        # Every sample eventually arrives despite the 40 s uplink outage.
+        assert len(server.download("unit-1")) == 120
+        assert not client.local_buffer
+
+    def test_buffer_grows_while_offline(self, router, server, rng):
+        transport = Transport([OutageWindow(0, 1000)])
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 upload_period_s=5, transport=transport)
+        run_unit(client, router, 0, 30)
+        assert len(client.local_buffer) == 60
+        assert len(server.download("unit-1")) == 0
+
+    def test_power_outage_loses_only_the_window(self, router, server, rng):
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 upload_period_s=5)
+        client.add_power_outage(20, 40)
+        run_unit(client, router, 0, 60)
+        series = server.download("unit-1")
+        assert len(series) == 80  # 120 ticks minus 40 lost
+        in_window = series.slice(20, 40)
+        assert len(in_window) == 0
+        assert client.boots >= 2  # restarted after the outage
+
+    def test_chunked_upload(self, router, server, rng):
+        client = AutopowerClient("unit-1", router, server, rng=rng)
+        client.CHUNK_SIZE = 16
+        transport = Transport([OutageWindow(0, 99)])
+        client.transport = transport
+        run_unit(client, router, 0, 50, step_s=0.5)
+        uploaded = client.try_upload(100.0)
+        assert uploaded == 100
+        assert not client.local_buffer
+
+
+class TestServerControl:
+    def test_stop_and_start(self, router, server, rng):
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 upload_period_s=5)
+        run_unit(client, router, 0, 10)
+        server.stop_measurement("unit-1")
+        run_unit(client, router, 10, 20)
+        server.start_measurement("unit-1")
+        run_unit(client, router, 20, 30)
+        series = server.download("unit-1")
+        assert len(series.slice(10, 20)) == 0
+        assert len(series.slice(20, 30)) == 20
+
+    def test_units_listing(self, router, server, rng):
+        AutopowerClient("unit-z", router, server, rng=rng).try_upload(0)
+        AutopowerClient("unit-a", router, server, rng=rng).try_upload(0)
+        assert server.units() == ["unit-a", "unit-z"]
+
+    def test_download_unknown_unit_empty(self, server):
+        assert len(server.download("ghost")) == 0
+
+
+class TestDeployment:
+    def test_deploy_power_cycles_the_router(self, router, server, rng):
+        boots_before = router._boots
+        client = deploy_unit(router, server, rng=rng)
+        assert router._boots == boots_before + 1
+        assert client.unit_id == "autopower-pop-8201"
+
+    def test_outage_window_validation(self):
+        with pytest.raises(ValueError):
+            OutageWindow(10, 10)

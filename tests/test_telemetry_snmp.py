@@ -1,0 +1,132 @@
+"""SNMP agent, collector, and the one-time PSU sensor export."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import VirtualRouter, connect, router_spec
+from repro.telemetry.snmp import SnmpAgent, SnmpCollector
+
+
+@pytest.fixture
+def busy_router(rng):
+    r = VirtualRouter(router_spec("NCS-55A1-24H"), hostname="lab-ncs",
+                      rng=rng, noise_std_w=0.1)
+    for i in range(4):
+        r.port(i).plug("QSFP28-100G-DAC")
+        r.port(i).set_admin(True)
+    connect(r.port(0), r.port(1))
+    connect(r.port(2), r.port(3))
+    r.port(0).offer_traffic(rx_bps=5e9, tx_bps=5e9, packet_bytes=700)
+    return r
+
+
+class TestSnmpAgent:
+    def test_poll_power(self, busy_router):
+        agent = SnmpAgent(busy_router)
+        power = agent.poll_power()
+        assert power == pytest.approx(busy_router.wall_power_w(), rel=0.1)
+
+    def test_poll_counters_keys(self, busy_router):
+        agent = SnmpAgent(busy_router)
+        counters = agent.poll_counters()
+        assert set(counters) == {p.name for p in busy_router.ports}
+
+    def test_psu_inventory(self, busy_router):
+        entries = SnmpAgent(busy_router).psu_inventory()
+        assert len(entries) == 2
+        assert all(e.capacity_w == 1100 for e in entries)
+        assert all(e.router == "lab-ncs" for e in entries)
+
+    def test_sensor_export_shape(self, busy_router):
+        exports = SnmpAgent(busy_router).sensor_export()
+        assert len(exports) == 2
+        for export in exports:
+            assert export.input_w > 0
+            assert export.output_w > 0
+            assert 0 < export.load_fraction < 1
+            assert export.efficiency <= 1.0  # capped
+
+
+class TestSnmpCollector:
+    def test_collects_power_for_all(self, busy_router, rng):
+        other = VirtualRouter(router_spec("ASR-920-24SZ-M"),
+                              hostname="lab-asr", rng=rng)
+        collector = SnmpCollector([busy_router, other])
+        for t in (300.0, 600.0, 900.0):
+            busy_router.advance(300)
+            other.advance(300)
+            collector.record(t)
+        traces = collector.finalize()
+        assert set(traces) == {"lab-ncs", "lab-asr"}
+        assert len(traces["lab-ncs"].power) == 3
+        assert traces["lab-ncs"].router_model == "NCS-55A1-24H"
+
+    def test_absent_power_is_nan(self, rng):
+        silent = VirtualRouter(router_spec("N540X-8Z16G-SYS-A"),
+                               hostname="lab-n540x", rng=rng)
+        collector = SnmpCollector([silent])
+        collector.record(300.0)
+        trace = collector.finalize()["lab-n540x"]
+        assert np.isnan(trace.power.values).all()
+
+    def test_counters_only_for_detailed_hosts(self, busy_router, rng):
+        other = VirtualRouter(router_spec("ASR-920-24SZ-M"),
+                              hostname="lab-asr", rng=rng)
+        other.port(0).plug("SFP-1G-LX")
+        collector = SnmpCollector([busy_router, other],
+                                  detailed_hosts=["lab-ncs"])
+        collector.record(300.0)
+        traces = collector.finalize()
+        assert traces["lab-ncs"].interfaces   # plugged ports recorded
+        assert not traces["lab-asr"].interfaces
+
+    def test_counters_only_for_plugged_ports(self, busy_router):
+        collector = SnmpCollector([busy_router])
+        collector.record(300.0)
+        trace = collector.finalize()["lab-ncs"]
+        assert set(trace.interfaces) == {"Eth0/0", "Eth0/1", "Eth0/2",
+                                         "Eth0/3"}
+
+    def test_counter_rates_recover_traffic(self, busy_router):
+        collector = SnmpCollector([busy_router])
+        for step in range(4):
+            collector.record(step * 300.0)
+            busy_router.advance(300)
+        trace = collector.finalize()["lab-ncs"]
+        rx, _tx = trace.interfaces["Eth0/0"].octet_rates()
+        # 5 Gbps physical with 700 B payloads -> octet rate just below
+        # 5e9/8 (preamble and IPG are not counted in octets).
+        expected = 5e9 / 8 * (700 + 18) / (700 + 38)
+        assert rx.values[-1] == pytest.approx(expected, rel=0.01)
+
+    def test_unknown_detailed_host_rejected(self, busy_router):
+        with pytest.raises(ValueError, match="not in the fleet"):
+            SnmpCollector([busy_router], detailed_hosts=["ghost"])
+
+    def test_inventory_captured(self, busy_router):
+        collector = SnmpCollector([busy_router])
+        collector.record(0.0)
+        trace = collector.finalize()["lab-ncs"]
+        assert trace.inventory["Eth0/0"] == "QSFP28-100G-DAC"
+        assert trace.inventory["Eth0/10"] is None
+
+    def test_total_octet_rate(self, busy_router):
+        collector = SnmpCollector([busy_router])
+        for step in range(3):
+            collector.record(step * 300.0)
+            busy_router.advance(300)
+        trace = collector.finalize()["lab-ncs"]
+        total = trace.total_octet_rate()
+        assert len(total) == 2
+        assert np.all(total.values > 0)
+
+
+class TestSensorExports:
+    def test_fleet_wide(self, busy_router, rng):
+        other = VirtualRouter(router_spec("ASR-920-24SZ-M"),
+                              hostname="lab-asr", rng=rng)
+        collector = SnmpCollector([busy_router, other])
+        exports = collector.sensor_exports()
+        assert len(exports) == 4  # two PSUs each
+        routers = {e.router for e in exports}
+        assert routers == {"lab-ncs", "lab-asr"}

@@ -1,0 +1,143 @@
+"""Time-series and counter containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.router import COUNTER_64_WRAP
+from repro.telemetry.traces import CounterSeries, InterfaceTrace, TimeSeries
+
+
+class TestTimeSeriesBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.array([1, 2]), np.array([1, 2, 3]))
+        with pytest.raises(ValueError, match="increasing"):
+            TimeSeries(np.array([2.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_stats_ignore_nan(self):
+        ts = TimeSeries(np.arange(5.0), np.array([1, np.nan, 3, np.nan, 5]))
+        assert ts.mean() == pytest.approx(3.0)
+        assert ts.median() == pytest.approx(3.0)
+        assert len(ts.valid()) == 3
+
+    def test_slice(self):
+        ts = TimeSeries(np.arange(10.0), np.arange(10.0))
+        part = ts.slice(3, 7)
+        np.testing.assert_allclose(part.timestamps, [3, 4, 5, 6])
+
+    def test_from_pairs(self):
+        ts = TimeSeries.from_pairs([(0.0, 1.0), (1.0, 2.0)])
+        assert len(ts) == 2
+        assert len(TimeSeries.from_pairs([])) == 0
+
+    def test_shifted(self):
+        ts = TimeSeries(np.arange(3.0), np.ones(3))
+        np.testing.assert_allclose(ts.shifted(5).values, 6.0)
+
+
+class TestResample:
+    def test_bin_means(self):
+        ts = TimeSeries(np.arange(0, 60, 10.0),
+                        np.array([1, 1, 1, 5, 5, 5.0]))
+        out = ts.resample(30.0)
+        np.testing.assert_allclose(out.values, [1.0, 5.0])
+        np.testing.assert_allclose(out.timestamps, [15.0, 45.0])
+
+    def test_empty_bins_are_nan(self):
+        ts = TimeSeries(np.array([0.0, 100.0]), np.array([1.0, 2.0]))
+        out = ts.resample(10.0)
+        assert np.isnan(out.values[5])
+        assert out.values[0] == 1.0
+
+    def test_mean_preserved_on_uniform_grid(self):
+        rng = np.random.default_rng(0)
+        ts = TimeSeries(np.arange(0, 600, 1.0), rng.normal(10, 1, 600))
+        out = ts.resample(60.0)
+        assert out.mean() == pytest.approx(ts.mean(), rel=1e-6)
+
+    def test_invalid_period(self):
+        ts = TimeSeries(np.arange(3.0), np.ones(3))
+        with pytest.raises(ValueError):
+            ts.resample(0)
+
+
+class TestAlign:
+    def test_interpolates(self):
+        ts = TimeSeries(np.array([0.0, 10.0]), np.array([0.0, 10.0]))
+        out = ts.align_to(np.array([5.0]))
+        assert out.values[0] == pytest.approx(5.0)
+
+    def test_gap_masking(self):
+        ts = TimeSeries(np.array([0.0, 100.0]), np.array([1.0, 1.0]))
+        out = ts.align_to(np.array([50.0]), max_gap_s=10.0)
+        assert np.isnan(out.values[0])
+
+    def test_outside_range_is_nan(self):
+        ts = TimeSeries(np.array([10.0, 20.0]), np.array([1.0, 2.0]))
+        out = ts.align_to(np.array([0.0, 30.0]))
+        assert np.isnan(out.values).all()
+
+
+class TestCounterRates:
+    def test_simple_rates(self):
+        cs = CounterSeries(np.array([0.0, 10.0, 20.0]),
+                           np.array([0, 1000, 3000], dtype=np.uint64))
+        rates = cs.rates()
+        np.testing.assert_allclose(rates.values, [100.0, 200.0])
+        np.testing.assert_allclose(rates.timestamps, [10.0, 20.0])
+
+    def test_wrap_recovered(self):
+        near_wrap = COUNTER_64_WRAP - 500
+        cs = CounterSeries(np.array([0.0, 10.0]),
+                           np.array([near_wrap, 500], dtype=np.uint64))
+        rates = cs.rates()
+        assert rates.values[0] == pytest.approx(100.0)
+
+    def test_reset_yields_nan(self):
+        # A reboot: counter falls back to near zero; the wrap-corrected
+        # delta is implausibly huge and must be dropped.
+        cs = CounterSeries(np.array([0.0, 10.0, 20.0]),
+                           np.array([10_000_000, 20_000_000, 3],
+                                    dtype=np.uint64))
+        rates = cs.rates()
+        assert rates.values[0] == pytest.approx(1e6)
+        assert np.isnan(rates.values[1])
+
+    def test_too_short(self):
+        cs = CounterSeries(np.array([0.0]), np.array([1], dtype=np.uint64))
+        assert len(cs.rates()) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**15),
+                    min_size=2, max_size=20))
+    @settings(max_examples=50)
+    def test_rates_of_cumsum_are_nonnegative(self, increments):
+        counts = np.cumsum(np.array(increments, dtype=np.uint64))
+        ts = np.arange(len(counts), dtype=float) * 10
+        rates = CounterSeries(ts, counts).rates()
+        finite = rates.values[~np.isnan(rates.values)]
+        assert np.all(finite >= 0)
+
+
+class TestInterfaceTrace:
+    def _trace(self, octets, packets):
+        ts = np.arange(len(octets), dtype=float) * 300
+        return InterfaceTrace(
+            name="Eth0/0",
+            rx_octets=CounterSeries(ts, np.array(octets, dtype=np.uint64)),
+            tx_octets=CounterSeries(ts, np.array(octets, dtype=np.uint64)),
+            rx_packets=CounterSeries(ts, np.array(packets, dtype=np.uint64)),
+            tx_packets=CounterSeries(ts, np.array(packets, dtype=np.uint64)))
+
+    def test_active_detection(self):
+        active = self._trace([0, 1000, 2000], [0, 10, 20])
+        silent = self._trace([5, 5, 5], [1, 1, 1])
+        assert active.is_active()
+        assert not silent.is_active()
+
+    def test_rates_shapes(self):
+        trace = self._trace([0, 3000, 6000], [0, 30, 60])
+        rx, tx = trace.octet_rates()
+        assert rx.values[0] == pytest.approx(10.0)
+        prx, ptx = trace.packet_rates()
+        assert prx.values[0] == pytest.approx(0.1)

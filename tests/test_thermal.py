@@ -1,0 +1,99 @@
+"""The §4.3 temperature factor: pseudo-constant until it isn't."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.hardware import VirtualRouter, router_spec
+from repro.network import (
+    AmbientChange,
+    FleetTrafficModel,
+    HeatWave,
+    NetworkSimulation,
+)
+
+
+class TestThermalPhysics:
+    def test_no_extra_power_at_normal_ambient(self, quiet_router):
+        # Server rooms hold 20-24 °C; the model's omission is harmless.
+        assert quiet_router.thermal_power_w() == 0.0
+        assert quiet_router.wall_referred_power_w() == pytest.approx(320.0)
+
+    def test_fans_ramp_above_setpoint(self, quiet_router):
+        quiet_router.set_ambient(34.0)
+        # 10 °C above the set point at 1.2 %/°C of base power.
+        assert quiet_router.thermal_power_w() == pytest.approx(
+            320.0 * 0.012 * 10.0)
+        assert quiet_router.wall_referred_power_w() > 320.0
+
+    def test_monotone_in_temperature(self, quiet_router):
+        powers = []
+        for temp in (22, 26, 30, 34, 38):
+            quiet_router.set_ambient(temp)
+            powers.append(quiet_router.wall_referred_power_w())
+        assert powers == sorted(powers)
+
+    def test_implausible_temperature_rejected(self, quiet_router):
+        with pytest.raises(ValueError, match="plausible"):
+            quiet_router.set_ambient(80.0)
+        with pytest.raises(ValueError):
+            quiet_router.set_ambient(-40.0)
+
+    def test_magnitude_comparable_to_fig8(self, quiet_router):
+        # A serious cooling failure rivals the Fig. 8 OS-update bump --
+        # exactly why §4.3 warns about unmodelled environment factors.
+        quiet_router.set_ambient(36.0)
+        bump = quiet_router.thermal_power_w()
+        assert 30 < bump < 60
+
+
+class TestThermalEvents:
+    def test_ambient_change_event(self, small_fleet, rng):
+        traffic = FleetTrafficModel(small_fleet, rng=rng, n_demands=40)
+        sim = NetworkSimulation(small_fleet, traffic,
+                                rng=np.random.default_rng(4))
+        host = sorted(small_fleet.routers)[0]
+        sim.run(duration_s=units.hours(1), step_s=900,
+                events=[AmbientChange(at_s=900, hostname=host,
+                                      ambient_c=32.0)])
+        assert small_fleet.routers[host].ambient_c == 32.0
+
+    def test_heat_wave_hits_everyone(self, small_fleet, rng):
+        traffic = FleetTrafficModel(small_fleet, rng=rng, n_demands=40)
+        sim = NetworkSimulation(small_fleet, traffic,
+                                rng=np.random.default_rng(4))
+        result = sim.run(
+            duration_s=units.hours(8), step_s=900,
+            events=[HeatWave(at_s=units.hours(4), ambient_c=31.0)])
+        assert all(r.ambient_c == 31.0
+                   for r in small_fleet.routers.values())
+        total = result.total_power
+        before = total.slice(0, units.hours(4)).mean()
+        after = total.slice(units.hours(4) + 900, units.hours(8)).mean()
+        assert after > before + 20  # fleet-wide fan ramp
+
+
+class TestModelBlindSpot:
+    """§4.3's point: an unmodelled factor becomes a prediction offset."""
+
+    def test_temperature_creates_offset_without_config_change(
+            self, ncs_model, rng):
+        router = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                               noise_std_w=0.0)
+        for i in (0, 1):
+            router.port(i).plug("QSFP28-100G-DAC")
+            router.port(i).set_admin(True)
+        from repro.hardware import connect
+        connect(router.port(0), router.port(1))
+
+        from repro.core.model import InterfaceClassKey, InterfaceState
+        key = InterfaceClassKey("QSFP28", "Passive DAC", 100)
+        states = [InterfaceState(key=key) for _ in (0, 1)]
+        predicted = ncs_model.predict_power_w(states)
+
+        cool_error = abs(router.wall_power_w() - predicted)
+        router.set_ambient(34.0)
+        hot_error = abs(router.wall_power_w() - predicted)
+        # The inventory and counters are unchanged -- the model cannot
+        # know, and its error grows by the thermal wattage.
+        assert hot_error > cool_error + 20

@@ -1,0 +1,91 @@
+"""Units and conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestEnergyConversions:
+    def test_pj_round_trip(self):
+        assert units.joules_to_pj(units.pj_to_joules(22.0)) == pytest.approx(22.0)
+
+    def test_nj_round_trip(self):
+        assert units.joules_to_nj(units.nj_to_joules(58.0)) == pytest.approx(58.0)
+
+    def test_paper_scale_values(self):
+        # 5 pJ/bit at 100 Gbps is 0.5 W (§7's arithmetic).
+        power = units.pj_to_joules(5.0) * units.gbps_to_bps(100)
+        assert power == pytest.approx(0.5)
+
+
+class TestRateConversions:
+    def test_gbps(self):
+        assert units.gbps_to_bps(100) == 100e9
+        assert units.bps_to_gbps(2.5e9) == pytest.approx(2.5)
+
+    def test_tbps(self):
+        assert units.tbps_to_bps(1.3) == pytest.approx(1.3e12)
+        assert units.bps_to_tbps(1.3e12) == pytest.approx(1.3)
+
+
+class TestPacketRate:
+    def test_known_value_1500b(self):
+        # 100 Gbps of 1500 B packets with 38 B of wire overhead:
+        # 100e9 / (8 * 1538) ≈ 8.13 Mpps.
+        pps = units.packet_rate(100e9, 1500)
+        assert pps == pytest.approx(100e9 / (8 * 1538))
+
+    def test_64b_packets_much_denser(self):
+        assert (units.packet_rate(100e9, 64)
+                > 10 * units.packet_rate(100e9, 1500))
+
+    def test_zero_packet_size_rejected(self):
+        with pytest.raises(ValueError):
+            units.packet_rate(1e9, 0)
+        with pytest.raises(ValueError):
+            units.bit_rate(1e6, -3)
+
+    @given(st.floats(min_value=1e3, max_value=4e11),
+           st.floats(min_value=64, max_value=9000))
+    def test_bit_rate_inverts_packet_rate(self, rate, size):
+        assert units.bit_rate(units.packet_rate(rate, size), size) \
+            == pytest.approx(rate, rel=1e-9)
+
+    def test_custom_header_size(self):
+        assert units.packet_rate(8e9, 100, header_bytes=0) \
+            == pytest.approx(1e7)
+
+
+class TestEfficiencyMetric:
+    def test_watts_per_100g(self):
+        # 600 W at 2.4 Tbps = 25 W per 100 Gbps.
+        assert units.watts_per_100g(600, units.gbps_to_bps(2400)) \
+            == pytest.approx(25.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            units.watts_per_100g(100, 0)
+
+
+class TestTimeHelpers:
+    def test_days_hours_minutes(self):
+        assert units.days(1) == 86400
+        assert units.hours(2) == 7200
+        assert units.minutes(5) == units.SNMP_POLL_PERIOD_S
+
+    def test_kwh(self):
+        # 1 kW for an hour is one kWh.
+        assert units.kwh(1000, 3600) == pytest.approx(1.0)
+
+
+class TestRelativeError:
+    def test_signs(self):
+        assert units.relative_error(110, 100) == pytest.approx(0.1)
+        assert units.relative_error(90, 100) == pytest.approx(-0.1)
+
+    def test_zero_truth(self):
+        assert units.relative_error(0, 0) == 0.0
+        assert math.isinf(units.relative_error(1, 0))

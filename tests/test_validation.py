@@ -1,0 +1,81 @@
+"""Three-way comparison of power data sources (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.telemetry.traces import TimeSeries
+from repro.validation import (
+    ComparisonStats,
+    TelemetryVerdict,
+    compare_series,
+)
+
+
+def series(values, period=300.0, t0=0.0):
+    values = np.asarray(values, dtype=float)
+    return TimeSeries(t0 + period * np.arange(len(values)), values)
+
+
+def diurnal(n=600, base=350.0, amplitude=10.0, period=300.0):
+    t = period * np.arange(n)
+    return TimeSeries(t, base + amplitude * np.sin(
+        2 * np.pi * t / units.SECONDS_PER_DAY))
+
+
+class TestCompareSeries:
+    def test_identical_series(self):
+        ref = diurnal()
+        stats = compare_series(ref, ref)
+        assert stats.offset_w == pytest.approx(0.0)
+        assert stats.correlation == pytest.approx(1.0)
+        assert stats.verdict() == TelemetryVerdict.TRUSTWORTHY
+
+    def test_constant_offset_detected(self):
+        ref = diurnal()
+        shifted = ref.shifted(17.5)
+        stats = compare_series(shifted, ref)
+        assert stats.offset_w == pytest.approx(17.5, abs=0.2)
+        assert stats.precise
+        assert stats.verdict() == TelemetryVerdict.PRECISE_NOT_ACCURATE
+
+    def test_pseudo_constant_is_uninformative(self):
+        ref = diurnal(amplitude=10.0)
+        flat = series(np.full(len(ref), 360.0))
+        stats = compare_series(flat, ref)
+        assert not stats.precise
+        assert stats.verdict() == TelemetryVerdict.UNINFORMATIVE
+
+    def test_noisy_but_tracking_is_precise(self):
+        rng = np.random.default_rng(0)
+        ref = diurnal(amplitude=8.0)
+        noisy = TimeSeries(ref.timestamps,
+                           ref.values + 9 + rng.normal(0, 0.8, len(ref)))
+        stats = compare_series(noisy, ref)
+        assert stats.precise
+        assert stats.offset_w == pytest.approx(9.0, abs=0.5)
+
+    def test_empty_series(self):
+        stats = compare_series(series([]), diurnal())
+        assert stats.n_samples == 0
+        assert stats.verdict() == TelemetryVerdict.ABSENT
+
+    def test_disjoint_time_ranges(self):
+        a = series([1, 2, 3], t0=0)
+        b = series([1, 2, 3], t0=1e6)
+        assert compare_series(a, b).n_samples == 0
+
+    def test_different_sampling_rates_align(self):
+        # SNMP at 5 min vs Autopower at 30 s must still compare cleanly.
+        ref = diurnal(n=4000, period=30.0)
+        coarse = diurnal(n=400, period=300.0).shifted(5.0)
+        stats = compare_series(coarse, ref)
+        assert stats.offset_w == pytest.approx(5.0, abs=0.3)
+        assert stats.precise
+
+    def test_accurate_within(self):
+        stats = ComparisonStats(offset_w=3.0, residual_std_w=0.1,
+                                correlation=0.99, reference_std_w=5.0,
+                                reference_level_w=100.0, n_samples=100)
+        assert stats.accurate_within(5.0)
+        assert not stats.accurate_within(2.0)

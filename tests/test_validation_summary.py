@@ -1,0 +1,85 @@
+"""Fleet-level validation summaries."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.traces import TimeSeries
+from repro.validation import (
+    ComparisonStats,
+    TelemetryVerdict,
+    ValidationReport,
+    ValidationSummary,
+)
+
+
+def stats(offset=0.0, residual=0.1, corr=0.95, ref_std=2.0, level=300.0,
+          n=100, cand_std=2.0):
+    return ComparisonStats(offset_w=offset, residual_std_w=residual,
+                           correlation=corr, reference_std_w=ref_std,
+                           reference_level_w=level, n_samples=n,
+                           candidate_std_w=cand_std)
+
+
+def report(hostname, model, psu_stats, model_stats):
+    empty = TimeSeries(np.array([]), np.array([]))
+    return ValidationReport(hostname=hostname, router_model=model,
+                            psu_stats=psu_stats, model_stats=model_stats,
+                            autopower=empty, psu_series=None,
+                            model_series=empty)
+
+
+@pytest.fixture
+def reports():
+    return {
+        "sw001": report("sw001", "8201-32FH",
+                        stats(offset=17.5), stats(offset=2.3)),
+        "sw003": report("sw003", "NCS-55A1-24H",
+                        stats(offset=-6.0, corr=0.02, residual=3.0,
+                              cand_std=0.05),
+                        stats(offset=-11.0)),
+        "sw010": report("sw010", "N540X-8Z16G-SYS-A",
+                        None, stats(offset=2.9)),
+    }
+
+
+class TestSummary:
+    def test_rows_sorted_and_complete(self, reports):
+        summary = ValidationSummary.from_reports(reports)
+        assert [r.hostname for r in summary.rows] \
+            == ["sw001", "sw003", "sw010"]
+
+    def test_census(self, reports):
+        summary = ValidationSummary.from_reports(reports)
+        census = summary.psu_verdict_census()
+        assert census[TelemetryVerdict.PRECISE_NOT_ACCURATE] == 1
+        assert census[TelemetryVerdict.UNINFORMATIVE] == 1
+        assert census[TelemetryVerdict.ABSENT] == 1
+
+    def test_headline_claims(self, reports):
+        summary = ValidationSummary.from_reports(reports)
+        # Q3: every model is precise (possibly offset).
+        assert summary.models_all_precise()
+        # Q2: PSU telemetry is NOT universally trustworthy.
+        assert not summary.psu_universally_trustworthy()
+
+    def test_median_offset(self, reports):
+        summary = ValidationSummary.from_reports(reports)
+        assert summary.median_model_offset_w() == pytest.approx(2.9)
+
+    def test_absent_psu_offset_is_nan(self, reports):
+        summary = ValidationSummary.from_reports(reports)
+        n540x = next(r for r in summary.rows if r.hostname == "sw010")
+        assert np.isnan(n540x.psu_offset_w)
+
+    def test_to_text(self, reports):
+        text = ValidationSummary.from_reports(reports).to_text()
+        assert "sw001" in text
+        assert "precise but offset" in text
+        assert "census" in text
+        assert "median |offset|" in text
+
+    def test_empty(self):
+        summary = ValidationSummary.from_reports({})
+        assert summary.models_all_precise()  # vacuous truth
+        assert np.isnan(summary.median_model_offset_w())
+        assert summary.psu_verdict_census() == {}

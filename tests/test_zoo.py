@@ -1,0 +1,99 @@
+"""The Network Power Zoo database."""
+
+import json
+
+import pytest
+
+from repro.core.model import PowerModel, fitted
+from repro.zoo import (
+    DatasheetRecord,
+    MeasurementRecord,
+    NetworkPowerZoo,
+    PowerModelRecord,
+    Provenance,
+    PsuRecord,
+)
+
+
+@pytest.fixture
+def provenance():
+    return Provenance(contributor="nsg-ethz", method="lab-measurement",
+                      date="2025-10-01")
+
+
+@pytest.fixture
+def populated(provenance, ncs_model):
+    zoo = NetworkPowerZoo()
+    zoo.add(DatasheetRecord(
+        vendor="Cisco", model="NCS-55A1-24H", typical_w=600, max_w=715,
+        max_bandwidth_gbps=2400, release_year=2017,
+        provenance=Provenance("w", "datasheet-extraction")))
+    zoo.add(MeasurementRecord(
+        vendor="Cisco", model="NCS-55A1-24H", hostname="sw042",
+        median_w=358, mean_w=359, duration_s=86400 * 30,
+        provenance=Provenance("switch", "snmp")))
+    zoo.add(PowerModelRecord(vendor="Cisco", model="NCS-55A1-24H",
+                             power_model=ncs_model, provenance=provenance))
+    zoo.add(PsuRecord(vendor="Cisco", model="8201-32FH", hostname="sw001",
+                      capacity_w=2000, load_fraction=0.08, efficiency=0.74,
+                      provenance=Provenance("switch", "snmp")))
+    return zoo
+
+
+class TestContribution:
+    def test_summary(self, populated):
+        assert populated.summary() == {
+            "datasheet": 1, "measurement": 1, "power-model": 1, "psu": 1}
+
+    def test_unknown_record_rejected(self):
+        zoo = NetworkPowerZoo()
+        with pytest.raises(TypeError, match="unsupported record"):
+            zoo.add(object())
+
+    def test_add_all(self, provenance):
+        zoo = NetworkPowerZoo()
+        records = [
+            PsuRecord(vendor="Cisco", model="X", hostname=f"h{i}",
+                      capacity_w=250, load_fraction=0.1, efficiency=0.8,
+                      provenance=provenance)
+            for i in range(5)
+        ]
+        assert zoo.add_all(records) == 5
+
+
+class TestQueries:
+    def test_for_model(self, populated):
+        records = populated.for_model("NCS-55A1-24H")
+        assert len(records) == 3
+        only_measurements = populated.for_model("NCS-55A1-24H",
+                                                kind="measurement")
+        assert len(only_measurements) == 1
+
+    def test_vendors_and_models(self, populated):
+        assert populated.vendors() == ["Cisco"]
+        assert populated.models() == ["8201-32FH", "NCS-55A1-24H"]
+        assert populated.models(vendor="Juniper") == []
+
+    def test_unknown_kind(self, populated):
+        with pytest.raises(KeyError):
+            populated.records("blueprints")
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, populated):
+        text = populated.to_json()
+        restored = NetworkPowerZoo.from_json(text)
+        assert restored.summary() == populated.summary()
+        model_record = restored.records("power-model")[0]
+        assert model_record.power_model.p_base_w.value == pytest.approx(
+            320.0, rel=0.05)
+        assert model_record.provenance.contributor == "nsg-ethz"
+
+    def test_json_is_valid_and_sorted(self, populated):
+        payload = json.loads(populated.to_json())
+        assert set(payload) == {"datasheet", "measurement", "power-model",
+                                "psu"}
+
+    def test_unknown_kind_in_document(self):
+        with pytest.raises(ValueError, match="unknown record kind"):
+            NetworkPowerZoo.from_json('{"blueprints": []}')

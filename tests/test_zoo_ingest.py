@@ -1,0 +1,105 @@
+"""Bulk ingestion of library artefacts into the Zoo."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.datasheets import build_corpus, parse_corpus
+from repro.network import FleetTrafficModel, NetworkSimulation
+from repro.psu_opt import clean_exports
+from repro.telemetry.snmp import SnmpCollector
+from repro.zoo import (
+    NetworkPowerZoo,
+    Provenance,
+    contribute_datasheets,
+    contribute_measurements,
+    contribute_power_models,
+    contribute_psu_points,
+    vendor_lookup,
+)
+
+
+@pytest.fixture
+def provenance():
+    return Provenance(contributor="test", method="snmp", date="2026-07-04")
+
+
+@pytest.fixture(scope="module")
+def campaign_result(small_fleet_config):
+    from repro.network import build_switch_like_network
+    network = build_switch_like_network(small_fleet_config,
+                                        rng=np.random.default_rng(41))
+    traffic = FleetTrafficModel(network, rng=np.random.default_rng(42),
+                                n_demands=80)
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(43))
+    return network, sim.run(duration_s=units.hours(6), step_s=1800)
+
+
+class TestDatasheetIngestion:
+    def test_contributes_sheets_with_power_values(self, provenance):
+        corpus = build_corpus(60, np.random.default_rng(3))
+        parsed = parse_corpus(corpus)
+        zoo = NetworkPowerZoo()
+        added = contribute_datasheets(zoo, parsed, provenance)
+        assert added > 40
+        assert zoo.summary()["datasheet"] == added
+        # Vendor names came through the parser.
+        vendors = {r.vendor for r in zoo.records("datasheet")}
+        assert vendors & {"Cisco", "Arista", "Juniper"}
+
+
+class TestMeasurementIngestion:
+    def test_absent_telemetry_skipped(self, campaign_result, provenance):
+        network, result = campaign_result
+        zoo = NetworkPowerZoo()
+        added = contribute_measurements(zoo, result.snmp, provenance,
+                                        vendor_by_model=vendor_lookup())
+        silent = sum(
+            1 for trace in result.snmp.values()
+            if len(trace.power.valid()) < 2)
+        assert added == len(result.snmp) - silent
+        records = zoo.records("measurement")
+        assert all(r.vendor == "Cisco" for r in records)
+        assert all(np.isfinite(r.median_w) for r in records)
+
+
+class TestPsuIngestion:
+    def test_points_round_trip(self, campaign_result, provenance):
+        network, result = campaign_result
+        points = clean_exports(result.sensor_exports)
+        zoo = NetworkPowerZoo()
+        added = contribute_psu_points(zoo, points, provenance,
+                                      vendor_by_model=vendor_lookup())
+        assert added == len(points)
+        restored = NetworkPowerZoo.from_json(zoo.to_json())
+        assert restored.summary()["psu"] == added
+
+
+class TestModelIngestion:
+    def test_models_queryable_after_ingest(self, ncs_model, provenance):
+        zoo = NetworkPowerZoo()
+        added = contribute_power_models(
+            zoo, {"NCS-55A1-24H": ncs_model}, provenance,
+            vendor_by_model=vendor_lookup())
+        assert added == 1
+        records = zoo.for_model("NCS-55A1-24H", kind="power-model")
+        assert records[0].power_model.p_base_w.value \
+            == pytest.approx(320.0, rel=0.05)
+
+    def test_full_pipeline_one_zoo(self, campaign_result, ncs_model,
+                                   provenance):
+        """Everything the paper publishes, in one queryable document."""
+        network, result = campaign_result
+        corpus = build_corpus(40, np.random.default_rng(5))
+        zoo = NetworkPowerZoo()
+        contribute_datasheets(zoo, parse_corpus(corpus), provenance)
+        contribute_measurements(zoo, result.snmp, provenance)
+        contribute_psu_points(zoo, clean_exports(result.sensor_exports),
+                              provenance)
+        contribute_power_models(zoo, {"NCS-55A1-24H": ncs_model},
+                                provenance)
+        summary = zoo.summary()
+        assert all(summary[kind] > 0 for kind in summary)
+        # One model has records of several kinds.
+        assert len(zoo.for_model("NCS-55A1-24H")) >= 3
