@@ -1,0 +1,230 @@
+"""Benchmark harness for the fleet-simulation engines.
+
+Times the original per-object simulation loop against the vectorized
+columnar engine (:mod:`repro.network.engine`) on fleets of increasing
+size, checks that the two engines agree on the total-power trace, and
+writes a machine-readable report (``BENCH_simulation.json`` by default).
+
+Run it as a module::
+
+    python -m repro.bench --quick          # small fleet only, seconds
+    python -m repro.bench                  # small + medium, ~2 minutes
+    python -m repro.bench --cases large    # 214 routers x 10k steps
+
+or through the CLI: ``repro bench --quick``.
+
+Each case builds two *independent* fleets from the same seeds (one per
+engine) so neither run perturbs the other's RNG streams or object state;
+equal seeds guarantee the fleets are identical, and the report records
+the maximum relative difference between the two total-power traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.network import (
+    FleetConfig,
+    FleetTrafficModel,
+    NetworkSimulation,
+    build_switch_like_network,
+)
+
+#: Simulation step used by every benchmark case (the SNMP poll period).
+STEP_S = 300.0
+
+#: Report schema identifier, bumped on layout changes.
+SCHEMA = "repro.bench.simulation/v1"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One fleet size / duration combination to time."""
+
+    name: str
+    config: FleetConfig
+    n_steps: int
+    #: Demands drawn by the traffic model (None = model default).
+    n_demands: Optional[int] = None
+
+
+def _scaled_counts(factor: int) -> tuple:
+    return tuple((name, count * factor)
+                 for name, count in FleetConfig.model_counts)
+
+
+#: The benchmark suite, smallest first.  ``small`` finishes in seconds
+#: and is what ``--quick`` (and the smoke test) runs; ``large`` is the
+#: 2x-fleet, 10k-step case the >=10x speedup target is measured on.
+CASES: Dict[str, BenchCase] = {
+    "small": BenchCase(
+        name="small",
+        config=FleetConfig(
+            model_counts=(
+                ("8201-32FH", 2),
+                ("NCS-55A1-24H", 2),
+                ("NCS-55A1-24Q6H-SS", 2),
+                ("ASR-920-24SZ-M", 4),
+                ("N540-24Z8Q2C-M", 2),
+            ),
+            n_regional_pops=2,
+            core_core_links=2,
+        ),
+        n_steps=300,
+        n_demands=40,
+    ),
+    "medium": BenchCase(
+        name="medium",
+        config=FleetConfig(),
+        n_steps=2000,
+    ),
+    "large": BenchCase(
+        name="large",
+        config=FleetConfig(
+            model_counts=_scaled_counts(2),
+            n_regional_pops=26,
+            core_core_links=8,
+        ),
+        n_steps=10000,
+    ),
+}
+
+DEFAULT_CASES = ("small", "medium")
+
+
+def _build_simulation(case: BenchCase, seed: int) -> NetworkSimulation:
+    """A fresh fleet + traffic + simulation from three derived seeds."""
+    network = build_switch_like_network(
+        case.config, rng=np.random.default_rng(seed))
+    kwargs = {} if case.n_demands is None else {"n_demands": case.n_demands}
+    traffic = FleetTrafficModel(
+        network, rng=np.random.default_rng(seed + 1), **kwargs)
+    return NetworkSimulation(
+        network, traffic, rng=np.random.default_rng(seed + 2))
+
+
+def run_case(case: BenchCase, seed: int,
+             steps_override: Optional[int] = None) -> Dict:
+    """Time both engines on one case and return its report entry."""
+    n_steps = steps_override if steps_override else case.n_steps
+    duration_s = n_steps * STEP_S
+
+    timings: Dict[str, Dict[str, float]] = {}
+    traces: Dict[str, np.ndarray] = {}
+    fleet_shape: Dict[str, int] = {}
+    for engine in ("object", "vector"):
+        sim = _build_simulation(case, seed)
+        if not fleet_shape:
+            fleet_shape = {
+                "routers": len(sim.network.routers),
+                "ports": sum(len(r.ports)
+                             for r in sim.network.routers.values()),
+                "links": len(sim.network.links),
+            }
+        start = time.perf_counter()
+        result = sim.run(duration_s=duration_s, step_s=STEP_S, engine=engine)
+        wall_s = time.perf_counter() - start
+        timings[engine] = {
+            "wall_s": round(wall_s, 4),
+            "ms_per_step": round(1000.0 * wall_s / n_steps, 4),
+        }
+        traces[engine] = result.total_power.values
+
+    obj, vec = traces["object"], traces["vector"]
+    rel_err = float(np.max(
+        np.abs(vec - obj) / np.maximum(np.abs(obj), 1e-12)))
+    return {
+        "name": case.name,
+        **fleet_shape,
+        "n_steps": n_steps,
+        "step_s": STEP_S,
+        "object": timings["object"],
+        "vector": timings["vector"],
+        "speedup": round(
+            timings["object"]["wall_s"] / timings["vector"]["wall_s"], 2),
+        "total_power_max_rel_err": rel_err,
+    }
+
+
+def run_benchmarks(case_names: Sequence[str], seed: int,
+                   output: Path,
+                   steps_override: Optional[int] = None,
+                   stream=None) -> Dict:
+    """Run the named cases, print a summary line each, write the report."""
+    stream = stream if stream is not None else sys.stdout
+    entries: List[Dict] = []
+    for name in case_names:
+        case = CASES[name]
+        print(f"[{name}] {case.config.n_routers} routers, "
+              f"{steps_override or case.n_steps} steps ...",
+              file=stream, flush=True)
+        entry = run_case(case, seed, steps_override=steps_override)
+        entries.append(entry)
+        print(f"[{name}] object {entry['object']['wall_s']:.2f}s, "
+              f"vector {entry['vector']['wall_s']:.2f}s "
+              f"-> {entry['speedup']:.1f}x "
+              f"(max rel err {entry['total_power_max_rel_err']:.2e})",
+              file=stream, flush=True)
+    report = {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro.bench",
+        "seed": seed,
+        "step_s": STEP_S,
+        "cases": entries,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {output}", file=stream)
+    return report
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the object vs vectorized simulation engines.")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the small case (a few seconds)")
+    parser.add_argument("--cases", nargs="+", choices=sorted(CASES),
+                        metavar="CASE",
+                        help=f"cases to run (default: {' '.join(DEFAULT_CASES)}"
+                             "; choices: %(choices)s)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override the per-case step count")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="base RNG seed (default: %(default)s)")
+    parser.add_argument("--output", "-o", type=Path,
+                        default=Path("BENCH_simulation.json"),
+                        help="report path (default: %(default)s)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.quick:
+        case_names: Sequence[str] = ("small",)
+    elif args.cases:
+        case_names = args.cases
+    else:
+        case_names = DEFAULT_CASES
+    if args.steps is not None and args.steps <= 0:
+        print("--steps must be positive", file=sys.stderr)
+        return 2
+    parent = args.output.parent
+    if parent and not parent.is_dir():
+        # Fail before the benchmarks run, not after minutes of timing.
+        print(f"output directory {parent} does not exist", file=sys.stderr)
+        return 2
+    run_benchmarks(case_names, seed=args.seed, output=args.output,
+                   steps_override=args.steps)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

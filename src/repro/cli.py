@@ -10,7 +10,9 @@ Mirrors how the paper's released artifacts are used from a shell:
 * ``netpower datasheets``  -- run the §3 corpus/extraction pipeline and
   print the trend and Table 1 statistics;
 * ``netpower zoo``         -- derive every catalog device and export a
-  Network Power Zoo JSON document.
+  Network Power Zoo JSON document;
+* ``netpower bench``       -- time the object vs vectorized simulation
+  engines and write ``BENCH_simulation.json``.
 
 Every command takes ``--seed`` and is deterministic given it.
 """
@@ -80,6 +82,18 @@ def _parser() -> argparse.ArgumentParser:
         help="rate-adaptation savings (the sleeping alternative)")
     rate.add_argument("--headroom", type=float, default=4.0,
                       help="capacity headroom over peak load (default: 4)")
+
+    bench = sub.add_parser(
+        "bench", parents=[common],
+        help="benchmark the object vs vectorized simulation engines")
+    bench.add_argument("--quick", action="store_true",
+                       help="run only the small case (a few seconds)")
+    bench.add_argument("--cases", nargs="+", metavar="CASE",
+                       help="cases to run: small, medium, large")
+    bench.add_argument("--steps", type=int, default=None,
+                       help="override the per-case step count")
+    bench.add_argument("--output", "-o", default="BENCH_simulation.json",
+                       help="report path (default: %(default)s)")
     return parser
 
 
@@ -351,6 +365,35 @@ def _cmd_rate_study(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro import bench
+
+    if args.quick:
+        case_names = ("small",)
+    elif args.cases:
+        unknown = [c for c in args.cases if c not in bench.CASES]
+        if unknown:
+            print(f"error: unknown bench cases {unknown}; "
+                  f"choose from {sorted(bench.CASES)}", file=sys.stderr)
+            return 2
+        case_names = args.cases
+    else:
+        case_names = bench.DEFAULT_CASES
+    if args.steps is not None and args.steps <= 0:
+        print("error: --steps must be positive", file=sys.stderr)
+        return 2
+    output = Path(args.output)
+    if output.parent and not output.parent.is_dir():
+        print(f"error: output directory {output.parent} does not exist",
+              file=sys.stderr)
+        return 2
+    bench.run_benchmarks(case_names, seed=args.seed, output=output,
+                         steps_override=args.steps)
+    return 0
+
+
 _COMMANDS = {
     "derive": _cmd_derive,
     "audit": _cmd_audit,
@@ -359,6 +402,7 @@ _COMMANDS = {
     "zoo": _cmd_zoo,
     "validate": _cmd_validate,
     "rate-study": _cmd_rate_study,
+    "bench": _cmd_bench,
 }
 
 

@@ -49,6 +49,7 @@ class DeployedInterface:
             raise ValueError(
                 f"interface {self.name}: rate arrays have differing lengths "
                 f"{sorted(lengths)}")
+        self._class_key_memo = None
 
     @property
     def n_samples(self) -> int:
@@ -57,7 +58,18 @@ class DeployedInterface:
 
     @property
     def class_key(self) -> Optional[InterfaceClassKey]:
-        """The interface class implied by the inventory entry."""
+        """The interface class implied by the inventory entry.
+
+        The catalog lookup is memoized on ``(trx_name, speed_gbps)`` --
+        prediction loops resolve it once per interface rather than once
+        per evaluation.
+        """
+        source = (self.trx_name, self.speed_gbps)
+        if self._class_key_memo is None or self._class_key_memo[0] != source:
+            self._class_key_memo = (source, self._resolve_class_key())
+        return self._class_key_memo[1]
+
+    def _resolve_class_key(self) -> Optional[InterfaceClassKey]:
         if self.trx_name is None:
             return None
         model = TRANSCEIVER_CATALOG.get(self.trx_name)
@@ -112,14 +124,20 @@ def predict_trace(model: PowerModel,
                 f"interface {iface.name} has {iface.n_samples} samples, "
                 f"expected {n}")
 
-    total = np.full(n, model.p_base_w.value, dtype=float)
+    # Group interfaces by class so each class's parameters are resolved
+    # once and its members evaluate as one (members, samples) matrix.
+    groups: dict = {}
     for iface in interfaces:
         key = iface.class_key
         if key is None:
             continue
+        groups.setdefault(key, []).append(iface)
+
+    total = np.full(n, model.p_base_w.value, dtype=float)
+    for key, members in groups.items():
         iface_model = model.interface_model(key)
-        bps = iface.physical_bit_rate()
-        pps = iface.packet_rate()
+        bps = np.stack([m.physical_bit_rate() for m in members])
+        pps = np.stack([m.packet_rate() for m in members])
         active = pps > active_pps_threshold
 
         active_power = (
@@ -130,7 +148,7 @@ def predict_trace(model: PowerModel,
             idle_power = 0.0
         else:
             idle_power = iface_model.p_trx_in_w.value
-        total += np.where(active, active_power, idle_power)
+        total += np.where(active, active_power, idle_power).sum(axis=0)
     return total
 
 
@@ -138,10 +156,28 @@ def predict_instant(model: PowerModel,
                     interfaces: Sequence[DeployedInterface],
                     index: int,
                     assume_unplugged_when_idle: bool = True) -> float:
-    """Predicted power at one time index (convenience wrapper)."""
-    trace = predict_trace(model, interfaces,
+    """Predicted power at one time index.
+
+    Slices every interface's rate arrays down to the requested sample
+    before evaluating, so the cost is O(interfaces) rather than
+    O(interfaces x samples).  Supports negative indices; raises
+    ``IndexError`` when out of range, like indexing the full trace would.
+    """
+    sliced = [
+        DeployedInterface(
+            name=iface.name,
+            trx_name=iface.trx_name,
+            octet_rate_rx=np.atleast_1d(iface.octet_rate_rx[index]),
+            octet_rate_tx=np.atleast_1d(iface.octet_rate_tx[index]),
+            packet_rate_rx=np.atleast_1d(iface.packet_rate_rx[index]),
+            packet_rate_tx=np.atleast_1d(iface.packet_rate_tx[index]),
+            speed_gbps=iface.speed_gbps,
+        )
+        for iface in interfaces
+    ]
+    trace = predict_trace(model, sliced,
                           assume_unplugged_when_idle=assume_unplugged_when_idle)
-    return float(trace[index])
+    return float(trace[0])
 
 
 def transceiver_power_w(model: PowerModel,

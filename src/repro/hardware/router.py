@@ -175,7 +175,9 @@ class Port:
                 and peer.plugged and peer.admin_up)
 
     def _mark_dirty(self) -> None:
-        """Invalidate the owning router's static-power cache."""
+        """Invalidate this port's class-truth cache and the owning
+        router's static-power cache."""
+        self._truth_cache_valid = False
         self.router._static_dirty = True
 
     def _mark_peer_dirty(self) -> None:
@@ -194,14 +196,12 @@ class Port:
                 f"{module.model.name} ({module.model.form_factor.value}) does "
                 f"not fit {self.port_type.value} port {self.name}")
         self.transceiver = module
-        self._truth_cache_valid = False
         self._mark_dirty()
         self._mark_peer_dirty()
 
     def unplug(self) -> Optional[TransceiverInstance]:
         """Remove the seated module, returning it."""
         module, self.transceiver = self.transceiver, None
-        self._truth_cache_valid = False
         self._mark_dirty()
         self._mark_peer_dirty()
         return module
@@ -217,7 +217,6 @@ class Port:
         if gbps is not None and gbps <= 0:
             raise ValueError(f"speed must be positive, got {gbps}")
         self.configured_speed_gbps = gbps
-        self._truth_cache_valid = False
         self._mark_dirty()
 
     def offer_traffic(self, rx_bps: float = 0.0, tx_bps: float = 0.0,
@@ -551,16 +550,21 @@ class VirtualRouter:
 
     # -- telemetry ----------------------------------------------------------------
 
-    def psu_reported_power_w(self) -> Optional[float]:
+    def psu_reported_power_w(self, true_in: Optional[float] = None,
+                             ) -> Optional[float]:
         """Total input power as reported by the router's own PSU sensors.
 
         Behaviour depends on the model's quirk (§6.2): faithful within
         noise, constant offset, pseudo-constant plateau, or ``None``.
+        Collectors that already computed this router's wall power (e.g.
+        the vectorized engine) can pass it as ``true_in`` to skip the
+        recomputation; the sensor-noise draws are identical either way.
         """
         quirk = self.spec.psu_quirk
         if quirk == PsuSensorQuirk.ABSENT or not self.powered:
             return None
-        true_in = self.wall_power_w()
+        if true_in is None:
+            true_in = self.wall_power_w()
         if quirk == PsuSensorQuirk.ACCURATE:
             return true_in * (1.0 + float(self.rng.normal(0.0, 0.005)))
         if quirk == PsuSensorQuirk.OFFSET:

@@ -54,6 +54,11 @@ from repro.network.simulation import (
     NetworkSimulation,
     SimulationResult,
 )
+from repro.network.engine import (
+    FleetState,
+    VectorizedEngine,
+    supports_vectorized,
+)
 
 __all__ = [
     "ExternalPeerPort",
@@ -90,4 +95,7 @@ __all__ = [
     "FLEET_PACKET_BYTES",
     "NetworkSimulation",
     "SimulationResult",
+    "FleetState",
+    "VectorizedEngine",
+    "supports_vectorized",
 ]

@@ -1,0 +1,574 @@
+"""Vectorized fleet-simulation fast path: columnar state over NumPy arrays.
+
+The object engine in :mod:`repro.network.simulation` advances the fleet one
+Python object at a time: every step re-walks every link, every
+:meth:`VirtualRouter.advance` loops over its ports, and
+``total_wall_power_w`` re-sums per-port power through Python method calls.
+That is fine for a handful of routers; it is two orders of magnitude too
+slow for ISP-sized fleets (hundreds of routers x dozens of ports x 10^4+
+steps).
+
+This module flattens every port in the fleet into structure-of-arrays
+columns -- static power, ``e_bit``/``e_pkt``, offered rx/tx rates, link-up
+masks, router ownership indices -- so one simulation step becomes a few
+array operations (scatter the link rates, accumulate counters, segment-sum
+power per router) instead of O(ports) Python calls.
+
+Contracts that keep the fast path exactly equivalent to the object path:
+
+* **Objects stay the source of truth.**  Events mutate the
+  :class:`~repro.hardware.router.VirtualRouter` objects exactly as in the
+  object engine; the columnar state is a *cache* that is flushed to the
+  objects before any event fires and rebuilt afterwards (the same
+  ``_mark_dirty`` philosophy as the router's own static-power cache,
+  hoisted to fleet scope).  At the end of a run all counters, offered
+  traffic, and noise states are written back, so post-run object
+  inspection is indistinguishable from a scalar run.
+* **Identical RNG streams.**  NumPy ``Generator`` array draws consume the
+  underlying bit stream exactly like the equivalent sequence of scalar
+  draws, so vectorised demand noise reproduces the object path's values
+  bit for bit.  Per-router draws (AR(1) ambient noise, PSU sensor noise)
+  come from per-router generators and are issued in the same per-router
+  order as the object path.
+* **Identical arithmetic where it matters.**  Elementwise array formulas
+  mirror the scalar expressions' association order, counter accumulation
+  replicates ``int(prev + inc)`` truncation via ``np.floor``, and the
+  DC-inversion interpolation reuses each router's own ``_inversion_grid``.
+  Remaining differences (pairwise vs. sequential summation, fused
+  constant factors) stay within ~1e-12 relative error; the equivalence
+  suite asserts 1e-9.
+
+Counters are held as float64 columns: exact up to 2^53, far beyond any
+realistic campaign, but the fast path does not reproduce the 2^64 counter
+wrap (the object engine does).  Runs long enough to wrap a 64-bit octet
+counter should use ``engine="object"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.hardware.psu import QuadraticLossCurve, ScaledLossCurve, SharingPolicy
+from repro.hardware.router import OfferedTraffic, Port, VirtualRouter
+
+#: Noise correlation time of the routers' AR(1) ambient noise (matches
+#: :meth:`VirtualRouter.advance`).
+_NOISE_TAU_S = 600.0
+
+
+def _collapse_curve(curve) -> Optional[Tuple[Tuple[float, ...],
+                                             float, float, float]]:
+    """Reduce a PSU efficiency curve to ``(scales, a, b, c)`` if possible.
+
+    Ground-truth PSU instances are ``ScaledLossCurve`` wrappers (possibly
+    nested) around the quadratic PFE600 loss model; their loss fraction is
+    ``s_n * (... * (s_1 * (a + b*x + c*x^2)))``.  The scales are returned
+    innermost-first so callers can apply them in the same multiplication
+    order as the nested objects (bit-identical results).  Returns ``None``
+    for curve types the vectorized engine cannot evaluate in closed form.
+    """
+    scales: List[float] = []
+    while isinstance(curve, ScaledLossCurve):
+        scales.append(curve.scale)
+        curve = curve.base
+    if isinstance(curve, QuadraticLossCurve):
+        return tuple(reversed(scales)), curve.a, curve.b, curve.c
+    return None
+
+
+def supports_vectorized(network) -> bool:
+    """Whether every router in the fleet is expressible in columnar form.
+
+    True for all catalog hardware: the engine needs PSU curves that
+    collapse to scaled quadratics (see :func:`_collapse_curve`) and one of
+    the stock sharing policies.  Exotic custom curves fall back to the
+    object engine via ``engine="auto"``.
+    """
+    for router in network.routers.values():
+        if router.psu_group.policy not in (SharingPolicy.BALANCED,
+                                           SharingPolicy.SINGLE,
+                                           SharingPolicy.HOT_STANDBY):
+            return False
+        for psu in router.psu_group.instances:
+            if _collapse_curve(psu.curve) is None:
+                return False
+    return True
+
+
+class FleetState:
+    """Structure-of-arrays snapshot of every port and router in a fleet.
+
+    Two kinds of columns live here:
+
+    * **Dynamic state** (counters, offered traffic, noise) is owned by the
+      columns while a vectorized run is in flight and written back to the
+      objects via :meth:`flush_counters` / :meth:`flush_traffic` /
+      :meth:`flush_noise`.  It survives :meth:`refresh`.
+    * **Configuration** (static power, link-up masks, PSU coefficients,
+      link wiring) is derived from the objects and rebuilt wholesale by
+      :meth:`refresh` whenever an event may have mutated topology or
+      config -- the fleet-level analogue of the router ``_mark_dirty``
+      hooks.
+    """
+
+    def __init__(self, network, traffic, new_external_link_ids=frozenset(),
+                 autopower_hosts: Sequence[str] = ()):
+        self.network = network
+        self.traffic = traffic
+        self.routers: List[VirtualRouter] = list(network.routers.values())
+        self.n_routers = len(self.routers)
+        self.router_index: Dict[str, int] = {
+            r.hostname: i for i, r in enumerate(self.routers)}
+        self.ports: List[Port] = [p for r in self.routers for p in r.ports]
+        self.n_ports = len(self.ports)
+        counts = [len(r.ports) for r in self.routers]
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        self._router_start = starts[:-1]
+        self._router_stop = starts[1:]
+        self.port_router = np.repeat(np.arange(self.n_routers), counts)
+
+        # Dynamic state, seeded from the objects once.
+        self.rx_bps = np.array([p.traffic.rx_bps for p in self.ports])
+        self.tx_bps = np.array([p.traffic.tx_bps for p in self.ports])
+        self.packet_bytes = np.array(
+            [p.traffic.packet_bytes for p in self.ports])
+        self.noise = np.array([r._noise_state for r in self.routers])
+        self.snapshot_counters()
+        self.refresh(new_external_link_ids, autopower_hosts)
+
+    # -- dynamic state <-> objects ------------------------------------------------
+
+    def snapshot_counters(self) -> None:
+        """Load counter columns from the Port objects (they are authoritative
+        across events: a power cycle zeroes them on the object)."""
+        self.c_rx_oct = np.array(
+            [float(p.counters.rx_octets) for p in self.ports])
+        self.c_tx_oct = np.array(
+            [float(p.counters.tx_octets) for p in self.ports])
+        self.c_rx_pkt = np.array(
+            [float(p.counters.rx_packets) for p in self.ports])
+        self.c_tx_pkt = np.array(
+            [float(p.counters.tx_packets) for p in self.ports])
+
+    def flush_counters(self, hostnames: Optional[Sequence[str]] = None) -> None:
+        """Write counter columns back into the Port objects."""
+        if hostnames is None:
+            indices = range(self.n_ports)
+        else:
+            indices = []
+            for host in hostnames:
+                r = self.router_index[host]
+                indices.extend(range(self._router_start[r],
+                                     self._router_stop[r]))
+        for f in indices:
+            counters = self.ports[f].counters
+            counters.rx_octets = int(self.c_rx_oct[f])
+            counters.tx_octets = int(self.c_tx_oct[f])
+            counters.rx_packets = int(self.c_rx_pkt[f])
+            counters.tx_packets = int(self.c_tx_pkt[f])
+
+    def flush_traffic(self, flat_indices: Optional[Sequence[int]] = None) -> None:
+        """Write offered-traffic columns back into the Port objects."""
+        if flat_indices is None:
+            flat_indices = self._linked_flat
+        for f in flat_indices:
+            self.ports[f].traffic = OfferedTraffic(
+                rx_bps=float(self.rx_bps[f]), tx_bps=float(self.tx_bps[f]),
+                packet_bytes=float(self.packet_bytes[f]))
+
+    def flush_noise(self) -> None:
+        """Write the AR(1) noise states back into the routers."""
+        for i, router in enumerate(self.routers):
+            router._noise_state = float(self.noise[i])
+
+    def flush_all(self) -> None:
+        """Full write-back: counters, traffic, and noise."""
+        self.flush_counters()
+        self.flush_traffic()
+        self.flush_noise()
+
+    # -- configuration rebuild ------------------------------------------------------
+
+    def refresh(self, new_external_link_ids=frozenset(),
+                autopower_hosts: Sequence[str] = ()) -> None:
+        """Rebuild every configuration column from the object model.
+
+        Called once at construction and again after any event fires --
+        the invalidation contract is "any object mutation invalidates the
+        whole columnar config", which costs O(ports + links) on the rare
+        event steps and keeps the hot loop free of staleness checks.
+        """
+        self._refresh_ports()
+        self._refresh_routers()
+        self._refresh_psus()
+        self._refresh_links(new_external_link_ids)
+        self._refresh_views(autopower_hosts)
+
+    def _refresh_ports(self) -> None:
+        n = self.n_ports
+        static = np.zeros(n)
+        link_up = np.zeros(n, dtype=bool)
+        p_off = np.zeros(n)
+        e_bit = np.zeros(n)
+        e_pkt = np.zeros(n)
+        has_truth = np.zeros(n, dtype=bool)
+        for f, port in enumerate(self.ports):
+            static[f] = port.static_power_w()
+            link_up[f] = port.link_up
+            truth = port.class_truth()
+            if truth is not None:
+                has_truth[f] = True
+                p_off[f] = truth.p_offset_w
+                e_bit[f] = truth.e_bit_j
+                e_pkt[f] = truth.e_pkt_j
+        self.static_w = static
+        self.link_up = link_up
+        self.p_offset_w = p_off
+        self.e_bit_j = e_bit
+        self.e_pkt_j = e_pkt
+        self.dyn_ok = link_up & has_truth
+        self.static_sum = np.bincount(self.port_router, weights=static,
+                                      minlength=self.n_routers)
+
+    def _refresh_routers(self) -> None:
+        self.powered = np.array([r.powered for r in self.routers], dtype=bool)
+        self.port_powered = self.powered[self.port_router]
+        # (p_base + fan_bump) + thermal, matching the association order of
+        # VirtualRouter.wall_referred_power_w.
+        self.base_fixed = np.array(
+            [(r.spec.p_base_w + r.fan_bump_w) + r.thermal_power_w()
+             for r in self.routers])
+        self.noise_std = np.array([r.noise_std_w for r in self.routers])
+        # Per-router wall->DC inversion grids (reuse each router's own
+        # lazily built grid so interpolation matches np.interp on it).
+        # The grid depends only on the *nominal* PSU group, which is a
+        # pure function of the router model, so routers of one model that
+        # have not built theirs yet can share a single build.
+        grid_by_model: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        walls, dcs = [], []
+        for router in self.routers:
+            if router._inversion_grid is None:
+                cached = grid_by_model.get(router.spec.name)
+                if cached is None:
+                    router._dc_from_wall_referred(0.0)
+                    grid_by_model[router.spec.name] = router._inversion_grid
+                else:
+                    router._inversion_grid = cached
+            wall_grid, dc_grid = router._inversion_grid
+            walls.append(wall_grid)
+            dcs.append(dc_grid)
+        self.wall_grids = np.vstack(walls)
+        self.dc_grids = np.vstack(dcs)
+
+    def _refresh_psus(self) -> None:
+        rows_router: List[int] = []
+        rows_cap: List[float] = []
+        rows_scales: List[Tuple[float, ...]] = []
+        rows_a: List[float] = []
+        rows_b: List[float] = []
+        rows_c: List[float] = []
+        rows_div: List[float] = []
+        rows_zero: List[bool] = []
+        for i, router in enumerate(self.routers):
+            group = router.psu_group
+            n = len(group.instances)
+            for j, psu in enumerate(group.instances):
+                collapsed = _collapse_curve(psu.curve)
+                if collapsed is None:
+                    raise ValueError(
+                        f"{router.hostname}: PSU curve "
+                        f"{type(psu.curve).__name__} is not vectorizable; "
+                        f"run with engine='object'")
+                scales, a, b, c = collapsed
+                if group.policy == SharingPolicy.BALANCED:
+                    div, zero = float(n), False
+                elif j == 0:
+                    div, zero = 1.0, False
+                elif group.policy == SharingPolicy.HOT_STANDBY:
+                    div, zero = 1.0, True      # powered but idle
+                else:                          # SINGLE: spare draws nothing
+                    continue
+                rows_router.append(i)
+                rows_cap.append(psu.capacity_w)
+                rows_scales.append(scales)
+                rows_a.append(a)
+                rows_b.append(b)
+                rows_c.append(c)
+                rows_div.append(div)
+                rows_zero.append(zero)
+        self.psu_router = np.array(rows_router, dtype=np.int64)
+        self.psu_cap = np.array(rows_cap)
+        # Scale chain padded with exact 1.0 so every row multiplies in the
+        # same nesting order as its ScaledLossCurve stack.
+        depth = max((len(s) for s in rows_scales), default=0)
+        self.psu_scales = np.ones((len(rows_scales), depth))
+        for row, scales in enumerate(rows_scales):
+            self.psu_scales[row, :len(scales)] = scales
+        self.psu_a = np.array(rows_a)
+        self.psu_b = np.array(rows_b)
+        self.psu_c = np.array(rows_c)
+        self.psu_div = np.array(rows_div)
+        self.psu_zero = np.array(rows_zero, dtype=bool)
+
+    def _flat_of(self, hostname: str, port_index: int) -> int:
+        return int(self._router_start[self.router_index[hostname]]
+                   + port_index)
+
+    def _refresh_links(self, new_external_link_ids) -> None:
+        """Columnise the link list.
+
+        ``scatter_ports``/``scatter_src`` replay the object engine's
+        per-link traffic application as one fancy assignment: entries are
+        emitted in link-list order (both ends of an internal link, then
+        the local end of an external link), so a port referenced by two
+        links -- possible when a freed port is re-provisioned while a
+        stale link lingers in the list -- resolves to the same last-writer
+        as the object loop.
+        """
+        int_rows: List[Tuple[int, int, float, int]] = []   # a, b, cap95, id
+        ext_rows: List[Tuple[int, float, bool]] = []       # a, cap, is_new
+        scatter_ports: List[int] = []
+        scatter_src: List[int] = []
+        ext_ids: List[int] = []
+        for link in self.network.links:
+            fa = self._flat_of(link.a.hostname, link.a.port_index)
+            if link.is_internal:
+                src = len(int_rows)
+                fb = self._flat_of(link.b.hostname, link.b.port_index)
+                int_rows.append((fa, fb,
+                                 0.95 * units.gbps_to_bps(link.speed_gbps),
+                                 link.link_id))
+                scatter_ports.extend((fa, fb))
+                scatter_src.extend((src, src))
+            else:
+                src = len(ext_rows)
+                ext_rows.append((fa, units.gbps_to_bps(link.speed_gbps),
+                                 link.link_id in new_external_link_ids))
+                ext_ids.append(link.link_id)
+                scatter_ports.append(fa)
+                scatter_src.append(~src)    # ones' complement marks external
+        self.int_a = np.array([r[0] for r in int_rows], dtype=np.int64)
+        self.int_b = np.array([r[1] for r in int_rows], dtype=np.int64)
+        self.int_cap95 = np.array([r[2] for r in int_rows])
+        self.ext_a = np.array([r[0] for r in ext_rows], dtype=np.int64)
+        self.ext_cap = np.array([r[1] for r in ext_rows])
+        self.ext_is_new = np.array([r[2] for r in ext_rows], dtype=bool)
+        self.scatter_ports = np.array(scatter_ports, dtype=np.int64)
+        src = np.array(scatter_src, dtype=np.int64)
+        # Map external rows (encoded as ~row) past the internal block.
+        self.scatter_src = np.where(src >= 0, src, len(int_rows) + ~src)
+        # Base internal loads aligned to the internal-link rows.
+        base_loads = self.traffic._base_internal_loads
+        self.int_loads = np.array(
+            [base_loads.get(r[3], 0.0) for r in int_rows])
+        # Demand list -> external-row scatter for the traffic model.
+        row_of = {link_id: row for row, link_id in enumerate(ext_ids)}
+        self.ext_demand_rows = np.array(
+            [row_of[d.link_id] for d in self.traffic.externals],
+            dtype=np.int64)
+        self._linked_flat = sorted(set(scatter_ports))
+
+    def _refresh_views(self, autopower_hosts: Sequence[str]) -> None:
+        """Ports whose objects must track columnar traffic every step.
+
+        Autopower meters read ``router.wall_power_w`` off the object, so
+        instrumented routers keep their Port objects' offered traffic in
+        sync (see :meth:`sync_views`).
+        """
+        linked = set(self._linked_flat)
+        self._view_routers: List[Tuple[int, VirtualRouter, List[int]]] = []
+        for host in autopower_hosts:
+            i = self.router_index[host]
+            flats = [f for f in range(self._router_start[i],
+                                      self._router_stop[i]) if f in linked]
+            self._view_routers.append((i, self.routers[i], flats))
+
+    def sync_views(self) -> None:
+        """Flush traffic + noise of the view routers to their objects."""
+        for i, router, flats in self._view_routers:
+            self.flush_traffic(flats)
+            router._noise_state = float(self.noise[i])
+
+    # -- one simulation step, vectorized ----------------------------------------------
+
+    def apply_traffic(self, t_s: float) -> float:
+        """Vectorised mirror of ``NetworkSimulation._apply_traffic``.
+
+        Consumes the traffic model's RNG exactly like the object path
+        (externals first, then the internal factor) and returns total
+        external ingress bps.
+        """
+        _, demand_rates = self.traffic.external_rates_vector(t_s)
+        mult, noise = self.traffic.internal_rate_factors(t_s)
+        ext_rates = np.zeros(len(self.ext_a))
+        if len(self.ext_demand_rows):
+            ext_rates[self.ext_demand_rows] = demand_rates
+        if self.ext_is_new.any():
+            ext_rates = np.where((ext_rates == 0.0) & self.ext_is_new,
+                                 0.02 * self.ext_cap, ext_rates)
+        ext_rates = np.where(self.link_up[self.ext_a], ext_rates, 0.0)
+        int_rates = np.minimum((self.int_loads * mult) * noise,
+                               self.int_cap95)
+        rates = np.concatenate([int_rates, ext_rates])
+        values = rates[self.scatter_src]
+        self.rx_bps[self.scatter_ports] = values
+        self.tx_bps[self.scatter_ports] = values
+        self.packet_bytes[self.scatter_ports] = 700.0  # FLEET_PACKET_BYTES
+        return float(ext_rates.sum())
+
+    def advance_counters(self, dt_s: float) -> None:
+        """Accumulate counters for one step (mirrors ``Port.advance``)."""
+        active = (self.link_up & self.port_powered
+                  & ((self.rx_bps + self.tx_bps) > 0.0))
+        denom = units.BITS_PER_BYTE * (self.packet_bytes
+                                       + units.L_HEADER_BYTES)
+        rx_pps = self.rx_bps / denom
+        tx_pps = self.tx_bps / denom
+        frame = self.packet_bytes + units.ETHERNET_HEADER_BYTES
+        zero = 0.0
+        # np.floor replicates the object path's int(prev + inc) truncation
+        # (counters are non-negative and integral below 2^53).
+        self.c_rx_oct = np.floor(
+            self.c_rx_oct + np.where(active, (rx_pps * dt_s) * frame, zero))
+        self.c_tx_oct = np.floor(
+            self.c_tx_oct + np.where(active, (tx_pps * dt_s) * frame, zero))
+        self.c_rx_pkt = np.floor(
+            self.c_rx_pkt + np.where(active, rx_pps * dt_s, zero))
+        self.c_tx_pkt = np.floor(
+            self.c_tx_pkt + np.where(active, tx_pps * dt_s, zero))
+
+    def advance_noise(self, rho: float, innovation_std: np.ndarray) -> None:
+        """One AR(1) noise update per powered router (same draws as
+        ``VirtualRouter.advance``; one scalar draw per router keeps each
+        router's private RNG stream identical to the object path)."""
+        noise = self.noise
+        for i, router in enumerate(self.routers):
+            if router.powered and self.noise_std[i] > 0:
+                noise[i] = (rho * noise[i]
+                            + float(router.rng.normal(
+                                0.0, innovation_std[i])))
+
+    def wall_power(self) -> np.ndarray:
+        """Instantaneous wall power of every router, including noise."""
+        denom = units.BITS_PER_BYTE * (self.packet_bytes
+                                       + units.L_HEADER_BYTES)
+        total_pps = self.rx_bps / denom + self.tx_bps / denom
+        dyn = np.where(
+            self.dyn_ok & ((self.rx_bps != 0.0) | (self.tx_bps != 0.0)),
+            (self.p_offset_w + self.e_bit_j * (self.rx_bps + self.tx_bps))
+            + self.e_pkt_j * total_pps,
+            0.0)
+        dyn_sum = np.bincount(self.port_router, weights=dyn,
+                              minlength=self.n_routers)
+        wall_ref = (self.base_fixed + self.static_sum) + dyn_sum
+        dc = self._dc_from_wall_referred(wall_ref)
+        device = np.maximum(0.0, dc + self.noise)
+        wall = self._psu_wall(device)
+        return np.where(self.powered, wall, 0.0)
+
+    def _dc_from_wall_referred(self, wall_ref: np.ndarray) -> np.ndarray:
+        """Batched equivalent of ``VirtualRouter._dc_from_wall_referred``."""
+        grids = self.wall_grids
+        idx = np.clip((grids < wall_ref[:, None]).sum(axis=1) - 1,
+                      0, grids.shape[1] - 2)
+        w0 = np.take_along_axis(grids, idx[:, None], 1)[:, 0]
+        w1 = np.take_along_axis(grids, idx[:, None] + 1, 1)[:, 0]
+        d0 = np.take_along_axis(self.dc_grids, idx[:, None], 1)[:, 0]
+        d1 = np.take_along_axis(self.dc_grids, idx[:, None] + 1, 1)[:, 0]
+        dc = ((d1 - d0) / (w1 - w0)) * (wall_ref - w0) + d0
+        dc = np.where(wall_ref < grids[:, 0], self.dc_grids[:, 0], dc)
+        return np.where(wall_ref >= grids[:, -1], self.dc_grids[:, -1], dc)
+
+    def _psu_wall(self, device_w: np.ndarray) -> np.ndarray:
+        """Per-router wall power through the PSU curves (``PSUGroup.wall_power``)."""
+        share = np.where(self.psu_zero, 0.0,
+                         device_w[self.psu_router] / self.psu_div)
+        if np.any(share > self.psu_cap * 1.05):
+            worst = int(np.argmax(share / self.psu_cap))
+            raise ValueError(
+                f"PSU overloaded: asked for {share[worst]:.1f} W out of a "
+                f"{self.psu_cap[worst]:.0f} W supply")
+        positive = share > 0.0
+        x = share / self.psu_cap
+        loss_frac = (self.psu_a + self.psu_b * x) + self.psu_c * x ** 2
+        idle_in = self.psu_a * self.psu_cap
+        for k in range(self.psu_scales.shape[1]):
+            loss_frac = self.psu_scales[:, k] * loss_frac
+            idle_in = self.psu_scales[:, k] * idle_in
+        safe = np.where(positive, x + loss_frac, 1.0)
+        eff = np.where(positive, x / safe, 1.0)
+        active_in = share + (share / np.where(positive, eff, 1.0) - share)
+        psu_in = np.where(positive, active_in, idle_in)
+        return np.bincount(self.psu_router, weights=psu_in,
+                           minlength=self.n_routers)
+
+
+class VectorizedEngine:
+    """Drives one :class:`NetworkSimulation` run through the fast path.
+
+    Mirrors ``NetworkSimulation.run``'s step loop exactly -- events, then
+    traffic, then counter/noise advance, then power sampling, SNMP polls
+    and Autopower ticks -- but with all O(ports) work columnar.
+    """
+
+    def __init__(self, simulation):
+        self.sim = simulation
+        self.state = FleetState(
+            simulation.network, simulation.traffic,
+            new_external_link_ids=simulation._new_external_link_ids,
+            autopower_hosts=tuple(simulation.autopower_clients))
+
+    def run_steps(self, n_steps: int, step_s: float, pending, collector,
+                  snmp_period_s: float, detailed_hosts: Sequence[str],
+                  grid: np.ndarray, total_power: np.ndarray,
+                  total_traffic: np.ndarray) -> None:
+        sim = self.sim
+        state = self.state
+        rho = float(np.exp(-step_s / _NOISE_TAU_S))
+        innovation_std = state.noise_std * float(
+            np.sqrt(max(0.0, 1 - rho ** 2)))
+        next_poll_s = sim.clock_s
+        event_idx = 0
+        detailed_hosts = list(detailed_hosts)
+        hostnames = [r.hostname for r in state.routers]
+
+        for step in range(n_steps):
+            t = sim.clock_s
+            if event_idx < len(pending) and pending[event_idx].at_s <= t:
+                # Event boundary: hand authority back to the objects,
+                # apply, then rebuild the columnar config.
+                state.flush_counters()
+                state.flush_noise()
+                while (event_idx < len(pending)
+                       and pending[event_idx].at_s <= t):
+                    pending[event_idx].apply(sim)
+                    event_idx += 1
+                state.snapshot_counters()
+                state.refresh(sim._new_external_link_ids,
+                              tuple(sim.autopower_clients))
+                innovation_std = state.noise_std * float(
+                    np.sqrt(max(0.0, 1 - rho ** 2)))
+            ingress = state.apply_traffic(t)
+            state.advance_counters(step_s)
+            state.advance_noise(rho, innovation_std)
+            sim.clock_s += step_s
+            t_sample = sim.clock_s
+            grid[step] = t_sample
+            wall = state.wall_power()
+            total_power[step] = wall.sum()
+            total_traffic[step] = ingress
+            if t_sample >= next_poll_s:
+                if detailed_hosts:
+                    state.flush_counters(detailed_hosts)
+                collector.record(t_sample, true_power_by_host={
+                    host: float(wall[i])
+                    for i, host in enumerate(hostnames)})
+                next_poll_s += max(snmp_period_s, step_s)
+            if sim.autopower_clients:
+                state.sync_views()
+                for client in sim.autopower_clients.values():
+                    client.tick(t_sample)
+        state.flush_all()

@@ -15,7 +15,7 @@ network-wide power/traffic series of Fig. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class NetworkSimulation:
         self.clock_s = start_s
         self.autopower_server = AutopowerServer()
         self.autopower_clients: Dict[str, AutopowerClient] = {}
-        self._new_external_links: List[Link] = []
+        self._new_external_link_ids: Set[int] = set()
 
     # -- hooks used by events ------------------------------------------------------
 
@@ -78,7 +78,7 @@ class NetworkSimulation:
     def on_topology_change(self, new_external: Optional[Link] = None) -> None:
         """Notify the traffic model that links were added or removed."""
         if new_external is not None:
-            self._new_external_links.append(new_external)
+            self._new_external_link_ids.add(new_external.link_id)
 
     # -- traffic application ----------------------------------------------------------
 
@@ -99,7 +99,7 @@ class NetworkSimulation:
                                      packet_bytes=FLEET_PACKET_BYTES)
             else:
                 rate = external_rates.get(link.link_id, 0.0)
-                if rate == 0.0 and link in self._new_external_links:
+                if rate == 0.0 and link.link_id in self._new_external_link_ids:
                     # Links added mid-run get a modest default demand.
                     rate = 0.02 * units.gbps_to_bps(link.speed_gbps)
                 if not port_a.link_up:
@@ -115,7 +115,7 @@ class NetworkSimulation:
             events: Sequence[FleetEvent] = (),
             snmp_period_s: float = units.SNMP_POLL_PERIOD_S,
             detailed_hosts: Optional[Sequence[str]] = None,
-            ) -> SimulationResult:
+            engine: str = "auto") -> SimulationResult:
         """Simulate ``duration_s`` seconds of fleet operation.
 
         Parameters
@@ -132,9 +132,26 @@ class NetworkSimulation:
             Routers whose interface counters are recorded (all routers'
             power is always recorded).  Defaults to the Autopower'd hosts
             plus any event targets; pass explicitly for full control.
+        engine:
+            ``"auto"`` (default) uses the vectorized fast path when the
+            fleet supports it, ``"vector"`` forces it (raising if the
+            fleet does not support it), ``"object"`` forces the original
+            per-object loop.  See :mod:`repro.network.engine`; results
+            agree within float tolerance (docs/PERFORMANCE.md).
         """
         if step_s <= 0 or duration_s <= 0:
             raise ValueError("duration and step must be positive")
+        if engine not in ("auto", "vector", "object"):
+            raise ValueError(
+                f"engine must be 'auto', 'vector' or 'object', got {engine!r}")
+        from repro.network.engine import VectorizedEngine, supports_vectorized
+        if engine == "auto":
+            engine = ("vector" if supports_vectorized(self.network)
+                      else "object")
+        elif engine == "vector" and not supports_vectorized(self.network):
+            raise ValueError(
+                "fleet has PSU configurations the vectorized engine cannot "
+                "evaluate; use engine='auto' or engine='object'")
         pending = sorted(events, key=lambda e: e.at_s)
         if detailed_hosts is None:
             detailed = {getattr(e, "hostname", "") for e in pending}
@@ -150,9 +167,37 @@ class NetworkSimulation:
         grid = np.empty(n_steps)
         total_power = np.empty(n_steps)
         total_traffic = np.empty(n_steps)
+
+        if engine == "vector":
+            VectorizedEngine(self).run_steps(
+                n_steps, step_s, pending, collector, snmp_period_s,
+                detailed_hosts, grid, total_power, total_traffic)
+        else:
+            self._run_steps_object(
+                n_steps, step_s, pending, collector, snmp_period_s,
+                grid, total_power, total_traffic)
+
+        for client in self.autopower_clients.values():
+            client.try_upload(self.clock_s)
+        autopower = {
+            host: self.autopower_server.download(client.unit_id)
+            for host, client in self.autopower_clients.items()
+        }
+        return SimulationResult(
+            total_power=TimeSeries(grid, total_power),
+            total_traffic_bps=TimeSeries(grid, total_traffic),
+            snmp=collector.finalize(),
+            autopower=autopower,
+            sensor_exports=collector.sensor_exports(),
+        )
+
+    def _run_steps_object(self, n_steps: int, step_s: float, pending,
+                          collector: SnmpCollector, snmp_period_s: float,
+                          grid: np.ndarray, total_power: np.ndarray,
+                          total_traffic: np.ndarray) -> None:
+        """The original per-object step loop (reference implementation)."""
         next_poll_s = self.clock_s
         event_idx = 0
-
         for step in range(n_steps):
             t = self.clock_s
             while event_idx < len(pending) and pending[event_idx].at_s <= t:
@@ -171,17 +216,3 @@ class NetworkSimulation:
                 next_poll_s += max(snmp_period_s, step_s)
             for client in self.autopower_clients.values():
                 client.tick(t_sample)
-
-        for client in self.autopower_clients.values():
-            client.try_upload(self.clock_s)
-        autopower = {
-            host: self.autopower_server.download(client.unit_id)
-            for host, client in self.autopower_clients.items()
-        }
-        return SimulationResult(
-            total_power=TimeSeries(grid, total_power),
-            total_traffic_bps=TimeSeries(grid, total_traffic),
-            snmp=collector.finalize(),
-            autopower=autopower,
-            sensor_exports=collector.sensor_exports(),
-        )

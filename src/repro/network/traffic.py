@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -197,6 +197,7 @@ class FleetTrafficModel:
         self.matrix = self._build_matrix(n_demands,
                                          internal_utilisation_scale)
         self._base_internal_loads = self.matrix.base_link_loads()
+        self._external_columns: Optional[Tuple[np.ndarray, ...]] = None
 
     # -- construction ---------------------------------------------------------------
 
@@ -257,6 +258,49 @@ class FleetTrafficModel:
         noise = float(self.rng.lognormal(0.0, 0.08))
         return {link_id: load * mult * noise
                 for link_id, load in self._base_internal_loads.items()}
+
+    def external_rates_vector(self, t_s: float) -> Tuple[np.ndarray,
+                                                         np.ndarray]:
+        """Vectorised :meth:`external_rates_at`: ``(link_ids, rates)``.
+
+        Rows align with ``self.externals``.  Consumes the RNG stream
+        exactly like the scalar method (one lognormal per demand, in
+        list order), so scalar and vectorised simulations see identical
+        noise; only the diurnal multiplier is evaluated with ``np.cos``
+        instead of ``math.cos`` (sub-ulp difference).
+        """
+        if self._external_columns is None:
+            speed = {l.link_id: l.speed_gbps
+                     for l in self.network.external_links()}
+            self._external_columns = (
+                np.array([d.link_id for d in self.externals],
+                         dtype=np.int64),
+                np.array([d.base_utilisation for d in self.externals]),
+                np.array([d.noise_scale for d in self.externals]),
+                np.array([d.phase_shift_h for d in self.externals]),
+                np.array([units.gbps_to_bps(speed[d.link_id])
+                          for d in self.externals]),
+            )
+        link_ids, base_util, noise_scale, phase_h, cap_bps = \
+            self._external_columns
+        if len(link_ids) == 0:
+            return link_ids, np.zeros(0)
+        mult = self.profile.multipliers(
+            t_s + phase_h * units.SECONDS_PER_HOUR)
+        noise = self.rng.lognormal(0.0, noise_scale)
+        rate = base_util * mult * noise * cap_bps
+        return link_ids, np.minimum(rate, 0.95 * cap_bps)
+
+    def internal_rate_factors(self, t_s: float) -> Tuple[float, float]:
+        """The ``(multiplier, noise)`` pair of :meth:`internal_rates_at`.
+
+        Lets callers holding their own per-link load arrays compute
+        ``load * mult * noise`` without building the dict; draws the same
+        single lognormal as the scalar method.
+        """
+        mult = self.profile.multiplier(t_s)
+        noise = float(self.rng.lognormal(0.0, 0.08))
+        return mult, noise
 
     def refresh_internal_loads(self) -> None:
         """Recompute base internal loads (after topology-affecting events)."""

@@ -75,9 +75,14 @@ class SnmpAgent:
         """sysName of the device."""
         return self.router.hostname
 
-    def poll_power(self) -> Optional[float]:
-        """PSU-reported total input power, or None if unsupported."""
-        return self.router.psu_reported_power_w()
+    def poll_power(self, true_in: Optional[float] = None) -> Optional[float]:
+        """PSU-reported total input power, or None if unsupported.
+
+        ``true_in`` optionally supplies the router's already-computed wall
+        power so the sensor model does not recompute it (used by the
+        vectorized engine, whose columnar state holds the fresh value).
+        """
+        return self.router.psu_reported_power_w(true_in=true_in)
 
     def poll_counters(self) -> Dict[str, Counters]:
         """Current 64-bit counters per interface."""
@@ -171,11 +176,19 @@ class SnmpCollector:
         self._counters: Dict[str, Dict[str, List[List]]] = {
             h: {} for h in self.detailed_hosts}
 
-    def record(self, timestamp_s: float) -> None:
-        """Take one poll of the whole fleet."""
+    def record(self, timestamp_s: float,
+               true_power_by_host: Optional[Dict[str, float]] = None) -> None:
+        """Take one poll of the whole fleet.
+
+        ``true_power_by_host`` optionally maps hostnames to their current
+        true wall power; hosts present in it skip the per-router wall
+        recomputation (see :meth:`SnmpAgent.poll_power`).
+        """
         self._timestamps.append(timestamp_s)
         for hostname, agent in self.agents.items():
-            power = agent.poll_power()
+            true_in = (None if true_power_by_host is None
+                       else true_power_by_host.get(hostname))
+            power = agent.poll_power(true_in=true_in)
             self._power[hostname].append(
                 power if power is not None else np.nan)
             if hostname not in self.detailed_hosts:

@@ -1,0 +1,62 @@
+"""Smoke tests for the engine benchmark harness (:mod:`repro.bench`).
+
+The full benchmark takes minutes; here we only check that a truncated
+``--quick`` run exits cleanly and writes a well-formed report, and that
+the CLI wiring rejects bad arguments.  The real performance assertion
+lives in ``benchmarks/test_perf_simulation.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import bench
+from repro.cli import main as cli_main
+
+
+class TestBenchModule:
+    def test_quick_report_is_well_formed(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = bench.main(["--quick", "--steps", "20",
+                         "--output", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == bench.SCHEMA
+        assert report["seed"] == 7
+        assert [c["name"] for c in report["cases"]] == ["small"]
+        case = report["cases"][0]
+        for key in ("routers", "ports", "links", "n_steps", "step_s",
+                    "object", "vector", "speedup",
+                    "total_power_max_rel_err"):
+            assert key in case, key
+        assert case["n_steps"] == 20
+        for engine in ("object", "vector"):
+            assert case[engine]["wall_s"] > 0
+            assert case[engine]["ms_per_step"] > 0
+        # Same seeds -> same fleet; the engines must agree.
+        assert case["total_power_max_rel_err"] < 1e-9
+
+    def test_rejects_nonpositive_steps(self, tmp_path):
+        rc = bench.main(["--quick", "--steps", "0",
+                         "--output", str(tmp_path / "x.json")])
+        assert rc == 2
+
+    def test_case_table(self):
+        assert set(bench.DEFAULT_CASES) <= set(bench.CASES)
+        assert "large" in bench.CASES
+        assert bench.CASES["large"].n_steps == 10000
+
+
+class TestBenchCli:
+    def test_cli_bench_quick(self, tmp_path):
+        out = tmp_path / "cli_bench.json"
+        rc = cli_main(["bench", "--quick", "--steps", "10",
+                       "--output", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["cases"][0]["n_steps"] == 10
+
+    def test_cli_rejects_unknown_case(self, tmp_path):
+        rc = cli_main(["bench", "--cases", "galactic",
+                       "--output", str(tmp_path / "x.json")])
+        assert rc == 2

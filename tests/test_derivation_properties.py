@@ -92,8 +92,14 @@ class TestExactRecovery:
                                                      abs=1e-3)
         assert model.p_offset_w.value == pytest.approx(p_offset,
                                                        abs=1e-6 * scale)
-        # All the linearity diagnostics must confirm a perfect fit.
-        assert report.idle_fit.r_squared == pytest.approx(1.0)
+        # All the linearity diagnostics must confirm a perfect fit.  The
+        # idle fit's r-squared is only meaningful when the per-module
+        # signal rises above float rounding of p_base (a near-zero
+        # p_trx_in leaves the idle series constant to within ulps, where
+        # r-squared measures rounding noise; the slope recovery above
+        # already covers that regime).
+        if p_trx_in > 1e-9 * scale:
+            assert report.idle_fit.r_squared == pytest.approx(1.0)
         assert report.energy_fit.r_squared == pytest.approx(1.0)
 
     def test_prediction_consistency_after_round_trip(self):
