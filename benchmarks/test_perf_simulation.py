@@ -18,6 +18,7 @@ from repro.network import (
     NetworkSimulation,
     build_switch_like_network,
 )
+from repro.obs import metrics
 
 N_STEPS = 300
 STEP_S = 300.0
@@ -49,3 +50,33 @@ class TestEngineSpeedup:
         assert speedup >= 3.0, (
             f"vectorized engine only {speedup:.1f}x faster "
             f"({object_s:.2f}s vs {vector_s:.2f}s)")
+
+
+class TestObservabilityOverhead:
+    """With no registry installed, instrumentation must cost ~nothing.
+
+    Every instrument call site resolves against the active registry and
+    returns a shared no-op when none is installed, so a bare run should
+    be indistinguishable from the pre-observability engine.  The bound
+    is deliberately loose (machine noise dwarfs the real cost, which is
+    one attribute check per call site); the acceptance target is <= 3 %
+    and the assertion allows measurement jitter on top of that.
+    """
+
+    def test_noop_instrumentation_overhead_is_small(self):
+        assert not metrics.enabled(), (
+            "a metrics registry leaked into the benchmark process")
+        _timed_run("vector")  # warm-up: imports, caches, allocator
+        samples = [_timed_run("vector")[0] for _ in range(3)]
+        bare_s = min(samples)
+        with metrics.use_registry(metrics.MetricsRegistry()):
+            observed_samples = [_timed_run("vector")[0] for _ in range(3)]
+        observed_s = min(observed_samples)
+        print(f"\nvector bare {bare_s:.3f}s, "
+              f"with live registry {observed_s:.3f}s "
+              f"({100 * (observed_s / bare_s - 1):+.1f} %)")
+        # Even a LIVE registry (strictly more work than the no-op path)
+        # must stay within 25 % of the bare run at this fleet size.
+        assert observed_s <= bare_s * 1.25, (
+            f"instrumentation overhead too high: bare {bare_s:.3f}s vs "
+            f"instrumented {observed_s:.3f}s")

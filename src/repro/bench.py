@@ -24,7 +24,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -37,12 +36,15 @@ from repro.network import (
     NetworkSimulation,
     build_switch_like_network,
 )
+from repro.obs import tracing
 
 #: Simulation step used by every benchmark case (the SNMP poll period).
 STEP_S = 300.0
 
-#: Report schema identifier, bumped on layout changes.
-SCHEMA = "repro.bench.simulation/v1"
+#: Report schema identifier, bumped on layout changes.  v2 added the
+#: per-phase timings (build / run per engine, cross-check) taken from
+#: the observability spans.
+SCHEMA = "repro.bench.simulation/v2"
 
 
 @dataclass(frozen=True)
@@ -113,34 +115,60 @@ def _build_simulation(case: BenchCase, seed: int) -> NetworkSimulation:
 
 def run_case(case: BenchCase, seed: int,
              steps_override: Optional[int] = None) -> Dict:
-    """Time both engines on one case and return its report entry."""
+    """Time both engines on one case and return its report entry.
+
+    Timing comes from :mod:`repro.obs.tracing` spans -- one ``bench.case``
+    root with ``bench.build`` / ``bench.run`` children per engine and a
+    ``bench.crosscheck`` tail -- so a ``--trace-out`` run shows the same
+    numbers the report records.  A private tracer is installed when none
+    is active, keeping the span durations available either way.
+    """
+    if tracing.enabled():
+        return _run_case_traced(case, seed, steps_override)
+    with tracing.use_tracer(tracing.Tracer()):
+        return _run_case_traced(case, seed, steps_override)
+
+
+def _run_case_traced(case: BenchCase, seed: int,
+                     steps_override: Optional[int] = None) -> Dict:
     n_steps = steps_override if steps_override else case.n_steps
     duration_s = n_steps * STEP_S
 
     timings: Dict[str, Dict[str, float]] = {}
+    phases: Dict = {}
     traces: Dict[str, np.ndarray] = {}
     fleet_shape: Dict[str, int] = {}
-    for engine in ("object", "vector"):
-        sim = _build_simulation(case, seed)
-        if not fleet_shape:
-            fleet_shape = {
-                "routers": len(sim.network.routers),
-                "ports": sum(len(r.ports)
-                             for r in sim.network.routers.values()),
-                "links": len(sim.network.links),
+    with tracing.span("bench.case", case=case.name, n_steps=n_steps,
+                      seed=seed):
+        for engine in ("object", "vector"):
+            with tracing.span("bench.build", engine=engine) as build_span:
+                sim = _build_simulation(case, seed)
+            if not fleet_shape:
+                fleet_shape = {
+                    "routers": len(sim.network.routers),
+                    "ports": sum(len(r.ports)
+                                 for r in sim.network.routers.values()),
+                    "links": len(sim.network.links),
+                }
+            with tracing.span("bench.run", engine=engine) as run_span:
+                result = sim.run(duration_s=duration_s, step_s=STEP_S,
+                                 engine=engine)
+            wall_s = run_span.duration_s
+            timings[engine] = {
+                "wall_s": round(wall_s, 4),
+                "ms_per_step": round(1000.0 * wall_s / n_steps, 4),
             }
-        start = time.perf_counter()
-        result = sim.run(duration_s=duration_s, step_s=STEP_S, engine=engine)
-        wall_s = time.perf_counter() - start
-        timings[engine] = {
-            "wall_s": round(wall_s, 4),
-            "ms_per_step": round(1000.0 * wall_s / n_steps, 4),
-        }
-        traces[engine] = result.total_power.values
+            phases[engine] = {
+                "build_s": round(build_span.duration_s, 4),
+                "run_s": round(run_span.duration_s, 4),
+            }
+            traces[engine] = result.total_power.values
 
-    obj, vec = traces["object"], traces["vector"]
-    rel_err = float(np.max(
-        np.abs(vec - obj) / np.maximum(np.abs(obj), 1e-12)))
+        with tracing.span("bench.crosscheck") as check_span:
+            obj, vec = traces["object"], traces["vector"]
+            rel_err = float(np.max(
+                np.abs(vec - obj) / np.maximum(np.abs(obj), 1e-12)))
+        phases["crosscheck_s"] = round(check_span.duration_s, 6)
     return {
         "name": case.name,
         **fleet_shape,
@@ -148,6 +176,7 @@ def run_case(case: BenchCase, seed: int,
         "step_s": STEP_S,
         "object": timings["object"],
         "vector": timings["vector"],
+        "phases": phases,
         "speedup": round(
             timings["object"]["wall_s"] / timings["vector"]["wall_s"], 2),
         "total_power_max_rel_err": rel_err,

@@ -14,17 +14,58 @@ Mirrors how the paper's released artifacts are used from a shell:
 * ``netpower bench``       -- time the object vs vectorized simulation
   engines and write ``BENCH_simulation.json``.
 
-Every command takes ``--seed`` and is deterministic given it.
+Every command takes ``--seed`` and is deterministic given it, plus the
+shared observability flags (docs/OBSERVABILITY.md): ``--log-level`` /
+``--log-json`` control the diagnostics channel on stderr,
+``--metrics-out`` snapshots the metrics registry (Prometheus text, or
+JSON for ``.json`` paths), and ``--trace-out`` writes the span tree.
+Command *output* goes through report channels that print byte-identical
+text by default and JSON lines under ``--log-json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
 import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import _LEVELS, configure, configure_reporter
+
+M_COMMANDS = obs_metrics.counter(
+    "netpower_cli_commands_total",
+    "netpower CLI commands executed", labels=("command",))
+
+#: Report channels: stdout carries command output, stderr carries
+#: errors and progress.  Unlike diagnostics they are always on.
+_OUT_NAME = "netpower.report.out"
+_ERR_NAME = "netpower.report.err"
+
+
+def _reporter(name: str, target: str) -> logging.Logger:
+    logger = logging.getLogger(name)
+    if not any(getattr(h, "_repro_obs", False) for h in logger.handlers):
+        configure_reporter(name, target)
+    return logger
+
+
+def _out(message: str) -> None:
+    """Print a report line to stdout (JSON record under ``--log-json``)."""
+    _reporter(_OUT_NAME, "stdout").info(message)
+
+
+def _err(message: str) -> None:
+    """Print an error line to stderr (JSON record under ``--log-json``)."""
+    _reporter(_ERR_NAME, "stderr").error(message)
+
+
+def _progress(message: str) -> None:
+    """Print a progress line to stderr without claiming error severity."""
+    _reporter(_ERR_NAME, "stderr").info(message)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -35,6 +76,17 @@ def _parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=7,
                         help="root RNG seed (default: 7)")
+    common.add_argument("--log-level", default="warning", choices=_LEVELS,
+                        help="diagnostics verbosity on stderr "
+                             "(default: %(default)s)")
+    common.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics and report output as "
+                             "JSON lines")
+    common.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write a metrics snapshot here (Prometheus "
+                             "text; .json for a JSON snapshot)")
+    common.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the span trace tree here as JSON")
     sub = parser.add_subparsers(dest="command", required=True)
 
     derive = sub.add_parser(
@@ -52,6 +104,11 @@ def _parser() -> argparse.ArgumentParser:
                            help="fleet energy audit (§7/§9)")
     audit.add_argument("--days", type=float, default=2.0,
                        help="simulated days (default: 2)")
+    audit.add_argument("--autopower", type=int, default=2, metavar="N",
+                       help="deploy Autopower meters on the first N "
+                            "routers (default: 2)")
+    audit.add_argument("--no-model-check", action="store_true",
+                       help="skip the quick lab-derivation cross-check")
 
     sleep = sub.add_parser("sleep-study", parents=[common],
                            help="Hypnos link-sleeping savings (§8)")
@@ -111,7 +168,7 @@ def _cmd_derive(args) -> int:
     try:
         spec = router_spec(args.device)
     except KeyError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _err(f"error: {exc}")
         return 2
     dut = VirtualRouter(spec, rng=rng, noise_std_w=0.2)
     orchestrator = Orchestrator(dut, rng=rng)
@@ -127,19 +184,19 @@ def _cmd_derive(args) -> int:
             plan = ExperimentPlan(trx_name=trx, **extra)
             suites.append(orchestrator.run_suite(plan))
         except (KeyError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _err(f"error: {exc}")
             return 2
     model, reports = derive_power_model(suites)
     document = json.dumps(model.to_dict(), indent=2)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document + "\n")
-        print(f"wrote {args.output}")
+        _out(f"wrote {args.output}")
     else:
-        print(document)
+        _out(document)
     for key, report in reports.items():
         for warning in report.warnings:
-            print(f"warning [{key}]: {warning}", file=sys.stderr)
+            _err(f"warning [{key}]: {warning}")
     return 0
 
 
@@ -157,22 +214,57 @@ def _cmd_audit(args) -> int:
         network, rng=np.random.default_rng(args.seed + 1))
     sim = NetworkSimulation(network, traffic,
                             rng=np.random.default_rng(args.seed + 2))
+    hosts = sorted(network.routers)[:max(0, args.autopower)]
+    for hostname in hosts:
+        sim.deploy_autopower(hostname)
     result = sim.run(duration_s=units.days(args.days), step_s=1800)
     total = result.total_power.mean()
-    print(f"routers            : {len(network.routers)}")
-    print(f"mean total power   : {total:,.0f} W")
-    print(f"mean total traffic : "
-          f"{units.bps_to_tbps(result.total_traffic_bps.mean()):.2f} Tbps")
+    _out(f"routers            : {len(network.routers)}")
+    _out(f"mean total power   : {total:,.0f} W")
+    _out(f"mean total traffic : "
+         f"{units.bps_to_tbps(result.total_traffic_bps.mean()):.2f} Tbps")
+    if hosts:
+        n_samples = sum(len(series) for series in result.autopower.values())
+        _out(f"autopower units    : {len(hosts)} "
+             f"({n_samples} samples uploaded)")
     points = clean_exports(result.sensor_exports)
     for std in (EightyPlus.BRONZE, EightyPlus.PLATINUM,
                 EightyPlus.TITANIUM):
         saving = upgrade_savings(points, std)
-        print(f"upgrade >= {std.value:9s}: {100 * saving.fraction:5.1f} % "
-              f"({saving.saved_w:6,.0f} W)")
+        _out(f"upgrade >= {std.value:9s}: {100 * saving.fraction:5.1f} % "
+             f"({saving.saved_w:6,.0f} W)")
     single = single_psu_savings(points)
-    print(f"single PSU          : {100 * single.fraction:5.1f} % "
-          f"({single.saved_w:6,.0f} W)")
+    _out(f"single PSU          : {100 * single.fraction:5.1f} % "
+         f"({single.saved_w:6,.0f} W)")
+    if not args.no_model_check:
+        model, trx_fit = _audit_model_check(args.seed + 3)
+        _out(f"model check        : {model.router_model} p_base "
+             f"{model.p_base_w.value:.0f} W "
+             f"(trx fit r^2 {trx_fit.r_squared:.3f})")
     return 0
+
+
+def _audit_model_check(seed: int):
+    """A quick lab derivation so the audit exercises the model pipeline.
+
+    Deterministic in its own seed; returns the fitted model and the Trx
+    fit whose r² the audit reports as a derivation health check.
+    """
+    from repro.core import derive_power_model
+    from repro.hardware import VirtualRouter, router_spec
+    from repro.lab import ExperimentPlan, Orchestrator
+
+    rng = np.random.default_rng(seed)
+    dut = VirtualRouter(router_spec("NCS-55A1-24H"), rng=rng,
+                        noise_std_w=0.2)
+    orchestrator = Orchestrator(dut, rng=rng)
+    plan = ExperimentPlan(
+        trx_name="QSFP28-100G-DAC", n_pairs_values=(1, 2, 4),
+        rates_gbps=(10, 50, 100), packet_sizes=(256, 1500),
+        measure_duration_s=10, settle_time_s=1)
+    model, reports = derive_power_model([orchestrator.run_suite(plan)])
+    report = next(iter(reports.values()))
+    return model, report.trx_fit
 
 
 def _cmd_sleep_study(args) -> int:
@@ -191,9 +283,9 @@ def _cmd_sleep_study(args) -> int:
     reference = network.total_wall_power_w()
     estimate = plan_savings(network, plan, reference)
     sleeping = plan.ever_sleeping()
-    print(f"internal links     : {len(network.internal_links())}")
-    print(f"ever asleep        : {len(sleeping)}")
-    print(f"estimated savings  : {estimate}")
+    _out(f"internal links     : {len(network.internal_links())}")
+    _out(f"ever asleep        : {len(sleeping)}")
+    _out(f"estimated savings  : {estimate}")
     return 0
 
 
@@ -207,23 +299,23 @@ def _cmd_datasheets(args) -> int:
     corpus = build_corpus(args.models, rng)
     parsed = parse_corpus(corpus)
     accuracy = measure_accuracy(corpus, parsed)
-    print(f"corpus             : {len(corpus)} datasheets")
-    print(f"extraction accuracy: typical {100 * accuracy.typical_rate:.0f} %, "
-          f"max {100 * accuracy.max_rate:.0f} %, "
-          f"bandwidth {100 * accuracy.bandwidth_rate:.0f} %")
+    _out(f"corpus             : {len(corpus)} datasheets")
+    _out(f"extraction accuracy: typical {100 * accuracy.typical_rate:.0f} %, "
+         f"max {100 * accuracy.max_rate:.0f} %, "
+         f"bandwidth {100 * accuracy.bandwidth_rate:.0f} %")
     years = {m: d.truth.release_year
              for m, d in corpus.documents.items() if d.truth.release_year}
     points = efficiency_trend(parsed, release_years=years)
     if len(points) >= 2:
         fit = trend_fit(points)
-        print(f"efficiency trend   : {fit.slope:+.2f} W/100G/yr "
-              f"over {len(points)} routers (r^2 = {fit.r_squared:.2f})")
+        _out(f"efficiency trend   : {fit.slope:+.2f} W/100G/yr "
+             f"over {len(points)} routers (r^2 = {fit.r_squared:.2f})")
     rows = datasheet_vs_measured(parsed, TABLE1_MEASURED_MEDIAN_W)
     for row in rows:
-        print(f"  {row.router_model:22s} typical "
-              f"{row.datasheet_typical_w:5.0f} W vs measured "
-              f"{row.measured_median_w:5.0f} W "
-              f"({100 * row.relative_overestimate:+.0f} %)")
+        _out(f"  {row.router_model:22s} typical "
+             f"{row.datasheet_typical_w:5.0f} W vs measured "
+             f"{row.measured_median_w:5.0f} W "
+             f"({100 * row.relative_overestimate:+.0f} %)")
     return 0
 
 
@@ -263,14 +355,14 @@ def _cmd_zoo(args) -> int:
         zoo.add(PowerModelRecord(vendor=router_spec(device).vendor,
                                  model=device, power_model=model,
                                  provenance=provenance))
-        print(f"derived {device}", file=sys.stderr)
+        _progress(f"derived {device}")
     document = zoo.to_json()
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document + "\n")
-        print(f"wrote {args.output}")
+        _out(f"wrote {args.output}")
     else:
-        print(document)
+        _out(document)
     return 0
 
 
@@ -334,7 +426,7 @@ def _cmd_validate(args) -> int:
             model=models[model_name])
         for model_name, hostname in targets.items()
     }
-    print(ValidationSummary.from_reports(reports).to_text())
+    _out(ValidationSummary.from_reports(reports).to_text())
     return 0
 
 
@@ -350,18 +442,18 @@ def _cmd_rate_study(args) -> int:
                                 headroom=args.headroom)
     reference = network.total_wall_power_w()
     downgraded = plan.downgraded()
-    print(f"internal links      : {len(network.internal_links())}")
-    print(f"links clocked down  : {len(downgraded)}")
-    print(f"estimated savings   : {plan.total_saving_w:.0f} W "
-          f"({100 * plan.total_saving_w / reference:.2f} % of "
-          f"{reference:,.0f} W)")
+    _out(f"internal links      : {len(network.internal_links())}")
+    _out(f"links clocked down  : {len(downgraded)}")
+    _out(f"estimated savings   : {plan.total_saving_w:.0f} W "
+         f"({100 * plan.total_saving_w / reference:.2f} % of "
+         f"{reference:,.0f} W)")
     for decision in downgraded[:10]:
-        print(f"  link {decision.link_id:4d}: "
-              f"{decision.old_speed_gbps:g}G -> "
-              f"{decision.new_speed_gbps:g}G  "
-              f"(-{decision.saving_w:.2f} W)")
+        _out(f"  link {decision.link_id:4d}: "
+             f"{decision.old_speed_gbps:g}G -> "
+             f"{decision.new_speed_gbps:g}G  "
+             f"(-{decision.saving_w:.2f} W)")
     if len(downgraded) > 10:
-        print(f"  ... and {len(downgraded) - 10} more")
+        _out(f"  ... and {len(downgraded) - 10} more")
     return 0
 
 
@@ -375,19 +467,18 @@ def _cmd_bench(args) -> int:
     elif args.cases:
         unknown = [c for c in args.cases if c not in bench.CASES]
         if unknown:
-            print(f"error: unknown bench cases {unknown}; "
-                  f"choose from {sorted(bench.CASES)}", file=sys.stderr)
+            _err(f"error: unknown bench cases {unknown}; "
+                 f"choose from {sorted(bench.CASES)}")
             return 2
         case_names = args.cases
     else:
         case_names = bench.DEFAULT_CASES
     if args.steps is not None and args.steps <= 0:
-        print("error: --steps must be positive", file=sys.stderr)
+        _err("error: --steps must be positive")
         return 2
     output = Path(args.output)
     if output.parent and not output.parent.is_dir():
-        print(f"error: output directory {output.parent} does not exist",
-              file=sys.stderr)
+        _err(f"error: output directory {output.parent} does not exist")
         return 2
     bench.run_benchmarks(case_names, seed=args.seed, output=output,
                          steps_override=args.steps)
@@ -409,7 +500,40 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+
+    from repro.obs import export, load_instrument_catalog, tracing
+
+    configure(level=args.log_level, json_mode=args.log_json)
+    configure_reporter(_OUT_NAME, "stdout", json_mode=args.log_json)
+    configure_reporter(_ERR_NAME, "stderr", json_mode=args.log_json)
+
+    registry = None
+    tracer = None
+    if args.metrics_out:
+        # Import every instrumented module first so never-touched
+        # instruments still register (and export an explicit zero).
+        load_instrument_catalog()
+        registry = obs_metrics.MetricsRegistry()
+    if args.trace_out:
+        tracer = tracing.Tracer()
+
+    prev_registry = obs_metrics.set_registry(registry) \
+        if registry is not None else None
+    prev_tracer = tracing.set_tracer(tracer) if tracer is not None else None
+    try:
+        M_COMMANDS.labels(command=args.command).inc()
+        with tracing.span(f"cli.{args.command}", seed=args.seed):
+            code = _COMMANDS[args.command](args)
+    finally:
+        if registry is not None:
+            obs_metrics.set_registry(prev_registry)
+        if tracer is not None:
+            tracing.set_tracer(prev_tracer)
+    if registry is not None:
+        export.write_metrics(args.metrics_out, registry)
+    if tracer is not None:
+        export.write_trace(args.trace_out, tracer)
+    return code
 
 
 if __name__ == "__main__":

@@ -41,6 +41,42 @@ from repro.core.model import (
 )
 from repro.core.regression import LinearFit, linear_fit
 from repro.lab.orchestrator import ExperimentSuite, MeasurementFrame
+from repro.obs import metrics, tracing
+from repro.obs.logging import get_logger
+
+_log = get_logger("core.derivation")
+
+M_CLASSES = metrics.counter(
+    "netpower_derivation_classes_total",
+    "Interface-class derivations completed")
+M_WARNINGS = metrics.counter(
+    "netpower_derivation_warnings_total",
+    "Methodology warnings recorded during derivation")
+M_FRAMES_DROPPED = metrics.counter(
+    "netpower_derivation_frames_dropped_total",
+    "Snake payload sizes dropped for having < 2 rate points")
+M_DEGENERATE = metrics.counter(
+    "netpower_derivation_degenerate_total",
+    "Derivations whose dynamic terms were unidentifiable")
+M_FIT_R2 = metrics.gauge(
+    "netpower_derivation_fit_r_squared",
+    "R² of the most recent regression, by fit step and interface class",
+    labels=("fit", "class"))
+M_FIT_RESIDUAL = metrics.gauge(
+    "netpower_derivation_fit_residual_w",
+    "Residual std (W) of the most recent regression, by fit step and class",
+    labels=("fit", "class"))
+
+
+def _class_label(key: InterfaceClassKey) -> str:
+    return f"{key.port_type}-{key.reach}-{key.speed_gbps:g}G"
+
+
+def _record_fit(fit: LinearFit, step: str, key: InterfaceClassKey) -> None:
+    M_FIT_R2.labels(fit=step, **{"class": _class_label(key)}).set(
+        fit.r_squared)
+    M_FIT_RESIDUAL.labels(fit=step, **{"class": _class_label(key)}).set(
+        fit.residual_std)
 
 
 @dataclass
@@ -61,6 +97,9 @@ class ClassDerivationReport:
 
     def warn(self, message: str) -> None:
         """Record a methodology warning (kept, never printed)."""
+        M_WARNINGS.inc()
+        _log.debug("derivation warning", extra={
+            "class": _class_label(self.key), "warning": message})
         self.warnings.append(message)
 
 
@@ -97,6 +136,16 @@ def derive_class(suite: ExperimentSuite) -> Tuple[InterfaceModel,
                                                   ClassDerivationReport]:
     """Run the full §5.2 regression chain for one interface class."""
     key = _class_key(suite)
+    with tracing.span("derive.class", cls=_class_label(key),
+                      dut=suite.dut_model, frames=len(suite.frames)):
+        model, report = _derive_class(suite, key)
+    M_CLASSES.inc()
+    return model, report
+
+
+def _derive_class(suite: ExperimentSuite,
+                  key: InterfaceClassKey) -> Tuple[InterfaceModel,
+                                                   ClassDerivationReport]:
     base = derive_base(suite)
     report = ClassDerivationReport(key=key, base_w=base)
 
@@ -107,6 +156,7 @@ def derive_class(suite: ExperimentSuite) -> Tuple[InterfaceModel,
             f"{key}: need Idle frames at >= 2 pair counts, got "
             f"{len(idle_frames)}")
     report.idle_fit = linear_fit(*_points(idle_frames))
+    _record_fit(report.idle_fit, "idle", key)
     p_trx_in = FittedValue(value=report.idle_fit.slope / 2.0,
                            stderr=report.idle_fit.slope_stderr / 2.0)
     if abs(report.idle_fit.intercept - base.value) > max(
@@ -121,6 +171,7 @@ def derive_class(suite: ExperimentSuite) -> Tuple[InterfaceModel,
             f"{key}: need Port frames at >= 2 pair counts, got "
             f"{len(port_frames)}")
     report.port_fit = linear_fit(*_points(port_frames))
+    _record_fit(report.port_fit, "port", key)
     # P_Port(N) = P_base + 2N P_trx,in + N P_port: the Idle component
     # grows with N as well, so the Idle slope must come off first.
     p_port = FittedValue(
@@ -134,6 +185,7 @@ def derive_class(suite: ExperimentSuite) -> Tuple[InterfaceModel,
             f"{key}: need Trx frames at >= 2 pair counts, got "
             f"{len(trx_frames)}")
     report.trx_fit = linear_fit(*_points(trx_frames))
+    _record_fit(report.trx_fit, "trx", key)
     # P_Trx(N) = P_base + 2N P_trx,in + 2N (P_port + P_trx,up): both
     # ports of each pair are up, so after removing the Idle slope the
     # per-interface increment is half the remainder.
@@ -160,6 +212,7 @@ def _derive_dynamic(suite: ExperimentSuite, report: ClassDerivationReport,
     """``E_bit``, ``E_pkt``, ``P_offset`` from the Snake sweeps."""
     by_size = suite.snake_by_packet_size()
     if not by_size:
+        M_DEGENERATE.inc()
         report.warn("no Snake frames; dynamic terms default to zero")
         zero = FittedValue(value=0.0, stderr=float("nan"))
         return zero, zero, zero
@@ -168,6 +221,7 @@ def _derive_dynamic(suite: ExperimentSuite, report: ClassDerivationReport,
     offsets: List[float] = []
     for packet_bytes, frames in sorted(by_size.items()):
         if len(frames) < 2:
+            M_FRAMES_DROPPED.inc(len(frames))
             report.warn(
                 f"only {len(frames)} Snake rate point(s) at L={packet_bytes:g} B; "
                 f"skipping this payload size")
@@ -187,6 +241,7 @@ def _derive_dynamic(suite: ExperimentSuite, report: ClassDerivationReport,
         offsets.append((fit.intercept - p_trx_level) / n_ifaces)
 
     if not alpha_points:
+        M_DEGENERATE.inc()
         report.warn("no usable Snake sweeps; dynamic terms default to zero")
         zero = FittedValue(value=0.0, stderr=float("nan"))
         return zero, zero, zero
@@ -197,6 +252,7 @@ def _derive_dynamic(suite: ExperimentSuite, report: ClassDerivationReport,
         ys = [p[1] for p in alpha_points]
         energy_fit = linear_fit(xs, ys)
         report.energy_fit = energy_fit
+        _record_fit(energy_fit, "energy", report.key)
         e_bit = FittedValue(value=units.joules_to_pj(energy_fit.slope),
                             stderr=units.joules_to_pj(energy_fit.slope_stderr))
         e_pkt = FittedValue(
@@ -205,6 +261,7 @@ def _derive_dynamic(suite: ExperimentSuite, report: ClassDerivationReport,
     else:
         # A single payload size cannot separate per-bit from per-packet
         # energy (Eq. 17 degenerates); attribute everything to E_bit.
+        M_DEGENERATE.inc()
         report.warn(
             "only one payload size measured; E_pkt is not identifiable "
             "and was set to zero")
@@ -250,8 +307,13 @@ def derive_power_model(suites: Sequence[ExperimentSuite],
 
     power_model = PowerModel(router_model=router_model, p_base_w=p_base)
     reports: Dict[InterfaceClassKey, ClassDerivationReport] = {}
-    for suite in suites:
-        iface_model, report = derive_class(suite)
-        power_model.add_interface_model(iface_model)
-        reports[iface_model.key] = report
+    with tracing.span("derive.model", dut=router_model,
+                      n_suites=len(suites)):
+        for suite in suites:
+            iface_model, report = derive_class(suite)
+            power_model.add_interface_model(iface_model)
+            reports[iface_model.key] = report
+    _log.info("power model derived", extra={
+        "dut": router_model, "classes": len(reports),
+        "warnings": sum(len(r.warnings) for r in reports.values())})
     return power_model, reports

@@ -34,9 +34,23 @@ from repro.lab.snake import (
     teardown,
 )
 from repro.lab.traffic_gen import Flow, TrafficGenerator
+from repro.obs import metrics, tracing
+from repro.obs.logging import get_logger
 
 #: Experiment class names, matching §5.2.
 EXPERIMENTS = ("base", "idle", "port", "trx", "snake")
+
+_log = get_logger("lab.orchestrator")
+
+M_FRAMES = metrics.counter(
+    "netpower_lab_frames_total",
+    "Measurement frames collected, by experiment class",
+    labels=("experiment",))
+M_SUITES = metrics.counter(
+    "netpower_lab_suites_total", "Completed §5.2 experiment suites")
+M_METER_SAMPLES = metrics.counter(
+    "netpower_lab_meter_samples_total",
+    "Power-meter samples taken on the lab bench")
 
 
 @dataclass(frozen=True)
@@ -137,6 +151,7 @@ class Orchestrator:
             self.dut.advance(period_s)
             self._clock_s += period_s
             samples.append(self.meter.read(self._clock_s, channel=0))
+        M_METER_SAMPLES.inc(len(samples))
         return samples
 
     def _frame(self, experiment: str, n_pairs: int, plan: ExperimentPlan,
@@ -145,6 +160,7 @@ class Orchestrator:
         samples = self.measure(plan.measure_duration_s,
                                plan.sample_period_s,
                                settle_s=plan.settle_time_s)
+        M_FRAMES.labels(experiment=experiment).inc()
         return MeasurementFrame(
             experiment=experiment, n_pairs=n_pairs,
             trx_name=plan.trx_name if experiment != "base" else None,
@@ -266,16 +282,31 @@ class Orchestrator:
             dut_model=self.dut.model_name,
             port_type=eligible[0].port_type,
             trx_name=plan.trx_name, speed_gbps=speed)
-        suite.frames.append(self.run_base(plan))
-        for n in n_values:
-            suite.frames.append(self.run_idle(plan, n))
-        for n in n_values:
-            suite.frames.append(self.run_port(plan, n))
-        for n in n_values:
-            suite.frames.append(self.run_trx(plan, n))
-        for packet_bytes in plan.packet_sizes:
-            for rate in rates:
-                suite.frames.append(
-                    self.run_snake(plan, snake_pairs, rate, packet_bytes))
-        self._reset()
+        sim_clock = lambda: self._clock_s  # noqa: E731 -- span clock hook
+        with tracing.span("lab.suite", sim_clock=sim_clock,
+                          dut=self.dut.model_name, trx=plan.trx_name,
+                          speed_gbps=speed):
+            with tracing.span("lab.base", sim_clock=sim_clock):
+                suite.frames.append(self.run_base(plan))
+            with tracing.span("lab.idle", sim_clock=sim_clock):
+                for n in n_values:
+                    suite.frames.append(self.run_idle(plan, n))
+            with tracing.span("lab.port", sim_clock=sim_clock):
+                for n in n_values:
+                    suite.frames.append(self.run_port(plan, n))
+            with tracing.span("lab.trx", sim_clock=sim_clock):
+                for n in n_values:
+                    suite.frames.append(self.run_trx(plan, n))
+            with tracing.span("lab.snake", sim_clock=sim_clock,
+                              rates=len(rates),
+                              sizes=len(plan.packet_sizes)):
+                for packet_bytes in plan.packet_sizes:
+                    for rate in rates:
+                        suite.frames.append(self.run_snake(
+                            plan, snake_pairs, rate, packet_bytes))
+            self._reset()
+        M_SUITES.inc()
+        _log.info("experiment suite complete",
+                  extra={"dut": self.dut.model_name, "trx": plan.trx_name,
+                         "frames": len(suite.frames)})
         return suite

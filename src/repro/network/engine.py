@@ -46,6 +46,7 @@ counter should use ``engine="object"``.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,10 +54,18 @@ import numpy as np
 from repro import units
 from repro.hardware.psu import QuadraticLossCurve, ScaledLossCurve, SharingPolicy
 from repro.hardware.router import OfferedTraffic, Port, VirtualRouter
+from repro.obs import metrics
 
 #: Noise correlation time of the routers' AR(1) ambient noise (matches
 #: :meth:`VirtualRouter.advance`).
 _NOISE_TAU_S = 600.0
+
+M_REFRESH = metrics.counter(
+    "netpower_sim_engine_refresh_total",
+    "Columnar configuration rebuilds (construction + event boundaries)")
+M_EVENT_BOUNDARIES = metrics.counter(
+    "netpower_sim_engine_event_boundaries_total",
+    "Vectorized-run steps that flushed columns to apply events")
 
 
 def _collapse_curve(curve) -> Optional[Tuple[Tuple[float, ...],
@@ -201,6 +210,7 @@ class FleetState:
         whole columnar config", which costs O(ports + links) on the rare
         event steps and keeps the hot loop free of staleness checks.
         """
+        M_REFRESH.inc()
         self._refresh_ports()
         self._refresh_routers()
         self._refresh_psus()
@@ -534,16 +544,28 @@ class VectorizedEngine:
         event_idx = 0
         detailed_hosts = list(detailed_hosts)
         hostnames = [r.hostname for r in state.routers]
+        # Step latencies are collected locally and handed to the
+        # histogram in one batched observe_many after the loop, so the
+        # hot path never crosses the instrument layer per step.
+        from repro.network.simulation import (M_EVENTS, M_SNMP_POLLS,
+                                              M_STEP_SECONDS)
+        observing = metrics.enabled()
+        step_durations: List[float] = []
 
         for step in range(n_steps):
+            if observing:
+                step_t0 = time.perf_counter()
             t = sim.clock_s
             if event_idx < len(pending) and pending[event_idx].at_s <= t:
                 # Event boundary: hand authority back to the objects,
                 # apply, then rebuild the columnar config.
+                M_EVENT_BOUNDARIES.inc()
                 state.flush_counters()
                 state.flush_noise()
                 while (event_idx < len(pending)
                        and pending[event_idx].at_s <= t):
+                    M_EVENTS.labels(
+                        type=type(pending[event_idx]).__name__).inc()
                     pending[event_idx].apply(sim)
                     event_idx += 1
                 state.snapshot_counters()
@@ -563,6 +585,7 @@ class VectorizedEngine:
             if t_sample >= next_poll_s:
                 if detailed_hosts:
                     state.flush_counters(detailed_hosts)
+                M_SNMP_POLLS.inc()
                 collector.record(t_sample, true_power_by_host={
                     host: float(wall[i])
                     for i, host in enumerate(hostnames)})
@@ -571,4 +594,9 @@ class VectorizedEngine:
                 state.sync_views()
                 for client in sim.autopower_clients.values():
                     client.tick(t_sample)
+            if observing:
+                step_durations.append(time.perf_counter() - step_t0)
         state.flush_all()
+        if step_durations:
+            M_STEP_SECONDS.labels(engine="vector").observe_many(
+                step_durations)

@@ -14,6 +14,7 @@ network-wide power/traffic series of Fig. 1.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -23,12 +24,47 @@ from repro import units
 from repro.network.events import FleetEvent
 from repro.network.topology import ISPNetwork, Link
 from repro.network.traffic import FleetTrafficModel
+from repro.obs import metrics, tracing
+from repro.obs.logging import get_logger
 from repro.telemetry.autopower import AutopowerClient, AutopowerServer, deploy_unit
 from repro.telemetry.snmp import PsuSensorExport, RouterTrace, SnmpCollector
 from repro.telemetry.traces import TimeSeries
 
 #: Average payload size assigned to fleet traffic (IMIX-flavoured).
 FLEET_PACKET_BYTES = 700.0
+
+_log = get_logger("network.sim")
+
+#: Step latencies span ~50 us (vector) to ~10 ms (object, big fleets).
+STEP_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 1.0)
+
+M_ENGINE_RUNS = metrics.counter(
+    "netpower_sim_engine_runs_total",
+    "Simulation runs started, by engine actually used", labels=("engine",))
+M_ENGINE_FALLBACK = metrics.counter(
+    "netpower_sim_engine_fallback_total",
+    "engine='auto' selections that fell back to the object loop")
+M_STEPS = metrics.counter(
+    "netpower_sim_steps_total",
+    "Simulation steps executed, by engine", labels=("engine",))
+M_EVENTS = metrics.counter(
+    "netpower_sim_events_fired_total",
+    "Operational fleet events fired, by event type", labels=("type",))
+M_SNMP_POLLS = metrics.counter(
+    "netpower_sim_snmp_polls_total",
+    "SNMP collector poll rounds taken during simulation")
+M_STEP_SECONDS = metrics.histogram(
+    "netpower_sim_step_seconds",
+    "Wall-clock latency of one simulation step", labels=("engine",),
+    buckets=STEP_LATENCY_BUCKETS)
+M_FLEET_POWER = metrics.gauge(
+    "netpower_sim_fleet_power_watts",
+    "Network-wide wall power at the last simulated step")
+M_FLEET_TRAFFIC = metrics.gauge(
+    "netpower_sim_fleet_traffic_bps",
+    "Total external ingress traffic at the last simulated step")
 
 
 @dataclass
@@ -145,9 +181,14 @@ class NetworkSimulation:
             raise ValueError(
                 f"engine must be 'auto', 'vector' or 'object', got {engine!r}")
         from repro.network.engine import VectorizedEngine, supports_vectorized
+        requested = engine
         if engine == "auto":
             engine = ("vector" if supports_vectorized(self.network)
                       else "object")
+            if engine == "object":
+                M_ENGINE_FALLBACK.inc()
+                _log.info("fleet not vectorizable; falling back to the "
+                          "object engine")
         elif engine == "vector" and not supports_vectorized(self.network):
             raise ValueError(
                 "fleet has PSU configurations the vectorized engine cannot "
@@ -168,28 +209,46 @@ class NetworkSimulation:
         total_power = np.empty(n_steps)
         total_traffic = np.empty(n_steps)
 
-        if engine == "vector":
-            VectorizedEngine(self).run_steps(
-                n_steps, step_s, pending, collector, snmp_period_s,
-                detailed_hosts, grid, total_power, total_traffic)
-        else:
-            self._run_steps_object(
-                n_steps, step_s, pending, collector, snmp_period_s,
-                grid, total_power, total_traffic)
+        M_ENGINE_RUNS.labels(engine=engine).inc()
+        with tracing.span("sim.run", sim_clock=lambda: self.clock_s,
+                          engine=engine, requested=requested,
+                          n_steps=n_steps,
+                          routers=len(self.network.routers)):
+            with tracing.span("sim.steps", sim_clock=lambda: self.clock_s):
+                if engine == "vector":
+                    VectorizedEngine(self).run_steps(
+                        n_steps, step_s, pending, collector, snmp_period_s,
+                        detailed_hosts, grid, total_power, total_traffic)
+                else:
+                    self._run_steps_object(
+                        n_steps, step_s, pending, collector, snmp_period_s,
+                        grid, total_power, total_traffic)
 
-        for client in self.autopower_clients.values():
-            client.try_upload(self.clock_s)
-        autopower = {
-            host: self.autopower_server.download(client.unit_id)
-            for host, client in self.autopower_clients.items()
-        }
-        return SimulationResult(
-            total_power=TimeSeries(grid, total_power),
-            total_traffic_bps=TimeSeries(grid, total_traffic),
-            snmp=collector.finalize(),
-            autopower=autopower,
-            sensor_exports=collector.sensor_exports(),
-        )
+            with tracing.span("sim.finalize",
+                              sim_clock=lambda: self.clock_s):
+                for client in self.autopower_clients.values():
+                    client.try_upload(self.clock_s)
+                autopower = {
+                    host: self.autopower_server.download(client.unit_id)
+                    for host, client in self.autopower_clients.items()
+                }
+                result = SimulationResult(
+                    total_power=TimeSeries(grid, total_power),
+                    total_traffic_bps=TimeSeries(grid, total_traffic),
+                    snmp=collector.finalize(),
+                    autopower=autopower,
+                    sensor_exports=collector.sensor_exports(),
+                )
+        M_STEPS.labels(engine=engine).inc(n_steps)
+        if n_steps:
+            M_FLEET_POWER.set(float(total_power[-1]))
+            M_FLEET_TRAFFIC.set(float(total_traffic[-1]))
+        _log.info("simulation run complete",
+                  extra={"engine": engine, "n_steps": n_steps,
+                         "routers": len(self.network.routers),
+                         "mean_power_w": round(float(total_power.mean()), 3)
+                         if n_steps else 0.0})
+        return result
 
     def _run_steps_object(self, n_steps: int, step_s: float, pending,
                           collector: SnmpCollector, snmp_period_s: float,
@@ -198,9 +257,14 @@ class NetworkSimulation:
         """The original per-object step loop (reference implementation)."""
         next_poll_s = self.clock_s
         event_idx = 0
+        observing = metrics.enabled()
+        step_durations: List[float] = []
         for step in range(n_steps):
+            if observing:
+                step_t0 = time.perf_counter()
             t = self.clock_s
             while event_idx < len(pending) and pending[event_idx].at_s <= t:
+                M_EVENTS.labels(type=type(pending[event_idx]).__name__).inc()
                 pending[event_idx].apply(self)
                 event_idx += 1
             ingress = self._apply_traffic(t)
@@ -212,7 +276,13 @@ class NetworkSimulation:
             total_power[step] = self.network.total_wall_power_w()
             total_traffic[step] = ingress
             if t_sample >= next_poll_s:
+                M_SNMP_POLLS.inc()
                 collector.record(t_sample)
                 next_poll_s += max(snmp_period_s, step_s)
             for client in self.autopower_clients.values():
                 client.tick(t_sample)
+            if observing:
+                step_durations.append(time.perf_counter() - step_t0)
+        if step_durations:
+            M_STEP_SECONDS.labels(engine="object").observe_many(
+                step_durations)

@@ -1,0 +1,132 @@
+"""Exporters: Prometheus text format and JSON snapshots.
+
+``render_prometheus`` emits the text exposition format (``# HELP`` /
+``# TYPE`` headers, histogram ``_bucket``/``_sum``/``_count`` series with
+cumulative ``le`` buckets), suitable for a file-based scrape or for
+``promtool check metrics``.  ``snapshot`` serialises the same registry as
+a JSON document for programmatic ingestion, and ``write_trace`` dumps a
+:class:`~repro.obs.tracing.Tracer` span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.obs.metrics import Histogram, MetricFamily, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+#: Schema identifier stamped on JSON metric snapshots.
+SNAPSHOT_SCHEMA = "repro.obs.metrics/v1"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number rendering (integers without a dot)."""
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_str(names: Tuple[str, ...], values: Tuple[str, ...],
+               extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    pairs += [f'{n}="{_escape_label(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_family(family: MetricFamily, lines: List[str]) -> None:
+    if family.help:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for values, instrument in family.samples():
+        labels = _label_str(family.label_names, values)
+        if isinstance(instrument, Histogram):
+            cumulative = instrument.cumulative_counts()
+            for bound, count in zip(instrument.bounds, cumulative):
+                bucket = _label_str(family.label_names, values,
+                                    extra=(("le", _fmt(bound)),))
+                lines.append(f"{family.name}_bucket{bucket} {int(count)}")
+            inf_bucket = _label_str(family.label_names, values,
+                                    extra=(("le", "+Inf"),))
+            lines.append(
+                f"{family.name}_bucket{inf_bucket} {instrument.count}")
+            lines.append(
+                f"{family.name}_sum{labels} {_fmt(instrument.sum)}")
+            lines.append(f"{family.name}_count{labels} {instrument.count}")
+        else:
+            lines.append(f"{family.name}{labels} {_fmt(instrument.value)}")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        _render_family(family, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry) -> Dict:
+    """The registry as a JSON-able snapshot document."""
+    metrics: Dict[str, Dict] = {}
+    for family in registry.families():
+        samples = []
+        for values, instrument in family.samples():
+            labels = dict(zip(family.label_names, values))
+            if isinstance(instrument, Histogram):
+                samples.append({
+                    "labels": labels,
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "buckets": {_fmt(b): int(c) for b, c in
+                                zip(instrument.bounds,
+                                    instrument.cumulative_counts())},
+                })
+            else:
+                samples.append({"labels": labels,
+                                "value": instrument.value})
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "label_names": list(family.label_names),
+            "samples": samples,
+        }
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+
+def write_metrics(path: Union[str, Path],
+                  registry: MetricsRegistry) -> Path:
+    """Write the registry to ``path``.
+
+    ``.json`` paths get the JSON snapshot; anything else (the
+    conventional ``.prom``) gets the Prometheus text format.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(json.dumps(snapshot(registry), indent=2,
+                                   default=str) + "\n")
+    else:
+        path.write_text(render_prometheus(registry))
+    return path
+
+
+def write_trace(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Write the tracer's span tree to ``path`` as JSON."""
+    path = Path(path)
+    path.write_text(tracer.to_json() + "\n")
+    return path

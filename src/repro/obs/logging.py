@@ -1,0 +1,167 @@
+"""Structured logging: JSON-lines or human-readable, per-subsystem loggers.
+
+Built on the standard :mod:`logging` machinery so third-party handlers
+compose, with three pieces the toolchain needs:
+
+* :func:`get_logger` -- child loggers under the ``repro`` root, one per
+  subsystem (``get_logger("network.sim")`` -> ``repro.network.sim``), so
+  ``--log-level`` filters the whole tree at once;
+* :class:`JsonLinesFormatter` -- one JSON object per line carrying
+  timestamp, level, logger, message, and any structured ``extra=``
+  fields (machine-parseable end to end);
+* :class:`ConsoleFormatter` -- the human-readable rendering; its
+  ``bare`` variant prints the message verbatim, which is what keeps the
+  CLI's report output byte-identical to the historical ``print`` lines.
+
+Handlers resolve ``sys.stdout`` / ``sys.stderr`` at *emit* time
+(:class:`StreamProxyHandler`), so stream redirection by test harnesses
+(pytest's ``capsys``) and by callers keeps working after configuration.
+
+Nothing is configured by default: the ``repro`` root gets a
+``NullHandler`` so library use stays silent until :func:`configure` is
+called (the CLI calls it on every invocation).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+#: Record attributes that are part of the stdlib record, not user extras.
+_RESERVED = frozenset(
+    list(vars(logging.makeLogRecord({}))) + ["message", "asctime", "taskName"])
+
+_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def _extras(record: logging.LogRecord) -> dict:
+    return {k: v for k, v in record.__dict__.items()
+            if k not in _RESERVED and not k.startswith("_")}
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_extras(record))
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class ConsoleFormatter(logging.Formatter):
+    """Human-readable rendering with structured extras appended as k=v.
+
+    With ``bare=True`` the message (plus extras) is printed without the
+    time/level/logger prefix -- the CLI report channel uses this so its
+    output stays exactly the historical text.
+    """
+
+    def __init__(self, bare: bool = False):
+        super().__init__()
+        self.bare = bare
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        extras = _extras(record)
+        if extras:
+            rendered = " ".join(f"{k}={v}" for k, v in extras.items())
+            message = f"{message} [{rendered}]"
+        if record.exc_info:
+            message = f"{message}\n{self.formatException(record.exc_info)}"
+        if self.bare:
+            return message
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        return (f"{stamp} {record.levelname.lower():7s} "
+                f"{record.name}: {message}")
+
+
+class StreamProxyHandler(logging.Handler):
+    """Writes to the *current* ``sys.stdout``/``sys.stderr`` at emit time."""
+
+    def __init__(self, target: str = "stderr"):
+        if target not in ("stdout", "stderr"):
+            raise ValueError(f"target must be stdout or stderr, got {target}")
+        super().__init__()
+        self.target = target
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = getattr(sys, self.target)
+            stream.write(self.format(record) + "\n")
+        except Exception:
+            self.handleError(record)
+
+
+def get_logger(subsystem: str = "") -> logging.Logger:
+    """The logger for one subsystem, parented under ``repro``."""
+    if not subsystem:
+        return logging.getLogger("repro")
+    if subsystem == "repro" or subsystem.startswith("repro."):
+        return logging.getLogger(subsystem)
+    return logging.getLogger(f"repro.{subsystem}")
+
+
+def _replace_obs_handlers(logger: logging.Logger,
+                          handler: logging.Handler) -> None:
+    """Idempotent (re)configuration: swap out previously installed handlers."""
+    for old in list(logger.handlers):
+        if getattr(old, "_repro_obs", False):
+            logger.removeHandler(old)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+
+
+def configure(level: str = "warning", json_mode: bool = False,
+              target: str = "stderr") -> logging.Logger:
+    """Attach a diagnostics handler to the ``repro`` root logger.
+
+    Safe to call repeatedly (each call replaces the previous handler).
+    Diagnostics go to stderr by default so command *output* on stdout
+    stays clean.
+    """
+    if level.lower() not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"choose from {_LEVELS}")
+    root = get_logger()
+    handler = StreamProxyHandler(target)
+    handler.setFormatter(
+        JsonLinesFormatter() if json_mode else ConsoleFormatter())
+    _replace_obs_handlers(root, handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return root
+
+
+def configure_reporter(name: str, target: str, json_mode: bool = False,
+                       level: int = logging.INFO) -> logging.Logger:
+    """A report channel: always-on logger printing bare messages.
+
+    Unlike diagnostics (which ``--log-level`` filters), report channels
+    carry a command's actual output; the bare console formatter keeps it
+    byte-identical to plain ``print`` and the JSON formatter makes it
+    machine-parseable under ``--log-json``.
+    """
+    logger = logging.getLogger(name)
+    handler = StreamProxyHandler(target)
+    handler.setFormatter(
+        JsonLinesFormatter() if json_mode else ConsoleFormatter(bare=True))
+    _replace_obs_handlers(logger, handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+# Library default: silent until configure() is called.
+_root = logging.getLogger("repro")
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())

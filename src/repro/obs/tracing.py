@@ -1,0 +1,198 @@
+"""Nestable spans recording wall-clock *and* simulated-clock durations.
+
+A :class:`Tracer` collects a tree of :class:`Span` objects.  Spans nest
+through an explicit stack, so ``with span("sim.run"): with
+span("sim.steps"): ...`` produces the parent/child structure one expects
+from a tracing UI, exportable as JSON (``Tracer.to_dict``).
+
+Two clocks per span:
+
+* **wall clock** -- ``time.perf_counter`` at enter/exit, exported as
+  offsets relative to the trace origin.  Wall readings exist only inside
+  the trace export; they never flow back into seeded computation.
+* **sim clock** -- optional: pass ``sim_clock=<zero-arg callable>`` and
+  the span samples it at enter and exit (e.g. the fleet simulation's
+  ``clock_s``), so a trace shows both "how long did this take" and "how
+  much simulated time did it cover".
+
+Like the metrics registry, tracing is disabled by default: the
+module-level :func:`span` helper returns a shared no-op context manager
+until :func:`set_tracer` installs a real tracer, keeping instrumented
+code zero-cost in normal runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+#: Schema identifier stamped on exported trace documents.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+
+class Span:
+    """One timed operation; may carry attributes and child spans."""
+
+    __slots__ = ("name", "attributes", "children", "wall_start", "wall_end",
+                 "sim_start_s", "sim_end_s")
+
+    def __init__(self, name: str, attributes: Optional[Dict] = None):
+        self.name = name
+        self.attributes: Dict = dict(attributes or {})
+        self.children: List[Span] = []
+        self.wall_start: Optional[float] = None
+        self.wall_end: Optional[float] = None
+        self.sim_start_s: Optional[float] = None
+        self.sim_end_s: Optional[float] = None
+
+    def set_attribute(self, key: str, value) -> None:
+        """Attach or overwrite one attribute on the span."""
+        self.attributes[key] = value
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration (up to now if the span is still open)."""
+        if self.wall_start is None:
+            return 0.0
+        end = (self.wall_end if self.wall_end is not None
+               else time.perf_counter())
+        return end - self.wall_start
+
+    def to_dict(self, origin: float) -> Dict:
+        """JSON-able form with wall times relative to ``origin``."""
+        doc: Dict = {
+            "name": self.name,
+            "start_s": round((self.wall_start or origin) - origin, 9),
+            "duration_s": round(self.duration_s, 9),
+        }
+        if self.sim_start_s is not None:
+            doc["sim_start_s"] = self.sim_start_s
+            if self.sim_end_s is not None:
+                doc["sim_duration_s"] = self.sim_end_s - self.sim_start_s
+        if self.attributes:
+            doc["attributes"] = dict(self.attributes)
+        if self.children:
+            doc["children"] = [c.to_dict(origin) for c in self.children]
+        return doc
+
+
+class Tracer:
+    """Collects a forest of spans for one run (single-threaded)."""
+
+    def __init__(self):
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str,
+             sim_clock: Optional[Callable[[], float]] = None,
+             **attributes) -> Iterator[Span]:
+        """Open a span; nests under the innermost open span."""
+        sp = Span(name, attributes)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(sp)
+        self._stack.append(sp)
+        sp.wall_start = time.perf_counter()
+        if sim_clock is not None:
+            sp.sim_start_s = float(sim_clock())
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.attributes.setdefault(
+                "error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            sp.wall_end = time.perf_counter()
+            if sim_clock is not None:
+                sp.sim_end_s = float(sim_clock())
+            self._stack.pop()
+
+    def to_dict(self) -> Dict:
+        """The whole trace as a JSON-able document."""
+        origin = min((s.wall_start for s in self.roots
+                      if s.wall_start is not None), default=0.0)
+        return {
+            "schema": TRACE_SCHEMA,
+            "spans": [s.to_dict(origin) for s in self.roots],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+# ---------------------------------------------------------------------------
+# The active tracer and the zero-cost disabled path
+# ---------------------------------------------------------------------------
+
+
+class _NullSpan:
+    """Stands in for a Span while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attributes: Dict = {}
+    children: List = []
+    duration_s = 0.0
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Reusable, reentrant no-op context manager yielding a null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+_active: Optional[Tracer] = None
+
+
+def enabled() -> bool:
+    """Whether a real tracer is installed."""
+    return _active is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` while tracing is disabled."""
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or clear, with ``None``) the active tracer.
+
+    Returns the previously active tracer so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scope ``tracer`` as the active one for a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, sim_clock: Optional[Callable[[], float]] = None,
+         **attributes):
+    """Open a span on the active tracer, or a shared no-op when disabled."""
+    tracer = _active
+    if tracer is None:
+        return _NULL_CONTEXT
+    return tracer.span(name, sim_clock=sim_clock, **attributes)

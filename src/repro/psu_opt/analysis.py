@@ -32,7 +32,23 @@ from repro.hardware.psu import (
     PSU_CAPACITIES_W,
     standard_curve,
 )
+from repro.obs import metrics
 from repro.telemetry.snmp import PsuSensorExport
+
+M_POINTS = metrics.gauge(
+    "netpower_psu_points",
+    "PSU sensor points surviving the §9.2 cleaning step")
+M_POINTS_DROPPED = metrics.counter(
+    "netpower_psu_points_dropped_total",
+    "PSU sensor readings dropped as dead or inconsistent")
+M_SAVINGS_W = metrics.gauge(
+    "netpower_psu_savings_watts",
+    "Estimated wall-power savings of the last what-if run, by scenario",
+    labels=("scenario",))
+M_SAVINGS_FRAC = metrics.gauge(
+    "netpower_psu_savings_fraction",
+    "Estimated fractional savings of the last what-if run, by scenario",
+    labels=("scenario",))
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,7 @@ def clean_exports(exports: Iterable[PsuSensorExport],
     points = []
     for export in exports:
         if export.output_w < min_output_w or export.input_w <= 0:
+            M_POINTS_DROPPED.inc()
             continue
         efficiency = min(1.0, export.output_w / export.input_w)
         # Keep input consistent with the capped efficiency so the savings
@@ -74,6 +91,7 @@ def clean_exports(exports: Iterable[PsuSensorExport],
             output_w=export.output_w, input_w=input_w,
             efficiency=efficiency,
             load_fraction=export.output_w / export.capacity_w))
+    M_POINTS.set(len(points))
     return points
 
 
@@ -100,6 +118,12 @@ class PsuSavings:
                 f"({self.saved_w:.0f} W)")
 
 
+def _record(result: PsuSavings) -> PsuSavings:
+    M_SAVINGS_W.labels(scenario=result.scenario).set(result.saved_w)
+    M_SAVINGS_FRAC.labels(scenario=result.scenario).set(result.fraction)
+    return result
+
+
 # ---------------------------------------------------------------------------
 # §9.3.2 -- more efficient PSUs
 # ---------------------------------------------------------------------------
@@ -120,8 +144,8 @@ def upgrade_savings(points: Sequence[PsuPoint],
                          target_curve.efficiency(point.load_fraction))
         new_input = point.output_w / target_eff
         saved += max(0.0, point.input_w - new_input)
-    return PsuSavings(scenario=f"upgrade-{standard.value}",
-                      saved_w=saved, reference_w=reference)
+    return _record(PsuSavings(scenario=f"upgrade-{standard.value}",
+                              saved_w=saved, reference_w=reference))
 
 
 # ---------------------------------------------------------------------------
@@ -165,8 +189,9 @@ def resize_savings(points: Sequence[PsuPoint], k: float,
             new_eff = curve.efficiency(new_load)
             new_input = point.output_w / max(new_eff, 1e-6)
             saved += point.input_w - new_input
-    return PsuSavings(scenario=f"resize-k{k:g}-min{min_capacity_w:.0f}W",
-                      saved_w=saved, reference_w=reference)
+    return _record(PsuSavings(
+        scenario=f"resize-k{k:g}-min{min_capacity_w:.0f}W",
+        saved_w=saved, reference_w=reference))
 
 
 # ---------------------------------------------------------------------------
@@ -201,15 +226,17 @@ def single_psu_savings(points: Sequence[PsuPoint],
         saved += total_in - new_input
     scenario = ("single-psu" if standard is None
                 else f"single-psu+{standard.value}")
-    return PsuSavings(scenario=scenario, saved_w=saved, reference_w=reference)
+    return _record(PsuSavings(scenario=scenario, saved_w=saved,
+                              reference_w=reference))
 
 
 def combined_savings(points: Sequence[PsuPoint],
                      standard: EightyPlus) -> PsuSavings:
     """§9.3.5: one PSU *and* at least the given efficiency standard."""
     result = single_psu_savings(points, standard=standard)
-    return PsuSavings(scenario=f"combined-{standard.value}",
-                      saved_w=result.saved_w, reference_w=result.reference_w)
+    return _record(PsuSavings(
+        scenario=f"combined-{standard.value}",
+        saved_w=result.saved_w, reference_w=result.reference_w))
 
 
 def hot_standby_savings(points: Sequence[PsuPoint],
@@ -243,8 +270,8 @@ def hot_standby_savings(points: Sequence[PsuPoint],
         new_input = total_out / max(new_eff, 1e-6)
         standby = standby_power_w * (len(router_points) - 1)
         saved += total_in - new_input - standby
-    return PsuSavings(scenario="hot-standby", saved_w=saved,
-                      reference_w=reference)
+    return _record(PsuSavings(scenario="hot-standby", saved_w=saved,
+                              reference_w=reference))
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,14 @@ from repro import units
 from repro.hardware.transceiver import PortType
 from repro.network.topology import ISPNetwork, Link
 from repro.network.traffic import TrafficMatrix
+from repro.obs import metrics
+
+M_RATE_SAVINGS = metrics.gauge(
+    "netpower_rate_adaptation_savings_watts",
+    "Total savings of the last rate-adaptation plan")
+M_RATE_DOWNGRADED = metrics.gauge(
+    "netpower_rate_adaptation_links_downgraded",
+    "Links changing speed in the last rate-adaptation plan")
 
 #: Speed ladders per port type (Gbps), descending.
 SPEED_LADDER: Dict[PortType, Tuple[float, ...]] = {
@@ -120,6 +128,8 @@ def plan_rate_adaptation(network: ISPNetwork, matrix: TrafficMatrix,
         plan.decisions.append(RateDecision(
             link_id=link.link_id, old_speed_gbps=link.speed_gbps,
             new_speed_gbps=new_speed, saving_w=max(0.0, saving)))
+    M_RATE_SAVINGS.set(plan.total_saving_w)
+    M_RATE_DOWNGRADED.set(len(plan.downgraded()))
     return plan
 
 

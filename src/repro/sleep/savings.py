@@ -17,7 +17,18 @@ from typing import Dict, Mapping, Optional
 from repro.hardware.catalog import DEFAULT_P_PORT_W
 from repro.hardware.transceiver import PortType
 from repro.network.topology import ISPNetwork
+from repro.obs import metrics
 from repro.sleep.hypnos import SleepPlan
+
+M_SLEEP_LOWER = metrics.gauge(
+    "netpower_sleep_savings_lower_watts",
+    "Lower bound (P_trx,up = 0) of the last sleeping-plan estimate")
+M_SLEEP_UPPER = metrics.gauge(
+    "netpower_sleep_savings_upper_watts",
+    "Upper bound (full datasheet P_trx) of the last sleeping-plan estimate")
+M_SLEEP_LINKS = metrics.gauge(
+    "netpower_sleep_links_ever_sleeping",
+    "Links that sleep at least once in the last evaluated plan")
 
 
 @dataclass(frozen=True)
@@ -110,12 +121,16 @@ def plan_savings(network: ISPNetwork, plan: SleepPlan,
             f"reference power must be positive, got {reference_power_w}")
     lower = 0.0
     upper = 0.0
-    for link_id in plan.ever_sleeping():
+    sleeping = plan.ever_sleeping()
+    for link_id in sleeping:
         fraction = plan.sleep_fraction(link_id)
         link_lower, link_upper = port_saving_range_w(
             network, link_id, p_port_by_type)
         lower += fraction * link_lower
         upper += fraction * link_upper
+    M_SLEEP_LOWER.set(lower)
+    M_SLEEP_UPPER.set(upper)
+    M_SLEEP_LINKS.set(len(sleeping))
     return SavingsEstimate(lower_w=lower, upper_w=upper,
                            reference_power_w=reference_power_w)
 

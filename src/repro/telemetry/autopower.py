@@ -24,10 +24,50 @@ import numpy as np
 from repro import units
 from repro.hardware.router import VirtualRouter
 from repro.lab.power_meter import PowerMeter, PowerSample
+from repro.obs import metrics
+from repro.obs.logging import get_logger
 from repro.telemetry.traces import TimeSeries
 
 #: Idle power draw of the Raspberry Pi 4 measurement computer itself.
 RASPBERRY_PI_POWER_W = 4.5
+
+_log = get_logger("telemetry.autopower")
+
+M_DEPLOYS = metrics.counter(
+    "netpower_autopower_deploys_total",
+    "Autopower units installed on routers")
+M_SAMPLES = metrics.counter(
+    "netpower_autopower_samples_total",
+    "Power samples taken by a unit's meter", labels=("unit",))
+M_CHUNKS_SENT = metrics.counter(
+    "netpower_autopower_chunks_sent_total",
+    "Sample chunks pushed to the server", labels=("unit",))
+M_SAMPLES_UPLOADED = metrics.counter(
+    "netpower_autopower_samples_uploaded_total",
+    "Samples accepted by the server", labels=("unit",))
+M_UPLOAD_OFFLINE = metrics.counter(
+    "netpower_autopower_upload_offline_total",
+    "Upload attempts skipped because the uplink was down (retried later)",
+    labels=("unit",))
+M_BOOTS = metrics.counter(
+    "netpower_autopower_boots_total",
+    "Unit boots (initial power-on plus post-outage restarts)",
+    labels=("unit",))
+M_BACKLOG = metrics.gauge(
+    "netpower_autopower_backlog_samples",
+    "Samples buffered locally, awaiting upload", labels=("unit",))
+M_OUTAGE_WINDOWS = metrics.gauge(
+    "netpower_autopower_outage_windows",
+    "Scheduled outage windows, by kind", labels=("unit", "kind"))
+M_OUTAGE_SECONDS = metrics.gauge(
+    "netpower_autopower_outage_seconds",
+    "Total scheduled outage duration, by kind", labels=("unit", "kind"))
+M_SERVER_CHUNKS = metrics.counter(
+    "netpower_autopower_server_chunks_received_total",
+    "Chunks the collection server accepted")
+M_SERVER_SAMPLES = metrics.counter(
+    "netpower_autopower_server_samples_received_total",
+    "Samples the collection server accepted")
 
 
 @dataclass
@@ -57,6 +97,11 @@ class Transport:
     def add_outage(self, start_s: float, end_s: float) -> None:
         """Schedule a connectivity outage."""
         self.outages.append(OutageWindow(start_s, end_s))
+        unit = getattr(self, "unit_id", "")
+        M_OUTAGE_WINDOWS.labels(unit=unit, kind="uplink").set(
+            len(self.outages))
+        M_OUTAGE_SECONDS.labels(unit=unit, kind="uplink").set(
+            sum(w.end_s - w.start_s for w in self.outages))
 
     def available(self, t: float) -> bool:
         """Whether the uplink works at time ``t``."""
@@ -86,6 +131,8 @@ class AutopowerServer:
         if unit_id not in self._samples:
             self.register(unit_id)
         self._samples[unit_id].extend(samples)
+        M_SERVER_CHUNKS.inc()
+        M_SERVER_SAMPLES.inc(len(samples))
         return len(samples)
 
     def units(self) -> List[str]:
@@ -172,6 +219,9 @@ class AutopowerClient:
         self.router = router
         self.server = server
         self.transport = transport if transport is not None else Transport()
+        # Let the transport label its outage metrics with the unit id.
+        if not hasattr(self.transport, "unit_id"):
+            self.transport.unit_id = unit_id
         self.sample_period_s = sample_period_s
         self.upload_period_s = upload_period_s
         self.meter = PowerMeter(rng=rng)
@@ -183,12 +233,17 @@ class AutopowerClient:
         self._registered = False
         self._last_upload_s = -np.inf
         self.boots = 1
+        M_BOOTS.labels(unit=unit_id).inc()
 
     # -- failure injection ------------------------------------------------------
 
     def add_power_outage(self, start_s: float, end_s: float) -> None:
         """Schedule a PoP power failure affecting the unit itself."""
         self.power_outages.append(OutageWindow(start_s, end_s))
+        M_OUTAGE_WINDOWS.labels(unit=self.unit_id, kind="power").set(
+            len(self.power_outages))
+        M_OUTAGE_SECONDS.labels(unit=self.unit_id, kind="power").set(
+            sum(w.end_s - w.start_s for w in self.power_outages))
 
     def _powered(self, t: float) -> bool:
         return not any(w.contains(t) for w in self.power_outages)
@@ -208,9 +263,15 @@ class AutopowerClient:
                        if w.end_s > timestamp_s - self.sample_period_s)
         if was_down:
             self.boots += 1
+            M_BOOTS.labels(unit=self.unit_id).inc()
+            _log.debug("unit rebooted after power outage",
+                       extra={"unit": self.unit_id,
+                              "timestamp_s": timestamp_s})
         if self._measuring():
             self.local_buffer.append(
                 self.meter.read(timestamp_s, channel=0))
+            M_SAMPLES.labels(unit=self.unit_id).inc()
+            M_BACKLOG.labels(unit=self.unit_id).set(len(self.local_buffer))
         if timestamp_s - self._last_upload_s >= self.upload_period_s:
             self.try_upload(timestamp_s)
 
@@ -226,6 +287,7 @@ class AutopowerClient:
         """
         self._last_upload_s = timestamp_s
         if not self.transport.available(timestamp_s):
+            M_UPLOAD_OFFLINE.labels(unit=self.unit_id).inc()
             return 0
         if not self._registered:
             self.server.register(self.unit_id)
@@ -235,7 +297,11 @@ class AutopowerClient:
             chunk = self.local_buffer[: self.CHUNK_SIZE]
             accepted = self.server.receive_chunk(self.unit_id, chunk)
             del self.local_buffer[: accepted]
+            M_CHUNKS_SENT.labels(unit=self.unit_id).inc()
             uploaded += accepted
+        if uploaded:
+            M_SAMPLES_UPLOADED.labels(unit=self.unit_id).inc(uploaded)
+            M_BACKLOG.labels(unit=self.unit_id).set(len(self.local_buffer))
         return uploaded
 
 
@@ -250,6 +316,9 @@ def deploy_unit(router: VirtualRouter, server: AutopowerServer,
     the router is power-cycled here.
     """
     router.power_cycle()
+    M_DEPLOYS.inc()
+    _log.info("autopower unit deployed",
+              extra={"router": router.hostname})
     return AutopowerClient(
         unit_id=f"autopower-{router.hostname}",
         router=router, server=server, rng=rng,

@@ -26,13 +26,18 @@ class TestBenchModule:
         assert [c["name"] for c in report["cases"]] == ["small"]
         case = report["cases"][0]
         for key in ("routers", "ports", "links", "n_steps", "step_s",
-                    "object", "vector", "speedup",
+                    "object", "vector", "phases", "speedup",
                     "total_power_max_rel_err"):
             assert key in case, key
         assert case["n_steps"] == 20
         for engine in ("object", "vector"):
             assert case[engine]["wall_s"] > 0
             assert case[engine]["ms_per_step"] > 0
+            # Phase timings come from the tracing spans; the run phase
+            # is the same measurement the wall_s headline reports.
+            assert case["phases"][engine]["build_s"] >= 0
+            assert case["phases"][engine]["run_s"] > 0
+        assert case["phases"]["crosscheck_s"] >= 0
         # Same seeds -> same fleet; the engines must agree.
         assert case["total_power_max_rel_err"] < 1e-9
 

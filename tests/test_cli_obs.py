@@ -1,0 +1,104 @@
+"""The CLI observability flags: exports, JSON output, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def _audit(extra_args, capsys):
+    code = main(["audit", "--days", "0.25", "--seed", "7"] + extra_args)
+    assert code == 0
+    return capsys.readouterr()
+
+
+class TestMetricsOut:
+    def test_audit_writes_prometheus_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        _audit(["--metrics-out", str(target)], capsys)
+        text = target.read_text()
+        names = {line.split()[2] for line in text.splitlines()
+                 if line.startswith("# TYPE ")}
+        # The audit spans simulation, Autopower, derivation, and the PSU
+        # analyses; the acceptance floor is 15 distinct metric names.
+        assert len(names) >= 15
+        for name in ("netpower_sim_steps_total",
+                     "netpower_sim_step_seconds",
+                     "netpower_autopower_samples_uploaded_total",
+                     "netpower_derivation_fit_r_squared",
+                     "netpower_psu_savings_watts",
+                     "netpower_cli_commands_total"):
+            assert name in names, name
+        assert 'netpower_cli_commands_total{command="audit"} 1' in text
+
+    def test_json_snapshot_extension(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        _audit(["--metrics-out", str(target)], capsys)
+        doc = json.loads(target.read_text())
+        assert "netpower_sim_steps_total" in doc["metrics"]
+
+    def test_metrics_disabled_after_run(self, tmp_path, capsys):
+        from repro.obs import metrics
+        _audit(["--metrics-out", str(tmp_path / "m.prom")], capsys)
+        assert metrics.get_registry() is None
+
+
+class TestTraceOut:
+    def test_audit_writes_nested_span_tree(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        _audit(["--trace-out", str(target)], capsys)
+        doc = json.loads(target.read_text())
+        root = doc["spans"][0]
+        assert root["name"] == "cli.audit"
+
+        def names(span):
+            yield span["name"]
+            for child in span.get("children", ()):
+                yield from names(child)
+
+        seen = set(names(root))
+        # Depth >= 3: cli.audit > sim.run > sim.steps.
+        assert {"sim.run", "sim.steps", "sim.finalize",
+                "lab.suite", "derive.model", "derive.class"} <= seen
+        sim_run = root["children"][0]
+        assert sim_run["name"] == "sim.run"
+        assert sim_run["sim_duration_s"] > 0
+
+    def test_trace_disabled_after_run(self, tmp_path, capsys):
+        from repro.obs import tracing
+        _audit(["--trace-out", str(tmp_path / "t.json")], capsys)
+        assert tracing.get_tracer() is None
+
+
+class TestOutputUnperturbed:
+    def test_audit_stdout_byte_identical_with_obs(self, tmp_path, capsys):
+        plain = _audit([], capsys).out
+        observed = _audit(
+            ["--metrics-out", str(tmp_path / "m.prom"),
+             "--trace-out", str(tmp_path / "t.json")], capsys).out
+        assert observed == plain
+
+
+class TestLogFlags:
+    def test_log_json_makes_report_parseable(self, capsys):
+        out = _audit(["--log-json"], capsys).out
+        lines = [json.loads(line) for line in out.strip().splitlines()]
+        messages = [doc["message"] for doc in lines]
+        assert any(m.startswith("routers") for m in messages)
+        assert all(doc["logger"] == "netpower.report.out"
+                   for doc in lines)
+
+    def test_log_level_debug_emits_diagnostics(self, capsys):
+        captured = _audit(["--log-level", "info"], capsys)
+        assert "simulation run complete" in captured.err
+        assert "simulation run complete" not in captured.out
+
+    def test_default_keeps_stderr_quiet(self, capsys):
+        captured = _audit([], capsys)
+        assert captured.err == ""
+
+    def test_errors_still_reach_stderr(self, capsys):
+        code = main(["derive", "NO-SUCH-DEVICE", "QSFP28-100G-DAC"])
+        assert code == 2
+        assert "known models" in capsys.readouterr().err

@@ -1,0 +1,127 @@
+"""Structured logging: formatters, subsystem tree, stream proxying."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    ConsoleFormatter,
+    JsonLinesFormatter,
+    StreamProxyHandler,
+    configure,
+    configure_reporter,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_root():
+    """Strip any handler configure() installed so tests stay isolated."""
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def _record(message="hello", level=logging.INFO, extra=None):
+    logger = logging.Logger("repro.test")
+    record = logger.makeRecord(
+        "repro.test", level, __file__, 1, message, (), None,
+        extra=extra or {})
+    return record
+
+
+class TestFormatters:
+    def test_json_lines_carries_extras(self):
+        line = JsonLinesFormatter().format(
+            _record(extra={"engine": "vector", "steps": 12}))
+        doc = json.loads(line)
+        assert doc["message"] == "hello"
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.test"
+        assert doc["engine"] == "vector"
+        assert doc["steps"] == 12
+        assert isinstance(doc["ts"], float)
+
+    def test_console_formatter_prefixes(self):
+        line = ConsoleFormatter().format(_record())
+        assert line.endswith("repro.test: hello")
+        assert "info" in line
+
+    def test_console_formatter_renders_extras(self):
+        line = ConsoleFormatter().format(_record(extra={"n": 3}))
+        assert line.endswith("hello [n=3]")
+
+    def test_bare_formatter_is_verbatim(self):
+        assert ConsoleFormatter(bare=True).format(_record()) == "hello"
+
+
+class TestLoggerTree:
+    def test_subsystem_loggers_parent_under_repro(self):
+        assert get_logger().name == "repro"
+        assert get_logger("network.sim").name == "repro.network.sim"
+        assert get_logger("repro.lab").name == "repro.lab"
+        # Once the intermediate logger exists the chain connects.
+        get_logger("network")
+        assert get_logger("network.sim").parent.name == "repro.network"
+
+    def test_configure_level_filters_tree(self, capsys):
+        configure(level="error")
+        get_logger("network.sim").warning("hidden")
+        get_logger("network.sim").error("shown")
+        err = capsys.readouterr().err
+        assert "hidden" not in err
+        assert "shown" in err
+
+    def test_configure_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            configure(level="loud")
+
+    def test_configure_is_idempotent(self, capsys):
+        configure(level="warning")
+        configure(level="warning")
+        get_logger("x").warning("once")
+        assert capsys.readouterr().err.count("once") == 1
+
+    def test_json_mode_emits_parseable_lines(self, capsys):
+        configure(level="info", json_mode=True)
+        get_logger("core").info("structured", extra={"r2": 0.99})
+        line = capsys.readouterr().err.strip().splitlines()[-1]
+        doc = json.loads(line)
+        assert doc["message"] == "structured"
+        assert doc["r2"] == 0.99
+
+
+class TestStreamProxy:
+    def test_emit_resolves_stream_lazily(self, capsys):
+        # The handler must write to whatever sys.stdout is at emit time
+        # (capsys swaps it), not the stream captured at configure time.
+        handler = StreamProxyHandler("stdout")
+        handler.setFormatter(ConsoleFormatter(bare=True))
+        logger = logging.Logger("proxy-test")
+        logger.addHandler(handler)
+        logger.warning("through-proxy")
+        assert capsys.readouterr().out == "through-proxy\n"
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(ValueError):
+            StreamProxyHandler("stdlog")
+
+
+class TestReporters:
+    def test_reporter_prints_bare_to_stdout(self, capsys):
+        logger = configure_reporter("netpower.test.report", "stdout")
+        logger.info("routers            : 107")
+        assert capsys.readouterr().out == "routers            : 107\n"
+
+    def test_reporter_json_mode(self, capsys):
+        logger = configure_reporter("netpower.test.report2", "stdout",
+                                    json_mode=True)
+        logger.info("report line")
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["message"] == "report line"

@@ -1,0 +1,179 @@
+"""The metrics registry, instruments, and Prometheus/JSON exporters."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import export, metrics
+
+
+@pytest.fixture
+def registry():
+    reg = metrics.MetricsRegistry()
+    with metrics.use_registry(reg):
+        yield reg
+
+
+class TestInstruments:
+    def test_counter_goes_up(self, registry):
+        fam = registry.counter("test_events_total", "events")
+        fam.default().inc()
+        fam.default().inc(3)
+        assert fam.default().value == 4
+
+    def test_counter_rejects_negative(self, registry):
+        fam = registry.counter("test_neg_total")
+        with pytest.raises(ValueError):
+            fam.default().inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        fam = registry.gauge("test_level")
+        g = fam.default()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_labels_split_children(self, registry):
+        fam = registry.counter("test_by_kind_total", labels=("kind",))
+        fam.labels(kind="a").inc()
+        fam.labels(kind="a").inc()
+        fam.labels(kind="b").inc()
+        assert fam.labels(kind="a").value == 2
+        assert fam.labels(kind="b").value == 1
+
+    def test_wrong_label_set_rejected(self, registry):
+        fam = registry.counter("test_labeled_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            fam.labels(other="x")
+        with pytest.raises(ValueError):
+            fam.labels()
+        with pytest.raises(ValueError):
+            fam.default()
+
+    def test_conflicting_reregistration_raises(self, registry):
+        registry.counter("test_conflict_total")
+        with pytest.raises(ValueError):
+            registry.gauge("test_conflict_total")
+        with pytest.raises(ValueError):
+            registry.counter("test_conflict_total", labels=("kind",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("bad-label",))
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        h = metrics.Histogram(buckets=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0):
+            h.observe(v)
+        # v <= le: 1.0 lands in the le="1" bucket, 2.0 in le="2".
+        assert list(h.bucket_counts) == [2, 2, 1]
+        assert list(h.cumulative_counts()) == [2, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(8.0)
+
+    def test_observe_many_matches_loop(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 3, size=500)
+        batched = metrics.Histogram(buckets=(0.5, 1.0, 2.0))
+        looped = metrics.Histogram(buckets=(0.5, 1.0, 2.0))
+        batched.observe_many(values)
+        for v in values:
+            looped.observe(v)
+        assert list(batched.bucket_counts) == list(looped.bucket_counts)
+        assert batched.count == looped.count
+        assert batched.sum == pytest.approx(looped.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        h = metrics.Histogram(buckets=(1.0,))
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.Histogram(buckets=())
+        with pytest.raises(ValueError):
+            metrics.Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            metrics.Histogram(buckets=(1.0, float("inf")))
+
+
+class TestDisabledPath:
+    def test_handles_are_noops_without_registry(self):
+        assert metrics.get_registry() is None
+        handle = metrics.counter("test_noop_total_xyz", "noop")
+        handle.inc()          # must not raise
+        assert handle.labels() is metrics.NOOP
+        assert not metrics.enabled()
+
+    def test_registry_scoping_restores_previous(self):
+        outer = metrics.MetricsRegistry()
+        inner = metrics.MetricsRegistry()
+        with metrics.use_registry(outer):
+            with metrics.use_registry(inner):
+                assert metrics.get_registry() is inner
+            assert metrics.get_registry() is outer
+        assert metrics.get_registry() is None
+
+    def test_declared_handles_resolve_when_enabled(self):
+        handle = metrics.counter("test_resolving_total_xyz", "resolves")
+        with metrics.use_registry(metrics.MetricsRegistry()) as reg:
+            handle.inc(2)
+            assert reg.get("test_resolving_total_xyz").default().value == 2
+        handle.inc(99)  # disabled again: silently dropped
+        with metrics.use_registry(metrics.MetricsRegistry()) as reg:
+            # A fresh registry starts from zero (register_declared).
+            assert reg.get("test_resolving_total_xyz").default().value == 0
+
+
+class TestExport:
+    def test_prometheus_text_format(self, registry):
+        registry.counter("test_export_total", "help text").default().inc(2)
+        fam = registry.gauge("test_export_level", labels=("site",))
+        fam.labels(site="pop1").set(1.5)
+        text = export.render_prometheus(registry)
+        assert "# HELP test_export_total help text" in text
+        assert "# TYPE test_export_total counter" in text
+        assert "test_export_total 2" in text
+        assert 'test_export_level{site="pop1"} 1.5' in text
+
+    def test_prometheus_histogram_series(self, registry):
+        fam = registry.histogram("test_lat_seconds", buckets=(0.1, 1.0))
+        h = fam.default()
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = export.render_prometheus(registry)
+        assert 'test_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'test_lat_seconds_bucket{le="1"} 2' in text
+        assert 'test_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "test_lat_seconds_count 3" in text
+        assert "test_lat_seconds_sum 5.55" in text
+
+    def test_label_values_escaped(self, registry):
+        fam = registry.counter("test_escape_total", labels=("path",))
+        fam.labels(path='a"b\\c').inc()
+        text = export.render_prometheus(registry)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_json_snapshot_roundtrips(self, registry, tmp_path):
+        registry.counter("test_snap_total").default().inc(3)
+        target = tmp_path / "metrics.json"
+        export.write_metrics(target, registry)
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == export.SNAPSHOT_SCHEMA
+        sample = doc["metrics"]["test_snap_total"]["samples"][0]
+        assert sample["value"] == 3
+
+    def test_prom_file_extension(self, registry, tmp_path):
+        registry.counter("test_file_total").default().inc()
+        target = tmp_path / "metrics.prom"
+        export.write_metrics(target, registry)
+        assert "test_file_total 1" in target.read_text()

@@ -1,0 +1,112 @@
+"""Span tracing: nesting, the two clocks, and the JSON export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = tracing.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2"):
+                with tracer.span("leaf"):
+                    pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = tracing.Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_durations_are_positive_and_nested(self):
+        tracer = tracing.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert inner.duration_s >= 0
+        assert outer.duration_s >= inner.duration_s
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = tracing.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        span = tracer.roots[0]
+        assert span.wall_end is not None
+        assert "RuntimeError" in span.attributes["error"]
+        assert tracer._stack == []
+
+
+class TestSimClock:
+    def test_sim_clock_sampled_at_enter_and_exit(self):
+        clock = {"t": 100.0}
+        tracer = tracing.Tracer()
+        with tracer.span("step", sim_clock=lambda: clock["t"]):
+            clock["t"] = 400.0
+        span = tracer.roots[0]
+        assert span.sim_start_s == 100.0
+        assert span.sim_end_s == 400.0
+        doc = span.to_dict(origin=span.wall_start)
+        assert doc["sim_start_s"] == 100.0
+        assert doc["sim_duration_s"] == 300.0
+
+
+class TestExport:
+    def test_to_dict_relative_to_origin(self):
+        tracer = tracing.Tracer()
+        with tracer.span("a", key="value"):
+            with tracer.span("b"):
+                pass
+        doc = tracer.to_dict()
+        assert doc["schema"] == tracing.TRACE_SCHEMA
+        root = doc["spans"][0]
+        assert root["name"] == "a"
+        assert root["start_s"] == 0.0
+        assert root["attributes"] == {"key": "value"}
+        assert root["children"][0]["name"] == "b"
+        assert root["children"][0]["start_s"] >= 0.0
+
+    def test_to_json_parses(self):
+        tracer = tracing.Tracer()
+        with tracer.span("roundtrip"):
+            pass
+        assert json.loads(tracer.to_json())["spans"][0]["name"] == "roundtrip"
+
+
+class TestDisabledPath:
+    def test_module_span_is_noop_without_tracer(self):
+        assert tracing.get_tracer() is None
+        with tracing.span("ignored", attr=1) as span:
+            span.set_attribute("more", 2)   # must not raise
+        assert span is tracing.NULL_SPAN
+        assert not tracing.enabled()
+
+    def test_module_span_records_when_installed(self):
+        tracer = tracing.Tracer()
+        with tracing.use_tracer(tracer):
+            with tracing.span("recorded"):
+                pass
+        assert tracing.get_tracer() is None
+        assert [s.name for s in tracer.roots] == ["recorded"]
+
+    def test_use_tracer_restores_previous(self):
+        outer, inner = tracing.Tracer(), tracing.Tracer()
+        with tracing.use_tracer(outer):
+            with tracing.use_tracer(inner):
+                assert tracing.get_tracer() is inner
+            assert tracing.get_tracer() is outer
+        assert tracing.get_tracer() is None

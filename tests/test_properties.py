@@ -220,6 +220,7 @@ class TestPacketInvariants:
     @settings(max_examples=60)
     def test_bigger_packets_fewer_of_them(self, rate, a, b):
         small, large = min(a, b), max(a, b)
-        assume(small < large)
+        # A sub-ulp gap gives identical wire sizes after rounding.
+        assume(large - small > 1e-6)
         assert units.packet_rate(rate, large) < units.packet_rate(rate,
                                                                   small)
