@@ -80,3 +80,38 @@ class TestObservabilityOverhead:
         assert observed_s <= bare_s * 1.25, (
             f"instrumentation overhead too high: bare {bare_s:.3f}s vs "
             f"instrumented {observed_s:.3f}s")
+
+
+class TestMonitorOverhead:
+    """Continuous monitoring must fit the observability perf budget.
+
+    The rollup store is O(1) amortized per sample with fixed memory, so
+    a monitored vector run over the full default fleet must stay within
+    the same 25 % envelope the live-registry bound uses.
+    """
+
+    def _timed(self, monitored: bool):
+        from repro.monitor import FleetMonitor
+
+        network = build_switch_like_network(rng=np.random.default_rng(7))
+        traffic = FleetTrafficModel(network, rng=np.random.default_rng(8))
+        sim = NetworkSimulation(network, traffic,
+                                rng=np.random.default_rng(9))
+        for hostname in sorted(network.routers)[:2]:
+            sim.deploy_autopower(hostname)
+        if monitored:
+            sim.add_observer(FleetMonitor())
+        start = time.perf_counter()
+        sim.run(duration_s=N_STEPS * STEP_S, step_s=STEP_S,
+                engine="vector")
+        return time.perf_counter() - start
+
+    def test_monitored_run_within_budget(self):
+        self._timed(monitored=False)  # warm-up
+        bare_s = min(self._timed(monitored=False) for _ in range(3))
+        monitored_s = min(self._timed(monitored=True) for _ in range(3))
+        print(f"\nvector bare {bare_s:.3f}s, monitored {monitored_s:.3f}s "
+              f"({100 * (monitored_s / bare_s - 1):+.1f} %)")
+        assert monitored_s <= bare_s * 1.25, (
+            f"monitoring overhead too high: bare {bare_s:.3f}s vs "
+            f"monitored {monitored_s:.3f}s")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate a ``netpower monitor`` dashboard snapshot against its schema.
+
+Usage::
+
+    python scripts/validate_dashboard.py dashboard.json \
+        [docs/schemas/dashboard.schema.json]
+
+Exit code 0 when the snapshot conforms; 1 with the validation errors on
+stderr otherwise.  Uses the dependency-free subset validator in
+:mod:`repro.monitor.schema`, so the CI container needs no ``jsonschema``
+package.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.monitor.schema import validate  # noqa: E402
+
+DEFAULT_SCHEMA = (Path(__file__).resolve().parent.parent
+                  / "docs" / "schemas" / "dashboard.schema.json")
+
+
+def main(argv) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    snapshot_path = Path(argv[0])
+    schema_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_SCHEMA
+    snapshot = json.loads(snapshot_path.read_text())
+    schema = json.loads(schema_path.read_text())
+    errors = validate(snapshot, schema)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"{snapshot_path}: {len(errors)} schema violation(s)",
+              file=sys.stderr)
+        return 1
+    tag = (schema.get("properties", {}).get("schema", {})
+           .get("const", "schema"))
+    print(f"{snapshot_path}: conforms to {tag}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

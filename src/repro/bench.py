@@ -43,8 +43,10 @@ STEP_S = 300.0
 
 #: Report schema identifier, bumped on layout changes.  v2 added the
 #: per-phase timings (build / run per engine, cross-check) taken from
-#: the observability spans.
-SCHEMA = "repro.bench.simulation/v2"
+#: the observability spans.  v3 records the seed on every case entry and
+#: merges subset runs into an existing report instead of discarding the
+#: cases that were not re-run.
+SCHEMA = "repro.bench.simulation/v3"
 
 
 @dataclass(frozen=True)
@@ -172,6 +174,7 @@ def _run_case_traced(case: BenchCase, seed: int,
     return {
         "name": case.name,
         **fleet_shape,
+        "seed": seed,
         "n_steps": n_steps,
         "step_s": STEP_S,
         "object": timings["object"],
@@ -183,12 +186,43 @@ def _run_case_traced(case: BenchCase, seed: int,
     }
 
 
+def _previous_cases(output: Path) -> Dict[str, Dict]:
+    """Case entries from an existing same-schema report at ``output``.
+
+    Empty when the file is missing, unreadable, or from another schema
+    version -- a subset run must never graft entries whose layout (or
+    semantics) no longer matches onto a fresh report.
+    """
+    if not output.exists():
+        return {}
+    try:
+        previous = json.loads(output.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if not isinstance(previous, dict) or previous.get("schema") != SCHEMA:
+        return {}
+    cases = previous.get("cases")
+    if not isinstance(cases, list):
+        return {}
+    return {c["name"]: c for c in cases
+            if isinstance(c, dict) and isinstance(c.get("name"), str)}
+
+
 def run_benchmarks(case_names: Sequence[str], seed: int,
                    output: Path,
                    steps_override: Optional[int] = None,
                    stream=None) -> Dict:
-    """Run the named cases, print a summary line each, write the report."""
+    """Run the named cases, print a summary line each, write the report.
+
+    A subset run (``--quick``, ``--cases small``) merges into an existing
+    report at ``output``: re-run cases replace their previous entries,
+    the rest are kept, and the result stays in suite order -- so timing
+    one case never silently discards the ``large`` numbers from the last
+    full run.
+    """
     stream = stream if stream is not None else sys.stdout
+    merged = _previous_cases(output)
+    kept = [name for name in merged if name not in case_names]
     entries: List[Dict] = []
     for name in case_names:
         case = CASES[name]
@@ -197,19 +231,26 @@ def run_benchmarks(case_names: Sequence[str], seed: int,
               file=stream, flush=True)
         entry = run_case(case, seed, steps_override=steps_override)
         entries.append(entry)
+        merged[name] = entry
         print(f"[{name}] object {entry['object']['wall_s']:.2f}s, "
               f"vector {entry['vector']['wall_s']:.2f}s "
               f"-> {entry['speedup']:.1f}x "
               f"(max rel err {entry['total_power_max_rel_err']:.2e})",
               file=stream, flush=True)
+    order = {name: i for i, name in enumerate(CASES)}
     report = {
         "schema": SCHEMA,
         "generated_by": "python -m repro.bench",
         "seed": seed,
         "step_s": STEP_S,
-        "cases": entries,
+        "cases": sorted(merged.values(),
+                        key=lambda c: (order.get(c["name"], len(order)),
+                                       c["name"])),
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
+    if kept:
+        print(f"kept previous entries for: {', '.join(sorted(kept))}",
+              file=stream)
     print(f"report written to {output}", file=stream)
     return report
 

@@ -12,7 +12,9 @@ Mirrors how the paper's released artifacts are used from a shell:
 * ``netpower zoo``         -- derive every catalog device and export a
   Network Power Zoo JSON document;
 * ``netpower bench``       -- time the object vs vectorized simulation
-  engines and write ``BENCH_simulation.json``.
+  engines and write ``BENCH_simulation.json``;
+* ``netpower monitor``     -- run a small fleet with the continuous
+  monitor attached and write a dashboard snapshot (JSON + HTML).
 
 Every command takes ``--seed`` and is deterministic given it, plus the
 shared observability flags (docs/OBSERVABILITY.md): ``--log-level`` /
@@ -151,6 +153,23 @@ def _parser() -> argparse.ArgumentParser:
                        help="override the per-case step count")
     bench.add_argument("--output", "-o", default="BENCH_simulation.json",
                        help="report path (default: %(default)s)")
+
+    monitor = sub.add_parser(
+        "monitor", parents=[common],
+        help="continuous fleet monitoring: rollups, drift, alerts")
+    monitor.add_argument("--days", type=float, default=1.0,
+                         help="simulated days (default: 1)")
+    monitor.add_argument("--step", type=float, default=900,
+                         help="simulation step in seconds (default: 900)")
+    monitor.add_argument("--engine", default="auto",
+                         choices=("auto", "object", "vector"),
+                         help="simulation engine (default: %(default)s)")
+    monitor.add_argument("--out", "-o", default="dashboard.json",
+                         help="dashboard snapshot path; the HTML page is "
+                              "written next to it (default: %(default)s)")
+    monitor.add_argument("--inject-psu-fault", action="store_true",
+                         help="degrade one PSU mid-run to exercise the "
+                              "alerting pipeline")
     return parser
 
 
@@ -430,6 +449,112 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _monitor_scenario(args):
+    """Build the small monitored deployment ``netpower monitor`` runs.
+
+    Shared with the test-suite so the CLI smoke test and the e2e tests
+    exercise the same scenario.  Returns ``(sim, monitor, events,
+    targets)`` ready for ``sim.run``.
+    """
+    from repro import units
+    from repro.core import derive_power_model
+    from repro.hardware import VirtualRouter, router_spec
+    from repro.lab import ExperimentPlan, Orchestrator
+    from repro.monitor import FleetMonitor
+    from repro.network import (DegradePsu, FleetConfig, FleetTrafficModel,
+                               NetworkSimulation,
+                               build_switch_like_network)
+
+    config = FleetConfig(
+        model_counts=(("8201-32FH", 1), ("NCS-55A1-24H", 2),
+                      ("ASR-920-24SZ-M", 2)),
+        n_regional_pops=1, core_core_links=1)
+    network = build_switch_like_network(
+        config, rng=np.random.default_rng(args.seed))
+    targets = {}
+    for model_name in ("8201-32FH", "NCS-55A1-24H"):
+        targets[model_name] = next(
+            h for h in sorted(network.routers)
+            if network.routers[h].model_name == model_name)
+    traffic = FleetTrafficModel(
+        network, rng=np.random.default_rng(args.seed + 1),
+        mean_external_utilisation=0.05, internal_utilisation_scale=6.0)
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(args.seed + 2))
+    for hostname in targets.values():
+        sim.deploy_autopower(hostname)
+
+    def lab_model(device, trx_names, seed):
+        rng = np.random.default_rng(seed)
+        dut = VirtualRouter(router_spec(device), rng=rng, noise_std_w=0.2)
+        orchestrator = Orchestrator(dut, rng=rng)
+        suites = [orchestrator.run_suite(ExperimentPlan(
+            trx_name=trx, n_pairs_values=(1, 2, 4),
+            rates_gbps=(10, 50, 100), packet_sizes=(256, 1500),
+            measure_duration_s=10, settle_time_s=1))
+            for trx in trx_names]
+        model, _ = derive_power_model(suites)
+        return model
+
+    models = {
+        "8201-32FH": lab_model(
+            "8201-32FH", ("QSFP-DD-400G-FR4", "QSFP-DD-400G-LR4",
+                          "QSFP-DD-400G-DAC", "QSFP28-100G-LR4"),
+            args.seed + 10),
+        "NCS-55A1-24H": lab_model(
+            "NCS-55A1-24H", ("QSFP28-100G-DAC", "QSFP28-100G-LR4",
+                             "QSFP28-100G-SR4"), args.seed + 11),
+    }
+    monitor = FleetMonitor(models=models)
+    sim.add_observer(monitor)
+    events = []
+    if args.inject_psu_fault:
+        events.append(DegradePsu(
+            at_s=units.days(args.days) / 2,
+            hostname=targets["8201-32FH"], psu_index=0,
+            efficiency_delta=-0.05))
+    return sim, monitor, events, targets
+
+
+def _cmd_monitor(args) -> int:
+    from repro import units
+    from repro.monitor import write_dashboard
+
+    if args.days <= 0 or args.step <= 0:
+        _err("error: --days and --step must be positive")
+        return 2
+    _progress("deriving lab models for the monitored products ...")
+    sim, monitor, events, targets = _monitor_scenario(args)
+    _progress(f"simulating {args.days:g} day(s) "
+              f"({args.engine} engine) ...")
+    sim.run(duration_s=units.days(args.days), step_s=args.step,
+            events=events, detailed_hosts=sorted(targets.values()),
+            engine=args.engine)
+    write_dashboard(monitor, args.out)
+    _out(f"monitored routers  : {len(monitor.hosts)}")
+    fleet = monitor.store.get("fleet/total_power_w")
+    if fleet is not None and fleet.raw.count:
+        _out(f"fleet power (last) : {fleet.raw.last()[1]:,.0f} W")
+    for host in sorted(monitor.drift):
+        estimate = monitor.drift[host].estimate()
+        if estimate is None:
+            _out(f"  {host:12s}: drift pending (not enough windows)")
+            continue
+        _out(f"  {host:12s}: offset {estimate.offset_w:+8.2f} W  "
+             f"sigma {estimate.stats.residual_std_w:6.2f} W  "
+             f"verdict {estimate.verdict()}")
+    alerts = monitor.alerts.alerts
+    _out(f"alerts fired       : {len(alerts)} "
+         f"({len(monitor.alerts.active())} active)")
+    for alert in alerts:
+        status = "active" if alert.active else "resolved"
+        _out(f"  [{alert.severity.value:8s}] {alert.rule} "
+             f"on {alert.signal} at t={alert.fired_at_s:,.0f}s "
+             f"({status})")
+    _out(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_rate_study(args) -> int:
     from repro.network import FleetTrafficModel, build_switch_like_network
     from repro.sleep import plan_rate_adaptation
@@ -494,6 +619,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "rate-study": _cmd_rate_study,
     "bench": _cmd_bench,
+    "monitor": _cmd_monitor,
 }
 
 

@@ -1,0 +1,76 @@
+"""Continuous fleet power monitoring (the §9.4/§10 longitudinal layer).
+
+Turns the raw observability substrate (:mod:`repro.obs`) into an
+always-on monitoring product for fleet simulations:
+
+* :mod:`repro.monitor.rollup` -- fixed-memory multi-resolution rollup
+  storage (raw -> 5 min -> 30 min) per signal;
+* :mod:`repro.monitor.drift` -- the §6.2 model-vs-measurement
+  comparison as a live statistic, plus GREEN PSU-efficiency health;
+* :mod:`repro.monitor.alerts` -- declarative alert rules (threshold,
+  rate-of-change, z-score, staleness) with dedup and hysteresis;
+* :mod:`repro.monitor.core` -- :class:`FleetMonitor`, the step observer
+  tying it together;
+* :mod:`repro.monitor.dashboard` -- deterministic JSON + static HTML
+  snapshots (``netpower monitor``'s output);
+* :mod:`repro.monitor.schema` -- the dependency-free snapshot validator
+  CI uses.
+"""
+
+from repro.monitor.rollup import (
+    DEFAULT_RESOLUTIONS,
+    RingBuffer,
+    RollupSeries,
+    RollupStore,
+)
+from repro.monitor.drift import (
+    DriftEstimate,
+    DriftTracker,
+    OnlineEwma,
+    PsuHealth,
+    PsuHealthTracker,
+)
+from repro.monitor.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    RuleKind,
+    Severity,
+)
+from repro.monitor.core import (
+    FleetMonitor,
+    MonitorConfig,
+    default_rules,
+)
+from repro.monitor.dashboard import (
+    DASHBOARD_SCHEMA,
+    build_snapshot,
+    render_html,
+    snapshot_json,
+    write_dashboard,
+)
+
+__all__ = [
+    "DEFAULT_RESOLUTIONS",
+    "RingBuffer",
+    "RollupSeries",
+    "RollupStore",
+    "DriftEstimate",
+    "DriftTracker",
+    "OnlineEwma",
+    "PsuHealth",
+    "PsuHealthTracker",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "RuleKind",
+    "Severity",
+    "FleetMonitor",
+    "MonitorConfig",
+    "default_rules",
+    "DASHBOARD_SCHEMA",
+    "build_snapshot",
+    "render_html",
+    "snapshot_json",
+    "write_dashboard",
+]

@@ -1,0 +1,274 @@
+"""Declarative alerting over monitor signals.
+
+Rules are declared once (threshold, rate-of-change, z-score, staleness)
+and matched to signals by ``fnmatch`` pattern, so one rule covers a
+family of signals ("``psu_efficiency_drop/*``").  The engine keeps one
+small finite-state machine per (rule, signal) pair:
+
+    ok -> pending (breach observed, debounce running)
+       -> firing  (breach held for ``for_s``; the Alert is emitted HERE,
+                   exactly once -- deduplication)
+       -> ok      (clear condition met; hysteresis bounds apply)
+
+Emission goes through the ``repro.obs`` structured logger and the alert
+metric families, so alerts appear in ``--log-json`` streams and
+``--metrics-out`` exports without any extra plumbing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import logging as obslog
+from repro.obs import metrics
+from repro.monitor.drift import OnlineEwma
+
+_log = obslog.get_logger("monitor.alerts")
+
+M_ALERTS = metrics.counter(
+    "netpower_monitor_alerts_total",
+    "Alerts fired by the monitoring rule engine.",
+    labels=("rule", "severity"))
+M_ALERTS_ACTIVE = metrics.gauge(
+    "netpower_monitor_alerts_active",
+    "Currently firing (unresolved) alerts.")
+
+
+class Severity(enum.Enum):
+    """Alert severity, ordered."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+class RuleKind(enum.Enum):
+    """What aspect of a signal a rule watches."""
+
+    THRESHOLD = "threshold"
+    RATE_OF_CHANGE = "rate_of_change"
+    ZSCORE = "zscore"
+    STALENESS = "staleness"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alerting rule.
+
+    ``signals`` is an fnmatch pattern over signal names.  Unused bound
+    fields stay None; hysteresis comes from the ``clear_*`` bounds (a
+    firing alert only resolves once the signal crosses *those*, not the
+    firing bound).  ``for_s`` debounces: the breach must hold that long
+    before the alert fires.
+    """
+
+    name: str
+    kind: RuleKind
+    signals: str
+    severity: Severity = Severity.WARNING
+    description: str = ""
+    # THRESHOLD bounds (breach when value > above or value < below).
+    above: Optional[float] = None
+    below: Optional[float] = None
+    clear_above: Optional[float] = None   # resolves when value < this
+    clear_below: Optional[float] = None   # resolves when value > this
+    # RATE_OF_CHANGE bounds, in signal units per second.
+    rate_above: Optional[float] = None
+    rate_below: Optional[float] = None
+    # ZSCORE bounds.
+    z_threshold: float = 4.0
+    z_clear: float = 2.0
+    min_samples: int = 10
+    ewma_alpha: float = 0.1
+    # STALENESS bound.
+    stale_after_s: Optional[float] = None
+    # Debounce.
+    for_s: float = 0.0
+
+
+@dataclass
+class Alert:
+    """One fired alert (the deduplicated event, not every breach)."""
+
+    rule: str
+    signal: str
+    severity: Severity
+    fired_at_s: float
+    value: float
+    message: str
+    resolved_at_s: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the alert is still firing."""
+        return self.resolved_at_s is None
+
+
+class _RuleState:
+    """Per-(rule, signal) FSM state."""
+
+    __slots__ = ("phase", "pending_since_s", "alert", "ewma", "last")
+
+    def __init__(self):
+        self.phase = "ok"                    # ok | pending | firing
+        self.pending_since_s: float = 0.0
+        self.alert: Optional[Alert] = None
+        self.ewma: Optional[OnlineEwma] = None
+        self.last: Optional[Tuple[float, float]] = None  # (t, value)
+
+
+class AlertEngine:
+    """Evaluates every rule against every matching signal observation."""
+
+    def __init__(self, rules: List[AlertRule]):
+        self.rules = list(rules)
+        self.alerts: List[Alert] = []
+        self._states: Dict[Tuple[str, str], _RuleState] = {}
+        self._matches: Dict[str, List[AlertRule]] = {}
+        self._last_seen: Dict[str, float] = {}
+
+    # -- signal routing -----------------------------------------------------------
+
+    def _rules_for(self, signal: str) -> List[AlertRule]:
+        rules = self._matches.get(signal)
+        if rules is None:
+            rules = [rule for rule in self.rules
+                     if fnmatchcase(signal, rule.signals)]
+            self._matches[signal] = rules
+        return rules
+
+    def register_signal(self, signal: str, t_s: float) -> None:
+        """Declare a signal exists (staleness baseline, no value yet)."""
+        self._last_seen.setdefault(signal, t_s)
+        self._rules_for(signal)
+
+    def observe(self, signal: str, t_s: float, value: float) -> None:
+        """Feed one observation of one signal through the matching rules."""
+        self._last_seen[signal] = t_s
+        for rule in self._rules_for(signal):
+            if rule.kind == RuleKind.STALENESS:
+                continue  # handled on evaluate()
+            state = self._state(rule, signal)
+            breach, clear = self._judge(rule, state, t_s, value)
+            self._transition(rule, signal, state, t_s, value, breach, clear)
+
+    def evaluate(self, t_s: float) -> None:
+        """Clock tick: run staleness rules over everything seen so far."""
+        for signal in self._last_seen:
+            for rule in self._rules_for(signal):
+                if rule.kind != RuleKind.STALENESS:
+                    continue
+                state = self._state(rule, signal)
+                age = t_s - self._last_seen[signal]
+                breach = (rule.stale_after_s is not None
+                          and age > rule.stale_after_s)
+                self._transition(rule, signal, state, t_s, age,
+                                 breach, not breach)
+
+    # -- rule evaluation ----------------------------------------------------------
+
+    def _state(self, rule: AlertRule, signal: str) -> _RuleState:
+        key = (rule.name, signal)
+        state = self._states.get(key)
+        if state is None:
+            state = _RuleState()
+            self._states[key] = state
+        return state
+
+    def _judge(self, rule: AlertRule, state: _RuleState, t_s: float,
+               value: float) -> Tuple[bool, bool]:
+        """(breach, clear) for one observation under one rule."""
+        if rule.kind == RuleKind.THRESHOLD:
+            breach = ((rule.above is not None and value > rule.above)
+                      or (rule.below is not None and value < rule.below))
+            clear_above = (rule.clear_above if rule.clear_above is not None
+                           else rule.above)
+            clear_below = (rule.clear_below if rule.clear_below is not None
+                           else rule.below)
+            clear = not ((clear_above is not None and value > clear_above)
+                         or (clear_below is not None
+                             and value < clear_below))
+            return breach, clear
+        if rule.kind == RuleKind.RATE_OF_CHANGE:
+            previous = state.last
+            state.last = (t_s, value)
+            if previous is None or t_s <= previous[0]:
+                return False, True
+            rate = (value - previous[1]) / (t_s - previous[0])
+            breach = ((rule.rate_above is not None
+                       and rate > rule.rate_above)
+                      or (rule.rate_below is not None
+                          and rate < rule.rate_below))
+            return breach, not breach
+        if rule.kind == RuleKind.ZSCORE:
+            if state.ewma is None:
+                state.ewma = OnlineEwma(rule.ewma_alpha)
+            ewma = state.ewma
+            if ewma.count < rule.min_samples:
+                ewma.update(value)
+                return False, True
+            z = abs(ewma.z(value))
+            if state.phase != "firing":
+                # Freeze the baseline while firing: a stuck anomaly must
+                # not teach the track that anomalous is normal.
+                ewma.update(value)
+            return z > rule.z_threshold, z < rule.z_clear
+        return False, True
+
+    def _transition(self, rule: AlertRule, signal: str, state: _RuleState,
+                    t_s: float, value: float, breach: bool,
+                    clear: bool) -> None:
+        if state.phase == "ok":
+            if breach:
+                if rule.for_s <= 0:
+                    self._fire(rule, signal, state, t_s, value)
+                else:
+                    state.phase = "pending"
+                    state.pending_since_s = t_s
+        elif state.phase == "pending":
+            if not breach:
+                state.phase = "ok"
+            elif t_s - state.pending_since_s >= rule.for_s:
+                self._fire(rule, signal, state, t_s, value)
+        elif state.phase == "firing":
+            if clear:
+                self._resolve(rule, signal, state, t_s)
+
+    def _fire(self, rule: AlertRule, signal: str, state: _RuleState,
+              t_s: float, value: float) -> None:
+        state.phase = "firing"
+        message = (f"{rule.name}: {signal} "
+                   f"{rule.kind.value} breach (value={value:.6g})")
+        alert = Alert(rule=rule.name, signal=signal,
+                      severity=rule.severity, fired_at_s=t_s,
+                      value=value, message=message)
+        state.alert = alert
+        self.alerts.append(alert)
+        _log.warning("alert fired", extra={
+            "rule": rule.name, "signal": signal,
+            "severity": rule.severity.value, "t_s": t_s,
+            "value": value})
+        if metrics.enabled():
+            M_ALERTS.labels(rule=rule.name,
+                            severity=rule.severity.value).inc()
+            M_ALERTS_ACTIVE.set(float(len(self.active())))
+
+    def _resolve(self, rule: AlertRule, signal: str, state: _RuleState,
+                 t_s: float) -> None:
+        state.phase = "ok"
+        if state.alert is not None:
+            state.alert.resolved_at_s = t_s
+            _log.info("alert resolved", extra={
+                "rule": rule.name, "signal": signal, "t_s": t_s})
+            state.alert = None
+        if metrics.enabled():
+            M_ALERTS_ACTIVE.set(float(len(self.active())))
+
+    # -- views --------------------------------------------------------------------
+
+    def active(self) -> List[Alert]:
+        """Currently firing alerts, in firing order."""
+        return [alert for alert in self.alerts if alert.active]

@@ -1,0 +1,288 @@
+"""Self-contained dashboard snapshots of one monitored run.
+
+``build_snapshot`` turns a :class:`~repro.monitor.core.FleetMonitor`
+into a plain dict -- schema ``repro.monitor.dashboard/v1`` -- holding
+the scenario metadata, the fleet rollups, the per-router source values
+and drift statistics, the PSU health table, and the alert log.  The dict
+is deliberately deterministic: keys sort on serialization, no wall-clock
+values appear anywhere, and NaN is mapped to ``null`` so the output is
+strict JSON (seeded run => byte-identical file).
+
+``write_dashboard`` writes the JSON plus a static HTML rendering with
+inline SVG sparklines -- no JavaScript, no external assets, viewable
+from a file:// URL.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from typing import Dict, List, Optional
+
+from repro.monitor.core import FleetMonitor
+from repro.monitor.rollup import RollupSeries
+
+#: Version tag of the snapshot layout (validated in CI).
+DASHBOARD_SCHEMA = "repro.monitor.dashboard/v1"
+
+
+def _clean(value):
+    """NaN/inf -> None, numpy scalars -> python, recursively."""
+    if isinstance(value, dict):
+        return {k: _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if hasattr(value, "item"):  # numpy scalar
+        return _clean(value.item())
+    return value
+
+
+def _series_block(series: RollupSeries) -> dict:
+    last = series.last()
+    rollups = {}
+    for period_s in sorted(series.rollups):
+        rolled = series.rollup_series(period_s)
+        rollups[f"{int(period_s)}"] = {
+            "timestamps": rolled.timestamps.tolist(),
+            "values": rolled.values.tolist(),
+        }
+    return {
+        "last_t_s": None if last is None else last[0],
+        "last_value": None if last is None else last[1],
+        "n_raw": len(series.raw),
+        "evicted": series.raw.evicted,
+        "rollups": rollups,
+    }
+
+
+def build_snapshot(monitor: FleetMonitor) -> dict:
+    """The full dashboard state of one monitored run, as plain data."""
+    store = monitor.store
+    signals = {name: _series_block(store.get(name))
+               for name in store.names()}
+
+    routers: Dict[str, dict] = {}
+    for host in monitor.hosts:
+        sources = {}
+        for prefix in ("wall_power_w", "autopower_w", "psu_power_w",
+                       "model_power_w", "model_residual_w"):
+            series = store.get(f"{prefix}/{host}")
+            last = series.last() if series is not None else None
+            sources[prefix] = None if last is None else last[1]
+        tracker = monitor.drift.get(host)
+        estimate = tracker.estimate() if tracker is not None else None
+        drift: Optional[dict] = None
+        if estimate is not None:
+            drift = {
+                "offset_w": estimate.stats.offset_w,
+                "residual_std_w": estimate.stats.residual_std_w,
+                "correlation": estimate.stats.correlation,
+                "n_windows": estimate.stats.n_samples,
+                "verdict": estimate.verdict(),
+                "ewma_mean_w": estimate.ewma_mean_w,
+                "ewma_std_w": estimate.ewma_std_w,
+                "last_z": estimate.last_z,
+                "n_residuals": estimate.n_residuals,
+            }
+        routers[host] = {"sources": sources, "drift": drift, "psus": []}
+
+    for health in monitor.psu_health.health():
+        host = health.key.hostname
+        if host not in routers:
+            continue
+        routers[host]["psus"].append({
+            "psu": str(health.key),
+            "baseline_efficiency": health.baseline_efficiency,
+            "last_efficiency": health.last_efficiency,
+            "drop": health.drop,
+            "degrading": health.degrading,
+            "trend_per_month": (None if health.drift is None
+                                else health.drift.per_month),
+        })
+
+    alerts: List[dict] = [{
+        "rule": alert.rule,
+        "signal": alert.signal,
+        "severity": alert.severity.value,
+        "fired_at_s": alert.fired_at_s,
+        "resolved_at_s": alert.resolved_at_s,
+        "value": alert.value,
+        "message": alert.message,
+    } for alert in monitor.alerts.alerts]
+
+    fleet = {}
+    for name in ("fleet/total_power_w", "fleet/total_traffic_bps"):
+        series = store.get(name)
+        if series is not None:
+            fleet[name.split("/", 1)[1]] = _series_block(series)
+
+    return _clean({
+        "schema": DASHBOARD_SCHEMA,
+        "scenario": {
+            "engine": monitor.engine_name,
+            "step_s": monitor.step_s,
+            "n_steps": monitor.n_steps,
+            "start_s": monitor.start_s,
+            "window_s": monitor.config.window_s,
+            "resolutions": list(monitor.store.resolutions),
+            "hosts": list(monitor.hosts),
+        },
+        "fleet": fleet,
+        "routers": routers,
+        "signals": signals,
+        "alerts": alerts,
+    })
+
+
+def snapshot_json(snapshot: dict) -> str:
+    """Canonical serialization: sorted keys, strict JSON, 2-space indent."""
+    return json.dumps(snapshot, indent=2, sort_keys=True,
+                      allow_nan=False) + "\n"
+
+
+# -- static HTML rendering ----------------------------------------------------------
+
+_SEVERITY_COLOURS = {"info": "#2b6cb0", "warning": "#b7791f",
+                     "critical": "#c53030"}
+
+
+def _sparkline(timestamps: List[float], values: List[float],
+               width: int = 240, height: int = 36) -> str:
+    """Inline SVG polyline of one rollup series (None values skipped)."""
+    points = [(t, v) for t, v in zip(timestamps, values) if v is not None]
+    if len(points) < 2:
+        return "<svg width='240' height='36'></svg>"
+    ts = [p[0] for p in points]
+    vs = [p[1] for p in points]
+    t0, t1 = min(ts), max(ts)
+    v0, v1 = min(vs), max(vs)
+    t_span = (t1 - t0) or 1.0
+    v_span = (v1 - v0) or 1.0
+    coords = " ".join(
+        f"{(t - t0) / t_span * (width - 4) + 2:.1f},"
+        f"{height - 2 - (v - v0) / v_span * (height - 4):.1f}"
+        for t, v in points)
+    return (f"<svg width='{width}' height='{height}' "
+            f"viewBox='0 0 {width} {height}'>"
+            f"<polyline fill='none' stroke='#3182ce' stroke-width='1.5' "
+            f"points='{coords}'/></svg>")
+
+
+def _signal_sparkline(block: Optional[dict]) -> str:
+    if not block or not block.get("rollups"):
+        return ""
+    coarsest = max(block["rollups"], key=int)
+    rollup = block["rollups"][coarsest]
+    return _sparkline(rollup["timestamps"], rollup["values"])
+
+
+def _fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "&mdash;"
+    return f"{value:.{digits}f}"
+
+
+def render_html(snapshot: dict) -> str:
+    """A static, dependency-free dashboard page for one snapshot."""
+    scenario = snapshot["scenario"]
+    parts: List[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>netpower monitor</title><style>",
+        "body{font-family:system-ui,sans-serif;margin:2em;color:#1a202c}",
+        "table{border-collapse:collapse;margin:1em 0}",
+        "th,td{border:1px solid #cbd5e0;padding:4px 10px;"
+        "text-align:left;font-size:14px}",
+        "th{background:#edf2f7}",
+        "h1{font-size:22px}h2{font-size:17px;margin-top:1.6em}",
+        ".sev{font-weight:600}",
+        "</style></head><body>",
+        "<h1>netpower fleet monitor</h1>",
+        f"<p>engine <b>{html.escape(str(scenario['engine']))}</b>, "
+        f"{scenario['n_steps']} steps &times; {scenario['step_s']} s, "
+        f"{len(scenario['hosts'])} tracked routers.</p>",
+        "<h2>Fleet</h2><table><tr><th>signal</th><th>last</th>"
+        "<th>30-min rollup</th></tr>",
+    ]
+    for name, block in sorted(snapshot["fleet"].items()):
+        parts.append(
+            f"<tr><td>{html.escape(name)}</td>"
+            f"<td>{_fmt(block['last_value'])}</td>"
+            f"<td>{_signal_sparkline(block)}</td></tr>")
+    parts.append("</table>")
+
+    parts.append("<h2>Routers &mdash; §6.2 drift (model vs Autopower)"
+                 "</h2><table><tr><th>router</th><th>model W</th>"
+                 "<th>measured W</th><th>offset W</th>"
+                 "<th>residual &sigma; W</th><th>verdict</th>"
+                 "<th>model rollup</th></tr>")
+    for host, block in sorted(snapshot["routers"].items()):
+        drift = block["drift"] or {}
+        model_block = snapshot["signals"].get(f"model_power_w/{host}")
+        parts.append(
+            f"<tr><td>{html.escape(host)}</td>"
+            f"<td>{_fmt(block['sources'].get('model_power_w'))}</td>"
+            f"<td>{_fmt(block['sources'].get('autopower_w'))}</td>"
+            f"<td>{_fmt(drift.get('offset_w'), 3)}</td>"
+            f"<td>{_fmt(drift.get('residual_std_w'), 3)}</td>"
+            f"<td>{html.escape(str(drift.get('verdict', '&mdash;')))}</td>"
+            f"<td>{_signal_sparkline(model_block)}</td></tr>")
+    parts.append("</table>")
+
+    parts.append("<h2>PSU health (GREEN, §9.4)</h2><table><tr>"
+                 "<th>psu</th><th>baseline &eta;</th><th>last &eta;</th>"
+                 "<th>drop</th><th>trend /month</th>"
+                 "<th>degrading</th></tr>")
+    for host, block in sorted(snapshot["routers"].items()):
+        for psu in block["psus"]:
+            parts.append(
+                f"<tr><td>{html.escape(psu['psu'])}</td>"
+                f"<td>{_fmt(psu['baseline_efficiency'], 4)}</td>"
+                f"<td>{_fmt(psu['last_efficiency'], 4)}</td>"
+                f"<td>{_fmt(psu['drop'], 4)}</td>"
+                f"<td>{_fmt(psu['trend_per_month'], 5)}</td>"
+                f"<td>{'yes' if psu['degrading'] else 'no'}</td></tr>")
+    parts.append("</table>")
+
+    parts.append("<h2>Alerts</h2>")
+    if snapshot["alerts"]:
+        parts.append("<table><tr><th>fired at (s)</th><th>severity</th>"
+                     "<th>rule</th><th>signal</th><th>value</th>"
+                     "<th>resolved</th></tr>")
+        for alert in snapshot["alerts"]:
+            colour = _SEVERITY_COLOURS.get(alert["severity"], "#1a202c")
+            resolved = (_fmt(alert["resolved_at_s"], 0)
+                        if alert["resolved_at_s"] is not None else "active")
+            parts.append(
+                f"<tr><td>{_fmt(alert['fired_at_s'], 0)}</td>"
+                f"<td class='sev' style='color:{colour}'>"
+                f"{html.escape(alert['severity'])}</td>"
+                f"<td>{html.escape(alert['rule'])}</td>"
+                f"<td>{html.escape(alert['signal'])}</td>"
+                f"<td>{_fmt(alert['value'], 4)}</td>"
+                f"<td>{resolved}</td></tr>")
+        parts.append("</table>")
+    else:
+        parts.append("<p>none fired.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_dashboard(monitor: FleetMonitor, json_path: str) -> dict:
+    """Write the JSON snapshot and its HTML sibling; returns the dict.
+
+    ``json_path`` should end in ``.json``; the HTML lands next to it
+    with the extension swapped.
+    """
+    snapshot = build_snapshot(monitor)
+    with open(json_path, "w") as fh:
+        fh.write(snapshot_json(snapshot))
+    if json_path.endswith(".json"):
+        html_path = json_path[:-len(".json")] + ".html"
+    else:
+        html_path = json_path + ".html"
+    with open(html_path, "w") as fh:
+        fh.write(render_html(snapshot))
+    return snapshot

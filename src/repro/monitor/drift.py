@@ -1,0 +1,233 @@
+"""Online model-drift detection: §6.2's comparison as a live statistic.
+
+The offline validation lines up the model prediction against Autopower
+ground truth after the campaign and reports "precise but offset".  The
+drift tracker maintains the same statistic continuously:
+
+* a **windowed offset estimate** computed with the *identical* shared
+  helper the offline comparison uses
+  (:func:`repro.validation.compare.windowed_residuals`), applied to the
+  monitor's raw rollup rings -- so as long as the run fits the rings,
+  the live offset equals the offline one exactly;
+* an **EWMA residual track** (online mean/variance + z-score of the
+  instantaneous model-minus-measurement residual), which reacts within
+  a few polls when the offset *moves* -- the event the §6.2 plots can
+  only show in hindsight.
+
+PSU-efficiency degradation (the §9.4 GREEN concern) is tracked by
+reusing :class:`repro.telemetry.green.PsuEfficiencyTrace` and the shared
+:func:`repro.telemetry.green.efficiency_drift` fit, plus a baseline/drop
+signal that feeds the alerting engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.telemetry.green import (EfficiencyDrift, PsuEfficiencyTrace,
+                                   PsuKey, efficiency_drift)
+from repro.validation.compare import (AVERAGING_WINDOW_S, ComparisonStats,
+                                      compare_series)
+from repro.monitor.rollup import RollupStore
+
+
+class OnlineEwma:
+    """Exponentially weighted mean/variance with a z-score view."""
+
+    __slots__ = ("alpha", "mean", "var", "count")
+
+    def __init__(self, alpha: float = 0.1):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        """Fold one observation in (West's EWMA variance recurrence)."""
+        if self.count == 0:
+            self.mean = value
+            self.var = 0.0
+        else:
+            delta = value - self.mean
+            incr = self.alpha * delta
+            self.mean += incr
+            self.var = (1 - self.alpha) * (self.var + delta * incr)
+        self.count += 1
+
+    @property
+    def std(self) -> float:
+        """EWMA standard deviation."""
+        return math.sqrt(self.var) if self.var > 0 else 0.0
+
+    def z(self, value: float) -> float:
+        """Z-score of a value against the tracked mean/std.
+
+        0 until the track has seen enough samples to mean anything.
+        """
+        if self.count < 3 or self.std == 0.0:
+            return 0.0
+        return (value - self.mean) / self.std
+
+
+@dataclass
+class DriftEstimate:
+    """The live §6.2 statistic for one candidate/reference pair."""
+
+    stats: ComparisonStats
+    ewma_mean_w: float
+    ewma_std_w: float
+    last_z: float
+    n_residuals: int
+
+    @property
+    def offset_w(self) -> float:
+        """The windowed constant offset (the Fig. 4 headline number)."""
+        return self.stats.offset_w
+
+    def verdict(self) -> str:
+        """The paper's qualitative label, as a stable string."""
+        return self.stats.verdict().name
+
+
+class DriftTracker:
+    """Model-vs-measurement drift for one router.
+
+    ``update`` feeds the EWMA with instantaneous residuals at poll
+    cadence (cheap, O(1)); ``refresh`` recomputes the windowed offset
+    from the rollup store's raw rings with the shared §6.2 helper
+    (O(ring), called at 30-minute cadence and at end of run).
+    """
+
+    def __init__(self, hostname: str, candidate_signal: str,
+                 reference_signal: str, store: RollupStore,
+                 window_s: float = AVERAGING_WINDOW_S,
+                 ewma_alpha: float = 0.1):
+        self.hostname = hostname
+        self.candidate_signal = candidate_signal
+        self.reference_signal = reference_signal
+        self.store = store
+        self.window_s = window_s
+        self.ewma = OnlineEwma(ewma_alpha)
+        self.last_z = 0.0
+        self._stats: Optional[ComparisonStats] = None
+        self._next_refresh_s: Optional[float] = None
+
+    def update(self, t_s: float, candidate_w: float,
+               reference_w: float) -> float:
+        """Feed one residual; returns its z-score against the track."""
+        residual = candidate_w - reference_w
+        self.last_z = self.ewma.z(residual)
+        self.ewma.update(residual)
+        if self._next_refresh_s is None:
+            self._next_refresh_s = t_s + self.window_s
+        elif t_s >= self._next_refresh_s:
+            self.refresh()
+            self._next_refresh_s = t_s + self.window_s
+        return self.last_z
+
+    def refresh(self) -> Optional[ComparisonStats]:
+        """Recompute the windowed §6.2 stats from the raw rings."""
+        candidate = self.store.get(self.candidate_signal)
+        reference = self.store.get(self.reference_signal)
+        if candidate is None or reference is None:
+            return None
+        self._stats = compare_series(candidate.raw.series(),
+                                     reference.raw.series(),
+                                     window_s=self.window_s)
+        return self._stats
+
+    def estimate(self) -> Optional[DriftEstimate]:
+        """The current drift estimate (None before the first refresh)."""
+        if self._stats is None:
+            return None
+        return DriftEstimate(
+            stats=self._stats,
+            ewma_mean_w=self.ewma.mean,
+            ewma_std_w=self.ewma.std,
+            last_z=self.last_z,
+            n_residuals=self.ewma.count)
+
+
+@dataclass
+class PsuHealth:
+    """Dashboard view of one supply's efficiency track."""
+
+    key: PsuKey
+    baseline_efficiency: float
+    last_efficiency: float
+    drop: float
+    drift: Optional[EfficiencyDrift]
+
+    @property
+    def degrading(self) -> bool:
+        """Whether the fitted trend flags measurable degradation."""
+        return self.drift is not None and self.drift.degrading
+
+
+class PsuHealthTracker:
+    """Streaming PSU-efficiency health for the monitored routers.
+
+    Reuses the GREEN containers so the fitted trend is identical to what
+    an offline :class:`~repro.telemetry.green.GreenCollector` campaign
+    over the same samples would report.  The *drop* signal -- baseline
+    efficiency (median of the first ``baseline_samples`` readings) minus
+    the current reading -- is what the alert rule watches: a step
+    degradation moves it from ~0 to the injected delta within one poll.
+    """
+
+    def __init__(self, baseline_samples: int = 3, max_samples: int = 4096):
+        self.baseline_samples = baseline_samples
+        self.max_samples = max_samples
+        self.traces: Dict[PsuKey, PsuEfficiencyTrace] = {}
+        self._baseline: Dict[PsuKey, float] = {}
+
+    def record(self, hostname: str, psu_index: int, t_s: float,
+               input_w: float, output_w: float,
+               capacity_w: float) -> Optional[float]:
+        """Feed one reading; returns the current drop once baselined."""
+        key = PsuKey(hostname, psu_index)
+        trace = self.traces.get(key)
+        if trace is None:
+            trace = PsuEfficiencyTrace(key=key, capacity_w=capacity_w)
+            self.traces[key] = trace
+        trace.timestamps.append(t_s)
+        trace.input_w.append(input_w)
+        trace.output_w.append(output_w)
+        if len(trace.timestamps) > self.max_samples:
+            del trace.timestamps[0]
+            del trace.input_w[0]
+            del trace.output_w[0]
+        efficiency = (min(1.0, output_w / input_w)
+                      if input_w > 0 else 0.0)
+        baseline = self._baseline.get(key)
+        if baseline is None:
+            n = sum(1 for w in trace.input_w if w > 0)
+            if n >= self.baseline_samples:
+                series = trace.efficiency_series().valid()
+                self._baseline[key] = baseline = series.median()
+            else:
+                return None
+        return baseline - efficiency
+
+    def health(self) -> List[PsuHealth]:
+        """Per-PSU health snapshots, sorted by key (deterministic)."""
+        out: List[PsuHealth] = []
+        for key in sorted(self.traces, key=str):
+            trace = self.traces[key]
+            series = trace.efficiency_series().valid()
+            if len(series) == 0:
+                continue
+            baseline = self._baseline.get(key, float("nan"))
+            last = float(series.values[-1])
+            out.append(PsuHealth(
+                key=key,
+                baseline_efficiency=baseline,
+                last_efficiency=last,
+                drop=(baseline - last if baseline == baseline
+                      else float("nan")),
+                drift=efficiency_drift(trace)))
+        return out

@@ -1,0 +1,217 @@
+"""Fixed-memory multi-resolution rollup storage for monitor signals.
+
+Every signal the fleet monitor tracks (per-router and fleet-total power,
+per source) lands in a :class:`RollupSeries`: a raw ring buffer plus one
+ring of streaming bin averages per rollup resolution.  The default
+resolutions are 5 minutes (the SNMP poll period) and 30 minutes
+(``AVERAGING_WINDOW_S``, the paper's Fig. 4 smoothing window), so the
+coarsest rollup is directly comparable to the offline §6.2 plots.
+
+Memory is fixed at construction: each ring is a preallocated pair of
+float64 arrays, and appends are O(1) -- old samples are overwritten once
+the ring is full.  The streaming downsampler reproduces
+``TimeSeries.resample`` semantics exactly: bins are anchored at the
+first raw sample, a bin's value is the mean of the raw samples that fell
+into it, and its timestamp is the bin centre.  Empty bins are simply not
+emitted (``resample`` would give NaN there).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import metrics
+from repro.telemetry.traces import TimeSeries
+from repro.validation.compare import AVERAGING_WINDOW_S
+
+#: Default rollup resolutions in seconds: SNMP-poll and Fig. 4 windows.
+DEFAULT_RESOLUTIONS = (300.0, float(AVERAGING_WINDOW_S))
+
+M_ROLLUP_SAMPLES = metrics.counter(
+    "netpower_monitor_rollup_samples_total",
+    "Raw samples ingested into the monitor's rollup store.")
+M_ROLLUP_EVICTED = metrics.counter(
+    "netpower_monitor_rollup_evicted_total",
+    "Raw samples overwritten after their ring filled up.")
+
+
+class RingBuffer:
+    """A fixed-capacity (timestamp, value) ring with O(1) append."""
+
+    __slots__ = ("capacity", "_ts", "_values", "_head", "count", "evicted")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ts = np.empty(capacity)
+        self._values = np.empty(capacity)
+        self._head = 0      # next write position
+        self.count = 0      # samples currently held
+        self.evicted = 0    # samples overwritten so far
+
+    def __len__(self) -> int:
+        return self.count
+
+    def append(self, t_s: float, value: float) -> None:
+        """Store one sample, overwriting the oldest when full."""
+        self._ts[self._head] = t_s
+        self._values[self._head] = value
+        self._head = (self._head + 1) % self.capacity
+        if self.count < self.capacity:
+            self.count += 1
+        else:
+            self.evicted += 1
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """The most recent (timestamp, value), or None when empty."""
+        if self.count == 0:
+            return None
+        index = (self._head - 1) % self.capacity
+        return float(self._ts[index]), float(self._values[index])
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of the held samples in chronological order."""
+        if self.count < self.capacity:
+            return (self._ts[:self.count].copy(),
+                    self._values[:self.count].copy())
+        order = np.concatenate([np.arange(self._head, self.capacity),
+                                np.arange(0, self._head)])
+        return self._ts[order], self._values[order]
+
+    def series(self) -> TimeSeries:
+        """The held samples as a :class:`TimeSeries`."""
+        ts, values = self.arrays()
+        return TimeSeries(ts, values)
+
+
+class _Downsampler:
+    """Streaming bin-averager feeding one rollup ring.
+
+    Accumulates raw samples into the current bin and emits the finished
+    bin's mean (stamped at the bin centre, like ``resample``) the moment
+    a sample lands past its right edge.
+    """
+
+    __slots__ = ("period_s", "ring", "_t0", "_bin", "_sum", "_count")
+
+    def __init__(self, period_s: float, capacity: int):
+        self.period_s = period_s
+        self.ring = RingBuffer(capacity)
+        self._t0: Optional[float] = None
+        self._bin = 0
+        self._sum = 0.0
+        self._count = 0
+
+    def add(self, t_s: float, value: float) -> None:
+        if self._t0 is None:
+            self._t0 = t_s
+        index = int(np.floor((t_s - self._t0) / self.period_s))
+        if index > self._bin:
+            self._flush()
+            self._bin = index
+        self._sum += value
+        self._count += 1
+
+    def _flush(self) -> None:
+        if self._count == 0:
+            return
+        centre = self._t0 + (self._bin + 0.5) * self.period_s
+        self.ring.append(centre, self._sum / self._count)
+        self._sum = 0.0
+        self._count = 0
+
+    def finalize(self) -> None:
+        """Emit the trailing partial bin (end of run)."""
+        self._flush()
+
+
+class RollupSeries:
+    """One monitored signal: raw ring + per-resolution rollup rings."""
+
+    def __init__(self, name: str, raw_capacity: int = 4096,
+                 rollup_capacity: int = 1024,
+                 resolutions: Sequence[float] = DEFAULT_RESOLUTIONS):
+        self.name = name
+        self.raw = RingBuffer(raw_capacity)
+        self.rollups: Dict[float, _Downsampler] = {
+            float(period): _Downsampler(float(period), rollup_capacity)
+            for period in resolutions}
+
+    def add(self, t_s: float, value: float) -> None:
+        """O(1) amortized: one ring write + one accumulator op per level."""
+        self.raw.append(t_s, value)
+        for sampler in self.rollups.values():
+            sampler.add(t_s, value)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent raw sample."""
+        return self.raw.last()
+
+    def rollup_series(self, period_s: float) -> TimeSeries:
+        """Completed bin averages at one resolution."""
+        return self.rollups[float(period_s)].ring.series()
+
+    def finalize(self) -> None:
+        """Flush trailing partial bins at every resolution."""
+        for sampler in self.rollups.values():
+            sampler.finalize()
+
+
+class RollupStore:
+    """All monitored signals, keyed by name (``host/source`` style)."""
+
+    def __init__(self, raw_capacity: int = 4096,
+                 rollup_capacity: int = 1024,
+                 resolutions: Sequence[float] = DEFAULT_RESOLUTIONS):
+        self.raw_capacity = raw_capacity
+        self.rollup_capacity = rollup_capacity
+        self.resolutions = tuple(float(p) for p in resolutions)
+        self._series: Dict[str, RollupSeries] = {}
+        self._pending_samples = 0
+        self._published_evicted = 0
+
+    def series(self, name: str) -> RollupSeries:
+        """Get or create the rollup series for one signal."""
+        series = self._series.get(name)
+        if series is None:
+            series = RollupSeries(
+                name, raw_capacity=self.raw_capacity,
+                rollup_capacity=self.rollup_capacity,
+                resolutions=self.resolutions)
+            self._series[name] = series
+        return series
+
+    def add(self, name: str, t_s: float, value: float) -> None:
+        """Ingest one sample for one signal."""
+        self.series(name).add(t_s, value)
+        self._pending_samples += 1
+
+    def names(self) -> List[str]:
+        """All signal names, sorted (deterministic iteration order)."""
+        return sorted(self._series)
+
+    def get(self, name: str) -> Optional[RollupSeries]:
+        """The series for one signal, or None if never written."""
+        return self._series.get(name)
+
+    def flush_metrics(self) -> None:
+        """Batch-publish ingest counters (no-op registry: no cost)."""
+        if not metrics.enabled():
+            self._pending_samples = 0
+            return
+        if self._pending_samples:
+            M_ROLLUP_SAMPLES.inc(self._pending_samples)
+            self._pending_samples = 0
+        evicted = sum(s.raw.evicted for s in self._series.values())
+        if evicted > self._published_evicted:
+            M_ROLLUP_EVICTED.inc(evicted - self._published_evicted)
+            self._published_evicted = evicted
+
+    def finalize(self) -> None:
+        """End of run: flush partial bins and metric counters."""
+        for series in self._series.values():
+            series.finalize()
+        self.flush_metrics()

@@ -1,0 +1,119 @@
+"""A minimal, dependency-free JSON-Schema validator for CI smoke checks.
+
+The container deliberately carries no ``jsonschema`` package, so the CI
+job that validates ``netpower monitor`` dashboard output against
+``docs/schemas/dashboard.schema.json`` uses this subset validator
+instead.  Supported keywords (all the checked-in schema needs):
+``type`` (string or list), ``const``, ``enum``, ``properties``,
+``required``, ``additionalProperties`` (bool or schema), ``items``,
+``minItems``, ``minimum``, ``patternProperties``, and local
+JSON-pointer ``$ref`` (``#/definitions/...``).
+
+``validate`` returns a list of human-readable error strings; an empty
+list means the instance conforms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("number", "integer") and isinstance(value, bool):
+        return False  # bool is an int subclass; JSON says it is not
+    return isinstance(value, expected)
+
+
+def _resolve_ref(ref: str, root: Dict[str, Any]) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise ValueError(f"only local JSON-pointer $refs supported: {ref}")
+    node: Any = root
+    for token in ref[2:].split("/"):
+        token = token.replace("~1", "/").replace("~0", "~")
+        node = node[token]
+    return node
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$",
+             root: Optional[Dict[str, Any]] = None) -> List[str]:
+    """Check ``instance`` against ``schema``; returns error strings.
+
+    ``root`` is the document ``$ref`` pointers resolve against; it
+    defaults to ``schema`` itself (the usual top-level call).
+    """
+    if root is None:
+        root = schema
+    while "$ref" in schema:
+        schema = _resolve_ref(schema["$ref"], root)
+
+    errors: List[str] = []
+
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, "
+                      f"got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            errors.append(
+                f"{path}: expected type {'|'.join(names)}, got "
+                f"{type(instance).__name__}")
+            return errors  # structural keywords would only cascade
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        patterns = {re.compile(p): s
+                    for p, s in schema.get("patternProperties", {}).items()}
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            child = f"{path}.{key}"
+            if key in properties:
+                errors.extend(validate(value, properties[key], child, root))
+                continue
+            matched = False
+            for pattern, sub in patterns.items():
+                if pattern.search(key):
+                    errors.extend(validate(value, sub, child, root))
+                    matched = True
+            if matched:
+                continue
+            if additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, child, root))
+
+    if isinstance(instance, list):
+        min_items = schema.get("minItems")
+        if min_items is not None and len(instance) < min_items:
+            errors.append(f"{path}: expected at least {min_items} items, "
+                          f"got {len(instance)}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                errors.extend(
+                    validate(value, items, f"{path}[{index}]", root))
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and instance < minimum:
+            errors.append(f"{path}: {instance} below minimum {minimum}")
+
+    return errors

@@ -35,6 +35,7 @@ from repro.network.events import (
     HeatWave,
     Commission,
     Decommission,
+    DegradePsu,
     DeployAutopower,
     FleetEvent,
     OsUpdate,
@@ -53,6 +54,8 @@ from repro.network.simulation import (
     FLEET_PACKET_BYTES,
     NetworkSimulation,
     SimulationResult,
+    StepObserver,
+    StepSnapshot,
 )
 from repro.network.engine import (
     FleetState,
@@ -81,6 +84,7 @@ __all__ = [
     "HeatWave",
     "Commission",
     "Decommission",
+    "DegradePsu",
     "DeployAutopower",
     "FleetEvent",
     "OsUpdate",
@@ -95,6 +99,8 @@ __all__ = [
     "FLEET_PACKET_BYTES",
     "NetworkSimulation",
     "SimulationResult",
+    "StepObserver",
+    "StepSnapshot",
     "FleetState",
     "VectorizedEngine",
     "supports_vectorized",

@@ -124,7 +124,7 @@ class FleetState:
     """
 
     def __init__(self, network, traffic, new_external_link_ids=frozenset(),
-                 autopower_hosts: Sequence[str] = ()):
+                 view_hosts: Sequence[str] = ()):
         self.network = network
         self.traffic = traffic
         self.routers: List[VirtualRouter] = list(network.routers.values())
@@ -146,7 +146,7 @@ class FleetState:
             [p.traffic.packet_bytes for p in self.ports])
         self.noise = np.array([r._noise_state for r in self.routers])
         self.snapshot_counters()
-        self.refresh(new_external_link_ids, autopower_hosts)
+        self.refresh(new_external_link_ids, view_hosts)
 
     # -- dynamic state <-> objects ------------------------------------------------
 
@@ -202,7 +202,7 @@ class FleetState:
     # -- configuration rebuild ------------------------------------------------------
 
     def refresh(self, new_external_link_ids=frozenset(),
-                autopower_hosts: Sequence[str] = ()) -> None:
+                view_hosts: Sequence[str] = ()) -> None:
         """Rebuild every configuration column from the object model.
 
         Called once at construction and again after any event fires --
@@ -215,7 +215,7 @@ class FleetState:
         self._refresh_routers()
         self._refresh_psus()
         self._refresh_links(new_external_link_ids)
-        self._refresh_views(autopower_hosts)
+        self._refresh_views(view_hosts)
 
     def _refresh_ports(self) -> None:
         n = self.n_ports
@@ -381,16 +381,17 @@ class FleetState:
             dtype=np.int64)
         self._linked_flat = sorted(set(scatter_ports))
 
-    def _refresh_views(self, autopower_hosts: Sequence[str]) -> None:
+    def _refresh_views(self, view_hosts: Sequence[str]) -> None:
         """Ports whose objects must track columnar traffic every step.
 
-        Autopower meters read ``router.wall_power_w`` off the object, so
-        instrumented routers keep their Port objects' offered traffic in
-        sync (see :meth:`sync_views`).
+        Autopower meters read ``router.wall_power_w`` off the object, and
+        step observers (the fleet monitor) may read object state of the
+        routers they watch, so those routers keep their Port objects'
+        offered traffic in sync (see :meth:`sync_views`).
         """
         linked = set(self._linked_flat)
         self._view_routers: List[Tuple[int, VirtualRouter, List[int]]] = []
-        for host in autopower_hosts:
+        for host in view_hosts:
             i = self.router_index[host]
             flats = [f for f in range(self._router_start[i],
                                       self._router_stop[i]) if f in linked]
@@ -529,7 +530,7 @@ class VectorizedEngine:
         self.state = FleetState(
             simulation.network, simulation.traffic,
             new_external_link_ids=simulation._new_external_link_ids,
-            autopower_hosts=tuple(simulation.autopower_clients))
+            view_hosts=simulation._view_hosts())
 
     def run_steps(self, n_steps: int, step_s: float, pending, collector,
                   snmp_period_s: float, detailed_hosts: Sequence[str],
@@ -548,8 +549,9 @@ class VectorizedEngine:
         # histogram in one batched observe_many after the loop, so the
         # hot path never crosses the instrument layer per step.
         from repro.network.simulation import (M_EVENTS, M_SNMP_POLLS,
-                                              M_STEP_SECONDS)
+                                              M_STEP_SECONDS, StepSnapshot)
         observing = metrics.enabled()
+        observers = sim.observers
         step_durations: List[float] = []
 
         for step in range(n_steps):
@@ -570,7 +572,7 @@ class VectorizedEngine:
                     event_idx += 1
                 state.snapshot_counters()
                 state.refresh(sim._new_external_link_ids,
-                              tuple(sim.autopower_clients))
+                              sim._view_hosts())
                 innovation_std = state.noise_std * float(
                     np.sqrt(max(0.0, 1 - rho ** 2)))
             ingress = state.apply_traffic(t)
@@ -582,7 +584,8 @@ class VectorizedEngine:
             wall = state.wall_power()
             total_power[step] = wall.sum()
             total_traffic[step] = ingress
-            if t_sample >= next_poll_s:
+            polled = t_sample >= next_poll_s
+            if polled:
                 if detailed_hosts:
                     state.flush_counters(detailed_hosts)
                 M_SNMP_POLLS.inc()
@@ -590,10 +593,21 @@ class VectorizedEngine:
                     host: float(wall[i])
                     for i, host in enumerate(hostnames)})
                 next_poll_s += max(snmp_period_s, step_s)
-            if sim.autopower_clients:
+            if state._view_routers:
                 state.sync_views()
+            if sim.autopower_clients:
                 for client in sim.autopower_clients.values():
                     client.tick(t_sample)
+            if observers:
+                power_by_host = {host: float(wall[i])
+                                 for i, host in enumerate(hostnames)}
+                snapshot = StepSnapshot(
+                    step=step, t_s=t_sample, step_s=step_s,
+                    total_power_w=float(total_power[step]),
+                    total_traffic_bps=float(ingress),
+                    power_by_host=power_by_host, snmp_polled=polled)
+                for observer in observers:
+                    observer.on_step(snapshot)
             if observing:
                 step_durations.append(time.perf_counter() - step_t0)
         state.flush_all()

@@ -155,6 +155,27 @@ class HeatWave(FleetEvent):
 
 
 @dataclass
+class DegradePsu(FleetEvent):
+    """A PSU's conversion efficiency degrades (the §9.4 GREEN scenario).
+
+    Capacitor aging and fan-bearing wear make supplies slowly lossier;
+    the router draws more wall power for the same device power while the
+    model -- calibrated against the nominal efficiency curve -- keeps
+    predicting the old draw.  This is the failure mode the monitoring
+    layer's PSU-health tracker exists to catch.
+    """
+
+    hostname: str = ""
+    psu_index: int = 0
+    efficiency_delta: float = -0.05
+
+    def apply(self, simulation) -> None:
+        psu_group = simulation.network.router(self.hostname).psu_group
+        psu_group.instances[self.psu_index].apply_aging(
+            self.efficiency_delta)
+
+
+@dataclass
 class DeployAutopower(FleetEvent):
     """Install an Autopower unit on a router's feed (Fig. 4b, Sep 25).
 

@@ -67,6 +67,61 @@ M_FLEET_TRAFFIC = metrics.gauge(
     "Total external ingress traffic at the last simulated step")
 
 
+@dataclass(frozen=True)
+class StepSnapshot:
+    """What a :class:`StepObserver` sees after each simulation step.
+
+    Values are read-only copies of the step's fresh state; observers must
+    never mutate routers or draw from simulation RNG streams (the same
+    contract as the obs instruments: byte-identical results with or
+    without observers attached).
+    """
+
+    #: Step index (0-based) and the sample timestamp (end of the step).
+    step: int
+    t_s: float
+    step_s: float
+    total_power_w: float
+    total_traffic_bps: float
+    #: Per-router wall power, in fleet iteration order.
+    power_by_host: Dict[str, float]
+    #: Whether the SNMP collector polled on this step.
+    snmp_polled: bool
+
+
+class StepObserver:
+    """Hook invoked identically by both simulation engines.
+
+    Subclass and override what you need; every method is a no-op by
+    default.  Observers attach via :meth:`NetworkSimulation.add_observer`
+    and receive one :class:`StepSnapshot` per step, *after* the step's
+    SNMP poll and Autopower ticks -- so collector state and meter buffers
+    are current when ``on_step`` runs.
+    """
+
+    def view_hosts(self) -> Sequence[str]:
+        """Hostnames whose Port/router objects must stay fresh per step.
+
+        The vectorized engine keeps only these routers' objects in sync
+        with the columnar state during the run (the same mechanism that
+        serves Autopower meters); list every router the observer reads
+        object state from (``wall_power_w``, ``device_power_w``, port
+        traffic).
+        """
+        return ()
+
+    def on_run_start(self, sim: "NetworkSimulation", engine: str,
+                     collector: SnmpCollector, step_s: float,
+                     n_steps: int) -> None:
+        """Called once before the first step of a run."""
+
+    def on_step(self, snapshot: StepSnapshot) -> None:
+        """Called after every step with that step's fresh state."""
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        """Called once after the run's result object is assembled."""
+
+
 @dataclass
 class SimulationResult:
     """Everything recorded during one fleet simulation run."""
@@ -98,7 +153,25 @@ class NetworkSimulation:
         self.clock_s = start_s
         self.autopower_server = AutopowerServer()
         self.autopower_clients: Dict[str, AutopowerClient] = {}
+        self.observers: List[StepObserver] = []
         self._new_external_link_ids: Set[int] = set()
+
+    # -- observers ------------------------------------------------------------------
+
+    def add_observer(self, observer: StepObserver) -> StepObserver:
+        """Attach a step observer (e.g. the fleet monitor) to this sim."""
+        self.observers.append(observer)
+        return observer
+
+    def _view_hosts(self) -> tuple:
+        """Routers whose objects the vector engine must keep synced:
+        Autopower'd hosts plus everything the observers ask for."""
+        hosts = dict.fromkeys(self.autopower_clients)
+        for observer in self.observers:
+            for host in observer.view_hosts():
+                if host in self.network.routers:
+                    hosts.setdefault(host)
+        return tuple(hosts)
 
     # -- hooks used by events ------------------------------------------------------
 
@@ -214,6 +287,9 @@ class NetworkSimulation:
                           engine=engine, requested=requested,
                           n_steps=n_steps,
                           routers=len(self.network.routers)):
+            for observer in self.observers:
+                observer.on_run_start(self, engine, collector, step_s,
+                                      n_steps)
             with tracing.span("sim.steps", sim_clock=lambda: self.clock_s):
                 if engine == "vector":
                     VectorizedEngine(self).run_steps(
@@ -239,6 +315,8 @@ class NetworkSimulation:
                     autopower=autopower,
                     sensor_exports=collector.sensor_exports(),
                 )
+                for observer in self.observers:
+                    observer.on_run_end(result)
         M_STEPS.labels(engine=engine).inc(n_steps)
         if n_steps:
             M_FLEET_POWER.set(float(total_power[-1]))
@@ -258,6 +336,7 @@ class NetworkSimulation:
         next_poll_s = self.clock_s
         event_idx = 0
         observing = metrics.enabled()
+        observers = self.observers
         step_durations: List[float] = []
         for step in range(n_steps):
             if observing:
@@ -273,14 +352,35 @@ class NetworkSimulation:
             self.clock_s += step_s
             t_sample = self.clock_s
             grid[step] = t_sample
-            total_power[step] = self.network.total_wall_power_w()
+            if observers:
+                # One wall-power read per router, summed in the same
+                # sequential order as total_wall_power_w() so the total
+                # stays byte-identical with observers attached.
+                power_by_host = {host: router.wall_power_w()
+                                 for host, router
+                                 in self.network.routers.items()}
+                total = 0.0
+                for value in power_by_host.values():
+                    total += value
+                total_power[step] = total
+            else:
+                total_power[step] = self.network.total_wall_power_w()
             total_traffic[step] = ingress
-            if t_sample >= next_poll_s:
+            polled = t_sample >= next_poll_s
+            if polled:
                 M_SNMP_POLLS.inc()
                 collector.record(t_sample)
                 next_poll_s += max(snmp_period_s, step_s)
             for client in self.autopower_clients.values():
                 client.tick(t_sample)
+            if observers:
+                snapshot = StepSnapshot(
+                    step=step, t_s=t_sample, step_s=step_s,
+                    total_power_w=float(total_power[step]),
+                    total_traffic_bps=float(ingress),
+                    power_by_host=power_by_host, snmp_polled=polled)
+                for observer in observers:
+                    observer.on_step(snapshot)
             if observing:
                 step_durations.append(time.perf_counter() - step_t0)
         if step_durations:

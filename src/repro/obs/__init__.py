@@ -20,6 +20,7 @@ Design invariants:
 
 from repro.obs import export, logging, metrics, tracing
 from repro.obs.export import (
+    chrome_trace,
     render_prometheus,
     snapshot,
     write_metrics,
@@ -53,6 +54,8 @@ _INSTRUMENTED_MODULES = (
     "repro.psu_opt.analysis",
     "repro.sleep.savings",
     "repro.sleep.rate_adaptation",
+    "repro.monitor.rollup",
+    "repro.monitor.alerts",
 )
 
 
@@ -69,6 +72,7 @@ __all__ = [
     "logging",
     "metrics",
     "tracing",
+    "chrome_trace",
     "render_prometheus",
     "snapshot",
     "write_metrics",

@@ -5,7 +5,9 @@
 cumulative ``le`` buckets), suitable for a file-based scrape or for
 ``promtool check metrics``.  ``snapshot`` serialises the same registry as
 a JSON document for programmatic ingestion, and ``write_trace`` dumps a
-:class:`~repro.obs.tracing.Tracer` span tree.
+:class:`~repro.obs.tracing.Tracer` span tree -- as the native JSON form,
+or as Chrome trace-event format (loadable in Perfetto / ``chrome://
+tracing``) when the path ends in ``.trace.json``.
 """
 
 from __future__ import annotations
@@ -125,8 +127,62 @@ def write_metrics(path: Union[str, Path],
     return path
 
 
+def _chrome_events(span, origin: float, events: List[Dict]) -> None:
+    if span.wall_start is None:
+        return
+    args = {k: v for k, v in span.attributes.items()}
+    if span.sim_start_s is not None:
+        args["sim_start_s"] = span.sim_start_s
+        if span.sim_end_s is not None:
+            args["sim_duration_s"] = span.sim_end_s - span.sim_start_s
+    event = {
+        "name": span.name,
+        "ph": "X",
+        "ts": round((span.wall_start - origin) * 1e6, 3),
+        "dur": round(span.duration_s * 1e6, 3),
+        "pid": 1,
+        "tid": 1,
+        "cat": "netpower",
+    }
+    if args:
+        event["args"] = args
+    events.append(event)
+    for child in span.children:
+        _chrome_events(child, origin, events)
+
+
+def chrome_trace(tracer: Tracer) -> Dict:
+    """The span tree as a Chrome trace-event document.
+
+    Complete (``ph: "X"``) events with microsecond timestamps relative
+    to the trace origin, loadable in Perfetto or ``chrome://tracing``.
+    Span attributes and the simulated-clock readings ride along in each
+    event's ``args``.
+    """
+    origin = min((s.wall_start for s in tracer.roots
+                  if s.wall_start is not None), default=0.0)
+    events: List[Dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 1,
+        "args": {"name": "netpower"},
+    }]
+    for root in tracer.roots:
+        _chrome_events(root, origin, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
 def write_trace(path: Union[str, Path], tracer: Tracer) -> Path:
-    """Write the tracer's span tree to ``path`` as JSON."""
+    """Write the tracer's span tree to ``path`` as JSON.
+
+    Paths ending in ``.trace.json`` get Chrome trace-event format (for
+    Perfetto); anything else gets the native span-tree document.
+    """
     path = Path(path)
-    path.write_text(tracer.to_json() + "\n")
+    if path.name.endswith(".trace.json"):
+        document = json.dumps(chrome_trace(tracer), indent=2, default=str)
+    else:
+        document = tracer.to_json()
+    path.write_text(document + "\n")
     return path

@@ -28,6 +28,7 @@ from repro.telemetry.green import (
     GreenCollector,
     PsuEfficiencyTrace,
     PsuKey,
+    efficiency_drift,
 )
 from repro.telemetry.protocol import (
     ChunkAck,
@@ -63,6 +64,7 @@ __all__ = [
     "GreenCollector",
     "PsuEfficiencyTrace",
     "PsuKey",
+    "efficiency_drift",
     "CounterSeries",
     "InterfaceTrace",
     "TimeSeries",

@@ -76,6 +76,24 @@ class EfficiencyDrift:
                 and abs(self.fit.slope) > 2 * self.fit.slope_stderr)
 
 
+def efficiency_drift(trace: PsuEfficiencyTrace) -> Optional[EfficiencyDrift]:
+    """Efficiency trend of one PSU trace (None with <3 samples).
+
+    Shared between :class:`GreenCollector` (offline campaigns) and the
+    streaming monitor's PSU-health tracker, so both report identical
+    trends on identical samples.
+    """
+    series = trace.efficiency_series().valid()
+    if len(series) < 3 or np.ptp(series.timestamps) == 0:
+        return None
+    fit = linear_fit(series.timestamps, series.values)
+    return EfficiencyDrift(
+        key=trace.key,
+        per_month=fit.slope * 30 * units.SECONDS_PER_DAY,
+        mean_efficiency=series.mean(),
+        fit=fit)
+
+
 class GreenCollector:
     """Polls P_in/P_out of every PSU in a fleet on a fixed period."""
 
@@ -104,16 +122,7 @@ class GreenCollector:
 
     def drift(self, key: PsuKey) -> Optional[EfficiencyDrift]:
         """Efficiency trend of one PSU (None with <3 samples)."""
-        trace = self.traces[key]
-        series = trace.efficiency_series().valid()
-        if len(series) < 3 or np.ptp(series.timestamps) == 0:
-            return None
-        fit = linear_fit(series.timestamps, series.values)
-        return EfficiencyDrift(
-            key=key,
-            per_month=fit.slope * 30 * units.SECONDS_PER_DAY,
-            mean_efficiency=series.mean(),
-            fit=fit)
+        return efficiency_drift(self.traces[key])
 
     def degrading_psus(self) -> List[EfficiencyDrift]:
         """Supplies with a statistically visible downward trend."""

@@ -206,6 +206,40 @@ class SnmpCollector:
                 slot[3].append(counters.rx_packets)
                 slot[4].append(counters.tx_packets)
 
+    def last_poll_s(self) -> Optional[float]:
+        """Timestamp of the most recent poll, or None before the first."""
+        if not self._timestamps:
+            return None
+        return self._timestamps[-1]
+
+    def last_power(self, hostname: str) -> Optional[float]:
+        """Most recent PSU-reported power for one router.
+
+        None if the router has never been polled or its platform does not
+        report a power value (the NaN case, §6.2).
+        """
+        samples = self._power.get(hostname)
+        if not samples:
+            return None
+        value = samples[-1]
+        if value is None or np.isnan(value):
+            return None
+        return float(value)
+
+    def counters_tail(self, hostname: str, n: int = 2,
+                      ) -> Dict[str, List[List]]:
+        """Last ``n`` raw counter samples per interface of one router.
+
+        Returns ``iface -> [ts, rx_oct, tx_oct, rx_pkt, tx_pkt]`` where
+        each entry is the tail of the recorded lists -- exactly what a
+        streaming consumer (the live model-prediction source) needs to
+        recompute the most recent counter rate without holding the whole
+        campaign in memory twice.
+        """
+        store = self._counters.get(hostname, {})
+        return {iface: [column[-n:] for column in slot]
+                for iface, slot in store.items()}
+
     def finalize(self) -> Dict[str, RouterTrace]:
         """Build immutable traces from everything recorded so far."""
         ts = np.array(self._timestamps, dtype=float)

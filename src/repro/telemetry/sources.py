@@ -1,0 +1,239 @@
+"""Streaming source adapters: one reading per signal per poll.
+
+The fleet monitor (:mod:`repro.monitor`) tracks the same three power
+data sources the paper's §6.2 validation compares offline -- the model
+prediction, the PSU/SNMP telemetry, and the Autopower wall measurement
+-- plus the §9.4 GREEN efficiency channel.  Each adapter here turns one
+of those into a pull-based source the monitor samples during a run.
+
+Two invariants matter:
+
+* **Read-only.**  Adapters never draw from any RNG stream and never
+  mutate simulation state, so attaching a monitor leaves a seeded run's
+  outputs byte-identical.  In particular they must not call
+  ``router.psu_reported_power_w`` or ``psu_sensor_snapshots`` (both
+  consume sensor-noise randomness); PSU power is read back from what the
+  SNMP collector already recorded, and PSU efficiency is computed from
+  the noise-free curve objects.
+
+* **Offline parity.**  :class:`CounterRateModelSource` replicates the
+  offline pipeline (``CounterSeries.rates`` ->
+  ``validation.trace_to_interfaces`` -> ``predict_trace``) sample by
+  sample, so the live model series is bitwise identical to
+  ``predict_from_trace`` on the finalized trace at every shared poll
+  timestamp -- which is what lets the live drift statistic reproduce the
+  offline §6.2 offset exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import PowerModel
+from repro.core.prediction import DeployedInterface, predict_trace
+from repro.hardware.router import COUNTER_64_WRAP
+from repro.telemetry.snmp import SnmpCollector
+
+
+class SnmpPowerSource:
+    """The PSU-reported input power as the SNMP poller recorded it.
+
+    Reads the collector's stored series rather than re-polling the
+    router: polling draws sensor noise, and the monitor must observe,
+    not perturb.
+    """
+
+    def __init__(self, collector: SnmpCollector):
+        self.collector = collector
+
+    def sample(self, hostname: str, t_s: float) -> Optional[float]:
+        """Latest reported power, or None when the platform reports none."""
+        last = self.collector.last_poll_s()
+        if last is None or last != t_s:
+            return None
+        return self.collector.last_power(hostname)
+
+
+class AutopowerSource:
+    """The latest external wall measurement of one metered router.
+
+    A sample is only returned when the meter produced one at exactly the
+    requested timestamp; a unit that is powered off (PoP outage) or not
+    deployed yields None, which the staleness alert rule turns into a
+    missing-data signal.
+    """
+
+    def __init__(self, clients: Dict[str, object]):
+        self.clients = clients  # hostname -> AutopowerClient
+
+    def sample(self, hostname: str, t_s: float) -> Optional[float]:
+        client = self.clients.get(hostname)
+        if client is None:
+            return None
+        sample = None
+        if client.local_buffer:
+            sample = client.local_buffer[-1]
+        else:
+            # Buffer already flushed to the server this tick.
+            stored = client.server._samples.get(client.unit_id)
+            if stored:
+                sample = stored[-1]
+        if sample is None or sample.timestamp_s != t_s:
+            return None
+        return float(sample.power_w)
+
+
+class PsuEfficiencySource:
+    """Per-PSU (P_in, P_out) from the noise-free curve objects.
+
+    This is the GREEN channel (§9.4) without the sensor noise of
+    ``psu_sensor_snapshots``: exact output shares under the active
+    sharing policy and the exact input power through each instance's
+    (possibly aged) efficiency curve.  Spares carrying no load are
+    skipped -- a zero-output supply has no meaningful efficiency.
+    """
+
+    def __init__(self, routers: Dict[str, object]):
+        self.routers = routers  # hostname -> VirtualRouter
+
+    def sample(self, hostname: str, t_s: float,
+               ) -> List[Tuple[int, float, float, float]]:
+        """``[(psu_index, input_w, output_w, capacity_w), ...]``.
+
+        Only PSUs carrying load are reported; unloaded spares have no
+        meaningful efficiency.
+        """
+        router = self.routers.get(hostname)
+        if router is None or not router.powered:
+            return []
+        device = router.device_power_w()
+        group = router.psu_group
+        readings: List[Tuple[int, float, float, float]] = []
+        for index, (psu, share) in enumerate(
+                zip(group.instances, group.output_shares(device))):
+            if share == 0.0:
+                continue
+            readings.append((index, psu.input_power(share), share,
+                             psu.capacity_w))
+        return readings
+
+
+class _InterfaceState:
+    """Cached per-interface scratch for the live model prediction."""
+
+    __slots__ = ("deployed",)
+
+    def __init__(self, name: str, trx_name: str):
+        zeros = (np.zeros(1), np.zeros(1), np.zeros(1), np.zeros(1))
+        self.deployed = DeployedInterface(
+            name=name, trx_name=trx_name,
+            octet_rate_rx=zeros[0], octet_rate_tx=zeros[1],
+            packet_rate_rx=zeros[2], packet_rate_tx=zeros[3])
+
+
+class CounterRateModelSource:
+    """Live model prediction driven by the SNMP counter stream (§6.2).
+
+    At each poll it recomputes the newest counter rates from the
+    collector's stored tail (two samples per interface) with exactly the
+    ``CounterSeries.rates`` arithmetic -- integer deltas, exact 64-bit
+    wrap fix-up, reset-to-NaN above half the wrap -- and evaluates the
+    power model on the resulting one-sample interface set, ordered by
+    interface name like the offline ``trace_to_interfaces``.
+
+    Parity details mirrored from the offline pipeline:
+
+    * no sample until the first-sorted inventory-listed interface has
+      two counter polls (offline rates drop the first timestamp);
+    * an interface with fewer samples (plugged mid-run) contributes zero
+      rates (offline head-pads with zeros);
+    * any NaN rate (counter reset) suppresses the whole sample (offline
+      masks that grid point for all interfaces).
+
+    ``DeployedInterface`` objects are cached and their one-sample rate
+    arrays mutated in place, so the per-poll cost is a handful of scalar
+    ops plus one tiny ``predict_trace`` call.
+    """
+
+    def __init__(self, collector: SnmpCollector,
+                 models: Dict[str, PowerModel]):
+        self.collector = collector
+        self.models = models  # router model name -> PowerModel
+        self._ifaces: Dict[str, Dict[str, _InterfaceState]] = {}
+        self._order: Dict[str, List[_InterfaceState]] = {}
+
+    def _interface_list(self, hostname: str,
+                        names: List[str],
+                        inventory: Dict[str, Optional[str]],
+                        ) -> List[_InterfaceState]:
+        cache = self._ifaces.setdefault(hostname, {})
+        order = self._order.get(hostname)
+        if order is not None and len(order) == len(names) and all(
+                state.deployed.name == name
+                for state, name in zip(order, names)):
+            return order
+        order = []
+        for name in names:
+            state = cache.get(name)
+            if state is None or state.deployed.trx_name != inventory[name]:
+                state = _InterfaceState(name, inventory[name])
+                cache[name] = state
+            order.append(state)
+        self._order[hostname] = order
+        return order
+
+    @staticmethod
+    def _rate(slot_ts: List[float], counts: List[int],
+              wrap: int) -> Optional[float]:
+        """One scalar counter rate; NaN (reset) returns None."""
+        delta = int(counts[-1]) - int(counts[-2])
+        if delta < 0:
+            delta += wrap
+        if delta > 0.5 * wrap:
+            return None
+        dt = slot_ts[-1] - slot_ts[-2]
+        return float(delta) / dt
+
+    def sample(self, hostname: str, t_s: float) -> Optional[float]:
+        agent = self.collector.agents.get(hostname)
+        if agent is None:
+            return None
+        model = self.models.get(agent.router.model_name)
+        if model is None:
+            return None
+        tails = self.collector.counters_tail(hostname, n=2)
+        if not tails:
+            return None
+        inventory = agent.router.inventory()
+        names = [name for name in sorted(tails) if inventory.get(name)]
+        if not names:
+            return None
+        # The offline rate grid starts at the second poll of the
+        # first-sorted listed interface; before that there is no sample.
+        first = tails[names[0]]
+        if len(first[0]) < 2 or first[0][-1] != t_s:
+            return None
+        wrap = COUNTER_64_WRAP
+        states = self._interface_list(hostname, names, inventory)
+        for state in states:
+            slot = tails[state.deployed.name]
+            ts_col = slot[0]
+            deployed = state.deployed
+            if len(ts_col) < 2 or ts_col[-1] != t_s:
+                # Plugged mid-run: zero rates, like the offline head-pad.
+                deployed.octet_rate_rx[0] = 0.0
+                deployed.octet_rate_tx[0] = 0.0
+                deployed.packet_rate_rx[0] = 0.0
+                deployed.packet_rate_tx[0] = 0.0
+                continue
+            rates = [self._rate(ts_col, slot[i], wrap) for i in (1, 2, 3, 4)]
+            if any(r is None for r in rates):
+                return None  # counter reset: the offline mask drops it
+            deployed.octet_rate_rx[0] = rates[0]
+            deployed.octet_rate_tx[0] = rates[1]
+            deployed.packet_rate_rx[0] = rates[2]
+            deployed.packet_rate_tx[0] = rates[3]
+        values = predict_trace(model, [s.deployed for s in states])
+        return float(values[0])

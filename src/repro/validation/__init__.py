@@ -9,10 +9,12 @@ from repro.validation.compare import (
     ComparisonStats,
     TelemetryVerdict,
     ValidationReport,
+    WindowedResiduals,
     compare_series,
     predict_from_trace,
     trace_to_interfaces,
     validate_router,
+    windowed_residuals,
 )
 
 __all__ = [
@@ -22,8 +24,10 @@ __all__ = [
     "ComparisonStats",
     "TelemetryVerdict",
     "ValidationReport",
+    "WindowedResiduals",
     "compare_series",
     "predict_from_trace",
     "trace_to_interfaces",
     "validate_router",
+    "windowed_residuals",
 ]

@@ -91,6 +91,71 @@ def predict_from_trace(model: PowerModel, trace: RouterTrace,
     return TimeSeries(grid, values)
 
 
+@dataclass(frozen=True)
+class WindowedResiduals:
+    """The Fig. 4 averaging/offset math on two aligned series.
+
+    This is the §6.2 core shared by the offline comparison
+    (:func:`compare_series`) and the live drift detector
+    (:mod:`repro.monitor.drift`): both series bin-averaged onto the same
+    ``window_s`` grid anchored at the later of the two start times, then
+    the robust offset (median of the difference) and residual spread
+    (1.4826 x MAD, the normal-consistent scale) of the overlap.
+    """
+
+    offset_w: float          # median(candidate - reference)
+    residual_std_w: float    # robust spread of the offset-corrected diff
+    n_windows: int           # averaged samples the stats are computed on
+    #: The aligned, NaN-masked window averages the stats came from.
+    candidate_avg: np.ndarray
+    reference_avg: np.ndarray
+
+    @property
+    def empty(self) -> bool:
+        """Whether the two series had no usable overlap."""
+        return self.n_windows == 0
+
+
+_EMPTY_WINDOWED = WindowedResiduals(
+    offset_w=float("nan"), residual_std_w=float("nan"), n_windows=0,
+    candidate_avg=np.array([]), reference_avg=np.array([]))
+
+
+def windowed_residuals(candidate: TimeSeries, reference: TimeSeries,
+                       window_s: float = AVERAGING_WINDOW_S,
+                       ) -> WindowedResiduals:
+    """Average two series onto a shared window grid and take residuals.
+
+    The exact alignment recipe of Fig. 4: clip both series to their
+    overlap, bin-average each onto ``window_s`` bins anchored at the
+    overlap start, truncate to the shorter of the two, and drop windows
+    where either side is NaN.
+    """
+    if len(candidate) == 0 or len(reference) == 0:
+        return _EMPTY_WINDOWED
+    t0 = max(candidate.timestamps[0], reference.timestamps[0])
+    t1 = min(candidate.timestamps[-1], reference.timestamps[-1])
+    if t1 <= t0:
+        return _EMPTY_WINDOWED
+    cand = candidate.slice(t0, t1 + 1).resample(window_s, t0=t0)
+    ref = reference.slice(t0, t1 + 1).resample(window_s, t0=t0)
+    n = min(len(cand), len(ref))
+    c = cand.values[:n]
+    r = ref.values[:n]
+    mask = ~(np.isnan(c) | np.isnan(r))
+    c, r = c[mask], r[mask]
+    if len(c) == 0:
+        return _EMPTY_WINDOWED
+    diff = c - r
+    offset = float(np.median(diff))
+    # Robust spread: isolated artifacts (a reboot-spanning poll window,
+    # a meter glitch) must not drown the precision assessment.
+    residual_std = float(1.4826 * np.median(np.abs(diff - offset)))
+    return WindowedResiduals(offset_w=offset, residual_std_w=residual_std,
+                             n_windows=len(c), candidate_avg=c,
+                             reference_avg=r)
+
+
 class TelemetryVerdict(enum.Enum):
     """The paper's qualitative classification of a power data source."""
 
@@ -159,40 +224,24 @@ class ComparisonStats:
 def compare_series(candidate: TimeSeries, reference: TimeSeries,
                    window_s: float = AVERAGING_WINDOW_S) -> ComparisonStats:
     """Align two series on a shared averaged grid and compare (Fig. 4)."""
-    empty = ComparisonStats(offset_w=float("nan"),
-                            residual_std_w=float("nan"),
-                            correlation=float("nan"),
-                            reference_std_w=float("nan"),
-                            reference_level_w=float("nan"), n_samples=0)
-    if len(candidate) == 0 or len(reference) == 0:
-        return empty
-    t0 = max(candidate.timestamps[0], reference.timestamps[0])
-    t1 = min(candidate.timestamps[-1], reference.timestamps[-1])
-    if t1 <= t0:
-        return empty
-    cand = candidate.slice(t0, t1 + 1).resample(window_s, t0=t0)
-    ref = reference.slice(t0, t1 + 1).resample(window_s, t0=t0)
-    n = min(len(cand), len(ref))
-    c = cand.values[:n]
-    r = ref.values[:n]
-    mask = ~(np.isnan(c) | np.isnan(r))
-    c, r = c[mask], r[mask]
-    if len(c) == 0:
-        return empty
-    diff = c - r
-    offset = float(np.median(diff))
-    # Robust spread: isolated artifacts (a reboot-spanning poll window,
-    # a meter glitch) must not drown the precision assessment.
-    residual_std = float(1.4826 * np.median(np.abs(diff - offset)))
+    windowed = windowed_residuals(candidate, reference, window_s=window_s)
+    if windowed.empty:
+        return ComparisonStats(offset_w=float("nan"),
+                               residual_std_w=float("nan"),
+                               correlation=float("nan"),
+                               reference_std_w=float("nan"),
+                               reference_level_w=float("nan"), n_samples=0)
+    c, r = windowed.candidate_avg, windowed.reference_avg
     if len(c) > 2 and np.std(c) > 1e-9 and np.std(r) > 1e-9:
         correlation = float(np.corrcoef(c, r)[0, 1])
     else:
         correlation = 0.0
-    return ComparisonStats(offset_w=offset, residual_std_w=residual_std,
+    return ComparisonStats(offset_w=windowed.offset_w,
+                           residual_std_w=windowed.residual_std_w,
                            correlation=correlation,
                            reference_std_w=float(np.std(r)),
                            reference_level_w=float(np.median(r)),
-                           n_samples=len(c),
+                           n_samples=windowed.n_windows,
                            candidate_std_w=float(np.std(c)))
 
 

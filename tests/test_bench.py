@@ -52,6 +52,59 @@ class TestBenchModule:
         assert bench.CASES["large"].n_steps == 10000
 
 
+class TestReportMerging:
+    """A subset run must merge into an existing report, not replace it."""
+
+    def test_subset_run_keeps_other_cases(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        # A fake previous full run with a hand-written medium entry.
+        previous_medium = {"name": "medium", "seed": 3, "n_steps": 1,
+                          "object": {"wall_s": 9.9}}
+        out.write_text(json.dumps({
+            "schema": bench.SCHEMA, "seed": 3, "step_s": bench.STEP_S,
+            "cases": [previous_medium]}))
+        rc = bench.main(["--quick", "--steps", "5", "--seed", "11",
+                         "--output", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        # Suite order, with the untouched medium entry preserved.
+        assert [c["name"] for c in report["cases"]] == ["small", "medium"]
+        assert report["cases"][1] == previous_medium
+        assert report["cases"][0]["seed"] == 11
+        assert report["seed"] == 11
+        assert "kept previous entries for: medium" in \
+            capsys.readouterr().out
+
+    def test_rerun_replaces_same_case(self, tmp_path):
+        out = tmp_path / "bench.json"
+        bench.main(["--quick", "--steps", "5", "--output", str(out)])
+        first = json.loads(out.read_text())
+        bench.main(["--quick", "--steps", "8", "--output", str(out)])
+        second = json.loads(out.read_text())
+        assert [c["name"] for c in first["cases"]] == ["small"]
+        assert [c["name"] for c in second["cases"]] == ["small"]
+        assert second["cases"][0]["n_steps"] == 8
+
+    def test_other_schema_is_not_merged(self, tmp_path):
+        out = tmp_path / "bench.json"
+        out.write_text(json.dumps({
+            "schema": "repro.bench.simulation/v2", "seed": 7,
+            "cases": [{"name": "large", "n_steps": 10000}]}))
+        bench.main(["--quick", "--steps", "5", "--output", str(out)])
+        report = json.loads(out.read_text())
+        # The v2 entry's layout predates per-case seeds; dropping it
+        # beats grafting stale semantics onto a v3 report.
+        assert [c["name"] for c in report["cases"]] == ["small"]
+
+    def test_corrupt_previous_report_is_ignored(self, tmp_path):
+        out = tmp_path / "bench.json"
+        out.write_text("{not json")
+        rc = bench.main(["--quick", "--steps", "5", "--output", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert [c["name"] for c in report["cases"]] == ["small"]
+
+
 class TestBenchCli:
     def test_cli_bench_quick(self, tmp_path):
         out = tmp_path / "cli_bench.json"

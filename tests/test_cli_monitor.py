@@ -1,0 +1,108 @@
+"""The ``netpower monitor`` command: dashboard output and wiring."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.monitor import DASHBOARD_SCHEMA
+from repro.monitor.schema import validate as validate_schema
+
+SCHEMA_PATH = (Path(__file__).resolve().parent.parent / "docs"
+               / "schemas" / "dashboard.schema.json")
+
+
+@pytest.fixture(scope="module")
+def monitor_outputs(tmp_path_factory):
+    """One short monitored run through the real CLI entry point."""
+    tmp_path = tmp_path_factory.mktemp("monitor_cli")
+    out = tmp_path / "dashboard.json"
+    rc = cli_main([
+        "monitor", "--days", "0.25", "--out", str(out),
+        "--inject-psu-fault",
+        "--metrics-out", str(tmp_path / "metrics.json"),
+        "--trace-out", str(tmp_path / "monitor.trace.json"),
+    ])
+    return rc, tmp_path, out
+
+
+class TestMonitorCommand:
+    def test_exit_code_and_files(self, monitor_outputs):
+        rc, tmp_path, out = monitor_outputs
+        assert rc == 0
+        assert out.exists()
+        assert (tmp_path / "dashboard.html").exists()
+        assert (tmp_path / "metrics.json").exists()
+        assert (tmp_path / "monitor.trace.json").exists()
+
+    def test_snapshot_conforms_to_checked_in_schema(self, monitor_outputs):
+        _, _, out = monitor_outputs
+        snapshot = json.loads(out.read_text())
+        assert snapshot["schema"] == DASHBOARD_SCHEMA
+        schema = json.loads(SCHEMA_PATH.read_text())
+        errors = validate_schema(snapshot, schema)
+        assert errors == [], "\n".join(errors)
+
+    def test_injected_fault_lands_in_snapshot(self, monitor_outputs):
+        _, _, out = monitor_outputs
+        snapshot = json.loads(out.read_text())
+        drops = [a for a in snapshot["alerts"]
+                 if a["rule"] == "psu-efficiency-drop"]
+        assert len(drops) == 1
+        assert drops[0]["severity"] == "critical"
+        assert drops[0]["resolved_at_s"] is None
+
+    def test_html_is_selfcontained(self, monitor_outputs):
+        _, tmp_path, _ = monitor_outputs
+        page = (tmp_path / "dashboard.html").read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<svg" in page                      # inline sparklines
+        assert "psu-efficiency-drop" in page
+        assert "<script" not in page               # no JS, no assets
+
+    def test_trace_out_uses_chrome_format(self, monitor_outputs):
+        _, tmp_path, _ = monitor_outputs
+        trace = json.loads((tmp_path / "monitor.trace.json").read_text())
+        assert "traceEvents" in trace
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "cli.monitor" in names
+
+    def test_metrics_include_monitor_instruments(self, monitor_outputs):
+        _, tmp_path, _ = monitor_outputs
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        families = metrics["metrics"]
+        assert "netpower_monitor_rollup_samples_total" in families
+        alerts = families["netpower_monitor_alerts_total"]
+        fired = {tuple(sorted(s["labels"].items())): s["value"]
+                 for s in alerts["samples"]}
+        assert fired[(("rule", "psu-efficiency-drop"),
+                      ("severity", "critical"))] == 1
+
+    def test_rejects_nonpositive_duration(self):
+        assert cli_main(["monitor", "--days", "0"]) == 2
+        assert cli_main(["monitor", "--step", "-5"]) == 2
+
+
+class TestValidatorScript:
+    def test_script_accepts_and_rejects(self, monitor_outputs, tmp_path):
+        import subprocess
+        import sys
+
+        _, _, out = monitor_outputs
+        script = (Path(__file__).resolve().parent.parent / "scripts"
+                  / "validate_dashboard.py")
+        ok = subprocess.run([sys.executable, str(script), str(out)],
+                            capture_output=True, text=True)
+        assert ok.returncode == 0, ok.stderr
+        bad_path = tmp_path / "bad.json"
+        bad = json.loads(out.read_text())
+        bad["schema"] = "nope"
+        bad_path.write_text(json.dumps(bad))
+        rejected = subprocess.run(
+            [sys.executable, str(script), str(bad_path)],
+            capture_output=True, text=True)
+        assert rejected.returncode == 1
+        assert "expected const" in rejected.stderr

@@ -1,0 +1,159 @@
+"""Alert engine: rule matching, FSM dedup, hysteresis, staleness."""
+
+from __future__ import annotations
+
+from repro.monitor import AlertEngine, AlertRule, RuleKind, Severity
+
+
+def _threshold_rule(**kwargs):
+    defaults = dict(name="hot", kind=RuleKind.THRESHOLD, signals="temp/*",
+                    severity=Severity.WARNING, above=100.0)
+    defaults.update(kwargs)
+    return AlertRule(**defaults)
+
+
+class TestThresholdRule:
+    def test_fires_once_while_breached(self):
+        engine = AlertEngine([_threshold_rule()])
+        for t, v in ((0, 50.0), (1, 150.0), (2, 180.0), (3, 120.0)):
+            engine.observe("temp/a", float(t), v)
+        assert len(engine.alerts) == 1
+        alert = engine.alerts[0]
+        assert alert.rule == "hot" and alert.signal == "temp/a"
+        assert alert.fired_at_s == 1.0 and alert.active
+
+    def test_hysteresis_uses_clear_bound(self):
+        engine = AlertEngine([_threshold_rule(clear_above=80.0)])
+        engine.observe("temp/a", 0.0, 150.0)   # fires
+        engine.observe("temp/a", 1.0, 90.0)    # below 100 but above 80
+        assert engine.alerts[0].active
+        engine.observe("temp/a", 2.0, 70.0)    # below the clear bound
+        assert not engine.alerts[0].active
+        assert engine.alerts[0].resolved_at_s == 2.0
+        engine.observe("temp/a", 3.0, 150.0)   # breaches again
+        assert len(engine.alerts) == 2
+
+    def test_below_bound(self):
+        rule = _threshold_rule(above=None, below=0.5, clear_below=0.6)
+        engine = AlertEngine([rule])
+        engine.observe("temp/a", 0.0, 0.4)
+        assert len(engine.alerts) == 1
+        engine.observe("temp/a", 1.0, 0.55)    # within hysteresis band
+        assert engine.alerts[0].active
+        engine.observe("temp/a", 2.0, 0.7)
+        assert not engine.alerts[0].active
+
+    def test_signals_are_independent(self):
+        engine = AlertEngine([_threshold_rule()])
+        engine.observe("temp/a", 0.0, 150.0)
+        engine.observe("temp/b", 0.0, 150.0)
+        engine.observe("other/c", 0.0, 150.0)  # pattern does not match
+        assert sorted(a.signal for a in engine.alerts) == \
+            ["temp/a", "temp/b"]
+
+    def test_debounce_for_s(self):
+        engine = AlertEngine([_threshold_rule(for_s=10.0)])
+        engine.observe("temp/a", 0.0, 150.0)   # pending
+        engine.observe("temp/a", 5.0, 150.0)   # still pending
+        assert engine.alerts == []
+        engine.observe("temp/a", 12.0, 150.0)  # held long enough
+        assert len(engine.alerts) == 1
+        # A dip resets the debounce clock.
+        engine2 = AlertEngine([_threshold_rule(for_s=10.0)])
+        engine2.observe("temp/a", 0.0, 150.0)
+        engine2.observe("temp/a", 5.0, 50.0)
+        engine2.observe("temp/a", 8.0, 150.0)
+        engine2.observe("temp/a", 12.0, 150.0)
+        assert engine2.alerts == []
+
+
+class TestRateOfChangeRule:
+    def test_fires_on_fast_rise(self):
+        rule = AlertRule(name="step", kind=RuleKind.RATE_OF_CHANGE,
+                         signals="power", rate_above=1.0, rate_below=-1.0)
+        engine = AlertEngine([rule])
+        engine.observe("power", 0.0, 100.0)
+        engine.observe("power", 10.0, 105.0)    # 0.5 W/s: fine
+        assert engine.alerts == []
+        engine.observe("power", 20.0, 220.0)    # 11.5 W/s: breach
+        assert len(engine.alerts) == 1
+        engine.observe("power", 30.0, 225.0)    # settles, resolves
+        assert not engine.alerts[0].active
+
+    def test_fires_on_fast_drop(self):
+        rule = AlertRule(name="step", kind=RuleKind.RATE_OF_CHANGE,
+                         signals="power", rate_below=-1.0)
+        engine = AlertEngine([rule])
+        engine.observe("power", 0.0, 100.0)
+        engine.observe("power", 10.0, 50.0)
+        assert len(engine.alerts) == 1
+
+
+class TestZScoreRule:
+    def _rule(self, **kwargs):
+        defaults = dict(name="z", kind=RuleKind.ZSCORE, signals="resid",
+                        z_threshold=4.0, z_clear=2.0, min_samples=5)
+        defaults.update(kwargs)
+        return AlertRule(**defaults)
+
+    def test_warmup_then_fire_then_clear(self):
+        engine = AlertEngine([self._rule()])
+        for t in range(20):
+            value = 10.0 + (0.1 if t % 2 else -0.1)
+            engine.observe("resid", float(t), value)
+        assert engine.alerts == []
+        engine.observe("resid", 20.0, 50.0)     # way outside the band
+        assert len(engine.alerts) == 1
+        assert engine.alerts[0].active
+        engine.observe("resid", 21.0, 10.0)     # back inside
+        assert not engine.alerts[0].active
+
+    def test_baseline_frozen_while_firing(self):
+        """A stuck anomaly must not teach the track it is normal."""
+        engine = AlertEngine([self._rule()])
+        for t in range(20):
+            engine.observe("resid", float(t), 10.0 + (t % 2) * 0.2)
+        engine.observe("resid", 20.0, 50.0)
+        assert len(engine.alerts) == 1
+        for t in range(21, 60):                 # anomaly persists
+            engine.observe("resid", float(t), 50.0)
+        assert engine.alerts[0].active          # never adapted
+        assert len(engine.alerts) == 1          # and never re-fired
+
+
+class TestStalenessRule:
+    def _engine(self):
+        rule = AlertRule(name="stale", kind=RuleKind.STALENESS,
+                         signals="ap/*", stale_after_s=100.0)
+        return AlertEngine([rule])
+
+    def test_fires_when_signal_goes_quiet(self):
+        engine = self._engine()
+        engine.observe("ap/a", 0.0, 1.0)
+        engine.evaluate(50.0)
+        assert engine.alerts == []
+        engine.evaluate(150.0)
+        assert len(engine.alerts) == 1
+        assert engine.alerts[0].rule == "stale"
+        # A fresh sample resolves it on the next tick.
+        engine.observe("ap/a", 160.0, 1.0)
+        engine.evaluate(170.0)
+        assert not engine.alerts[0].active
+
+    def test_registered_but_never_seen_signal_counts(self):
+        engine = self._engine()
+        engine.register_signal("ap/quiet", 0.0)
+        engine.evaluate(500.0)
+        assert [a.signal for a in engine.alerts] == ["ap/quiet"]
+
+
+class TestSeverityAndViews:
+    def test_active_view_and_severity(self):
+        hot = _threshold_rule(severity=Severity.CRITICAL)
+        engine = AlertEngine([hot])
+        engine.observe("temp/a", 0.0, 150.0)
+        engine.observe("temp/b", 1.0, 150.0)
+        engine.observe("temp/a", 2.0, 10.0)
+        active = engine.active()
+        assert [a.signal for a in active] == ["temp/b"]
+        assert active[0].severity is Severity.CRITICAL

@@ -1,0 +1,134 @@
+"""Drift detection: the shared §6.2 helper, EWMA track, PSU health."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitor import (DriftTracker, OnlineEwma, PsuHealthTracker,
+                           RollupStore)
+from repro.telemetry.traces import TimeSeries
+from repro.validation.compare import (AVERAGING_WINDOW_S, compare_series,
+                                      windowed_residuals)
+
+
+def _seeded_pair(seed: int = 13, n: int = 400, offset: float = 21.5):
+    """A candidate/reference pair with a known constant offset."""
+    rng = np.random.default_rng(seed)
+    ts = 600.0 + 300.0 * np.arange(n)
+    reference = 480.0 + 25.0 * np.sin(ts / 7000.0) \
+        + 1.5 * rng.standard_normal(n)
+    candidate = reference + offset + 0.4 * rng.standard_normal(n)
+    return TimeSeries(ts, candidate), TimeSeries(ts, reference)
+
+
+class TestSharedWindowedHelper:
+    """Satellite: one §6.2 implementation, used offline AND live."""
+
+    def test_compare_series_is_built_on_windowed_residuals(self):
+        candidate, reference = _seeded_pair()
+        windowed = windowed_residuals(candidate, reference,
+                                      window_s=AVERAGING_WINDOW_S)
+        stats = compare_series(candidate, reference,
+                               window_s=AVERAGING_WINDOW_S)
+        # Identical results on the identical seeded trace: the offline
+        # comparison and the shared helper must agree bit for bit.
+        assert stats.offset_w == windowed.offset_w
+        assert stats.residual_std_w == windowed.residual_std_w
+        assert stats.n_samples == windowed.n_windows
+        assert windowed.n_windows > 0
+        np.testing.assert_array_equal(
+            windowed.candidate_avg - windowed.reference_avg,
+            np.asarray(windowed.candidate_avg)
+            - np.asarray(windowed.reference_avg))
+
+    def test_recovers_known_offset(self):
+        candidate, reference = _seeded_pair(offset=21.5)
+        windowed = windowed_residuals(candidate, reference)
+        assert abs(windowed.offset_w - 21.5) < 0.5
+        assert windowed.residual_std_w < 1.0
+
+    def test_empty_on_no_overlap(self):
+        a = TimeSeries(np.array([0.0, 300.0]), np.array([1.0, 2.0]))
+        b = TimeSeries(np.array([10000.0, 10300.0]), np.array([1.0, 2.0]))
+        assert windowed_residuals(a, b).empty
+        assert windowed_residuals(TimeSeries(np.array([]), np.array([])),
+                                  a).empty
+
+    def test_drift_tracker_refresh_equals_offline_compare(self):
+        """The live tracker's windowed stats == the offline pipeline."""
+        candidate, reference = _seeded_pair()
+        store = RollupStore()
+        tracker = DriftTracker("r1", "model/r1", "ap/r1", store)
+        for t, c, r in zip(candidate.timestamps, candidate.values,
+                           reference.values):
+            store.add("model/r1", float(t), float(c))
+            store.add("ap/r1", float(t), float(r))
+            tracker.update(float(t), float(c), float(r))
+        tracker.refresh()
+        live = tracker.estimate()
+        offline = compare_series(candidate, reference,
+                                 window_s=AVERAGING_WINDOW_S)
+        assert live.offset_w == offline.offset_w
+        assert live.stats.residual_std_w == offline.residual_std_w
+        assert live.stats.n_samples == offline.n_samples
+        assert live.verdict() == offline.verdict().name
+
+
+class TestOnlineEwma:
+    def test_converges_to_mean(self):
+        rng = np.random.default_rng(3)
+        ewma = OnlineEwma(alpha=0.1)
+        for value in 50.0 + 2.0 * rng.standard_normal(500):
+            ewma.update(float(value))
+        assert abs(ewma.mean - 50.0) < 1.5
+        assert 0.5 < ewma.std < 5.0
+
+    def test_z_is_zero_during_warmup(self):
+        ewma = OnlineEwma()
+        assert ewma.z(100.0) == 0.0
+        ewma.update(1.0)
+        ewma.update(2.0)
+        assert ewma.z(100.0) == 0.0   # still warming up
+
+    def test_z_flags_outliers(self):
+        ewma = OnlineEwma(alpha=0.2)
+        for value in (10.0, 10.2, 9.8, 10.1, 9.9, 10.0):
+            ewma.update(value)
+        assert abs(ewma.z(10.0)) < 2.0
+        assert abs(ewma.z(20.0)) > 4.0
+
+    def test_rejects_bad_alpha(self):
+        import pytest
+        with pytest.raises(ValueError):
+            OnlineEwma(alpha=0.0)
+        with pytest.raises(ValueError):
+            OnlineEwma(alpha=1.5)
+
+
+class TestPsuHealthTracker:
+    def test_baseline_then_drop_detection(self):
+        tracker = PsuHealthTracker(baseline_samples=3)
+        # Healthy readings: ~90 % efficiency.
+        for i in range(3):
+            drop = tracker.record("r1", 0, 300.0 * i, 100.0, 90.0, 750.0)
+        assert drop is not None and abs(drop) < 1e-9
+        # A degradation event: efficiency falls to 85 %.
+        drop = tracker.record("r1", 0, 1200.0, 100.0, 85.0, 750.0)
+        assert abs(drop - 0.05) < 1e-9
+
+    def test_no_drop_before_baseline(self):
+        tracker = PsuHealthTracker(baseline_samples=3)
+        assert tracker.record("r1", 0, 0.0, 100.0, 90.0, 750.0) is None
+        assert tracker.record("r1", 0, 300.0, 100.0, 90.0, 750.0) is None
+
+    def test_health_view_sorted_and_bounded(self):
+        tracker = PsuHealthTracker(baseline_samples=2, max_samples=8)
+        for i in range(50):
+            tracker.record("r2", 1, 300.0 * i, 100.0, 90.0, 750.0)
+            tracker.record("r1", 0, 300.0 * i, 100.0, 88.0, 750.0)
+        health = tracker.health()
+        assert [h.key.hostname for h in health] == ["r1", "r2"]
+        for h in health:
+            assert abs(h.drop) < 1e-9
+        for trace in tracker.traces.values():
+            assert len(trace.timestamps) <= 8

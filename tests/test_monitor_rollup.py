@@ -1,0 +1,108 @@
+"""Rollup storage: ring semantics and streaming-downsampler fidelity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitor import RingBuffer, RollupSeries, RollupStore
+
+
+class TestRingBuffer:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_append_below_capacity_keeps_order(self):
+        ring = RingBuffer(8)
+        for i in range(5):
+            ring.append(float(i), float(10 * i))
+        assert len(ring) == 5
+        assert ring.evicted == 0
+        ts, values = ring.arrays()
+        np.testing.assert_array_equal(ts, np.arange(5.0))
+        np.testing.assert_array_equal(values, 10.0 * np.arange(5))
+        assert ring.last() == (4.0, 40.0)
+
+    def test_wraparound_keeps_newest_in_order(self):
+        ring = RingBuffer(4)
+        for i in range(10):
+            ring.append(float(i), float(i * i))
+        assert len(ring) == 4
+        assert ring.evicted == 6
+        ts, values = ring.arrays()
+        np.testing.assert_array_equal(ts, [6.0, 7.0, 8.0, 9.0])
+        np.testing.assert_array_equal(values, [36.0, 49.0, 64.0, 81.0])
+        assert ring.last() == (9.0, 81.0)
+
+    def test_empty_ring(self):
+        ring = RingBuffer(3)
+        assert len(ring) == 0
+        assert ring.last() is None
+        assert len(ring.series()) == 0
+
+
+class TestStreamingDownsampler:
+    def test_matches_offline_resample(self):
+        """The streaming bins must equal TimeSeries.resample exactly."""
+        rng = np.random.default_rng(5)
+        step_s = 300.0
+        ts = 1000.0 + step_s * np.arange(200)
+        values = 400.0 + 30.0 * rng.standard_normal(200)
+        series = RollupSeries("sig", resolutions=(1800.0,))
+        for t, v in zip(ts, values):
+            series.add(t, v)
+        series.finalize()
+        rolled = series.rollup_series(1800.0)
+        offline = series.raw.series().resample(1800.0, t0=ts[0])
+        np.testing.assert_array_equal(rolled.timestamps,
+                                      offline.timestamps)
+        np.testing.assert_array_equal(rolled.values, offline.values)
+
+    def test_gaps_skip_empty_bins(self):
+        series = RollupSeries("sig", resolutions=(10.0,))
+        for t in (0.0, 2.0, 35.0, 41.0):
+            series.add(t, t)
+        series.finalize()
+        rolled = series.rollup_series(10.0)
+        # Bins 1 and 2 are empty: resample yields NaN there, the
+        # streaming rollup simply does not emit them.
+        np.testing.assert_array_equal(rolled.timestamps, [5.0, 35.0, 45.0])
+        np.testing.assert_array_equal(rolled.values, [1.0, 35.0, 41.0])
+
+    def test_partial_trailing_bin_only_on_finalize(self):
+        series = RollupSeries("sig", resolutions=(10.0,))
+        series.add(0.0, 1.0)
+        series.add(5.0, 3.0)
+        assert len(series.rollup_series(10.0)) == 0
+        series.finalize()
+        rolled = series.rollup_series(10.0)
+        np.testing.assert_array_equal(rolled.timestamps, [5.0])
+        np.testing.assert_array_equal(rolled.values, [2.0])
+
+
+class TestRollupStore:
+    def test_get_or_create_and_sorted_names(self):
+        store = RollupStore()
+        store.add("b/sig", 0.0, 1.0)
+        store.add("a/sig", 0.0, 2.0)
+        store.add("b/sig", 1.0, 3.0)
+        assert store.names() == ["a/sig", "b/sig"]
+        assert store.get("missing") is None
+        assert len(store.get("b/sig").raw) == 2
+
+    def test_memory_is_fixed(self):
+        store = RollupStore(raw_capacity=16, rollup_capacity=4,
+                            resolutions=(2.0,))
+        for i in range(1000):
+            store.add("sig", float(i), float(i))
+        series = store.get("sig")
+        assert len(series.raw) == 16
+        assert series.raw.evicted == 1000 - 16
+        assert len(series.rollups[2.0].ring) == 4
+
+    def test_flush_metrics_without_registry_is_safe(self):
+        store = RollupStore()
+        store.add("sig", 0.0, 1.0)
+        store.flush_metrics()
+        store.finalize()

@@ -1,0 +1,76 @@
+"""Chrome trace-event (Perfetto) export of the span tree."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import chrome_trace, tracing
+from repro.obs.export import write_trace
+
+
+def _sample_tracer():
+    tracer = tracing.Tracer()
+    clock = iter([0.0, 10.0, 100.0, 400.0, 400.0, 400.0]).__next__
+    with tracer.span("sim.run", sim_clock=clock, engine="vector"):
+        with tracer.span("sim.steps", sim_clock=clock):
+            pass
+        with tracer.span("sim.finalize"):
+            pass
+    return tracer
+
+
+class TestChromeTraceDocument:
+    def test_structure_and_ordering(self):
+        tracer = _sample_tracer()
+        document = chrome_trace(tracer)
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        metadata = events[0]
+        assert metadata["ph"] == "M"
+        assert metadata["name"] == "process_name"
+        assert metadata["args"] == {"name": "netpower"}
+        spans = events[1:]
+        assert [e["name"] for e in spans] == \
+            ["sim.run", "sim.steps", "sim.finalize"]
+        for event in spans:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["cat"] == "netpower"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        # The root starts at the trace origin.
+        assert spans[0]["ts"] == 0.0
+        # Children start at or after their parent.
+        assert spans[1]["ts"] >= spans[0]["ts"]
+
+    def test_attributes_and_sim_clock_in_args(self):
+        document = chrome_trace(_sample_tracer())
+        root = document["traceEvents"][1]
+        assert root["args"]["engine"] == "vector"
+        assert root["args"]["sim_start_s"] == 0.0
+        assert root["args"]["sim_duration_s"] == 400.0
+
+    def test_empty_tracer(self):
+        document = chrome_trace(tracing.Tracer())
+        assert len(document["traceEvents"]) == 1  # metadata only
+
+    def test_json_serializable(self):
+        json.dumps(chrome_trace(_sample_tracer()))
+
+
+class TestWriteTraceDispatch:
+    def test_trace_json_extension_selects_chrome_format(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "run.trace.json"
+        write_trace(path, tracer)
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        assert document["traceEvents"][0]["ph"] == "M"
+
+    def test_plain_json_keeps_native_format(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "run.json"
+        write_trace(path, tracer)
+        document = json.loads(path.read_text())
+        assert document["schema"] == tracing.TRACE_SCHEMA
+        assert "spans" in document and "traceEvents" not in document
