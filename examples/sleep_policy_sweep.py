@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""A §8 sleep-policy comparison run through the sweep subsystem.
+
+Expands the built-in ``sleep-policy`` matrix -- two fleet sizes times
+four Hypnos configurations (no sleeping, the paper's redundancy-
+preserving planner at 50 % and 30 % utilisation caps, and an aggressive
+variant that drops the redundancy requirement) -- into eight independent
+jobs, runs them across two worker processes, and tabulates mean power,
+energy, and the per-policy savings range.
+
+Because every job seeds its RNGs from ``hash(root_seed, job_key)``, the
+numbers below are identical for any ``workers=`` value -- try it.
+Equivalent CLI:  netpower sweep --preset sleep-policy --workers 2
+
+Run:  python examples/sleep_policy_sweep.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.sweep import MATRIX_PRESETS, run_sweep
+
+
+def main():
+    matrix = MATRIX_PRESETS["sleep-policy"]
+    print(f"Sleep-policy sweep: {matrix.n_jobs} jobs "
+          f"({'/'.join(matrix.topologies)} fleets x "
+          f"{'/'.join(matrix.sleeps)}), "
+          f"{matrix.duration_s / 3600:.0f} h at {matrix.step_s:.0f} s "
+          "steps, 2 workers\n")
+    with tempfile.TemporaryDirectory() as tmp:
+        output = Path(tmp) / "sleep_policy_sweep.json"
+        document = run_sweep(matrix, root_seed=7, workers=2,
+                             output=output,
+                             progress=lambda line: print(f"  {line}"))
+        report_bytes = output.read_bytes()
+
+    print(f"\n{'job':42s} {'mean W':>10s} {'kWh':>8s} "
+          f"{'sleeping':>8s} {'saving W':>12s}")
+    for job in document["jobs"]:
+        aggregates = job["aggregates"]
+        sleep = job["sleep"]
+        if sleep is None:
+            sleeping, saving = "-", "-"
+        else:
+            sleeping = f"{sleep['ever_asleep']}/{sleep['internal_links']}"
+            saving = (f"{sleep['saving_lower_w']:.0f}-"
+                      f"{sleep['saving_upper_w']:.0f}")
+        print(f"{job['key']:42s} {aggregates['mean_power_w']:10,.1f} "
+              f"{aggregates['energy_kwh']:8.2f} {sleeping:>8s} "
+              f"{saving:>12s}")
+
+    # The determinism contract, demonstrated: the report is a pure
+    # function of (matrix, root_seed, engine), so re-serialising the
+    # returned document reproduces the file written during the run.
+    assert json.dumps(document, indent=2) + "\n" == report_bytes.decode()
+    print("\nReport is deterministic: in-memory document == written file")
+
+
+if __name__ == "__main__":
+    main()

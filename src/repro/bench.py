@@ -186,12 +186,13 @@ def _run_case_traced(case: BenchCase, seed: int,
     }
 
 
-def _previous_cases(output: Path) -> Dict[str, Dict]:
+def previous_cases(output: Path) -> Dict[str, Dict]:
     """Case entries from an existing same-schema report at ``output``.
 
     Empty when the file is missing, unreadable, or from another schema
     version -- a subset run must never graft entries whose layout (or
-    semantics) no longer matches onto a fresh report.
+    semantics) no longer matches onto a fresh report.  Shared with the
+    sweep runner, which writes its per-job timing rows in this schema.
     """
     if not output.exists():
         return {}
@@ -221,7 +222,7 @@ def run_benchmarks(case_names: Sequence[str], seed: int,
     full run.
     """
     stream = stream if stream is not None else sys.stdout
-    merged = _previous_cases(output)
+    merged = previous_cases(output)
     kept = [name for name in merged if name not in case_names]
     entries: List[Dict] = []
     for name in case_names:

@@ -14,7 +14,9 @@ Mirrors how the paper's released artifacts are used from a shell:
 * ``netpower bench``       -- time the object vs vectorized simulation
   engines and write ``BENCH_simulation.json``;
 * ``netpower monitor``     -- run a small fleet with the continuous
-  monitor attached and write a dashboard snapshot (JSON + HTML).
+  monitor attached and write a dashboard snapshot (JSON + HTML);
+* ``netpower sweep``       -- run a scenario matrix across worker
+  processes and write a deterministic sweep report (docs/SWEEP.md).
 
 Every command takes ``--seed`` and is deterministic given it, plus the
 shared observability flags (docs/OBSERVABILITY.md): ``--log-level`` /
@@ -170,6 +172,32 @@ def _parser() -> argparse.ArgumentParser:
     monitor.add_argument("--inject-psu-fault", action="store_true",
                          help="degrade one PSU mid-run to exercise the "
                               "alerting pipeline")
+
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="sharded multiprocess scenario sweep (docs/SWEEP.md)")
+    sweep.add_argument("--preset", default=None,
+                       help="built-in matrix: demo, sleep-policy, psu "
+                            "(default: demo unless --matrix is given)")
+    sweep.add_argument("--matrix", metavar="PATH", default=None,
+                       help="JSON scenario matrix file (docs/SWEEP.md)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default: 1; the report "
+                            "is identical for any value)")
+    sweep.add_argument("--shard", metavar="I/M", default=None,
+                       help="run only the I-th of M round-robin shards "
+                            "of the job list")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip jobs already present in the output "
+                            "report")
+    sweep.add_argument("--engine", default="auto",
+                       choices=("auto", "object", "vector"),
+                       help="simulation engine (default: %(default)s)")
+    sweep.add_argument("--output", "-o", default="sweep.json",
+                       help="report path (default: %(default)s)")
+    sweep.add_argument("--bench-output", metavar="PATH", default=None,
+                       help="per-job timing rows path (default: "
+                            "<output stem>.bench.json)")
     return parser
 
 
@@ -610,6 +638,72 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.sweep import (MATRIX_PRESETS, ScenarioMatrix, expand,
+                             parse_shard, run_sweep, shard_jobs)
+
+    if args.preset is not None and args.matrix is not None:
+        _err("error: --preset and --matrix are mutually exclusive")
+        return 2
+    if args.workers < 1:
+        _err("error: --workers must be >= 1")
+        return 2
+    if args.matrix is not None:
+        try:
+            matrix = ScenarioMatrix.from_dict(
+                json.loads(Path(args.matrix).read_text()))
+        except (OSError, json.JSONDecodeError, TypeError,
+                ValueError) as exc:
+            _err(f"error: bad matrix file {args.matrix}: {exc}")
+            return 2
+    else:
+        preset = args.preset if args.preset is not None else "demo"
+        if preset not in MATRIX_PRESETS:
+            _err(f"error: unknown preset {preset!r}; "
+                 f"choose from {sorted(MATRIX_PRESETS)}")
+            return 2
+        matrix = MATRIX_PRESETS[preset]
+    jobs = expand(matrix)
+    if args.shard is not None:
+        try:
+            index, count = parse_shard(args.shard)
+        except ValueError as exc:
+            _err(f"error: {exc}")
+            return 2
+        jobs = shard_jobs(jobs, index, count)
+    output = Path(args.output)
+    if output.parent and not output.parent.is_dir():
+        _err(f"error: output directory {output.parent} does not exist")
+        return 2
+    _progress(f"sweeping {len(jobs)} of {matrix.n_jobs} job(s) with "
+              f"{args.workers} worker(s) ...")
+    try:
+        document = run_sweep(
+            matrix, root_seed=args.seed, workers=args.workers,
+            jobs=jobs, resume=args.resume, output=output,
+            bench_output=(Path(args.bench_output)
+                          if args.bench_output else None),
+            engine=args.engine, progress=_progress)
+    except (RuntimeError, ValueError) as exc:
+        _err(f"error: {exc}")
+        return 1
+    for job in document["jobs"]:
+        aggregates = job["aggregates"]
+        sleep = job["sleep"]
+        saving = (f"  sleep {sleep['saving_lower_w']:,.0f}-"
+                  f"{sleep['saving_upper_w']:,.0f} W"
+                  if sleep is not None else "")
+        _out(f"  {job['key']:40s} mean "
+             f"{aggregates['mean_power_w']:10,.1f} W  "
+             f"energy {aggregates['energy_kwh']:8,.2f} kWh"
+             f"{saving}")
+    _out(f"jobs in report     : {len(document['jobs'])}/{matrix.n_jobs}")
+    _out(f"wrote {output}")
+    return 0
+
+
 _COMMANDS = {
     "derive": _cmd_derive,
     "audit": _cmd_audit,
@@ -620,6 +714,7 @@ _COMMANDS = {
     "rate-study": _cmd_rate_study,
     "bench": _cmd_bench,
     "monitor": _cmd_monitor,
+    "sweep": _cmd_sweep,
 }
 
 

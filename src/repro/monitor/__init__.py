@@ -11,6 +11,8 @@ always-on monitoring product for fleet simulations:
   rate-of-change, z-score, staleness) with dedup and hysteresis;
 * :mod:`repro.monitor.core` -- :class:`FleetMonitor`, the step observer
   tying it together;
+* :mod:`repro.monitor.aggregate` -- :class:`AggregatingObserver`, the
+  fixed-memory per-run aggregator sweep jobs ship across processes;
 * :mod:`repro.monitor.dashboard` -- deterministic JSON + static HTML
   snapshots (``netpower monitor``'s output);
 * :mod:`repro.monitor.schema` -- the dependency-free snapshot validator
@@ -37,6 +39,7 @@ from repro.monitor.alerts import (
     RuleKind,
     Severity,
 )
+from repro.monitor.aggregate import AggregatingObserver
 from repro.monitor.core import (
     FleetMonitor,
     MonitorConfig,
@@ -65,6 +68,7 @@ __all__ = [
     "AlertRule",
     "RuleKind",
     "Severity",
+    "AggregatingObserver",
     "FleetMonitor",
     "MonitorConfig",
     "default_rules",

@@ -1,0 +1,107 @@
+"""Fixed-memory per-run aggregation for sweep jobs.
+
+The full :class:`~repro.monitor.core.FleetMonitor` keeps rollup rings,
+drift trackers, and an alert engine -- far more state than a parameter
+sweep wants to ship across a process boundary for every job.  This
+module is the lightweight end of the observer spectrum: an
+:class:`AggregatingObserver` folds every :class:`StepSnapshot` into a
+handful of running sums (mean/peak power, energy, traffic, per-host
+energy) and renders them as a small deterministic dict.
+
+Determinism contract: aggregation only *reads* snapshot fields that both
+engines produce identically, consumes no randomness, and iterates hosts
+in sorted order when exporting -- so a job's aggregate dict is bytewise
+stable across engines, worker counts, and completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.network.simulation import StepObserver, StepSnapshot
+
+#: Joules per kilowatt-hour.
+_J_PER_KWH = 3.6e6
+
+
+class AggregatingObserver(StepObserver):
+    """Streaming per-run aggregates: one observer per sweep job.
+
+    Attach via :meth:`NetworkSimulation.add_observer` before ``run``;
+    read :meth:`to_dict` afterwards.  Memory is O(routers), independent
+    of run length.
+    """
+
+    def __init__(self, top_consumers: int = 5):
+        self.top_consumers = top_consumers
+        self.n_steps = 0
+        self.engine: Optional[str] = None
+        self.step_s: Optional[float] = None
+        self._power_sum_w = 0.0
+        self._peak_power_w = 0.0
+        self._peak_power_t_s = 0.0
+        self._traffic_sum_bps = 0.0
+        self._peak_traffic_bps = 0.0
+        self._energy_j = 0.0
+        self._host_energy_j: Dict[str, float] = {}
+        self._snmp_polls = 0
+
+    # -- StepObserver ------------------------------------------------------------
+
+    def on_run_start(self, sim, engine: str, collector, step_s: float,
+                     n_steps: int) -> None:
+        self.engine = engine
+        self.step_s = step_s
+
+    def on_step(self, snapshot: StepSnapshot) -> None:
+        self.n_steps += 1
+        self._power_sum_w += snapshot.total_power_w
+        if snapshot.total_power_w > self._peak_power_w:
+            self._peak_power_w = snapshot.total_power_w
+            self._peak_power_t_s = snapshot.t_s
+        self._traffic_sum_bps += snapshot.total_traffic_bps
+        self._peak_traffic_bps = max(self._peak_traffic_bps,
+                                     snapshot.total_traffic_bps)
+        self._energy_j += snapshot.total_power_w * snapshot.step_s
+        if snapshot.snmp_polled:
+            self._snmp_polls += 1
+        host_energy = self._host_energy_j
+        step_s = snapshot.step_s
+        for host, power_w in snapshot.power_by_host.items():
+            host_energy[host] = (host_energy.get(host, 0.0)
+                                 + power_w * step_s)
+
+    # -- export ------------------------------------------------------------------
+
+    def mean_power_w(self) -> float:
+        """Mean fleet power over the observed steps (0 before any)."""
+        return self._power_sum_w / self.n_steps if self.n_steps else 0.0
+
+    def energy_kwh(self) -> float:
+        """Total fleet energy over the run."""
+        return self._energy_j / _J_PER_KWH
+
+    def to_dict(self) -> Dict:
+        """The aggregates as a JSON-able, deterministically ordered dict.
+
+        Floats are rounded (6 decimals -- micro-watt-hours) so reports
+        stay readable; rounding a deterministic value is deterministic.
+        """
+        ranked: List = sorted(
+            self._host_energy_j.items(), key=lambda kv: (-kv[1], kv[0]))
+        return {
+            "steps": self.n_steps,
+            "snmp_polls": self._snmp_polls,
+            "mean_power_w": round(self.mean_power_w(), 6),
+            "peak_power_w": round(self._peak_power_w, 6),
+            "peak_power_t_s": self._peak_power_t_s,
+            "energy_kwh": round(self.energy_kwh(), 6),
+            "mean_traffic_bps": round(
+                self._traffic_sum_bps / self.n_steps
+                if self.n_steps else 0.0, 3),
+            "peak_traffic_bps": round(self._peak_traffic_bps, 3),
+            "top_consumers": [
+                {"host": host, "energy_kwh": round(joules / _J_PER_KWH, 6)}
+                for host, joules in ranked[:self.top_consumers]
+            ],
+        }

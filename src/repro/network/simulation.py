@@ -175,12 +175,17 @@ class NetworkSimulation:
 
     # -- hooks used by events ------------------------------------------------------
 
-    def deploy_autopower(self, hostname: str) -> AutopowerClient:
-        """Install an Autopower unit on a router (power-cycles it)."""
+    def deploy_autopower(self, hostname: str,
+                         transport=None) -> AutopowerClient:
+        """Install an Autopower unit on a router (power-cycles it).
+
+        ``transport`` lets callers inject uplink outages on the unit.
+        """
         router = self.network.router(hostname)
         client = deploy_unit(router, self.autopower_server,
                              rng=np.random.default_rng(
-                                 self.rng.integers(2 ** 63)))
+                                 self.rng.integers(2 ** 63)),
+                             transport=transport)
         self.autopower_clients[hostname] = client
         return client
 

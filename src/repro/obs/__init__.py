@@ -56,6 +56,7 @@ _INSTRUMENTED_MODULES = (
     "repro.sleep.rate_adaptation",
     "repro.monitor.rollup",
     "repro.monitor.alerts",
+    "repro.sweep.runner",
 )
 
 

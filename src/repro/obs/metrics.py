@@ -145,6 +145,10 @@ class Histogram:
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
+#: Schema identifier on mergeable registry state documents (the
+#: cross-process form the sweep runner ships worker metrics home in).
+STATE_SCHEMA = "repro.obs.metrics.state/v1"
+
 
 class MetricFamily:
     """All instruments of one name, split by label values."""
@@ -242,6 +246,100 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[MetricFamily]:
         return self._families.get(name)
+
+    # -- mergeable state (cross-process aggregation) -----------------------------
+
+    def snapshot_state(self) -> Dict:
+        """The registry as a plain, JSON/pickle-able state document.
+
+        Unlike :func:`repro.obs.export.snapshot` (a read-only report),
+        this form round-trips: :meth:`restore_state` rebuilds identical
+        instruments from it and :meth:`merge_state` folds one registry's
+        state into another -- the contract worker processes use to ship
+        their per-job metrics back to the sweep parent.
+        """
+        families = {}
+        for family in self.families():
+            samples = []
+            for values, instrument in family.samples():
+                sample: Dict = {"labels": list(values)}
+                if isinstance(instrument, Histogram):
+                    sample["bucket_counts"] = [
+                        int(c) for c in instrument.bucket_counts]
+                    sample["sum"] = instrument.sum
+                    sample["count"] = instrument.count
+                else:
+                    sample["value"] = instrument.value
+                samples.append(sample)
+            families[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "buckets": (list(family.buckets)
+                            if family.buckets is not None else None),
+                "samples": samples,
+            }
+        return {"schema": STATE_SCHEMA, "families": families}
+
+    def merge_state(self, state: Dict) -> None:
+        """Fold another registry's :meth:`snapshot_state` into this one.
+
+        Counters and histograms are *additive* (values, bucket counts,
+        sums, and counts accumulate); gauges are *last-writer-wins* (the
+        incoming value replaces the local one -- they report instants,
+        not totals).  Families missing here are created; kind, label, or
+        bucket conflicts raise, exactly like a live re-registration.
+        """
+        if state.get("schema") != STATE_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics state with schema "
+                f"{state.get('schema')!r}; expected {STATE_SCHEMA!r}")
+        for name, data in state["families"].items():
+            family = self._family(
+                data["kind"], name, data.get("help", ""),
+                tuple(data.get("label_names", ())),
+                data.get("buckets"))
+            if (family.kind == "histogram"
+                    and data.get("buckets") is not None
+                    and tuple(family.buckets or DEFAULT_BUCKETS)
+                    != tuple(data["buckets"])):
+                raise ValueError(
+                    f"metric {name}: cannot merge histogram with buckets "
+                    f"{data['buckets']} into {list(family.buckets or ())}")
+            for sample in data["samples"]:
+                instrument = family.labels(
+                    **dict(zip(family.label_names, sample["labels"])))
+                if family.kind == "counter":
+                    instrument.inc(sample["value"])
+                elif family.kind == "gauge":
+                    instrument.set(sample["value"])
+                else:
+                    counts = np.asarray(sample["bucket_counts"],
+                                        dtype=np.int64)
+                    if counts.shape != instrument.bucket_counts.shape:
+                        raise ValueError(
+                            f"metric {name}: bucket count mismatch "
+                            f"({counts.size} vs "
+                            f"{instrument.bucket_counts.size})")
+                    instrument.bucket_counts += counts
+                    instrument.sum += float(sample["sum"])
+                    instrument.count += int(sample["count"])
+
+    def restore_state(self, state: Dict) -> None:
+        """Rebuild instruments from a state document (fresh registries).
+
+        A plain alias of :meth:`merge_state` -- merging into an empty
+        registry *is* restoration; the name documents intent at call
+        sites that reconstruct rather than aggregate.
+        """
+        self.merge_state(state)
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "MetricsRegistry":
+        """A new registry holding exactly the instruments in ``state``."""
+        registry = cls()
+        registry.restore_state(state)
+        return registry
 
     def register_declared(self) -> None:
         """Materialise every declared handle's family in this registry.

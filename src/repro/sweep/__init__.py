@@ -1,0 +1,54 @@
+"""Sharded, multiprocess scenario sweeps over the fleet simulation.
+
+* :mod:`repro.sweep.matrix` -- the declarative scenario matrix (topology
+  x traffic x sleep policy x PSU sharing) and its deterministic per-job
+  seeding;
+* :mod:`repro.sweep.runner` -- job execution across worker processes,
+  resume-able report assembly, and cross-process metrics merging.
+
+The headline guarantee: a sweep report is a pure function of
+``(matrix, root_seed, engine)`` -- worker count, sharding, resume
+boundaries, and completion order never change a byte (docs/SWEEP.md).
+"""
+
+from repro.sweep.matrix import (
+    AXES,
+    JobSpec,
+    MATRIX_PRESETS,
+    PSU_PRESETS,
+    ScenarioMatrix,
+    SLEEP_PRESETS,
+    TOPOLOGY_PRESETS,
+    TRAFFIC_PRESETS,
+    expand,
+    parse_shard,
+    shard_jobs,
+    topology_config,
+)
+from repro.sweep.runner import (
+    SCHEMA,
+    default_bench_output,
+    load_previous_jobs,
+    run_job,
+    run_sweep,
+)
+
+__all__ = [
+    "AXES",
+    "JobSpec",
+    "MATRIX_PRESETS",
+    "PSU_PRESETS",
+    "ScenarioMatrix",
+    "SLEEP_PRESETS",
+    "TOPOLOGY_PRESETS",
+    "TRAFFIC_PRESETS",
+    "expand",
+    "parse_shard",
+    "shard_jobs",
+    "topology_config",
+    "SCHEMA",
+    "default_bench_output",
+    "load_previous_jobs",
+    "run_job",
+    "run_sweep",
+]

@@ -1,0 +1,243 @@
+"""Declarative scenario matrices for fleet-simulation sweeps.
+
+A :class:`ScenarioMatrix` names one preset per axis value -- topology
+size x traffic profile x sleep policy x PSU sharing configuration --
+plus the simulated duration and step.  :func:`expand` takes the cross
+product and yields one :class:`JobSpec` per combination, each carrying a
+stable ``key`` and a deterministic per-job seed derived as
+``hash(root_seed, key)`` (a keyed BLAKE2 digest, *not* Python's salted
+``hash``), so every job's RNG streams are independent of which worker
+process runs it, in which order, and alongside which other jobs.  That
+seed derivation is what makes a sharded run bitwise-identical to a
+serial one (docs/SWEEP.md).
+
+Presets are plain dictionaries of constructor keyword arguments so a
+matrix serialises losslessly to JSON (``to_dict``/``from_dict``) and a
+:class:`JobSpec` crosses process boundaries as a few short strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.topology import FleetConfig
+
+#: Fleet compositions, smallest first.  ``tiny`` mirrors the CLI monitor
+#: scenario (5 routers), ``small`` the bench harness's small case, and
+#: ``full`` is the paper's 107-router Switch-like fleet.
+TOPOLOGY_PRESETS: Dict[str, Dict] = {
+    "tiny": dict(
+        model_counts=(("8201-32FH", 1), ("NCS-55A1-24H", 2),
+                      ("ASR-920-24SZ-M", 2)),
+        n_regional_pops=1, core_core_links=1),
+    "small": dict(
+        model_counts=(("8201-32FH", 2), ("NCS-55A1-24H", 2),
+                      ("NCS-55A1-24Q6H-SS", 2), ("ASR-920-24SZ-M", 4),
+                      ("N540-24Z8Q2C-M", 2)),
+        n_regional_pops=2, core_core_links=2),
+    "full": dict(),
+}
+
+#: Traffic regimes (``FleetTrafficModel`` keyword arguments).  ``quiet``
+#: is the paper's ~1.3 % mean external utilisation; ``busy`` pushes both
+#: external demand and the internal matrix toward a loaded network.
+TRAFFIC_PRESETS: Dict[str, Dict] = {
+    "quiet": dict(mean_external_utilisation=0.013, n_demands=200),
+    "busy": dict(mean_external_utilisation=0.05, n_demands=400,
+                 internal_utilisation_scale=4.0),
+    "peaky": dict(mean_external_utilisation=0.03, n_demands=300,
+                  internal_utilisation_scale=2.0),
+}
+
+#: Link-sleeping policies (§8).  ``None`` disables sleeping; otherwise
+#: the dict feeds :class:`repro.sleep.HypnosConfig` and the plan's
+#: window boundaries become ``SetAdminState`` events in the run.
+SLEEP_PRESETS: Dict[str, Optional[Dict]] = {
+    "none": None,
+    "hypnos-50": dict(max_utilisation=0.5, require_redundancy=True),
+    "hypnos-30": dict(max_utilisation=0.3, require_redundancy=True),
+    "hypnos-aggressive": dict(max_utilisation=0.5,
+                              require_redundancy=False),
+}
+
+#: PSU sharing configurations (§9.3.4), values of
+#: :class:`repro.hardware.psu.SharingPolicy` applied fleet-wide.
+PSU_PRESETS: Tuple[str, ...] = ("balanced", "single", "hot-standby")
+
+#: Axis order used for job keys and the expansion product.
+AXES = ("topology", "traffic", "sleep", "psu")
+
+
+def topology_config(name: str) -> FleetConfig:
+    """The :class:`FleetConfig` behind a topology preset name."""
+    return FleetConfig(**TOPOLOGY_PRESETS[name])
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully specified scenario: a point of the matrix cross product.
+
+    Only preset *names* and scalars live here, so a spec pickles cheaply
+    to worker processes and its key is a stable, human-readable job
+    identity (also the resume key in sweep reports).
+    """
+
+    topology: str
+    traffic: str
+    sleep: str
+    psu: str
+    duration_s: float
+    step_s: float
+
+    @property
+    def key(self) -> str:
+        """Stable identity, e.g. ``tiny/quiet/none/balanced``."""
+        return "/".join((self.topology, self.traffic, self.sleep, self.psu))
+
+    def seed(self, root_seed: int) -> int:
+        """Deterministic per-job seed: ``hash(root_seed, key)``.
+
+        A keyed BLAKE2b digest of the job key -- stable across processes,
+        platforms, and Python versions (unlike the builtin salted
+        ``hash``), and independent of the job's position in the matrix,
+        so adding scenarios never reseeds existing ones.
+        """
+        digest = hashlib.blake2b(
+            self.key.encode("utf-8"),
+            key=str(int(root_seed)).encode("utf-8"),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") >> 1   # fit a non-negative i64
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """The declarative sweep description: preset names per axis.
+
+    The cross product of the four axes defines the job list; duration
+    and step apply to every job.  See docs/SWEEP.md for the JSON form.
+    """
+
+    topologies: Tuple[str, ...] = ("tiny",)
+    traffics: Tuple[str, ...] = ("quiet",)
+    sleeps: Tuple[str, ...] = ("none",)
+    psus: Tuple[str, ...] = ("balanced",)
+    duration_s: float = 6 * 3600.0
+    step_s: float = 900.0
+
+    def __post_init__(self):
+        for axis, names, known in (
+                ("topologies", self.topologies, TOPOLOGY_PRESETS),
+                ("traffics", self.traffics, TRAFFIC_PRESETS),
+                ("sleeps", self.sleeps, SLEEP_PRESETS),
+                ("psus", self.psus, dict.fromkeys(PSU_PRESETS))):
+            if not names:
+                raise ValueError(f"matrix axis {axis} must not be empty")
+            unknown = [n for n in names if n not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown {axis} preset(s) {unknown}; "
+                    f"choose from {sorted(known)}")
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate names on axis {axis}: {names}")
+        if self.duration_s <= 0 or self.step_s <= 0:
+            raise ValueError("duration_s and step_s must be positive")
+
+    @property
+    def n_jobs(self) -> int:
+        return (len(self.topologies) * len(self.traffics)
+                * len(self.sleeps) * len(self.psus))
+
+    def to_dict(self) -> Dict:
+        """The JSON-able declarative form (docs/SWEEP.md)."""
+        return {
+            "topologies": list(self.topologies),
+            "traffics": list(self.traffics),
+            "sleeps": list(self.sleeps),
+            "psus": list(self.psus),
+            "duration_s": self.duration_s,
+            "step_s": self.step_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioMatrix":
+        """Parse the JSON form; unknown keys are rejected loudly."""
+        if not isinstance(data, dict):
+            raise ValueError(f"matrix document must be an object, "
+                             f"got {type(data).__name__}")
+        known = {"topologies", "traffics", "sleeps", "psus",
+                 "duration_s", "step_s"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown matrix key(s) {sorted(unknown)}; "
+                             f"expected a subset of {sorted(known)}")
+        kwargs = dict(data)
+        for axis in ("topologies", "traffics", "sleeps", "psus"):
+            if axis in kwargs:
+                kwargs[axis] = tuple(kwargs[axis])
+        return cls(**kwargs)
+
+
+def expand(matrix: ScenarioMatrix) -> List[JobSpec]:
+    """The matrix cross product as an ordered job list.
+
+    Order follows the declared axis order (topology outermost, PSU
+    innermost); it determines shard assignment but never results --
+    each job's seed depends only on its key.
+    """
+    return [
+        JobSpec(topology=topo, traffic=traffic, sleep=sleep, psu=psu,
+                duration_s=matrix.duration_s, step_s=matrix.step_s)
+        for topo, traffic, sleep, psu in itertools.product(
+            matrix.topologies, matrix.traffics, matrix.sleeps, matrix.psus)
+    ]
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``"I/M"`` (e.g. ``0/4``) into a (index, count) pair."""
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like I/M (e.g. 0/4), got {text!r}") from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must satisfy 0 <= I < M, got {text!r}")
+    return index, count
+
+
+def shard_jobs(jobs: Sequence[JobSpec], index: int,
+               count: int) -> List[JobSpec]:
+    """The ``index``-th of ``count`` round-robin shards of the job list.
+
+    Every job lands in exactly one shard; running all shards (in any
+    order, e.g. via ``--resume`` into one report) covers the matrix.
+    """
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"invalid shard {index}/{count}")
+    return [job for i, job in enumerate(jobs) if i % count == index]
+
+
+#: Ready-made matrices for the CLI (``netpower sweep --preset``).
+#: ``demo`` is the four-job smoke matrix CI compares across worker
+#: counts; ``sleep-policy`` is the §8 policy sweep of
+#: ``examples/sleep_policy_sweep.py``; ``psu`` sweeps §9.3.4 sharing
+#: configurations over two fleet sizes.
+MATRIX_PRESETS: Dict[str, ScenarioMatrix] = {
+    "demo": ScenarioMatrix(
+        topologies=("tiny",), traffics=("quiet", "busy"),
+        sleeps=("none", "hypnos-50"), psus=("balanced",),
+        duration_s=6 * 3600.0, step_s=900.0),
+    "sleep-policy": ScenarioMatrix(
+        topologies=("tiny", "small"), traffics=("quiet",),
+        sleeps=("none", "hypnos-50", "hypnos-30", "hypnos-aggressive"),
+        psus=("balanced",),
+        duration_s=24 * 3600.0, step_s=900.0),
+    "psu": ScenarioMatrix(
+        topologies=("tiny", "small"), traffics=("quiet", "busy"),
+        sleeps=("none",), psus=("balanced", "single", "hot-standby"),
+        duration_s=12 * 3600.0, step_s=900.0),
+}

@@ -232,6 +232,9 @@ class AutopowerClient:
         self.power_outages: List[OutageWindow] = []
         self._registered = False
         self._last_upload_s = -np.inf
+        #: Last toggle state heard from the server; holds through
+        #: uplink outages (units default to measuring until told not to).
+        self._measuring_cached = True
         self.boots = 1
         M_BOOTS.labels(unit=unit_id).inc()
 
@@ -267,7 +270,7 @@ class AutopowerClient:
             _log.debug("unit rebooted after power outage",
                        extra={"unit": self.unit_id,
                               "timestamp_s": timestamp_s})
-        if self._measuring():
+        if self._measuring(timestamp_s):
             self.local_buffer.append(
                 self.meter.read(timestamp_s, channel=0))
             M_SAMPLES.labels(unit=self.unit_id).inc()
@@ -275,20 +278,26 @@ class AutopowerClient:
         if timestamp_s - self._last_upload_s >= self.upload_period_s:
             self.try_upload(timestamp_s)
 
-    def _measuring(self) -> bool:
+    def _measuring(self, timestamp_s: float) -> bool:
         # The client polls the server's toggle when reachable; when not,
         # it keeps its last known state (default: measuring).
-        return self.server.should_measure(self.unit_id)
+        if self.transport.available(timestamp_s):
+            self._measuring_cached = self.server.should_measure(
+                self.unit_id)
+        return self._measuring_cached
 
     def try_upload(self, timestamp_s: float) -> int:
         """Flush buffered samples to the server if the uplink is up.
 
-        Returns the number of samples uploaded (0 when offline).
+        Returns the number of samples uploaded (0 when offline).  An
+        offline attempt does not advance the upload clock, so the first
+        due tick after an outage drains the backlog immediately instead
+        of waiting out another ``upload_period_s``.
         """
-        self._last_upload_s = timestamp_s
         if not self.transport.available(timestamp_s):
             M_UPLOAD_OFFLINE.labels(unit=self.unit_id).inc()
             return 0
+        self._last_upload_s = timestamp_s
         if not self._registered:
             self.server.register(self.unit_id)
             self._registered = True
@@ -308,12 +317,14 @@ class AutopowerClient:
 def deploy_unit(router: VirtualRouter, server: AutopowerServer,
                 rng: Optional[np.random.Generator] = None,
                 sample_period_s: float = units.AUTOPOWER_SAMPLE_PERIOD_S,
+                transport: Optional[Transport] = None,
                 ) -> AutopowerClient:
     """Install an Autopower unit on a router's power feed.
 
     Installing the meter requires briefly unplugging each PSU (§6.2 notes
     this power cycle alone changed one router's self-reported power), so
-    the router is power-cycled here.
+    the router is power-cycled here.  A custom ``transport`` (e.g. one
+    with scheduled uplink outages) is forwarded to the client.
     """
     router.power_cycle()
     M_DEPLOYS.inc()
@@ -322,4 +333,4 @@ def deploy_unit(router: VirtualRouter, server: AutopowerServer,
     return AutopowerClient(
         unit_id=f"autopower-{router.hostname}",
         router=router, server=server, rng=rng,
-        sample_period_s=sample_period_s)
+        sample_period_s=sample_period_s, transport=transport)

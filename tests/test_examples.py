@@ -38,6 +38,11 @@ class TestExamples:
         assert "LC-8X100GE" in out
         assert "Prediction error" in out
 
+    def test_sleep_policy_sweep(self, capsys):
+        out = run_example("sleep_policy_sweep.py", capsys)
+        assert "hypnos-aggressive" in out
+        assert "Report is deterministic" in out
+
     def test_all_examples_have_docstrings_and_main(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
         assert len(scripts) >= 5

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hardware import VirtualRouter, router_spec
+from repro.lab.power_meter import PowerSample
 from repro.telemetry.autopower import (
     AutopowerClient,
     AutopowerServer,
@@ -11,6 +12,26 @@ from repro.telemetry.autopower import (
     Transport,
     deploy_unit,
 )
+
+
+class SpyServer(AutopowerServer):
+    """Counts every client-visible RPC, for client-initiated-design tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def register(self, unit_id):
+        self.calls.append("register")
+        super().register(unit_id)
+
+    def receive_chunk(self, unit_id, samples):
+        self.calls.append("receive_chunk")
+        return super().receive_chunk(unit_id, samples)
+
+    def should_measure(self, unit_id):
+        self.calls.append("should_measure")
+        return super().should_measure(unit_id)
 
 
 @pytest.fixture
@@ -93,6 +114,98 @@ class TestResilience:
         assert not client.local_buffer
 
 
+class TestResilienceContract:
+    """The §6.1 guarantees: client-initiated, store-and-forward, boot-safe."""
+
+    def test_server_never_contacted_during_uplink_outage(self, router, rng):
+        # The uplink is down for the entire run: a client-initiated
+        # design must not issue a single RPC -- not even the toggle poll.
+        server = SpyServer()
+        transport = Transport([OutageWindow(0, 1000)])
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 transport=transport, upload_period_s=5)
+        run_unit(client, router, 0, 60, step_s=0.5)
+        assert server.calls == []
+        assert len(client.local_buffer) == 120  # still measuring locally
+
+    def test_backlog_flushes_on_first_due_tick_after_outage(self, router,
+                                                            server, rng):
+        # Outage covers (12, 43).  The last successful upload was at
+        # t=10, so once the uplink returns every tick is overdue: the
+        # first post-outage tick (t=43) must drain the backlog, not
+        # wait out another upload period from a mid-outage attempt.
+        transport = Transport([OutageWindow(12, 43)])
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 transport=transport, upload_period_s=5)
+        t = 0.0
+        while t < 43.5:
+            router.advance(0.5)
+            client.tick(t)
+            t += 0.5
+        # 87 ticks so far (t=0..43.0); all uploaded by the t=43 flush.
+        assert not client.local_buffer
+        assert len(server.download("unit-1")) == 87
+
+    def test_offline_attempt_does_not_advance_upload_clock(self, router,
+                                                           server, rng):
+        transport = Transport([OutageWindow(5, 100)])
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 transport=transport, upload_period_s=60)
+        client.tick(0.0)
+        client.try_upload(0.0)
+        stamp = client._last_upload_s
+        assert client.try_upload(50.0) == 0  # offline: no samples move
+        assert client._last_upload_s == stamp
+
+    def test_boot_counter_once_per_power_outage(self, router, server, rng):
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 upload_period_s=5)
+        client.add_power_outage(10, 20)
+        client.add_power_outage(40, 45)
+        run_unit(client, router, 0, 60, step_s=0.5)
+        assert client.boots == 3  # initial power-on + one per outage
+
+    def test_toggle_state_cached_through_uplink_outage(self, router, rng):
+        # stop_measurement lands while the uplink is down: the unit
+        # cannot hear it, so it keeps measuring (last known state) and
+        # obeys only once the uplink returns.
+        server = AutopowerServer()
+        transport = Transport([OutageWindow(10, 30)])
+        client = AutopowerClient("unit-1", router, server, rng=rng,
+                                 transport=transport, upload_period_s=5)
+        run_unit(client, router, 0, 10)
+        server.stop_measurement("unit-1")
+        t = 10.0
+        while t < 30:                      # offline: still measuring
+            router.advance(0.5)
+            client.tick(t)
+            t += 0.5
+        assert sum(1 for s in client.local_buffer
+                   if 10 <= s.timestamp_s < 30) == 40
+        run_unit(client, router, 30, 40)   # back online: obeys the stop
+        series = server.download("unit-1")
+        assert len(series.slice(10, 30)) == 40
+        assert len(series.slice(30, 40)) == 0
+
+    def test_download_orders_and_dedups_interleaved_chunks(self, server):
+        # Chunks arriving out of order with overlapping timestamps (a
+        # re-sent chunk after a flaky upload) must come back strictly
+        # increasing with duplicates dropped.
+        def chunk(stamps):
+            return [PowerSample(timestamp_s=t, power_w=100.0 + t)
+                    for t in stamps]
+
+        server.receive_chunk("unit-1", chunk([3.0, 4.0, 5.0]))
+        server.receive_chunk("unit-1", chunk([0.0, 1.0, 2.0]))
+        server.receive_chunk("unit-1", chunk([2.0, 3.0, 6.0]))  # re-sent
+        series = server.download("unit-1")
+        assert list(series.timestamps) == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0,
+                                           6.0]
+        assert np.all(np.diff(series.timestamps) > 0)
+        assert list(series.values) == [100.0, 101.0, 102.0, 103.0, 104.0,
+                                       105.0, 106.0]
+
+
 class TestServerControl:
     def test_stop_and_start(self, router, server, rng):
         client = AutopowerClient("unit-1", router, server, rng=rng,
@@ -121,6 +234,29 @@ class TestDeployment:
         client = deploy_unit(router, server, rng=rng)
         assert router._boots == boots_before + 1
         assert client.unit_id == "autopower-pop-8201"
+
+    def test_deploy_forwards_custom_transport(self, router, server, rng):
+        transport = Transport([OutageWindow(0, 30)])
+        client = deploy_unit(router, server, rng=rng, transport=transport)
+        assert client.transport is transport
+        assert not client.transport.available(15.0)
+
+    def test_sim_deploy_forwards_custom_transport(self, rng):
+        from repro.network import (FleetConfig, FleetTrafficModel,
+                                   NetworkSimulation,
+                                   build_switch_like_network)
+
+        network = build_switch_like_network(
+            FleetConfig(model_counts=(("NCS-55A1-24H", 2),),
+                        n_regional_pops=1, core_core_links=1),
+            rng=rng)
+        sim = NetworkSimulation(
+            network, FleetTrafficModel(network, rng=rng),
+            rng=np.random.default_rng(5))
+        hostname = sorted(network.routers)[0]
+        transport = Transport([OutageWindow(0, 30)])
+        client = sim.deploy_autopower(hostname, transport=transport)
+        assert client.transport is transport
 
     def test_outage_window_validation(self):
         with pytest.raises(ValueError):
