@@ -7,7 +7,9 @@ Usage::
         [docs/schemas/dashboard.schema.json]
 
 Exit code 0 when the snapshot conforms; 1 with the validation errors on
-stderr otherwise.  Uses the dependency-free subset validator in
+stderr otherwise; 3 when the snapshot's ``schema`` version stamp does
+not match the schema document (a version skew, reported before any
+field-level errors).  Uses the dependency-free subset validator in
 :mod:`repro.monitor.schema`, so the CI container needs no ``jsonschema``
 package.
 """
@@ -32,6 +34,15 @@ def main(argv) -> int:
     schema_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_SCHEMA
     snapshot = json.loads(snapshot_path.read_text())
     schema = json.loads(schema_path.read_text())
+    expected = (schema.get("properties", {}).get("schema", {})
+                .get("const"))
+    declared = snapshot.get("schema") if isinstance(snapshot, dict) \
+        else None
+    if expected is not None and declared != expected:
+        print(f"{snapshot_path}: schema version mismatch: snapshot "
+              f"declares {declared!r}, validator expects {expected!r}",
+              file=sys.stderr)
+        return 3
     errors = validate(snapshot, schema)
     if errors:
         for error in errors:

@@ -1,0 +1,48 @@
+"""AST-based invariant checking for the netpower codebase.
+
+``repro.analysis`` is the static-analysis backstop behind the
+repository's three load-bearing conventions (docs/STATIC_ANALYSIS.md):
+
+* **determinism** -- seeded RNGs only, no wall-clock reads outside the
+  sanctioned timing paths, no hash-ordered set iteration (NP-DET);
+* **unit discipline** -- every scale conversion goes through a named
+  :mod:`repro.units` helper and unit-suffixed values never mix
+  (NP-UNIT);
+* **schema discipline** -- every persisted JSON payload is versioned
+  (NP-SCHEMA), and the public surface stays documented and annotated
+  (NP-API).
+
+Dependency-free (stdlib ``ast``/``tokenize``).  Surfaced as
+``netpower check`` and as this importable API::
+
+    from repro.analysis import CheckConfig, check_paths, check_source
+
+    result = check_paths(["src/"])
+    assert result.ok, result.findings
+"""
+
+from repro.analysis.engine import (CheckConfig, CheckResult, FileContext,
+                                   Rule, all_rules, check_paths,
+                                   check_source)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import (REPORT_SCHEMA, render_json,
+                                      render_rule_listing, render_text)
+from repro.analysis.suppress import Suppression, parse_suppressions
+
+__all__ = [
+    "CheckConfig",
+    "CheckResult",
+    "FileContext",
+    "Finding",
+    "REPORT_SCHEMA",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "parse_suppressions",
+    "render_json",
+    "render_rule_listing",
+    "render_text",
+]

@@ -1,0 +1,112 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Dict, Optional, Tuple
+
+#: Identifier suffix -> (dimension, scale relative to the SI base unit).
+#: Longest suffix wins, so ``_gbps`` is a rate before ``_s`` is a time.
+UNIT_SUFFIXES: Dict[str, Tuple[str, float]] = {
+    "kwh": ("energy", 3.6e6),
+    "pj": ("energy", 1e-12),
+    "nj": ("energy", 1e-9),
+    "uj": ("energy", 1e-6),
+    "mj": ("energy", 1e-3),
+    "j": ("energy", 1.0),
+    "kw": ("power", 1e3),
+    "w": ("power", 1.0),
+    "tbps": ("rate", 1e12),
+    "gbps": ("rate", 1e9),
+    "mbps": ("rate", 1e6),
+    "kbps": ("rate", 1e3),
+    "bps": ("rate", 1.0),
+    "pps": ("packet_rate", 1.0),
+    "ns": ("time", 1e-9),
+    "us": ("time", 1e-6),
+    "ms": ("time", 1e-3),
+    "s": ("time", 1.0),
+}
+
+_SUFFIXES_BY_LENGTH = sorted(UNIT_SUFFIXES, key=len, reverse=True)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def identifier_of(node: ast.AST) -> Optional[str]:
+    """The trailing identifier of a Name or Attribute, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def unit_suffix(node: ast.AST) -> Optional[str]:
+    """The unit suffix an identifier carries (``total_w`` -> ``"w"``)."""
+    name = identifier_of(node)
+    if name is None:
+        return None
+    lowered = name.lower()
+    for suffix in _SUFFIXES_BY_LENGTH:
+        if lowered.endswith("_" + suffix):
+            return suffix
+    return None
+
+
+def is_scale_literal(node: ast.AST, min_exponent: int = 3) -> bool:
+    """Whether ``node`` is a bare power-of-ten constant like ``1e9``.
+
+    Matches float and int constants whose value is exactly ``10**k`` or
+    ``10**-k`` with ``abs(k) >= min_exponent`` -- the raw conversion
+    factors :mod:`repro.units` exists to name.
+    """
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    if value <= 0 or value != value or math.isinf(value):
+        return False
+    exponent = math.log10(value)
+    rounded = round(exponent)
+    if abs(exponent - rounded) > 1e-9 or abs(rounded) < min_exponent:
+        return False
+    # netpower: ignore[NP-UNIT-001] -- this *is* the definition
+    # of a scale factor; the checker needs the raw power of ten.
+    return value == 10.0 ** rounded
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """Whether ``node`` syntactically produces a ``set``.
+
+    Recognises set displays and comprehensions, ``set(...)`` /
+    ``frozenset(...)`` calls, set-method calls (``union`` etc.), and
+    binary set algebra whose operands are themselves set expressions.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference"):
+            return is_set_expression(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)):
+        return (is_set_expression(node.left)
+                or is_set_expression(node.right))
+    return False

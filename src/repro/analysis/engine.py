@@ -1,0 +1,277 @@
+"""The rule engine behind ``netpower check``.
+
+Dependency-free (stdlib ``ast`` + ``tokenize`` only).  A *rule* is a
+function registered with :func:`rule` that inspects one parsed file --
+a :class:`FileContext` -- and yields ``(line, col, message)`` tuples.
+The engine parses each file once, runs every selected rule, applies
+``# netpower: ignore[...]`` suppressions (:mod:`.suppress`), and
+returns findings in stable sorted order.
+
+Scoping follows the repository's determinism contract:
+
+* **NP-DET** rules only fire inside the deterministic packages
+  (``core/``, ``network/``, ``sweep/``, ``validation/``,
+  ``monitor/``), with a wall-clock allowlist for the three sanctioned
+  timing paths (``obs/tracing.py``, ``bench.py``,
+  ``sweep/runner.py``).
+* **NP-UNIT**, **NP-API**, and **NP-SCHEMA** rules apply to every
+  checked file, except that :mod:`repro.units` itself may spell out
+  the raw powers of ten it exists to name.
+
+Paths are reported relative to the ``repro`` package root (e.g.
+``core/model.py``), so reports do not depend on where the tree is
+checked out.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppress import Suppression, parse_suppressions
+
+#: What a rule yields: ``(line, col, message)``.
+RawFinding = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Which rules run where.
+
+    The defaults encode this repository's layout; tests construct
+    narrower configs to point rules at fixture files.
+    """
+
+    #: Top-level package directories where the NP-DET family applies.
+    det_packages: Tuple[str, ...] = (
+        "core", "network", "sweep", "validation", "monitor")
+    #: Package-relative files where wall-clock reads are sanctioned.
+    wallclock_allow: Tuple[str, ...] = (
+        "obs/tracing.py", "bench.py", "sweep/runner.py")
+    #: Package-relative files exempt from NP-UNIT scale-literal checks.
+    unit_literal_exempt: Tuple[str, ...] = ("units.py",)
+    #: Rule ids or family prefixes to run; ``None`` runs everything.
+    select: Optional[Tuple[str, ...]] = None
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """Whether ``rule_id`` is within the selected set."""
+        if self.select is None:
+            return True
+        return any(rule_id == token or rule_id.startswith(token + "-")
+                   for token in self.select)
+
+
+@dataclass
+class FileContext:
+    """One parsed file handed to every rule."""
+
+    path: str  #: package-relative posix path, e.g. ``core/model.py``
+    source: str
+    tree: ast.Module
+    config: CheckConfig
+
+    @property
+    def in_det_scope(self) -> bool:
+        """Whether the NP-DET family applies to this file."""
+        head = self.path.split("/", 1)[0]
+        return head in self.config.det_packages
+
+    @property
+    def wallclock_allowed(self) -> bool:
+        """Whether this file is a sanctioned wall-clock timing path."""
+        return self.path in self.config.wallclock_allow
+
+    @property
+    def unit_literals_allowed(self) -> bool:
+        """Whether bare scale literals are sanctioned here."""
+        return self.path in self.config.unit_literal_exempt
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: id, severity, summary, and its check."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+    check: Callable[[FileContext], Iterator[RawFinding]]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: Severity,
+         summary: str) -> Callable[[Callable[[FileContext],
+                                             Iterator[RawFinding]]],
+                                   Callable[[FileContext],
+                                            Iterator[RawFinding]]]:
+    """Class-less rule registration decorator."""
+    def register(check: Callable[[FileContext],
+                                 Iterator[RawFinding]]
+                 ) -> Callable[[FileContext], Iterator[RawFinding]]:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(rule_id=rule_id, severity=severity,
+                                  summary=summary, check=check)
+        return check
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id (stable listing order)."""
+    _load_rule_modules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules so their decorators register."""
+    from repro.analysis import (rules_api, rules_det,  # noqa: F401
+                                rules_schema, rules_unit)
+
+
+@dataclass
+class CheckResult:
+    """The outcome of checking one or more files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by a matching suppression, in sorted order.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: ``(path, line, rules)`` of suppressions that matched nothing.
+    unused_suppressions: List[Tuple[str, int, Tuple[str, ...]]] = \
+        field(default_factory=list)
+    #: Files checked, package-relative, sorted.
+    paths: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the check passed (no unsuppressed findings)."""
+        return not self.findings
+
+    def merge(self, other: "CheckResult") -> None:
+        """Fold another (single-file) result into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.unused_suppressions.extend(other.unused_suppressions)
+        self.paths.extend(other.paths)
+
+    def finalize(self) -> "CheckResult":
+        """Sort everything into the stable report order."""
+        self.findings.sort(key=lambda f: f.sort_key)
+        self.suppressed.sort(key=lambda f: f.sort_key)
+        self.unused_suppressions.sort()
+        self.paths.sort()
+        return self
+
+
+def check_source(source: str, path: str,
+                 config: Optional[CheckConfig] = None) -> CheckResult:
+    """Check one file's source text.
+
+    ``path`` is the package-relative posix path; rules use it for
+    scoping, so fixture tests pick paths like ``core/snippet.py`` to
+    opt into the deterministic scope.
+    """
+    _load_rule_modules()
+    config = config if config is not None else CheckConfig()
+    result = CheckResult(paths=[path])
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.findings.append(Finding(
+            rule_id="NP-PARSE", severity=Severity.ERROR, path=path,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"could not parse file: {exc.msg}"))
+        return result.finalize()
+
+    context = FileContext(path=path, source=source, tree=tree,
+                          config=config)
+    lines = source.splitlines()
+
+    def effective_line(line: int) -> int:
+        """Where a suppression applies.
+
+        Trailing comments cover their own line; a comment-only line
+        covers the next code line (so a justification block above a
+        statement suppresses findings on that statement).
+        """
+        text = lines[line - 1].lstrip() if line - 1 < len(lines) else ""
+        if not text.startswith("#"):
+            return line
+        for index in range(line, len(lines)):
+            stripped = lines[index].strip()
+            if stripped and not stripped.startswith("#"):
+                return index + 1
+        return line
+
+    suppressions = parse_suppressions(source)
+    file_level = [s for s in suppressions if s.kind == "ignore-file"]
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        if suppression.kind == "ignore":
+            by_line.setdefault(effective_line(suppression.line),
+                               []).append(suppression)
+
+    for registered in all_rules():
+        if not config.rule_enabled(registered.rule_id):
+            continue
+        for line, col, message in registered.check(context):
+            finding = Finding(
+                rule_id=registered.rule_id, severity=registered.severity,
+                path=path, line=line, col=col, message=message)
+            silencers = [s for s in by_line.get(line, ())
+                         if s.covers(registered.rule_id)]
+            silencers.extend(s for s in file_level
+                             if s.covers(registered.rule_id))
+            if silencers:
+                for suppression in silencers:
+                    suppression.matched = True
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+
+    for suppression in suppressions:
+        if not suppression.matched:
+            result.unused_suppressions.append(
+                (path, suppression.line, suppression.rules))
+    return result.finalize()
+
+
+def _relative_path(file_path: Path) -> str:
+    """The package-relative report path for ``file_path``.
+
+    Everything after the last ``repro`` path component, or the file
+    name when the file does not live under a ``repro`` package (e.g.
+    fixture files in a temp directory).
+    """
+    parts = file_path.as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return parts[-1]
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files and directories into a sorted ``*.py`` file list."""
+    files = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(p for p in path.rglob("*.py"))
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def check_paths(paths: Iterable[object],
+                config: Optional[CheckConfig] = None) -> CheckResult:
+    """Check every ``*.py`` file under ``paths`` (files or dirs)."""
+    config = config if config is not None else CheckConfig()
+    total = CheckResult()
+    for file_path in discover_files([Path(str(p)) for p in paths]):
+        source = file_path.read_text(encoding="utf-8")
+        total.merge(check_source(source, _relative_path(file_path),
+                                 config))
+    return total.finalize()

@@ -1,0 +1,63 @@
+"""Finding and severity types for the ``netpower check`` analyser.
+
+A :class:`Finding` is one rule violation at one source location.  The
+engine guarantees stable ordering -- findings sort by ``(path, line,
+col, rule_id)`` -- so reports are byte-identical across runs and
+machines, matching the determinism discipline the analyser enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    Severity does not affect the exit code -- any unsuppressed finding
+    fails the check -- but reporters surface it so humans can triage.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank: lower is more severe (for summary ordering)."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable report order: by location, then rule id."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (the ``--format json`` row)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The human-readable one-line form."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.severity.value}] {self.message}")

@@ -1,0 +1,62 @@
+"""Reporters for ``netpower check``: human-readable text and JSON.
+
+Both formats are byte-stable: findings arrive pre-sorted from the
+engine and the JSON document is dumped with sorted keys, so a clean
+tree produces an identical report on every machine -- the same
+discipline the analyser enforces on the rest of the codebase.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.engine import CheckResult, all_rules
+
+#: Version stamp for the ``--format json`` report document.
+REPORT_SCHEMA = "repro.analysis/v1"
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """The human-readable report: one line per finding + a summary."""
+    lines: List[str] = [finding.render() for finding in result.findings]
+    if verbose:
+        lines.extend(f"{finding.render()} (suppressed)"
+                     for finding in result.suppressed)
+    for path, line, rules in result.unused_suppressions:
+        lines.append(f"{path}:{line}:0: NP-SUPPRESS [warning] "
+                     f"suppression {list(rules)} matched no finding; "
+                     f"remove it")
+    lines.append(
+        f"checked {len(result.paths)} file(s): "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.unused_suppressions)} unused suppression(s)")
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """The machine-readable report (``--format json``)."""
+    document = {
+        "schema": REPORT_SCHEMA,
+        "files": len(result.paths),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict()
+                       for finding in result.suppressed],
+        "unused_suppressions": [
+            {"path": path, "line": line, "rules": list(rules)}
+            for path, line, rules in result.unused_suppressions],
+        "counts": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "unused_suppressions": len(result.unused_suppressions),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rule_listing() -> str:
+    """The ``--list-rules`` table: id, severity, summary."""
+    rows = [f"{rule.rule_id:14s} {rule.severity.value:8s} {rule.summary}"
+            for rule in all_rules()]
+    return "\n".join(rows)

@@ -1,0 +1,162 @@
+"""NP-API: public-surface hygiene rules.
+
+The Zoo and the monitoring pipeline are meant to be imported by third
+parties, so the public surface of ``repro.*`` carries docstrings and
+complete signature annotations, and ``__all__`` never advertises a
+name the module does not define.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Union
+
+from repro.analysis.engine import FileContext, RawFinding, rule
+from repro.analysis.findings import Severity
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _public_definitions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Public defs at module level and one class level down.
+
+    Nested (function-local) definitions are implementation details and
+    stay exempt, as do ``_private`` names and dunders.
+    """
+    def walk_body(body: List[ast.stmt]) -> Iterator[ast.AST]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if node.name.startswith("_"):
+                    continue
+                yield node
+                if isinstance(node, ast.ClassDef):
+                    yield from walk_body(node.body)
+
+    yield from walk_body(tree.body)
+
+
+@rule("NP-API-001", Severity.WARNING,
+      "public definition without a docstring")
+def check_docstrings(context: FileContext) -> Iterator[RawFinding]:
+    """Flag public modules, classes, and functions with no docstring."""
+    tree = context.tree
+    if tree.body and ast.get_docstring(tree) is None:
+        yield (1, 0, "module has no docstring")
+    for node in _public_definitions(tree):
+        if ast.get_docstring(node) is None:  # type: ignore[arg-type]
+            kind = ("class" if isinstance(node, ast.ClassDef)
+                    else "function")
+            name = node.name  # type: ignore[union-attr]
+            yield (node.lineno, node.col_offset,
+                   f"public {kind} {name!r} has no docstring")
+
+
+def _unannotated_args(node: _FunctionNode,
+                      is_method: bool) -> List[str]:
+    """Parameter names missing annotations (``self``/``cls`` exempt)."""
+    arguments = node.args
+    names = []
+    positional = list(arguments.posonlyargs) + list(arguments.args)
+    if is_method and positional and not any(
+            isinstance(d, ast.Name) and d.id == "staticmethod"
+            for d in node.decorator_list):
+        positional = positional[1:]
+    for arg in positional + list(arguments.kwonlyargs):
+        if arg.annotation is None:
+            names.append(arg.arg)
+    for arg in (arguments.vararg, arguments.kwarg):
+        if arg is not None and arg.annotation is None:
+            names.append(arg.arg)
+    return names
+
+
+@rule("NP-API-002", Severity.WARNING,
+      "public function with an incomplete signature annotation")
+def check_annotations(context: FileContext) -> Iterator[RawFinding]:
+    """Flag public functions missing parameter or return annotations."""
+    tree = context.tree
+
+    def visit(body: List[ast.stmt], in_class: bool
+              ) -> Iterator[RawFinding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    yield from visit(node.body, in_class=True)
+                continue
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            missing = _unannotated_args(node, is_method=in_class)
+            if missing:
+                yield (node.lineno, node.col_offset,
+                       f"public function {node.name!r} has "
+                       f"unannotated parameter(s): "
+                       f"{', '.join(missing)}")
+            if node.returns is None:
+                yield (node.lineno, node.col_offset,
+                       f"public function {node.name!r} has no return "
+                       f"annotation")
+
+    yield from visit(tree.body, in_class=False)
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Every name bound at module top level (defs, imports, assigns)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+@rule("NP-API-003", Severity.ERROR,
+      "__all__ advertises a name the module does not define")
+def check_dunder_all(context: FileContext) -> Iterator[RawFinding]:
+    """Flag ``__all__`` entries without a matching top-level binding."""
+    tree = context.tree
+    has_star_import = any(
+        isinstance(node, ast.ImportFrom)
+        and any(alias.name == "*" for alias in node.names)
+        for node in tree.body)
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)):
+            continue
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            continue
+        exported = [element.value for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)]
+        seen: Set[str] = set()
+        for name in exported:
+            if name in seen:
+                yield (node.lineno, node.col_offset,
+                       f"__all__ lists {name!r} more than once")
+            seen.add(name)
+        if has_star_import:
+            continue  # bindings are unknowable without imports
+        bound = _bound_names(tree)
+        for name in exported:
+            if name not in bound:
+                yield (node.lineno, node.col_offset,
+                       f"__all__ exports {name!r} but the module "
+                       f"defines no such name")

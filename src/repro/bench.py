@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import units
 from repro.network import (
     FleetConfig,
     FleetTrafficModel,
@@ -158,7 +159,7 @@ def _run_case_traced(case: BenchCase, seed: int,
             wall_s = run_span.duration_s
             timings[engine] = {
                 "wall_s": round(wall_s, 4),
-                "ms_per_step": round(1000.0 * wall_s / n_steps, 4),
+                "ms_per_step": round(units.s_to_ms(wall_s) / n_steps, 4),
             }
             phases[engine] = {
                 "build_s": round(build_span.duration_s, 4),
@@ -212,7 +213,7 @@ def previous_cases(output: Path) -> Dict[str, Dict]:
 def run_benchmarks(case_names: Sequence[str], seed: int,
                    output: Path,
                    steps_override: Optional[int] = None,
-                   stream=None) -> Dict:
+                   stream: Optional[object] = None) -> Dict:
     """Run the named cases, print a summary line each, write the report.
 
     A subset run (``--quick``, ``--cases small``) merges into an existing
@@ -277,6 +278,7 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for the engine benchmark harness."""
     args = _parser().parse_args(argv)
     if args.quick:
         case_names: Sequence[str] = ("small",)

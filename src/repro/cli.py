@@ -16,7 +16,10 @@ Mirrors how the paper's released artifacts are used from a shell:
 * ``netpower monitor``     -- run a small fleet with the continuous
   monitor attached and write a dashboard snapshot (JSON + HTML);
 * ``netpower sweep``       -- run a scenario matrix across worker
-  processes and write a deterministic sweep report (docs/SWEEP.md).
+  processes and write a deterministic sweep report (docs/SWEEP.md);
+* ``netpower check``       -- the AST-based invariant checker behind the
+  repository's determinism, unit, and schema conventions
+  (docs/STATIC_ANALYSIS.md).
 
 Every command takes ``--seed`` and is deterministic given it, plus the
 shared observability flags (docs/OBSERVABILITY.md): ``--log-level`` /
@@ -173,6 +176,23 @@ def _parser() -> argparse.ArgumentParser:
                          help="degrade one PSU mid-run to exercise the "
                               "alerting pipeline")
 
+    check = sub.add_parser(
+        "check", parents=[common],
+        help="static invariant checks (docs/STATIC_ANALYSIS.md)")
+    check.add_argument("paths", nargs="*", default=["src"],
+                       help="files or directories to check "
+                            "(default: src)")
+    check.add_argument("--format", dest="format", default="text",
+                       choices=("text", "json"),
+                       help="report format (default: %(default)s)")
+    check.add_argument("--select", metavar="RULES", default=None,
+                       help="comma-separated rule ids or family "
+                            "prefixes to run (default: all)")
+    check.add_argument("--verbose", action="store_true",
+                       help="also list suppressed findings")
+    check.add_argument("--list-rules", action="store_true",
+                       help="list every registered rule and exit")
+
     sweep = sub.add_parser(
         "sweep", parents=[common],
         help="sharded multiprocess scenario sweep (docs/SWEEP.md)")
@@ -234,6 +254,9 @@ def _cmd_derive(args) -> int:
             _err(f"error: {exc}")
             return 2
     model, reports = derive_power_model(suites)
+    # netpower: ignore[NP-SCHEMA-001] -- the document is
+    # PowerModel.to_dict(), the Network Power Zoo record layout; its
+    # schema is owned and versioned by repro.zoo.database (ZOO_SCHEMA).
     document = json.dumps(model.to_dict(), indent=2)
     if args.output:
         with open(args.output, "w") as handle:
@@ -704,6 +727,35 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (CheckConfig, check_paths, render_json,
+                                render_rule_listing, render_text)
+
+    if args.list_rules:
+        _out(render_rule_listing())
+        return 0
+    select = None
+    if args.select:
+        select = tuple(sorted({token.strip()
+                               for token in args.select.split(",")
+                               if token.strip()}))
+        if not select:
+            _err("error: --select given but names no rules")
+            return 2
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        _err(f"error: no such path(s): {', '.join(sorted(missing))}")
+        return 2
+    result = check_paths(args.paths, CheckConfig(select=select))
+    if args.format == "json":
+        _out(render_json(result))
+    else:
+        _out(render_text(result, verbose=args.verbose))
+    return 0 if result.ok and not result.unused_suppressions else 1
+
+
 _COMMANDS = {
     "derive": _cmd_derive,
     "audit": _cmd_audit,
@@ -715,6 +767,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "monitor": _cmd_monitor,
     "sweep": _cmd_sweep,
+    "check": _cmd_check,
 }
 
 

@@ -12,15 +12,26 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import (TYPE_CHECKING, BinaryIO, Dict, List, Optional,
+                    Union)
 
 import numpy as np
 
 from repro.telemetry.snmp import PsuSensorExport, RouterTrace
 from repro.telemetry.traces import CounterSeries, InterfaceTrace, TimeSeries
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.network.simulation import SimulationResult
+
+    #: Anything ``save_campaign`` accepts: a live result or a dataset.
+    CampaignLike = Union["SimulationResult", "CampaignDataset"]
+
 #: Container format version (bump on incompatible changes).
 FORMAT_VERSION = 1
+
+#: Version stamp embedded in every campaign's ``__meta__`` JSON.
+CAMPAIGN_SCHEMA = "repro.datasets.campaign/v1"
 
 _COUNTER_FIELDS = ("rx_octets", "tx_octets", "rx_packets", "tx_packets")
 
@@ -44,14 +55,15 @@ def _sanitise(name: str) -> str:
     return name.replace("/", "_")
 
 
-def save_campaign(result, path) -> None:
+def save_campaign(result: "CampaignLike",
+                  path: "Union[str, Path, BinaryIO]") -> None:
     """Write a campaign (a ``SimulationResult`` or ``CampaignDataset``).
 
     ``path`` may be a filesystem path or a binary file object.
     """
     arrays: Dict[str, np.ndarray] = {}
-    meta = {"version": FORMAT_VERSION, "routers": {}, "autopower": [],
-            "sensor_exports": []}
+    meta = {"schema": CAMPAIGN_SCHEMA, "version": FORMAT_VERSION,
+            "routers": {}, "autopower": [], "sensor_exports": []}
 
     for hostname, trace in result.snmp.items():
         host_key = _sanitise(hostname)
@@ -100,7 +112,8 @@ def save_campaign(result, path) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_campaign(path) -> CampaignDataset:
+def load_campaign(path: "Union[str, Path, BinaryIO]",
+                  ) -> CampaignDataset:
     """Read a campaign written by :func:`save_campaign`."""
     with np.load(path, allow_pickle=False) as container:
         meta = json.loads(bytes(container["__meta__"]).decode("utf-8"))

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import units
 from repro.hardware.catalog import ROUTER_CATALOG
 
 VENDORS = ("Cisco", "Arista", "Juniper")
@@ -173,7 +174,7 @@ def _catalog_truths() -> List[DatasheetTruth]:
 
 def _fmt_power(value_w: float, rng: np.random.Generator) -> str:
     if value_w >= 1000 and rng.random() < 0.4:
-        return f"{value_w / 1000:.2f} kW"
+        return f"{value_w / units.KILO:.2f} kW"
     if rng.random() < 0.3:
         return f"{value_w:.1f}W"
     return f"{value_w:.0f} W"
@@ -181,7 +182,7 @@ def _fmt_power(value_w: float, rng: np.random.Generator) -> str:
 
 def _fmt_bandwidth(gbps: float, rng: np.random.Generator) -> str:
     if gbps >= 1000 and rng.random() < 0.6:
-        return f"{gbps / 1000:g} Tbps"
+        return f"{gbps / units.KILO:g} Tbps"
     if rng.random() < 0.3:
         return f"{gbps:g}-Gbps"
     return f"{gbps:g} Gbps"

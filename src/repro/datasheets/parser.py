@@ -17,6 +17,7 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import units
 from repro.datasheets.corpus import DatasheetCorpus, DatasheetDocument
 
 #: A power quantity: float, optional kW suffix.
@@ -65,12 +66,12 @@ class ParsedDatasheet:
 
 def _to_watts(value: str, unit: str) -> float:
     number = float(value.replace(",", "."))
-    return number * 1000.0 if unit.lower() == "kw" else number
+    return number * units.KILO if unit.lower() == "kw" else number
 
 
 def _to_gbps(value: str, unit: str) -> float:
     number = float(value.replace(",", "."))
-    return number * 1000.0 if unit.lower() == "tbps" else number
+    return number * units.KILO if unit.lower() == "tbps" else number
 
 
 def _power_near_keywords(lines: List[str], keywords: Tuple[str, ...],

@@ -14,14 +14,15 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import units
 from repro.datasheets import asic_trend_points, efficiency_trend
 from repro.hardware.psu import EIGHTY_PLUS_SET_POINTS, PFE600_CURVE
-from repro.psu_opt import efficiency_scatter
+from repro.psu_opt import PsuPoint, efficiency_scatter
 from repro.telemetry.traces import TimeSeries
 
 
@@ -79,7 +80,7 @@ def fig1_data(total_power: TimeSeries, total_traffic_bps: TimeSeries,
         columns={
             "t_s": power.timestamps[:n].tolist(),
             "power_w": power.values[:n].tolist(),
-            "traffic_tbps": (traffic.values[:n] / 1e12).tolist(),
+            "traffic_tbps": units.bps_to_tbps(traffic.values[:n]).tolist(),
         },
         notes="paper: ~21.7 kW total, ~1.3 Tbps, correlation invisible")
 
@@ -140,7 +141,8 @@ def fig5_data(n_points: int = 50) -> FigureData:
     return FigureData(name="fig5_psu_curve", columns=columns)
 
 
-def fig6_data(psu_points, router_model: Optional[str] = None) -> FigureData:
+def fig6_data(psu_points: Sequence[PsuPoint],
+              router_model: Optional[str] = None) -> FigureData:
     """Fig. 6: the PSU efficiency scatter (optionally one router model)."""
     loads, effs = efficiency_scatter(psu_points, router_model)
     suffix = (router_model or "all").replace(" ", "_")
@@ -176,10 +178,9 @@ def fig9_data(autopower: TimeSeries, model: TimeSeries,
         notes=f"model shifted by {-offset_w:+.2f} W to show precision")
 
 
-def write_figures(figures: Sequence[FigureData], directory) -> List[str]:
+def write_figures(figures: Sequence[FigureData],
+                  directory: Union[str, Path]) -> List[str]:
     """Write each figure's CSV into a directory; returns the paths."""
-    from pathlib import Path
-
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     paths = []

@@ -13,7 +13,7 @@ extended methodology can be validated end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -193,7 +193,8 @@ class ModularRouter(VirtualRouter):
         return {slot: card.name
                 for slot, card in enumerate(self._slots) if card is not None}
 
-    def insert_linecard(self, slot: int, card) -> List[Port]:
+    def insert_linecard(self, slot: int,
+                        card: Union[str, LinecardSpec]) -> List[Port]:
         """Seat a linecard; returns its freshly created ports."""
         if not 0 <= slot < self.n_slots:
             raise IndexError(
@@ -234,6 +235,7 @@ class ModularRouter(VirtualRouter):
     # -- truth ----------------------------------------------------------------------
 
     def wall_referred_power_w(self) -> float:
+        """Device power plus per-card draw, referred through the PSUs."""
         power = super().wall_referred_power_w()
         for card in self._slots:
             if card is not None:

@@ -43,6 +43,9 @@ class EfficiencyCurve:
         """Conversion loss in watts when delivering ``output_w``."""
         if output_w < 0:
             raise ValueError(f"output power must be >= 0, got {output_w}")
+        # netpower: ignore[NP-UNIT-003] -- exact zero is a sentinel
+        # (nothing plugged in), not a computed power value; any nonzero
+        # load takes the efficiency-curve branch.
         if output_w == 0:
             return self.idle_loss_w(capacity_w)
         eff = self.efficiency(output_w / capacity_w)
@@ -77,11 +80,13 @@ class QuadraticLossCurve(EfficiencyCurve):
         return self.a + self.b * load_fraction + self.c * load_fraction ** 2
 
     def efficiency(self, load_fraction: float) -> float:
+        """Output/input efficiency at a load fraction (0 when idle)."""
         if load_fraction <= 0:
             return 0.0
         return load_fraction / (load_fraction + self.loss_fraction(load_fraction))
 
     def idle_loss_w(self, capacity_w: float) -> float:
+        """Standing loss in watts with zero output load."""
         return self.a * capacity_w
 
     @classmethod
@@ -129,15 +134,18 @@ class ScaledLossCurve(EfficiencyCurve):
             raise ValueError(f"loss scale must be positive, got {self.scale}")
 
     def loss_fraction(self, load_fraction: float) -> float:
+        """The base curve's normalised loss, scaled by ``scale``."""
         return self.scale * self.base.loss_fraction(load_fraction)
 
     def efficiency(self, load_fraction: float) -> float:
+        """Output/input efficiency at a load fraction (0 when idle)."""
         if load_fraction <= 0:
             return 0.0
         return load_fraction / (load_fraction
                                 + self.loss_fraction(load_fraction))
 
     def idle_loss_w(self, capacity_w: float) -> float:
+        """Standing loss in watts, scaled like every other loss."""
         return self.scale * self.base.idle_loss_w(capacity_w)
 
     @classmethod
@@ -186,12 +194,14 @@ class OffsetCurve(EfficiencyCurve):
     MAX_EFF = 0.995
 
     def efficiency(self, load_fraction: float) -> float:
+        """The base curve's efficiency shifted by ``offset`` (clamped)."""
         if load_fraction <= 0:
             return 0.0
         eff = self.base.efficiency(load_fraction) + self.offset
         return float(np.clip(eff, self.MIN_EFF, self.MAX_EFF))
 
     def idle_loss_w(self, capacity_w: float) -> float:
+        """The base curve's standing loss (the offset shifts efficiency only)."""
         return self.base.idle_loss_w(capacity_w)
 
     @classmethod

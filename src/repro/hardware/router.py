@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from repro.hardware.psu import (
     PSUGroup,
     PSUInstance,
     PSUModel,
+    PsuSensorReading,
     SharingPolicy,
     rating_curve,
 )
@@ -156,7 +157,7 @@ class Port:
         return 0.0
 
     @property
-    def peer(self):
+    def peer(self) -> Optional["Port"]:
         """The endpoint at the other end of the cable, if any."""
         if self.cable is None:
             return None
@@ -187,7 +188,7 @@ class Port:
 
     # -- configuration -------------------------------------------------------
 
-    def plug(self, module) -> None:
+    def plug(self, module: Union[str, TransceiverInstance]) -> None:
         """Seat a transceiver (instance or catalog product name)."""
         if isinstance(module, str):
             module = transceiver(module)
@@ -227,7 +228,8 @@ class Port:
         capacity = units.gbps_to_bps(self.speed_gbps)
         if capacity and max(rx_bps, tx_bps) > capacity * 1.001:
             raise ValueError(
-                f"{self.name}: offered {max(rx_bps, tx_bps)/1e9:.1f} Gbps "
+                f"{self.name}: offered "
+                f"{units.bps_to_gbps(max(rx_bps, tx_bps)):.1f} Gbps "
                 f"exceeds line rate {self.speed_gbps} Gbps")
         self.traffic = OfferedTraffic(rx_bps=rx_bps, tx_bps=tx_bps,
                                       packet_bytes=packet_bytes)
@@ -300,7 +302,7 @@ class Cable:
     a: object
     b: object
 
-    def other(self, port):
+    def other(self, port: object) -> object:
         """The far end relative to ``port``."""
         if port is self.a:
             return self.b
@@ -310,7 +312,7 @@ class Cable:
                          f"end of this cable")
 
 
-def connect(a, b) -> Cable:
+def connect(a: Port, b: Port) -> Cable:
     """Cable two ports together (replacing any existing cables)."""
     disconnect(a)
     disconnect(b)
@@ -323,7 +325,7 @@ def connect(a, b) -> Cable:
     return cable
 
 
-def disconnect(port) -> None:
+def disconnect(port: Port) -> None:
     """Remove the cable attached to a port, if any."""
     cable = port.cable
     if cable is None:
@@ -579,7 +581,7 @@ class VirtualRouter:
         return (self._pseudo_constant_basis + self._sensor_bias_w
                 + float(self.rng.normal(0.0, 0.05)))
 
-    def psu_sensor_snapshots(self):
+    def psu_sensor_snapshots(self) -> List[PsuSensorReading]:
         """One (P_in, P_out) reading per PSU -- the §9.2 one-time export."""
         return self.psu_group.sensor_snapshots(
             self.device_power_w(), self.rng)

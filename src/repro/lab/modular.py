@@ -108,7 +108,7 @@ class ModularOrchestrator:
 
     def derive_model(self, card_names: Sequence[str],
                      counts: Sequence[int] = (1, 2, 3, 4),
-                     **measure_kwargs) -> Tuple[PowerModel,
+                     **measure_kwargs: object) -> Tuple[PowerModel,
                                                 Dict[str,
                                                      LinecardDerivationReport]]:
         """A modular power model: chassis base + one P_linecard per card.

@@ -12,7 +12,7 @@ control).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -94,6 +94,7 @@ class TrafficGenerator:
         achieved = self._achieved(units.gbps_to_bps(rate_gbps))
         return Flow(bit_rate_bps=achieved, packet_bytes=packet_bytes, tool=tool)
 
-    def sweep_rates(self, rates_gbps, packet_bytes: float):
+    def sweep_rates(self, rates_gbps: Sequence[float],
+                    packet_bytes: float) -> List[Flow]:
         """Start one flow per requested rate (a §5.2 rate sweep)."""
         return [self.start_flow(r, packet_bytes) for r in rates_gbps]

@@ -16,9 +16,13 @@ stable across engines, worker counts, and completion order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.network.simulation import StepObserver, StepSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.network.simulation import NetworkSimulation
+    from repro.telemetry.snmp import SnmpCollector
 
 #: Joules per kilowatt-hour.
 _J_PER_KWH = 3.6e6
@@ -48,12 +52,15 @@ class AggregatingObserver(StepObserver):
 
     # -- StepObserver ------------------------------------------------------------
 
-    def on_run_start(self, sim, engine: str, collector, step_s: float,
+    def on_run_start(self, sim: "NetworkSimulation", engine: str,
+                     collector: "SnmpCollector", step_s: float,
                      n_steps: int) -> None:
+        """Record the engine name and step size for the summary."""
         self.engine = engine
         self.step_s = step_s
 
     def on_step(self, snapshot: StepSnapshot) -> None:
+        """Fold one step's totals into the running aggregates."""
         self.n_steps += 1
         self._power_sum_w += snapshot.total_power_w
         if snapshot.total_power_w > self._peak_power_w:

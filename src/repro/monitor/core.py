@@ -151,6 +151,7 @@ class FleetMonitor(StepObserver):
     def on_run_start(self, sim: NetworkSimulation, engine: str,
                      collector: SnmpCollector, step_s: float,
                      n_steps: int) -> None:
+        """Attach to a run: remember the engine and log the rule set."""
         self.engine_name = engine
         self.step_s = step_s
         self.n_steps = n_steps
@@ -180,6 +181,7 @@ class FleetMonitor(StepObserver):
             "rules": len(self.alerts.rules)})
 
     def on_step(self, snapshot: StepSnapshot) -> None:
+        """Ingest one step: rollups, drift tracking, alert evaluation."""
         t = snapshot.t_s
         self._last_t_s = t
         store = self.store
@@ -235,6 +237,7 @@ class FleetMonitor(StepObserver):
                     alerts.observe(drop_signal, t, drop)
 
     def on_run_end(self, result: SimulationResult) -> None:
+        """Finalize rollups and drift trackers at the end of a run."""
         self.result = result
         self.store.finalize()
         for tracker in self.drift.values():

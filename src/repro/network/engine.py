@@ -47,7 +47,8 @@ counter should use ``engine="object"``.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
@@ -55,6 +56,11 @@ from repro import units
 from repro.hardware.psu import QuadraticLossCurve, ScaledLossCurve, SharingPolicy
 from repro.hardware.router import OfferedTraffic, Port, VirtualRouter
 from repro.obs import metrics
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.network.events import FleetEvent
+    from repro.network.topology import ISPNetwork
+    from repro.telemetry.snmp import SnmpCollector
 
 #: Noise correlation time of the routers' AR(1) ambient noise (matches
 #: :meth:`VirtualRouter.advance`).
@@ -88,7 +94,7 @@ def _collapse_curve(curve) -> Optional[Tuple[Tuple[float, ...],
     return None
 
 
-def supports_vectorized(network) -> bool:
+def supports_vectorized(network: "ISPNetwork") -> bool:
     """Whether every router in the fleet is expressible in columnar form.
 
     True for all catalog hardware: the engine needs PSU curves that
@@ -201,7 +207,8 @@ class FleetState:
 
     # -- configuration rebuild ------------------------------------------------------
 
-    def refresh(self, new_external_link_ids=frozenset(),
+    def refresh(self,
+                new_external_link_ids: FrozenSet[int] = frozenset(),
                 view_hosts: Sequence[str] = ()) -> None:
         """Rebuild every configuration column from the object model.
 
@@ -532,10 +539,19 @@ class VectorizedEngine:
             new_external_link_ids=simulation._new_external_link_ids,
             view_hosts=simulation._view_hosts())
 
-    def run_steps(self, n_steps: int, step_s: float, pending, collector,
+    def run_steps(self, n_steps: int, step_s: float,
+                  pending: Sequence["FleetEvent"],
+                  collector: "SnmpCollector",
                   snmp_period_s: float, detailed_hosts: Sequence[str],
                   grid: np.ndarray, total_power: np.ndarray,
                   total_traffic: np.ndarray) -> None:
+        """Advance the fleet ``n_steps`` columnar steps in place.
+
+        Mirrors the object engine's stepping contract exactly --
+        events at step boundaries, SNMP polling cadence, observer and
+        Autopower hooks -- filling the caller's pre-allocated
+        ``grid`` / ``total_power`` / ``total_traffic`` columns.
+        """
         sim = self.sim
         state = self.state
         rho = float(np.exp(-step_s / _NOISE_TAU_S))
@@ -556,6 +572,10 @@ class VectorizedEngine:
 
         for step in range(n_steps):
             if observing:
+                # netpower: ignore[NP-DET-001] -- wall-clock here only
+                # feeds the step-latency histogram (an observability
+                # side-channel); it never reaches simulation state or
+                # any deterministic report.
                 step_t0 = time.perf_counter()
             t = sim.clock_s
             if event_idx < len(pending) and pending[event_idx].at_s <= t:
@@ -609,6 +629,8 @@ class VectorizedEngine:
                 for observer in observers:
                     observer.on_step(snapshot)
             if observing:
+                # netpower: ignore[NP-DET-001] -- same side-channel as
+                # step_t0 above.
                 step_durations.append(time.perf_counter() - step_t0)
         state.flush_all()
         if step_durations:

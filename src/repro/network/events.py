@@ -12,9 +12,14 @@ Each event type here reproduces one of those actions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.network.topology import ExternalPeerPort, ISPNetwork, Link, LinkEnd, LinkKind
+from repro.network.topology import (ExternalPeerPort, ISPNetwork, Link,
+                                    LinkEnd, LinkKind)
 from repro.hardware.router import connect, disconnect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.network.simulation import NetworkSimulation
 
 
 @dataclass
@@ -23,7 +28,7 @@ class FleetEvent:
 
     at_s: float
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
         """Mutate the network; called once when the sim clock passes at_s."""
         raise NotImplementedError
 
@@ -35,7 +40,8 @@ class UnplugModule(FleetEvent):
     hostname: str = ""
     port_index: int = 0
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Shut the port, break its link, and pull the module."""
         port = simulation.network.router(self.hostname).port(self.port_index)
         port.set_admin(False)
         disconnect(port)
@@ -50,7 +56,8 @@ class AddExternalInterface(FleetEvent):
     port_index: int = 0
     trx_name: str = ""
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Plug, enable, and link a new external-facing interface."""
         network: ISPNetwork = simulation.network
         port = network.router(self.hostname).port(self.port_index)
         port.plug(self.trx_name)
@@ -80,7 +87,8 @@ class SetAdminState(FleetEvent):
     port_index: int = 0
     up: bool = False
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Toggle the interface's administrative state."""
         port = simulation.network.router(self.hostname).port(self.port_index)
         port.set_admin(self.up)
 
@@ -92,7 +100,8 @@ class OsUpdate(FleetEvent):
     hostname: str = ""
     fan_bump_w: float = 45.0
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Apply the post-update fan-power bump to the router."""
         simulation.network.router(self.hostname).apply_os_update(
             self.fan_bump_w)
 
@@ -103,7 +112,8 @@ class PowerCycle(FleetEvent):
 
     hostname: str = ""
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Power-cycle the router."""
         simulation.network.router(self.hostname).power_cycle()
 
 
@@ -113,7 +123,8 @@ class Decommission(FleetEvent):
 
     hostname: str = ""
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Cut the router's power feed."""
         simulation.network.router(self.hostname).powered = False
 
 
@@ -123,7 +134,8 @@ class Commission(FleetEvent):
 
     hostname: str = ""
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Restore the router's power feed."""
         simulation.network.router(self.hostname).powered = True
 
 
@@ -139,7 +151,8 @@ class AmbientChange(FleetEvent):
     hostname: str = ""
     ambient_c: float = 22.0
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Set the new ambient temperature at one router."""
         simulation.network.router(self.hostname).set_ambient(self.ambient_c)
 
 
@@ -149,7 +162,8 @@ class HeatWave(FleetEvent):
 
     ambient_c: float = 30.0
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Set the new ambient temperature fleet-wide."""
         for router in simulation.network.routers.values():
             router.set_ambient(self.ambient_c)
 
@@ -169,7 +183,8 @@ class DegradePsu(FleetEvent):
     psu_index: int = 0
     efficiency_delta: float = -0.05
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Degrade one supply's efficiency curve in place."""
         psu_group = simulation.network.router(self.hostname).psu_group
         psu_group.instances[self.psu_index].apply_aging(
             self.efficiency_delta)
@@ -186,5 +201,6 @@ class DeployAutopower(FleetEvent):
 
     hostname: str = ""
 
-    def apply(self, simulation) -> None:
+    def apply(self, simulation: "NetworkSimulation") -> None:
+        """Install the meter (power-cycling the router as a side effect)."""
         simulation.deploy_autopower(self.hostname)

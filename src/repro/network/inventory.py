@@ -18,6 +18,9 @@ from typing import Dict, List, Optional
 from repro.hardware.router import VirtualRouter
 from repro.network.topology import ISPNetwork
 
+#: Version stamp for the fleet-inventory JSON document.
+INVENTORY_SCHEMA = "repro.network.inventory/v1"
+
 
 @dataclass(frozen=True)
 class InterfaceEntry:
@@ -98,13 +101,16 @@ class FleetInventory:
     # -- serialisation ------------------------------------------------------------
 
     def to_json(self) -> str:
-        """One JSON document for the whole fleet."""
+        """One versioned JSON document for the whole fleet."""
         payload = {
-            hostname: {
-                "router_model": inv.router_model,
-                "interfaces": [asdict(e) for e in inv.interfaces],
-            }
-            for hostname, inv in sorted(self.routers.items())
+            "schema": INVENTORY_SCHEMA,
+            "routers": {
+                hostname: {
+                    "router_model": inv.router_model,
+                    "interfaces": [asdict(e) for e in inv.interfaces],
+                }
+                for hostname, inv in sorted(self.routers.items())
+            },
         }
         return json.dumps(payload, indent=2)
 
@@ -112,8 +118,13 @@ class FleetInventory:
     def from_json(cls, text: str) -> "FleetInventory":
         """Inverse of :meth:`to_json`."""
         payload = json.loads(text)
+        schema = payload.get("schema")
+        if schema != INVENTORY_SCHEMA:
+            raise ValueError(
+                f"unsupported inventory schema {schema!r}; this library "
+                f"reads {INVENTORY_SCHEMA!r}")
         fleet = cls()
-        for hostname, data in payload.items():
+        for hostname, data in payload["routers"].items():
             entries = [InterfaceEntry(**entry)
                        for entry in data["interfaces"]]
             fleet.routers[hostname] = RouterInventory(

@@ -26,7 +26,8 @@ from repro.network.topology import ISPNetwork, Link
 from repro.network.traffic import FleetTrafficModel
 from repro.obs import metrics, tracing
 from repro.obs.logging import get_logger
-from repro.telemetry.autopower import AutopowerClient, AutopowerServer, deploy_unit
+from repro.telemetry.autopower import (AutopowerClient, AutopowerServer,
+                                       Transport, deploy_unit)
 from repro.telemetry.snmp import PsuSensorExport, RouterTrace, SnmpCollector
 from repro.telemetry.traces import TimeSeries
 
@@ -176,7 +177,8 @@ class NetworkSimulation:
     # -- hooks used by events ------------------------------------------------------
 
     def deploy_autopower(self, hostname: str,
-                         transport=None) -> AutopowerClient:
+                         transport: Optional[Transport] = None,
+                         ) -> AutopowerClient:
         """Install an Autopower unit on a router (power-cycles it).
 
         ``transport`` lets callers inject uplink outages on the unit.
@@ -345,6 +347,9 @@ class NetworkSimulation:
         step_durations: List[float] = []
         for step in range(n_steps):
             if observing:
+                # netpower: ignore[NP-DET-001] -- wall-clock here only
+                # feeds the step-latency histogram (an observability
+                # side-channel); simulation results never read it.
                 step_t0 = time.perf_counter()
             t = self.clock_s
             while event_idx < len(pending) and pending[event_idx].at_s <= t:
@@ -387,6 +392,8 @@ class NetworkSimulation:
                 for observer in observers:
                     observer.on_step(snapshot)
             if observing:
+                # netpower: ignore[NP-DET-001] -- same side-channel as
+                # above: latency only, never simulation state.
                 step_durations.append(time.perf_counter() - step_t0)
         if step_durations:
             M_STEP_SECONDS.labels(engine="object").observe_many(

@@ -29,6 +29,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from repro import units
+
 from repro.hardware.catalog import ROUTER_CATALOG, router_spec
 from repro.hardware.router import Port, VirtualRouter, connect
 from repro.hardware.transceiver import (
@@ -205,7 +207,7 @@ class ISPNetwork:
 
     def total_capacity_bps(self) -> float:
         """Sum of all link capacities (one direction)."""
-        return sum(l.speed_gbps for l in self.links) * 1e9
+        return units.gbps_to_bps(sum(l.speed_gbps for l in self.links))
 
     def interface_stats(self) -> Dict[str, int]:
         """Counts used by the §8 external-share observation."""
@@ -246,6 +248,7 @@ class FleetConfig:
 
     @property
     def n_routers(self) -> int:
+        """Total router count across every model in the fleet."""
         return sum(count for _, count in self.model_counts)
 
 

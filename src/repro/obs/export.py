@@ -17,6 +17,7 @@ import math
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
+from repro import units
 from repro.obs.metrics import Histogram, MetricFamily, MetricsRegistry
 from repro.obs.tracing import Tracer
 
@@ -138,8 +139,8 @@ def _chrome_events(span, origin: float, events: List[Dict]) -> None:
     event = {
         "name": span.name,
         "ph": "X",
-        "ts": round((span.wall_start - origin) * 1e6, 3),
-        "dur": round(span.duration_s * 1e6, 3),
+        "ts": round(units.s_to_us(span.wall_start - origin), 3),
+        "dur": round(units.s_to_us(span.duration_s), 3),
         "pid": 1,
         "tid": 1,
         "cat": "netpower",

@@ -46,6 +46,7 @@ class JsonLinesFormatter(logging.Formatter):
     """One JSON object per record: ts, level, logger, message, extras."""
 
     def format(self, record: logging.LogRecord) -> str:
+        """Render one record as a single JSON line."""
         payload = {
             "ts": round(record.created, 6),
             "level": record.levelname.lower(),
@@ -55,6 +56,9 @@ class JsonLinesFormatter(logging.Formatter):
         payload.update(_extras(record))
         if record.exc_info:
             payload["exception"] = self.formatException(record.exc_info)
+        # netpower: ignore[NP-SCHEMA-001] -- diagnostics stream, not a
+        # persisted report: each line is self-describing (ts/level/
+        # logger/message) and is never re-read by this codebase.
         return json.dumps(payload, default=str)
 
 
@@ -71,6 +75,7 @@ class ConsoleFormatter(logging.Formatter):
         self.bare = bare
 
     def format(self, record: logging.LogRecord) -> str:
+        """Render one record as console text (bare or prefixed)."""
         message = record.getMessage()
         extras = _extras(record)
         if extras:
@@ -95,6 +100,7 @@ class StreamProxyHandler(logging.Handler):
         self.target = target
 
     def emit(self, record: logging.LogRecord) -> None:
+        """Write the record to the currently installed stream."""
         try:
             stream = getattr(sys, self.target)
             stream.write(self.format(record) + "\n")

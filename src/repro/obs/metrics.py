@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import re
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -71,6 +71,7 @@ class Counter:
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the count."""
         if amount < 0:
             raise ValueError(f"counters only go up; inc({amount})")
         self.value += amount
@@ -85,12 +86,15 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the gauge value."""
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by ``amount``."""
         self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by ``amount``."""
         self.value -= amount
 
 
@@ -121,6 +125,7 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
+        """Record one observation."""
         v = float(value)
         self.sum += v
         self.count += 1
@@ -128,7 +133,8 @@ class Histogram:
         # bucket, matching Prometheus' v <= le.
         self.bucket_counts[np.searchsorted(self._edges, v, side="left")] += 1
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: "np.typing.ArrayLike") -> None:
+        """Record an array-like of observations in one binning pass."""
         arr = np.asarray(values, dtype=float).ravel()
         if arr.size == 0:
             return
@@ -144,6 +150,9 @@ class Histogram:
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+#: Anything a family or handle can hand back to instrumented code.
+Instrument = Union[Counter, Gauge, Histogram, _NoopInstrument]
 
 #: Schema identifier on mergeable registry state documents (the
 #: cross-process form the sweep runner ships worker metrics home in).
@@ -163,7 +172,7 @@ class MetricFamily:
         self.buckets = buckets
         self._children: Dict[Tuple[str, ...], object] = {}
 
-    def labels(self, **label_values):
+    def labels(self, **label_values: object) -> Instrument:
         """The instrument for one combination of label values."""
         extra = set(label_values) - set(self.label_names)
         missing = set(self.label_names) - set(label_values)
@@ -179,7 +188,7 @@ class MetricFamily:
             self._children[key] = child
         return child
 
-    def default(self):
+    def default(self) -> Instrument:
         """The single unlabeled instrument (only for label-less families)."""
         if self.label_names:
             raise ValueError(
@@ -229,15 +238,18 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "",
                 labels: Sequence[str] = ()) -> MetricFamily:
+        """The counter family ``name``, created on first use."""
         return self._family("counter", name, help, labels)
 
     def gauge(self, name: str, help: str = "",
               labels: Sequence[str] = ()) -> MetricFamily:
+        """The gauge family ``name``, created on first use."""
         return self._family("gauge", name, help, labels)
 
     def histogram(self, name: str, help: str = "",
                   labels: Sequence[str] = (),
                   buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        """The histogram family ``name``, created on first use."""
         return self._family("histogram", name, help, labels, buckets)
 
     def families(self) -> List[MetricFamily]:
@@ -245,6 +257,7 @@ class MetricsRegistry:
         return [self._families[n] for n in sorted(self._families)]
 
     def get(self, name: str) -> Optional[MetricFamily]:
+        """The family called ``name``, or ``None``."""
         return self._families.get(name)
 
     # -- mergeable state (cross-process aggregation) -----------------------------
@@ -435,33 +448,39 @@ class InstrumentHandle:
         return registry._family(self.kind, self.name, self.help,
                                 self.label_names, self.buckets)
 
-    def labels(self, **label_values):
+    def labels(self, **label_values: object) -> Instrument:
+        """The live instrument for these labels, or the shared no-op."""
         family = self._resolved()
         return NOOP if family is None else family.labels(**label_values)
 
     # Unlabeled conveniences: no-ops while disabled, else the default child.
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increment the default child (no-op while disabled)."""
         family = self._resolved()
         if family is not None:
             family.default().inc(amount)
 
     def dec(self, amount: float = 1.0) -> None:
+        """Decrement the default child (no-op while disabled)."""
         family = self._resolved()
         if family is not None:
             family.default().dec(amount)
 
     def set(self, value: float) -> None:
+        """Set the default child gauge (no-op while disabled)."""
         family = self._resolved()
         if family is not None:
             family.default().set(value)
 
     def observe(self, value: float) -> None:
+        """Observe into the default child (no-op while disabled)."""
         family = self._resolved()
         if family is not None:
             family.default().observe(value)
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: "np.typing.ArrayLike") -> None:
+        """Batch-observe into the default child (no-op while disabled)."""
         family = self._resolved()
         if family is not None:
             family.default().observe_many(values)

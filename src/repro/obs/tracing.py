@@ -26,7 +26,8 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import (Callable, ContextManager, Dict, Iterator, List,
+                    Optional)
 
 #: Schema identifier stamped on exported trace documents.
 TRACE_SCHEMA = "repro.obs.trace/v1"
@@ -47,7 +48,7 @@ class Span:
         self.sim_start_s: Optional[float] = None
         self.sim_end_s: Optional[float] = None
 
-    def set_attribute(self, key: str, value) -> None:
+    def set_attribute(self, key: str, value: object) -> None:
         """Attach or overwrite one attribute on the span."""
         self.attributes[key] = value
 
@@ -88,7 +89,7 @@ class Tracer:
     @contextmanager
     def span(self, name: str,
              sim_clock: Optional[Callable[[], float]] = None,
-             **attributes) -> Iterator[Span]:
+             **attributes: object) -> Iterator[Span]:
         """Open a span; nests under the innermost open span."""
         sp = Span(name, attributes)
         parent = self._stack[-1] if self._stack else None
@@ -119,6 +120,7 @@ class Tracer:
         }
 
     def to_json(self, indent: int = 2) -> str:
+        """The whole trace rendered as a JSON document string."""
         return json.dumps(self.to_dict(), indent=indent, default=str)
 
 
@@ -190,8 +192,12 @@ def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
 
 
 def span(name: str, sim_clock: Optional[Callable[[], float]] = None,
-         **attributes):
-    """Open a span on the active tracer, or a shared no-op when disabled."""
+         **attributes: object) -> ContextManager[Span]:
+    """Open a span on the active tracer, or a shared no-op when disabled.
+
+    The disabled path hands back a reusable null context whose span
+    duck-types :class:`Span`.
+    """
     tracer = _active
     if tracer is None:
         return _NULL_CONTEXT

@@ -74,7 +74,7 @@ def energy_report(series: TimeSeries, label: str = "",
         energy_kwh=energy,
         annualised_kwh=annualised,
         cost_per_year=annualised * tariff_per_kwh,
-        co2e_kg_per_year=annualised * gco2_per_kwh / 1000.0)
+        co2e_kg_per_year=annualised * gco2_per_kwh / units.KILO)
 
 
 def savings_report(saved_w: float, label: str = "savings",
@@ -90,7 +90,7 @@ def savings_report(saved_w: float, label: str = "savings",
         mean_power_w=saved_w, energy_kwh=annualised,
         annualised_kwh=annualised,
         cost_per_year=annualised * tariff_per_kwh,
-        co2e_kg_per_year=annualised * gco2_per_kwh / 1000.0)
+        co2e_kg_per_year=annualised * gco2_per_kwh / units.KILO)
 
 
 def rank_routers(traces: Mapping[str, TimeSeries],

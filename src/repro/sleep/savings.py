@@ -12,13 +12,16 @@ comes from per-port-type averages of the fitted models (Table 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional
 
 from repro.hardware.catalog import DEFAULT_P_PORT_W
 from repro.hardware.transceiver import PortType
 from repro.network.topology import ISPNetwork
 from repro.obs import metrics
 from repro.sleep.hypnos import SleepPlan
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.model import PowerModel
 
 M_SLEEP_LOWER = metrics.gauge(
     "netpower_sleep_savings_lower_watts",
@@ -56,7 +59,8 @@ class SavingsEstimate:
                 f"{self.reference_power_w:.0f} W)")
 
 
-def table5_from_models(models) -> Dict[PortType, float]:
+def table5_from_models(models: Iterable["PowerModel"],
+                       ) -> Dict[PortType, float]:
     """Per-port-type ``P_port`` averages from fitted models (Table 5).
 
     ``models`` is an iterable of fitted :class:`~repro.core.model.PowerModel`

@@ -147,6 +147,7 @@ class ScenarioMatrix:
 
     @property
     def n_jobs(self) -> int:
+        """Number of jobs in the full cartesian product."""
         return (len(self.topologies) * len(self.traffics)
                 * len(self.sleeps) * len(self.psus))
 

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import units
 from repro import bench
 from repro.hardware.psu import SharingPolicy
 from repro.monitor.aggregate import AggregatingObserver
@@ -185,7 +186,7 @@ def run_job(spec: JobSpec, root_seed: int,
         "step_s": spec.step_s,
         engine: {
             "wall_s": round(wall_s, 4),
-            "ms_per_step": round(1000.0 * wall_s / max(n_steps, 1), 4),
+            "ms_per_step": round(units.s_to_ms(wall_s) / max(n_steps, 1), 4),
         },
     }
     return entry, bench_row

@@ -29,6 +29,9 @@ _HEADER = struct.Struct(">I")
 #: Upper bound on a frame's payload (matches gRPC's default 4 MiB).
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
+#: Version stamp carried by every encoded frame.
+WIRE_SCHEMA = "repro.telemetry.wire/v1"
+
 
 # ---------------------------------------------------------------------------
 # Messages
@@ -71,6 +74,7 @@ class MeasurementChunk:
     @classmethod
     def from_samples(cls, unit_id: str, seq: int,
                      samples: List[PowerSample]) -> "MeasurementChunk":
+        """Pack buffered samples into one chunk message."""
         return cls(unit_id=unit_id, seq=seq,
                    timestamps=tuple(s.timestamp_s for s in samples),
                    power_w=tuple(s.power_w for s in samples))
@@ -126,6 +130,7 @@ def encode(message: Message) -> bytes:
     """Message -> framed bytes."""
     payload = dict(message.__dict__)
     payload["_type"] = message.TYPE
+    payload["_schema"] = WIRE_SCHEMA
     body = json.dumps(payload).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ValueError(f"frame too large: {len(body)} bytes")
@@ -135,6 +140,10 @@ def encode(message: Message) -> bytes:
 def decode_payload(body: bytes) -> Message:
     """One frame's payload -> message."""
     data = json.loads(body.decode("utf-8"))
+    schema = data.pop("_schema", None)
+    if schema is not None and schema != WIRE_SCHEMA:
+        raise ValueError(f"unsupported wire schema {schema!r}; this "
+                         f"library speaks {WIRE_SCHEMA!r}")
     type_tag = data.pop("_type", None)
     cls = _TYPES.get(type_tag)
     if cls is None:

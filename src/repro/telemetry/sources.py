@@ -69,6 +69,7 @@ class AutopowerSource:
         self.clients = clients  # hostname -> AutopowerClient
 
     def sample(self, hostname: str, t_s: float) -> Optional[float]:
+        """The unit's latest buffered power reading, if it has one."""
         client = self.clients.get(hostname)
         if client is None:
             return None
@@ -197,6 +198,7 @@ class CounterRateModelSource:
         return float(delta) / dt
 
     def sample(self, hostname: str, t_s: float) -> Optional[float]:
+        """Model-predicted power from the router's recent SNMP counters."""
         agent = self.collector.agents.get(hostname)
         if agent is None:
             return None

@@ -91,6 +91,26 @@ SNMP_POLL_PERIOD_S = 5 * SECONDS_PER_MINUTE
 AUTOPOWER_SAMPLE_PERIOD_S = 0.5
 
 
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLI
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * MILLI
+
+
+def s_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / MICRO
+
+
+def us_to_s(microseconds: float) -> float:
+    """Convert microseconds to seconds."""
+    return microseconds * MICRO
+
+
 def hours(n: float) -> float:
     """``n`` hours expressed in seconds."""
     return n * SECONDS_PER_HOUR

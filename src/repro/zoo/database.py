@@ -15,6 +15,9 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.model import PowerModel
 
+#: Version stamp for the zoo's JSON document.
+ZOO_SCHEMA = "repro.zoo/v1"
+
 
 @dataclass(frozen=True)
 class Provenance:
@@ -28,6 +31,7 @@ class Provenance:
     date: str = ""
 
     def to_dict(self) -> dict:
+        """JSON-able form (embedded in every zoo record)."""
         return asdict(self)
 
 
@@ -104,7 +108,7 @@ class NetworkPowerZoo:
 
     # -- contribution -------------------------------------------------------------
 
-    def add(self, record) -> None:
+    def add(self, record: object) -> None:
         """Contribute one record (typed; unknown kinds are rejected)."""
         kind = getattr(type(record), "KIND", None)
         if kind not in self._records:
@@ -176,12 +180,18 @@ class NetworkPowerZoo:
                 else:
                     entries.append(asdict(record))
             payload[kind] = entries
+        payload["schema"] = ZOO_SCHEMA
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "NetworkPowerZoo":
         """Inverse of :meth:`to_json`."""
         payload = json.loads(text)
+        schema = payload.pop("schema", None)
+        if schema is not None and schema != ZOO_SCHEMA:
+            raise ValueError(
+                f"unsupported zoo schema {schema!r}; this library reads "
+                f"{ZOO_SCHEMA!r}")
         zoo = cls()
         for kind, entries in payload.items():
             record_cls = _RECORD_KINDS.get(kind)

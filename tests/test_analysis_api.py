@@ -1,0 +1,201 @@
+"""NP-API fixtures: docstrings, annotations, and ``__all__`` honesty."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_source
+
+
+def check(text: str, path: str = "zoo/fixture.py"):
+    return check_source(textwrap.dedent(text).lstrip("\n"), path)
+
+
+def ids(result) -> list:
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestDocstrings:
+    def test_missing_module_docstring(self):
+        result = check("x = 1\n")
+        assert "NP-API-001" in ids(result)
+
+    def test_missing_function_docstring(self):
+        result = check('''
+            """Mod."""
+
+
+            def f() -> None:
+                return None
+            ''')
+        assert ids(result) == ["NP-API-001"]
+
+    def test_missing_class_and_method_docstrings(self):
+        result = check('''
+            """Mod."""
+
+
+            class Thing:
+                def act(self) -> None:
+                    return None
+            ''')
+        assert ids(result) == ["NP-API-001", "NP-API-001"]
+
+    def test_private_and_nested_defs_exempt(self):
+        result = check('''
+            """Mod."""
+
+
+            def _helper():
+                def inner():
+                    return 1
+                return inner
+            ''')
+        assert result.findings == []
+
+    def test_documented_surface_passes(self):
+        result = check('''
+            """Mod."""
+
+
+            class Thing:
+                """A thing."""
+
+                def act(self) -> None:
+                    """Act."""
+                    return None
+            ''')
+        assert result.findings == []
+
+
+class TestAnnotations:
+    def test_unannotated_parameter(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(x) -> None:
+                """F."""
+                return None
+            ''')
+        assert ids(result) == ["NP-API-002"]
+        assert "x" in result.findings[0].message
+
+    def test_missing_return_annotation(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(x: int):
+                """F."""
+                return x
+            ''')
+        assert ids(result) == ["NP-API-002"]
+
+    def test_self_and_cls_exempt(self):
+        result = check('''
+            """Mod."""
+
+
+            class Thing:
+                """A thing."""
+
+                def act(self, n: int) -> int:
+                    """Act."""
+                    return n
+
+                @classmethod
+                def make(cls) -> "Thing":
+                    """Make."""
+                    return cls()
+            ''')
+        assert result.findings == []
+
+    def test_starargs_need_annotations(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(*args, **kwargs) -> None:
+                """F."""
+                return None
+            ''')
+        assert ids(result) == ["NP-API-002"]
+        assert "args" in result.findings[0].message
+        assert "kwargs" in result.findings[0].message
+
+    def test_fully_annotated_passes(self):
+        result = check('''
+            """Mod."""
+            from typing import Optional
+
+
+            def f(x: int, *rest: float,
+                  flag: Optional[bool] = None,
+                  **extra: object) -> int:
+                """F."""
+                return x
+            ''')
+        assert result.findings == []
+
+
+class TestDunderAll:
+    def test_phantom_export_flagged(self):
+        result = check('''
+            """Mod."""
+
+            __all__ = ["real", "phantom"]
+
+
+            def real() -> None:
+                """R."""
+                return None
+            ''')
+        assert ids(result) == ["NP-API-003"]
+        assert "phantom" in result.findings[0].message
+
+    def test_duplicate_export_flagged(self):
+        result = check('''
+            """Mod."""
+
+            __all__ = ["real", "real"]
+
+
+            def real() -> None:
+                """R."""
+                return None
+            ''')
+        assert ids(result) == ["NP-API-003"]
+
+    def test_imports_and_assigns_count_as_bindings(self):
+        result = check('''
+            """Mod."""
+            import json
+            from os.path import join as path_join
+
+            CONSTANT = 3
+
+            __all__ = ["CONSTANT", "json", "path_join"]
+            ''')
+        assert result.findings == []
+
+    def test_star_import_disables_binding_check(self):
+        result = check('''
+            """Mod."""
+            from os.path import *
+
+            __all__ = ["anything"]
+            ''')
+        assert "NP-API-003" not in ids(result)
+
+
+class TestPackageSelfConsistency:
+    def test_analysis_package_all_is_sorted_and_real(self):
+        import repro.analysis as analysis
+        assert analysis.__all__ == sorted(analysis.__all__)
+        for name in analysis.__all__:
+            assert hasattr(analysis, name)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

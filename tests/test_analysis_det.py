@@ -1,0 +1,239 @@
+"""NP-DET fixtures: each determinism rule triggers and passes correctly."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_source
+
+
+def check(text: str, path: str = "core/fixture.py"):
+    return check_source(textwrap.dedent(text).lstrip("\n"), path)
+
+
+def ids(result) -> list:
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestWallclock:
+    @pytest.mark.parametrize("call", [
+        "time.time()", "time.time_ns()", "time.monotonic()",
+        "time.perf_counter()", "time.process_time()",
+    ])
+    def test_time_module_reads_flagged(self, call):
+        result = check(f'''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                {call}
+            ''')
+        assert ids(result) == ["NP-DET-001"]
+
+    @pytest.mark.parametrize("call", [
+        "datetime.datetime.now()", "datetime.date.today()",
+        "datetime.datetime.utcnow()",
+    ])
+    def test_datetime_reads_flagged(self, call):
+        result = check(f'''
+            """Mod."""
+            import datetime
+
+
+            def f() -> None:
+                """F."""
+                {call}
+            ''')
+        assert ids(result) == ["NP-DET-001"]
+
+    def test_sleep_is_not_a_read(self):
+        result = check('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.sleep(0.1)
+            ''')
+        assert "NP-DET-001" not in ids(result)
+
+    def test_outside_det_packages_unflagged(self):
+        result = check('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()
+            ''', path="lab/fixture.py")
+        assert "NP-DET-001" not in ids(result)
+
+    @pytest.mark.parametrize("path", ["obs/tracing.py", "bench.py",
+                                      "sweep/runner.py"])
+    def test_sanctioned_timing_paths(self, path):
+        result = check('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.perf_counter()
+            ''', path=path)
+        assert "NP-DET-001" not in ids(result)
+
+
+class TestAmbientRng:
+    @pytest.mark.parametrize("call", [
+        "random.random()", "random.randint(0, 5)", "random.shuffle(xs)",
+        "secrets.token_hex()", "os.urandom(8)", "uuid.uuid4()",
+        "uuid.uuid1()",
+    ])
+    def test_ambient_sources_flagged(self, call):
+        result = check(f'''
+            """Mod."""
+            import os
+            import random
+            import secrets
+            import uuid
+
+
+            def f(xs: list) -> None:
+                """F."""
+                {call}
+            ''')
+        assert ids(result) == ["NP-DET-002"]
+
+    @pytest.mark.parametrize("call", [
+        "np.random.rand()", "np.random.seed(0)", "np.random.normal()",
+        "numpy.random.randint(3)",
+    ])
+    def test_legacy_numpy_global_api_flagged(self, call):
+        result = check(f'''
+            """Mod."""
+            import numpy
+            import numpy as np
+
+
+            def f() -> None:
+                """F."""
+                {call}
+            ''')
+        assert ids(result) == ["NP-DET-002"]
+
+    def test_seeded_generator_allowed(self):
+        result = check('''
+            """Mod."""
+            import numpy as np
+
+
+            def f(seed: int) -> float:
+                """F."""
+                rng = np.random.default_rng(seed)
+                return float(rng.normal())
+            ''')
+        assert result.findings == []
+
+    def test_uuid5_is_deterministic_and_allowed(self):
+        result = check('''
+            """Mod."""
+            import uuid
+
+
+            def f(name: str) -> uuid.UUID:
+                """F."""
+                return uuid.uuid5(uuid.NAMESPACE_DNS, name)
+            ''')
+        assert "NP-DET-002" not in ids(result)
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(xs: list) -> None:
+                """F."""
+                for x in set(xs):
+                    print(x)
+            ''')
+        assert ids(result) == ["NP-DET-003"]
+
+    def test_for_over_set_literal_flagged(self):
+        result = check('''
+            """Mod."""
+
+
+            def f() -> None:
+                """F."""
+                for x in {"a", "b"}:
+                    print(x)
+            ''')
+        assert ids(result) == ["NP-DET-003"]
+
+    def test_comprehension_over_set_algebra_flagged(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(a: list, b: set) -> list:
+                """F."""
+                return [x for x in set(a) | b]
+            ''')
+        assert ids(result) == ["NP-DET-003"]
+
+    def test_bare_name_bitor_is_not_assumed_to_be_a_set(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(a: int, b: int) -> list:
+                """F."""
+                return [x for x in range(a | b)]
+            ''')
+        assert result.findings == []
+
+    def test_enumerate_unwrapped(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(xs: list) -> None:
+                """F."""
+                for i, x in enumerate(set(xs)):
+                    print(i, x)
+            ''')
+        assert ids(result) == ["NP-DET-003"]
+
+    def test_sorted_set_allowed(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(xs: list) -> None:
+                """F."""
+                for x in sorted(set(xs)):
+                    print(x)
+            ''')
+        assert result.findings == []
+
+    def test_plain_list_iteration_allowed(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(xs: list) -> None:
+                """F."""
+                for x in xs:
+                    print(x)
+            ''')
+        assert result.findings == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,255 @@
+"""The ``repro.analysis`` rule engine: registry, scoping, suppression."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (CheckConfig, Finding, Severity, all_rules,
+                            check_paths, check_source)
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def rule_ids(result) -> list:
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestRegistry:
+    def test_rules_are_sorted_by_id(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_every_family_is_represented(self):
+        families = {rule.rule_id.rsplit("-", 1)[0] for rule in all_rules()}
+        assert families == {"NP-DET", "NP-UNIT", "NP-API", "NP-SCHEMA"}
+
+    def test_severities_are_valid(self):
+        for rule in all_rules():
+            assert isinstance(rule.severity, Severity)
+            assert rule.summary
+
+
+class TestSelect:
+    SOURCE = src('''
+        """Mod."""
+        import time
+
+
+        def f() -> None:
+            """F."""
+            time.time()
+        ''')
+
+    def test_select_family(self):
+        config = CheckConfig(select=("NP-DET",))
+        result = check_source(self.SOURCE, "core/fixture.py", config)
+        assert rule_ids(result) == ["NP-DET-001"]
+
+    def test_select_exact_rule(self):
+        config = CheckConfig(select=("NP-DET-001",))
+        result = check_source(self.SOURCE, "core/fixture.py", config)
+        assert rule_ids(result) == ["NP-DET-001"]
+
+    def test_select_other_family_excludes(self):
+        config = CheckConfig(select=("NP-SCHEMA",))
+        result = check_source(self.SOURCE, "core/fixture.py", config)
+        assert result.findings == []
+
+
+class TestSuppression:
+    def test_trailing_comment_suppresses_own_line(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()  # netpower: ignore[NP-DET-001] -- test fixture
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["NP-DET-001"]
+
+    def test_comment_block_suppresses_next_code_line(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                # netpower: ignore[NP-DET-001] -- a justification that
+                # spans multiple comment lines above the statement
+                time.time()
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["NP-DET-001"]
+
+    def test_file_level_suppression(self):
+        source = src('''
+            """Mod."""
+            # netpower: ignore-file[NP-DET] -- fixture exercises clocks
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()
+                time.monotonic()
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.findings == []
+        assert len(result.suppressed) == 2
+
+    def test_family_prefix_and_star_cover(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()  # netpower: ignore[NP-DET] -- fixture
+                time.monotonic()  # netpower: ignore[*] -- fixture
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.findings == []
+        assert len(result.suppressed) == 2
+
+    def test_unmatched_suppression_is_reported(self):
+        source = src('''
+            """Mod."""
+
+
+            def f() -> None:
+                """F."""
+                return None  # netpower: ignore[NP-DET-001] -- stale
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.findings == []
+        assert len(result.unused_suppressions) == 1
+        path, line, rules = result.unused_suppressions[0]
+        assert path == "core/fixture.py"
+        assert rules == ("NP-DET-001",)
+
+    def test_suppression_for_other_rule_does_not_cover(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()  # netpower: ignore[NP-UNIT-001] -- wrong rule
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert rule_ids(result) == ["NP-DET-001"]
+        assert len(result.unused_suppressions) == 1
+
+
+class TestEngine:
+    def test_syntax_error_becomes_np_parse(self):
+        result = check_source("def broken(:\n", "core/bad.py")
+        assert rule_ids(result) == ["NP-PARSE"]
+        assert not result.ok
+
+    def test_findings_sorted_and_stable(self):
+        source = src('''
+            import time
+
+
+            def f():
+                time.time()
+            ''')
+        result = check_source(source, "core/fixture.py")
+        keys = [f.sort_key for f in result.findings]
+        assert keys == sorted(keys)
+        again = check_source(source, "core/fixture.py")
+        assert result.findings == again.findings
+
+    def test_finding_render_format(self):
+        finding = Finding(rule_id="NP-DET-001", severity=Severity.ERROR,
+                          path="core/model.py", line=3, col=4,
+                          message="boom")
+        assert finding.render() == \
+            "core/model.py:3:4: NP-DET-001 [error] boom"
+
+    def test_det_scope_only_in_det_packages(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()
+            ''')
+        flagged = check_source(source, "core/fixture.py")
+        exempt = check_source(source, "figures.py")
+        assert rule_ids(flagged) == ["NP-DET-001"]
+        assert "NP-DET-001" not in rule_ids(exempt)
+
+    def test_wallclock_allowlist(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.perf_counter()
+            ''')
+        allowed = check_source(source, "sweep/runner.py")
+        assert "NP-DET-001" not in rule_ids(allowed)
+        denied = check_source(source, "sweep/matrix.py")
+        assert "NP-DET-001" in rule_ids(denied)
+
+
+class TestCheckPaths:
+    def test_directory_discovery_and_relative_paths(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "fixture.py").write_text(
+            '"""Mod."""\nimport time\n\n\ndef f() -> None:\n'
+            '    """F."""\n    time.time()\n')
+        result = check_paths([tmp_path])
+        assert result.paths == ["core/fixture.py"]
+        assert rule_ids(result) == ["NP-DET-001"]
+        assert result.findings[0].path == "core/fixture.py"
+
+    def test_missing_reason_still_parses(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()  # netpower: ignore[NP-DET-001]
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.findings == []
+        assert result.suppressed
+
+
+class TestResultMerge:
+    def test_ok_property(self):
+        clean = check_source('"""Mod."""\n', "core/fixture.py")
+        assert clean.ok
+        dirty = check_source("x = 1\n", "core/fixture.py")
+        assert not dirty.ok  # module docstring missing
+
+    def test_merge_accumulates(self):
+        a = check_source('"""Mod."""\n', "core/a.py")
+        b = check_source('"""Mod."""\n', "core/b.py")
+        a.merge(b)
+        assert sorted(a.paths) == ["core/a.py", "core/b.py"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,137 @@
+"""NP-SCHEMA fixtures plus reporter output checks."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (REPORT_SCHEMA, check_source, render_json,
+                            render_rule_listing, render_text)
+
+
+def check(text: str, path: str = "zoo/fixture.py"):
+    return check_source(textwrap.dedent(text).lstrip("\n"), path)
+
+
+def ids(result) -> list:
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestSchemaRule:
+    def test_dump_without_version_flagged(self):
+        result = check('''
+            """Mod."""
+            import json
+
+
+            def save(payload: dict) -> str:
+                """Save."""
+                return json.dumps(payload)
+            ''')
+        assert ids(result) == ["NP-SCHEMA-001"]
+
+    def test_json_dump_to_file_flagged_too(self):
+        result = check('''
+            """Mod."""
+            import json
+
+
+            def save(payload: dict, handle: object) -> None:
+                """Save."""
+                json.dump(payload, handle)
+            ''')
+        assert ids(result) == ["NP-SCHEMA-001"]
+
+    @pytest.mark.parametrize("constant", [
+        'SCHEMA = "repro.fixture/v1"',
+        'DASHBOARD_SCHEMA = "repro.fixture.dash/v2"',
+        'FORMAT_VERSION = "3"',
+    ])
+    def test_version_constant_satisfies_rule(self, constant):
+        result = check(f'''
+            """Mod."""
+            import json
+
+            {constant}
+
+
+            def save(payload: dict) -> str:
+                """Save."""
+                return json.dumps(payload)
+            ''')
+        assert "NP-SCHEMA-001" not in ids(result)
+
+    def test_non_string_version_does_not_count(self):
+        result = check('''
+            """Mod."""
+            import json
+
+            FORMAT_VERSION = 1
+
+
+            def save(payload: dict) -> str:
+                """Save."""
+                return json.dumps(payload)
+            ''')
+        assert ids(result) == ["NP-SCHEMA-001"]
+
+    def test_json_loads_is_not_a_dump(self):
+        result = check('''
+            """Mod."""
+            import json
+
+
+            def load(text: str) -> dict:
+                """Load."""
+                return json.loads(text)
+            ''')
+        assert "NP-SCHEMA-001" not in ids(result)
+
+
+class TestReporters:
+    SOURCE = textwrap.dedent('''
+        """Mod."""
+        import time
+
+
+        def f() -> None:
+            """F."""
+            time.time()
+        ''').lstrip("\n")
+
+    def test_text_report_lines(self):
+        result = check_source(self.SOURCE, "core/fixture.py")
+        text = render_text(result)
+        assert "core/fixture.py:7:4: NP-DET-001 [error]" in text
+        assert "checked 1 file(s): 1 finding(s)" in text
+
+    def test_json_report_is_versioned_and_sorted(self):
+        result = check_source(self.SOURCE, "core/fixture.py")
+        document = json.loads(render_json(result))
+        assert document["schema"] == REPORT_SCHEMA
+        assert document["counts"]["findings"] == 1
+        finding = document["findings"][0]
+        assert finding["rule"] == "NP-DET-001"
+        assert finding["path"] == "core/fixture.py"
+
+    def test_json_report_is_byte_stable(self):
+        a = render_json(check_source(self.SOURCE, "core/fixture.py"))
+        b = render_json(check_source(self.SOURCE, "core/fixture.py"))
+        assert a == b
+
+    def test_unused_suppressions_surface_in_text(self):
+        source = ('"""Mod."""\n\n\ndef f() -> None:\n    """F."""\n'
+                  '    return None  # netpower: ignore[NP-DET-001] -- stale\n')
+        result = check_source(source, "core/fixture.py")
+        text = render_text(result)
+        assert "NP-SUPPRESS" in text
+        assert "matched no finding" in text
+
+    def test_rule_listing_contains_every_family(self):
+        listing = render_rule_listing()
+        for family in ("NP-DET", "NP-UNIT", "NP-API", "NP-SCHEMA"):
+            assert family in listing
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,60 @@
+"""The checker over its own repository: ``src/`` must be clean.
+
+This is the tentpole invariant: every rule passes over the real tree,
+every suppression is justified, and none is stale.  A regression here
+means either new code broke a convention or a suppression rotted.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_paths, parse_suppressions
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def result():
+    assert SRC.is_dir(), f"source tree not found at {SRC}"
+    return check_paths([SRC])
+
+
+def test_source_tree_has_no_unsuppressed_findings(result):
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.ok, f"netpower check found violations:\n{rendered}"
+
+
+def test_no_stale_suppressions(result):
+    assert result.unused_suppressions == [], (
+        "suppressions that match no finding should be deleted: "
+        f"{result.unused_suppressions}")
+
+
+def test_every_file_was_checked(result):
+    # Guard against the discovery step silently skipping the tree.
+    assert len(result.paths) >= 70
+    assert "core/model.py" in result.paths
+    assert "analysis/engine.py" in result.paths
+
+
+def test_every_suppression_in_tree_carries_a_reason():
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        for suppression in parse_suppressions(path.read_text()):
+            if not suppression.reason:
+                missing.append(f"{path.name}:{suppression.line}")
+    assert missing == [], (
+        f"suppressions without a '-- why' justification: {missing}")
+
+
+def test_suppression_budget():
+    # Suppressions are exceptions; if this number creeps up, the
+    # conventions are eroding.  Raise it consciously, not by accident.
+    total = sum(len(parse_suppressions(path.read_text()))
+                for path in SRC.rglob("*.py"))
+    assert total <= 12, f"{total} suppressions in src/repro"
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

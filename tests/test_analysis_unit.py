@@ -1,0 +1,178 @@
+"""NP-UNIT fixtures: scale literals, mixed suffixes, float equality."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_source
+
+
+def check(text: str, path: str = "core/fixture.py"):
+    return check_source(textwrap.dedent(text).lstrip("\n"), path)
+
+
+def ids(result) -> list:
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestScaleLiterals:
+    @pytest.mark.parametrize("expr", [
+        "x * 1e9", "x / 1e-12", "1e6 * x", "x * 1000.0", "x / 1000",
+        "x * 1_000_000",
+    ])
+    def test_multiplicative_scale_factors_flagged(self, expr):
+        result = check(f'''
+            """Mod."""
+
+
+            def f(x: float) -> float:
+                """F."""
+                return {expr}
+            ''')
+        assert ids(result) == ["NP-UNIT-001"]
+
+    def test_power_of_ten_exponent_flagged(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(n: int) -> float:
+                """F."""
+                return 10 ** n
+            ''')
+        assert ids(result) == ["NP-UNIT-001"]
+
+    @pytest.mark.parametrize("expr", [
+        "x * 2.0",         # not a power of ten
+        "x * 0.5",         # not a power of ten
+        "x * 100",         # |exponent| < 3: percentages etc. stay legal
+        "x / 60",          # sexagesimal time, not a unit prefix
+        "max(x, 1e-6)",    # epsilon clamp: call argument, not arithmetic
+        "x > 1e-9",        # tolerance: comparison, not arithmetic
+        "x + 1000",        # additive offsets are NP-UNIT-002's concern
+    ])
+    def test_non_conversions_allowed(self, expr):
+        result = check(f'''
+            """Mod."""
+
+
+            def f(x: float) -> object:
+                """F."""
+                return {expr}
+            ''')
+        assert "NP-UNIT-001" not in ids(result)
+
+    def test_units_module_itself_is_exempt(self):
+        result = check('''
+            """Mod."""
+            GIGA = 1e9
+
+
+            def gbps_to_bps(gbps: float) -> float:
+                """Convert."""
+                return gbps * 1e9
+            ''', path="units.py")
+        assert "NP-UNIT-001" not in ids(result)
+
+
+class TestMixedSuffixes:
+    @pytest.mark.parametrize("expr", [
+        "power_w + energy_j",
+        "rate_gbps - rate_bps",
+        "energy_pj + energy_nj",
+        "t_s - t_ms",
+    ])
+    def test_additive_mixes_flagged(self, expr):
+        result = check(f'''
+            """Mod."""
+
+
+            def f(power_w: float, energy_j: float, rate_gbps: float,
+                  rate_bps: float, energy_pj: float, energy_nj: float,
+                  t_s: float, t_ms: float) -> float:
+                """F."""
+                return {expr}
+            ''')
+        assert ids(result) == ["NP-UNIT-002"]
+
+    def test_ordering_comparison_mix_flagged(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(rate_gbps: float, cap_bps: float) -> bool:
+                """F."""
+                return rate_gbps < cap_bps
+            ''')
+        assert ids(result) == ["NP-UNIT-002"]
+
+    @pytest.mark.parametrize("expr", [
+        "a_w + b_w",           # same unit: fine
+        "power_w * t_s",       # multiplicative: dimension change is the point
+        "energy_j / t_s",      # ditto
+        "power_w + margin",    # bare identifier: unknown, not flagged
+    ])
+    def test_consistent_or_multiplicative_allowed(self, expr):
+        result = check(f'''
+            """Mod."""
+
+
+            def f(a_w: float, b_w: float, power_w: float, t_s: float,
+                  energy_j: float, margin: float) -> float:
+                """F."""
+                return {expr}
+            ''')
+        assert "NP-UNIT-002" not in ids(result)
+
+    def test_attribute_suffixes_recognised(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(report: object, sample: object) -> float:
+                """F."""
+                return report.total_power_w + sample.energy_j
+            ''')
+        assert ids(result) == ["NP-UNIT-002"]
+
+
+class TestFloatEquality:
+    def test_power_equality_flagged_as_warning(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(output_w: float) -> bool:
+                """F."""
+                return output_w == 120.0
+            ''')
+        assert ids(result) == ["NP-UNIT-003"]
+        assert result.findings[0].severity.value == "warning"
+
+    def test_energy_inequality_flagged(self):
+        result = check('''
+            """Mod."""
+
+
+            def f(energy_j: float, other_j: float) -> bool:
+                """F."""
+                return energy_j != other_j
+            ''')
+        assert ids(result) == ["NP-UNIT-003"]
+
+    def test_rate_equality_not_flagged(self):
+        # Only power/energy dimensions are warned on; counters and
+        # configured rates compare exactly all the time.
+        result = check('''
+            """Mod."""
+
+
+            def f(rate_bps: float) -> bool:
+                """F."""
+                return rate_bps == 0
+            ''')
+        assert "NP-UNIT-003" not in ids(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -97,12 +97,24 @@ class TestValidatorScript:
         ok = subprocess.run([sys.executable, str(script), str(out)],
                             capture_output=True, text=True)
         assert ok.returncode == 0, ok.stderr
+        # A version skew is reported as its own failure mode (exit 3),
+        # before any field-level validation.
+        skewed_path = tmp_path / "skewed.json"
+        skewed = json.loads(out.read_text())
+        skewed["schema"] = "repro.monitor.dashboard/v999"
+        skewed_path.write_text(json.dumps(skewed))
+        skew = subprocess.run(
+            [sys.executable, str(script), str(skewed_path)],
+            capture_output=True, text=True)
+        assert skew.returncode == 3
+        assert "schema version mismatch" in skew.stderr
+        # Field-level violations still exit 1.
         bad_path = tmp_path / "bad.json"
         bad = json.loads(out.read_text())
-        bad["schema"] = "nope"
+        del bad["alerts"]
         bad_path.write_text(json.dumps(bad))
         rejected = subprocess.run(
             [sys.executable, str(script), str(bad_path)],
             capture_output=True, text=True)
         assert rejected.returncode == 1
-        assert "expected const" in rejected.stderr
+        assert "schema violation" in rejected.stderr

@@ -1,0 +1,101 @@
+"""Property tests: every ``repro.units`` conversion pair round-trips.
+
+Each converter and its inverse must compose to the identity (to float
+precision) over the physically plausible range, so no pair can silently
+drift apart.  A final check asserts that ``core/model.py`` routes every
+scale factor through :mod:`repro.units` -- the convention the NP-UNIT
+rules enforce repository-wide.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+#: (forward, inverse, strategy) for every conversion pair the module
+#: exports.  Magnitudes span the values the paper actually handles.
+CONVERSION_PAIRS = [
+    ("pj_to_joules", "joules_to_pj",
+     st.floats(min_value=1e-3, max_value=1e9)),
+    ("nj_to_joules", "joules_to_nj",
+     st.floats(min_value=1e-3, max_value=1e9)),
+    ("gbps_to_bps", "bps_to_gbps",
+     st.floats(min_value=1e-3, max_value=1e6)),
+    ("tbps_to_bps", "bps_to_tbps",
+     st.floats(min_value=1e-6, max_value=1e3)),
+    ("s_to_ms", "ms_to_s",
+     st.floats(min_value=1e-6, max_value=1e9)),
+    ("s_to_us", "us_to_s",
+     st.floats(min_value=1e-6, max_value=1e9)),
+]
+
+
+@pytest.mark.parametrize("forward,inverse,strategy", CONVERSION_PAIRS,
+                         ids=[pair[0] for pair in CONVERSION_PAIRS])
+def test_conversion_pairs_round_trip(forward, inverse, strategy):
+    f = getattr(units, forward)
+    g = getattr(units, inverse)
+
+    @given(strategy)
+    def round_trips(value):
+        assert g(f(value)) == pytest.approx(value, rel=1e-12)
+        assert f(g(value)) == pytest.approx(value, rel=1e-12)
+
+    round_trips()
+
+
+@given(st.floats(min_value=1e3, max_value=1e12),
+       st.floats(min_value=64, max_value=1500))
+def test_packet_rate_bit_rate_round_trip(rate_bps, packet_bytes):
+    pps = units.packet_rate(rate_bps, packet_bytes)
+    assert units.bit_rate(pps, packet_bytes) == \
+        pytest.approx(rate_bps, rel=1e-12)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e6))
+def test_mbps_against_gbps(mbps):
+    # Cross-scale consistency: 1000 Mbps must equal 1 Gbps exactly.
+    assert units.mbps_to_bps(mbps) == \
+        pytest.approx(units.gbps_to_bps(mbps / units.KILO), rel=1e-12)
+
+
+@given(st.floats(min_value=0.0, max_value=1e6),
+       st.floats(min_value=1.0, max_value=units.SECONDS_PER_WEEK))
+def test_kwh_inverts_to_mean_power(power_w, duration_s):
+    energy_kwh = units.kwh(power_w, duration_s)
+    recovered_w = energy_kwh * units.KILO * units.SECONDS_PER_HOUR \
+        / duration_s
+    assert recovered_w == pytest.approx(power_w, rel=1e-12, abs=1e-9)
+
+
+def test_scale_constants_are_consistent():
+    assert units.PICO * units.TERA == pytest.approx(1.0)
+    assert units.NANO * units.GIGA == pytest.approx(1.0)
+    assert units.MICRO * units.MEGA == pytest.approx(1.0)
+    assert units.MILLI * units.KILO == pytest.approx(1.0)
+
+
+def test_core_model_uses_only_named_units():
+    """``core/model.py`` contains no bare power-of-ten scale factors.
+
+    The power model is where a silent pJ-vs-W slip would corrupt every
+    downstream figure, so its conversions must all be named
+    ``repro.units`` helpers -- checked here with the same engine that
+    ``netpower check`` runs.
+    """
+    from repro.analysis import CheckConfig, check_source
+
+    model = Path(__file__).resolve().parent.parent \
+        / "src" / "repro" / "core" / "model.py"
+    result = check_source(model.read_text(), "core/model.py",
+                          CheckConfig(select=("NP-UNIT-001",)))
+    assert result.findings == [], \
+        [finding.render() for finding in result.findings]
+    assert result.suppressed == [], \
+        "core/model.py may not suppress NP-UNIT-001"
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

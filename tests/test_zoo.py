@@ -92,7 +92,7 @@ class TestSerialisation:
     def test_json_is_valid_and_sorted(self, populated):
         payload = json.loads(populated.to_json())
         assert set(payload) == {"datasheet", "measurement", "power-model",
-                                "psu"}
+                                "psu", "schema"}
 
     def test_unknown_kind_in_document(self):
         with pytest.raises(ValueError, match="unknown record kind"):
