@@ -10,23 +10,28 @@ Run it as a module::
     python -m repro.bench --quick          # small fleet only, seconds
     python -m repro.bench                  # small + medium, ~2 minutes
     python -m repro.bench --cases large    # 214 routers x 10k steps
+    python -m repro.bench --cases xl xxl   # synthetic 1k / 10k fleets
 
 or through the CLI: ``repro bench --quick``.
 
-Each case builds two *independent* fleets from the same seeds (one per
+Each case builds *independent* fleets from the same seeds (one per
 engine) so neither run perturbs the other's RNG streams or object state;
 equal seeds guarantee the fleets are identical, and the report records
 the maximum relative difference between the two total-power traces.
+Cases above ``xl`` run the vector engine only -- the object loop is
+O(ports) of Python per step and would take the better part of an hour
+at 10k routers -- and each entry records why in ``object_skipped``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import resource
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +41,8 @@ from repro.network import (
     FleetTrafficModel,
     NetworkSimulation,
     build_switch_like_network,
+    generate_synth_network,
+    synth_config,
 )
 from repro.obs import tracing
 
@@ -46,8 +53,11 @@ STEP_S = 300.0
 #: per-phase timings (build / run per engine, cross-check) taken from
 #: the observability spans.  v3 records the seed on every case entry and
 #: merges subset runs into an existing report instead of discarding the
-#: cases that were not re-run.
-SCHEMA = "repro.bench.simulation/v3"
+#: cases that were not re-run.  v4 adds the synthetic-topology cases:
+#: per-case engine lists (``object``/``vector`` entries are ``null`` for
+#: engines that did not run), columnar memory-footprint fields, the SNMP
+#: poll period, and a per-1k-router ms/step normalization.
+SCHEMA = "repro.bench.simulation/v4"
 
 
 @dataclass(frozen=True)
@@ -55,10 +65,19 @@ class BenchCase:
     """One fleet size / duration combination to time."""
 
     name: str
-    config: FleetConfig
     n_steps: int
+    #: Paper fleet to build (mutually exclusive with ``synth``).
+    config: Optional[FleetConfig] = None
+    #: Synthetic preset name (:data:`repro.network.SYNTH_PRESETS`).
+    synth: Optional[str] = None
     #: Demands drawn by the traffic model (None = model default).
     n_demands: Optional[int] = None
+    #: Engines timed for this case, in run order.
+    engines: Tuple[str, ...] = ("object", "vector")
+    #: Recorded in the report when the object engine is not run.
+    object_skipped: Optional[str] = None
+    #: SNMP poll period override (None = every 300 s step).
+    snmp_period_s: Optional[float] = None
 
 
 def _scaled_counts(factor: int) -> tuple:
@@ -66,9 +85,16 @@ def _scaled_counts(factor: int) -> tuple:
                  for name, count in FleetConfig.model_counts)
 
 
+_OBJECT_SKIP_REASON = (
+    "object engine is O(ports) Python per step; estimated well over "
+    "30 min at this size -- xl is the last cross-checked rung")
+
 #: The benchmark suite, smallest first.  ``small`` finishes in seconds
 #: and is what ``--quick`` (and the smoke test) runs; ``large`` is the
-#: 2x-fleet, 10k-step case the >=10x speedup target is measured on.
+#: 2x-fleet, 10k-step case the >=10x speedup target is measured on; the
+#: synthetic rungs (``xl``/``xxl``/``xxxl``) exercise the generator from
+#: :mod:`repro.network.synth` at 1k/10k/100k routers.  ``xxxl`` is
+#: opt-in (never in :data:`DEFAULT_CASES`): pass ``--cases xxxl``.
 CASES: Dict[str, BenchCase] = {
     "small": BenchCase(
         name="small",
@@ -100,15 +126,49 @@ CASES: Dict[str, BenchCase] = {
         ),
         n_steps=10000,
     ),
+    "xl": BenchCase(
+        name="xl",
+        synth="synth-1k",
+        n_steps=600,
+    ),
+    "xxl": BenchCase(
+        name="xxl",
+        synth="synth-10k",
+        n_steps=2000,
+        engines=("vector",),
+        object_skipped=_OBJECT_SKIP_REASON,
+        snmp_period_s=3600.0,
+    ),
+    "xxxl": BenchCase(
+        name="xxxl",
+        synth="synth-100k",
+        n_steps=50,
+        n_demands=400,
+        engines=("vector",),
+        object_skipped=_OBJECT_SKIP_REASON,
+        snmp_period_s=7200.0,
+    ),
 }
 
 DEFAULT_CASES = ("small", "medium")
 
 
+def _case_routers(case: BenchCase) -> int:
+    """Router count a case will build, for the progress line."""
+    if case.synth is not None:
+        return synth_config(case.synth).n_routers
+    config = case.config if case.config is not None else FleetConfig()
+    return config.n_routers
+
+
 def _build_simulation(case: BenchCase, seed: int) -> NetworkSimulation:
     """A fresh fleet + traffic + simulation from three derived seeds."""
-    network = build_switch_like_network(
-        case.config, rng=np.random.default_rng(seed))
+    if case.synth is not None:
+        network = generate_synth_network(
+            synth_config(case.synth), rng=np.random.default_rng(seed))
+    else:
+        network = build_switch_like_network(
+            case.config, rng=np.random.default_rng(seed))
     kwargs = {} if case.n_demands is None else {"n_demands": case.n_demands}
     traffic = FleetTrafficModel(
         network, rng=np.random.default_rng(seed + 1), **kwargs)
@@ -118,7 +178,7 @@ def _build_simulation(case: BenchCase, seed: int) -> NetworkSimulation:
 
 def run_case(case: BenchCase, seed: int,
              steps_override: Optional[int] = None) -> Dict:
-    """Time both engines on one case and return its report entry.
+    """Time a case's engines and return its report entry.
 
     Timing comes from :mod:`repro.obs.tracing` spans -- one ``bench.case``
     root with ``bench.build`` / ``bench.run`` children per engine and a
@@ -132,18 +192,40 @@ def run_case(case: BenchCase, seed: int,
         return _run_case_traced(case, seed, steps_override)
 
 
+def _engine_entry(wall_s: float, n_steps: int, routers: int) -> Dict:
+    """Timing dict for one engine run.
+
+    ``ms_per_step`` is wall time over the step count, so one-time costs
+    (fleet build happens outside this span, but columnar init and the
+    final sensor export do not) amortize across the run the same way
+    they do in production sweeps.  ``ms_per_step_per_1k_routers``
+    normalizes by fleet size -- the number that must hold roughly flat
+    (or shrink) up the ladder for scaling to be sublinear.
+    """
+    ms_per_step = units.s_to_ms(wall_s) / n_steps
+    return {
+        "wall_s": round(wall_s, 4),
+        "ms_per_step": round(ms_per_step, 4),
+        "ms_per_step_per_1k_routers": round(
+            ms_per_step * units.KILO / routers, 4),
+    }
+
+
 def _run_case_traced(case: BenchCase, seed: int,
                      steps_override: Optional[int] = None) -> Dict:
     n_steps = steps_override if steps_override else case.n_steps
     duration_s = n_steps * STEP_S
+    snmp_period_s = float(case.snmp_period_s if case.snmp_period_s is not None
+                          else units.SNMP_POLL_PERIOD_S)
 
-    timings: Dict[str, Dict[str, float]] = {}
+    timings: Dict[str, Optional[Dict]] = {"object": None, "vector": None}
     phases: Dict = {}
     traces: Dict[str, np.ndarray] = {}
     fleet_shape: Dict[str, int] = {}
+    memory: Optional[Dict] = None
     with tracing.span("bench.case", case=case.name, n_steps=n_steps,
                       seed=seed):
-        for engine in ("object", "vector"):
+        for engine in case.engines:
             with tracing.span("bench.build", engine=engine) as build_span:
                 sim = _build_simulation(case, seed)
             if not fleet_shape:
@@ -155,36 +237,55 @@ def _run_case_traced(case: BenchCase, seed: int,
                 }
             with tracing.span("bench.run", engine=engine) as run_span:
                 result = sim.run(duration_s=duration_s, step_s=STEP_S,
+                                 snmp_period_s=snmp_period_s,
                                  engine=engine)
-            wall_s = run_span.duration_s
-            timings[engine] = {
-                "wall_s": round(wall_s, 4),
-                "ms_per_step": round(units.s_to_ms(wall_s) / n_steps, 4),
-            }
+            timings[engine] = _engine_entry(run_span.duration_s, n_steps,
+                                            fleet_shape["routers"])
             phases[engine] = {
                 "build_s": round(build_span.duration_s, 4),
                 "run_s": round(run_span.duration_s, 4),
             }
             traces[engine] = result.total_power.values
+            if engine == "vector" and sim.last_vector_engine is not None:
+                footprint = sim.last_vector_engine.state.memory_footprint()
+                # ru_maxrss is KiB on Linux; a process-lifetime high-water
+                # mark, so it includes the object fleet and earlier cases.
+                peak_rss = resource.getrusage(
+                    resource.RUSAGE_SELF).ru_maxrss * 1024
+                memory = {
+                    "state_bytes": int(footprint["bytes_total"]),
+                    "state_bytes_per_router": round(
+                        footprint["bytes_per_router"], 1),
+                    "peak_rss_bytes": int(peak_rss),
+                }
 
-        with tracing.span("bench.crosscheck") as check_span:
-            obj, vec = traces["object"], traces["vector"]
-            rel_err = float(np.max(
-                np.abs(vec - obj) / np.maximum(np.abs(obj), 1e-12)))
-        phases["crosscheck_s"] = round(check_span.duration_s, 6)
-    return {
+        rel_err: Optional[float] = None
+        if "object" in traces and "vector" in traces:
+            with tracing.span("bench.crosscheck") as check_span:
+                obj, vec = traces["object"], traces["vector"]
+                rel_err = float(np.max(
+                    np.abs(vec - obj) / np.maximum(np.abs(obj), 1e-12)))
+            phases["crosscheck_s"] = round(check_span.duration_s, 6)
+    obj_t, vec_t = timings["object"], timings["vector"]
+    entry = {
         "name": case.name,
         **fleet_shape,
         "seed": seed,
         "n_steps": n_steps,
         "step_s": STEP_S,
-        "object": timings["object"],
-        "vector": timings["vector"],
+        "snmp_period_s": snmp_period_s,
+        "engines": list(case.engines),
+        "object": obj_t,
+        "vector": vec_t,
+        "memory": memory,
         "phases": phases,
-        "speedup": round(
-            timings["object"]["wall_s"] / timings["vector"]["wall_s"], 2),
+        "speedup": (round(obj_t["wall_s"] / vec_t["wall_s"], 2)
+                    if obj_t and vec_t else None),
         "total_power_max_rel_err": rel_err,
     }
+    if case.object_skipped is not None:
+        entry["object_skipped"] = case.object_skipped
+    return entry
 
 
 def previous_cases(output: Path) -> Dict[str, Dict]:
@@ -210,6 +311,26 @@ def previous_cases(output: Path) -> Dict[str, Dict]:
             if isinstance(c, dict) and isinstance(c.get("name"), str)}
 
 
+def _summary_line(entry: Dict) -> str:
+    """One human line per finished case, engines present or not."""
+    parts = []
+    for engine in ("object", "vector"):
+        timing = entry.get(engine)
+        if timing:
+            parts.append(f"{engine} {timing['wall_s']:.2f}s "
+                         f"({timing['ms_per_step']:.2f} ms/step)")
+    line = ", ".join(parts)
+    if entry.get("speedup") is not None:
+        line += f" -> {entry['speedup']:.1f}x"
+    if entry.get("total_power_max_rel_err") is not None:
+        line += f" (max rel err {entry['total_power_max_rel_err']:.2e})"
+    memory = entry.get("memory")
+    if memory:
+        line += (f", columnar state "
+                 f"{memory['state_bytes'] / units.MEGA:.1f} MB")
+    return line
+
+
 def run_benchmarks(case_names: Sequence[str], seed: int,
                    output: Path,
                    steps_override: Optional[int] = None,
@@ -228,17 +349,14 @@ def run_benchmarks(case_names: Sequence[str], seed: int,
     entries: List[Dict] = []
     for name in case_names:
         case = CASES[name]
-        print(f"[{name}] {case.config.n_routers} routers, "
-              f"{steps_override or case.n_steps} steps ...",
+        print(f"[{name}] {_case_routers(case)} routers, "
+              f"{steps_override or case.n_steps} steps, "
+              f"engines {'+'.join(case.engines)} ...",
               file=stream, flush=True)
         entry = run_case(case, seed, steps_override=steps_override)
         entries.append(entry)
         merged[name] = entry
-        print(f"[{name}] object {entry['object']['wall_s']:.2f}s, "
-              f"vector {entry['vector']['wall_s']:.2f}s "
-              f"-> {entry['speedup']:.1f}x "
-              f"(max rel err {entry['total_power_max_rel_err']:.2e})",
-              file=stream, flush=True)
+        print(f"[{name}] {_summary_line(entry)}", file=stream, flush=True)
     order = {name: i for i, name in enumerate(CASES)}
     report = {
         "schema": SCHEMA,

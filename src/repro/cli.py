@@ -15,6 +15,8 @@ Mirrors how the paper's released artifacts are used from a shell:
   engines and write ``BENCH_simulation.json``;
 * ``netpower monitor``     -- run a small fleet with the continuous
   monitor attached and write a dashboard snapshot (JSON + HTML);
+* ``netpower topo``        -- generate a deterministic synthetic
+  multi-tier fleet and export its inventory (docs/TOPOLOGY.md);
 * ``netpower sweep``       -- run a scenario matrix across worker
   processes and write a deterministic sweep report (docs/SWEEP.md);
 * ``netpower check``       -- the AST-based invariant checker behind the
@@ -153,7 +155,8 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="run only the small case (a few seconds)")
     bench.add_argument("--cases", nargs="+", metavar="CASE",
-                       help="cases to run: small, medium, large")
+                       help="cases to run: small, medium, large, "
+                            "xl, xxl, xxxl")
     bench.add_argument("--steps", type=int, default=None,
                        help="override the per-case step count")
     bench.add_argument("--output", "-o", default="BENCH_simulation.json",
@@ -193,12 +196,28 @@ def _parser() -> argparse.ArgumentParser:
     check.add_argument("--list-rules", action="store_true",
                        help="list every registered rule and exit")
 
+    topo = sub.add_parser(
+        "topo", parents=[common],
+        help="generate a deterministic synthetic multi-tier fleet "
+             "(docs/TOPOLOGY.md)")
+    topo.add_argument("--preset", default="synth-1k",
+                      help="synth preset: synth-200, synth-1k, "
+                           "synth-10k, synth-100k (default: %(default)s)")
+    topo.add_argument("--routers", type=int, default=None,
+                      help="override the preset's total router count")
+    topo.add_argument("--backbone", type=int, default=None,
+                      help="override the preset's backbone router count")
+    topo.add_argument("--output", "-o", metavar="PATH", default=None,
+                      help="write the fleet inventory JSON here "
+                           "(default: summary only)")
+
     sweep = sub.add_parser(
         "sweep", parents=[common],
         help="sharded multiprocess scenario sweep (docs/SWEEP.md)")
     sweep.add_argument("--preset", default=None,
-                       help="built-in matrix: demo, sleep-policy, psu "
-                            "(default: demo unless --matrix is given)")
+                       help="built-in matrix: demo, sleep-policy, psu, "
+                            "topo-xl (default: demo unless --matrix is "
+                            "given)")
     sweep.add_argument("--matrix", metavar="PATH", default=None,
                        help="JSON scenario matrix file (docs/SWEEP.md)")
     sweep.add_argument("--workers", type=int, default=1,
@@ -727,6 +746,49 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_topo(args) -> int:
+    import dataclasses
+
+    from repro.network import (FleetInventory, generate_synth_network,
+                               synth_config)
+
+    try:
+        config = synth_config(args.preset)
+    except ValueError as exc:
+        _err(f"error: {exc}")
+        return 2
+    overrides = {}
+    if args.routers is not None:
+        overrides["n_routers"] = args.routers
+    if args.backbone is not None:
+        overrides["n_backbone"] = args.backbone
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    try:
+        network = generate_synth_network(
+            config, rng=np.random.default_rng(args.seed))
+    except ValueError as exc:
+        _err(f"error: {exc}")
+        return 2
+    stats = network.interface_stats()
+    share = (stats["external_interfaces"] / stats["total_interfaces"]
+             if stats["total_interfaces"] else 0.0)
+    _out(f"preset             : {args.preset}")
+    _out(f"routers            : {len(network.routers)}")
+    _out(f"pops               : {len(network.pops)}")
+    _out(f"links              : {len(network.links)} "
+         f"({len(network.internal_links())} internal, "
+         f"{len(network.external_links())} external)")
+    _out(f"external share     : {100 * share:.1f} % of interfaces")
+    _out(f"total wall power   : {network.total_wall_power_w():,.0f} W")
+    if args.output:
+        document = FleetInventory.capture(network).to_json()
+        with open(args.output, "w") as handle:
+            handle.write(document + "\n")
+        _out(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_check(args) -> int:
     from pathlib import Path
 
@@ -765,6 +827,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "rate-study": _cmd_rate_study,
     "bench": _cmd_bench,
+    "topo": _cmd_topo,
     "monitor": _cmd_monitor,
     "sweep": _cmd_sweep,
     "check": _cmd_check,

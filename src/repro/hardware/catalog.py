@@ -13,6 +13,7 @@ ground truth and must recover or approximate them through measurements.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -151,8 +152,16 @@ class RouterModelSpec:
 
     @property
     def class_map(self) -> Dict[Tuple[PortType, Reach, float], InterfaceClassTruth]:
-        """Interface classes keyed for lookup."""
-        return {cls.key: cls for cls in self.interface_classes}
+        """Interface classes keyed for lookup.
+
+        Built once per (frozen, immutable) spec and cached: at fleet
+        scale this is on the hot path of columnising 10^5+ ports.
+        """
+        cached = self.__dict__.get("_class_map")
+        if cached is None:
+            cached = {cls.key: cls for cls in self.interface_classes}
+            object.__setattr__(self, "_class_map", cached)
+        return cached
 
     def find_class(self, port_type: PortType, reach: Reach,
                    speed_gbps: float) -> InterfaceClassTruth:
@@ -160,8 +169,24 @@ class RouterModelSpec:
 
         Fleet routers carry modules the lab never characterised; their
         truth comes from :func:`default_class_truth`, which mirrors the
-        per-port-type averages of Table 5.
+        per-port-type averages of Table 5.  Results are memoized per
+        class key -- every input is frozen, so the lookup is a pure
+        function of ``(port_type, reach, speed_gbps)``.
         """
+        cache = self.__dict__.get("_find_class_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_find_class_cache", cache)
+        key = (port_type, reach, speed_gbps)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        truth = self._find_class_uncached(port_type, reach, speed_gbps)
+        cache[key] = truth
+        return truth
+
+    def _find_class_uncached(self, port_type: PortType, reach: Reach,
+                             speed_gbps: float) -> InterfaceClassTruth:
         exact = self.class_map.get((port_type, reach, speed_gbps))
         if exact is not None:
             return exact
@@ -180,6 +205,7 @@ class RouterModelSpec:
         return default_class_truth(port_type, reach, speed_gbps)
 
 
+@functools.lru_cache(maxsize=None)
 def _catalog_module(port_type: PortType, reach: Reach, speed_gbps: float):
     """Find a catalog transceiver matching a class, if any."""
     for model in TRANSCEIVER_CATALOG.values():
@@ -216,6 +242,7 @@ DEFAULT_P_TRX_UP_W: Dict[PortType, float] = {
 }
 
 
+@functools.lru_cache(maxsize=None)
 def default_class_truth(port_type: PortType, reach: Reach,
                         speed_gbps: float) -> InterfaceClassTruth:
     """Generic truth for classes no lab experiment characterised.

@@ -2,6 +2,8 @@
 
 * :mod:`repro.network.topology` -- fleet generation (107 routers, PoPs,
   internal/external links, spare modules);
+* :mod:`repro.network.synth` -- deterministic multi-tier synthetic
+  fleets (1k-100k routers) for the scale benchmarks and sweeps;
 * :mod:`repro.network.traffic` -- diurnal demand processes and the routed
   internal traffic matrix;
 * :mod:`repro.network.events` -- operational events (module swaps, OS
@@ -21,6 +23,12 @@ from repro.network.topology import (
     CORE_MODELS,
     AGG_MODELS,
     ACCESS_MODELS,
+)
+from repro.network.synth import (
+    SYNTH_PRESETS,
+    SynthConfig,
+    generate_synth_network,
+    synth_config,
 )
 from repro.network.traffic import (
     Demand,
@@ -74,6 +82,10 @@ __all__ = [
     "CORE_MODELS",
     "AGG_MODELS",
     "ACCESS_MODELS",
+    "SYNTH_PRESETS",
+    "SynthConfig",
+    "generate_synth_network",
+    "synth_config",
     "Demand",
     "DiurnalProfile",
     "ExternalDemand",

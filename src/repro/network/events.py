@@ -12,7 +12,7 @@ Each event type here reproduces one of those actions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, FrozenSet, Optional
 
 from repro.network.topology import (ExternalPeerPort, ISPNetwork, Link,
                                     LinkEnd, LinkKind)
@@ -20,6 +20,38 @@ from repro.hardware.router import connect, disconnect
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.network.simulation import NetworkSimulation
+
+
+def _port_link_hosts(network: ISPNetwork, hostname: str,
+                     port_index: int) -> Optional[FrozenSet[str]]:
+    """Routers whose link state one port's configuration can touch.
+
+    The port's own router plus the internal-link peers wired to that
+    port: flipping one end's admin state (or pulling its module) changes
+    ``link_up`` on *both* ends, so both routers' columnar state goes
+    stale.  Returns ``None`` for unknown hostnames so the caller falls
+    back to the full-rebuild path (which reproduces the object path's
+    error on apply).
+    """
+    if hostname not in network.routers:
+        return None
+    hosts = {hostname}
+    for link in network.links:
+        if not link.is_internal:
+            continue
+        if link.a.hostname == hostname and link.a.port_index == port_index:
+            hosts.add(link.b.hostname)
+        elif link.b.hostname == hostname and link.b.port_index == port_index:
+            hosts.add(link.a.hostname)
+    return frozenset(hosts)
+
+
+def _single_host(simulation: "NetworkSimulation",
+                 hostname: str) -> Optional[FrozenSet[str]]:
+    """Dirty set of an event that only mutates one router's own state."""
+    if hostname not in simulation.network.routers:
+        return None
+    return frozenset((hostname,))
 
 
 @dataclass
@@ -31,6 +63,21 @@ class FleetEvent:
     def apply(self, simulation: "NetworkSimulation") -> None:
         """Mutate the network; called once when the sim clock passes at_s."""
         raise NotImplementedError
+
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Routers whose columnar state this event invalidates.
+
+        The vectorized engine patches exactly these routers' columns at
+        the event boundary instead of rebuilding the whole fleet (the
+        incremental-refresh contract, docs/PERFORMANCE.md).  ``None``
+        means the event may change fleet-wide structure -- the link
+        list, the scatter layout -- and forces a full rebuild; that is
+        the safe default for event types that do not declare a set.
+        Must be called *before* :meth:`apply` (it inspects pre-event
+        wiring).
+        """
+        return None
 
 
 @dataclass
@@ -46,6 +93,12 @@ class UnplugModule(FleetEvent):
         port.set_admin(False)
         disconnect(port)
         port.unplug()
+
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """This router plus any internal-link peer of the port."""
+        return _port_link_hosts(simulation.network, self.hostname,
+                                self.port_index)
 
 
 @dataclass
@@ -73,6 +126,12 @@ class AddExternalInterface(FleetEvent):
         network.links.append(link)
         simulation.on_topology_change(new_external=link)
 
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Always ``None``: growing the link list reshapes the columnar
+        link/scatter layout, so only a full rebuild is correct."""
+        return None
+
 
 @dataclass
 class SetAdminState(FleetEvent):
@@ -92,6 +151,12 @@ class SetAdminState(FleetEvent):
         port = simulation.network.router(self.hostname).port(self.port_index)
         port.set_admin(self.up)
 
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """This router plus any internal-link peer of the port."""
+        return _port_link_hosts(simulation.network, self.hostname,
+                                self.port_index)
+
 
 @dataclass
 class OsUpdate(FleetEvent):
@@ -105,6 +170,11 @@ class OsUpdate(FleetEvent):
         simulation.network.router(self.hostname).apply_os_update(
             self.fan_bump_w)
 
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Only this router's fixed-power column changes."""
+        return _single_host(simulation, self.hostname)
+
 
 @dataclass
 class PowerCycle(FleetEvent):
@@ -115,6 +185,11 @@ class PowerCycle(FleetEvent):
     def apply(self, simulation: "NetworkSimulation") -> None:
         """Power-cycle the router."""
         simulation.network.router(self.hostname).power_cycle()
+
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Only this router's counters (and sensor state) reset."""
+        return _single_host(simulation, self.hostname)
 
 
 @dataclass
@@ -127,6 +202,11 @@ class Decommission(FleetEvent):
         """Cut the router's power feed."""
         simulation.network.router(self.hostname).powered = False
 
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Only this router's powered flag flips."""
+        return _single_host(simulation, self.hostname)
+
 
 @dataclass
 class Commission(FleetEvent):
@@ -137,6 +217,11 @@ class Commission(FleetEvent):
     def apply(self, simulation: "NetworkSimulation") -> None:
         """Restore the router's power feed."""
         simulation.network.router(self.hostname).powered = True
+
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Only this router's powered flag flips."""
+        return _single_host(simulation, self.hostname)
 
 
 @dataclass
@@ -155,6 +240,11 @@ class AmbientChange(FleetEvent):
         """Set the new ambient temperature at one router."""
         simulation.network.router(self.hostname).set_ambient(self.ambient_c)
 
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Only this router's thermal contribution changes."""
+        return _single_host(simulation, self.hostname)
+
 
 @dataclass
 class HeatWave(FleetEvent):
@@ -166,6 +256,13 @@ class HeatWave(FleetEvent):
         """Set the new ambient temperature fleet-wide."""
         for router in simulation.network.routers.values():
             router.set_ambient(self.ambient_c)
+
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Every router's thermal column changes -- but only router
+        columns, so the (cheap) whole-fleet patch still beats a full
+        rebuild of the port and link layout."""
+        return frozenset(simulation.network.routers)
 
 
 @dataclass
@@ -189,6 +286,11 @@ class DegradePsu(FleetEvent):
         psu_group.instances[self.psu_index].apply_aging(
             self.efficiency_delta)
 
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Only this router's PSU coefficient rows change."""
+        return _single_host(simulation, self.hostname)
+
 
 @dataclass
 class DeployAutopower(FleetEvent):
@@ -204,3 +306,9 @@ class DeployAutopower(FleetEvent):
     def apply(self, simulation: "NetworkSimulation") -> None:
         """Install the meter (power-cycling the router as a side effect)."""
         simulation.deploy_autopower(self.hostname)
+
+    def dirty_hosts(self, simulation: "NetworkSimulation",
+                    ) -> Optional[FrozenSet[str]]:
+        """Only this router is power-cycled; the new view host is picked
+        up by the per-boundary view refresh either way."""
+        return _single_host(simulation, self.hostname)

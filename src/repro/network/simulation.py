@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.telemetry.autopower import (AutopowerClient, AutopowerServer,
                                        Transport, deploy_unit)
 from repro.telemetry.snmp import PsuSensorExport, RouterTrace, SnmpCollector
 from repro.telemetry.traces import TimeSeries
+
+if TYPE_CHECKING:
+    from repro.network.engine import VectorizedEngine
 
 #: Average payload size assigned to fleet traffic (IMIX-flavoured).
 FLEET_PACKET_BYTES = 700.0
@@ -156,6 +159,9 @@ class NetworkSimulation:
         self.autopower_clients: Dict[str, AutopowerClient] = {}
         self.observers: List[StepObserver] = []
         self._new_external_link_ids: Set[int] = set()
+        #: Engine retained from the last ``engine="vector"`` run so
+        #: callers (the bench ladder) can read its memory footprint.
+        self.last_vector_engine: Optional[VectorizedEngine] = None
 
     # -- observers ------------------------------------------------------------------
 
@@ -299,7 +305,9 @@ class NetworkSimulation:
                                       n_steps)
             with tracing.span("sim.steps", sim_clock=lambda: self.clock_s):
                 if engine == "vector":
-                    VectorizedEngine(self).run_steps(
+                    vec = VectorizedEngine(self)
+                    self.last_vector_engine = vec
+                    vec.run_steps(
                         n_steps, step_s, pending, collector, snmp_period_s,
                         detailed_hosts, grid, total_power, total_traffic)
                 else:

@@ -263,62 +263,21 @@ ACCESS_MODELS = ("ASR-9001", "NCS-5501-SE", "N540-24Z8Q2C-M",
 _EXTERNAL_QUOTA = {"core": (4, 7), "agg": (2, 5), "access": (3, 7)}
 
 
-class _FleetBuilder:
-    """Internal helper that assembles an :class:`ISPNetwork`."""
+class WiringBuilder:
+    """Shared port-and-link plumbing for topology generators.
 
-    def __init__(self, config: FleetConfig, rng: np.random.Generator):
-        self.config = config
+    Both the Switch-like builder below and the synthetic multi-tier
+    generator (:mod:`repro.network.synth`) assemble an
+    :class:`ISPNetwork` through these primitives, so module selection,
+    speed clocking, link bookkeeping, and external-peer stubs behave
+    identically regardless of which generator produced the fleet.
+    """
+
+    def __init__(self, rng: np.random.Generator):
         self.rng = rng
         self.network = ISPNetwork()
         self._link_ids = itertools.count(0)
         self._peer_ids = itertools.count(0)
-
-    # -- router creation ----------------------------------------------------------
-
-    def build(self) -> ISPNetwork:
-        core, agg, access = self._create_routers()
-        self._place_pops(core, agg, access)
-        self._wire_core(core)
-        self._wire_regional(core)
-        self._wire_access()
-        self._add_external_links(core, agg, access)
-        self._add_spares()
-        return self.network
-
-    def _create_routers(self):
-        core: List[str] = []
-        agg: List[str] = []
-        access: List[str] = []
-        serial = itertools.count(1)
-        for model_name, count in self.config.model_counts:
-            spec = router_spec(model_name)
-            for _ in range(count):
-                hostname = f"sw{next(serial):03d}"
-                router = VirtualRouter(
-                    spec, hostname=hostname,
-                    rng=np.random.default_rng(self.rng.integers(2 ** 63)),
-                    noise_std_w=self.config.router_noise_std_w)
-                self.network.routers[hostname] = router
-                if model_name in CORE_MODELS:
-                    core.append(hostname)
-                elif model_name in AGG_MODELS:
-                    agg.append(hostname)
-                else:
-                    access.append(hostname)
-        return core, agg, access
-
-    def _place_pops(self, core, agg, access):
-        pops = self.network.pops
-        half = (len(core) + 1) // 2
-        pops["pop-core-a"] = list(core[:half])
-        pops["pop-core-b"] = list(core[half:])
-        regional = [f"pop-r{i:02d}" for i in range(self.config.n_regional_pops)]
-        for name in regional:
-            pops[name] = []
-        for i, hostname in enumerate(agg):
-            pops[regional[i % len(regional)]].append(hostname)
-        for i, hostname in enumerate(access):
-            pops[regional[i % len(regional)]].append(hostname)
 
     # -- port & link plumbing --------------------------------------------------------
 
@@ -391,6 +350,61 @@ class _FleetBuilder:
             peer_name=peer.name, distance="metro")
         self.network.links.append(link)
         return link
+
+
+class _FleetBuilder(WiringBuilder):
+    """Internal helper that assembles the Switch-like :class:`ISPNetwork`."""
+
+    def __init__(self, config: FleetConfig, rng: np.random.Generator):
+        super().__init__(rng)
+        self.config = config
+
+    # -- router creation ----------------------------------------------------------
+
+    def build(self) -> ISPNetwork:
+        core, agg, access = self._create_routers()
+        self._place_pops(core, agg, access)
+        self._wire_core(core)
+        self._wire_regional(core)
+        self._wire_access()
+        self._add_external_links(core, agg, access)
+        self._add_spares()
+        return self.network
+
+    def _create_routers(self):
+        core: List[str] = []
+        agg: List[str] = []
+        access: List[str] = []
+        serial = itertools.count(1)
+        for model_name, count in self.config.model_counts:
+            spec = router_spec(model_name)
+            for _ in range(count):
+                hostname = f"sw{next(serial):03d}"
+                router = VirtualRouter(
+                    spec, hostname=hostname,
+                    rng=np.random.default_rng(self.rng.integers(2 ** 63)),
+                    noise_std_w=self.config.router_noise_std_w)
+                self.network.routers[hostname] = router
+                if model_name in CORE_MODELS:
+                    core.append(hostname)
+                elif model_name in AGG_MODELS:
+                    agg.append(hostname)
+                else:
+                    access.append(hostname)
+        return core, agg, access
+
+    def _place_pops(self, core, agg, access):
+        pops = self.network.pops
+        half = (len(core) + 1) // 2
+        pops["pop-core-a"] = list(core[:half])
+        pops["pop-core-b"] = list(core[half:])
+        regional = [f"pop-r{i:02d}" for i in range(self.config.n_regional_pops)]
+        for name in regional:
+            pops[name] = []
+        for i, hostname in enumerate(agg):
+            pops[regional[i % len(regional)]].append(hostname)
+        for i, hostname in enumerate(access):
+            pops[regional[i % len(regional)]].append(hostname)
 
     # -- wiring stages ------------------------------------------------------------------
 

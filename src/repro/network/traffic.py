@@ -52,15 +52,29 @@ class DiurnalProfile:
             value *= self.weekend_factor
         return value
 
-    def multipliers(self, t_s: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`multiplier`."""
+    def multipliers(self, t_s: np.ndarray,
+                    weekend: Optional[bool] = None) -> np.ndarray:
+        """Vectorised :meth:`multiplier`.
+
+        ``weekend`` short-circuits the day-of-week classification when
+        the caller can prove every element falls on the same side of
+        the weekday/weekend split (a scalar base time plus bounded
+        phase offsets).  Both branches return exactly the floats the
+        element-wise ``np.where`` would have selected, so the fast path
+        is bit-identical -- it just skips a second modulo pass over the
+        array.
+        """
         t_s = np.asarray(t_s, dtype=float)
-        day = (t_s % units.SECONDS_PER_WEEK) / units.SECONDS_PER_DAY
         hour = (t_s % units.SECONDS_PER_DAY) / units.SECONDS_PER_HOUR
         phase = (hour - self.peak_hour) / 24.0 * 2.0 * np.pi
         shape = 0.5 * (1.0 + np.cos(phase))
         value = self.night_floor + (self.day_peak - self.night_floor) * shape
-        return np.where(day >= 5.0, value * self.weekend_factor, value)
+        if weekend is None:
+            day = (t_s % units.SECONDS_PER_WEEK) / units.SECONDS_PER_DAY
+            return np.where(day >= 5.0, value * self.weekend_factor, value)
+        if weekend:
+            return value * self.weekend_factor
+        return value
 
 
 @dataclass
@@ -198,6 +212,7 @@ class FleetTrafficModel:
                                          internal_utilisation_scale)
         self._base_internal_loads = self.matrix.base_link_loads()
         self._external_columns: Optional[Tuple[np.ndarray, ...]] = None
+        self._phase_span_s = 0.0
 
     # -- construction ---------------------------------------------------------------
 
@@ -272,24 +287,55 @@ class FleetTrafficModel:
         if self._external_columns is None:
             speed = {l.link_id: l.speed_gbps
                      for l in self.network.external_links()}
+            cap_bps = np.array([units.gbps_to_bps(speed[d.link_id])
+                                for d in self.externals])
+            phase_h = np.array([d.phase_shift_h for d in self.externals])
+            # Per-demand constants folded once: the phase offset in
+            # seconds and the 95 % rate cap are the same floats the
+            # scalar path computes per call.
+            phase_s = phase_h * units.SECONDS_PER_HOUR
             self._external_columns = (
                 np.array([d.link_id for d in self.externals],
                          dtype=np.int64),
                 np.array([d.base_utilisation for d in self.externals]),
                 np.array([d.noise_scale for d in self.externals]),
-                np.array([d.phase_shift_h for d in self.externals]),
-                np.array([units.gbps_to_bps(speed[d.link_id])
-                          for d in self.externals]),
+                phase_s,
+                cap_bps,
+                0.95 * cap_bps,
             )
-        link_ids, base_util, noise_scale, phase_h, cap_bps = \
+            self._phase_span_s = (
+                float(np.abs(phase_s).max()) if len(phase_s) else 0.0)
+        link_ids, base_util, noise_scale, phase_s, cap_bps, cap95 = \
             self._external_columns
         if len(link_ids) == 0:
             return link_ids, np.zeros(0)
         mult = self.profile.multipliers(
-            t_s + phase_h * units.SECONDS_PER_HOUR)
+            t_s + phase_s, weekend=self._uniform_weekend(t_s))
         noise = self.rng.lognormal(0.0, noise_scale)
         rate = base_util * mult * noise * cap_bps
-        return link_ids, np.minimum(rate, 0.95 * cap_bps)
+        return link_ids, np.minimum(rate, cap95)
+
+    def _uniform_weekend(self, t_s: float) -> Optional[bool]:
+        """Shared weekday/weekend flag of all demands at ``t_s``, if any.
+
+        Demand times are ``t_s`` plus per-demand phase shifts bounded by
+        ``_phase_span_s``, so when the whole ``t_s +- span`` window sits
+        strictly inside one weekday or weekend stretch every demand
+        classifies identically and :meth:`DiurnalProfile.multipliers`
+        can skip its element-wise week modulo.  Near a boundary (or if
+        the window wraps the week), returns None for the exact path.
+        ``%`` is exact on non-negative floats and rounding is monotone,
+        so no element can land outside the [lo, hi] window this checks.
+        """
+        span = self._phase_span_s
+        lo = (t_s - span) % units.SECONDS_PER_WEEK
+        hi = (t_s + span) % units.SECONDS_PER_WEEK
+        if lo > hi:          # window wraps the Monday-00:00 boundary
+            return None
+        saturday = 5.0 * units.SECONDS_PER_DAY
+        if lo < saturday <= hi:   # window straddles the Saturday boundary
+            return None
+        return lo >= saturday
 
     def internal_rate_factors(self, t_s: float) -> Tuple[float, float]:
         """The ``(multiplier, noise)`` pair of :meth:`internal_rates_at`.

@@ -20,10 +20,12 @@ from repro.sweep.matrix import (
     SLEEP_PRESETS,
     TOPOLOGY_PRESETS,
     TRAFFIC_PRESETS,
+    build_topology,
     expand,
     parse_shard,
     shard_jobs,
     topology_config,
+    topology_preset_names,
 )
 from repro.sweep.runner import (
     SCHEMA,
@@ -42,10 +44,12 @@ __all__ = [
     "SLEEP_PRESETS",
     "TOPOLOGY_PRESETS",
     "TRAFFIC_PRESETS",
+    "build_topology",
     "expand",
     "parse_shard",
     "shard_jobs",
     "topology_config",
+    "topology_preset_names",
     "SCHEMA",
     "default_bench_output",
     "load_previous_jobs",

@@ -23,11 +23,22 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from typing import TYPE_CHECKING
+
+from repro.network.synth import SYNTH_PRESETS
 from repro.network.topology import FleetConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.network.topology import ISPNetwork
 
 #: Fleet compositions, smallest first.  ``tiny`` mirrors the CLI monitor
 #: scenario (5 routers), ``small`` the bench harness's small case, and
-#: ``full`` is the paper's 107-router Switch-like fleet.
+#: ``full`` is the paper's 107-router Switch-like fleet.  Generated
+#: multi-tier fleets (``synth-*``, docs/TOPOLOGY.md) are valid topology
+#: preset names too; :func:`build_topology` dispatches between the two
+#: generators.
 TOPOLOGY_PRESETS: Dict[str, Dict] = {
     "tiny": dict(
         model_counts=(("8201-32FH", 1), ("NCS-55A1-24H", 2),
@@ -74,6 +85,30 @@ AXES = ("topology", "traffic", "sleep", "psu")
 def topology_config(name: str) -> FleetConfig:
     """The :class:`FleetConfig` behind a topology preset name."""
     return FleetConfig(**TOPOLOGY_PRESETS[name])
+
+
+def topology_preset_names() -> Tuple[str, ...]:
+    """Every valid topology preset: Switch-like plus synth fleets."""
+    return tuple(sorted(TOPOLOGY_PRESETS)) + tuple(sorted(SYNTH_PRESETS))
+
+
+def build_topology(name: str,
+                   rng: "np.random.Generator") -> "ISPNetwork":
+    """Build the fleet behind a topology preset name.
+
+    Switch-like presets go through :func:`build_switch_like_network`,
+    ``synth-*`` presets through :func:`generate_synth_network`; both are
+    deterministic in ``rng``.
+    """
+    from repro.network.synth import generate_synth_network, synth_config
+    from repro.network.topology import build_switch_like_network
+
+    if name in TOPOLOGY_PRESETS:
+        return build_switch_like_network(topology_config(name), rng=rng)
+    if name in SYNTH_PRESETS:
+        return generate_synth_network(synth_config(name), rng=rng)
+    raise ValueError(f"unknown topology preset {name!r}; "
+                     f"choose from {sorted(topology_preset_names())}")
 
 
 @dataclass(frozen=True)
@@ -128,8 +163,10 @@ class ScenarioMatrix:
     step_s: float = 900.0
 
     def __post_init__(self):
+        all_topologies = dict.fromkeys(TOPOLOGY_PRESETS)
+        all_topologies.update(dict.fromkeys(SYNTH_PRESETS))
         for axis, names, known in (
-                ("topologies", self.topologies, TOPOLOGY_PRESETS),
+                ("topologies", self.topologies, all_topologies),
                 ("traffics", self.traffics, TRAFFIC_PRESETS),
                 ("sleeps", self.sleeps, SLEEP_PRESETS),
                 ("psus", self.psus, dict.fromkeys(PSU_PRESETS))):
@@ -241,4 +278,10 @@ MATRIX_PRESETS: Dict[str, ScenarioMatrix] = {
         topologies=("tiny", "small"), traffics=("quiet", "busy"),
         sleeps=("none",), psus=("balanced", "single", "hot-standby"),
         duration_s=12 * 3600.0, step_s=900.0),
+    # A generated >=1k-router fleet through the whole sweep pipeline:
+    # exercises the synth generator and the incremental engine at scale.
+    "topo-xl": ScenarioMatrix(
+        topologies=("synth-1k",), traffics=("quiet",),
+        sleeps=("none",), psus=("balanced",),
+        duration_s=3 * 3600.0, step_s=900.0),
 }

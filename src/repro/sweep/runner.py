@@ -18,7 +18,8 @@ three hard guarantees (docs/SWEEP.md):
 
 Wall-clock timings never enter the deterministic report: per-job timing
 rows go to a sibling ``*.bench.json`` file whose layout follows the
-:mod:`repro.bench` schema v3 case entries.
+:mod:`repro.bench` schema v4 case entries (one engine key
+per row; the other stays absent).
 """
 
 from __future__ import annotations
@@ -41,7 +42,6 @@ from repro.network import (
     FleetTrafficModel,
     NetworkSimulation,
     SetAdminState,
-    build_switch_like_network,
     supports_vectorized,
 )
 from repro.obs import metrics, tracing
@@ -52,7 +52,7 @@ from repro.sweep.matrix import (
     SLEEP_PRESETS,
     ScenarioMatrix,
     TRAFFIC_PRESETS,
-    topology_config,
+    build_topology,
 )
 
 #: Report schema identifier for sweep reports.
@@ -109,13 +109,13 @@ def run_job(spec: JobSpec, root_seed: int,
 
     The report entry contains only values that are deterministic in
     ``(spec, root_seed, engine)``; everything wall-clock lives in the
-    bench row (a :mod:`repro.bench` schema-v3-shaped case entry).
+    bench row (a :mod:`repro.bench` schema-v4-shaped case entry).
     """
     t0 = time.perf_counter()
     seed = spec.seed(root_seed)
     with tracing.span("sweep.job", key=spec.key, seed=seed):
-        network = build_switch_like_network(
-            topology_config(spec.topology), rng=np.random.default_rng(seed))
+        network = build_topology(spec.topology,
+                                 rng=np.random.default_rng(seed))
         policy = SharingPolicy(spec.psu)
         for router in network.routers.values():
             router.set_sharing_policy(policy)

@@ -137,6 +137,14 @@ class TestDeterminism:
             objekt["aggregates"]["mean_power_w"], rel=1e-6)
         assert vector["seed"] == objekt["seed"]
 
+    def test_topo_xl_preset_runs_a_generated_fleet(self):
+        jobs = expand(MATRIX_PRESETS["topo-xl"])
+        assert [j.topology for j in jobs] == ["synth-1k"]
+        entry, bench_row = run_job(jobs[0], root_seed=7, engine="vector")
+        assert entry["fleet"]["routers"] >= 1000
+        assert entry["aggregates"]["mean_power_w"] > 0
+        assert bench_row["vector"]["wall_s"] > 0
+
 
 class TestBenchRows:
     def test_timing_rows_live_outside_the_report(self, tmp_path):
@@ -145,7 +153,7 @@ class TestBenchRows:
         report = json.loads(output.read_text())
         assert "wall_s" not in json.dumps(report)
         rows = json.loads(default_bench_output(output).read_text())
-        assert rows["schema"] == "repro.bench.simulation/v3"
+        assert rows["schema"] == "repro.bench.simulation/v4"
         assert len(rows["cases"]) == FAST.n_jobs
         by_name = {case["name"]: case for case in rows["cases"]}
         for job in report["jobs"]:
