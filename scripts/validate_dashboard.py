@@ -9,7 +9,10 @@ Usage::
 Exit code 0 when the snapshot conforms; 1 with the validation errors on
 stderr otherwise; 3 when the snapshot's ``schema`` version stamp does
 not match the schema document (a version skew, reported before any
-field-level errors).  Uses the dependency-free subset validator in
+field-level errors).  The expected version comes from the schema file,
+currently ``repro.monitor.dashboard/v2`` (v1 snapshots therefore exit
+3 against the checked-in schema).  Uses the dependency-free subset
+validator in
 :mod:`repro.monitor.schema`, so the CI container needs no ``jsonschema``
 package.
 """

@@ -56,8 +56,12 @@ STEP_S = 300.0
 #: cases that were not re-run.  v4 adds the synthetic-topology cases:
 #: per-case engine lists (``object``/``vector`` entries are ``null`` for
 #: engines that did not run), columnar memory-footprint fields, the SNMP
-#: poll period, and a per-1k-router ms/step normalization.
-SCHEMA = "repro.bench.simulation/v4"
+#: poll period, and a per-1k-router ms/step normalization.  v5 adds the
+#: per-case ``attribution`` block (a second vector run with the energy
+#: ledger attached: ms/step, the delta against the plain vector run, the
+#: overhead fraction, and the ledger's conservation residual) on cases
+#: flagged for it; unflagged cases carry ``null``.
+SCHEMA = "repro.bench.simulation/v5"
 
 
 @dataclass(frozen=True)
@@ -78,6 +82,9 @@ class BenchCase:
     object_skipped: Optional[str] = None
     #: SNMP poll period override (None = every 300 s step).
     snmp_period_s: Optional[float] = None
+    #: Also time a vector run with the energy ledger attached and
+    #: record the attribution overhead block.
+    attribution: bool = False
 
 
 def _scaled_counts(factor: int) -> tuple:
@@ -125,6 +132,7 @@ CASES: Dict[str, BenchCase] = {
             core_core_links=8,
         ),
         n_steps=10000,
+        attribution=True,
     ),
     "xl": BenchCase(
         name="xl",
@@ -138,6 +146,7 @@ CASES: Dict[str, BenchCase] = {
         engines=("vector",),
         object_skipped=_OBJECT_SKIP_REASON,
         snmp_period_s=3600.0,
+        attribution=True,
     ),
     "xxxl": BenchCase(
         name="xxxl",
@@ -266,6 +275,33 @@ def _run_case_traced(case: BenchCase, seed: int,
                 rel_err = float(np.max(
                     np.abs(vec - obj) / np.maximum(np.abs(obj), 1e-12)))
             phases["crosscheck_s"] = round(check_span.duration_s, 6)
+
+        attribution: Optional[Dict] = None
+        if case.attribution and timings["vector"] is not None:
+            # A second vector run with the energy ledger attached; the
+            # delta against the plain run is the attribution overhead.
+            with tracing.span("bench.build", engine="vector+ledger"):
+                sim = _build_simulation(case, seed)
+            with tracing.span("bench.run",
+                              engine="vector+ledger") as attr_span:
+                attr_result = sim.run(duration_s=duration_s, step_s=STEP_S,
+                                      snmp_period_s=snmp_period_s,
+                                      engine="vector", attribution=True)
+            ms_on = units.s_to_ms(attr_span.duration_s) / n_steps
+            ms_off = timings["vector"]["ms_per_step"]
+            ledger = attr_result.ledger
+            assert ledger is not None
+            attribution = {
+                "ms_per_step": round(ms_on, 4),
+                "ms_per_step_delta": round(ms_on - ms_off, 4),
+                "overhead_fraction": (round(ms_on / ms_off - 1.0, 4)
+                                      if ms_off > 0 else None),
+                "max_residual_w": ledger.max_residual_w,
+                "conserved": ledger.conserved(),
+                "power_bitwise_identical": bool(np.array_equal(
+                    attr_result.total_power.values, traces["vector"])),
+            }
+            phases["attribution_s"] = round(attr_span.duration_s, 4)
     obj_t, vec_t = timings["object"], timings["vector"]
     entry = {
         "name": case.name,
@@ -282,6 +318,7 @@ def _run_case_traced(case: BenchCase, seed: int,
         "speedup": (round(obj_t["wall_s"] / vec_t["wall_s"], 2)
                     if obj_t and vec_t else None),
         "total_power_max_rel_err": rel_err,
+        "attribution": attribution,
     }
     if case.object_skipped is not None:
         entry["object_skipped"] = case.object_skipped
@@ -328,6 +365,10 @@ def _summary_line(entry: Dict) -> str:
     if memory:
         line += (f", columnar state "
                  f"{memory['state_bytes'] / units.MEGA:.1f} MB")
+    attribution = entry.get("attribution")
+    if attribution:
+        line += (f", ledger +{attribution['ms_per_step_delta']:.2f} ms/step "
+                 f"({attribution['overhead_fraction']:+.1%})")
     return line
 
 

@@ -19,6 +19,9 @@ Mirrors how the paper's released artifacts are used from a shell:
   multi-tier fleet and export its inventory (docs/TOPOLOGY.md);
 * ``netpower sweep``       -- run a scenario matrix across worker
   processes and write a deterministic sweep report (docs/SWEEP.md);
+* ``netpower explain``     -- run a fleet with the energy attribution
+  ledger attached and print the fleet -> region -> router -> port
+  drill-down (docs/OBSERVABILITY.md);
 * ``netpower check``       -- the AST-based invariant checker behind the
   repository's determinism, unit, and schema conventions
   (docs/STATIC_ANALYSIS.md).
@@ -179,6 +182,30 @@ def _parser() -> argparse.ArgumentParser:
                          help="degrade one PSU mid-run to exercise the "
                               "alerting pipeline")
 
+    explain = sub.add_parser(
+        "explain", parents=[common],
+        help="energy attribution drill-down: fleet -> region -> router "
+             "-> port (docs/OBSERVABILITY.md)")
+    explain.add_argument("--preset", default="synth-200",
+                         help="synth fleet preset (default: %(default)s)")
+    explain.add_argument("--steps", type=int, default=50,
+                         help="simulation steps (default: %(default)s)")
+    explain.add_argument("--step", type=float, default=300.0,
+                         help="step size in seconds (default: %(default)s)")
+    explain.add_argument("--engine", default="auto",
+                         choices=("auto", "object", "vector"),
+                         help="simulation engine (default: %(default)s)")
+    explain.add_argument("--host", default=None,
+                         help="add a port-level drill-down for this router")
+    explain.add_argument("--top", type=int, default=10,
+                         help="routers in the per-router section "
+                              "(default: %(default)s)")
+    explain.add_argument("--format", dest="format", default="text",
+                         choices=("text", "json"),
+                         help="report format (default: %(default)s)")
+    explain.add_argument("--out", "-o", default=None,
+                         help="write the report here (default: stdout)")
+
     check = sub.add_parser(
         "check", parents=[common],
         help="static invariant checks (docs/STATIC_ANALYSIS.md)")
@@ -232,6 +259,10 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("--engine", default="auto",
                        choices=("auto", "object", "vector"),
                        help="simulation engine (default: %(default)s)")
+    sweep.add_argument("--attribution", action="store_true",
+                       help="attach the energy attribution ledger to "
+                            "every job and include its rollup in the "
+                            "report")
     sweep.add_argument("--output", "-o", default="sweep.json",
                        help="report path (default: %(default)s)")
     sweep.add_argument("--bench-output", metavar="PATH", default=None,
@@ -599,7 +630,7 @@ def _cmd_monitor(args) -> int:
               f"({args.engine} engine) ...")
     sim.run(duration_s=units.days(args.days), step_s=args.step,
             events=events, detailed_hosts=sorted(targets.values()),
-            engine=args.engine)
+            engine=args.engine, attribution=True)
     write_dashboard(monitor, args.out)
     _out(f"monitored routers  : {len(monitor.hosts)}")
     fleet = monitor.store.get("fleet/total_power_w")
@@ -622,6 +653,59 @@ def _cmd_monitor(args) -> int:
              f"on {alert.signal} at t={alert.fired_at_s:,.0f}s "
              f"({status})")
     _out(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.network import (FleetTrafficModel, NetworkSimulation,
+                               generate_synth_network, supports_vectorized,
+                               synth_config)
+    from repro.network.attribution import (build_explain_document,
+                                           explain_to_json,
+                                           render_explain_text)
+
+    if args.steps <= 0 or args.step <= 0:
+        _err("error: --steps and --step must be positive")
+        return 2
+    try:
+        config = synth_config(args.preset)
+    except ValueError as exc:
+        _err(f"error: {exc}")
+        return 2
+    network = generate_synth_network(
+        config, rng=np.random.default_rng(args.seed))
+    traffic = FleetTrafficModel(
+        network, rng=np.random.default_rng(args.seed + 1), n_demands=60)
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(args.seed + 2))
+    engine = args.engine
+    if engine == "auto":
+        engine = ("vector" if supports_vectorized(network) else "object")
+    _progress(f"simulating {args.steps} steps of {args.preset} "
+              f"({engine} engine) with the energy ledger attached ...")
+    try:
+        result = sim.run(duration_s=args.steps * args.step,
+                         step_s=args.step, engine=engine,
+                         attribution=True)
+        document = build_explain_document(
+            result.ledger, network, engine=engine,
+            scenario={"preset": args.preset, "seed": args.seed,
+                      "steps": args.steps, "step_s": args.step},
+            host=args.host, top=args.top)
+    except ValueError as exc:
+        _err(f"error: {exc}")
+        return 2
+    rendered = (explain_to_json(document) if args.format == "json"
+                else render_explain_text(document))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        _out(f"wrote {args.out}")
+    else:
+        _out(rendered)
+    if not document["conservation"]["ok"]:
+        _err("error: conservation violated (residual above tolerance)")
+        return 1
     return 0
 
 
@@ -727,7 +811,8 @@ def _cmd_sweep(args) -> int:
             jobs=jobs, resume=args.resume, output=output,
             bench_output=(Path(args.bench_output)
                           if args.bench_output else None),
-            engine=args.engine, progress=_progress)
+            engine=args.engine, attribution=args.attribution,
+            progress=_progress)
     except (RuntimeError, ValueError) as exc:
         _err(f"error: {exc}")
         return 1
@@ -826,6 +911,7 @@ _COMMANDS = {
     "zoo": _cmd_zoo,
     "validate": _cmd_validate,
     "rate-study": _cmd_rate_study,
+    "explain": _cmd_explain,
     "bench": _cmd_bench,
     "topo": _cmd_topo,
     "monitor": _cmd_monitor,

@@ -248,22 +248,56 @@ class Port:
             self._truth_cache_valid = True
         return self._truth_cache
 
-    def static_power_w(self) -> float:
-        """True state-dependent (traffic-independent) power of this port."""
+    def static_components(self) -> Tuple[float, float, float]:
+        """Static power split as ``(p_trx_in, p_port, p_trx_up)`` watts.
+
+        Each term is either the catalog truth value or 0.0 depending on
+        the port's admin/link state, exactly mirroring the conditional
+        accumulation :meth:`static_power_w` always performed.  The
+        attribution ledger consumes the split; the scalar sum stays the
+        single source of truth for total power.
+        """
         truth = self.class_truth()
         if truth is None:
             # Empty cage.  Fixed copper (RJ45) ports are represented with a
             # zero-power pseudo-module, so "no module" always draws nothing.
-            return 0.0
-        power = 0.0
+            return (0.0, 0.0, 0.0)
         module = self.transceiver.model
-        if not (module.powers_off_when_down and not self.admin_up):
-            power += truth.p_trx_in_w
-        if self.admin_up:
-            power += truth.p_port_w
-        if self.link_up:
-            power += truth.p_trx_up_w
+        trx_in = (0.0 if (module.powers_off_when_down and not self.admin_up)
+                  else truth.p_trx_in_w)
+        port = truth.p_port_w if self.admin_up else 0.0
+        trx_up = truth.p_trx_up_w if self.link_up else 0.0
+        return (trx_in, port, trx_up)
+
+    def static_power_w(self) -> float:
+        """True state-dependent (traffic-independent) power of this port."""
+        # Summing the component split in the original accumulation order
+        # is bitwise-identical to the old conditional accumulation:
+        # every term is either the truth value or 0.0, and x + 0.0 == x
+        # for the finite non-negative powers in the catalog.
+        trx_in, port, trx_up = self.static_components()
+        power = 0.0
+        power += trx_in
+        power += port
+        power += trx_up
         return power
+
+    def sleep_savings_w(self) -> float:
+        """Wall-referred static power *not* drawn because this port sleeps.
+
+        A counterfactual, not a component of the power actually drawn:
+        for a plugged, admin-down port it is the static power the port
+        would draw were it admin-up with link up (`p_port + p_trx_up`,
+        plus `p_trx_in` when the module powers off while shut down).
+        Zero for empty cages and for ports that are admin-up.
+        """
+        truth = self.class_truth()
+        if truth is None or self.admin_up:
+            return 0.0
+        saved = truth.p_port_w + truth.p_trx_up_w
+        if self.transceiver.model.powers_off_when_down:
+            saved += truth.p_trx_in_w
+        return saved
 
     def dynamic_power_w(self) -> float:
         """True traffic-dependent power of this port."""

@@ -141,6 +141,11 @@ class FleetMonitor(StepObserver):
         self._model: Optional[CounterRateModelSource] = None
         self._efficiency: Optional[PsuEfficiencySource] = None
         self._last_t_s: Optional[float] = None
+        #: Fleet attribution rollup, fed by ``StepSnapshot.attribution``
+        #: when the run carries an energy ledger (``None`` otherwise).
+        self.attribution_energy_j: Optional[Dict[str, float]] = None
+        self.attribution_last_w: Optional[Dict[str, float]] = None
+        self.attribution_steps: int = 0
 
     # -- StepObserver ---------------------------------------------------------------
 
@@ -190,6 +195,15 @@ class FleetMonitor(StepObserver):
         alerts.observe("fleet/total_power_w", t, snapshot.total_power_w)
         store.add("fleet/total_traffic_bps", t,
                   snapshot.total_traffic_bps)
+        if snapshot.attribution is not None:
+            if self.attribution_energy_j is None:
+                self.attribution_energy_j = dict.fromkeys(
+                    snapshot.attribution, 0.0)
+            for name, watts in snapshot.attribution.items():
+                self.attribution_energy_j[name] += watts * snapshot.step_s
+                store.add(f"fleet/attribution/{name}", t, watts)
+            self.attribution_last_w = dict(snapshot.attribution)
+            self.attribution_steps += 1
         fresh_autopower: Dict[str, float] = {}
         for host in self.hosts:
             wall = snapshot.power_by_host.get(host)

@@ -1,8 +1,9 @@
 """Self-contained dashboard snapshots of one monitored run.
 
 ``build_snapshot`` turns a :class:`~repro.monitor.core.FleetMonitor`
-into a plain dict -- schema ``repro.monitor.dashboard/v1`` -- holding
-the scenario metadata, the fleet rollups, the per-router source values
+into a plain dict -- schema ``repro.monitor.dashboard/v2`` -- holding
+the scenario metadata, the fleet rollups, the energy attribution panel
+(``null`` when the run carried no ledger), the per-router source values
 and drift statistics, the PSU health table, and the alert log.  The dict
 is deliberately deterministic: keys sort on serialization, no wall-clock
 values appear anywhere, and NaN is mapped to ``null`` so the output is
@@ -22,9 +23,11 @@ from typing import Dict, List, Optional
 
 from repro.monitor.core import FleetMonitor
 from repro.monitor.rollup import RollupSeries
+from repro.obs.ledger import J_PER_KWH
 
 #: Version tag of the snapshot layout (validated in CI).
-DASHBOARD_SCHEMA = "repro.monitor.dashboard/v1"
+#: v2 added the nullable top-level ``attribution`` energy panel.
+DASHBOARD_SCHEMA = "repro.monitor.dashboard/v2"
 
 
 def _clean(value):
@@ -119,6 +122,18 @@ def build_snapshot(monitor: FleetMonitor) -> dict:
         if series is not None:
             fleet[name.split("/", 1)[1]] = _series_block(series)
 
+    attribution: Optional[dict] = None
+    if monitor.attribution_energy_j is not None:
+        attribution = {
+            "energy_kwh": {name: round(joules / J_PER_KWH, 6)
+                           for name, joules
+                           in monitor.attribution_energy_j.items()},
+            "last_power_w": {name: round(watts, 6)
+                             for name, watts
+                             in (monitor.attribution_last_w or {}).items()},
+            "n_steps": monitor.attribution_steps,
+        }
+
     return _clean({
         "schema": DASHBOARD_SCHEMA,
         "scenario": {
@@ -131,6 +146,7 @@ def build_snapshot(monitor: FleetMonitor) -> dict:
             "hosts": list(monitor.hosts),
         },
         "fleet": fleet,
+        "attribution": attribution,
         "routers": routers,
         "signals": signals,
         "alerts": alerts,
@@ -212,6 +228,20 @@ def render_html(snapshot: dict) -> str:
             f"<td>{_fmt(block['last_value'])}</td>"
             f"<td>{_signal_sparkline(block)}</td></tr>")
     parts.append("</table>")
+
+    attribution = snapshot.get("attribution")
+    if attribution is not None:
+        parts.append("<h2>Energy attribution (fleet)</h2>"
+                     "<table><tr><th>component</th><th>energy kWh</th>"
+                     "<th>last W</th><th>per-step rollup</th></tr>")
+        for name, kwh in sorted(attribution["energy_kwh"].items()):
+            signal = snapshot["signals"].get(f"fleet/attribution/{name}")
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{_fmt(kwh, 4)}</td>"
+                f"<td>{_fmt(attribution['last_power_w'].get(name))}</td>"
+                f"<td>{_signal_sparkline(signal)}</td></tr>")
+        parts.append("</table>")
 
     parts.append("<h2>Routers &mdash; §6.2 drift (model vs Autopower)"
                  "</h2><table><tr><th>router</th><th>model W</th>"

@@ -65,6 +65,7 @@ from repro.obs import metrics
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.network.events import FleetEvent
     from repro.network.topology import ISPNetwork
+    from repro.obs.ledger import LedgerAccumulator
     from repro.telemetry.snmp import SnmpCollector
 
 #: Noise correlation time of the routers' AR(1) ambient noise (matches
@@ -181,6 +182,18 @@ class FleetState:
         self.base_fixed = np.zeros(self.n_routers)
         self.noise_std = np.zeros(self.n_routers)
         self.static_sum = np.zeros(self.n_routers)
+        # Attribution split of the per-port static power (the three
+        # catalog terms of static_w) plus the sleep counterfactual, and
+        # their per-router sums -- consumed by the energy ledger, kept
+        # current alongside static_w/static_sum either way.
+        self.trx_in_w = np.zeros(self.n_ports)
+        self.port_w = np.zeros(self.n_ports)
+        self.trx_up_w = np.zeros(self.n_ports)
+        self.sleep_w = np.zeros(self.n_ports)
+        self.trx_in_sum = np.zeros(self.n_routers)
+        self.port_sum = np.zeros(self.n_routers)
+        self.trx_up_sum = np.zeros(self.n_routers)
+        self.sleep_sum = np.zeros(self.n_routers)
 
         # Dynamic state, seeded from the objects once.
         self.rx_bps = np.array([p.traffic.rx_bps for p in self.ports])
@@ -253,6 +266,22 @@ class FleetState:
             counters.tx_octets = int(self.c_tx_oct[f])
             counters.rx_packets = int(self.c_rx_pkt[f])
             counters.tx_packets = int(self.c_tx_pkt[f])
+
+    def counters_view(self, hostname: str) -> Tuple[np.ndarray, np.ndarray,
+                                                    np.ndarray, np.ndarray]:
+        """Read-only counter slices for one router's ports, in port order.
+
+        Returns ``(rx_octets, tx_octets, rx_packets, tx_packets)`` views
+        of the full-width columns (compact copies spilled first), so an
+        SNMP poll can read a detailed host's counters without the
+        object-write-back round trip.  The floats are integral below
+        2^53; ``int()`` of an entry is the object counter's exact value.
+        """
+        self._spill_counters()
+        i = self.router_index[hostname]
+        rows = slice(int(self._router_start[i]), int(self._router_stop[i]))
+        return (self.c_rx_oct[rows], self.c_tx_oct[rows],
+                self.c_rx_pkt[rows], self.c_tx_pkt[rows])
 
     def flush_traffic(self, flat_indices: Optional[Sequence[int]] = None) -> None:
         """Write offered-traffic columns back into the Port objects."""
@@ -379,7 +408,18 @@ class FleetState:
     def _patch_port(self, f: int) -> None:
         """Recompute one port's configuration columns from its object."""
         port = self.ports[f]
-        self.static_w[f] = port.static_power_w()
+        s_in, s_port, s_up = port.static_components()
+        self.trx_in_w[f] = s_in
+        self.port_w[f] = s_port
+        self.trx_up_w[f] = s_up
+        # Same accumulation chain as Port.static_power_w(), so the
+        # column equals the pre-split value bit for bit.
+        static = 0.0
+        static += s_in
+        static += s_port
+        static += s_up
+        self.static_w[f] = static
+        self.sleep_w[f] = port.sleep_savings_w()
         self.link_up[f] = port.link_up
         truth = port.class_truth()
         if truth is None:
@@ -400,6 +440,18 @@ class FleetState:
         self.static_sum = np.bincount(self.port_router,
                                       weights=self.static_w,
                                       minlength=self.n_routers)
+        self.trx_in_sum = np.bincount(self.port_router,
+                                      weights=self.trx_in_w,
+                                      minlength=self.n_routers)
+        self.port_sum = np.bincount(self.port_router,
+                                    weights=self.port_w,
+                                    minlength=self.n_routers)
+        self.trx_up_sum = np.bincount(self.port_router,
+                                      weights=self.trx_up_w,
+                                      minlength=self.n_routers)
+        self.sleep_sum = np.bincount(self.port_router,
+                                     weights=self.sleep_w,
+                                     minlength=self.n_routers)
 
     def _patch_router_scalars(self, i: int) -> None:
         """Recompute one router's scalar columns from its object.
@@ -646,9 +698,21 @@ class FleetState:
             # time in index order; a running scalar sum over the
             # router's ports is the identical chain of additions.
             acc = 0.0
+            acc_in = 0.0
+            acc_port = 0.0
+            acc_up = 0.0
+            acc_sleep = 0.0
             for f in range(start, stop):
                 acc += float(self.static_w[f])
+                acc_in += float(self.trx_in_w[f])
+                acc_port += float(self.port_w[f])
+                acc_up += float(self.trx_up_w[f])
+                acc_sleep += float(self.sleep_w[f])
             self.static_sum[i] = acc
+            self.trx_in_sum[i] = acc_in
+            self.port_sum[i] = acc_port
+            self.trx_up_sum[i] = acc_up
+            self.sleep_sum[i] = acc_sleep
             self._patch_router_scalars(i)
             self.port_powered[start:stop] = self.powered[i]
             self._patch_psu_rows(i)
@@ -794,13 +858,22 @@ class FleetState:
                             + float(router.rng.normal(
                                 0.0, innovation_std[i])))
 
-    def wall_power(self) -> np.ndarray:
+    def wall_power(self,
+                   components: Optional[np.ndarray] = None) -> np.ndarray:
         """Instantaneous wall power of every router, including noise.
 
         The dynamic term is evaluated over the active ports only (see
         :meth:`advance_counters`); inactive ports contribute exactly 0.0
         in the full-width formula, and adding 0.0 never changes a
         partial sum, so the per-router segment sums are bit-identical.
+
+        With ``components`` (a ``(n_routers, len(COMPONENTS))`` buffer,
+        see :mod:`repro.obs.ledger`), the attribution split is written
+        into it without changing the returned power by a single bit: the
+        dynamic term decomposes as ``np.where(mask, (a + b) + c, 0) ==
+        (np.where(mask, a, 0) + np.where(mask, b, 0)) + np.where(mask,
+        c, 0)`` elementwise, so the masked total is the exact float the
+        fused expression produces.
         """
         rx = self._ap_rx
         tx = self._ap_tx
@@ -813,18 +886,48 @@ class FleetState:
         else:
             rx_tx, rx_pps, tx_pps = cache
             total_pps = rx_pps + tx_pps
-        dyn = np.where(
-            self._ap_dyn_ok & ((rx != 0.0) | (tx != 0.0)),
-            (self._ap_p_offset + self._ap_e_bit * rx_tx)
-            + self._ap_e_pkt * total_pps,
-            0.0)
+        mask = self._ap_dyn_ok & ((rx != 0.0) | (tx != 0.0))
+        if components is None:
+            dyn = np.where(
+                mask,
+                (self._ap_p_offset + self._ap_e_bit * rx_tx)
+                + self._ap_e_pkt * total_pps,
+                0.0)
+        else:
+            off = np.where(mask, self._ap_p_offset, 0.0)
+            bit = np.where(mask, self._ap_e_bit * rx_tx, 0.0)
+            pkt = np.where(mask, self._ap_e_pkt * total_pps, 0.0)
+            dyn = (off + bit) + pkt
         dyn_sum = np.bincount(self._active_router, weights=dyn,
                               minlength=self.n_routers)
         wall_ref = (self.base_fixed + self.static_sum) + dyn_sum
         dc = self._dc_from_wall_referred(wall_ref)
         device = np.maximum(0.0, dc + self.noise)
         wall = self._psu_wall(device)
-        return np.where(self.powered, wall, 0.0)
+        result = np.where(self.powered, wall, 0.0)
+        if components is not None:
+            # Column order matches repro.obs.ledger.COMPONENTS.  Every
+            # component is zeroed where the router is unpowered, like
+            # the returned wall power.
+            powered = self.powered
+            components[:, 0] = np.where(powered, self.base_fixed, 0.0)
+            components[:, 1] = np.where(powered, self.trx_in_sum, 0.0)
+            components[:, 2] = np.where(powered, self.port_sum, 0.0)
+            components[:, 3] = np.where(powered, self.trx_up_sum, 0.0)
+            components[:, 4] = np.where(powered, np.bincount(
+                self._active_router, weights=off,
+                minlength=self.n_routers), 0.0)
+            components[:, 5] = np.where(powered, np.bincount(
+                self._active_router, weights=bit,
+                minlength=self.n_routers), 0.0)
+            components[:, 6] = np.where(powered, np.bincount(
+                self._active_router, weights=pkt,
+                minlength=self.n_routers), 0.0)
+            components[:, 7] = np.where(powered, dc - wall_ref, 0.0)
+            components[:, 8] = np.where(powered, device - dc, 0.0)
+            components[:, 9] = np.where(powered, wall - device, 0.0)
+            components[:, 10] = np.where(powered, self.sleep_sum, 0.0)
+        return result
 
     def _dc_from_wall_referred(self, wall_ref: np.ndarray) -> np.ndarray:
         """Batched equivalent of ``VirtualRouter._dc_from_wall_referred``.
@@ -897,13 +1000,17 @@ class VectorizedEngine:
                   collector: "SnmpCollector",
                   snmp_period_s: float, detailed_hosts: Sequence[str],
                   grid: np.ndarray, total_power: np.ndarray,
-                  total_traffic: np.ndarray) -> None:
+                  total_traffic: np.ndarray,
+                  ledger: Optional["LedgerAccumulator"] = None) -> None:
         """Advance the fleet ``n_steps`` columnar steps in place.
 
         Mirrors the object engine's stepping contract exactly --
         events at step boundaries, SNMP polling cadence, observer and
         Autopower hooks -- filling the caller's pre-allocated
-        ``grid`` / ``total_power`` / ``total_traffic`` columns.
+        ``grid`` / ``total_power`` / ``total_traffic`` columns.  With a
+        ``ledger``, each step additionally writes the attribution split
+        into the ledger's buffer (see :meth:`FleetState.wall_power`);
+        the wall-power floats are unchanged either way.
         """
         sim = self.sim
         state = self.state
@@ -912,13 +1019,13 @@ class VectorizedEngine:
             np.sqrt(max(0.0, 1 - rho ** 2)))
         next_poll_s = sim.clock_s
         event_idx = 0
-        detailed_hosts = list(detailed_hosts)
         hostnames = [r.hostname for r in state.routers]
         # Step latencies are collected locally and handed to the
         # histogram in one batched observe_many after the loop, so the
         # hot path never crosses the instrument layer per step.
         from repro.network.simulation import (M_EVENTS, M_SNMP_POLLS,
                                               M_STEP_SECONDS, StepSnapshot)
+        from repro.obs.ledger import COMPONENTS
         observing = metrics.enabled()
         observers = sim.observers
         step_durations: List[float] = []
@@ -989,16 +1096,19 @@ class VectorizedEngine:
             sim.clock_s += step_s
             t_sample = sim.clock_s
             grid[step] = t_sample
-            wall = state.wall_power()
+            if ledger is None:
+                wall = state.wall_power()
+                fleet_attr = None
+            else:
+                wall = state.wall_power(components=ledger.power_buf)
+                fleet_attr = ledger.record(t_sample, step_s,
+                                           ledger.power_buf, wall)
             total_power[step] = wall.sum()
             total_traffic[step] = ingress
             polled = t_sample >= next_poll_s
             if polled:
-                if detailed_hosts:
-                    state.flush_counters(detailed_hosts)
                 M_SNMP_POLLS.inc()
-                collector.record(t_sample, true_power_by_host=dict(
-                    zip(hostnames, wall.tolist())))
+                collector.record_vector(t_sample, hostnames, wall, state)
                 next_poll_s += max(snmp_period_s, step_s)
             if state._view_routers:
                 state.sync_views()
@@ -1011,7 +1121,11 @@ class VectorizedEngine:
                     step=step, t_s=t_sample, step_s=step_s,
                     total_power_w=float(total_power[step]),
                     total_traffic_bps=float(ingress),
-                    power_by_host=power_by_host, snmp_polled=polled)
+                    power_by_host=power_by_host, snmp_polled=polled,
+                    attribution=(
+                        None if fleet_attr is None else
+                        {name: float(fleet_attr[k])
+                         for k, name in enumerate(COMPONENTS)}))
                 for observer in observers:
                     observer.on_step(snapshot)
             if observing:

@@ -33,6 +33,7 @@ from repro.telemetry.traces import TimeSeries
 
 if TYPE_CHECKING:
     from repro.network.engine import VectorizedEngine
+    from repro.obs.ledger import LedgerAccumulator
 
 #: Average payload size assigned to fleet traffic (IMIX-flavoured).
 FLEET_PACKET_BYTES = 700.0
@@ -91,6 +92,10 @@ class StepSnapshot:
     power_by_host: Dict[str, float]
     #: Whether the SNMP collector polled on this step.
     snmp_polled: bool
+    #: Fleet-level watts per attribution component, keyed by
+    #: :data:`repro.obs.ledger.COMPONENTS` name -- ``None`` unless the
+    #: run's energy ledger is active.
+    attribution: Optional[Dict[str, float]] = None
 
 
 class StepObserver:
@@ -139,6 +144,9 @@ class SimulationResult:
     autopower: Dict[str, TimeSeries]
     #: One-time PSU sensor export taken at the end of the run (§9.2).
     sensor_exports: List[PsuSensorExport]
+    #: Per-router, per-component energy ledger (``None`` unless the run
+    #: was started with ``attribution=True``).
+    ledger: Optional["LedgerAccumulator"] = None
 
     def network_median_power_w(self) -> float:
         """Median of the total network power over the run."""
@@ -237,7 +245,8 @@ class NetworkSimulation:
             events: Sequence[FleetEvent] = (),
             snmp_period_s: float = units.SNMP_POLL_PERIOD_S,
             detailed_hosts: Optional[Sequence[str]] = None,
-            engine: str = "auto") -> SimulationResult:
+            engine: str = "auto",
+            attribution: bool = False) -> SimulationResult:
         """Simulate ``duration_s`` seconds of fleet operation.
 
         Parameters
@@ -260,6 +269,14 @@ class NetworkSimulation:
             fleet does not support it), ``"object"`` forces the original
             per-object loop.  See :mod:`repro.network.engine`; results
             agree within float tolerance (docs/PERFORMANCE.md).
+        attribution:
+            When ``True``, run an energy attribution ledger alongside the
+            simulation: every step each router's wall power is split into
+            the named :data:`repro.obs.ledger.COMPONENTS` and checked
+            against a hard conservation invariant.  The ledger rides the
+            result as ``result.ledger``; attribution never touches
+            simulation state or RNG streams, so results are byte-identical
+            either way.
         """
         if step_s <= 0 or duration_s <= 0:
             raise ValueError("duration and step must be positive")
@@ -289,6 +306,11 @@ class NetworkSimulation:
         collector = SnmpCollector(
             list(self.network.routers.values()),
             detailed_hosts=detailed_hosts)
+        ledger: Optional["LedgerAccumulator"] = None
+        if attribution:
+            from repro.obs.ledger import LedgerAccumulator
+            ledger = LedgerAccumulator(list(self.network.routers),
+                                       track_series=tracing.enabled())
 
         n_steps = int(round(duration_s / step_s))
         grid = np.empty(n_steps)
@@ -309,11 +331,12 @@ class NetworkSimulation:
                     self.last_vector_engine = vec
                     vec.run_steps(
                         n_steps, step_s, pending, collector, snmp_period_s,
-                        detailed_hosts, grid, total_power, total_traffic)
+                        detailed_hosts, grid, total_power, total_traffic,
+                        ledger=ledger)
                 else:
                     self._run_steps_object(
                         n_steps, step_s, pending, collector, snmp_period_s,
-                        grid, total_power, total_traffic)
+                        grid, total_power, total_traffic, ledger=ledger)
 
             with tracing.span("sim.finalize",
                               sim_clock=lambda: self.clock_s):
@@ -323,12 +346,17 @@ class NetworkSimulation:
                     host: self.autopower_server.download(client.unit_id)
                     for host, client in self.autopower_clients.items()
                 }
+                if ledger is not None:
+                    ledger.finalize()
+                    if tracing.enabled():
+                        ledger.attach_counter_tracks(tracing.get_tracer())
                 result = SimulationResult(
                     total_power=TimeSeries(grid, total_power),
                     total_traffic_bps=TimeSeries(grid, total_traffic),
                     snmp=collector.finalize(),
                     autopower=autopower,
                     sensor_exports=collector.sensor_exports(),
+                    ledger=ledger,
                 )
                 for observer in self.observers:
                     observer.on_run_end(result)
@@ -346,8 +374,13 @@ class NetworkSimulation:
     def _run_steps_object(self, n_steps: int, step_s: float, pending,
                           collector: SnmpCollector, snmp_period_s: float,
                           grid: np.ndarray, total_power: np.ndarray,
-                          total_traffic: np.ndarray) -> None:
+                          total_traffic: np.ndarray,
+                          ledger: Optional["LedgerAccumulator"] = None,
+                          ) -> None:
         """The original per-object step loop (reference implementation)."""
+        if ledger is not None:
+            from repro.network.attribution import router_breakdown
+            from repro.obs.ledger import COMPONENTS
         next_poll_s = self.clock_s
         event_idx = 0
         observing = metrics.enabled()
@@ -370,7 +403,25 @@ class NetworkSimulation:
             self.clock_s += step_s
             t_sample = self.clock_s
             grid[step] = t_sample
-            if observers:
+            fleet_attr = None
+            if ledger is not None:
+                # router_breakdown returns the same wall power as
+                # wall_power_w(); summed in the same sequential order as
+                # total_wall_power_w(), so totals stay byte-identical
+                # with attribution on.
+                buf = ledger.power_buf
+                power_by_host = {}
+                total = 0.0
+                for i, (host, router) in enumerate(
+                        self.network.routers.items()):
+                    wall = router_breakdown(router, buf[i])
+                    power_by_host[host] = wall
+                    total += wall
+                total_power[step] = total
+                fleet_attr = ledger.record(
+                    t_sample, step_s, buf,
+                    np.array(list(power_by_host.values())))
+            elif observers:
                 # One wall-power read per router, summed in the same
                 # sequential order as total_wall_power_w() so the total
                 # stays byte-identical with observers attached.
@@ -396,7 +447,10 @@ class NetworkSimulation:
                     step=step, t_s=t_sample, step_s=step_s,
                     total_power_w=float(total_power[step]),
                     total_traffic_bps=float(ingress),
-                    power_by_host=power_by_host, snmp_polled=polled)
+                    power_by_host=power_by_host, snmp_polled=polled,
+                    attribution=(None if fleet_attr is None else
+                                 {name: float(fleet_attr[k])
+                                  for k, name in enumerate(COMPONENTS)}))
                 for observer in observers:
                     observer.on_step(snapshot)
             if observing:

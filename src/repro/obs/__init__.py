@@ -57,6 +57,7 @@ _INSTRUMENTED_MODULES = (
     "repro.monitor.rollup",
     "repro.monitor.alerts",
     "repro.sweep.runner",
+    "repro.obs.ledger",
 )
 
 

@@ -158,7 +158,11 @@ def chrome_trace(tracer: Tracer) -> Dict:
     Complete (``ph: "X"``) events with microsecond timestamps relative
     to the trace origin, loadable in Perfetto or ``chrome://tracing``.
     Span attributes and the simulated-clock readings ride along in each
-    event's ``args``.
+    event's ``args``.  Counter tracks attached by instruments (e.g. the
+    energy ledger's per-component fleet watts) are emitted as ``ph:
+    "C"`` events under a second process whose clock is the *simulated*
+    time in seconds (rendered as microseconds), keeping the two time
+    bases visually separate.
     """
     origin = min((s.wall_start for s in tracer.roots
                   if s.wall_start is not None), default=0.0)
@@ -171,6 +175,25 @@ def chrome_trace(tracer: Tracer) -> Dict:
     }]
     for root in tracer.roots:
         _chrome_events(root, origin, events)
+    tracks = getattr(tracer, "counter_tracks", None) or []
+    if tracks:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "tid": 1,
+            "args": {"name": "simulation (sim-time axis)"},
+        })
+        for track in tracks:
+            for t_s, value in zip(track["t_s"], track["values"]):
+                events.append({
+                    "name": track["name"],
+                    "ph": "C",
+                    "ts": round(units.s_to_us(t_s), 3),
+                    "pid": 2,
+                    "cat": "netpower",
+                    "args": {"value": value},
+                })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -85,6 +85,10 @@ class Tracer:
     def __init__(self):
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        #: Counter-track series attached by instruments (e.g. the energy
+        #: ledger): ``{"name", "t_s", "values"}`` dicts that the Chrome
+        #: trace exporter renders as ``ph: "C"`` counter events.
+        self.counter_tracks: List[Dict] = []
 
     @contextmanager
     def span(self, name: str,

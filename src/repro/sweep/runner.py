@@ -18,7 +18,7 @@ three hard guarantees (docs/SWEEP.md):
 
 Wall-clock timings never enter the deterministic report: per-job timing
 rows go to a sibling ``*.bench.json`` file whose layout follows the
-:mod:`repro.bench` schema v4 case entries (one engine key
+:mod:`repro.bench` schema v5 case entries (one engine key
 per row; the other stays absent).
 """
 
@@ -103,13 +103,16 @@ def _sleep_events(network, plan) -> List[SetAdminState]:
     return events
 
 
-def run_job(spec: JobSpec, root_seed: int,
-            engine: str = "auto") -> Tuple[Dict, Dict]:
+def run_job(spec: JobSpec, root_seed: int, engine: str = "auto",
+            attribution: bool = False) -> Tuple[Dict, Dict]:
     """Execute one scenario; returns ``(report_entry, bench_row)``.
 
     The report entry contains only values that are deterministic in
     ``(spec, root_seed, engine)``; everything wall-clock lives in the
-    bench row (a :mod:`repro.bench` schema-v4-shaped case entry).
+    bench row (a :mod:`repro.bench` schema-v5-shaped case entry).
+    With ``attribution`` on, the entry gains an ``"attribution"`` key
+    (the run's energy-ledger rollup); off adds no keys at all, keeping
+    pre-attribution reports byte-identical.
     """
     t0 = time.perf_counter()
     seed = spec.seed(root_seed)
@@ -155,7 +158,8 @@ def run_job(spec: JobSpec, root_seed: int,
                                 rng=np.random.default_rng(seed + 2))
         aggregate = sim.add_observer(AggregatingObserver())
         result = sim.run(duration_s=spec.duration_s, step_s=spec.step_s,
-                         events=events, detailed_hosts=(), engine=engine)
+                         events=events, detailed_hosts=(), engine=engine,
+                         attribution=attribution)
 
     fleet_shape = {
         "routers": len(network.routers),
@@ -176,6 +180,8 @@ def run_job(spec: JobSpec, root_seed: int,
         "power_median_w": round(result.network_median_power_w(), 6),
         "sleep": sleep_section,
     }
+    if result.ledger is not None:
+        entry["attribution"] = result.ledger.to_dict()
     wall_s = time.perf_counter() - t0
     M_JOB_SECONDS.observe(wall_s)
     bench_row = {
@@ -193,16 +199,17 @@ def run_job(spec: JobSpec, root_seed: int,
 
 
 def _execute_job(spec: JobSpec, root_seed: int, engine: str,
-                 collect_metrics: bool) -> Tuple[str, str, object, object,
-                                                 Optional[Dict]]:
+                 collect_metrics: bool, attribution: bool,
+                 ) -> Tuple[str, str, object, object, Optional[Dict]]:
     """One job, optionally under a private registry; never raises."""
     try:
         if collect_metrics:
             with metrics.use_registry(metrics.MetricsRegistry()) as registry:
-                entry, bench_row = run_job(spec, root_seed, engine)
+                entry, bench_row = run_job(spec, root_seed, engine,
+                                           attribution)
             state = registry.snapshot_state()
         else:
-            entry, bench_row = run_job(spec, root_seed, engine)
+            entry, bench_row = run_job(spec, root_seed, engine, attribution)
             state = None
         return ("ok", spec.key, entry, bench_row, state)
     except Exception:
@@ -210,14 +217,15 @@ def _execute_job(spec: JobSpec, root_seed: int, engine: str,
 
 
 def _worker_main(task_queue, result_queue, root_seed: int, engine: str,
-                 collect_metrics: bool) -> None:
+                 collect_metrics: bool, attribution: bool) -> None:
     """Worker process loop: pull specs until the ``None`` sentinel."""
     while True:
         spec = task_queue.get()
         if spec is None:
             return
         result_queue.put(
-            _execute_job(spec, root_seed, engine, collect_metrics))
+            _execute_job(spec, root_seed, engine, collect_metrics,
+                         attribution))
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -228,8 +236,9 @@ def _atomic_write(path: Path, text: str) -> None:
 
 
 def _report_document(matrix: ScenarioMatrix, root_seed: int, engine: str,
-                     completed: Dict[str, Dict]) -> Dict:
-    return {
+                     completed: Dict[str, Dict],
+                     attribution: bool = False) -> Dict:
+    document = {
         "schema": SCHEMA,
         "generated_by": "netpower sweep",
         "root_seed": root_seed,
@@ -238,6 +247,11 @@ def _report_document(matrix: ScenarioMatrix, root_seed: int, engine: str,
         "n_jobs": matrix.n_jobs,
         "jobs": [completed[key] for key in sorted(completed)],
     }
+    # Only stamped when on: attribution-off reports keep the exact
+    # pre-attribution byte layout.
+    if attribution:
+        document["attribution"] = True
+    return document
 
 
 def _write_report(output: Path, document: Dict) -> None:
@@ -245,7 +259,8 @@ def _write_report(output: Path, document: Dict) -> None:
 
 
 def load_previous_jobs(output: Path, matrix: ScenarioMatrix,
-                       root_seed: int, engine: str) -> Dict[str, Dict]:
+                       root_seed: int, engine: str,
+                       attribution: bool = False) -> Dict[str, Dict]:
     """Completed job entries from an existing report (resume support).
 
     Missing or unreadable reports mean a fresh start; a *readable*
@@ -268,6 +283,12 @@ def load_previous_jobs(output: Path, matrix: ScenarioMatrix,
                 f"cannot resume into {output}: its {field} "
                 f"({previous.get(field)!r}) differs from this run's "
                 f"({expected!r}); use a fresh output path")
+    if bool(previous.get("attribution", False)) != attribution:
+        raise ValueError(
+            f"cannot resume into {output}: it was written with "
+            f"attribution={bool(previous.get('attribution', False))}, "
+            f"this run has attribution={attribution}; use a fresh "
+            f"output path")
     jobs = previous.get("jobs")
     if not isinstance(jobs, list):
         return {}
@@ -308,6 +329,7 @@ def run_sweep(matrix: ScenarioMatrix,
               output: Optional[Path] = None,
               bench_output: Optional[Path] = None,
               engine: str = "auto",
+              attribution: bool = False,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
     """Run (part of) a scenario matrix and return the report document.
 
@@ -334,6 +356,11 @@ def run_sweep(matrix: ScenarioMatrix,
         dropped entirely when both are ``None``).
     engine:
         Simulation engine for every job (``auto`` resolves per fleet).
+    attribution:
+        Attach the energy attribution ledger to every job and include
+        its per-job rollup in the report.  The report gains a top-level
+        ``"attribution": true`` stamp; resume refuses to mix reports
+        written with a different setting.
     progress:
         Callback for one-line progress messages (completion order, so
         only the report -- not the callback stream -- is deterministic).
@@ -350,7 +377,8 @@ def run_sweep(matrix: ScenarioMatrix,
 
     completed: Dict[str, Dict] = {}
     if resume and output is not None:
-        completed = load_previous_jobs(output, matrix, root_seed, engine)
+        completed = load_previous_jobs(output, matrix, root_seed, engine,
+                                       attribution)
         kept = [job.key for job in job_list if job.key in completed]
         if kept:
             M_JOBS.labels(status="skipped").inc(len(kept))
@@ -377,7 +405,7 @@ def run_sweep(matrix: ScenarioMatrix,
         M_JOBS.labels(status="ok").inc()
         if output is not None:
             _write_report(output, _report_document(
-                matrix, root_seed, engine, completed))
+                matrix, root_seed, engine, completed, attribution))
         aggregates = payload["aggregates"]
         say(f"job {key}: mean {aggregates['mean_power_w']:,.0f} W over "
             f"{aggregates['steps']} steps "
@@ -389,7 +417,7 @@ def run_sweep(matrix: ScenarioMatrix,
         if n_workers == 1 or len(to_run) <= 1:
             for spec in to_run:
                 absorb(*_execute_job(spec, root_seed, engine,
-                                     collect_metrics))
+                                     collect_metrics, attribution))
         else:
             context = multiprocessing.get_context()
             task_queue = context.Queue()
@@ -402,7 +430,7 @@ def run_sweep(matrix: ScenarioMatrix,
                 context.Process(
                     target=_worker_main,
                     args=(task_queue, result_queue, root_seed, engine,
-                          collect_metrics),
+                          collect_metrics, attribution),
                     daemon=True)
                 for _ in range(n_workers)
             ]
@@ -432,7 +460,8 @@ def run_sweep(matrix: ScenarioMatrix,
                       else default_bench_output(output))
         _write_bench_rows(bench_path, root_seed, matrix.step_s, bench_rows)
 
-    document = _report_document(matrix, root_seed, engine, completed)
+    document = _report_document(matrix, root_seed, engine, completed,
+                                attribution)
     if output is not None:
         _write_report(output, document)
     _log.info("sweep complete",

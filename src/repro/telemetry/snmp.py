@@ -11,13 +11,17 @@ only contain ``P_in``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
 from repro.hardware.psu import PsuSensorReading
-from repro.hardware.router import Counters, VirtualRouter
+from repro.hardware.router import Counters, PsuSensorQuirk, VirtualRouter
 from repro.telemetry.traces import CounterSeries, InterfaceTrace, TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.network.engine import FleetState
 
 #: MIB object names used in record dictionaries, for readability.
 IF_HC_IN_OCTETS = "ifHCInOctets"
@@ -175,6 +179,11 @@ class SnmpCollector:
         # host -> iface -> (ts, rx_oct, tx_oct, rx_pkt, tx_pkt) lists
         self._counters: Dict[str, Dict[str, List[List]]] = {
             h: {} for h in self.detailed_hosts}
+        # Per-fleet-order poll rows for record_vector(), built lazily on
+        # the first columnar poll (see _vector_rows_for).
+        self._vector_key: Optional[Tuple[str, ...]] = None
+        self._vector_rows: List[Tuple[List[float], Optional[VirtualRouter],
+                                      bool]] = []
 
     def record(self, timestamp_s: float,
                true_power_by_host: Optional[Dict[str, float]] = None) -> None:
@@ -205,6 +214,72 @@ class SnmpCollector:
                 slot[2].append(counters.tx_octets)
                 slot[3].append(counters.rx_packets)
                 slot[4].append(counters.tx_packets)
+
+    def _vector_rows_for(self, hostnames: Sequence[str],
+                         ) -> List[Tuple[str, List[float],
+                                         Optional[VirtualRouter], bool]]:
+        """Poll rows aligned with the engine's fleet order.
+
+        One ``(hostname, power samples, router, detailed)`` row per
+        hostname; the router slot is ``None`` for platforms whose PSU
+        sensor is absent (§6.2) -- those rows always record NaN without
+        touching the router object, mirroring the early-None in
+        :meth:`VirtualRouter.psu_reported_power_w`.
+        """
+        key = tuple(hostnames)
+        if self._vector_key != key:
+            rows: List[Tuple[str, List[float],
+                             Optional[VirtualRouter], bool]] = []
+            for hostname in key:
+                router = self.agents[hostname].router
+                absent = router.spec.psu_quirk == PsuSensorQuirk.ABSENT
+                rows.append((hostname, self._power[hostname],
+                             None if absent else router,
+                             hostname in self.detailed_hosts))
+            self._vector_key = key
+            self._vector_rows = rows
+        return self._vector_rows
+
+    def record_vector(self, timestamp_s: float, hostnames: Sequence[str],
+                      true_power_w: np.ndarray,
+                      state: "FleetState") -> None:
+        """Columnar-engine poll: byte-identical records, no object detour.
+
+        The vectorized engine hands its per-router wall-power column and
+        its :class:`~repro.network.engine.FleetState` straight in, so a
+        poll skips the fleet-wide ``dict(zip(...))`` power map, the
+        object-counter write-back for detailed hosts, and the per-poll
+        interface-dict rebuild that :meth:`record` pays; detailed-host
+        counters are read directly off the columnar arrays
+        (:meth:`~repro.network.engine.FleetState.counters_view`).
+        Sensor-noise draws still come one router at a time from each
+        router's private generator -- the streams are per-router, so the
+        recorded values match :meth:`record` bit for bit.  ``hostnames``
+        must be the fleet order the power column is indexed by.
+        """
+        self._timestamps.append(timestamp_s)
+        wall = true_power_w.tolist()
+        for (hostname, samples, router, detailed), true_in in zip(
+                self._vector_rows_for(hostnames), wall):
+            if router is None or not router.powered:
+                samples.append(np.nan)
+            else:
+                power = router.psu_reported_power_w(true_in=true_in)
+                samples.append(power if power is not None else np.nan)
+            if not detailed:
+                continue
+            rx_oct, tx_oct, rx_pkt, tx_pkt = state.counters_view(hostname)
+            store = self._counters[hostname]
+            ports = self.agents[hostname].router.ports
+            for k, port in enumerate(ports):
+                if not port.plugged:
+                    continue
+                slot = store.setdefault(port.name, [[], [], [], [], []])
+                slot[0].append(timestamp_s)
+                slot[1].append(int(rx_oct[k]))
+                slot[2].append(int(tx_oct[k]))
+                slot[3].append(int(rx_pkt[k]))
+                slot[4].append(int(tx_pkt[k]))
 
     def last_poll_s(self) -> Optional[float]:
         """Timestamp of the most recent poll, or None before the first."""

@@ -153,7 +153,7 @@ class TestBenchRows:
         report = json.loads(output.read_text())
         assert "wall_s" not in json.dumps(report)
         rows = json.loads(default_bench_output(output).read_text())
-        assert rows["schema"] == "repro.bench.simulation/v4"
+        assert rows["schema"] == "repro.bench.simulation/v5"
         assert len(rows["cases"]) == FAST.n_jobs
         by_name = {case["name"]: case for case in rows["cases"]}
         for job in report["jobs"]:
