@@ -182,6 +182,58 @@ class TestAttributionOverhead:
             f"on {on_s:.3f}s over {self.LADDER_STEPS} steps")
 
 
+class TestProfilerOverhead:
+    """The kernel profiler must fit the observability perf budget.
+
+    Off: :func:`repro.obs.profile.region` is one module-global check
+    returning a shared no-op context, so an unprofiled run must be
+    indistinguishable from the pre-profiler engine (the bare samples
+    here double as that contract).  On: each region entry/exit is two
+    ``perf_counter`` reads, two list ops, and a dict upsert -- a few
+    hundred nanoseconds against step kernels that run for tens of
+    microseconds at the ``large`` rung.  The acceptance target is
+    <= 10 % over the bare step; observed is ~1-3 %.  The ceiling is
+    1.35x to absorb single-core container jitter (individual samples
+    swing 2x either way -- hence interleaved min-of-4 on both paths);
+    a real regression (e.g. allocating a fresh context manager or
+    formatting a name per call) costs well over that.
+    """
+
+    MAX_OVERHEAD_RATIO = 1.35
+    LADDER_STEPS = 200
+
+    def _timed(self, profiled: bool) -> float:
+        from repro import bench
+        from repro.obs import profile
+
+        case = bench.CASES["large"]
+        sim = bench._build_simulation(case, seed=7)
+        profiler = profile.Profiler() if profiled else None
+        start = time.perf_counter()
+        with profile.use_profiler(profiler):
+            sim.run(duration_s=self.LADDER_STEPS * STEP_S, step_s=STEP_S,
+                    engine="vector")
+        return time.perf_counter() - start
+
+    def test_profiler_overhead_within_budget(self):
+        from repro.obs import profile
+
+        assert not profile.enabled(), (
+            "a profiler leaked into the benchmark process")
+        self._timed(profiled=True)  # warm-up
+        off_samples, on_samples = [], []
+        for _ in range(4):  # interleaved: noise hits both paths alike
+            off_samples.append(self._timed(profiled=False))
+            on_samples.append(self._timed(profiled=True))
+        off_s = min(off_samples)
+        on_s = min(on_samples)
+        print(f"\nvector bare {off_s:.3f}s, profiled {on_s:.3f}s "
+              f"({100 * (on_s / off_s - 1):+.1f} %)")
+        assert on_s <= off_s * self.MAX_OVERHEAD_RATIO, (
+            f"profiler overhead too high: bare {off_s:.3f}s vs "
+            f"profiled {on_s:.3f}s over {self.LADDER_STEPS} steps")
+
+
 class TestLadderScaling:
     """The bench ladder's `xl` rung must not scale superlinearly.
 

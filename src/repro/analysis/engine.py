@@ -14,9 +14,10 @@ Scoping follows the repository's determinism contract:
   ``monitor/``), with a wall-clock allowlist for the three sanctioned
   timing paths (``obs/tracing.py``, ``bench.py``,
   ``sweep/runner.py``).
-* **NP-UNIT**, **NP-API**, and **NP-SCHEMA** rules apply to every
-  checked file, except that :mod:`repro.units` itself may spell out
-  the raw powers of ten it exists to name.
+* **NP-UNIT**, **NP-API**, **NP-SCHEMA**, and **NP-OBS** rules apply
+  to every checked file, except that :mod:`repro.units` itself may
+  spell out the raw powers of ten it exists to name, and the ``obs``
+  implementing modules may forward span/region names as parameters.
 
 Paths are reported relative to the ``repro`` package root (e.g.
 ``core/model.py``), so reports do not depend on where the tree is
@@ -54,6 +55,11 @@ class CheckConfig:
         "obs/tracing.py", "bench.py", "sweep/runner.py")
     #: Package-relative files exempt from NP-UNIT scale-literal checks.
     unit_literal_exempt: Tuple[str, ...] = ("units.py",)
+    #: Package-relative files exempt from NP-OBS literal-name checks:
+    #: the observability modules whose helpers forward a ``name``
+    #: parameter by design.
+    obs_forwarding_exempt: Tuple[str, ...] = (
+        "obs/tracing.py", "obs/profile.py")
     #: Rule ids or family prefixes to run; ``None`` runs everything.
     select: Optional[Tuple[str, ...]] = None
 
@@ -89,6 +95,11 @@ class FileContext:
     def unit_literals_allowed(self) -> bool:
         """Whether bare scale literals are sanctioned here."""
         return self.path in self.config.unit_literal_exempt
+
+    @property
+    def obs_forwarding_allowed(self) -> bool:
+        """Whether dynamic span/region names are sanctioned here."""
+        return self.path in self.config.obs_forwarding_exempt
 
 
 @dataclass(frozen=True)
@@ -130,7 +141,7 @@ def all_rules() -> List[Rule]:
 def _load_rule_modules() -> None:
     """Import the rule modules so their decorators register."""
     from repro.analysis import (rules_api, rules_det,  # noqa: F401
-                                rules_schema, rules_unit)
+                                rules_obs, rules_schema, rules_unit)
 
 
 @dataclass

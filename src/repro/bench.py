@@ -44,7 +44,7 @@ from repro.network import (
     generate_synth_network,
     synth_config,
 )
-from repro.obs import tracing
+from repro.obs import profile, tracing
 
 #: Simulation step used by every benchmark case (the SNMP poll period).
 STEP_S = 300.0
@@ -60,8 +60,24 @@ STEP_S = 300.0
 #: per-case ``attribution`` block (a second vector run with the energy
 #: ledger attached: ms/step, the delta against the plain vector run, the
 #: overhead fraction, and the ledger's conservation residual) on cases
-#: flagged for it; unflagged cases carry ``null``.
-SCHEMA = "repro.bench.simulation/v5"
+#: flagged for it; unflagged cases carry ``null``.  v6 adds a
+#: ``profile`` block to every engine entry -- per-kernel call counts and
+#: cumulative/self milliseconds from the kernel profiler attached around
+#: each timed run -- which the regression sentinel (``--compare``,
+#: :func:`compare_reports`) diffs against a baseline report.
+SCHEMA = "repro.bench.simulation/v6"
+
+#: Schema identifier on ``BENCH_history.jsonl`` trajectory lines.
+HISTORY_SCHEMA = "repro.bench.history/v1"
+
+#: Default regression tolerance: a metric more than this fraction above
+#: its baseline fails the comparison (0.15 trips on a 20% slowdown with
+#: margin for timer noise; CI passes a looser value on shared runners).
+DEFAULT_TOLERANCE = 0.15
+
+#: Kernels whose baseline cumulative time is below this floor are
+#: skipped by the comparison -- sub-millisecond kernels are timer noise.
+DEFAULT_MIN_KERNEL_MS = 5.0
 
 
 @dataclass(frozen=True)
@@ -201,7 +217,8 @@ def run_case(case: BenchCase, seed: int,
         return _run_case_traced(case, seed, steps_override)
 
 
-def _engine_entry(wall_s: float, n_steps: int, routers: int) -> Dict:
+def _engine_entry(wall_s: float, n_steps: int, routers: int,
+                  prof: Optional[profile.Profiler] = None) -> Dict:
     """Timing dict for one engine run.
 
     ``ms_per_step`` is wall time over the step count, so one-time costs
@@ -209,15 +226,27 @@ def _engine_entry(wall_s: float, n_steps: int, routers: int) -> Dict:
     final sensor export do not) amortize across the run the same way
     they do in production sweeps.  ``ms_per_step_per_1k_routers``
     normalizes by fleet size -- the number that must hold roughly flat
-    (or shrink) up the ladder for scaling to be sublinear.
+    (or shrink) up the ladder for scaling to be sublinear.  With a
+    profiler, the entry carries a per-kernel ``profile`` block (calls,
+    cumulative and self milliseconds) the regression sentinel diffs.
     """
     ms_per_step = units.s_to_ms(wall_s) / n_steps
-    return {
+    entry = {
         "wall_s": round(wall_s, 4),
         "ms_per_step": round(ms_per_step, 4),
         "ms_per_step_per_1k_routers": round(
             ms_per_step * units.KILO / routers, 4),
     }
+    if prof is not None:
+        entry["profile"] = {
+            name: {
+                "calls": stats["calls"],
+                "cum_ms": round(units.s_to_ms(stats["cum_s"]), 3),
+                "self_ms": round(units.s_to_ms(stats["self_s"]), 3),
+            }
+            for name, stats in prof.to_dict()["kernels"].items()
+        }
+    return entry
 
 
 def _run_case_traced(case: BenchCase, seed: int,
@@ -232,6 +261,7 @@ def _run_case_traced(case: BenchCase, seed: int,
     traces: Dict[str, np.ndarray] = {}
     fleet_shape: Dict[str, int] = {}
     memory: Optional[Dict] = None
+    session_prof = profile.get_profiler()
     with tracing.span("bench.case", case=case.name, n_steps=n_steps,
                       seed=seed):
         for engine in case.engines:
@@ -244,12 +274,19 @@ def _run_case_traced(case: BenchCase, seed: int,
                                  for r in sim.network.routers.values()),
                     "links": len(sim.network.links),
                 }
+            # Each timed run gets a private profiler so its per-kernel
+            # totals land in the report entry; stats merge into the
+            # session profiler (--profile-out) afterwards.
+            prof = profile.Profiler()
             with tracing.span("bench.run", engine=engine) as run_span:
-                result = sim.run(duration_s=duration_s, step_s=STEP_S,
-                                 snmp_period_s=snmp_period_s,
-                                 engine=engine)
+                with profile.use_profiler(prof):
+                    result = sim.run(duration_s=duration_s, step_s=STEP_S,
+                                     snmp_period_s=snmp_period_s,
+                                     engine=engine)
+            if session_prof is not None:
+                session_prof.merge(prof)
             timings[engine] = _engine_entry(run_span.duration_s, n_steps,
-                                            fleet_shape["routers"])
+                                            fleet_shape["routers"], prof)
             phases[engine] = {
                 "build_s": round(build_span.duration_s, 4),
                 "run_s": round(run_span.duration_s, 4),
@@ -282,11 +319,19 @@ def _run_case_traced(case: BenchCase, seed: int,
             # delta against the plain run is the attribution overhead.
             with tracing.span("bench.build", engine="vector+ledger"):
                 sim = _build_simulation(case, seed)
+            # Private profiler here too, so the attribution delta
+            # compares two runs carrying the same profiling overhead.
+            attr_prof = profile.Profiler()
             with tracing.span("bench.run",
                               engine="vector+ledger") as attr_span:
-                attr_result = sim.run(duration_s=duration_s, step_s=STEP_S,
-                                      snmp_period_s=snmp_period_s,
-                                      engine="vector", attribution=True)
+                with profile.use_profiler(attr_prof):
+                    attr_result = sim.run(duration_s=duration_s,
+                                          step_s=STEP_S,
+                                          snmp_period_s=snmp_period_s,
+                                          engine="vector",
+                                          attribution=True)
+            if session_prof is not None:
+                session_prof.merge(attr_prof)
             ms_on = units.s_to_ms(attr_span.duration_s) / n_steps
             ms_off = timings["vector"]["ms_per_step"]
             ledger = attr_result.ledger
@@ -348,6 +393,138 @@ def previous_cases(output: Path) -> Dict[str, Dict]:
             if isinstance(c, dict) and isinstance(c.get("name"), str)}
 
 
+def _compare_metric(regressions: List[Dict], improvements: List[Dict],
+                    case: str, engine: str, metric: str,
+                    base_value: Optional[float],
+                    cur_value: Optional[float],
+                    tolerance: float) -> int:
+    """Classify one metric pair; returns 1 if it was comparable."""
+    if not base_value or cur_value is None:
+        return 0
+    ratio = cur_value / base_value
+    entry = {
+        "case": case, "engine": engine, "metric": metric,
+        "baseline": base_value, "current": cur_value,
+        "ratio": round(ratio, 4),
+    }
+    if ratio > 1.0 + tolerance:
+        regressions.append(entry)
+    elif ratio < 1.0 / (1.0 + tolerance):
+        improvements.append(entry)
+    return 1
+
+
+def compare_reports(current: Dict, baseline: Dict,
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    min_kernel_ms: float = DEFAULT_MIN_KERNEL_MS) -> Dict:
+    """Diff a bench report against a baseline report.
+
+    Compares ``ms_per_step`` and ``ms_per_step_per_1k_routers`` per
+    case and engine, plus per-kernel cumulative milliseconds from the
+    v6 ``profile`` blocks (kernels whose baseline total is under
+    ``min_kernel_ms`` are skipped as timer noise).  A metric more than
+    ``tolerance`` (fractional) above its baseline is a regression; more
+    than the inverse below, an improvement.  Cases or kernels present
+    on only one side are ignored -- the sentinel guards what both runs
+    measured.
+
+    Raises :class:`ValueError` when either report is from a different
+    schema version; a layout change invalidates the comparison.
+    """
+    for label, report in (("current", current), ("baseline", baseline)):
+        if report.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{label} report schema {report.get('schema')!r} != "
+                f"{SCHEMA!r}; regenerate the baseline")
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    regressions: List[Dict] = []
+    improvements: List[Dict] = []
+    checked = 0
+    for entry in current.get("cases", []):
+        base = base_cases.get(entry["name"])
+        if base is None:
+            continue
+        for engine in ("object", "vector"):
+            cur_t, base_t = entry.get(engine), base.get(engine)
+            if not cur_t or not base_t:
+                continue
+            for metric in ("ms_per_step", "ms_per_step_per_1k_routers"):
+                checked += _compare_metric(
+                    regressions, improvements, entry["name"], engine,
+                    metric, base_t.get(metric), cur_t.get(metric),
+                    tolerance)
+            cur_prof = cur_t.get("profile") or {}
+            base_prof = base_t.get("profile") or {}
+            for kernel in sorted(set(cur_prof) & set(base_prof)):
+                base_ms = base_prof[kernel].get("cum_ms")
+                if base_ms is None or base_ms < min_kernel_ms:
+                    continue
+                checked += _compare_metric(
+                    regressions, improvements, entry["name"], engine,
+                    f"kernel:{kernel}", base_ms,
+                    cur_prof[kernel].get("cum_ms"), tolerance)
+    return {
+        "tolerance": tolerance,
+        "min_kernel_ms": min_kernel_ms,
+        "checked": checked,
+        "regressions": regressions,
+        "improvements": improvements,
+    }
+
+
+def render_comparison(comparison: Dict, stream: object) -> None:
+    """Print a comparison result as human-readable lines."""
+    for kind in ("regressions", "improvements"):
+        for item in comparison[kind]:
+            arrow = "REGRESSION" if kind == "regressions" else "improved"
+            print(f"{arrow}: [{item['case']}] {item['engine']} "
+                  f"{item['metric']}: {item['baseline']} -> "
+                  f"{item['current']} ({item['ratio']:.2f}x)",
+                  file=stream)
+    print(f"compared {comparison['checked']} metrics at "
+          f"+/-{comparison['tolerance']:.0%} tolerance: "
+          f"{len(comparison['regressions'])} regressions, "
+          f"{len(comparison['improvements'])} improvements",
+          file=stream)
+
+
+def _history_entry(report: Dict) -> Dict:
+    """One compact trajectory line for ``BENCH_history.jsonl``.
+
+    Per case and engine: the two normalized step timings plus per-kernel
+    cumulative milliseconds.  No wall-clock date -- the file is
+    append-only, so line order *is* the trajectory, and the surrounding
+    commit supplies the calendar.
+    """
+    cases: Dict[str, Dict] = {}
+    for entry in report.get("cases", []):
+        engines: Dict[str, Dict] = {}
+        for engine in ("object", "vector"):
+            timing = entry.get(engine)
+            if not timing:
+                continue
+            engines[engine] = {
+                "ms_per_step": timing.get("ms_per_step"),
+                "ms_per_step_per_1k_routers": timing.get(
+                    "ms_per_step_per_1k_routers"),
+                "kernel_cum_ms": {
+                    name: stats.get("cum_ms")
+                    for name, stats in (timing.get("profile")
+                                        or {}).items()},
+            }
+        cases[entry["name"]] = engines
+    return {"schema": HISTORY_SCHEMA, "seed": report.get("seed"),
+            "cases": cases}
+
+
+def append_history(history_path: Path, report: Dict) -> Path:
+    """Append the report's trajectory line to ``history_path``."""
+    line = json.dumps(_history_entry(report), sort_keys=True)
+    with history_path.open("a") as fh:
+        fh.write(line + "\n")
+    return history_path
+
+
 def _summary_line(entry: Dict) -> str:
     """One human line per finished case, engines present or not."""
     parts = []
@@ -375,14 +552,16 @@ def _summary_line(entry: Dict) -> str:
 def run_benchmarks(case_names: Sequence[str], seed: int,
                    output: Path,
                    steps_override: Optional[int] = None,
-                   stream: Optional[object] = None) -> Dict:
+                   stream: Optional[object] = None,
+                   history: Optional[Path] = None) -> Dict:
     """Run the named cases, print a summary line each, write the report.
 
     A subset run (``--quick``, ``--cases small``) merges into an existing
     report at ``output``: re-run cases replace their previous entries,
     the rest are kept, and the result stays in suite order -- so timing
     one case never silently discards the ``large`` numbers from the last
-    full run.
+    full run.  With ``history``, a compact trajectory line is appended
+    there as well (``BENCH_history.jsonl`` by convention).
     """
     stream = stream if stream is not None else sys.stdout
     merged = previous_cases(output)
@@ -409,6 +588,9 @@ def run_benchmarks(case_names: Sequence[str], seed: int,
                                        c["name"])),
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
+    if history is not None:
+        append_history(history, report)
+        print(f"trajectory appended to {history}", file=stream)
     if kept:
         print(f"kept previous entries for: {', '.join(sorted(kept))}",
               file=stream)
@@ -433,6 +615,22 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", "-o", type=Path,
                         default=Path("BENCH_simulation.json"),
                         help="report path (default: %(default)s)")
+    parser.add_argument("--compare", type=Path, default=None,
+                        metavar="BASELINE",
+                        help="after running, diff the report against this "
+                             "baseline report; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="fractional slowdown tolerated by --compare "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-kernel-ms", type=float,
+                        default=DEFAULT_MIN_KERNEL_MS,
+                        help="skip kernels whose baseline total is below "
+                             "this in --compare (default: %(default)s)")
+    parser.add_argument("--history", type=Path, default=None,
+                        help="trajectory file to append to (default: "
+                             "BENCH_history.jsonl next to the report; "
+                             "'-' disables)")
     return parser
 
 
@@ -453,8 +651,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Fail before the benchmarks run, not after minutes of timing.
         print(f"output directory {parent} does not exist", file=sys.stderr)
         return 2
-    run_benchmarks(case_names, seed=args.seed, output=args.output,
-                   steps_override=args.steps)
+    if args.tolerance <= 0:
+        print("--tolerance must be positive", file=sys.stderr)
+        return 2
+    baseline: Optional[Dict] = None
+    if args.compare is not None:
+        # Fail on a bad baseline before the benchmarks run.
+        try:
+            baseline = json.loads(args.compare.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            print(f"cannot read baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if (not isinstance(baseline, dict)
+                or baseline.get("schema") != SCHEMA):
+            print(f"baseline {args.compare} is not a {SCHEMA} report",
+                  file=sys.stderr)
+            return 2
+    if args.history is None:
+        history: Optional[Path] = args.output.parent / "BENCH_history.jsonl"
+    elif str(args.history) == "-":
+        history = None
+    else:
+        history = args.history
+    report = run_benchmarks(case_names, seed=args.seed, output=args.output,
+                            steps_override=args.steps, history=history)
+    if baseline is not None:
+        comparison = compare_reports(report, baseline,
+                                     tolerance=args.tolerance,
+                                     min_kernel_ms=args.min_kernel_ms)
+        render_comparison(comparison, sys.stdout)
+        if comparison["regressions"]:
+            return 1
     return 0
 
 

@@ -22,6 +22,9 @@ Mirrors how the paper's released artifacts are used from a shell:
 * ``netpower explain``     -- run a fleet with the energy attribution
   ledger attached and print the fleet -> region -> router -> port
   drill-down (docs/OBSERVABILITY.md);
+* ``netpower profile``     -- run a synthetic fleet with the kernel
+  profiler attached and print the per-kernel time table
+  (docs/OBSERVABILITY.md);
 * ``netpower check``       -- the AST-based invariant checker behind the
   repository's determinism, unit, and schema conventions
   (docs/STATIC_ANALYSIS.md).
@@ -30,7 +33,9 @@ Every command takes ``--seed`` and is deterministic given it, plus the
 shared observability flags (docs/OBSERVABILITY.md): ``--log-level`` /
 ``--log-json`` control the diagnostics channel on stderr,
 ``--metrics-out`` snapshots the metrics registry (Prometheus text, or
-JSON for ``.json`` paths), and ``--trace-out`` writes the span tree.
+JSON for ``.json`` paths), ``--trace-out`` writes the span tree, and
+``--profile-out`` writes the kernel profile (JSON, folded flamegraph
+text, or speedscope, by extension).
 Command *output* goes through report channels that print byte-identical
 text by default and JSON lines under ``--log-json``.
 """
@@ -99,6 +104,10 @@ def _parser() -> argparse.ArgumentParser:
                              "text; .json for a JSON snapshot)")
     common.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write the span trace tree here as JSON")
+    common.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="write the kernel profile here (JSON "
+                             "document; .folded for flamegraph text, "
+                             ".speedscope.json for speedscope)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     derive = sub.add_parser(
@@ -164,6 +173,42 @@ def _parser() -> argparse.ArgumentParser:
                        help="override the per-case step count")
     bench.add_argument("--output", "-o", default="BENCH_simulation.json",
                        help="report path (default: %(default)s)")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="diff the report against this baseline "
+                            "report; exit 1 on regression")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="fractional slowdown tolerated by --compare "
+                            "(default: repro.bench.DEFAULT_TOLERANCE)")
+    bench.add_argument("--min-kernel-ms", type=float, default=None,
+                       help="skip kernels whose baseline total is below "
+                            "this in --compare")
+    bench.add_argument("--history", metavar="PATH", default=None,
+                       help="trajectory file to append to (default: "
+                            "BENCH_history.jsonl next to the report; "
+                            "'-' disables)")
+
+    prof = sub.add_parser(
+        "profile", parents=[common],
+        help="profile the simulation kernels on a synthetic fleet "
+             "(docs/OBSERVABILITY.md)")
+    prof.add_argument("--preset", default="synth-200",
+                      help="synth fleet preset (default: %(default)s)")
+    prof.add_argument("--steps", type=int, default=200,
+                      help="simulation steps (default: %(default)s)")
+    prof.add_argument("--step", type=float, default=300.0,
+                      help="step size in seconds (default: %(default)s)")
+    prof.add_argument("--engine", default="vector",
+                      choices=("auto", "object", "vector"),
+                      help="simulation engine (default: %(default)s)")
+    prof.add_argument("--attribution", action="store_true",
+                      help="attach the energy ledger so its kernel "
+                           "shows up in the profile")
+    prof.add_argument("--top", type=int, default=15,
+                      help="kernels in the summary table "
+                           "(default: %(default)s)")
+    prof.add_argument("--out", "-o", default=None,
+                      help="write the profile here (JSON; .folded / "
+                           ".speedscope.json switch formats)")
 
     monitor = sub.add_parser(
         "monitor", parents=[common],
@@ -759,8 +804,90 @@ def _cmd_bench(args) -> int:
     if output.parent and not output.parent.is_dir():
         _err(f"error: output directory {output.parent} does not exist")
         return 2
-    bench.run_benchmarks(case_names, seed=args.seed, output=output,
-                         steps_override=args.steps)
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else bench.DEFAULT_TOLERANCE)
+    min_kernel_ms = (args.min_kernel_ms if args.min_kernel_ms is not None
+                     else bench.DEFAULT_MIN_KERNEL_MS)
+    if tolerance <= 0:
+        _err("error: --tolerance must be positive")
+        return 2
+    baseline = None
+    if args.compare is not None:
+        # Fail on a bad baseline before minutes of timing.
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            _err(f"error: cannot read baseline {args.compare}: {exc}")
+            return 2
+        if (not isinstance(baseline, dict)
+                or baseline.get("schema") != bench.SCHEMA):
+            _err(f"error: baseline {args.compare} is not a "
+                 f"{bench.SCHEMA} report")
+            return 2
+    if args.history is None:
+        history = output.parent / "BENCH_history.jsonl"
+    elif args.history == "-":
+        history = None
+    else:
+        history = Path(args.history)
+    report = bench.run_benchmarks(case_names, seed=args.seed,
+                                  output=output,
+                                  steps_override=args.steps,
+                                  history=history)
+    if baseline is not None:
+        comparison = bench.compare_reports(report, baseline,
+                                           tolerance=tolerance,
+                                           min_kernel_ms=min_kernel_ms)
+        bench.render_comparison(comparison, sys.stdout)
+        if comparison["regressions"]:
+            return 1
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from pathlib import Path
+
+    from repro import units
+    from repro.network import (FleetTrafficModel, NetworkSimulation,
+                               generate_synth_network, synth_config)
+    from repro.obs import profile as obs_profile
+
+    if args.steps <= 0:
+        _err("error: --steps must be positive")
+        return 2
+    if args.step <= 0:
+        _err("error: --step must be positive")
+        return 2
+    try:
+        config = synth_config(args.preset)
+    except (KeyError, ValueError) as exc:
+        _err(f"error: {exc}")
+        return 2
+    network = generate_synth_network(
+        config, rng=np.random.default_rng(args.seed))
+    traffic = FleetTrafficModel(network,
+                                rng=np.random.default_rng(args.seed + 1))
+    sim = NetworkSimulation(network, traffic,
+                            rng=np.random.default_rng(args.seed + 2))
+    # Reuse the session profiler (--profile-out) when one is installed,
+    # so both flags write the same accumulated data.
+    session = obs_profile.get_profiler()
+    profiler = session if session is not None else obs_profile.Profiler()
+    with obs_profile.use_profiler(profiler):
+        sim.run(duration_s=args.steps * args.step, step_s=args.step,
+                engine=args.engine, attribution=args.attribution)
+    kernels = sorted(profiler.to_dict()["kernels"].items(),
+                     key=lambda item: (-item[1]["self_s"], item[0]))
+    _out(f"{args.preset}: {len(network.routers)} routers, "
+         f"{args.steps} steps, engine {args.engine}")
+    _out(f"{'kernel':<28} {'calls':>8} {'cum_ms':>10} {'self_ms':>10}")
+    for name, stats in kernels[:max(args.top, 0)]:
+        _out(f"{name:<28} {stats['calls']:>8} "
+             f"{units.s_to_ms(stats['cum_s']):>10.2f} "
+             f"{units.s_to_ms(stats['self_s']):>10.2f}")
+    if args.out:
+        path = obs_profile.write_profile(Path(args.out), profiler)
+        _out(f"profile written to {path}")
     return 0
 
 
@@ -913,6 +1040,7 @@ _COMMANDS = {
     "rate-study": _cmd_rate_study,
     "explain": _cmd_explain,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
     "topo": _cmd_topo,
     "monitor": _cmd_monitor,
     "sweep": _cmd_sweep,
@@ -925,6 +1053,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
 
     from repro.obs import export, load_instrument_catalog, tracing
+    from repro.obs import profile as obs_profile
 
     configure(level=args.log_level, json_mode=args.log_json)
     configure_reporter(_OUT_NAME, "stdout", json_mode=args.log_json)
@@ -932,6 +1061,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     registry = None
     tracer = None
+    profiler = None
     if args.metrics_out:
         # Import every instrumented module first so never-touched
         # instruments still register (and export an explicit zero).
@@ -939,12 +1069,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         registry = obs_metrics.MetricsRegistry()
     if args.trace_out:
         tracer = tracing.Tracer()
+    if args.profile_out:
+        profiler = obs_profile.Profiler()
 
     prev_registry = obs_metrics.set_registry(registry) \
         if registry is not None else None
     prev_tracer = tracing.set_tracer(tracer) if tracer is not None else None
+    prev_profiler = obs_profile.set_profiler(profiler) \
+        if profiler is not None else None
     try:
         M_COMMANDS.labels(command=args.command).inc()
+        # netpower: ignore[NP-OBS-001] -- the command name comes from a
+        # closed argparse choice set, so the span-name cardinality is
+        # fixed even though the literal is assembled here.
         with tracing.span(f"cli.{args.command}", seed=args.seed):
             code = _COMMANDS[args.command](args)
     finally:
@@ -952,10 +1089,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs_metrics.set_registry(prev_registry)
         if tracer is not None:
             tracing.set_tracer(prev_tracer)
+        if profiler is not None:
+            obs_profile.set_profiler(prev_profiler)
+    if profiler is not None and registry is not None:
+        # Fold kernel totals into the netpower_profile_* families
+        # before the snapshot is written.
+        with obs_metrics.use_registry(registry):
+            profiler.publish_metrics()
     if registry is not None:
         export.write_metrics(args.metrics_out, registry)
     if tracer is not None:
         export.write_trace(args.trace_out, tracer)
+    if profiler is not None:
+        obs_profile.write_profile(args.profile_out, profiler)
     return code
 
 

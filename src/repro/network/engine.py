@@ -1025,7 +1025,12 @@ class VectorizedEngine:
         # hot path never crosses the instrument layer per step.
         from repro.network.simulation import (M_EVENTS, M_SNMP_POLLS,
                                               M_STEP_SECONDS, StepSnapshot)
+        from repro.obs import profile
         from repro.obs.ledger import COMPONENTS
+        # Kernel regions resolve to a shared no-op context while
+        # profiling is disabled; timing stays in the profiler
+        # side-channel and never touches simulation state.
+        region = profile.region
         observing = metrics.enabled()
         observers = sim.observers
         step_durations: List[float] = []
@@ -1059,14 +1064,16 @@ class VectorizedEngine:
                             break
                         dirty.update(declared)
                 if dirty is None:
-                    state.flush_counters()
-                    state.flush_noise()
-                    for event in boundary:
-                        M_EVENTS.labels(type=type(event).__name__).inc()
-                        event.apply(sim)
-                    state.snapshot_counters()
-                    state.refresh(sim._new_external_link_ids,
-                                  sim._view_hosts())
+                    with region("kernel.refresh"):
+                        state.flush_counters()
+                        state.flush_noise()
+                        for event in boundary:
+                            M_EVENTS.labels(
+                                type=type(event).__name__).inc()
+                            event.apply(sim)
+                        state.snapshot_counters()
+                        state.refresh(sim._new_external_link_ids,
+                                      sim._view_hosts())
                 else:
                     if observing:
                         # netpower: ignore[NP-DET-001] -- wall-clock here
@@ -1074,14 +1081,16 @@ class VectorizedEngine:
                         # never reaches simulation state.
                         patch_t0 = time.perf_counter()
                     hosts = sorted(dirty)
-                    state.flush_counters(hosts)
-                    state.flush_noise(hosts)
-                    for event in boundary:
-                        M_EVENTS.labels(type=type(event).__name__).inc()
-                        event.apply(sim)
-                    state.snapshot_counters(hosts)
-                    state.patch_routers(hosts)
-                    state._refresh_views(sim._view_hosts())
+                    with region("kernel.patch_routers"):
+                        state.flush_counters(hosts)
+                        state.flush_noise(hosts)
+                        for event in boundary:
+                            M_EVENTS.labels(
+                                type=type(event).__name__).inc()
+                            event.apply(sim)
+                        state.snapshot_counters(hosts)
+                        state.patch_routers(hosts)
+                        state._refresh_views(sim._view_hosts())
                     M_PARTIAL_REFRESH.inc()
                     if observing:
                         # netpower: ignore[NP-DET-001] -- same
@@ -1090,17 +1099,22 @@ class VectorizedEngine:
                         patch_durations.append(patch_dt)
                 innovation_std = state.noise_std * float(
                     np.sqrt(max(0.0, 1 - rho ** 2)))
-            ingress = state.apply_traffic(t)
-            state.advance_counters(step_s)
-            state.advance_noise(rho, innovation_std)
+            with region("kernel.apply_traffic"):
+                ingress = state.apply_traffic(t)
+            with region("kernel.advance_counters"):
+                state.advance_counters(step_s)
+            with region("kernel.advance_noise"):
+                state.advance_noise(rho, innovation_std)
             sim.clock_s += step_s
             t_sample = sim.clock_s
             grid[step] = t_sample
             if ledger is None:
-                wall = state.wall_power()
+                with region("kernel.wall_power"):
+                    wall = state.wall_power()
                 fleet_attr = None
             else:
-                wall = state.wall_power(components=ledger.power_buf)
+                with region("kernel.wall_power"):
+                    wall = state.wall_power(components=ledger.power_buf)
                 fleet_attr = ledger.record(t_sample, step_s,
                                            ledger.power_buf, wall)
             total_power[step] = wall.sum()
@@ -1116,18 +1130,19 @@ class VectorizedEngine:
                 for client in sim.autopower_clients.values():
                     client.tick(t_sample)
             if observers:
-                power_by_host = dict(zip(hostnames, wall.tolist()))
-                snapshot = StepSnapshot(
-                    step=step, t_s=t_sample, step_s=step_s,
-                    total_power_w=float(total_power[step]),
-                    total_traffic_bps=float(ingress),
-                    power_by_host=power_by_host, snmp_polled=polled,
-                    attribution=(
-                        None if fleet_attr is None else
-                        {name: float(fleet_attr[k])
-                         for k, name in enumerate(COMPONENTS)}))
-                for observer in observers:
-                    observer.on_step(snapshot)
+                with region("kernel.observers"):
+                    power_by_host = dict(zip(hostnames, wall.tolist()))
+                    snapshot = StepSnapshot(
+                        step=step, t_s=t_sample, step_s=step_s,
+                        total_power_w=float(total_power[step]),
+                        total_traffic_bps=float(ingress),
+                        power_by_host=power_by_host, snmp_polled=polled,
+                        attribution=(
+                            None if fleet_attr is None else
+                            {name: float(fleet_attr[k])
+                             for k, name in enumerate(COMPONENTS)}))
+                    for observer in observers:
+                        observer.on_step(snapshot)
             if observing:
                 # netpower: ignore[NP-DET-001] -- same side-channel as
                 # step_t0 above.

@@ -24,7 +24,7 @@ from repro import units
 from repro.network.events import FleetEvent
 from repro.network.topology import ISPNetwork, Link
 from repro.network.traffic import FleetTrafficModel
-from repro.obs import metrics, tracing
+from repro.obs import metrics, profile, tracing
 from repro.obs.logging import get_logger
 from repro.telemetry.autopower import (AutopowerClient, AutopowerServer,
                                        Transport, deploy_unit)
@@ -383,6 +383,9 @@ class NetworkSimulation:
             from repro.obs.ledger import COMPONENTS
         next_poll_s = self.clock_s
         event_idx = 0
+        # Kernel regions resolve to a shared no-op context while
+        # profiling is disabled (see repro.obs.profile).
+        region = profile.region
         observing = metrics.enabled()
         observers = self.observers
         step_durations: List[float] = []
@@ -397,9 +400,11 @@ class NetworkSimulation:
                 M_EVENTS.labels(type=type(pending[event_idx]).__name__).inc()
                 pending[event_idx].apply(self)
                 event_idx += 1
-            ingress = self._apply_traffic(t)
-            for router in self.network.routers.values():
-                router.advance(step_s)
+            with region("kernel.apply_traffic"):
+                ingress = self._apply_traffic(t)
+            with region("kernel.advance_counters"):
+                for router in self.network.routers.values():
+                    router.advance(step_s)
             self.clock_s += step_s
             t_sample = self.clock_s
             grid[step] = t_sample
@@ -412,11 +417,12 @@ class NetworkSimulation:
                 buf = ledger.power_buf
                 power_by_host = {}
                 total = 0.0
-                for i, (host, router) in enumerate(
-                        self.network.routers.items()):
-                    wall = router_breakdown(router, buf[i])
-                    power_by_host[host] = wall
-                    total += wall
+                with region("kernel.wall_power"):
+                    for i, (host, router) in enumerate(
+                            self.network.routers.items()):
+                        wall = router_breakdown(router, buf[i])
+                        power_by_host[host] = wall
+                        total += wall
                 total_power[step] = total
                 fleet_attr = ledger.record(
                     t_sample, step_s, buf,
@@ -425,15 +431,17 @@ class NetworkSimulation:
                 # One wall-power read per router, summed in the same
                 # sequential order as total_wall_power_w() so the total
                 # stays byte-identical with observers attached.
-                power_by_host = {host: router.wall_power_w()
-                                 for host, router
-                                 in self.network.routers.items()}
-                total = 0.0
-                for value in power_by_host.values():
-                    total += value
+                with region("kernel.wall_power"):
+                    power_by_host = {host: router.wall_power_w()
+                                     for host, router
+                                     in self.network.routers.items()}
+                    total = 0.0
+                    for value in power_by_host.values():
+                        total += value
                 total_power[step] = total
             else:
-                total_power[step] = self.network.total_wall_power_w()
+                with region("kernel.wall_power"):
+                    total_power[step] = self.network.total_wall_power_w()
             total_traffic[step] = ingress
             polled = t_sample >= next_poll_s
             if polled:
@@ -443,16 +451,17 @@ class NetworkSimulation:
             for client in self.autopower_clients.values():
                 client.tick(t_sample)
             if observers:
-                snapshot = StepSnapshot(
-                    step=step, t_s=t_sample, step_s=step_s,
-                    total_power_w=float(total_power[step]),
-                    total_traffic_bps=float(ingress),
-                    power_by_host=power_by_host, snmp_polled=polled,
-                    attribution=(None if fleet_attr is None else
-                                 {name: float(fleet_attr[k])
-                                  for k, name in enumerate(COMPONENTS)}))
-                for observer in observers:
-                    observer.on_step(snapshot)
+                with region("kernel.observers"):
+                    snapshot = StepSnapshot(
+                        step=step, t_s=t_sample, step_s=step_s,
+                        total_power_w=float(total_power[step]),
+                        total_traffic_bps=float(ingress),
+                        power_by_host=power_by_host, snmp_polled=polled,
+                        attribution=(None if fleet_attr is None else
+                                     {name: float(fleet_attr[k])
+                                      for k, name in enumerate(COMPONENTS)}))
+                    for observer in observers:
+                        observer.on_step(snapshot)
             if observing:
                 # netpower: ignore[NP-DET-001] -- same side-channel as
                 # above: latency only, never simulation state.

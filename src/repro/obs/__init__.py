@@ -18,7 +18,7 @@ Design invariants:
   values, log timestamps, and trace exports.
 """
 
-from repro.obs import export, logging, metrics, tracing
+from repro.obs import export, logging, metrics, profile, tracing
 from repro.obs.export import (
     chrome_trace,
     render_prometheus,
@@ -40,6 +40,13 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.profile import (
+    Profiler,
+    region,
+    set_profiler,
+    use_profiler,
+    write_profile,
+)
 from repro.obs.tracing import Span, Tracer, set_tracer, span, use_tracer
 
 #: Modules that declare instruments; imported by
@@ -58,6 +65,7 @@ _INSTRUMENTED_MODULES = (
     "repro.monitor.alerts",
     "repro.sweep.runner",
     "repro.obs.ledger",
+    "repro.obs.profile",
 )
 
 
@@ -73,6 +81,7 @@ __all__ = [
     "export",
     "logging",
     "metrics",
+    "profile",
     "tracing",
     "chrome_trace",
     "render_prometheus",
@@ -89,6 +98,11 @@ __all__ = [
     "histogram",
     "set_registry",
     "use_registry",
+    "Profiler",
+    "region",
+    "set_profiler",
+    "use_profiler",
+    "write_profile",
     "Span",
     "Tracer",
     "set_tracer",

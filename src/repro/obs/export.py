@@ -152,6 +152,38 @@ def _chrome_events(span, origin: float, events: List[Dict]) -> None:
         _chrome_events(child, origin, events)
 
 
+def _chrome_doc_events(span_doc: Dict, pid: int,
+                       events: List[Dict]) -> None:
+    """Events for one exported (dict-form) span subtree under ``pid``."""
+    args = dict(span_doc.get("attributes") or {})
+    if "sim_start_s" in span_doc:
+        args["sim_start_s"] = span_doc["sim_start_s"]
+        if "sim_duration_s" in span_doc:
+            args["sim_duration_s"] = span_doc["sim_duration_s"]
+    event = {
+        "name": span_doc["name"],
+        "ph": "X",
+        "ts": round(units.s_to_us(span_doc.get("start_s", 0.0)), 3),
+        "dur": round(units.s_to_us(span_doc.get("duration_s", 0.0)), 3),
+        "pid": pid,
+        "tid": 1,
+        "cat": "netpower",
+    }
+    if args:
+        event["args"] = args
+    events.append(event)
+    for child in span_doc.get("children", ()):
+        _chrome_doc_events(child, pid, events)
+
+
+def _process_label(process: Dict, index: int) -> str:
+    """A human-readable row name for a stitched subtrace."""
+    if not process:
+        return f"subtrace {index}"
+    parts = [f"{key}={process[key]}" for key in sorted(process)]
+    return " ".join(parts)
+
+
 def chrome_trace(tracer: Tracer) -> Dict:
     """The span tree as a Chrome trace-event document.
 
@@ -162,10 +194,13 @@ def chrome_trace(tracer: Tracer) -> Dict:
     energy ledger's per-component fleet watts) are emitted as ``ph:
     "C"`` events under a second process whose clock is the *simulated*
     time in seconds (rendered as microseconds), keeping the two time
-    bases visually separate.
+    bases visually separate.  Stitched worker subtraces (see
+    :class:`~repro.obs.tracing.Tracer`) render as additional ``pid``
+    rows, one per subtrace, named from their ``process`` labels.
     """
     origin = min((s.wall_start for s in tracer.roots
-                  if s.wall_start is not None), default=0.0)
+                  if s.wall_start is not None),
+                 default=getattr(tracer, "created_at", 0.0))
     events: List[Dict] = [{
         "name": "process_name",
         "ph": "M",
@@ -194,6 +229,19 @@ def chrome_trace(tracer: Tracer) -> Dict:
                     "cat": "netpower",
                     "args": {"value": value},
                 })
+    subtraces = getattr(tracer, "subtraces", None) or []
+    for index, subtrace in enumerate(subtraces):
+        pid = 3 + index
+        process = subtrace.get("process") or {}
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": _process_label(process, index)},
+        })
+        for span_doc in subtrace.get("spans", ()):
+            _chrome_doc_events(span_doc, pid, events)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

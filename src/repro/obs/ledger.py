@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.obs import metrics
+from repro.obs import metrics, profile
 
 #: Component names, in ledger column order.  The first
 #: :data:`N_CONSERVED` sum to wall power; the tail entries are
@@ -116,22 +116,24 @@ class LedgerAccumulator:
         step (usually :attr:`power_buf`); ``total_w`` is the engine's own
         per-router wall power, the conservation reference.
         """
-        residual = float(np.max(np.abs(
-            power_w[:, :N_CONSERVED].sum(axis=1) - total_w), initial=0.0))
-        if residual > self.max_residual_w:
-            self.max_residual_w = residual
-        self.energy_j += power_w * step_s
-        np.copyto(self.last_power_w, power_w)
-        self.n_steps += 1
-        self.duration_s += step_s
-        fleet_w = power_w.sum(axis=0)
-        if self._track_series:
-            self._series_t.append(float(t_s))
-            self._series_w.append(fleet_w.copy())
-        if metrics.enabled():
-            M_LEDGER_STEPS.inc()
-            M_LEDGER_RESIDUAL.set(self.max_residual_w)
-        return fleet_w
+        with profile.region("kernel.ledger_record"):
+            residual = float(np.max(np.abs(
+                power_w[:, :N_CONSERVED].sum(axis=1) - total_w),
+                initial=0.0))
+            if residual > self.max_residual_w:
+                self.max_residual_w = residual
+            self.energy_j += power_w * step_s
+            np.copyto(self.last_power_w, power_w)
+            self.n_steps += 1
+            self.duration_s += step_s
+            fleet_w = power_w.sum(axis=0)
+            if self._track_series:
+                self._series_t.append(float(t_s))
+                self._series_w.append(fleet_w.copy())
+            if metrics.enabled():
+                M_LEDGER_STEPS.inc()
+                M_LEDGER_RESIDUAL.set(self.max_residual_w)
+            return fleet_w
 
     def finalize(self) -> None:
         """Publish end-of-run gauges (no-op while metrics are disabled)."""

@@ -1,0 +1,347 @@
+"""Kernel profiler: fixed-memory wall-time attribution for hot paths.
+
+A :class:`Profiler` accumulates per-kernel statistics for named regions
+-- ``with profile.region("kernel.wall_power"): ...`` -- wired into the
+simulation hot paths (vector step kernels, the object-path power chain,
+SNMP polling, monitor rollups, ledger accumulation).  Per kernel it
+tracks call counts, cumulative and *self* wall time (cumulative minus
+time spent in nested regions), and a fixed log-spaced per-call duration
+histogram; per unique region *stack* it tracks self time for folded
+flamegraph output.  Memory is fixed: nothing per-call is retained, and
+region names are string literals by convention (enforced by the
+``NP-OBS-001`` check rule), bounding cardinality.
+
+Like metrics and tracing, profiling is disabled by default: the
+module-level :func:`region` helper returns a shared no-op context until
+:func:`set_profiler` installs a real profiler (``--profile-out`` does
+this in the CLI), keeping instrumented code zero-cost in normal runs.
+Determinism is untouched -- regions only *time* code; wall readings
+live only in the profile export, never in seeded computation.
+
+Exports: a sorted ``repro.obs.profile/v1`` JSON document
+(:meth:`Profiler.to_dict`), folded-stack flamegraph text
+(:meth:`Profiler.folded`), speedscope JSON (:meth:`Profiler.speedscope`)
+and ``netpower_profile_*`` metric families
+(:meth:`Profiler.publish_metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro import units
+from repro.obs import metrics
+
+#: Schema identifier stamped on exported profile documents.
+PROFILE_SCHEMA = "repro.obs.profile/v1"
+
+#: Log-spaced per-call duration bucket bounds in seconds (1 us .. 10 s).
+CALL_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+#: Safety cap on distinct kernel names; hitting it means somebody built
+#: region names dynamically (which NP-OBS-001 exists to prevent), and
+#: further names collapse into this bucket instead of growing memory.
+MAX_KERNELS = 256
+OVERFLOW_KERNEL = "(other)"
+
+_CALLS = metrics.counter(
+    "netpower_profile_calls_total",
+    "Region entries per profiled kernel.", labels=("kernel",))
+_SECONDS = metrics.counter(
+    "netpower_profile_seconds_total",
+    "Cumulative wall seconds per profiled kernel (children included).",
+    labels=("kernel",))
+_SELF_SECONDS = metrics.counter(
+    "netpower_profile_self_seconds_total",
+    "Self wall seconds per profiled kernel (children excluded).",
+    labels=("kernel",))
+_CALL_SECONDS = metrics.histogram(
+    "netpower_profile_call_seconds",
+    "Per-call wall-time distribution per profiled kernel.",
+    labels=("kernel",), buckets=CALL_BUCKETS)
+
+
+class _KernelStat:
+    """Accumulated statistics for one kernel name."""
+
+    __slots__ = ("calls", "cum_s", "self_s", "bucket_counts")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.cum_s = 0.0
+        self.self_s = 0.0
+        #: One slot per finite bound plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(CALL_BUCKETS) + 1)
+
+
+class _Region:
+    """Context manager for one profiled region entry."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Region":
+        self._profiler._enter(self._name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profiler._exit()
+
+
+class Profiler:
+    """Accumulates per-kernel timings for one run (single-threaded)."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, _KernelStat] = {}
+        #: Open-region stack entries: ``[name, start_s, child_s]``.
+        self._stack: List[List] = []
+        #: Names of the open regions, root first (folded-stack key).
+        self._path: List[str] = []
+        #: Per unique region stack: ``[self_s, calls]``.
+        self._paths: Dict[Tuple[str, ...], List] = {}
+
+    def region(self, name: str) -> _Region:
+        """A context manager timing one entry of kernel ``name``."""
+        return _Region(self, name)
+
+    # -- hot path -----------------------------------------------------------
+
+    def _enter(self, name: str) -> None:
+        if name not in self._stats and len(self._stats) >= MAX_KERNELS:
+            name = OVERFLOW_KERNEL
+        self._path.append(name)
+        self._stack.append([name, time.perf_counter(), 0.0])
+
+    def _exit(self) -> None:
+        end = time.perf_counter()
+        name, start, child_s = self._stack.pop()
+        duration = end - start
+        if self._stack:
+            self._stack[-1][2] += duration
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = _KernelStat()
+        self_s = duration - child_s
+        stat.calls += 1
+        stat.cum_s += duration
+        stat.self_s += self_s
+        stat.bucket_counts[bisect_left(CALL_BUCKETS, duration)] += 1
+        key = tuple(self._path)
+        self._path.pop()
+        path_stat = self._paths.get(key)
+        if path_stat is None:
+            if len(self._paths) < 4 * MAX_KERNELS:
+                self._paths[key] = [self_s, 1]
+        else:
+            path_stat[0] += self_s
+            path_stat[1] += 1
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's accumulated stats into this one.
+
+        Used by the bench harness: each timed engine run gets a private
+        profiler (so its kernel totals land in the report entry), then
+        merges into the session profiler backing ``--profile-out``.
+        """
+        for name, stat in other._stats.items():
+            mine = self._stats.get(name)
+            if mine is None:
+                mine = self._stats[name] = _KernelStat()
+            mine.calls += stat.calls
+            mine.cum_s += stat.cum_s
+            mine.self_s += stat.self_s
+            mine.bucket_counts = [
+                a + b for a, b in zip(mine.bucket_counts,
+                                      stat.bucket_counts)]
+        for key, path_stat in other._paths.items():
+            mine_path = self._paths.get(key)
+            if mine_path is None:
+                self._paths[key] = [path_stat[0], path_stat[1]]
+            else:
+                mine_path[0] += path_stat[0]
+                mine_path[1] += path_stat[1]
+
+    # -- exports ------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """The profile as a sorted, JSON-able document.
+
+        Kernel and stack ordering is deterministic (sorted); the timing
+        *values* are wall-clock measurements and vary run to run.
+        """
+        kernels = {
+            name: {
+                "calls": stat.calls,
+                "cum_s": round(stat.cum_s, 9),
+                "self_s": round(stat.self_s, 9),
+                "bucket_counts": list(stat.bucket_counts),
+            }
+            for name, stat in sorted(self._stats.items())
+        }
+        paths = [
+            {"stack": list(stack), "calls": stat[1],
+             "self_s": round(stat[0], 9)}
+            for stack, stat in sorted(self._paths.items())
+        ]
+        return {
+            "schema": PROFILE_SCHEMA,
+            "bucket_bounds_s": list(CALL_BUCKETS),
+            "kernels": kernels,
+            "paths": paths,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The profile document rendered as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def folded(self) -> str:
+        """Folded-stack flamegraph text (``a;b;c <self-microseconds>``).
+
+        One line per unique region stack, sorted, with integer
+        microsecond self-time weights -- the input format of
+        ``flamegraph.pl`` and compatible renderers.
+        """
+        lines = []
+        for stack, stat in sorted(self._paths.items()):
+            weight = int(round(units.s_to_us(stat[0])))
+            lines.append(f"{';'.join(stack)} {weight}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def speedscope(self) -> Dict:
+        """The profile as a speedscope ``sampled`` document.
+
+        Each unique region stack becomes one sample weighted by its
+        self time in microseconds (https://www.speedscope.app/).
+        """
+        frame_names = sorted({name for stack in self._paths
+                              for name in stack})
+        index = {name: i for i, name in enumerate(frame_names)}
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        for stack, stat in sorted(self._paths.items()):
+            samples.append([index[name] for name in stack])
+            weights.append(round(units.s_to_us(stat[0]), 3))
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {"frames": [{"name": n} for n in frame_names]},
+            "profiles": [{
+                "type": "sampled",
+                "name": "netpower kernels",
+                "unit": "microseconds",
+                "startValue": 0,
+                "endValue": round(sum(weights), 3),
+                "samples": samples,
+                "weights": weights,
+            }],
+            "exporter": "netpower",
+        }
+
+    def publish_metrics(self) -> None:
+        """Publish accumulated totals into the active metrics registry.
+
+        Call once, at export time: totals are *added* to the
+        ``netpower_profile_*`` families, so repeated calls double-count.
+        No-op while metrics are disabled.
+        """
+        if not metrics.enabled():
+            return
+        for name, stat in sorted(self._stats.items()):
+            _CALLS.labels(kernel=name).inc(stat.calls)
+            _SECONDS.labels(kernel=name).inc(stat.cum_s)
+            _SELF_SECONDS.labels(kernel=name).inc(stat.self_s)
+            hist = _CALL_SECONDS.labels(kernel=name)
+            if isinstance(hist, metrics.Histogram):
+                # Bucket-exact transfer: the profiler bins with the same
+                # bounds the metric family declares.
+                hist.bucket_counts += stat.bucket_counts
+                hist.sum += stat.cum_s
+                hist.count += stat.calls
+
+
+# ---------------------------------------------------------------------------
+# The active profiler and the zero-cost disabled path
+# ---------------------------------------------------------------------------
+
+
+class _NullRegion:
+    """Reusable, reentrant no-op context while profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullRegion":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_REGION = _NullRegion()
+
+_active: Optional[Profiler] = None
+
+
+def enabled() -> bool:
+    """Whether a real profiler is installed."""
+    return _active is not None
+
+
+def get_profiler() -> Optional[Profiler]:
+    """The active profiler, or ``None`` while profiling is disabled."""
+    return _active
+
+
+def set_profiler(profiler: Optional[Profiler]) -> Optional[Profiler]:
+    """Install (or clear, with ``None``) the active profiler.
+
+    Returns the previously active profiler so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = profiler
+    return previous
+
+
+@contextmanager
+def use_profiler(profiler: Optional[Profiler],
+                 ) -> Iterator[Optional[Profiler]]:
+    """Scope ``profiler`` as the active one for a ``with`` block."""
+    previous = set_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_profiler(previous)
+
+
+def region(name: str) -> Union[_Region, _NullRegion]:
+    """Open a region on the active profiler, or a shared no-op when off."""
+    profiler = _active
+    if profiler is None:
+        return _NULL_REGION
+    return profiler.region(name)
+
+
+def write_profile(path: Union[str, Path], profiler: Profiler) -> Path:
+    """Write the profiler's accumulated data to ``path``.
+
+    ``.folded`` paths get flamegraph folded-stack text;
+    ``.speedscope.json`` paths get speedscope JSON; anything else gets
+    the native ``repro.obs.profile/v1`` document.
+    """
+    path = Path(path)
+    if path.suffix == ".folded":
+        path.write_text(profiler.folded())
+    elif path.name.endswith(".speedscope.json"):
+        path.write_text(json.dumps(profiler.speedscope(), indent=2,
+                                   default=str) + "\n")
+    else:
+        path.write_text(profiler.to_json() + "\n")
+    return path

@@ -30,7 +30,7 @@ from typing import (Callable, ContextManager, Dict, Iterator, List,
                     Optional)
 
 #: Schema identifier stamped on exported trace documents.
-TRACE_SCHEMA = "repro.obs.trace/v1"
+TRACE_SCHEMA = "repro.obs.trace/v2"
 
 
 class Span:
@@ -80,15 +80,36 @@ class Span:
 
 
 class Tracer:
-    """Collects a forest of spans for one run (single-threaded)."""
+    """Collects a forest of spans for one run (single-threaded).
 
-    def __init__(self):
+    A tracer may carry *subtraces*: trace documents captured in other
+    processes (sweep workers) and stitched in parent-side, each labelled
+    with its origin via the ``process`` block.  The Chrome exporter
+    renders every subtrace as its own ``pid`` row so a multi-worker
+    sweep reads as one timeline.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None,
+                 process: Optional[Dict] = None):
+        #: Stable identifier shared by a parent trace and the worker
+        #: subtraces stitched into it (``None`` for standalone traces).
+        self.trace_id = trace_id
+        #: Labels identifying the producing process, e.g.
+        #: ``{"worker": 2, "os_pid": 1234, "job": "synth-200/..."}``.
+        self.process: Dict = dict(process or {})
         self.roots: List[Span] = []
         self._stack: List[Span] = []
         #: Counter-track series attached by instruments (e.g. the energy
         #: ledger): ``{"name", "t_s", "values"}`` dicts that the Chrome
         #: trace exporter renders as ``ph: "C"`` counter events.
         self.counter_tracks: List[Dict] = []
+        #: Trace documents (``Tracer.to_dict`` output) captured in other
+        #: processes, stitched in by the sweep runner.
+        self.subtraces: List[Dict] = []
+        #: Origin fallback when no root span ever closed: without this,
+        #: counter tracks or subtraces added to an otherwise span-less
+        #: tracer would export absolute ``perf_counter`` offsets.
+        self.created_at = time.perf_counter()
 
     @contextmanager
     def span(self, name: str,
@@ -115,13 +136,30 @@ class Tracer:
             self._stack.pop()
 
     def to_dict(self) -> Dict:
-        """The whole trace as a JSON-able document."""
+        """The whole trace as a JSON-able document.
+
+        Wall times are offsets from the trace origin: the earliest root
+        span start, falling back to the tracer's creation time when no
+        root span has started (never the absolute ``perf_counter``
+        epoch).  Counter tracks and stitched subtraces are included so
+        the ``.json`` and ``.trace.json`` exports carry the same data.
+        """
         origin = min((s.wall_start for s in self.roots
-                      if s.wall_start is not None), default=0.0)
-        return {
+                      if s.wall_start is not None),
+                     default=self.created_at)
+        doc: Dict = {
             "schema": TRACE_SCHEMA,
             "spans": [s.to_dict(origin) for s in self.roots],
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        if self.process:
+            doc["process"] = dict(self.process)
+        if self.counter_tracks:
+            doc["counter_tracks"] = [dict(t) for t in self.counter_tracks]
+        if self.subtraces:
+            doc["subtraces"] = [dict(t) for t in self.subtraces]
+        return doc
 
     def to_json(self, indent: int = 2) -> str:
         """The whole trace rendered as a JSON document string."""

@@ -18,8 +18,20 @@ three hard guarantees (docs/SWEEP.md):
 
 Wall-clock timings never enter the deterministic report: per-job timing
 rows go to a sibling ``*.bench.json`` file whose layout follows the
-:mod:`repro.bench` schema v5 case entries (one engine key
+:mod:`repro.bench` schema v6 case entries (one engine key
 per row; the other stays absent).
+
+When tracing is active (``--trace-out``), every job runs under its own
+:class:`~repro.obs.tracing.Tracer`; workers ship the per-job span tree
+home over the result queue and the parent stitches the documents into
+its tracer as ``subtraces`` in sorted job-key order -- one
+``repro.obs.trace/v2`` document whose Chrome export renders each job as
+its own pid row, byte-identical across worker counts modulo the
+wall-clock readings inside.  Kernel profiles (``--profile-out``) ship
+the same way: each job runs under its own
+:class:`~repro.obs.profile.Profiler` and the parent merges them in
+sorted-key order, so sweep-wide kernel totals are complete at any
+worker count.
 """
 
 from __future__ import annotations
@@ -44,7 +56,7 @@ from repro.network import (
     SetAdminState,
     supports_vectorized,
 )
-from repro.obs import metrics, tracing
+from repro.obs import metrics, profile, tracing
 from repro.obs.logging import get_logger
 from repro.sleep import Hypnos, HypnosConfig, plan_savings
 from repro.sweep.matrix import (
@@ -109,7 +121,7 @@ def run_job(spec: JobSpec, root_seed: int, engine: str = "auto",
 
     The report entry contains only values that are deterministic in
     ``(spec, root_seed, engine)``; everything wall-clock lives in the
-    bench row (a :mod:`repro.bench` schema-v5-shaped case entry).
+    bench row (a :mod:`repro.bench` schema-v6-shaped case entry).
     With ``attribution`` on, the entry gains an ``"attribution"`` key
     (the run's energy-ledger rollup); off adds no keys at all, keeping
     pre-attribution reports byte-identical.
@@ -200,24 +212,75 @@ def run_job(spec: JobSpec, root_seed: int, engine: str = "auto",
 
 def _execute_job(spec: JobSpec, root_seed: int, engine: str,
                  collect_metrics: bool, attribution: bool,
-                 ) -> Tuple[str, str, object, object, Optional[Dict]]:
-    """One job, optionally under a private registry; never raises."""
+                 capture_trace: bool = False,
+                 trace_id: Optional[str] = None,
+                 capture_profile: bool = False,
+                 ) -> Tuple[str, str, object, object, Optional[Dict],
+                            Optional[Dict],
+                            Optional[profile.Profiler]]:
+    """One job, optionally under a private registry; never raises.
+
+    With ``capture_trace``, the job runs under a fresh per-job
+    :class:`~repro.obs.tracing.Tracer` labelled with the job key and
+    worker OS pid, and the exported span tree rides home as the sixth
+    tuple slot -- the same code path inline and in a worker process, so
+    the stitched document's *shape* does not depend on worker count.
+    With ``capture_profile``, it likewise runs under a fresh per-job
+    :class:`~repro.obs.profile.Profiler` that rides home as the seventh
+    slot for the parent to merge, so ``--profile-out`` sees sweep-wide
+    kernel totals at any worker count.
+    """
     try:
-        if collect_metrics:
-            with metrics.use_registry(metrics.MetricsRegistry()) as registry:
-                entry, bench_row = run_job(spec, root_seed, engine,
-                                           attribution)
-            state = registry.snapshot_state()
-        else:
-            entry, bench_row = run_job(spec, root_seed, engine, attribution)
-            state = None
-        return ("ok", spec.key, entry, bench_row, state)
+        tracer: Optional[tracing.Tracer] = None
+        scope = _KEEP_TRACER
+        if capture_trace:
+            tracer = tracing.Tracer(
+                trace_id=trace_id,
+                process={"job": spec.key, "os_pid": os.getpid()})
+            scope = tracing.use_tracer(tracer)
+        prof = profile.Profiler() if capture_profile else None
+        prof_scope = (profile.use_profiler(prof) if capture_profile
+                      else _KEEP_TRACER)
+        with scope:
+            with prof_scope:
+                if collect_metrics:
+                    with metrics.use_registry(
+                            metrics.MetricsRegistry()) as registry:
+                        entry, bench_row = run_job(spec, root_seed,
+                                                   engine, attribution)
+                    state = registry.snapshot_state()
+                else:
+                    entry, bench_row = run_job(spec, root_seed, engine,
+                                               attribution)
+                    state = None
+        trace_doc = tracer.to_dict() if tracer is not None else None
+        return ("ok", spec.key, entry, bench_row, state, trace_doc,
+                prof)
     except Exception:
-        return ("error", spec.key, traceback.format_exc(), None, None)
+        return ("error", spec.key, traceback.format_exc(), None, None,
+                None, None)
+
+
+class _KeepTracerContext:
+    """No-op stand-in for ``use_tracer`` when not capturing traces."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_KEEP_TRACER = _KeepTracerContext()
 
 
 def _worker_main(task_queue, result_queue, root_seed: int, engine: str,
-                 collect_metrics: bool, attribution: bool) -> None:
+                 collect_metrics: bool, attribution: bool,
+                 capture_trace: bool = False,
+                 trace_id: Optional[str] = None,
+                 capture_profile: bool = False) -> None:
     """Worker process loop: pull specs until the ``None`` sentinel."""
     while True:
         spec = task_queue.get()
@@ -225,7 +288,8 @@ def _worker_main(task_queue, result_queue, root_seed: int, engine: str,
             return
         result_queue.put(
             _execute_job(spec, root_seed, engine, collect_metrics,
-                         attribution))
+                         attribution, capture_trace, trace_id,
+                         capture_profile))
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -298,7 +362,7 @@ def load_previous_jobs(output: Path, matrix: ScenarioMatrix,
 
 def _write_bench_rows(bench_output: Path, root_seed: int,
                       step_s: float, rows: Dict[str, Dict]) -> None:
-    """Per-job timing rows as a :mod:`repro.bench` schema v3 report.
+    """Per-job timing rows as a :mod:`repro.bench` schema v6 report.
 
     Re-run jobs replace their previous rows, kept rows survive (the
     same merge contract as ``repro.bench.run_benchmarks``), and the
@@ -387,12 +451,20 @@ def run_sweep(matrix: ScenarioMatrix,
     to_run = [job for job in job_list if job.key not in completed]
     n_workers = max(1, min(workers, len(to_run)))
     collect_metrics = metrics.enabled()
+    # Captured parent-side: forked workers inherit a *copy* of the
+    # parent tracer, so span trees must ship home explicitly.
+    capture_trace = tracing.enabled()
+    trace_id = f"sweep-{root_seed}" if capture_trace else None
+    capture_profile = profile.enabled()
 
     bench_rows: Dict[str, Dict] = {}
     metric_states: Dict[str, Dict] = {}
+    job_traces: Dict[str, Dict] = {}
+    job_profiles: Dict[str, profile.Profiler] = {}
     failures: Dict[str, str] = {}
 
-    def absorb(status: str, key: str, payload, bench_row, state) -> None:
+    def absorb(status: str, key: str, payload, bench_row, state,
+               trace_doc, job_prof) -> None:
         if status != "ok":
             failures[key] = payload
             M_JOBS.labels(status="error").inc()
@@ -402,6 +474,10 @@ def run_sweep(matrix: ScenarioMatrix,
         bench_rows[key] = bench_row
         if state is not None:
             metric_states[key] = state
+        if trace_doc is not None:
+            job_traces[key] = trace_doc
+        if job_prof is not None:
+            job_profiles[key] = job_prof
         M_JOBS.labels(status="ok").inc()
         if output is not None:
             _write_report(output, _report_document(
@@ -411,13 +487,18 @@ def run_sweep(matrix: ScenarioMatrix,
             f"{aggregates['steps']} steps "
             f"[{len(completed)}/{len(job_list)}]")
 
+    # Worker count stays out of the span attributes on purpose: it is
+    # already the netpower_sweep_workers gauge, and omitting it keeps
+    # the stitched trace byte-identical across --workers settings
+    # (modulo the wall-clock readings).
     with tracing.span("sweep.run", n_jobs=len(job_list),
-                      to_run=len(to_run), workers=n_workers,
-                      root_seed=root_seed):
+                      to_run=len(to_run), root_seed=root_seed):
         if n_workers == 1 or len(to_run) <= 1:
             for spec in to_run:
                 absorb(*_execute_job(spec, root_seed, engine,
-                                     collect_metrics, attribution))
+                                     collect_metrics, attribution,
+                                     capture_trace, trace_id,
+                                     capture_profile))
         else:
             context = multiprocessing.get_context()
             task_queue = context.Queue()
@@ -430,7 +511,8 @@ def run_sweep(matrix: ScenarioMatrix,
                 context.Process(
                     target=_worker_main,
                     args=(task_queue, result_queue, root_seed, engine,
-                          collect_metrics, attribution),
+                          collect_metrics, attribution, capture_trace,
+                          trace_id, capture_profile),
                     daemon=True)
                 for _ in range(n_workers)
             ]
@@ -454,6 +536,20 @@ def run_sweep(matrix: ScenarioMatrix,
         # After the merge: worker snapshots carry every declared gauge
         # (including this one, at zero) and gauges merge last-writer-wins.
         M_WORKERS.set(n_workers)
+        # Stitch per-job span trees into the parent tracer in sorted
+        # job-key order -- the document's structure is then a function
+        # of the jobs alone, not of worker count or completion order.
+        tracer = tracing.get_tracer()
+        if tracer is not None and job_traces:
+            tracer.trace_id = trace_id
+            tracer.subtraces.extend(
+                job_traces[key] for key in sorted(job_traces))
+        # Merge per-job kernel profiles the same way, so --profile-out
+        # reports sweep-wide totals regardless of worker count.
+        session_prof = profile.get_profiler()
+        if session_prof is not None:
+            for key in sorted(job_profiles):
+                session_prof.merge(job_profiles[key])
 
     if bench_rows and (bench_output is not None or output is not None):
         bench_path = (Path(bench_output) if bench_output is not None

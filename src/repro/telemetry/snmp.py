@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.hardware.psu import PsuSensorReading
 from repro.hardware.router import Counters, PsuSensorQuirk, VirtualRouter
+from repro.obs import profile
 from repro.telemetry.traces import CounterSeries, InterfaceTrace, TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -193,27 +194,29 @@ class SnmpCollector:
         true wall power; hosts present in it skip the per-router wall
         recomputation (see :meth:`SnmpAgent.poll_power`).
         """
-        self._timestamps.append(timestamp_s)
-        for hostname, agent in self.agents.items():
-            true_in = (None if true_power_by_host is None
-                       else true_power_by_host.get(hostname))
-            power = agent.poll_power(true_in=true_in)
-            self._power[hostname].append(
-                power if power is not None else np.nan)
-            if hostname not in self.detailed_hosts:
-                continue
-            store = self._counters[hostname]
-            ports_by_name = {p.name: p for p in agent.router.ports}
-            for iface_name, counters in agent.poll_counters().items():
-                port = ports_by_name[iface_name]
-                if not port.plugged:
+        with profile.region("kernel.snmp_poll"):
+            self._timestamps.append(timestamp_s)
+            for hostname, agent in self.agents.items():
+                true_in = (None if true_power_by_host is None
+                           else true_power_by_host.get(hostname))
+                power = agent.poll_power(true_in=true_in)
+                self._power[hostname].append(
+                    power if power is not None else np.nan)
+                if hostname not in self.detailed_hosts:
                     continue
-                slot = store.setdefault(iface_name, [[], [], [], [], []])
-                slot[0].append(timestamp_s)
-                slot[1].append(counters.rx_octets)
-                slot[2].append(counters.tx_octets)
-                slot[3].append(counters.rx_packets)
-                slot[4].append(counters.tx_packets)
+                store = self._counters[hostname]
+                ports_by_name = {p.name: p for p in agent.router.ports}
+                for iface_name, counters in agent.poll_counters().items():
+                    port = ports_by_name[iface_name]
+                    if not port.plugged:
+                        continue
+                    slot = store.setdefault(iface_name,
+                                            [[], [], [], [], []])
+                    slot[0].append(timestamp_s)
+                    slot[1].append(counters.rx_octets)
+                    slot[2].append(counters.tx_octets)
+                    slot[3].append(counters.rx_packets)
+                    slot[4].append(counters.tx_packets)
 
     def _vector_rows_for(self, hostnames: Sequence[str],
                          ) -> List[Tuple[str, List[float],
@@ -257,29 +260,32 @@ class SnmpCollector:
         recorded values match :meth:`record` bit for bit.  ``hostnames``
         must be the fleet order the power column is indexed by.
         """
-        self._timestamps.append(timestamp_s)
-        wall = true_power_w.tolist()
-        for (hostname, samples, router, detailed), true_in in zip(
-                self._vector_rows_for(hostnames), wall):
-            if router is None or not router.powered:
-                samples.append(np.nan)
-            else:
-                power = router.psu_reported_power_w(true_in=true_in)
-                samples.append(power if power is not None else np.nan)
-            if not detailed:
-                continue
-            rx_oct, tx_oct, rx_pkt, tx_pkt = state.counters_view(hostname)
-            store = self._counters[hostname]
-            ports = self.agents[hostname].router.ports
-            for k, port in enumerate(ports):
-                if not port.plugged:
+        with profile.region("kernel.snmp_poll"):
+            self._timestamps.append(timestamp_s)
+            wall = true_power_w.tolist()
+            for (hostname, samples, router, detailed), true_in in zip(
+                    self._vector_rows_for(hostnames), wall):
+                if router is None or not router.powered:
+                    samples.append(np.nan)
+                else:
+                    power = router.psu_reported_power_w(true_in=true_in)
+                    samples.append(power if power is not None else np.nan)
+                if not detailed:
                     continue
-                slot = store.setdefault(port.name, [[], [], [], [], []])
-                slot[0].append(timestamp_s)
-                slot[1].append(int(rx_oct[k]))
-                slot[2].append(int(tx_oct[k]))
-                slot[3].append(int(rx_pkt[k]))
-                slot[4].append(int(tx_pkt[k]))
+                rx_oct, tx_oct, rx_pkt, tx_pkt = state.counters_view(
+                    hostname)
+                store = self._counters[hostname]
+                ports = self.agents[hostname].router.ports
+                for k, port in enumerate(ports):
+                    if not port.plugged:
+                        continue
+                    slot = store.setdefault(port.name,
+                                            [[], [], [], [], []])
+                    slot[0].append(timestamp_s)
+                    slot[1].append(int(rx_oct[k]))
+                    slot[2].append(int(tx_oct[k]))
+                    slot[3].append(int(rx_pkt[k]))
+                    slot[4].append(int(tx_pkt[k]))
 
     def last_poll_s(self) -> Optional[float]:
         """Timestamp of the most recent poll, or None before the first."""

@@ -24,7 +24,8 @@ class TestRegistry:
 
     def test_every_family_is_represented(self):
         families = {rule.rule_id.rsplit("-", 1)[0] for rule in all_rules()}
-        assert families == {"NP-DET", "NP-UNIT", "NP-API", "NP-SCHEMA"}
+        assert families == {"NP-DET", "NP-UNIT", "NP-API", "NP-SCHEMA",
+                            "NP-OBS"}
 
     def test_severities_are_valid(self):
         for rule in all_rules():

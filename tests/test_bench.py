@@ -8,10 +8,26 @@ lives in ``benchmarks/test_perf_simulation.py``.
 
 from __future__ import annotations
 
+import copy
+import importlib.util
 import json
+from pathlib import Path
+
+import pytest
 
 from repro import bench
 from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_compare():
+    """Import ``scripts/bench_compare.py`` as a module."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO_ROOT / "scripts" / "bench_compare.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 class TestBenchModule:
@@ -103,6 +119,149 @@ class TestReportMerging:
         assert rc == 0
         report = json.loads(out.read_text())
         assert [c["name"] for c in report["cases"]] == ["small"]
+
+
+class TestProfileBlocks:
+    def test_engine_entries_carry_kernel_profiles(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert bench.main(["--quick", "--steps", "20",
+                           "--output", str(out)]) == 0
+        case = json.loads(out.read_text())["cases"][0]
+        for engine in ("object", "vector"):
+            prof = case[engine]["profile"]
+            assert "kernel.apply_traffic" in prof
+            assert "kernel.wall_power" in prof
+            for stats in prof.values():
+                assert stats["calls"] > 0
+                assert stats["cum_ms"] >= stats["self_ms"] >= 0
+
+
+class TestCompareReports:
+    """The regression sentinel: diffing two bench reports."""
+
+    def _report(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert bench.main(["--quick", "--steps", "20",
+                           "--output", str(out)]) == 0
+        return json.loads(out.read_text())
+
+    def test_identical_reports_are_clean(self, tmp_path):
+        report = self._report(tmp_path)
+        comparison = bench.compare_reports(report, report,
+                                           tolerance=0.15,
+                                           min_kernel_ms=0.0)
+        assert comparison["checked"] > 0
+        assert comparison["regressions"] == []
+        assert comparison["improvements"] == []
+
+    def test_injected_kernel_slowdown_is_a_regression(self, tmp_path):
+        current = self._report(tmp_path)
+        baseline = copy.deepcopy(current)
+        # Make the current run read 25% slower than the baseline on one
+        # kernel -- past the 15% default tolerance.
+        kernel = baseline["cases"][0]["vector"]["profile"][
+            "kernel.apply_traffic"]
+        kernel["cum_ms"] /= 1.25
+        comparison = bench.compare_reports(current, baseline,
+                                           tolerance=0.15,
+                                           min_kernel_ms=0.0)
+        metrics = [r["metric"] for r in comparison["regressions"]]
+        assert metrics == ["kernel:kernel.apply_traffic"]
+        assert comparison["regressions"][0]["ratio"] == \
+            pytest.approx(1.25, rel=1e-3)
+
+    def test_quiet_kernels_are_skipped(self, tmp_path):
+        current = self._report(tmp_path)
+        baseline = copy.deepcopy(current)
+        for entry in baseline["cases"]:
+            for engine in ("object", "vector"):
+                for stats in entry[engine]["profile"].values():
+                    stats["cum_ms"] /= 10.0
+        comparison = bench.compare_reports(current, baseline,
+                                           min_kernel_ms=1e9)
+        assert not any(r["metric"].startswith("kernel:")
+                       for r in comparison["regressions"])
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        report = self._report(tmp_path)
+        stale = dict(report, schema="repro.bench.simulation/v5")
+        with pytest.raises(ValueError, match="regenerate the baseline"):
+            bench.compare_reports(report, stale)
+        with pytest.raises(ValueError, match="regenerate the baseline"):
+            bench.compare_reports(stale, report)
+
+    def test_compare_script_exit_codes(self, tmp_path, capsys):
+        script = _load_bench_compare()
+        report = self._report(tmp_path)
+        current_path = tmp_path / "bench.json"
+        slowed = tmp_path / "slowed_baseline.json"
+        baseline = copy.deepcopy(report)
+        baseline["cases"][0]["vector"]["profile"][
+            "kernel.apply_traffic"]["cum_ms"] /= 2.0
+        slowed.write_text(json.dumps(baseline))
+        assert script.main([str(current_path), str(current_path)]) == 0
+        assert script.main([str(current_path), str(slowed),
+                            "--min-kernel-ms", "0"]) == 1
+        with pytest.raises(SystemExit) as excinfo:
+            script.main([str(current_path),
+                         str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_cli_bench_compare_flags(self, tmp_path, capsys):
+        report = self._report(tmp_path)
+        current_path = tmp_path / "bench.json"
+        # Clean self-comparison at a generous tolerance: exit 0 (the
+        # re-run's timings are noisy, the structure is what we pin).
+        rc = cli_main(["bench", "--quick", "--steps", "20",
+                       "--output", str(tmp_path / "rerun.json"),
+                       "--compare", str(current_path),
+                       "--tolerance", "100.0", "--history", "-"])
+        assert rc == 0
+        # A baseline that makes every metric read much slower: exit 1.
+        slowed = tmp_path / "slow.json"
+        scaled = copy.deepcopy(report)
+        for entry in scaled["cases"]:
+            for engine in ("object", "vector"):
+                for key in ("ms_per_step", "ms_per_step_per_1k_routers"):
+                    entry[engine][key] /= 1000.0
+        slowed.write_text(json.dumps(scaled))
+        rc = cli_main(["bench", "--quick", "--steps", "20",
+                       "--output", str(tmp_path / "rerun2.json"),
+                       "--compare", str(slowed), "--history", "-"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # An unreadable baseline fails fast, before the run: exit 2.
+        rc = cli_main(["bench", "--quick", "--steps", "20",
+                       "--output", str(tmp_path / "rerun3.json"),
+                       "--compare", str(tmp_path / "nope.json")])
+        assert rc == 2
+        capsys.readouterr()
+
+
+class TestBenchHistory:
+    def test_history_appends_one_line_per_run(self, tmp_path):
+        out = tmp_path / "bench.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        for _ in range(2):
+            assert bench.main(["--quick", "--steps", "10",
+                               "--output", str(out)]) == 0
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        entry = json.loads(lines[0])
+        assert entry["schema"] == bench.HISTORY_SCHEMA
+        small = entry["cases"]["small"]
+        for engine in ("object", "vector"):
+            assert small[engine]["ms_per_step"] > 0
+            assert small[engine]["kernel_cum_ms"]
+        # No wall-clock date: append order is the trajectory.
+        assert "date" not in entry and "time" not in entry
+
+    def test_dash_disables_history(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert bench.main(["--quick", "--steps", "10",
+                           "--output", str(out), "--history", "-"]) == 0
+        assert not (tmp_path / "BENCH_history.jsonl").exists()
 
 
 class TestBenchCli:

@@ -58,6 +58,76 @@ class TestChromeTraceDocument:
         json.dumps(chrome_trace(_sample_tracer()))
 
 
+class TestCounterTracks:
+    def test_counter_events_on_sim_time_process(self):
+        tracer = _sample_tracer()
+        tracer.counter_tracks.append({
+            "name": "fleet_power_w", "t_s": [0.0, 300.0, 600.0],
+            "values": [10.0, 12.0, 11.0]})
+        events = chrome_trace(tracer)["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert [e["args"]["value"] for e in counters] == \
+            [10.0, 12.0, 11.0]
+        # Counter timestamps are *simulated* seconds-as-microseconds,
+        # on their own pid so the two time bases stay separate.
+        assert [e["ts"] for e in counters] == [0.0, 3e8, 6e8]
+        assert all(e["pid"] == 2 for e in counters)
+        names = [e for e in events
+                 if e["ph"] == "M" and e["pid"] == 2]
+        assert names[0]["args"]["name"] == "simulation (sim-time axis)"
+
+    def test_no_counter_process_without_tracks(self):
+        events = chrome_trace(_sample_tracer())["traceEvents"]
+        assert all(e["pid"] != 2 for e in events)
+
+
+class TestSubtraceRows:
+    def _stitched(self):
+        parent = _sample_tracer()
+        parent.trace_id = "sweep-7"
+        for index, job in enumerate(["tiny/busy", "tiny/quiet"]):
+            child = tracing.Tracer(
+                trace_id="sweep-7",
+                process={"job": job, "os_pid": 100 + index})
+            clock = iter([0.0, 900.0]).__next__
+            with child.span("sweep.job", sim_clock=clock, key=job):
+                with child.span("sim.run"):
+                    pass
+            parent.subtraces.append(child.to_dict())
+        return parent
+
+    def test_each_subtrace_gets_its_own_pid_row(self):
+        events = chrome_trace(self._stitched())["traceEvents"]
+        rows = {e["pid"]: e["args"]["name"] for e in events
+                if e["ph"] == "M"}
+        assert rows[1] == "netpower"
+        assert rows[3] == "job=tiny/busy os_pid=100"
+        assert rows[4] == "job=tiny/quiet os_pid=101"
+
+    def test_subtrace_spans_nest_and_keep_metadata(self):
+        events = chrome_trace(self._stitched())["traceEvents"]
+        pid3 = [e for e in events if e["pid"] == 3 and e["ph"] == "X"]
+        assert [e["name"] for e in pid3] == ["sweep.job", "sim.run"]
+        job = pid3[0]
+        assert job["args"]["key"] == "tiny/busy"
+        assert job["args"]["sim_start_s"] == 0.0
+        assert job["args"]["sim_duration_s"] == 900.0
+        assert job["ts"] == 0.0 and job["dur"] >= pid3[1]["dur"]
+
+    def test_unlabelled_subtrace_gets_positional_name(self):
+        parent = tracing.Tracer()
+        child = tracing.Tracer()
+        with child.span("work"):
+            pass
+        parent.subtraces.append(child.to_dict())
+        events = chrome_trace(parent)["traceEvents"]
+        row = [e for e in events if e["ph"] == "M" and e["pid"] == 3]
+        assert row[0]["args"]["name"] == "subtrace 0"
+
+    def test_stitched_document_serializes(self):
+        json.dumps(chrome_trace(self._stitched()))
+
+
 class TestWriteTraceDispatch:
     def test_trace_json_extension_selects_chrome_format(self, tmp_path):
         tracer = _sample_tracer()

@@ -86,6 +86,58 @@ class TestExport:
             pass
         assert json.loads(tracer.to_json())["spans"][0]["name"] == "roundtrip"
 
+    def test_v2_identity_fields_only_when_set(self):
+        bare = tracing.Tracer()
+        with bare.span("a"):
+            pass
+        doc = bare.to_dict()
+        assert doc["schema"] == "repro.obs.trace/v2"
+        for absent in ("trace_id", "process", "counter_tracks",
+                       "subtraces"):
+            assert absent not in doc
+        labelled = tracing.Tracer(trace_id="sweep-7",
+                                  process={"job": "tiny/quiet"})
+        labelled_doc = labelled.to_dict()
+        assert labelled_doc["trace_id"] == "sweep-7"
+        assert labelled_doc["process"] == {"job": "tiny/quiet"}
+
+    def test_counter_tracks_survive_export(self):
+        tracer = tracing.Tracer()
+        with tracer.span("run"):
+            pass
+        track = {"name": "fleet_power_w", "t_s": [0.0, 300.0],
+                 "values": [10.0, 12.0]}
+        tracer.counter_tracks.append(track)
+        doc = tracer.to_dict()
+        assert doc["counter_tracks"] == [track]
+        # The export copies, so later mutation cannot alias into it.
+        assert doc["counter_tracks"][0] is not track
+
+    def test_subtraces_survive_export(self):
+        parent = tracing.Tracer(trace_id="sweep-7")
+        child = tracing.Tracer(trace_id="sweep-7",
+                               process={"job": "tiny/quiet", "os_pid": 1})
+        with child.span("sweep.job"):
+            pass
+        parent.subtraces.append(child.to_dict())
+        doc = parent.to_dict()
+        assert [s["process"]["job"] for s in doc["subtraces"]] == \
+            ["tiny/quiet"]
+        assert doc["subtraces"][0]["spans"][0]["name"] == "sweep.job"
+
+    def test_spanless_origin_falls_back_to_creation_time(self):
+        # Regression guard: the spanless origin used to default to 0.0,
+        # the absolute perf_counter epoch, so anything exported against
+        # it (counter tracks, stitched subtraces) carried hours-long
+        # offsets.  It must be the tracer's creation instant instead.
+        tracer = tracing.Tracer()
+        tracer.counter_tracks.append(
+            {"name": "t", "t_s": [0.0], "values": [1.0]})
+        doc = tracer.to_dict()
+        assert doc["spans"] == []
+        assert doc["counter_tracks"][0]["name"] == "t"
+        assert tracer.created_at > 0.0
+
 
 class TestDisabledPath:
     def test_module_span_is_noop_without_tracer(self):

@@ -9,7 +9,7 @@ import json
 
 import pytest
 
-from repro.obs import metrics
+from repro.obs import metrics, tracing
 from repro.sweep import (
     JobSpec,
     MATRIX_PRESETS,
@@ -153,7 +153,7 @@ class TestBenchRows:
         report = json.loads(output.read_text())
         assert "wall_s" not in json.dumps(report)
         rows = json.loads(default_bench_output(output).read_text())
-        assert rows["schema"] == "repro.bench.simulation/v5"
+        assert rows["schema"] == "repro.bench.simulation/v6"
         assert len(rows["cases"]) == FAST.n_jobs
         by_name = {case["name"]: case for case in rows["cases"]}
         for job in report["jobs"]:
@@ -161,6 +161,70 @@ class TestBenchRows:
             engine = job["run"]["engine"]
             assert case[engine]["wall_s"] >= 0
             assert case["seed"] == job["seed"]
+
+
+class TestTraceStitching:
+    """Worker span trees are stitched into one deterministic trace."""
+
+    @staticmethod
+    def _normalized(doc):
+        """The trace document minus its wall-clock measurements.
+
+        Span structure, names, attributes, sim-clock fields, process
+        labels, and subtrace order are the deterministic contract;
+        ``start_s``/``duration_s`` and the workers' OS pids are not.
+        """
+        def strip_span(span):
+            span = {key: value for key, value in span.items()
+                    if key not in ("start_s", "duration_s")}
+            if "children" in span:
+                span["children"] = [strip_span(child)
+                                    for child in span["children"]]
+            return span
+
+        doc = dict(doc)
+        doc["spans"] = [strip_span(span) for span in doc["spans"]]
+        subtraces = []
+        for sub in doc.get("subtraces", ()):
+            sub = dict(sub)
+            sub["spans"] = [strip_span(span) for span in sub["spans"]]
+            process = dict(sub.get("process", {}))
+            process.pop("os_pid", None)
+            sub["process"] = process
+            subtraces.append(sub)
+        if subtraces:
+            doc["subtraces"] = subtraces
+        return doc
+
+    def test_stitched_trace_invariant_to_worker_count(self, tmp_path):
+        docs = {}
+        for n in (1, 4):
+            tracer = tracing.Tracer()
+            with tracing.use_tracer(tracer):
+                run_sweep(FAST, root_seed=7, workers=n,
+                          output=tmp_path / f"w{n}.json")
+            docs[n] = self._normalized(tracer.to_dict())
+        assert docs[1] == docs[4]
+
+    def test_subtraces_carry_job_and_trace_id(self, tmp_path):
+        tracer = tracing.Tracer()
+        with tracing.use_tracer(tracer):
+            run_sweep(FAST, root_seed=7, workers=2,
+                      output=tmp_path / "sweep.json")
+        doc = tracer.to_dict()
+        assert doc["trace_id"] == "sweep-7"
+        assert [sub["process"]["job"] for sub in doc["subtraces"]] == \
+            sorted(job.key for job in expand(FAST))
+        for sub in doc["subtraces"]:
+            assert sub["schema"] == tracing.TRACE_SCHEMA
+            assert sub["trace_id"] == "sweep-7"
+            assert "os_pid" in sub["process"]
+            assert [span["name"] for span in sub["spans"]] == ["sweep.job"]
+
+    def test_no_subtraces_without_a_tracer(self, tmp_path):
+        run_sweep(FAST, root_seed=7, workers=2,
+                  output=tmp_path / "sweep.json")
+        assert tracing.get_tracer() is None
 
 
 class TestMetricsState:
