@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Load-test ``netpower serve`` and record BENCH_serve.json.
+
+Usage::
+
+    python scripts/serve_load.py [--preset synth-1k] [--clients 1000]
+                                 [--requests 10] [--distinct 64]
+                                 [--seed 7] [--output BENCH_serve.json]
+                                 [--history BENCH_history.jsonl]
+
+Boots an in-process :class:`~repro.serve.app.NetpowerServer` on an
+ephemeral port, waits for readiness, then runs ``--clients`` concurrent
+operator coroutines.  Each operator keeps one persistent HTTP/1.1
+connection and polls ``/predict`` with bodies drawn from a shared pool
+of ``--distinct`` seeded router queries -- the repeat-poll pattern real
+operators produce, which is what exercises the cheap tier.  Every
+response body is checked against the first response seen for that pool
+entry, so the run doubles as a fleet-scale bit-determinism check
+across the cached and full tiers.
+
+The report (schema ``repro.bench.serve/v1``) records wall time,
+requests/s, latency percentiles, the tier mix, and batcher shape, and
+appends a one-line trajectory entry to the bench history file.
+"""
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.ioutil import atomic_write_text  # noqa: E402
+from repro.serve import NetpowerServer, ServeConfig  # noqa: E402
+
+SERVE_BENCH_SCHEMA = "repro.bench.serve/v1"
+HISTORY_SCHEMA = "repro.bench.history/v1"
+
+#: Transceivers the simulated operators report rates for.
+_TRX_POOL = ("QSFP28-100G-DAC", "SFP28-25G-DAC", "SFP+-10G-DAC")
+
+
+def build_query_pool(models, distinct, seed):
+    """Seeded pool of /predict bodies the operators draw from."""
+    rng = np.random.default_rng(seed)
+    pool = []
+    for index in range(distinct):
+        model = models[index % len(models)]
+        n_ifaces = int(rng.integers(0, 9))
+        interfaces = []
+        for i in range(n_ifaces):
+            trx = _TRX_POOL[int(rng.integers(0, len(_TRX_POOL)))]
+            interfaces.append({
+                "name": f"et{i}",
+                "trx": trx,
+                "octet_rate_rx": float(rng.uniform(0.0, 2.0e9)),
+                "octet_rate_tx": float(rng.uniform(0.0, 2.0e9)),
+                "packet_rate_rx": float(rng.uniform(0.0, 2.0e5)),
+                "packet_rate_tx": float(rng.uniform(0.0, 2.0e5)),
+            })
+        body = json.dumps({"routers": [
+            {"router_model": model, "interfaces": interfaces}]},
+            sort_keys=True).encode()
+        pool.append(body)
+    return pool
+
+
+async def http_request(reader, writer, method, path, body=b""):
+    """One request on a persistent connection; returns (status, body)."""
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: bench\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n").encode()
+    writer.write(head + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    payload = await reader.readexactly(length) if length else b""
+    return status, payload
+
+
+async def operator(client_id, port, pool, n_requests, latencies,
+                   canonical, errors):
+    """One simulated operator: a keep-alive poll loop over the pool."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for n in range(n_requests):
+            slot = (client_id + n) % len(pool)
+            started = time.perf_counter()
+            status, payload = await http_request(
+                reader, writer, "POST", "/predict", pool[slot])
+            latencies.append(time.perf_counter() - started)
+            if status != 200:
+                errors.append(f"client {client_id}: status {status}: "
+                              f"{payload[:200]!r}")
+                return
+            first = canonical.setdefault(slot, payload)
+            if payload != first:
+                errors.append(f"client {client_id}: pool slot {slot} "
+                              f"response bytes changed")
+                return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending list."""
+    index = min(len(sorted_values) - 1,
+                max(0, int(fraction * len(sorted_values))))
+    return sorted_values[index]
+
+
+async def run_load(args):
+    config = ServeConfig(preset=args.preset, seed=args.seed, port=0,
+                         warmup_steps=args.warmup_steps)
+    server = NetpowerServer(config)
+    load_started = time.perf_counter()
+    await server.start()
+    ready = asyncio.ensure_future(server._ready.wait())
+    stopped = asyncio.ensure_future(server._stop.wait())
+    await asyncio.wait((ready, stopped),
+                       return_when=asyncio.FIRST_COMPLETED)
+    if server.load_error:
+        raise SystemExit(f"fleet load failed: {server.load_error}")
+    stopped.cancel()
+    load_s = time.perf_counter() - load_started
+    assert server.service is not None
+    models = sorted(server.service.models)
+    n_routers = server.service.fleet_doc["n_routers"]
+    pool = build_query_pool(models, args.distinct, args.seed)
+
+    latencies = []
+    canonical = {}
+    errors = []
+    bench_started = time.perf_counter()
+    await asyncio.gather(*[
+        operator(client_id, server.bound_port, pool, args.requests,
+                 latencies, canonical, errors)
+        for client_id in range(args.clients)])
+    wall_s = time.perf_counter() - bench_started
+    await server.shutdown()
+    if errors:
+        for line in errors[:10]:
+            print(f"error: {line}", file=sys.stderr)
+        raise SystemExit(f"{len(errors)} operator(s) failed")
+
+    latencies.sort()
+    total = len(latencies)
+    cache = server.cache
+    batcher = server.batcher
+    report = {
+        "schema": SERVE_BENCH_SCHEMA,
+        "generated_by": "python scripts/serve_load.py",
+        "preset": args.preset,
+        "seed": args.seed,
+        "n_routers": n_routers,
+        "models": models,
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "distinct_queries": args.distinct,
+        "load_s": round(load_s, 4),
+        "requests": total,
+        "wall_s": round(wall_s, 4),
+        "requests_per_s": round(total / wall_s, 2),
+        "latency_ms": {
+            "p50": round(1e3 * percentile(latencies, 0.50), 3),
+            "p90": round(1e3 * percentile(latencies, 0.90), 3),
+            "p99": round(1e3 * percentile(latencies, 0.99), 3),
+            "max": round(1e3 * latencies[-1], 3),
+            "mean": round(1e3 * statistics.fmean(latencies), 3),
+        },
+        "tiers": {
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_entries": len(cache),
+            "hit_rate": round(cache.hits / (cache.hits + cache.misses), 4)
+            if cache.hits + cache.misses else None,
+        },
+        "batcher": {
+            "flushed_batches": batcher.flushed_batches,
+            "flushed_entries": batcher.flushed_entries,
+            "mean_batch": round(
+                batcher.flushed_entries / batcher.flushed_batches, 2)
+            if batcher.flushed_batches else None,
+        },
+    }
+    return report
+
+
+def append_history(history_path, report):
+    """One sorted-key trajectory line alongside the simulation bench."""
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "seed": report["seed"],
+        "serve": {
+            "preset": report["preset"],
+            "clients": report["clients"],
+            "requests_per_s": report["requests_per_s"],
+            "p99_ms": report["latency_ms"]["p99"],
+            "hit_rate": report["tiers"]["hit_rate"],
+        },
+    }
+    with Path(history_path).open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--preset", default="synth-1k")
+    parser.add_argument("--clients", type=int, default=1000)
+    parser.add_argument("--requests", type=int, default=10,
+                        help="requests per client")
+    parser.add_argument("--distinct", type=int, default=64,
+                        help="distinct query bodies in the shared pool")
+    parser.add_argument("--warmup-steps", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    parser.add_argument("--history", default="BENCH_history.jsonl")
+    args = parser.parse_args()
+
+    report = asyncio.run(run_load(args))
+    atomic_write_text(args.output,
+                      json.dumps(report, indent=1, sort_keys=True) + "\n")
+    if args.history:
+        append_history(args.history, report)
+    lat = report["latency_ms"]
+    print(f"{report['requests']} requests from {report['clients']} "
+          f"clients against {report['n_routers']} routers: "
+          f"{report['requests_per_s']:.0f} req/s, "
+          f"p50 {lat['p50']:.2f} ms, p99 {lat['p99']:.2f} ms, "
+          f"cache hit rate {report['tiers']['hit_rate']}")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

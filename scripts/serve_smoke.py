@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""CI smoke test for ``netpower serve``.
+
+Usage::
+
+    python scripts/serve_smoke.py [--preset synth-200] [--seed 7]
+
+Boots the server through the real CLI entry point as a subprocess,
+then checks the serving contract end to end:
+
+* ``/healthz`` answers 200 while the fleet is still loading and
+  ``/readyz`` answers 503 during that window (readiness ordering);
+* once ready, every endpoint answers: ``/fleet`` (schema-stamped,
+  byte-equal to the ``--snapshot-out`` file), ``/metrics`` (Prometheus
+  text), ``/predict`` (bit-identical across repeats, cached tier
+  bit-equal to the full tier), ``/whatif`` (a link toggle produces a
+  negative delta), and bad inputs get 400s;
+* SIGTERM produces a clean exit code 0.
+
+Exit code 0 on success, 1 with a diagnosis on stderr otherwise.
+Designed to finish well under a minute on a CI runner: the synth-200
+load window is a few seconds and every check is a handful of requests.
+"""
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(port, path, payload=None):
+    """One HTTP exchange; returns (status, body, headers)."""
+    url = f"http://127.0.0.1:{port}{path}"
+    if payload is None:
+        req = urllib.request.Request(url)
+    else:
+        req = urllib.request.Request(
+            url, data=json.dumps(payload).encode(), method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=10) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--preset", default="synth-200")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--snapshot", default="serve-fleet.json")
+    args = parser.parse_args()
+
+    started = time.monotonic()
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         "--preset", args.preset, "--seed", str(args.seed),
+         "--port", "0", "--warmup-steps", "4",
+         "--snapshot-out", args.snapshot],
+        cwd=REPO, stdout=subprocess.PIPE, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+    try:
+        announce = process.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", announce)
+        if not match:
+            fail(f"no listen announcement, got {announce!r}")
+        port = int(match.group(1))
+
+        # Readiness ordering: the socket answers before the fleet loads.
+        status, _, _ = request(port, "/healthz")
+        if status != 200:
+            fail(f"/healthz {status} while loading")
+        status, _, _ = request(port, "/readyz")
+        if status != 503:
+            fail(f"/readyz {status} during the load window (want 503)")
+        while True:
+            status, body, _ = request(port, "/readyz")
+            if status == 200:
+                break
+            if time.monotonic() - started > 120:
+                fail(f"not ready after 120 s: {body!r}")
+            time.sleep(0.5)
+
+        status, fleet_body, _ = request(port, "/fleet")
+        if status != 200:
+            fail(f"/fleet {status}")
+        fleet = json.loads(fleet_body)
+        if fleet.get("schema") != "repro.serve/v1":
+            fail(f"/fleet schema {fleet.get('schema')!r}")
+        if not fleet.get("attribution", {}).get("conserved", False):
+            fail("fleet warmup attribution did not conserve")
+        snapshot = (REPO / args.snapshot).read_bytes()
+        if snapshot != fleet_body:
+            fail("--snapshot-out file differs from GET /fleet")
+
+        status, text, _ = request(port, "/metrics")
+        if status != 200 or b"netpower_serve_ready 1" not in text:
+            fail(f"/metrics {status} or ready gauge missing")
+
+        predict = {"routers": [{
+            "router_model": fleet["models"][0],
+            "interfaces": [{
+                "name": "et0", "trx": "QSFP28-100G-DAC",
+                "octet_rate_rx": 1.25e9, "octet_rate_tx": 9.0e8,
+                "packet_rate_rx": 1.5e5, "packet_rate_tx": 1.2e5}]}]}
+        status, first, headers = request(port, "/predict", predict)
+        if status != 200:
+            fail(f"/predict {status}: {first!r}")
+        if headers.get("X-Netpower-Tier") != "full":
+            fail(f"first /predict tier {headers.get('X-Netpower-Tier')!r}")
+        status, second, headers = request(port, "/predict", predict)
+        if second != first:
+            fail("repeated /predict bodies differ")
+        if headers.get("X-Netpower-Tier") != "cached":
+            fail(f"second /predict tier {headers.get('X-Netpower-Tier')!r}")
+        status, body, _ = request(port, "/predict", {"routers": "nope"})
+        if status != 400:
+            fail(f"malformed /predict {status} (want 400)")
+
+        whatif = {"changes": [
+            {"hostname": "r000001", "port_index": 0, "admin_up": False}]}
+        status, body, _ = request(port, "/whatif", whatif)
+        if status != 200:
+            fail(f"/whatif {status}: {body!r}")
+        delta = json.loads(body)["delta_w"]
+        if delta > 0:
+            fail(f"admin-down /whatif delta {delta} > 0")
+        status, body, _ = request(port, "/whatif",
+                                  {"changes": [{"hostname": "ghost",
+                                                "port_index": 0,
+                                                "admin_up": False}]})
+        if status != 400:
+            fail(f"unknown-router /whatif {status} (want 400)")
+
+        status, _, _ = request(port, "/no-such-endpoint")
+        if status != 404:
+            fail(f"unknown path {status} (want 404)")
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=30)
+        if code != 0:
+            fail(f"exit code {code} after SIGTERM (want 0)")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+    elapsed = time.monotonic() - started
+    print(f"serve_smoke: OK in {elapsed:.1f} s "
+          f"({fleet['n_routers']} routers, {len(fleet['models'])} models)")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ioutil import atomic_write_text
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import _LEVELS, configure, configure_reporter
 
@@ -283,6 +284,36 @@ def _parser() -> argparse.ArgumentParser:
                       help="write the fleet inventory JSON here "
                            "(default: summary only)")
 
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="async fleet-power query service (docs/SERVE.md)")
+    serve.add_argument("--preset", default="synth-200",
+                       help="synth fleet preset to load "
+                            "(default: %(default)s)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: %(default)s)")
+    serve.add_argument("--warmup-steps", type=int, default=8,
+                       help="warmup simulation steps behind /fleet "
+                            "(default: %(default)s)")
+    serve.add_argument("--warmup-step", type=float, default=300.0,
+                       help="warmup step size in seconds "
+                            "(default: %(default)s)")
+    serve.add_argument("--octet-quantum", type=float, default=125.0,
+                       help="admission quantum for octet rates, bytes/s "
+                            "(0 disables; default: %(default)s)")
+    serve.add_argument("--packet-quantum", type=float, default=1.0,
+                       help="admission quantum for packet rates, pkt/s "
+                            "(0 disables; default: %(default)s)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="serve without a metrics registry "
+                            "(/metrics returns 404)")
+    serve.add_argument("--snapshot-out", metavar="PATH", default=None,
+                       help="write the /fleet snapshot JSON here once "
+                            "loaded (atomic replace)")
+
     sweep = sub.add_parser(
         "sweep", parents=[common],
         help="sharded multiprocess scenario sweep (docs/SWEEP.md)")
@@ -354,8 +385,7 @@ def _cmd_derive(args) -> int:
     # schema is owned and versioned by repro.zoo.database (ZOO_SCHEMA).
     document = json.dumps(model.to_dict(), indent=2)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(document + "\n")
+        atomic_write_text(args.output, document + "\n")
         _out(f"wrote {args.output}")
     else:
         _out(document)
@@ -523,8 +553,7 @@ def _cmd_zoo(args) -> int:
         _progress(f"derived {device}")
     document = zoo.to_json()
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(document + "\n")
+        atomic_write_text(args.output, document + "\n")
         _out(f"wrote {args.output}")
     else:
         _out(document)
@@ -743,8 +772,7 @@ def _cmd_explain(args) -> int:
     rendered = (explain_to_json(document) if args.format == "json"
                 else render_explain_text(document))
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(rendered + "\n")
+        atomic_write_text(args.out, rendered + "\n")
         _out(f"wrote {args.out}")
     else:
         _out(rendered)
@@ -995,10 +1023,34 @@ def _cmd_topo(args) -> int:
     _out(f"total wall power   : {network.total_wall_power_w():,.0f} W")
     if args.output:
         document = FleetInventory.capture(network).to_json()
-        with open(args.output, "w") as handle:
-            handle.write(document + "\n")
+        atomic_write_text(args.output, document + "\n")
         _out(f"wrote {args.output}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+    from repro.serve.app import serve_forever
+
+    config = ServeConfig(
+        preset=args.preset, seed=args.seed,
+        host=args.host, port=args.port,
+        warmup_steps=args.warmup_steps,
+        warmup_step_s=args.warmup_step,
+        octet_quantum=args.octet_quantum,
+        packet_quantum=args.packet_quantum,
+        metrics_enabled=not args.no_metrics,
+        snapshot_out=args.snapshot_out)
+    if config.metrics_enabled and obs_metrics.get_registry() is None:
+        # A live /metrics endpoint needs a registry even when no
+        # --metrics-out snapshot was requested.
+        from repro.obs import load_instrument_catalog
+        load_instrument_catalog()
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()):
+            return asyncio.run(serve_forever(config, announce=_out))
+    return asyncio.run(serve_forever(config, announce=_out))
 
 
 def _cmd_check(args) -> int:
@@ -1042,6 +1094,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "topo": _cmd_topo,
+    "serve": _cmd_serve,
     "monitor": _cmd_monitor,
     "sweep": _cmd_sweep,
     "check": _cmd_check,

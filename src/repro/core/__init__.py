@@ -28,6 +28,7 @@ from repro.core.prediction import (
     DeployedInterface,
     predict_trace,
     predict_instant,
+    resolve_class_key,
     transceiver_power_w,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "DeployedInterface",
     "predict_trace",
     "predict_instant",
+    "resolve_class_key",
     "transceiver_power_w",
 ]

@@ -21,8 +21,29 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import units
+from repro.activity import ACTIVE_PPS_THRESHOLD, prediction_active
 from repro.core.model import InterfaceClassKey, PowerModel
 from repro.hardware.transceiver import TRANSCEIVER_CATALOG
+
+
+def resolve_class_key(trx_name: Optional[str],
+                      speed_gbps: Optional[float] = None
+                      ) -> Optional[InterfaceClassKey]:
+    """The interface class implied by an inventory entry.
+
+    ``None`` when the module name is missing or unknown to the catalog
+    (such interfaces contribute nothing to a prediction).  The port
+    speed defaults to the module's nominal rate; a configured
+    ``speed_gbps`` overrides it (clocked-down DACs).
+    """
+    if trx_name is None:
+        return None
+    model = TRANSCEIVER_CATALOG.get(trx_name)
+    if model is None:
+        return None
+    speed = speed_gbps if speed_gbps else model.speed_gbps
+    return InterfaceClassKey(port_type=model.form_factor.value,
+                             reach=model.reach.value, speed_gbps=speed)
 
 
 @dataclass
@@ -70,14 +91,7 @@ class DeployedInterface:
         return self._class_key_memo[1]
 
     def _resolve_class_key(self) -> Optional[InterfaceClassKey]:
-        if self.trx_name is None:
-            return None
-        model = TRANSCEIVER_CATALOG.get(self.trx_name)
-        if model is None:
-            return None
-        speed = self.speed_gbps if self.speed_gbps else model.speed_gbps
-        return InterfaceClassKey(port_type=model.form_factor.value,
-                                 reach=model.reach.value, speed_gbps=speed)
+        return resolve_class_key(self.trx_name, self.speed_gbps)
 
     def physical_bit_rate(self) -> np.ndarray:
         """Two-direction physical-layer bit rate from the counters.
@@ -99,7 +113,8 @@ class DeployedInterface:
 def predict_trace(model: PowerModel,
                   interfaces: Sequence[DeployedInterface],
                   assume_unplugged_when_idle: bool = True,
-                  active_pps_threshold: float = 1e-3) -> np.ndarray:
+                  active_pps_threshold: float = ACTIVE_PPS_THRESHOLD,
+                  n_samples: Optional[int] = None) -> np.ndarray:
     """Predicted power time series for one deployed router.
 
     Parameters
@@ -113,11 +128,28 @@ def predict_trace(model: PowerModel,
         treated as absent (its module assumed unplugged).  When ``False``,
         idle inventory-listed modules still contribute ``P_trx,in``.
     active_pps_threshold:
-        Packet rate below which an interface counts as idle.
+        Packet rate at or below which an interface counts as idle
+        (:func:`repro.activity.prediction_active`).
+    n_samples:
+        Length of the time grid.  Required when ``interfaces`` is
+        empty -- a router with no inventory still draws ``P_base``, so
+        the caller must say how many samples of base power it wants;
+        an empty sequence with no ``n_samples`` raises ``ValueError``
+        rather than silently dropping the router from a fleet sum.
+        When interfaces are given it is validated against their length.
     """
     if not interfaces:
-        return np.array([])
+        if n_samples is None:
+            raise ValueError(
+                "predict_trace with no interfaces needs n_samples: a "
+                "router without inventory still draws P_base, and a "
+                "zero-length trace would silently drop it")
+        return np.full(n_samples, model.p_base_w.value, dtype=float)
     n = interfaces[0].n_samples
+    if n_samples is not None and n_samples != n:
+        raise ValueError(
+            f"n_samples={n_samples} disagrees with the interface rate "
+            f"arrays ({n} samples)")
     for iface in interfaces:
         if iface.n_samples != n:
             raise ValueError(
@@ -138,7 +170,7 @@ def predict_trace(model: PowerModel,
         iface_model = model.interface_model(key)
         bps = np.stack([m.physical_bit_rate() for m in members])
         pps = np.stack([m.packet_rate() for m in members])
-        active = pps > active_pps_threshold
+        active = prediction_active(pps, active_pps_threshold)
 
         active_power = (
             iface_model.p_trx_in_w.value + iface_model.p_port_w.value
@@ -155,14 +187,26 @@ def predict_trace(model: PowerModel,
 def predict_instant(model: PowerModel,
                     interfaces: Sequence[DeployedInterface],
                     index: int,
-                    assume_unplugged_when_idle: bool = True) -> float:
+                    assume_unplugged_when_idle: bool = True,
+                    n_samples: Optional[int] = None) -> float:
     """Predicted power at one time index.
 
     Slices every interface's rate arrays down to the requested sample
     before evaluating, so the cost is O(interfaces) rather than
     O(interfaces x samples).  Supports negative indices; raises
     ``IndexError`` when out of range, like indexing the full trace would.
+    ``n_samples`` plays the same role as in :func:`predict_trace`: an
+    inventory-less router needs it to bounds-check ``index`` and then
+    reports plain base power.
     """
+    if not interfaces:
+        if n_samples is None:
+            raise ValueError(
+                "predict_instant with no interfaces needs n_samples")
+        if not -n_samples <= index < n_samples:
+            raise IndexError(
+                f"index {index} out of range for {n_samples} samples")
+        return float(model.p_base_w.value)
     sliced = [
         DeployedInterface(
             name=iface.name,

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro import units
+from repro.activity import carrying_traffic
 from repro.hardware.catalog import (
     InterfaceClassTruth,
     PsuSensorQuirk,
@@ -301,7 +302,8 @@ class Port:
 
     def dynamic_power_w(self) -> float:
         """True traffic-dependent power of this port."""
-        if not self.link_up or self.traffic.total_bps <= 0:
+        if not self.link_up or not carrying_traffic(self.traffic.rx_bps,
+                                                    self.traffic.tx_bps):
             return 0.0
         truth = self.class_truth()
         if truth is None:
@@ -525,7 +527,7 @@ class VirtualRouter:
             self._static_dirty = False
         dynamic = 0.0
         for port in self.ports:
-            if port.traffic.rx_bps or port.traffic.tx_bps:
+            if carrying_traffic(port.traffic.rx_bps, port.traffic.tx_bps):
                 dynamic += port.dynamic_power_w()
         return (self.spec.p_base_w + self.fan_bump_w
                 + self.thermal_power_w()

@@ -21,6 +21,7 @@ import json
 import math
 from typing import Dict, List, Optional
 
+from repro.ioutil import atomic_write_text
 from repro.monitor.core import FleetMonitor
 from repro.monitor.rollup import RollupSeries
 from repro.obs.ledger import J_PER_KWH
@@ -307,12 +308,10 @@ def write_dashboard(monitor: FleetMonitor, json_path: str) -> dict:
     with the extension swapped.
     """
     snapshot = build_snapshot(monitor)
-    with open(json_path, "w") as fh:
-        fh.write(snapshot_json(snapshot))
+    atomic_write_text(json_path, snapshot_json(snapshot))
     if json_path.endswith(".json"):
         html_path = json_path[:-len(".json")] + ".html"
     else:
         html_path = json_path + ".html"
-    with open(html_path, "w") as fh:
-        fh.write(render_html(snapshot))
+    atomic_write_text(html_path, render_html(snapshot))
     return snapshot

@@ -58,6 +58,7 @@ from typing import (TYPE_CHECKING, Dict, FrozenSet, List, Optional,
 import numpy as np
 
 from repro import units
+from repro.activity import carrying_traffic_mask
 from repro.hardware.psu import QuadraticLossCurve, ScaledLossCurve, SharingPolicy
 from repro.hardware.router import OfferedTraffic, Port, VirtualRouter
 from repro.obs import metrics
@@ -629,7 +630,8 @@ class FleetState:
         # port's dynamic power is exactly 0.0 and its counters never
         # move, so the per-step kernels skip them wholesale -- the same
         # floats as full-width arithmetic, a fraction of the bandwidth.
-        seeded = np.nonzero((self.rx_bps != 0.0) | (self.tx_bps != 0.0))[0]
+        seeded = np.nonzero(carrying_traffic_mask(self.rx_bps,
+                                                  self.tx_bps))[0]
         self._active_ports = np.union1d(
             self.scatter_ports, seeded).astype(np.int64)
         self._active_router = self.port_router[self._active_ports]
@@ -886,7 +888,7 @@ class FleetState:
         else:
             rx_tx, rx_pps, tx_pps = cache
             total_pps = rx_pps + tx_pps
-        mask = self._ap_dyn_ok & ((rx != 0.0) | (tx != 0.0))
+        mask = self._ap_dyn_ok & carrying_traffic_mask(rx, tx)
         if components is None:
             dyn = np.where(
                 mask,

@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
 from repro import units
+from repro.ioutil import atomic_write_text
 from repro.obs.metrics import Histogram, MetricFamily, MetricsRegistry
 from repro.obs.tracing import Tracer
 
@@ -121,10 +122,10 @@ def write_metrics(path: Union[str, Path],
     """
     path = Path(path)
     if path.suffix == ".json":
-        path.write_text(json.dumps(snapshot(registry), indent=2,
-                                   default=str) + "\n")
+        atomic_write_text(path, json.dumps(snapshot(registry), indent=2,
+                                           default=str) + "\n")
     else:
-        path.write_text(render_prometheus(registry))
+        atomic_write_text(path, render_prometheus(registry))
     return path
 
 
@@ -256,5 +257,5 @@ def write_trace(path: Union[str, Path], tracer: Tracer) -> Path:
         document = json.dumps(chrome_trace(tracer), indent=2, default=str)
     else:
         document = tracer.to_json()
-    path.write_text(document + "\n")
+    atomic_write_text(path, document + "\n")
     return path

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro import units
+from repro.ioutil import atomic_write_text
 from repro.obs import metrics
 
 #: Schema identifier stamped on exported profile documents.
@@ -338,10 +339,10 @@ def write_profile(path: Union[str, Path], profiler: Profiler) -> Path:
     """
     path = Path(path)
     if path.suffix == ".folded":
-        path.write_text(profiler.folded())
+        atomic_write_text(path, profiler.folded())
     elif path.name.endswith(".speedscope.json"):
-        path.write_text(json.dumps(profiler.speedscope(), indent=2,
-                                   default=str) + "\n")
+        atomic_write_text(path, json.dumps(profiler.speedscope(), indent=2,
+                                           default=str) + "\n")
     else:
-        path.write_text(profiler.to_json() + "\n")
+        atomic_write_text(path, profiler.to_json() + "\n")
     return path

@@ -1,0 +1,25 @@
+"""``netpower serve``: the async fleet-power query service.
+
+The package turns the batch prediction stack into a long-running
+HTTP+JSON service (stdlib ``asyncio`` only):
+
+* :mod:`repro.serve.schemas` -- request/response documents, canonical
+  JSON, and rate quantisation (``repro.serve/v1``);
+* :mod:`repro.serve.cache` -- the cheap tier: per-interface-class
+  contribution cache keyed on class + quantised rates;
+* :mod:`repro.serve.batching` -- the full tier: per-event-loop-tick
+  batching of structurally identical requests into one
+  :func:`~repro.core.prediction.predict_trace` matrix call;
+* :mod:`repro.serve.state` -- fleet loading, lab-model derivation,
+  the warmup simulation behind ``/fleet``, and what-if evaluation on
+  the vector engine;
+* :mod:`repro.serve.app` -- the HTTP server and endpoint routing.
+
+Both tiers are bit-equal by construction and every response is
+byte-deterministic for identical request bodies.
+"""
+
+from repro.serve.app import NetpowerServer, ServeConfig
+from repro.serve.schemas import SERVE_SCHEMA
+
+__all__ = ["NetpowerServer", "ServeConfig", "SERVE_SCHEMA"]

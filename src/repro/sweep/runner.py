@@ -49,6 +49,7 @@ import numpy as np
 from repro import units
 from repro import bench
 from repro.hardware.psu import SharingPolicy
+from repro.ioutil import atomic_write_text
 from repro.monitor.aggregate import AggregatingObserver
 from repro.network import (
     FleetTrafficModel,
@@ -294,9 +295,7 @@ def _worker_main(task_queue, result_queue, root_seed: int, engine: str,
 
 def _atomic_write(path: Path, text: str) -> None:
     """Crash-safe file replace (the resume state must never be torn)."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+    atomic_write_text(path, text)
 
 
 def _report_document(matrix: ScenarioMatrix, root_seed: int, engine: str,

@@ -211,7 +211,14 @@ class CounterRateModelSource:
         inventory = agent.router.inventory()
         names = [name for name in sorted(tails) if inventory.get(name)]
         if not names:
-            return None
+            # No inventory-listed module anywhere: the router still
+            # draws P_base.  Mirror the offline fallback grid (first
+            # counter trace, from its second poll on).
+            first = tails[sorted(tails)[0]]
+            if len(first[0]) < 2 or first[0][-1] != t_s:
+                return None
+            values = predict_trace(model, [], n_samples=1)
+            return float(values[0])
         # The offline rate grid starts at the second poll of the
         # first-sorted listed interface; before that there is no sample.
         first = tails[names[0]]

@@ -33,7 +33,11 @@ def trace_to_interfaces(trace: RouterTrace,
     """Counter traces + inventory -> the prediction pipeline's inputs.
 
     Returns the shared rate-timestamp grid and one
-    :class:`DeployedInterface` per inventory-listed interface.
+    :class:`DeployedInterface` per inventory-listed interface.  A router
+    whose interfaces are all missing from the inventory still yields the
+    grid (from its first counter trace) with an empty interface list, so
+    the prediction downstream reports base power instead of silently
+    producing an empty series.
     """
     raw: List[Tuple[str, str, List[np.ndarray]]] = []
     grid: Optional[np.ndarray] = None
@@ -60,7 +64,15 @@ def trace_to_interfaces(trace: RouterTrace,
         raw.append((name, trx_name, [fit_grid(rx_oct), fit_grid(tx_oct),
                                      fit_grid(rx_pkt), fit_grid(tx_pkt)]))
     if grid is None:
-        return np.array([]), []
+        # No inventory-listed interface: fall back to the first counter
+        # trace's grid so base power still has a time axis.
+        for _name, iface in sorted(trace.interfaces.items()):
+            rx_oct, _tx_oct = iface.octet_rates()
+            grid = rx_oct.timestamps
+            break
+        if grid is None:
+            return np.array([]), []
+        return grid, []
 
     # Poll intervals spanning a reboot yield NaN rates (counter reset);
     # a careful analyst excludes those samples rather than mistaking
@@ -87,7 +99,8 @@ def predict_from_trace(model: PowerModel, trace: RouterTrace,
         return TimeSeries(np.array([]), np.array([]))
     values = predict_trace(
         model, interfaces,
-        assume_unplugged_when_idle=assume_unplugged_when_idle)
+        assume_unplugged_when_idle=assume_unplugged_when_idle,
+        n_samples=len(grid))
     return TimeSeries(grid, values)
 
 

@@ -89,18 +89,56 @@ class TestPredictTrace:
         assert np.all(trace[:5] == pytest.approx(ncs_model.p_base_w.value))
         assert np.all(trace[5:] > trace[0])
 
-    def test_empty_input(self, ncs_model):
-        assert len(predict_trace(ncs_model, [])) == 0
+    def test_empty_input_returns_base_power_series(self, ncs_model):
+        # A router with no inventory still draws P_base; the old
+        # zero-length return silently dropped it from fleet sums.
+        trace = predict_trace(ncs_model, [], n_samples=4)
+        assert trace.shape == (4,)
+        np.testing.assert_array_equal(
+            trace, np.full(4, ncs_model.p_base_w.value))
+
+    def test_empty_input_without_length_is_an_error(self, ncs_model):
+        with pytest.raises(ValueError, match="n_samples"):
+            predict_trace(ncs_model, [])
+
+    def test_n_samples_must_match_interfaces(self, ncs_model):
+        with pytest.raises(ValueError, match="n_samples"):
+            predict_trace(ncs_model, [make_interface(n=5)], n_samples=7)
 
     def test_mismatched_lengths_rejected(self, ncs_model):
         with pytest.raises(ValueError, match="samples"):
             predict_trace(ncs_model, [make_interface(n=5),
                                       make_interface(name="Eth0/1", n=7)])
 
+    def test_exact_threshold_is_idle(self, ncs_model):
+        # Regression for the idle/active boundary: exactly at the
+        # shared threshold the interface is idle (strict >), one ulp
+        # above it is active -- and every layer must agree.
+        from repro.activity import ACTIVE_PPS_THRESHOLD, prediction_active
+        half = ACTIVE_PPS_THRESHOLD / 2.0  # both directions sum to it
+        at = make_interface(n=1, octet_rate=0.0, packet_rate=half)
+        above = make_interface(
+            n=1, octet_rate=0.0,
+            packet_rate=np.nextafter(half, np.inf))
+        trace_at = predict_trace(ncs_model, [at])
+        trace_above = predict_trace(ncs_model, [above])
+        assert trace_at[0] == ncs_model.p_base_w.value
+        assert trace_above[0] > ncs_model.p_base_w.value
+        assert not prediction_active(at.packet_rate()[0])
+        assert prediction_active(above.packet_rate()[0])
+
     def test_predict_instant(self, ncs_model):
         value = predict_instant(ncs_model, [make_interface()], index=3)
         trace = predict_trace(ncs_model, [make_interface()])
         assert value == pytest.approx(trace[3])
+
+    def test_predict_instant_empty_inventory(self, ncs_model):
+        value = predict_instant(ncs_model, [], index=2, n_samples=4)
+        assert value == ncs_model.p_base_w.value
+        with pytest.raises(IndexError):
+            predict_instant(ncs_model, [], index=4, n_samples=4)
+        with pytest.raises(ValueError, match="n_samples"):
+            predict_instant(ncs_model, [], index=0)
 
 
 class TestTransceiverPower:
