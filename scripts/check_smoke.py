@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI smoke test for the incremental ``netpower check`` cache.
+
+Usage::
+
+    python scripts/check_smoke.py [--tree src/] [--out check-report.json]
+    [--warm-budget-s 1.0]
+
+Runs the whole-program checker three ways over the same tree -- plain
+(no cache), cold (empty cache file), and warm (the cache the cold run
+just wrote) -- and verifies the contract from docs/STATIC_ANALYSIS.md:
+
+* all three JSON reports are **byte-identical**: the cache must be
+  invisible in the output;
+* the cache file itself is byte-stable: a second warm run must not
+  rewrite it;
+* the warm run finishes inside the time budget (default 1 s) without
+  running a single rule -- the point of the cache.
+
+Writes the JSON report to ``--out`` for artifact upload.  Exit code 0
+on success (even when the tree has findings: report equality is what
+this smoke guards; cleanliness is the check job's own step), 1 with a
+diagnosis on stderr otherwise.
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import (  # noqa: E402
+    check_paths,
+    check_paths_cached,
+    render_json,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="netpower check cache smoke test")
+    parser.add_argument("--tree", default="src/",
+                        help="directory to check (default src/)")
+    parser.add_argument("--out", default="check-report.json",
+                        help="where to write the JSON report artifact")
+    parser.add_argument("--warm-budget-s", type=float, default=1.0,
+                        help="warm-run wall-clock budget in seconds")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_file = Path(scratch) / "check-cache.json"
+
+        plain = render_json(check_paths([args.tree]))
+
+        start = time.perf_counter()
+        cold_result, cold_warm = check_paths_cached(
+            [args.tree], cache_file=cache_file)
+        cold_s = time.perf_counter() - start
+        cold = render_json(cold_result)
+        cache_bytes = cache_file.read_bytes()
+
+        start = time.perf_counter()
+        warm_result, warm_warm = check_paths_cached(
+            [args.tree], cache_file=cache_file)
+        warm_s = time.perf_counter() - start
+        warm = render_json(warm_result)
+
+        failures = []
+        if cold_warm:
+            failures.append("cold run unexpectedly hit the cache")
+        if not warm_warm:
+            failures.append("warm run missed the cache")
+        if cold != plain:
+            failures.append("cold cached report differs from uncached")
+        if warm != plain:
+            failures.append("warm cached report differs from uncached")
+        if cache_file.read_bytes() != cache_bytes:
+            failures.append("warm run rewrote the cache file")
+        if warm_s > args.warm_budget_s:
+            failures.append(
+                f"warm run took {warm_s:.3f}s "
+                f"(budget {args.warm_budget_s:.3f}s)")
+
+    Path(args.out).write_text(plain)
+    print(f"check_smoke: {len(warm_result.paths)} files, "
+          f"cold {cold_s:.3f}s, warm {warm_s:.3f}s, "
+          f"report {len(plain)} bytes -> {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"check_smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

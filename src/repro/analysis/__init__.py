@@ -1,10 +1,16 @@
 """AST-based invariant checking for the netpower codebase.
 
 ``repro.analysis`` is the static-analysis backstop behind the
-repository's three load-bearing conventions (docs/STATIC_ANALYSIS.md):
+repository's load-bearing conventions (docs/STATIC_ANALYSIS.md):
 
 * **determinism** -- seeded RNGs only, no wall-clock reads outside the
   sanctioned timing paths, no hash-ordered set iteration (NP-DET);
+  plus whole-program taint tracking that catches the same entropy
+  laundered through helpers in other modules (NP-FLOW);
+* **event-loop safety** -- no blocking calls, dropped tasks, or
+  cross-task shared-state races in the serve layer (NP-ASYNC);
+* **engine integrity** -- FleetState columns are only written by the
+  engine's own patch/refresh kernels (NP-MUT);
 * **unit discipline** -- every scale conversion goes through a named
   :mod:`repro.units` helper and unit-suffixed values never mix
   (NP-UNIT);
@@ -18,30 +24,45 @@ Dependency-free (stdlib ``ast``/``tokenize``).  Surfaced as
     from repro.analysis import CheckConfig, check_paths, check_source
 
     result = check_paths(["src/"])
-    assert result.ok, result.findings
+    assert result.clean, result.findings
+
+The whole-program families parse the full tree; the incremental cache
+(:func:`check_paths_cached`) keeps warm runs fast by keying per-file
+results on content and dependency-closure hashes.
 """
 
+from repro.analysis.cache import (CACHE_SCHEMA, DEFAULT_CACHE_FILE,
+                                  check_paths_cached)
 from repro.analysis.engine import (CheckConfig, CheckResult, FileContext,
-                                   Rule, all_rules, check_paths,
-                                   check_source)
+                                   ProjectContext, Rule, all_project_rules,
+                                   all_rules, check_paths, check_source,
+                                   check_sources)
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.reporters import (REPORT_SCHEMA, render_json,
-                                      render_rule_listing, render_text)
+from repro.analysis.reporters import (REPORT_SCHEMA, render_explain,
+                                      render_json, render_rule_listing,
+                                      render_text)
 from repro.analysis.suppress import Suppression, parse_suppressions
 
 __all__ = [
+    "CACHE_SCHEMA",
     "CheckConfig",
     "CheckResult",
+    "DEFAULT_CACHE_FILE",
     "FileContext",
     "Finding",
+    "ProjectContext",
     "REPORT_SCHEMA",
     "Rule",
     "Severity",
     "Suppression",
+    "all_project_rules",
     "all_rules",
     "check_paths",
+    "check_paths_cached",
     "check_source",
+    "check_sources",
     "parse_suppressions",
+    "render_explain",
     "render_json",
     "render_rule_listing",
     "render_text",

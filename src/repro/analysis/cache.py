@@ -1,0 +1,280 @@
+"""Incremental result cache for ``netpower check``.
+
+Whole-program analysis made the checker slower than a linter: the
+taint fixed point wants every file parsed and resolved.  This module
+keeps warm runs fast by caching, per file:
+
+* the BLAKE2b hash of its content;
+* its **dependency closure** (the checked files it transitively
+  imports, from :meth:`~repro.analysis.graph.ProjectGraph
+  .import_closure`) and a hash over the closure's content hashes --
+  the set of inputs that can change a *graph* rule's outcome for this
+  file;
+* its raw per-file findings (reusable whenever the content hash
+  matches, regardless of the rest of the tree);
+* its final post-suppression result (findings, suppressed, unused and
+  unjustified suppressions).
+
+A warm run validates every entry -- content hash, closure hash, plus
+a whole-run key over the rule-set version, config fingerprint, and
+the checked file *set* -- and, when everything holds, assembles the
+result without parsing a single file.  Any miss falls back to a full
+parse (the graph needs all ASTs anyway), reusing per-file findings
+for unchanged files and re-running the project rules once.
+
+The cache file is JSON with sorted keys, written only when its bytes
+would change, so it is byte-stable across identical runs; it lives
+next to the working directory and is ``.gitignore``\\ d.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import (CheckConfig, CheckResult, FileContext,
+                                   ProjectContext, apply_suppressions,
+                                   parse_file, read_sources,
+                                   run_file_rules, run_project_rules,
+                                   ruleset_version)
+from repro.analysis.findings import Finding, Severity
+
+#: Cache payload schema; bump on any layout change.
+CACHE_SCHEMA = "repro.analysis.cache/v1"
+
+#: Default cache file, relative to the invocation directory.
+DEFAULT_CACHE_FILE = ".netpower-check-cache.json"
+
+
+def _digest(text: str) -> str:
+    return hashlib.blake2b(text.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+def _closure_digest(closure: Iterable[str],
+                    hashes: Dict[str, str]) -> Optional[str]:
+    """Hash of the closure's current content hashes.
+
+    ``None`` when a closure member is not part of the checked set --
+    the entry cannot be validated and must be recomputed.
+    """
+    parts = []
+    for path in sorted(closure):
+        if path not in hashes:
+            return None
+        parts.append(f"{path}:{hashes[path]}")
+    return _digest("\n".join(parts))
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, object]:
+    return finding.to_dict()
+
+
+def _finding_from_dict(row: Dict[str, object]) -> Finding:
+    return Finding(rule_id=str(row["rule"]),
+                   severity=Severity(str(row["severity"])),
+                   path=str(row["path"]), line=int(row["line"]),  # type: ignore[call-overload]
+                   col=int(row["col"]),  # type: ignore[call-overload]
+                   message=str(row["message"]))
+
+
+def _result_to_dict(result: CheckResult) -> Dict[str, object]:
+    return {
+        "findings": [_finding_to_dict(f) for f in result.findings],
+        "suppressed": [_finding_to_dict(f) for f in result.suppressed],
+        "unused": [list(row[:2]) + [list(row[2])]
+                   for row in result.unused_suppressions],
+        "unjustified": [list(row[:2]) + [list(row[2])]
+                        for row in result.unjustified_suppressions],
+    }
+
+
+def _result_from_dict(path: str,
+                      row: Dict[str, object]) -> CheckResult:
+    def rows(key: str) -> List[Tuple[str, int, Tuple[str, ...]]]:
+        out = []
+        for entry in row.get(key, []):  # type: ignore[union-attr]
+            out.append((str(entry[0]), int(entry[1]),
+                        tuple(str(r) for r in entry[2])))
+        return out
+
+    return CheckResult(
+        findings=[_finding_from_dict(f)  # type: ignore[arg-type]
+                  for f in row.get("findings", [])],
+        suppressed=[_finding_from_dict(f)  # type: ignore[arg-type]
+                    for f in row.get("suppressed", [])],
+        unused_suppressions=rows("unused"),
+        unjustified_suppressions=rows("unjustified"),
+        paths=[path]).finalize()
+
+
+def _run_key(config: CheckConfig, paths: Iterable[str]) -> str:
+    """One hash covering everything that invalidates the whole cache."""
+    return _digest(ruleset_version() + "\x1f" + config.fingerprint()
+                   + "\x1f" + "\n".join(sorted(paths)))
+
+
+def _load_cache(cache_path: Path) -> Optional[Dict[str, object]]:
+    try:
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or \
+            payload.get("schema") != CACHE_SCHEMA:
+        return None
+    return payload
+
+
+def _assemble(sources: Dict[str, str],
+              finals: Dict[str, CheckResult]) -> CheckResult:
+    total = CheckResult()
+    for path in sorted(sources):
+        total.merge(finals[path])
+    return total.finalize()
+
+
+def check_paths_cached(paths: Iterable[object],
+                       config: Optional[CheckConfig] = None,
+                       cache_file: Optional[object] = None,
+                       ) -> Tuple[CheckResult, bool]:
+    """Check files with the incremental cache.
+
+    Returns ``(result, warm)`` where ``warm`` is True when every
+    entry validated and no rule ran.  The result is identical -- byte
+    for byte once rendered -- to :func:`~repro.analysis.engine
+    .check_paths` on the same tree.
+    """
+    config = config if config is not None else CheckConfig()
+    cache_path = Path(str(cache_file)) if cache_file is not None \
+        else Path(DEFAULT_CACHE_FILE)
+    sources = read_sources(paths)
+    hashes = {path: _digest(text) for path, text in sources.items()}
+    run_key = _run_key(config, sources)
+
+    payload = _load_cache(cache_path)
+    entries: Dict[str, Dict[str, object]] = {}
+    entries_reusable = False
+    if payload is not None:
+        raw_entries = payload.get("files")
+        if isinstance(raw_entries, dict):
+            entries = raw_entries
+            # A ruleset/config change poisons stored findings; a mere
+            # file-set change only poisons the graph-dependent parts.
+            entries_reusable = payload.get("ruleset") == \
+                _digest(ruleset_version() + "\x1f" + config.fingerprint())
+
+    if entries_reusable and payload is not None and \
+            payload.get("run_key") == run_key:
+        finals = _validate_all(sources, hashes, entries)
+        if finals is not None:
+            return _assemble(sources, finals), True
+
+    result, new_payload = _full_run(sources, hashes, config, run_key,
+                                    entries if entries_reusable else {})
+    _write_cache(cache_path, new_payload)
+    return result, False
+
+
+def _validate_all(sources: Dict[str, str], hashes: Dict[str, str],
+                  entries: Dict[str, Dict[str, object]],
+                  ) -> Optional[Dict[str, CheckResult]]:
+    """Per-file results from the cache iff *every* entry validates."""
+    finals: Dict[str, CheckResult] = {}
+    for path in sources:
+        entry = entries.get(path)
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("hash") != hashes[path]:
+            return None
+        closure = entry.get("closure")
+        if not isinstance(closure, list):
+            return None
+        current = _closure_digest([str(p) for p in closure], hashes)
+        if current is None or current != entry.get("closure_hash"):
+            return None
+        final = entry.get("final")
+        if not isinstance(final, dict):
+            return None
+        finals[path] = _result_from_dict(path, final)
+    return finals
+
+
+def _full_run(sources: Dict[str, str], hashes: Dict[str, str],
+              config: CheckConfig, run_key: str,
+              old_entries: Dict[str, Dict[str, object]],
+              ) -> Tuple[CheckResult, Dict[str, object]]:
+    """Parse everything; reuse per-file findings where hashes match."""
+    contexts: Dict[str, FileContext] = {}
+    local: Dict[str, List[Finding]] = {}
+    parse_failures: Dict[str, Finding] = {}
+    for path in sorted(sources):
+        context, parse_finding = parse_file(sources[path], path, config)
+        if context is None:
+            assert parse_finding is not None
+            parse_failures[path] = parse_finding
+            continue
+        contexts[path] = context
+        old = old_entries.get(path)
+        if isinstance(old, dict) and old.get("hash") == hashes[path] \
+                and isinstance(old.get("local"), list):
+            local[path] = [
+                _finding_from_dict(row)  # type: ignore[arg-type]
+                for row in old["local"]]  # type: ignore[index]
+        else:
+            local[path] = run_file_rules(context)
+
+    project_findings: Dict[str, List[Finding]] = \
+        {path: [] for path in contexts}
+    closures: Dict[str, List[str]] = {path: [path] for path in sources}
+    if contexts:
+        project = ProjectContext(files=contexts, config=config)
+        project_findings = run_project_rules(project)
+        for path in contexts:
+            closures[path] = project.graph.import_closure(path)
+
+    finals: Dict[str, CheckResult] = {}
+    new_entries: Dict[str, Dict[str, object]] = {}
+    for path in sorted(sources):
+        if path in parse_failures:
+            finals[path] = CheckResult(
+                paths=[path],
+                findings=[parse_failures[path]]).finalize()
+            raw: List[Finding] = []
+        else:
+            raw = sorted(local[path] + project_findings.get(path, []),
+                         key=lambda f: f.sort_key)
+            finals[path] = apply_suppressions(path, sources[path], raw,
+                                              config)
+        closure_hash = _closure_digest(closures[path], hashes)
+        new_entries[path] = {
+            "hash": hashes[path],
+            "closure": sorted(closures[path]),
+            "closure_hash": closure_hash or "",
+            "local": [_finding_to_dict(f)
+                      for f in local.get(path, [])],
+            "final": _result_to_dict(finals[path]),
+        }
+
+    payload: Dict[str, object] = {
+        "schema": CACHE_SCHEMA,
+        "ruleset": _digest(ruleset_version() + "\x1f"
+                           + config.fingerprint()),
+        "run_key": run_key,
+        "files": new_entries,
+    }
+    return _assemble(sources, finals), payload
+
+
+def _write_cache(cache_path: Path,
+                 payload: Dict[str, object]) -> None:
+    """Write the cache, byte-stable, only when its content changed."""
+    text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+    try:
+        if cache_path.exists() and \
+                cache_path.read_text(encoding="utf-8") == text:
+            return
+        cache_path.write_text(text, encoding="utf-8")
+    except OSError:
+        pass  # a read-only checkout still gets correct (cold) results

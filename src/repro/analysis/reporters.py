@@ -8,13 +8,17 @@ discipline the analyser enforces on the rest of the codebase.
 
 from __future__ import annotations
 
+import inspect
 import json
-from typing import List
+from typing import List, Optional
 
-from repro.analysis.engine import CheckResult, all_rules
+from repro.analysis.engine import (CheckResult, all_project_rules,
+                                   all_rules, find_rule)
 
-#: Version stamp for the ``--format json`` report document.
-REPORT_SCHEMA = "repro.analysis/v1"
+#: Version stamp for the ``--format json`` report document.  v2 adds
+#: the ``unjustified_suppressions`` block (suppressions whose
+#: ``-- reason`` text is empty) and counts project-rule families.
+REPORT_SCHEMA = "repro.analysis/v2"
 
 
 def render_text(result: CheckResult, verbose: bool = False) -> str:
@@ -27,11 +31,17 @@ def render_text(result: CheckResult, verbose: bool = False) -> str:
         lines.append(f"{path}:{line}:0: NP-SUPPRESS [warning] "
                      f"suppression {list(rules)} matched no finding; "
                      f"remove it")
+    for path, line, rules in result.unjustified_suppressions:
+        lines.append(f"{path}:{line}:0: NP-SUPPRESS [warning] "
+                     f"suppression {list(rules)} has no '-- reason' "
+                     f"justification; say why it is safe")
     lines.append(
         f"checked {len(result.paths)} file(s): "
         f"{len(result.findings)} finding(s), "
         f"{len(result.suppressed)} suppressed, "
-        f"{len(result.unused_suppressions)} unused suppression(s)")
+        f"{len(result.unused_suppressions)} unused suppression(s), "
+        f"{len(result.unjustified_suppressions)} unjustified "
+        f"suppression(s)")
     return "\n".join(lines)
 
 
@@ -46,10 +56,15 @@ def render_json(result: CheckResult) -> str:
         "unused_suppressions": [
             {"path": path, "line": line, "rules": list(rules)}
             for path, line, rules in result.unused_suppressions],
+        "unjustified_suppressions": [
+            {"path": path, "line": line, "rules": list(rules)}
+            for path, line, rules in result.unjustified_suppressions],
         "counts": {
             "findings": len(result.findings),
             "suppressed": len(result.suppressed),
             "unused_suppressions": len(result.unused_suppressions),
+            "unjustified_suppressions":
+                len(result.unjustified_suppressions),
         },
     }
     return json.dumps(document, indent=2, sort_keys=True)
@@ -59,4 +74,33 @@ def render_rule_listing() -> str:
     """The ``--list-rules`` table: id, severity, summary."""
     rows = [f"{rule.rule_id:14s} {rule.severity.value:8s} {rule.summary}"
             for rule in all_rules()]
+    rows += [f"{rule.rule_id:14s} {rule.severity.value:8s} "
+             f"{rule.summary} (whole-program)"
+             for rule in all_project_rules()]
     return "\n".join(rows)
+
+
+def render_explain(rule_id: str) -> Optional[str]:
+    """The ``--explain RULE`` text: summary, doc, example finding.
+
+    Returns ``None`` for unknown rule ids so the CLI can report the
+    error with the listing hint.
+    """
+    registered = find_rule(rule_id)
+    if registered is None:
+        return None
+    summary = getattr(registered, "summary", "")
+    severity = getattr(registered, "severity", None)
+    check = getattr(registered, "check", None)
+    example = getattr(registered, "example", "")
+    lines = [f"{rule_id} [{severity.value if severity else '?'}]: "
+             f"{summary}"]
+    doc = inspect.getdoc(check) if check is not None else None
+    if doc:
+        lines.append("")
+        lines.append(doc)
+    if example:
+        lines.append("")
+        lines.append("Example finding:")
+        lines.append(f"  {example}")
+    return "\n".join(lines)

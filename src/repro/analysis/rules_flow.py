@@ -1,0 +1,58 @@
+"""NP-FLOW: interprocedural nondeterminism taint.
+
+NP-DET catches a wall-clock or RNG call written *inside* the
+deterministic packages.  It cannot see the same entropy laundered
+through a helper in another module::
+
+    # obs/clockutil.py (hypothetical)
+    def now_ms():
+        return time.time() * 1e3       # fine here: not det scope
+
+    # core/model.py
+    stamp = now_ms()                   # NP-DET is blind to this
+
+NP-FLOW runs the :mod:`.dataflow` taint fixed point over the project
+call graph and reports the exact call site where a tainted value
+crosses into the sink packages, in either direction:
+
+* sink code **calling** a tainted-return helper defined outside, or
+* outside code **passing** a tainted argument into a sink function.
+
+Each finding message carries the full witness chain from the source
+primitive to the sink function, so the laundering path is readable
+straight from the report.  Taint that both starts and stays inside
+the sink packages is not re-reported here -- the seed itself is
+already an NP-DET finding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import (ProjectContext, ProjectRawFinding,
+                                   project_rule)
+from repro.analysis.findings import Severity
+
+_EXAMPLE = ("wall-clock value reaches deterministic code: "
+            "time.time() -> repro.obs.clockutil.now_ms -> "
+            "repro.core.model.predict_trace")
+
+
+@project_rule("NP-FLOW-001", Severity.ERROR,
+              "nondeterministic value flows into deterministic code",
+              example=_EXAMPLE)
+def check_taint_flow(project: ProjectContext) -> \
+        Iterator[ProjectRawFinding]:
+    """Report every taint crossing into the flow-sink packages.
+
+    Sources are wall-clock reads (outside the sanctioned timing
+    files), ambient RNG (``random.*``, ``os.urandom``,
+    ``uuid.uuid1/4``, ``secrets``), and hash-ordered ``set``
+    construction; ``sorted(...)`` kills order taint but not value
+    taint.  The chain in the message is the witness path the value
+    took, one function per hop.
+    """
+    for hit in project.taint.flow_hits:
+        yield (hit.path, hit.line, hit.col,
+               f"{hit.kind_label} value reaches deterministic code: "
+               f"{' -> '.join(hit.chain)}")

@@ -268,6 +268,14 @@ def _parser() -> argparse.ArgumentParser:
                        help="also list suppressed findings")
     check.add_argument("--list-rules", action="store_true",
                        help="list every registered rule and exit")
+    check.add_argument("--no-cache", action="store_true",
+                       help="skip the incremental result cache")
+    check.add_argument("--cache-file", metavar="PATH", default=None,
+                       help="incremental cache location (default: "
+                            ".netpower-check-cache.json)")
+    check.add_argument("--explain", metavar="RULE", default=None,
+                       help="print one rule's documentation and an "
+                            "example finding, then exit")
 
     topo = sub.add_parser(
         "topo", parents=[common],
@@ -1056,11 +1064,21 @@ def _cmd_serve(args) -> int:
 def _cmd_check(args) -> int:
     from pathlib import Path
 
-    from repro.analysis import (CheckConfig, check_paths, render_json,
-                                render_rule_listing, render_text)
+    from repro.analysis import (CheckConfig, check_paths,
+                                check_paths_cached, render_explain,
+                                render_json, render_rule_listing,
+                                render_text)
 
     if args.list_rules:
         _out(render_rule_listing())
+        return 0
+    if args.explain:
+        text = render_explain(args.explain)
+        if text is None:
+            _err(f"error: no such rule {args.explain!r} "
+                 f"(see --list-rules)")
+            return 2
+        _out(text)
         return 0
     select = None
     if args.select:
@@ -1074,12 +1092,17 @@ def _cmd_check(args) -> int:
     if missing:
         _err(f"error: no such path(s): {', '.join(sorted(missing))}")
         return 2
-    result = check_paths(args.paths, CheckConfig(select=select))
+    config = CheckConfig(select=select)
+    if args.no_cache:
+        result = check_paths(args.paths, config)
+    else:
+        result, _warm = check_paths_cached(
+            args.paths, config, cache_file=args.cache_file)
     if args.format == "json":
         _out(render_json(result))
     else:
         _out(render_text(result, verbose=args.verbose))
-    return 0 if result.ok and not result.unused_suppressions else 1
+    return 0 if result.clean else 1
 
 
 _COMMANDS = {

@@ -99,6 +99,7 @@ class NetpowerServer:
         self._stop = asyncio.Event()
         self._whatif_lock = asyncio.Lock()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._load_task: Optional["asyncio.Task[None]"] = None
         self.bound_port: Optional[int] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -113,7 +114,11 @@ class NetpowerServer:
         for sock in sockets:
             self.bound_port = sock.getsockname()[1]
             break
-        asyncio.get_running_loop().create_task(self._load())
+        # Keep the handle: a task the loop holds no strong reference
+        # to can be garbage-collected mid-flight, and shutdown() needs
+        # something to cancel if loading is still underway.
+        self._load_task = \
+            asyncio.get_running_loop().create_task(self._load())
 
     async def _load(self) -> None:
         config = self.config
@@ -132,8 +137,10 @@ class NetpowerServer:
         self.batcher = PredictBatcher(service.models)
         self.batcher.start()
         if config.snapshot_out:
-            atomic_write_text(
-                config.snapshot_out,
+            # Disk I/O stays off-loop: the snapshot can be megabytes,
+            # and /healthz must keep answering while it lands.
+            await loop.run_in_executor(
+                None, atomic_write_text, config.snapshot_out,
                 canonical_json(service.fleet_doc).decode())
         M_READY.set(1.0)
         self._ready.set()
@@ -155,11 +162,19 @@ class NetpowerServer:
         self._stop.set()
 
     async def shutdown(self) -> None:
-        """Close the listener and drain the batcher."""
+        """Close the listener, stop the loader, drain the batcher."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._load_task is not None:
+            if not self._load_task.done():
+                self._load_task.cancel()
+            try:
+                await self._load_task
+            except asyncio.CancelledError:
+                pass
+            self._load_task = None
         if self.batcher is not None:
             await self.batcher.stop()
         M_READY.set(0.0)

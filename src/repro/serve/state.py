@@ -203,18 +203,28 @@ class FleetService:
 
         hosts = sorted({port.router.hostname for port, _up in toggles})
         host_rows = [state.router_index[h] for h in hosts]
+        # Flipping one end's admin state changes link_up on *both*
+        # ends (mirrors events._port_link_hosts), so the patch set
+        # must include internal-link peers or their columns go stale.
+        patch_hosts = set(hosts)
+        for port, _up in toggles:
+            peer = port.peer
+            if peer is not None and \
+                    peer.router.hostname in state.router_index:
+                patch_hosts.add(peer.router.hostname)
+        patch_list = sorted(patch_hosts)
         baseline = state.wall_power()
         baseline_total = float(baseline.sum())
         saved = [(port, port.admin_up) for port, _up in toggles]
         try:
             for port, admin_up in toggles:
                 port.set_admin(admin_up)
-            state.patch_routers(hosts)
+            state.patch_routers(patch_list)
             variant = state.wall_power()
         finally:
             for port, admin_up in saved:
                 port.set_admin(admin_up)
-            state.patch_routers(hosts)
+            state.patch_routers(patch_list)
         variant_total = float(variant.sum())
         routers = [
             {"hostname": host,

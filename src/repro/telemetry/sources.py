@@ -171,8 +171,12 @@ class CounterRateModelSource:
                         ) -> List[_InterfaceState]:
         cache = self._ifaces.setdefault(hostname, {})
         order = self._order.get(hostname)
+        # The fast path must also compare transceivers: an in-place
+        # module swap keeps the interface name, and serving the cached
+        # state would predict with the old module's power curve.
         if order is not None and len(order) == len(names) and all(
                 state.deployed.name == name
+                and state.deployed.trx_name == inventory[name]
                 for state, name in zip(order, names)):
             return order
         order = []

@@ -1,0 +1,123 @@
+"""The incremental check cache: warm runs must be invisible."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (CheckConfig, check_paths, check_paths_cached,
+                            render_json)
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A small project with a cross-module taint flow."""
+    package = tmp_path / "repro"
+    (package / "obs").mkdir(parents=True)
+    (package / "core").mkdir()
+    (package / "obs" / "clockutil.py").write_text(src('''
+        """Clock helper."""
+        import time
+
+
+        def now_ms() -> float:
+            """Now."""
+            return time.time() * 1e3
+        '''))
+    (package / "core" / "model.py").write_text(src('''
+        """Core model."""
+        from repro.obs.clockutil import now_ms
+
+
+        def predict() -> float:
+            """Predict."""
+            return now_ms()
+        '''))
+    return tmp_path
+
+
+def run(tree, tmp_path, **kwargs):
+    return check_paths_cached([tree], cache_file=tmp_path / "cache.json",
+                              **kwargs)
+
+
+class TestWarmVsCold:
+    def test_warm_run_is_byte_identical(self, tree, tmp_path):
+        cold, cold_warm = run(tree, tmp_path)
+        warm, warm_warm = run(tree, tmp_path)
+        assert not cold_warm
+        assert warm_warm
+        assert render_json(cold) == render_json(warm)
+        # The cold run found the cross-module flow; the warm run must
+        # reproduce it from the cache without running any rule.
+        assert any(f.rule_id == "NP-FLOW-001" for f in warm.findings)
+
+    def test_cache_file_is_byte_stable(self, tree, tmp_path):
+        run(tree, tmp_path)
+        first = (tmp_path / "cache.json").read_bytes()
+        run(tree, tmp_path)
+        assert (tmp_path / "cache.json").read_bytes() == first
+
+    def test_matches_uncached_check_paths(self, tree, tmp_path):
+        cached, _ = run(tree, tmp_path)
+        plain = check_paths([tree])
+        assert render_json(cached) == render_json(plain)
+
+
+class TestInvalidation:
+    def test_dependency_edit_invalidates_the_importer(self, tree,
+                                                      tmp_path):
+        run(tree, tmp_path)
+        # Remove the taint source: the importer's own bytes are
+        # untouched, but its dependency closure changed, so its cached
+        # graph-rule findings must not be replayed.
+        (tree / "repro" / "obs" / "clockutil.py").write_text(src('''
+            """Clock helper."""
+
+
+            def now_ms() -> float:
+                """Now (fixed)."""
+                return 0.0
+            '''))
+        result, warm = run(tree, tmp_path)
+        assert not warm
+        assert not any(f.rule_id == "NP-FLOW-001"
+                       for f in result.findings)
+
+    def test_new_file_invalidates_the_run(self, tree, tmp_path):
+        run(tree, tmp_path)
+        (tree / "repro" / "core" / "extra.py").write_text(
+            '"""Extra."""\n')
+        result, warm = run(tree, tmp_path)
+        assert not warm
+        assert "core/extra.py" in result.paths
+
+    def test_config_change_invalidates_the_run(self, tree, tmp_path):
+        run(tree, tmp_path)
+        _result, warm = run(tree, tmp_path,
+                            config=CheckConfig(select=("NP-FLOW",)))
+        assert not warm
+
+    def test_corrupt_cache_is_tolerated(self, tree, tmp_path):
+        run(tree, tmp_path)
+        (tmp_path / "cache.json").write_text("{not json")
+        result, warm = run(tree, tmp_path)
+        assert not warm
+        assert any(f.rule_id == "NP-FLOW-001" for f in result.findings)
+
+    def test_cache_payload_is_sorted_json(self, tree, tmp_path):
+        run(tree, tmp_path)
+        payload = json.loads((tmp_path / "cache.json").read_text())
+        files = payload["files"]
+        assert list(files) == sorted(files)
+        entry = files["core/model.py"]
+        # The dependency closure includes the imported helper.
+        assert "obs/clockutil.py" in entry["closure"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -4,8 +4,9 @@ import textwrap
 
 import pytest
 
-from repro.analysis import (CheckConfig, Finding, Severity, all_rules,
-                            check_paths, check_source)
+from repro.analysis import (CheckConfig, Finding, Severity,
+                            all_project_rules, all_rules, check_paths,
+                            check_source)
 
 
 def src(text: str) -> str:
@@ -26,9 +27,15 @@ class TestRegistry:
         families = {rule.rule_id.rsplit("-", 1)[0] for rule in all_rules()}
         assert families == {"NP-DET", "NP-UNIT", "NP-API", "NP-SCHEMA",
                             "NP-OBS"}
+        project_families = {rule.rule_id.rsplit("-", 1)[0]
+                            for rule in all_project_rules()}
+        assert project_families == {"NP-FLOW", "NP-ASYNC", "NP-MUT"}
 
     def test_severities_are_valid(self):
         for rule in all_rules():
+            assert isinstance(rule.severity, Severity)
+            assert rule.summary
+        for rule in all_project_rules():
             assert isinstance(rule.severity, Severity)
             assert rule.summary
 
@@ -223,7 +230,7 @@ class TestCheckPaths:
         assert rule_ids(result) == ["NP-DET-001"]
         assert result.findings[0].path == "core/fixture.py"
 
-    def test_missing_reason_still_parses(self):
+    def test_missing_reason_still_parses_but_is_flagged(self):
         source = src('''
             """Mod."""
             import time
@@ -236,6 +243,39 @@ class TestCheckPaths:
         result = check_source(source, "core/fixture.py")
         assert result.findings == []
         assert result.suppressed
+        assert len(result.unjustified_suppressions) == 1
+        path, _line, rules = result.unjustified_suppressions[0]
+        assert path == "core/fixture.py"
+        assert rules == ("NP-DET-001",)
+        assert not result.clean
+
+    def test_whitespace_reason_is_flagged(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()  # netpower: ignore[NP-DET-001] --
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.findings == []
+        assert len(result.unjustified_suppressions) == 1
+
+    def test_real_reason_is_not_flagged(self):
+        source = src('''
+            """Mod."""
+            import time
+
+
+            def f() -> None:
+                """F."""
+                time.time()  # netpower: ignore[NP-DET-001] -- fixture
+            ''')
+        result = check_source(source, "core/fixture.py")
+        assert result.unjustified_suppressions == []
+        assert result.clean
 
 
 class TestResultMerge:

@@ -31,6 +31,28 @@ def test_no_stale_suppressions(result):
         f"{result.unused_suppressions}")
 
 
+def test_no_unjustified_suppressions(result):
+    assert result.unjustified_suppressions == [], (
+        "suppressions without a '-- reason' justification: "
+        f"{result.unjustified_suppressions}")
+
+
+def test_tree_is_clean_under_whole_program_families():
+    """NP-FLOW / NP-ASYNC / NP-MUT over the real tree, explicitly.
+
+    The module-scoped fixture already runs every family; this test
+    pins the whole-program families on their own so a regression in
+    one of them cannot hide behind an unrelated per-file finding.
+    """
+    from repro.analysis import CheckConfig
+
+    result = check_paths(
+        [SRC], CheckConfig(select=("NP-FLOW", "NP-ASYNC", "NP-MUT")))
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.clean, (
+        f"whole-program analysis found violations:\n{rendered}")
+
+
 def test_every_file_was_checked(result):
     # Guard against the discovery step silently skipping the tree.
     assert len(result.paths) >= 70

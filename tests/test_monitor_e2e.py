@@ -24,13 +24,15 @@ import pytest
 
 from repro import units
 from repro.core import derive_power_model
-from repro.hardware import VirtualRouter, router_spec
+from repro.hardware import VirtualRouter, connect, router_spec
 from repro.lab import ExperimentPlan, Orchestrator
 from repro.monitor import FleetMonitor, build_snapshot, snapshot_json
 from repro.monitor.schema import validate as validate_schema
 from repro.network import (DegradePsu, FleetConfig, FleetTrafficModel,
                            NetworkSimulation, build_switch_like_network)
 from repro.obs import metrics, tracing
+from repro.telemetry.snmp import SnmpCollector
+from repro.telemetry.sources import CounterRateModelSource
 from repro.validation.compare import compare_series, predict_from_trace
 
 SEED = 7
@@ -254,3 +256,39 @@ class TestDashboardSchema:
         snapshot["alerts"] = [{"rule": 5}]
         errors = validate_schema(snapshot, schema)
         assert len(errors) >= 3
+
+
+class TestLiveModuleSwap:
+    def test_in_place_trx_swap_updates_the_live_prediction(self, models):
+        # Regression: the live source's fast path compared interface
+        # names only, so swapping a module in place (same name, new
+        # transceiver) kept predicting with the old module's curve.
+        router = VirtualRouter(router_spec("NCS-55A1-24H"),
+                               hostname="swap-ncs",
+                               rng=np.random.default_rng(99))
+        for i in range(2):
+            router.port(i).plug("QSFP28-100G-DAC")
+            router.port(i).set_admin(True)
+        connect(router.port(0), router.port(1))
+        router.port(0).offer_traffic(rx_bps=4e9, tx_bps=4e9,
+                                     packet_bytes=700)
+        collector = SnmpCollector([router])
+        for t in (300.0, 600.0):
+            router.advance(300)
+            collector.record(t)
+        source = CounterRateModelSource(collector, models)
+        before = source.sample("swap-ncs", 600.0)
+        assert before is not None
+
+        router.port(0).unplug()
+        router.port(0).plug("QSFP28-100G-LR4")
+        router.advance(300)
+        collector.record(900.0)
+        after = source.sample("swap-ncs", 900.0)
+        fresh = CounterRateModelSource(collector, models).sample(
+            "swap-ncs", 900.0)
+        # The long-lived source must agree with a cache-free one...
+        assert after == fresh
+        # ...and the swap must actually show (LR4 idles hotter than DAC;
+        # the offered traffic is constant, so any change is the module).
+        assert after != before

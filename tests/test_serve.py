@@ -395,6 +395,47 @@ def test_whatif_round_trip_restores_the_fleet():
     run_with_server(scenario)
 
 
+def test_whatif_accounts_for_the_peer_side_of_a_link():
+    # Toggling one end of an internal link flips link_up on BOTH
+    # ends, so the peer router's power must move too.  Regression:
+    # whatif used to re-patch only the named router, leaving the
+    # peer's columns stale and its delta missing from variant_w.
+    service = shared_service()
+    state = service._state
+    network = service._network
+    target = None
+    for hostname in sorted(network.routers):
+        for port in network.routers[hostname].ports:
+            peer = port.peer
+            if port.link_up and peer is not None and \
+                    peer.router.hostname != hostname and \
+                    peer.router.hostname in state.router_index:
+                target = port
+                break
+        if target is not None:
+            break
+    assert target is not None, "no live cross-router link in fleet"
+
+    request = parse_whatif_request({"changes": [
+        {"hostname": target.router.hostname,
+         "port_index": target.index, "admin_up": False}]})
+    document = service.whatif(request)
+
+    # Ground truth: apply the same toggle by hand with a full-column
+    # rebuild, which cannot miss anyone.
+    baseline = float(state.wall_power().sum())
+    target.set_admin(False)
+    state.refresh()
+    expected_variant = float(state.wall_power().sum())
+    target.set_admin(True)
+    state.refresh()
+
+    assert document["variant_w"] == round(expected_variant, 6)
+    assert document["delta_w"] == round(expected_variant - baseline, 6)
+    # And the fleet is fully restored, peer included.
+    assert float(state.wall_power().sum()) == baseline
+
+
 def test_interfaceless_router_gets_base_power():
     model_name = first_model()
     body = json.dumps({"routers": [
